@@ -1,0 +1,60 @@
+/* Runtime shim for C emitted by armada-backend (ClightTSO-flavored).
+ *
+ * The paper compiles emitted C with CompCertTSO against pthreads; this
+ * header is the corresponding runtime surface. It is shipped for reference
+ * and for compiling emitted code with a C toolchain outside this repo; the
+ * Rust workspace itself exercises the executable Rust backend instead.
+ */
+#ifndef ARMADA_RUNTIME_H
+#define ARMADA_RUNTIME_H
+
+#include <pthread.h>
+#include <stdint.h>
+#include <stdio.h>
+#include <stdlib.h>
+
+/* Threads are identified by opaque 64-bit handles, as in the Armada
+ * semantics (create_thread evaluates to a uint64). */
+typedef struct {
+    pthread_t tid;
+    void (*entry)(uint64_t);
+    uint64_t arg;
+} armada_thread_t;
+
+static void *armada_thread_trampoline(void *raw) {
+    armada_thread_t *t = (armada_thread_t *)raw;
+    t->entry(t->arg);
+    return NULL;
+}
+
+/* create_thread m(arg): one uint64 argument covers the emitted patterns;
+ * zero-argument routines pass 0. */
+static inline uint64_t armada_thread_create(void (*entry)(uint64_t),
+                                            uint64_t arg) {
+    armada_thread_t *t = (armada_thread_t *)malloc(sizeof(armada_thread_t));
+    t->entry = entry;
+    t->arg = arg;
+    pthread_create(&t->tid, NULL, armada_thread_trampoline, t);
+    return (uint64_t)(uintptr_t)t;
+}
+
+static inline void armada_thread_join(uint64_t handle) {
+    armada_thread_t *t = (armada_thread_t *)(uintptr_t)handle;
+    pthread_join(t->tid, NULL);
+    free(t);
+}
+
+/* print(e): the observable event log of the semantics. */
+static inline void armada_print_u64(uint64_t value) {
+    printf("%llu\n", (unsigned long long)value);
+}
+
+/* assert e: a false predicate crashes the program (§3.1.2). */
+static inline void armada_assert(int condition) {
+    if (!condition) {
+        fprintf(stderr, "armada: assertion failed\n");
+        abort();
+    }
+}
+
+#endif /* ARMADA_RUNTIME_H */

@@ -1,0 +1,20 @@
+//! Criterion tracking of Figure 12's quantities: per-element transfer cost
+//! through each queue variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn queue_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure12_queue");
+    let ops: u64 = 50_000;
+    group.throughput(Throughput::Elements(ops));
+    group.sample_size(10);
+    for variant in armada_bench::FIGURE12_VARIANTS {
+        group.bench_with_input(BenchmarkId::from_parameter(variant), &ops, |b, &ops| {
+            b.iter(|| armada_bench::figure12_trial(variant, ops));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, queue_throughput);
+criterion_main!(benches);

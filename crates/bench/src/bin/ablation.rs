@@ -1,0 +1,122 @@
+//! Ablation study for the bounded refinement checker's design parameters
+//! (DESIGN.md calls these out): the stutter budget `max_match` and the
+//! store-buffer capacity bound.
+//!
+//! ```text
+//! cargo run --release -p armada-bench --bin ablation
+//! ```
+//!
+//! The stutter budget trades completeness (a too-small budget fails to
+//! match behaviors that need more high-level steps per low-level step)
+//! against the exponential growth of stutter closures; the buffer bound
+//! trades TSO-behavior coverage against state-space size.
+
+use armada::proof::relation::StandardRelation;
+use armada::sm::{lower, Bounds};
+use armada::verify::{check_refinement, SimConfig};
+use std::time::Instant;
+
+const SUBJECT: &str = r#"
+level Impl {
+    var x: uint32;
+    var y: uint32;
+    void w() { x := 1; fence; }
+    void main() {
+        var t: uint64 := create_thread w();
+        y := 2;
+        var a: uint32 := x;
+        print(a);
+        join t;
+    }
+}
+level Spec {
+    var x: uint32;
+    var y: uint32;
+    ghost var g: int;
+    void w() { x := 1; g := 1; fence; }
+    void main() {
+        var t: uint64 := create_thread w();
+        y := 2;
+        var a: uint32 := x;
+        print(a);
+        join t;
+    }
+}
+proof P { refinement Impl Spec var_intro }
+"#;
+
+fn main() {
+    // Small subject: a fenced two-thread program with a ghost introduction.
+    let pipeline = armada::Pipeline::from_source(SUBJECT).expect("front end");
+    let typed = pipeline.typed();
+    let low = lower(typed, "Impl").expect("lower");
+    let high = lower(typed, "Spec").expect("lower");
+    let relation = StandardRelation::new(typed.module.relation());
+    println!("subject 1: ghost introduction over a fenced two-thread program");
+    ablate(&low, &high, &relation);
+
+    // Large subject: the Queue case study's final hiding step, whose high
+    // level is maximally nondeterministic.
+    let pipeline =
+        armada::Pipeline::from_source(armada_cases::queue::MODEL).expect("front end");
+    let typed = pipeline.typed();
+    let low = lower(typed, "Weak").expect("lower");
+    let high = lower(typed, "Spec").expect("lower");
+    let relation = StandardRelation::new(typed.module.relation());
+    println!("\nsubject 2: Queue case study, Weak ⊑ Spec (variable hiding)");
+    ablate(&low, &high, &relation);
+}
+
+fn ablate(
+    low: &armada::sm::Program,
+    high: &armada::sm::Program,
+    relation: &StandardRelation,
+) {
+
+    println!("Ablation: stutter budget (max_match)");
+    println!("{:<12} {:>10} {:>14} {:>12}", "max_match", "verified", "product nodes", "time");
+    for max_match in [1usize, 2, 3, 4, 6, 8] {
+        let config = SimConfig { max_match, ..SimConfig::default() };
+        let start = Instant::now();
+        let outcome = check_refinement(low, high, relation, &config);
+        let elapsed = start.elapsed();
+        match outcome {
+            Ok(cert) => println!(
+                "{max_match:<12} {:>10} {:>14} {:>12.2?}",
+                "yes", cert.product_nodes, elapsed
+            ),
+            Err(ce) => println!(
+                "{max_match:<12} {:>10} {:>14} {:>12.2?}  ({})",
+                "NO",
+                "-",
+                elapsed,
+                ce.description.lines().next().unwrap_or("")
+            ),
+        }
+    }
+
+    println!("\nAblation: store-buffer capacity bound");
+    println!("{:<12} {:>10} {:>14} {:>12}", "max_buffer", "verified", "product nodes", "time");
+    for max_buffer in [1usize, 2, 3, 4] {
+        let config = SimConfig {
+            bounds: Bounds { max_buffer, ..Bounds::small() },
+            ..SimConfig::default()
+        };
+        let start = Instant::now();
+        let outcome = check_refinement(low, high, relation, &config);
+        let elapsed = start.elapsed();
+        match outcome {
+            Ok(cert) => println!(
+                "{max_buffer:<12} {:>10} {:>14} {:>12.2?}",
+                "yes", cert.product_nodes, elapsed
+            ),
+            Err(ce) => println!(
+                "{max_buffer:<12} {:>10} {:>14} {:>12.2?}  ({})",
+                "NO",
+                "-",
+                elapsed,
+                ce.description.lines().next().unwrap_or("")
+            ),
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerates **Figure 12**: throughput of liblfds' lock-free queue vs. the
+//! corresponding code written in Armada.
+//!
+//! The paper's four bars map to our variants as documented in DESIGN.md:
+//!
+//! * `liblfds (GCC)` → the Rust port with bitmask indexing and hardware-TSO
+//!   orderings (acquire/release, free on x86);
+//! * `liblfds-modulo (GCC)` → the same with `%` indexing (the paper's
+//!   measurement of the modulo cost);
+//! * `Armada (GCC)` → the code `armada-backend` emitted from the Queue case
+//!   study's Armada source, hw-tso mode;
+//! * `Armada (CompCertTSO)` → the same emitted code in conservative mode
+//!   (SeqCst + a full fence per shared access), modeling CompCertTSO's
+//!   unoptimized mapping.
+//!
+//! Each data point is the mean of repeated trials with a 95% confidence
+//! interval, as in the paper (which used 1,000 trials of the liblfds
+//! built-in benchmark at queue size 512; defaults here are smaller so the
+//! harness completes in CI — set `ARMADA_FIG12_TRIALS` / `ARMADA_FIG12_OPS`
+//! to scale up).
+
+fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let ops = env_or("ARMADA_FIG12_OPS", 200_000);
+    let trials = env_or("ARMADA_FIG12_TRIALS", 25) as usize;
+    println!(
+        "Figure 12: SPSC queue throughput (queue size {}, {} ops/trial, {} trials)",
+        armada_bench::QUEUE_SIZE,
+        ops,
+        trials
+    );
+    // Warm-up pass so the first variant is not penalized.
+    for variant in armada_bench::FIGURE12_VARIANTS {
+        let _ = armada_bench::figure12_trial(variant, ops / 10);
+    }
+    let rows = armada_bench::figure12(ops, trials);
+    print!("{}", armada_bench::render_figure12(&rows));
+
+    // Shape summary in the paper's terms.
+    let pct = |i: usize, j: usize| 100.0 * rows[i].stats.mean / rows[j].stats.mean;
+    println!();
+    println!(
+        "Armada(hw-tso) achieves {:.0}% of liblfds-modulo (paper: ~99% — \"virtually \
+         identical … the code is virtually identical\")",
+        pct(2, 1)
+    );
+    println!(
+        "Armada(conservative) achieves {:.0}% of liblfds (paper: ~70% for \
+         Armada(CompCertTSO))",
+        pct(3, 0)
+    );
+}

@@ -1,0 +1,60 @@
+//! Regenerates the **§5 implementation inventory**: the paper reports its
+//! tool's component sizes (state-machine translator 13,191 C# SLOC; proof
+//! framework 3,322 C#; CompCertTSO backend 1,767; proof library 5,618
+//! Dafny; common state-machine definitions 873 Dafny). This binary prints
+//! the corresponding component sizes of this reproduction by counting the
+//! workspace's own sources.
+
+use std::fs;
+use std::path::Path;
+
+fn crate_sloc(dir: &Path) -> usize {
+    let mut total = 0;
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                total += crate_sloc(&path);
+            } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+                if let Ok(source) = fs::read_to_string(&path) {
+                    total += armada_lang::count_sloc(&source);
+                }
+            }
+        }
+    }
+    total
+}
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().and_then(Path::parent);
+    let Some(root) = root else {
+        eprintln!("cannot locate workspace root");
+        std::process::exit(1);
+    };
+    println!("§5 implementation inventory (this reproduction, Rust SLOC)");
+    println!("{:<56} {:>8}", "component (paper analogue)", "SLOC");
+    println!("{}", "-".repeat(66));
+    let rows: [(&str, &str); 10] = [
+        ("crates/lang", "language front end (part of the 13,191-SLOC translator)"),
+        ("crates/sm", "state-machine translation + semantics (translator)"),
+        ("crates/proof", "proof framework (paper: 3,322 SLOC C#)"),
+        ("crates/strategies", "strategy proof generators (proof framework)"),
+        ("crates/verify", "refinement checking (paper: Dafny/Z3 toolchain)"),
+        ("crates/regions", "alias analysis (§4.1.1)"),
+        ("crates/backend", "code-generation backend (paper: 1,767 SLOC)"),
+        ("crates/runtime", "runtime substrate (paper: liblfds + pthreads)"),
+        ("crates/cases", "case studies (§6)"),
+        ("crates/bench", "evaluation harness"),
+    ];
+    let mut total = 0;
+    for (dir, label) in rows {
+        let sloc = crate_sloc(&root.join(dir).join("src"));
+        total += sloc;
+        println!("{label:<56} {sloc:>8}");
+    }
+    let core = crate_sloc(&root.join("crates/core/src"));
+    total += core;
+    println!("{:<56} {core:>8}", "tool facade (crates/core)");
+    println!("{}", "-".repeat(66));
+    println!("{:<56} {total:>8}", "total");
+}

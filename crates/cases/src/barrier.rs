@@ -1,0 +1,322 @@
+//! §6.1 — the Barrier case study.
+//!
+//! Schirmer and Cohen describe a barrier their ownership-based TSO
+//! methodology *cannot* verify: “each processor has a flag that it
+//! exclusively writes (with volatile writes without any flushing) and other
+//! processors read, and each processor waits for all processors to set
+//! their flags before continuing past the barrier.” The flag write is
+//! Owens's publication idiom — an intentional data race — so
+//! TSO-elimination is unavailable and the proof must reason about x86-TSO
+//! directly, exactly as the paper describes:
+//!
+//! 1. `Implementation → Ghost` (**variable introduction**): ghost flags
+//!    record which participants have performed their pre-barrier writes
+//!    (set *before* the publication store, so the ghost leads the flag);
+//! 2. `Ghost → Cemented` (**assume introduction / rely-guarantee**): the
+//!    post-barrier read is annotated with the safety property — the value
+//!    read is the published one — justified by invariants tying the flags
+//!    to the ghosts and by TSO's FIFO store buffers (data drains before
+//!    flag);
+//! 3. `Cemented → Weak` (**weakening**): with the property cemented, the
+//!    racy reads are replaced by `*` and the observable print by the
+//!    published constant;
+//! 4. `Weak → Spec` (**variable hiding**): the concrete flags and data
+//!    disappear, leaving the ghost-level barrier protocol.
+
+use crate::CaseStudy;
+
+/// Model-scale source: two participants.
+pub const MODEL: &str = r#"
+// §6.1: publication-idiom barrier, two participants (main is participant 0,
+// the spawned worker participant 1). Each publishes data then sets its flag
+// WITHOUT flushing; each waits for the other's flag, then reads the other's
+// data. Safety: the post-barrier read sees the pre-barrier write (prints 1).
+level Implementation {
+    var data0: uint32;
+    var data1: uint32;
+    var flag0: uint32;
+    var flag1: uint32;
+
+    void worker() {
+        data1 := 1;
+        flag1 := 1;
+        var i: uint32 := 0;
+        while (i == 0) {
+            i := flag0;
+        }
+        var d: uint32 := data0;
+        print(d);
+    }
+
+    void main() {
+        var t: uint64 := create_thread worker();
+        data0 := 1;
+        flag0 := 1;
+        var j: uint32 := 0;
+        while (j == 0) {
+            j := flag1;
+        }
+        var d2: uint32 := data1;
+        print(d2);
+        join t;
+    }
+}
+
+// Level 1: ghost participation flags, set before the publication store so
+// that a visible flag implies the ghost is set.
+level Ghost {
+    var data0: uint32;
+    var data1: uint32;
+    var flag0: uint32;
+    var flag1: uint32;
+    ghost var wrote0: bool;
+    ghost var wrote1: bool;
+
+    void worker() {
+        data1 := 1;
+        wrote1 := true;
+        flag1 := 1;
+        var i: uint32 := 0;
+        while (i == 0) {
+            i := flag0;
+        }
+        var d: uint32 := data0;
+        print(d);
+    }
+
+    void main() {
+        var t: uint64 := create_thread worker();
+        data0 := 1;
+        wrote0 := true;
+        flag0 := 1;
+        var j: uint32 := 0;
+        while (j == 0) {
+            j := flag1;
+        }
+        var d2: uint32 := data1;
+        print(d2);
+        join t;
+    }
+}
+
+// Level 2: the safety property is cemented as enablement conditions on the
+// post-barrier reads (rely-guarantee level).
+level Cemented {
+    var data0: uint32;
+    var data1: uint32;
+    var flag0: uint32;
+    var flag1: uint32;
+    ghost var wrote0: bool;
+    ghost var wrote1: bool;
+
+    void worker() {
+        data1 := 1;
+        wrote1 := true;
+        flag1 := 1;
+        var i: uint32 := 0;
+        while (i == 0) {
+            i := flag0;
+        }
+        var d: uint32 := data0;
+        assume d == 1;
+        print(d);
+    }
+
+    void main() {
+        var t: uint64 := create_thread worker();
+        data0 := 1;
+        wrote0 := true;
+        flag0 := 1;
+        var j: uint32 := 0;
+        while (j == 0) {
+            j := flag1;
+        }
+        var d2: uint32 := data1;
+        assume d2 == 1;
+        print(d2);
+        join t;
+    }
+}
+
+// Level 3: with the property cemented, the racy reads become arbitrary
+// choices and the observable output becomes the published constant.
+level Weak {
+    var data0: uint32;
+    var data1: uint32;
+    var flag0: uint32;
+    var flag1: uint32;
+    ghost var wrote0: bool;
+    ghost var wrote1: bool;
+
+    void worker() {
+        data1 := 1;
+        wrote1 := true;
+        flag1 := 1;
+        var i: uint32 := 0;
+        while (i == 0) {
+            i := *;
+        }
+        var d: uint32 := *;
+        assume d == 1;
+        print(1);
+    }
+
+    void main() {
+        var t: uint64 := create_thread worker();
+        data0 := 1;
+        wrote0 := true;
+        flag0 := 1;
+        var j: uint32 := 0;
+        while (j == 0) {
+            j := *;
+        }
+        var d2: uint32 := *;
+        assume d2 == 1;
+        print(1);
+        join t;
+    }
+}
+
+// Level 4 (spec): the concrete flags and data are hidden; what remains is
+// the ghost barrier protocol printing the published values.
+level Spec {
+    ghost var wrote0: bool;
+    ghost var wrote1: bool;
+
+    void worker() {
+        wrote1 := true;
+        var i: uint32 := 0;
+        while (i == 0) {
+            i := *;
+        }
+        var d: uint32 := *;
+        assume d == 1;
+        print(1);
+    }
+
+    void main() {
+        var t: uint64 := create_thread worker();
+        wrote0 := true;
+        var j: uint32 := 0;
+        while (j == 0) {
+            j := *;
+        }
+        var d2: uint32 := *;
+        assume d2 == 1;
+        print(1);
+        join t;
+    }
+}
+
+proof ImplementationRefinesGhost {
+    refinement Implementation Ghost
+    var_intro wrote0 wrote1
+}
+
+proof GhostRefinesCemented {
+    refinement Ghost Cemented
+    assume_intro
+    invariant "flag0 == 1 ==> wrote0"
+    invariant "flag1 == 1 ==> wrote1"
+    rely "old(wrote0) ==> wrote0"
+    rely "old(wrote1) ==> wrote1"
+}
+
+proof CementedRefinesWeak {
+    refinement Cemented Weak
+    nondet_weakening
+}
+
+proof WeakRefinesSpec {
+    refinement Weak Spec
+    var_hiding data0 data1 flag0 flag1
+}
+"#;
+
+/// Paper-scale source: four participants over flag/data arrays (front end
+/// and effort accounting only).
+pub const PAPER: &str = r#"
+level Implementation {
+    var flags: uint32[4];
+    var data: uint32[4];
+
+    void participant(me: uint32) {
+        data[me] := me + 1;
+        flags[me] := 1;
+        var other: uint32 := 0;
+        while (other < 4) {
+            var seen: uint32 := 0;
+            while (seen == 0) {
+                seen := flags[other];
+            }
+            other := other + 1;
+        }
+        var sum: uint32 := 0;
+        other := 0;
+        while (other < 4) {
+            var v: uint32 := data[other];
+            sum := sum + v;
+            other := other + 1;
+        }
+        print(sum);
+    }
+
+    void main() {
+        var t1: uint64 := create_thread participant(1);
+        var t2: uint64 := create_thread participant(2);
+        var t3: uint64 := create_thread participant(3);
+        participant(0);
+        join t1;
+        join t2;
+        join t3;
+    }
+}
+"#;
+
+/// The Barrier case study.
+pub fn case() -> CaseStudy {
+    CaseStudy {
+        name: "Barrier",
+        description: "Schirmer–Cohen barrier, incompatible with ownership-based proofs",
+        paper_source: PAPER,
+        model_source: MODEL,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_verifies_end_to_end() {
+        let (pipeline, report) = case().verify_model().unwrap();
+        assert!(report.verified(), "{}", report.failure_summary());
+        assert_eq!(report.chain_claim().unwrap(), "Implementation ⊑ Spec");
+        let effort = pipeline.effort(&report);
+        assert_eq!(effort.level_sloc.len(), 5);
+        assert!(effort.total_generated() > 1000);
+    }
+
+    #[test]
+    fn paper_source_front_end() {
+        case().check_paper_source().unwrap();
+    }
+
+    #[test]
+    fn barrier_without_publication_order_fails() {
+        // Flag set BEFORE data: the reader can pass the barrier and read 0.
+        // The assume-introduction step must refute.
+        let broken = MODEL.replace(
+            "        data1 := 1;\n        wrote1 := true;\n        flag1 := 1;",
+            "        flag1 := 1;\n        data1 := 1;\n        wrote1 := true;",
+        );
+        // Apply the same breakage to every level so the structure still
+        // aligns.
+        let pipeline = armada::Pipeline::from_source(&broken).unwrap();
+        let report = pipeline.run().unwrap();
+        assert!(
+            !report.verified(),
+            "publishing the flag before the data must break the proof"
+        );
+    }
+}

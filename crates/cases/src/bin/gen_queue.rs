@@ -1,0 +1,31 @@
+//! Regenerates the checked-in backend output for the Queue case study:
+//! `crates/runtime/src/generated.rs` (hw-tso mode) and
+//! `crates/runtime/src/generated_conservative.rs` (conservative mode).
+//!
+//! Run from the workspace root:
+//!
+//! ```text
+//! cargo run -p armada-cases --bin gen_queue
+//! ```
+//!
+//! The `queue::tests::generated_queue_matches_emitter_output` test pins the
+//! files to the emitter byte for byte.
+
+use armada_backend::{emit_rust, RustMode};
+
+fn main() {
+    let module = armada_lang::parse_module(armada_cases::queue::PAPER).expect("parse");
+    let typed = armada_lang::check_module(&module).expect("typecheck");
+    let level = module.level("Implementation").expect("level");
+    let info = typed.level_info("Implementation").expect("info");
+
+    for (mode, path) in [
+        (RustMode::HwTso, "crates/runtime/src/generated.rs"),
+        (RustMode::Conservative, "crates/runtime/src/generated_conservative.rs"),
+    ] {
+        let code = emit_rust(level, info, mode).expect("emit");
+        std::fs::write(path, &code)
+            .unwrap_or_else(|err| panic!("writing {path}: {err} (run from the workspace root)"));
+        println!("wrote {path} ({} bytes)", code.len());
+    }
+}

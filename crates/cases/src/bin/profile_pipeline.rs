@@ -1,0 +1,47 @@
+//! Per-recipe wall-time profiler for a case study's model pipeline.
+//!
+//! ```text
+//! cargo run -p armada-cases --bin profile_pipeline --release -- queue
+//! ```
+
+use armada::strategies;
+use armada::verify::{check_refinement, SimConfig};
+use armada::proof::relation::StandardRelation;
+use std::time::Instant;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "queue".to_string());
+    let case = match which.as_str() {
+        "barrier" => armada_cases::barrier::case(),
+        "pointers" => armada_cases::pointers::case(),
+        "mcs" => armada_cases::mcs_lock::case(),
+        "tsp" => armada_cases::tsp::case(),
+        _ => armada_cases::queue::case(),
+    };
+    let pipeline = armada::Pipeline::from_source(case.model_source).expect("front end");
+    let typed = pipeline.typed().clone();
+    let relation = StandardRelation::new(typed.module.relation());
+    for recipe in &typed.module.recipes {
+        let start = Instant::now();
+        let report =
+            strategies::run_recipe(&typed, recipe, SimConfig::default()).expect("strategy");
+        let strategy_time = start.elapsed();
+        let start = Instant::now();
+        let low = armada_sm::lower(&typed, &recipe.low).expect("lower");
+        let high = armada_sm::lower(&typed, &recipe.high).expect("lower");
+        let semantic =
+            check_refinement(&low, &high, &relation, &SimConfig::default());
+        let semantic_time = start.elapsed();
+        println!(
+            "{:<40} strategy {:>8.2?} ({}) | semantic {:>8.2?} ({})",
+            recipe.name,
+            strategy_time,
+            if report.success() { "ok" } else { "FAIL" },
+            semantic_time,
+            match &semantic {
+                Ok(cert) => format!("ok, {} nodes", cert.product_nodes),
+                Err(ce) => format!("FAIL: {}", ce.description),
+            }
+        );
+    }
+}

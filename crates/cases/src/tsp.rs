@@ -1,0 +1,267 @@
+//! The §2 running example: a multithreaded search for a good (not
+//! necessarily optimal) traveling-salesman solution, with the famous *benign
+//! race* — the unsynchronized first read of `best_len` whose worst
+//! consequence is an unnecessary lock acquisition.
+//!
+//! The proof follows Figures 3–6 exactly:
+//!
+//! 1. `Implementation → ArbitraryGuard` (**nondeterministic weakening**,
+//!    Figure 4): the racy read becomes `*` and the racy guard becomes
+//!    `if (*)`;
+//! 2. `ArbitraryGuard → BestLenSequential` (**TSO elimination**, Figure 6):
+//!    with the race gone, `best_len` follows the mutex ownership
+//!    discipline, so its assignments become sequentially consistent `::=`.
+
+use crate::CaseStudy;
+
+/// Model-scale source: one worker plus main, fixed candidate length, a
+/// ghost-modeled mutex, one search round each.
+pub const MODEL: &str = r#"
+// §2 running example (model scale): find a short tour length, one searcher.
+level Implementation {
+    var best_len: uint32 := 100;
+    ghost var mutex_holder: int := 0;
+
+    // The mutex, modeled as the paper models externs: a concurrency-aware
+    // body over ghost state. `lock` blocks until free; `unlock` drains the
+    // store buffer (x86 locked ops are flushing) and releases.
+    method {:extern} lock() {
+        atomic {
+            assume mutex_holder == 0;
+            mutex_holder := $me;
+        }
+    }
+    method {:extern} unlock() {
+        fence;
+        atomic {
+            assume mutex_holder == $me;
+            mutex_holder := 0;
+        }
+    }
+
+    void worker(len: uint32) {
+        var t: uint32 := best_len;
+        if (t > len) {
+            lock();
+            var t2: uint32 := best_len;
+            if (t2 > len) {
+                best_len := len;
+            }
+            unlock();
+        }
+    }
+
+    void main() {
+        var a: uint64 := create_thread worker(3);
+        join a;
+        lock();
+        var r: uint32 := best_len;
+        unlock();
+        print(r);
+    }
+}
+
+// Figure 3: the racy read and guard are relaxed to arbitrary choices.
+level ArbitraryGuard {
+    var best_len: uint32 := 100;
+    ghost var mutex_holder: int := 0;
+
+    method {:extern} lock() {
+        atomic {
+            assume mutex_holder == 0;
+            mutex_holder := $me;
+        }
+    }
+    method {:extern} unlock() {
+        fence;
+        atomic {
+            assume mutex_holder == $me;
+            mutex_holder := 0;
+        }
+    }
+
+    void worker(len: uint32) {
+        var t: uint32 := *;
+        if (*) {
+            lock();
+            var t2: uint32 := best_len;
+            if (t2 > len) {
+                best_len := len;
+            }
+            unlock();
+        }
+    }
+
+    void main() {
+        var a: uint64 := create_thread worker(3);
+        join a;
+        lock();
+        var r: uint32 := best_len;
+        unlock();
+        print(r);
+    }
+}
+
+// Figure 5: every access to best_len is now under the mutex, so its updates
+// become sequentially consistent.
+level BestLenSequential {
+    var best_len: uint32 := 100;
+    ghost var mutex_holder: int := 0;
+
+    method {:extern} lock() {
+        atomic {
+            assume mutex_holder == 0;
+            mutex_holder := $me;
+        }
+    }
+    method {:extern} unlock() {
+        fence;
+        atomic {
+            assume mutex_holder == $me;
+            mutex_holder := 0;
+        }
+    }
+
+    void worker(len: uint32) {
+        var t: uint32 := *;
+        if (*) {
+            lock();
+            var t2: uint32 := best_len;
+            if (t2 > len) {
+                best_len ::= len;
+            }
+            unlock();
+        }
+    }
+
+    void main() {
+        var a: uint64 := create_thread worker(3);
+        join a;
+        lock();
+        var r: uint32 := best_len;
+        unlock();
+        print(r);
+    }
+}
+
+// Figure 4's recipe.
+proof ImplementationRefinesArbitraryGuard {
+    refinement Implementation ArbitraryGuard
+    nondet_weakening
+}
+
+// Figure 6's recipe.
+proof ArbitraryGuardRefinesBestLenSequential {
+    refinement ArbitraryGuard BestLenSequential
+    tso_elim best_len "mutex_holder == $me"
+}
+"#;
+
+/// Paper-scale source (Figure 2's 100 threads × 10,000 candidates), used
+/// for front-end and effort accounting only.
+pub const PAPER: &str = r#"
+level Specification {
+    ghost var s: int;
+    void main() {
+        somehow modifies s ensures valid_soln(s);
+        print(s);
+    }
+    function valid_soln(v: int): bool { v >= 0 }
+}
+
+level Implementation {
+    struct Solution {
+        score: uint32;
+        tour: uint32[16];
+    }
+    var best_solution: Solution;
+    var best_len: uint32 := 0xFFFFFFFF;
+    var mutex: uint32;
+
+    method {:extern} initialize_mutex(m: ptr<uint32>) modifies *m;
+    method {:extern} lock(m: ptr<uint32>) modifies *m;
+    method {:extern} unlock(m: ptr<uint32>) modifies *m;
+    method {:extern} choose_random_solution(s: ptr<Solution>) modifies *s;
+    method {:extern} get_solution_length(s: ptr<Solution>) returns (len: uint32);
+    method {:extern} copy_solution(dst: ptr<Solution>, src: ptr<Solution>) modifies *dst;
+    method {:extern} print_solution(s: ptr<Solution>);
+
+    void worker() {
+        var i: int32 := 0;
+        var s: Solution;
+        var len: uint32;
+        while (i < 10000) {
+            choose_random_solution(&s);
+            len = get_solution_length(&s);
+            if (len < best_len) {
+                lock(&mutex);
+                if (len < best_len) {
+                    best_len := len;
+                    copy_solution(&best_solution, &s);
+                }
+                unlock(&mutex);
+            }
+            i := i + 1;
+        }
+    }
+
+    void main() {
+        var i: int32 := 0;
+        var a: uint64[100];
+        initialize_mutex(&mutex);
+        while (i < 100) {
+            a[i] := create_thread worker();
+            i := i + 1;
+        }
+        i := 0;
+        while (i < 100) {
+            join a[i];
+            i := i + 1;
+        }
+        print_solution(&best_solution);
+    }
+}
+"#;
+
+/// The running example as a [`CaseStudy`] (not part of Table 1; exercised
+/// by tests and the `tsp_search` example).
+pub fn case() -> CaseStudy {
+    CaseStudy {
+        name: "TSP",
+        description: "§2 running example: benign racy read, weakened then TSO-eliminated",
+        paper_source: PAPER,
+        model_source: MODEL,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_source_front_end() {
+        // The paper-scale source parses, type-checks, and its implementation
+        // level is core (the spec level with `somehow` is not compiled).
+        let pipeline = armada::Pipeline::from_source(PAPER).unwrap();
+        let module = &pipeline.typed().module;
+        assert_eq!(module.levels.len(), 2);
+        let info = pipeline.typed().level_info("Implementation").unwrap();
+        armada_lang::core_check::check_core(
+            module.level("Implementation").unwrap(),
+            info,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn model_verifies_end_to_end() {
+        let (pipeline, report) = case().verify_model().unwrap();
+        assert!(report.verified(), "{}", report.failure_summary());
+        assert_eq!(
+            report.chain_claim().unwrap(),
+            "Implementation ⊑ BestLenSequential"
+        );
+        let effort = pipeline.effort(&report);
+        assert!(effort.total_generated() > 500, "generated proof is substantial");
+    }
+}

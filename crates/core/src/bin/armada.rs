@@ -1,0 +1,151 @@
+//! The `armada` command-line tool: verify an Armada source file, inspect its
+//! effort metrics, or emit backend code — the CLI face of the pipeline, like
+//! the paper's tool driver (§5).
+//!
+//! ```text
+//! armada verify <file.arm>      run the full pipeline (strategies + bounded
+//!                               refinement model checking)
+//! armada check <file.arm>       front end + core-subset check only
+//! armada effort <file.arm>      strategy-only run with effort accounting
+//! armada emit-c <file.arm>      emit ClightTSO-flavored C for the
+//!                               implementation level
+//! armada emit-rust <file.arm> [--conservative]
+//!                               emit Rust for the implementation level
+//! ```
+
+use armada::Pipeline;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: armada <verify|check|effort|emit-c|emit-rust> <file.arm> [--conservative]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, path) = match (args.first(), args.get(1)) {
+        (Some(command), Some(path)) => (command.as_str(), path.as_str()),
+        _ => return usage(),
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(source) => source,
+        Err(err) => {
+            eprintln!("armada: cannot read `{path}`: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let pipeline = match Pipeline::from_source(&source) {
+        Ok(pipeline) => pipeline,
+        Err(err) => {
+            eprintln!("armada: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command {
+        "check" => {
+            if let Err(err) = core_check_all(&pipeline) {
+                eprintln!("armada: {err}");
+                return ExitCode::FAILURE;
+            }
+            println!("ok: front end and core-subset checks passed");
+            ExitCode::SUCCESS
+        }
+        "verify" | "effort" => {
+            let mut pipeline = pipeline;
+            if command == "effort" {
+                pipeline.semantic_check = false;
+            }
+            if pipeline.typed().module.recipes.is_empty() {
+                eprintln!("armada: `{path}` declares no proof recipes");
+                return ExitCode::FAILURE;
+            }
+            if let Err(err) = pipeline.check_core() {
+                eprintln!("armada: implementation level is not core Armada: {err}");
+                return ExitCode::FAILURE;
+            }
+            let report = match pipeline.run() {
+                Ok(report) => report,
+                Err(err) => {
+                    eprintln!("armada: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            print!("{report}");
+            println!("{}", pipeline.effort(&report));
+            if report.verified() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "emit-c" | "emit-rust" => {
+            let level_name = implementation_level(&pipeline);
+            let Some(level) = pipeline.typed().module.level(&level_name) else {
+                eprintln!("armada: no level `{level_name}`");
+                return ExitCode::FAILURE;
+            };
+            if command == "emit-c" {
+                match armada::backend::emit_c(level) {
+                    Ok(code) => {
+                        print!("{code}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(err) => {
+                        eprintln!("armada: {err}");
+                        ExitCode::FAILURE
+                    }
+                }
+            } else {
+                let mode = if args.iter().any(|a| a == "--conservative") {
+                    armada::backend::RustMode::Conservative
+                } else {
+                    armada::backend::RustMode::HwTso
+                };
+                let info = pipeline
+                    .typed()
+                    .level_info(&level_name)
+                    .expect("checked module has level info");
+                match armada::backend::emit_rust(level, info, mode) {
+                    Ok(code) => {
+                        print!("{code}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(err) => {
+                        eprintln!("armada: {err}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// The implementation level: first in the recipe chain, or the first level
+/// for library-style files.
+fn implementation_level(pipeline: &Pipeline) -> String {
+    pipeline
+        .level_chain()
+        .ok()
+        .and_then(|chain| chain.first().cloned())
+        .or_else(|| pipeline.typed().module.levels.first().map(|l| l.name.clone()))
+        .unwrap_or_default()
+}
+
+fn core_check_all(pipeline: &Pipeline) -> Result<(), String> {
+    if pipeline.typed().module.recipes.is_empty() {
+        for level in &pipeline.typed().module.levels {
+            let info = pipeline
+                .typed()
+                .level_info(&level.name)
+                .ok_or_else(|| format!("level `{}` not checked", level.name))?;
+            armada::lang::core_check::check_core(level, info).map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    } else {
+        pipeline.check_core()
+    }
+}

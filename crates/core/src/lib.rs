@@ -1,0 +1,457 @@
+//! # armada
+//!
+//! A from-scratch Rust reproduction of *“Armada: Low-Effort Verification of
+//! High-Performance Concurrent Programs”* (Lorch et al., PLDI 2020).
+//!
+//! This crate is the tool facade (Figure 1 of the paper): given a source
+//! file containing an implementation level, a series of intermediate
+//! levels, a specification level, and `proof` recipes connecting adjacent
+//! pairs, [`Pipeline::run`] —
+//!
+//! 1. parses and type-checks the module (`armada-lang`);
+//! 2. checks the implementation level against the compilable *core* subset;
+//! 3. runs each recipe's **strategy** (`armada-strategies`), generating and
+//!    discharging the refinement proof obligations;
+//! 4. independently re-validates each adjacent pair with the **bounded
+//!    refinement model checker** (`armada-verify`), every interleaving and
+//!    store-buffer schedule of the bounded instance;
+//! 5. composes the per-pair certificates by transitivity into the
+//!    end-to-end claim `Implementation ⊑ Specification`.
+//!
+//! Effort metrics mirroring the paper's evaluation (§6: program SLOC,
+//! recipe SLOC, customization SLOC, generated proof SLOC) are available via
+//! [`EffortReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use armada::Pipeline;
+//!
+//! let source = r#"
+//!     level Impl {
+//!         var x: uint32;
+//!         void main() { x := 2; print(x); }
+//!     }
+//!     level Spec {
+//!         var x: uint32;
+//!         void main() { x := *; print(x); }
+//!     }
+//!     proof P { refinement Impl Spec nondet_weakening }
+//! "#;
+//! let pipeline = Pipeline::from_source(source).unwrap();
+//! let report = pipeline.run().unwrap();
+//! assert!(report.verified());
+//! assert_eq!(report.chain_claim().unwrap(), "Impl ⊑ Spec");
+//! ```
+
+use std::fmt;
+
+pub use armada_backend as backend;
+pub use armada_lang as lang;
+pub use armada_proof as proof;
+pub use armada_regions as regions;
+pub use armada_sm as sm;
+pub use armada_strategies as strategies;
+pub use armada_verify as verify;
+
+use armada_lang::typeck::TypedModule;
+use armada_lang::{check_module, count_sloc, parse_module};
+use armada_proof::relation::StandardRelation;
+use armada_proof::StrategyReport;
+use armada_sm::lower;
+use armada_verify::{check_refinement, RefinementCert, RefinementChain, SimConfig};
+
+/// A configured verification pipeline for one Armada module.
+#[derive(Debug)]
+pub struct Pipeline {
+    source: String,
+    typed: TypedModule,
+    sim: SimConfig,
+    /// Run the bounded refinement model checker in addition to the
+    /// strategies (on by default; heavy case studies may disable it for the
+    /// strategy-only effort accounting).
+    pub semantic_check: bool,
+}
+
+/// Everything `Pipeline::run` produces.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Per-recipe strategy reports (obligations + verdicts + generated
+    /// proof text).
+    pub strategy_reports: Vec<StrategyReport>,
+    /// Per-recipe bounded refinement results (empty when `semantic_check`
+    /// is off).
+    pub refinements: Vec<Result<RefinementCert, String>>,
+    /// The transitively composed chain, when every pair verified.
+    pub chain: Option<RefinementChain>,
+}
+
+impl PipelineReport {
+    /// True when every obligation of every recipe was proved and (if run)
+    /// every semantic check passed.
+    pub fn verified(&self) -> bool {
+        self.strategy_reports.iter().all(|r| r.success())
+            && self.refinements.iter().all(|r| r.is_ok())
+    }
+
+    /// The end-to-end refinement claim, e.g. `Implementation ⊑ Spec`.
+    pub fn chain_claim(&self) -> Option<String> {
+        self.chain.as_ref().map(|c| c.claim())
+    }
+
+    /// Total generated proof SLOC across all recipes.
+    pub fn generated_sloc(&self) -> usize {
+        self.strategy_reports.iter().map(|r| r.generated_sloc()).sum()
+    }
+
+    /// A human-readable failure summary (empty when verified).
+    pub fn failure_summary(&self) -> String {
+        let mut out = String::new();
+        for report in &self.strategy_reports {
+            if !report.success() {
+                out.push_str(&format!("recipe {}:\n{}", report.recipe, report.failure_summary()));
+            }
+        }
+        for (index, refinement) in self.refinements.iter().enumerate() {
+            if let Err(reason) = refinement {
+                out.push_str(&format!("semantic check {index}: {reason}\n"));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for report in &self.strategy_reports {
+            write!(f, "{report}")?;
+        }
+        match (&self.chain, self.verified()) {
+            (Some(chain), true) => writeln!(f, "VERIFIED: {}", chain.claim()),
+            _ => writeln!(f, "NOT VERIFIED\n{}", self.failure_summary()),
+        }
+    }
+}
+
+impl Pipeline {
+    /// Parses and type-checks `source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the front end's first diagnostic.
+    pub fn from_source(source: &str) -> Result<Pipeline, String> {
+        let module = parse_module(source).map_err(|e| e.to_string())?;
+        let typed = check_module(&module).map_err(|e| e.to_string())?;
+        Ok(Pipeline {
+            source: source.to_string(),
+            typed,
+            sim: SimConfig::default(),
+            semantic_check: true,
+        })
+    }
+
+    /// Overrides the bounds used by model-checked discharges and semantic
+    /// checks.
+    pub fn with_sim_config(mut self, sim: SimConfig) -> Pipeline {
+        self.sim = sim;
+        self
+    }
+
+    /// The type-checked module.
+    pub fn typed(&self) -> &TypedModule {
+        &self.typed
+    }
+
+    /// The level chain implied by the recipes: implementation first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the recipes do not form a single chain.
+    pub fn level_chain(&self) -> Result<Vec<String>, String> {
+        let recipes = &self.typed.module.recipes;
+        if recipes.is_empty() {
+            return Err("module has no proof recipes".to_string());
+        }
+        // The implementation appears as a `low` but never as a `high`.
+        let start = recipes
+            .iter()
+            .map(|r| r.low.clone())
+            .find(|low| recipes.iter().all(|r| r.high != *low))
+            .ok_or_else(|| "recipes form a cycle".to_string())?;
+        let mut chain = vec![start];
+        loop {
+            let current = chain.last().expect("nonempty");
+            match recipes.iter().find(|r| r.low == *current) {
+                Some(recipe) => {
+                    if chain.contains(&recipe.high) {
+                        return Err("recipes form a cycle".to_string());
+                    }
+                    chain.push(recipe.high.clone());
+                }
+                None => break,
+            }
+        }
+        Ok(chain)
+    }
+
+    /// Checks that the implementation level (the chain's first level) is in
+    /// compilable core Armada.
+    ///
+    /// # Errors
+    ///
+    /// Returns the core checker's first diagnostic.
+    pub fn check_core(&self) -> Result<(), String> {
+        let chain = self.level_chain()?;
+        let name = &chain[0];
+        let level = self
+            .typed
+            .module
+            .level(name)
+            .ok_or_else(|| format!("unknown level `{name}`"))?;
+        let info = self
+            .typed
+            .level_info(name)
+            .ok_or_else(|| format!("level `{name}` not checked"))?;
+        armada_lang::core_check::check_core(level, info).map_err(|e| e.to_string())
+    }
+
+    /// Runs the whole pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for *infrastructure* failures (unknown levels,
+    /// lowering errors); proof failures are reported inside the
+    /// [`PipelineReport`].
+    pub fn run(&self) -> Result<PipelineReport, String> {
+        let mut strategy_reports = Vec::new();
+        let mut refinements = Vec::new();
+        let mut certs = Vec::new();
+        let relation = StandardRelation::new(self.typed.module.relation());
+        for recipe in &self.typed.module.recipes {
+            let report =
+                armada_strategies::run_recipe(&self.typed, recipe, self.sim.clone())?;
+            let strategy_ok = report.success();
+            strategy_reports.push(report);
+            if self.semantic_check {
+                let low = lower(&self.typed, &recipe.low).map_err(|e| e.to_string())?;
+                let high = lower(&self.typed, &recipe.high).map_err(|e| e.to_string())?;
+                match check_refinement(&low, &high, &relation, &self.sim) {
+                    Ok(cert) => {
+                        certs.push(cert.clone());
+                        refinements.push(Ok(cert));
+                    }
+                    Err(ce) => refinements.push(Err(ce.to_string())),
+                }
+            } else if strategy_ok {
+                certs.push(RefinementCert {
+                    low: recipe.low.clone(),
+                    high: recipe.high.clone(),
+                    product_nodes: 0,
+                    low_transitions: 0,
+                });
+            }
+        }
+        // Order certificates along the chain and compose.
+        let chain = match self.level_chain() {
+            Ok(levels) => {
+                let mut ordered = Vec::new();
+                for pair in levels.windows(2) {
+                    if let Some(cert) =
+                        certs.iter().find(|c| c.low == pair[0] && c.high == pair[1])
+                    {
+                        ordered.push(cert.clone());
+                    }
+                }
+                if ordered.len() + 1 == levels.len() {
+                    RefinementChain::compose(ordered).ok()
+                } else {
+                    None
+                }
+            }
+            Err(_) => None,
+        };
+        Ok(PipelineReport { strategy_reports, refinements, chain })
+    }
+
+    /// Computes the paper-style effort metrics for this module.
+    pub fn effort(&self, report: &PipelineReport) -> EffortReport {
+        EffortReport::compute(&self.source, &self.typed, report)
+    }
+}
+
+/// Effort metrics per level and per recipe, mirroring §6's numbers.
+#[derive(Debug, Clone)]
+pub struct EffortReport {
+    /// `(level name, SLOC of the level's source)` in chain order when a
+    /// chain exists, else declaration order.
+    pub level_sloc: Vec<(String, usize)>,
+    /// Per-recipe rows.
+    pub recipes: Vec<RecipeEffort>,
+}
+
+/// Effort metrics for one recipe.
+#[derive(Debug, Clone)]
+pub struct RecipeEffort {
+    /// Recipe name.
+    pub name: String,
+    /// Strategy keyword.
+    pub strategy: String,
+    /// SLOC of the recipe, excluding lemma customizations.
+    pub recipe_sloc: usize,
+    /// SLOC of lemma customizations (§4.1.2).
+    pub customization_sloc: usize,
+    /// SLOC of the generated proof artifact.
+    pub generated_sloc: usize,
+    /// Number of obligations generated.
+    pub obligations: usize,
+}
+
+impl EffortReport {
+    fn compute(source: &str, typed: &TypedModule, report: &PipelineReport) -> EffortReport {
+        let level_sloc = typed
+            .module
+            .levels
+            .iter()
+            .map(|level| (level.name.clone(), count_sloc(level.span.text(source))))
+            .collect();
+        let recipes = typed
+            .module
+            .recipes
+            .iter()
+            .zip(&report.strategy_reports)
+            .map(|(recipe, strategy_report)| {
+                let total = count_sloc(recipe.span.text(source));
+                let customization: usize = recipe
+                    .lemmas
+                    .iter()
+                    .map(|lemma| count_sloc(lemma.span.text(source)))
+                    .sum();
+                RecipeEffort {
+                    name: recipe.name.clone(),
+                    strategy: recipe.strategy.keyword().to_string(),
+                    recipe_sloc: total.saturating_sub(customization),
+                    customization_sloc: customization,
+                    generated_sloc: strategy_report.generated_sloc(),
+                    obligations: strategy_report.obligations.len(),
+                }
+            })
+            .collect();
+        EffortReport { level_sloc, recipes }
+    }
+
+    /// Total generated proof SLOC.
+    pub fn total_generated(&self) -> usize {
+        self.recipes.iter().map(|r| r.generated_sloc).sum()
+    }
+}
+
+impl fmt::Display for EffortReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<24} {:>8}", "level", "SLOC")?;
+        for (name, sloc) in &self.level_sloc {
+            writeln!(f, "{name:<24} {sloc:>8}")?;
+        }
+        writeln!(
+            f,
+            "{:<24} {:<18} {:>7} {:>7} {:>10} {:>6}",
+            "recipe", "strategy", "recipe", "custom", "generated", "oblig"
+        )?;
+        for recipe in &self.recipes {
+            writeln!(
+                f,
+                "{:<24} {:<18} {:>7} {:>7} {:>10} {:>6}",
+                recipe.name,
+                recipe.strategy,
+                recipe.recipe_sloc,
+                recipe.customization_sloc,
+                recipe.generated_sloc,
+                recipe.obligations
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TWO_STEP: &str = r#"
+        level Impl {
+            var x: uint32;
+            void main() { x := 2; print(x); }
+        }
+        level Mid {
+            var x: uint32;
+            void main() { x := *; print(x); }
+        }
+        level Spec {
+            var x: uint32;
+            ghost var g: int;
+            void main() { x := *; g := 1; print(x); }
+        }
+        proof P1 { refinement Impl Mid nondet_weakening }
+        proof P2 { refinement Mid Spec var_intro }
+    "#;
+
+    #[test]
+    fn pipeline_runs_and_composes_chain() {
+        let pipeline = Pipeline::from_source(TWO_STEP).unwrap();
+        assert_eq!(pipeline.level_chain().unwrap(), vec!["Impl", "Mid", "Spec"]);
+        pipeline.check_core().unwrap();
+        let report = pipeline.run().unwrap();
+        assert!(report.verified(), "{}", report.failure_summary());
+        assert_eq!(report.chain_claim().unwrap(), "Impl ⊑ Spec");
+        assert_eq!(report.refinements.len(), 2);
+    }
+
+    #[test]
+    fn effort_report_counts_sloc() {
+        let pipeline = Pipeline::from_source(TWO_STEP).unwrap();
+        let report = pipeline.run().unwrap();
+        let effort = pipeline.effort(&report);
+        assert_eq!(effort.level_sloc.len(), 3);
+        assert!(effort.level_sloc.iter().all(|(_, sloc)| *sloc > 0));
+        assert_eq!(effort.recipes.len(), 2);
+        assert!(effort.total_generated() > 100, "generated proofs are substantial");
+        let text = effort.to_string();
+        assert!(text.contains("nondet_weakening"));
+    }
+
+    #[test]
+    fn broken_proof_is_reported_not_crashed() {
+        let source = r#"
+            level Impl { void main() { print(1); } }
+            level Spec { void main() { print(2); } }
+            proof P { refinement Impl Spec weakening }
+        "#;
+        let pipeline = Pipeline::from_source(source).unwrap();
+        let report = pipeline.run().unwrap();
+        assert!(!report.verified());
+        assert!(!report.failure_summary().is_empty());
+        assert!(report.to_string().contains("NOT VERIFIED"));
+    }
+
+    #[test]
+    fn non_core_implementation_is_rejected() {
+        let source = r#"
+            level Impl { var x: uint32; void main() { x ::= 1; } }
+            level Spec { var x: uint32; void main() { x ::= 1; } }
+            proof P { refinement Impl Spec weakening }
+        "#;
+        let pipeline = Pipeline::from_source(source).unwrap();
+        assert!(pipeline.check_core().is_err());
+    }
+
+    #[test]
+    fn chain_detection_rejects_cycles() {
+        let source = r#"
+            level A { void main() { } }
+            level B { void main() { } }
+            proof P1 { refinement A B weakening }
+            proof P2 { refinement B A weakening }
+        "#;
+        let pipeline = Pipeline::from_source(source).unwrap();
+        assert!(pipeline.level_chain().is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Smoke tests for the `armada` CLI binary: argument parsing, exit codes,
+//! and file IO of the tool driver.
+
+use std::process::Command;
+
+fn armada(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_armada"))
+        .args(args)
+        // Workspace root, so relative spec paths resolve.
+        .current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .output()
+        .expect("spawn the armada binary")
+}
+
+#[test]
+fn verify_subcommand_verifies_the_shipped_spec() {
+    let output = armada(&["verify", "specs/counter.arm"]);
+    assert!(
+        output.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("VERIFIED: Implementation ⊑ SeqCount"));
+    assert!(stdout.contains("tso_elim"));
+}
+
+#[test]
+fn check_and_emit_subcommands_work() {
+    let output = armada(&["check", "specs/counter.arm"]);
+    assert!(output.status.success());
+
+    let output = armada(&["emit-c", "specs/counter.arm"]);
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("#include \"armada_runtime.h\""));
+    assert!(stdout.contains("uint32_t count;"));
+}
+
+#[test]
+fn bad_usage_and_missing_files_fail_cleanly() {
+    let output = armada(&["frobnicate", "specs/counter.arm"]);
+    assert!(!output.status.success());
+
+    let output = armada(&["verify", "specs/does_not_exist.arm"]);
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("cannot read"));
+}
+
+#[test]
+fn broken_proof_exits_nonzero() {
+    let dir = std::env::temp_dir().join("armada_cli_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("broken.arm");
+    std::fs::write(
+        &path,
+        r#"
+        level A { void main() { print(1); } }
+        level B { void main() { print(2); } }
+        proof P { refinement A B weakening }
+        "#,
+    )
+    .expect("write");
+    let output = armada(&["verify", path.to_str().expect("utf8 path")]);
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("NOT VERIFIED"));
+}

@@ -1,0 +1,879 @@
+//! Abstract syntax tree for the Armada language (Figure 7 of the paper).
+//!
+//! A source file is a [`Module`]: a sequence of `level` declarations (each a
+//! complete program), `proof` declarations (recipes connecting adjacent
+//! levels), and an optional module-wide refinement-relation declaration.
+
+use crate::span::Span;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+/// A fixed-width machine integer type (`uint8` … `int64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntType {
+    /// Whether the type is signed (`int8`…`int64`) or unsigned.
+    pub signed: bool,
+    /// Bit width: 8, 16, 32, or 64.
+    pub bits: u8,
+}
+
+impl IntType {
+    /// The unsigned 8-bit type.
+    pub const U8: IntType = IntType { signed: false, bits: 8 };
+    /// The unsigned 16-bit type.
+    pub const U16: IntType = IntType { signed: false, bits: 16 };
+    /// The unsigned 32-bit type.
+    pub const U32: IntType = IntType { signed: false, bits: 32 };
+    /// The unsigned 64-bit type.
+    pub const U64: IntType = IntType { signed: false, bits: 64 };
+    /// The signed 8-bit type.
+    pub const I8: IntType = IntType { signed: true, bits: 8 };
+    /// The signed 16-bit type.
+    pub const I16: IntType = IntType { signed: true, bits: 16 };
+    /// The signed 32-bit type.
+    pub const I32: IntType = IntType { signed: true, bits: 32 };
+    /// The signed 64-bit type.
+    pub const I64: IntType = IntType { signed: true, bits: 64 };
+
+    /// Parses a type keyword such as `"uint32"`.
+    pub fn from_keyword(word: &str) -> Option<IntType> {
+        Some(match word {
+            "uint8" => Self::U8,
+            "uint16" => Self::U16,
+            "uint32" => Self::U32,
+            "uint64" => Self::U64,
+            "int8" => Self::I8,
+            "int16" => Self::I16,
+            "int32" => Self::I32,
+            "int64" => Self::I64,
+            _ => return None,
+        })
+    }
+
+    /// The smallest value of this type.
+    pub fn min_value(&self) -> i128 {
+        if self.signed {
+            -(1i128 << (self.bits - 1))
+        } else {
+            0
+        }
+    }
+
+    /// The largest value of this type.
+    pub fn max_value(&self) -> i128 {
+        if self.signed {
+            (1i128 << (self.bits - 1)) - 1
+        } else {
+            (1i128 << self.bits) - 1
+        }
+    }
+
+    /// Wraps `value` into this type's range using two's-complement semantics,
+    /// matching what the compiled C code would compute.
+    pub fn wrap(&self, value: i128) -> i128 {
+        let modulus = 1i128 << self.bits;
+        let mut wrapped = value.rem_euclid(modulus);
+        if self.signed && wrapped > self.max_value() {
+            wrapped -= modulus;
+        }
+        wrapped
+    }
+
+    /// Returns true if `value` is representable without wrapping.
+    pub fn contains(&self, value: i128) -> bool {
+        value >= self.min_value() && value <= self.max_value()
+    }
+}
+
+impl fmt::Display for IntType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}int{}", if self.signed { "" } else { "u" }, self.bits)
+    }
+}
+
+/// An Armada type.
+///
+/// The first group is compilable *core Armada* (§3.1.1); the rest are
+/// ghost/mathematical types usable in specifications and proof levels only.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Type {
+    /// Fixed-width machine integer.
+    Int(IntType),
+    /// Boolean.
+    Bool,
+    /// Pointer to a value of the inner type; `null` inhabits every pointer
+    /// type.
+    Pointer(Box<Type>),
+    /// Fixed-length array.
+    Array(Box<Type>, u64),
+    /// A named `struct` type declared in the same level.
+    Named(String),
+    /// Mathematical (unbounded) integer — ghost only.
+    MathInt,
+    /// Ghost sequence.
+    Seq(Box<Type>),
+    /// Ghost finite set.
+    Set(Box<Type>),
+    /// Ghost finite map.
+    Map(Box<Type>, Box<Type>),
+    /// Ghost option.
+    Option(Box<Type>),
+}
+
+impl Type {
+    /// Convenience constructor for a pointer type.
+    pub fn ptr(inner: Type) -> Type {
+        Type::Pointer(Box::new(inner))
+    }
+
+    /// Convenience constructor for an array type.
+    pub fn array(elem: Type, len: u64) -> Type {
+        Type::Array(Box::new(elem), len)
+    }
+
+    /// True for types that may appear in compiled (level-0) code.
+    pub fn is_core(&self) -> bool {
+        match self {
+            Type::Int(_) | Type::Bool => true,
+            Type::Pointer(inner) | Type::Array(inner, _) => inner.is_core(),
+            Type::Named(_) => true, // struct fields are checked separately
+            Type::MathInt | Type::Seq(_) | Type::Set(_) | Type::Map(_, _) | Type::Option(_) => {
+                false
+            }
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int(ty) => write!(f, "{ty}"),
+            Type::Bool => write!(f, "bool"),
+            Type::Pointer(inner) => write!(f, "ptr<{inner}>"),
+            Type::Array(elem, len) => write!(f, "{elem}[{len}]"),
+            Type::Named(name) => write!(f, "{name}"),
+            Type::MathInt => write!(f, "int"),
+            Type::Seq(inner) => write!(f, "seq<{inner}>"),
+            Type::Set(inner) => write!(f, "set<{inner}>"),
+            Type::Map(key, value) => write!(f, "map<{key}, {value}>"),
+            Type::Option(inner) => write!(f, "option<{inner}>"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical negation `!e`.
+    Not,
+    /// Bitwise complement `~e`.
+    BitNot,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+        })
+    }
+}
+
+/// Binary operators, in roughly C precedence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` (also ghost sequence concatenation and set union)
+    Add,
+    /// `-` (also ghost set difference)
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `==>`
+    Implies,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl BinOp {
+    /// True for `==`, `!=`, `<`, `<=`, `>`, `>=`.
+    pub fn is_comparison(&self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// True for `&&`, `||`, `==>`.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or | BinOp::Implies)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Implies => "==>",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+        })
+    }
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression proper.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Creates an expression node.
+    pub fn new(kind: ExprKind, span: Span) -> Expr {
+        Expr { kind, span }
+    }
+
+    /// Creates a synthesized expression with no source location.
+    pub fn synthetic(kind: ExprKind) -> Expr {
+        Expr { kind, span: Span::synthetic() }
+    }
+
+    /// True if this expression is syntactically the nondeterministic `*`.
+    pub fn is_nondet(&self) -> bool {
+        matches!(self.kind, ExprKind::Nondet)
+    }
+}
+
+/// Expression kinds (Figure 7, expressions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i128),
+    /// `true` / `false`.
+    BoolLit(bool),
+    /// `null`.
+    Null,
+    /// A variable reference; also `$me` / `$sb_empty` after lexing, but those
+    /// get their own kinds below.
+    Var(String),
+    /// Unary operator application.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operator application.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `&e` — address of an lvalue.
+    AddrOf(Box<Expr>),
+    /// `*e` — pointer dereference.
+    Deref(Box<Expr>),
+    /// `e.field`.
+    Field(Box<Expr>, String),
+    /// `e1[e2]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `*` as a value: nondeterministic choice.
+    Nondet,
+    /// `old(e)` in a two-state predicate.
+    Old(Box<Expr>),
+    /// `allocated(e)`.
+    Allocated(Box<Expr>),
+    /// `allocated_array(e)`.
+    AllocatedArray(Box<Expr>),
+    /// `$me` — the executing thread's id.
+    Me,
+    /// `$sb_empty` — true when the executing thread's store buffer is empty.
+    SbEmpty,
+    /// Application `f(args)` of a ghost function or builtin (`len`,
+    /// `set_add`, `some`, …). Method calls are statements, not expressions.
+    Call(String, Vec<Expr>),
+    /// Ghost sequence literal `[e1, e2, …]`.
+    SeqLit(Vec<Expr>),
+    /// Bounded universal quantifier `forall x in lo .. hi :: body`.
+    Forall {
+        /// Bound variable.
+        var: String,
+        /// Inclusive lower bound.
+        lo: Box<Expr>,
+        /// Exclusive upper bound.
+        hi: Box<Expr>,
+        /// Quantified body.
+        body: Box<Expr>,
+    },
+    /// Bounded existential quantifier `exists x in lo .. hi :: body`.
+    Exists {
+        /// Bound variable.
+        var: String,
+        /// Inclusive lower bound.
+        lo: Box<Expr>,
+        /// Exclusive upper bound.
+        hi: Box<Expr>,
+        /// Quantified body.
+        body: Box<Expr>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// The right-hand side of an assignment or initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rhs {
+    /// An ordinary expression.
+    Expr(Expr),
+    /// `malloc(T)` — allocate a single object.
+    Malloc {
+        /// Type of the object allocated.
+        ty: Type,
+        /// Source location.
+        span: Span,
+    },
+    /// `calloc(T, n)` — allocate an array of `n` objects.
+    Calloc {
+        /// Element type.
+        ty: Type,
+        /// Number of elements.
+        count: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `create_thread m(args)` — spawn a thread; evaluates to its id.
+    CreateThread {
+        /// Name of the method the new thread runs.
+        method: String,
+        /// Arguments passed to the method.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Rhs {
+    /// Source location of the right-hand side.
+    pub fn span(&self) -> Span {
+        match self {
+            Rhs::Expr(e) => e.span,
+            Rhs::Malloc { span, .. }
+            | Rhs::Calloc { span, .. }
+            | Rhs::CreateThread { span, .. } => *span,
+        }
+    }
+}
+
+/// A block of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Source location of the whole block.
+    pub span: Span,
+}
+
+/// A statement with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement proper.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Stmt {
+    /// Creates a statement node.
+    pub fn new(kind: StmtKind, span: Span) -> Stmt {
+        Stmt { kind, span }
+    }
+}
+
+/// Statement kinds (Figure 7, statements).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `var x: T;` / `var x: T := rhs;` / `ghost var …`.
+    VarDecl {
+        /// Whether the variable is ghost (sequentially consistent, any type).
+        ghost: bool,
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Optional initializer.
+        init: Option<Rhs>,
+    },
+    /// Multi-assignment `lhs, … := rhs, …;` — `sc` selects the
+    /// TSO-bypassing (sequentially consistent) `::=` form.
+    Assign {
+        /// Left-hand sides (lvalue expressions).
+        lhs: Vec<Expr>,
+        /// Right-hand sides; must match `lhs` in length.
+        rhs: Vec<Rhs>,
+        /// `true` for `::=`, `false` for `:=`/`=`.
+        sc: bool,
+    },
+    /// A bare call statement `m(args);` (a method call, e.g. `lock(&m)`).
+    CallStmt {
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `if cond S1 [else S2]`.
+    If {
+        /// Guard.
+        cond: Expr,
+        /// Then branch.
+        then_block: Block,
+        /// Optional else branch.
+        else_block: Option<Block>,
+    },
+    /// `while cond [invariant e]* S`.
+    While {
+        /// Guard.
+        cond: Expr,
+        /// Loop invariants.
+        invariants: Vec<Expr>,
+        /// Body.
+        body: Block,
+    },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return;` / `return e;`
+    Return(Option<Expr>),
+    /// `assert e;` — crashes the program if `e` is false (§3.1.2).
+    Assert(Expr),
+    /// `assume e;` — an enablement condition: the statement (and thus the
+    /// thread) cannot step unless `e` holds.
+    Assume(Expr),
+    /// `somehow requires… modifies… ensures…;` — declarative atomic action.
+    Somehow {
+        /// Preconditions; violating one is undefined behavior.
+        requires: Vec<Expr>,
+        /// Lvalues that may change (the frame).
+        modifies: Vec<Expr>,
+        /// Two-state postconditions relating `old(·)` to the new state.
+        ensures: Vec<Expr>,
+    },
+    /// `dealloc e;`
+    Dealloc(Expr),
+    /// `join e;`
+    Join(Expr),
+    /// `label L: S`.
+    Label(String, Box<Stmt>),
+    /// `explicit_yield { … }` — atomic except at `yield;` points (§3.1.2).
+    ExplicitYield(Block),
+    /// `yield;` — a yield point inside an `explicit_yield` block.
+    Yield,
+    /// `atomic { … }` — fully atomic block (full Armada only).
+    Atomic(Block),
+    /// `print(e, …);` — appends values to the observable event log. The
+    /// paper models output via external methods appending to a ghost log;
+    /// we provide it as a builtin so refinement relations have an observable
+    /// channel out of the box.
+    Print(Vec<Expr>),
+    /// `fence;` — drains the executing thread's store buffer.
+    Fence,
+    /// A nested block `{ … }`.
+    Block(Block),
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+/// A formal parameter or struct field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A level-scope variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalVar {
+    /// Whether the variable is ghost.
+    pub ghost: bool,
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Optional initializer expression (must be constant-evaluable).
+    pub init: Option<Expr>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `struct` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDecl {
+    /// Struct name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<Param>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A method (procedure) declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDecl {
+    /// Method name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Return type; `None` for `void`.
+    pub ret: Option<Type>,
+    /// Name of the return value (`returns (name: T)`), used by body-less
+    /// external models whose `ensures` clauses constrain it.
+    pub ret_name: Option<String>,
+    /// Marked `{:extern}` — models a runtime/library/hardware routine.
+    pub external: bool,
+    /// `requires` clauses.
+    pub requires: Vec<Expr>,
+    /// `ensures` clauses.
+    pub ensures: Vec<Expr>,
+    /// `modifies` clauses (lvalues).
+    pub modifies: Vec<Expr>,
+    /// `reads` clauses (lvalues), used by the default external-method model.
+    pub reads: Vec<Expr>,
+    /// The body. External methods may omit it, in which case the default
+    /// Figure-8 model applies.
+    pub body: Option<Block>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A ghost pure function `function f(x: T, …): R { expr }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDecl {
+    /// Function name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Result type.
+    pub ret: Type,
+    /// Defining expression.
+    pub body: Expr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A declaration inside a level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// Level-scope (global) variable.
+    Var(GlobalVar),
+    /// Struct type.
+    Struct(StructDecl),
+    /// Method.
+    Method(MethodDecl),
+    /// Ghost pure function.
+    Function(FunctionDecl),
+}
+
+/// A `level` declaration: one complete program in the refinement series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Level {
+    /// Level name, referenced by recipes.
+    pub name: String,
+    /// Declarations.
+    pub decls: Vec<Decl>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Level {
+    /// Iterates over the level's method declarations.
+    pub fn methods(&self) -> impl Iterator<Item = &MethodDecl> {
+        self.decls.iter().filter_map(|d| match d {
+            Decl::Method(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Looks up a method by name.
+    pub fn method(&self, name: &str) -> Option<&MethodDecl> {
+        self.methods().find(|m| m.name == name)
+    }
+
+    /// Iterates over the level's global variables.
+    pub fn globals(&self) -> impl Iterator<Item = &GlobalVar> {
+        self.decls.iter().filter_map(|d| match d {
+            Decl::Var(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Looks up a struct by name.
+    pub fn struct_decl(&self, name: &str) -> Option<&StructDecl> {
+        self.decls.iter().find_map(|d| match d {
+            Decl::Struct(s) if s.name == name => Some(s),
+            _ => None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recipes
+// ---------------------------------------------------------------------------
+
+/// The eight proof strategies of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// §4.2.4 — per-statement behavior-superset replacement.
+    Weakening,
+    /// §4.2.5 — weakening where the high level introduces nondeterminism.
+    NondetWeakening,
+    /// §4.2.6 — an atomic block becomes a single weaker statement.
+    Combining,
+    /// §4.2.2 — rely-guarantee justified enablement-condition introduction.
+    AssumeIntro,
+    /// §4.2.3 — `:=` becomes `::=` under an ownership discipline.
+    TsoElim,
+    /// §4.2.1 — Cohen–Lamport reduction: yield points disappear.
+    Reduction,
+    /// §4.2.7 — the high level gains (ghost) variables and assignments.
+    VarIntro,
+    /// §4.2.8 — the high level loses variables the low level only assigns.
+    VarHiding,
+}
+
+impl StrategyKind {
+    /// The recipe keyword for this strategy.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            StrategyKind::Weakening => "weakening",
+            StrategyKind::NondetWeakening => "nondet_weakening",
+            StrategyKind::Combining => "combining",
+            StrategyKind::AssumeIntro => "assume_intro",
+            StrategyKind::TsoElim => "tso_elim",
+            StrategyKind::Reduction => "reduction",
+            StrategyKind::VarIntro => "var_intro",
+            StrategyKind::VarHiding => "var_hiding",
+        }
+    }
+
+    /// Parses a recipe keyword.
+    pub fn from_keyword(word: &str) -> Option<StrategyKind> {
+        Some(match word {
+            "weakening" => StrategyKind::Weakening,
+            "nondet_weakening" => StrategyKind::NondetWeakening,
+            "combining" => StrategyKind::Combining,
+            "assume_intro" => StrategyKind::AssumeIntro,
+            "tso_elim" => StrategyKind::TsoElim,
+            "reduction" => StrategyKind::Reduction,
+            "var_intro" => StrategyKind::VarIntro,
+            "var_hiding" => StrategyKind::VarHiding,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A predicate supplied in a recipe as a quoted string, kept both as source
+/// text (for effort accounting) and parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredicateSource {
+    /// The original quoted text.
+    pub text: String,
+    /// The parsed expression.
+    pub expr: Expr,
+}
+
+/// Developer-supplied lemma customization (§4.1.2): free-form proof text the
+/// discharge engine treats as an oracle hint, the analogue of a hand-written
+/// Dafny lemma accompanying a generated one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LemmaCustomization {
+    /// Lemma name.
+    pub name: String,
+    /// Facts the lemma establishes, as parsed predicates.
+    pub establishes: Vec<PredicateSource>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `proof` declaration: the recipe for one adjacent-level refinement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recipe {
+    /// Recipe name.
+    pub name: String,
+    /// Name of the lower (more concrete) level.
+    pub low: String,
+    /// Name of the higher (more abstract) level.
+    pub high: String,
+    /// Which strategy generates the proof.
+    pub strategy: StrategyKind,
+    /// For `tso_elim`: the variables whose assignments become `::=`, each
+    /// with its ownership predicate (over globals, ghosts, and `$me`).
+    pub tso_vars: Vec<(String, PredicateSource)>,
+    /// For `var_intro` / `var_hiding`: the variables introduced or hidden.
+    /// Empty means "infer from the level diff".
+    pub variables: Vec<String>,
+    /// Developer-supplied invariants.
+    pub invariants: Vec<PredicateSource>,
+    /// Developer-supplied rely-guarantee (two-state) predicates; `old(·)`
+    /// refers to the pre-state of the environment step.
+    pub rely: Vec<PredicateSource>,
+    /// Enable Steensgaard region-based pointer reasoning (§4.1.1).
+    pub use_regions: bool,
+    /// Enable the cheaper all-addresses-valid-and-distinct invariant.
+    pub use_address_invariant: bool,
+    /// Lemma customizations.
+    pub lemmas: Vec<LemmaCustomization>,
+    /// Source location.
+    pub span: Span,
+}
+
+// ---------------------------------------------------------------------------
+// Module
+// ---------------------------------------------------------------------------
+
+/// Built-in refinement relations (§3.1.3). The developer may also supply a
+/// custom predicate over the pair of states.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelationKind {
+    /// The low level's event log is a prefix of the high level's, and if the
+    /// low level terminated normally the logs agree. This is the paper's
+    /// console-log example and the default.
+    LogPrefix,
+    /// Logs must be equal whenever both programs have exited.
+    LogEqualAtExit,
+    /// A custom predicate over `low_log` / `high_log` and termination flags.
+    Custom(PredicateSource),
+}
+
+/// A whole Armada source file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Levels in declaration order (level 0 = implementation first, by
+    /// convention; recipes name levels explicitly so order is documentation).
+    pub levels: Vec<Level>,
+    /// Proof recipes.
+    pub recipes: Vec<Recipe>,
+    /// The module-wide refinement relation; defaults to
+    /// [`RelationKind::LogPrefix`] when absent.
+    pub relation: Option<RelationKind>,
+}
+
+impl Module {
+    /// Looks up a level by name.
+    pub fn level(&self, name: &str) -> Option<&Level> {
+        self.levels.iter().find(|l| l.name == name)
+    }
+
+    /// The effective refinement relation.
+    pub fn relation(&self) -> RelationKind {
+        self.relation.clone().unwrap_or(RelationKind::LogPrefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_type_wrapping_matches_twos_complement() {
+        assert_eq!(IntType::U8.wrap(256), 0);
+        assert_eq!(IntType::U8.wrap(-1), 255);
+        assert_eq!(IntType::I8.wrap(128), -128);
+        assert_eq!(IntType::I8.wrap(-129), 127);
+        assert_eq!(IntType::U32.wrap(0xFFFF_FFFF), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn int_type_bounds() {
+        assert_eq!(IntType::U32.max_value(), u32::MAX as i128);
+        assert_eq!(IntType::I64.min_value(), i64::MIN as i128);
+        assert!(IntType::I16.contains(-32768));
+        assert!(!IntType::I16.contains(32768));
+    }
+
+    #[test]
+    fn type_display_round_trips_structure() {
+        let ty = Type::ptr(Type::array(Type::Int(IntType::U64), 100));
+        assert_eq!(ty.to_string(), "ptr<uint64[100]>");
+    }
+
+    #[test]
+    fn core_types_exclude_ghost_types() {
+        assert!(Type::Int(IntType::U8).is_core());
+        assert!(Type::ptr(Type::Bool).is_core());
+        assert!(!Type::MathInt.is_core());
+        assert!(!Type::Seq(Box::new(Type::Bool)).is_core());
+    }
+
+    #[test]
+    fn strategy_keywords_round_trip() {
+        for kind in [
+            StrategyKind::Weakening,
+            StrategyKind::NondetWeakening,
+            StrategyKind::Combining,
+            StrategyKind::AssumeIntro,
+            StrategyKind::TsoElim,
+            StrategyKind::Reduction,
+            StrategyKind::VarIntro,
+            StrategyKind::VarHiding,
+        ] {
+            assert_eq!(StrategyKind::from_keyword(kind.keyword()), Some(kind));
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! The *core Armada* subset checker (§3.1.1).
+//!
+//! Only the implementation level (level 0) is compiled to executable code,
+//! and the compiler rejects programs outside the core subset: fixed-width
+//! integers, pointers, structs and single-dimensional arrays, structured
+//! control flow, allocation, and threading. Ghost state, `somehow`,
+//! nondeterminism, mathematical types, quantifiers, atomic blocks, and
+//! TSO-bypassing assignment are proof/specification devices and are rejected
+//! here.
+//!
+//! The checker also enforces the hardware-atomicity rule: *each statement may
+//! have at most one shared-location access* (§3.1.1), counting references to
+//! non-ghost global variables and pointer dereferences.
+
+use crate::ast::*;
+use crate::error::{LangError, LangResult};
+use crate::typeck::LevelInfo;
+
+/// Checks that `level` lies within the compilable core subset.
+///
+/// `info` must be the symbol table produced by
+/// [`crate::typeck::check_module`] for this level. External methods are
+/// exempt from the body checks: their bodies are concurrency-aware *models*
+/// (Figure 8), not compiled code.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] with kind [`crate::error::LangErrorKind::Core`]
+/// naming the offending construct.
+pub fn check_core(level: &Level, info: &LevelInfo) -> LangResult<()> {
+    for decl in &level.decls {
+        match decl {
+            Decl::Var(var) => {
+                // Ghost globals are permitted at the implementation level:
+                // they exist only so external-method *models* (e.g. a print
+                // log) have state to talk about, and the compiler erases
+                // them. Using one from compiled code is rejected below.
+                if var.ghost {
+                    continue;
+                }
+                if !var.ty.is_core() {
+                    return Err(LangError::core(
+                        var.span,
+                        format!("global `{}` has non-core type `{}`", var.name, var.ty),
+                    ));
+                }
+            }
+            Decl::Struct(decl) => {
+                for field in &decl.fields {
+                    if !field.ty.is_core() {
+                        return Err(LangError::core(
+                            field.span,
+                            format!(
+                                "struct field `{}.{}` has non-core type `{}`",
+                                decl.name, field.name, field.ty
+                            ),
+                        ));
+                    }
+                }
+            }
+            Decl::Function(func) => {
+                return Err(LangError::core(
+                    func.span,
+                    format!("ghost function `{}` is not compilable", func.name),
+                ));
+            }
+            Decl::Method(method) => {
+                if method.external {
+                    continue; // external models are not compiled
+                }
+                if let Some(ret) = &method.ret {
+                    if !ret.is_core() {
+                        return Err(LangError::core(
+                            method.span,
+                            format!("method `{}` returns non-core type `{ret}`", method.name),
+                        ));
+                    }
+                }
+                for param in &method.params {
+                    if !param.ty.is_core() {
+                        return Err(LangError::core(
+                            param.span,
+                            format!(
+                                "parameter `{}` of `{}` has non-core type `{}`",
+                                param.name, method.name, param.ty
+                            ),
+                        ));
+                    }
+                }
+                if let Some(body) = &method.body {
+                    check_block(body, info)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_block(block: &Block, info: &LevelInfo) -> LangResult<()> {
+    for stmt in &block.stmts {
+        check_stmt(stmt, info)?;
+    }
+    Ok(())
+}
+
+fn check_stmt(stmt: &Stmt, info: &LevelInfo) -> LangResult<()> {
+    match &stmt.kind {
+        StmtKind::VarDecl { ghost, name, ty, init } => {
+            if *ghost {
+                return Err(LangError::core(
+                    stmt.span,
+                    format!("ghost local `{name}` is not compilable"),
+                ));
+            }
+            if !ty.is_core() {
+                return Err(LangError::core(
+                    stmt.span,
+                    format!("local `{name}` has non-core type `{ty}`"),
+                ));
+            }
+            if let Some(Rhs::Expr(expr)) = init {
+                check_expr(expr, info)?;
+            }
+            check_shared_access_budget(stmt, info)?;
+        }
+        StmtKind::Assign { lhs, rhs, sc } => {
+            if *sc {
+                return Err(LangError::core(
+                    stmt.span,
+                    "TSO-bypassing assignment `::=` is a proof device, not compilable",
+                ));
+            }
+            for target in lhs {
+                check_expr(target, info)?;
+            }
+            for value in rhs {
+                if let Rhs::Expr(expr) = value {
+                    check_expr(expr, info)?;
+                }
+            }
+            check_shared_access_budget(stmt, info)?;
+        }
+        StmtKind::CallStmt { args, .. } => {
+            for arg in args {
+                check_expr(arg, info)?;
+            }
+            check_shared_access_budget(stmt, info)?;
+        }
+        StmtKind::If { cond, then_block, else_block } => {
+            check_expr(cond, info)?;
+            check_guard_access(cond, info)?;
+            check_block(then_block, info)?;
+            if let Some(els) = else_block {
+                check_block(els, info)?;
+            }
+        }
+        StmtKind::While { cond, invariants, body } => {
+            check_expr(cond, info)?;
+            check_guard_access(cond, info)?;
+            // Loop invariants are proof annotations; they are erased by the
+            // compiler, so we permit (and ignore) them here.
+            let _ = invariants;
+            check_block(body, info)?;
+        }
+        StmtKind::Break | StmtKind::Continue | StmtKind::Fence => {}
+        StmtKind::Return(value) => {
+            if let Some(expr) = value {
+                check_expr(expr, info)?;
+            }
+        }
+        StmtKind::Assert(cond) => check_expr(cond, info)?,
+        StmtKind::Assume(_) => {
+            return Err(LangError::core(
+                stmt.span,
+                "`assume` (enablement condition) is a proof device, not compilable",
+            ))
+        }
+        StmtKind::Somehow { .. } => {
+            return Err(LangError::core(
+                stmt.span,
+                "`somehow` is a specification device, not compilable",
+            ))
+        }
+        StmtKind::Dealloc(target) => check_expr(target, info)?,
+        StmtKind::Join(handle) => check_expr(handle, info)?,
+        StmtKind::Label(_, inner) => check_stmt(inner, info)?,
+        StmtKind::ExplicitYield(_) | StmtKind::Yield | StmtKind::Atomic(_) => {
+            return Err(LangError::core(
+                stmt.span,
+                "atomicity blocks are proof devices, not compilable",
+            ))
+        }
+        StmtKind::Print(args) => {
+            for arg in args {
+                check_expr(arg, info)?;
+            }
+        }
+        StmtKind::Block(body) => check_block(body, info)?,
+    }
+    Ok(())
+}
+
+fn check_expr(expr: &Expr, info: &LevelInfo) -> LangResult<()> {
+    use ExprKind::*;
+    match &expr.kind {
+        Nondet => Err(LangError::core(expr.span, "`*` (nondeterminism) is not compilable")),
+        Old(_) => Err(LangError::core(expr.span, "`old(…)` is not compilable")),
+        SbEmpty => Err(LangError::core(expr.span, "`$sb_empty` is not compilable")),
+        Allocated(_) | AllocatedArray(_) => Err(LangError::core(
+            expr.span,
+            "`allocated` predicates are specification devices, not compilable",
+        )),
+        Forall { .. } | Exists { .. } => {
+            Err(LangError::core(expr.span, "quantifiers are not compilable"))
+        }
+        SeqLit(_) => Err(LangError::core(expr.span, "ghost sequence literals are not compilable")),
+        Call(name, args) => {
+            // Methods compile to calls; ghost functions and collection
+            // builtins do not exist at runtime.
+            if !info.methods.contains_key(name) {
+                return Err(LangError::core(
+                    expr.span,
+                    format!("call to non-method `{name}` is not compilable"),
+                ));
+            }
+            for arg in args {
+                check_expr(arg, info)?;
+            }
+            Ok(())
+        }
+        Unary(_, operand) | AddrOf(operand) | Deref(operand) => check_expr(operand, info),
+        Binary(_, lhs, rhs) => {
+            check_expr(lhs, info)?;
+            check_expr(rhs, info)
+        }
+        Field(base, _) => check_expr(base, info),
+        Index(base, index) => {
+            check_expr(base, info)?;
+            check_expr(index, info)
+        }
+        Var(name) => match info.global(name) {
+            Some(global) if global.ghost => Err(LangError::core(
+                expr.span,
+                format!("compiled code references ghost variable `{name}`"),
+            )),
+            _ => Ok(()),
+        },
+        IntLit(_) | BoolLit(_) | Null | Me => Ok(()),
+    }
+}
+
+/// Counts shared-location accesses in an expression: references to non-ghost
+/// globals plus pointer dereferences. A chain like `(*p).f[i]` counts once —
+/// it is a single load — so `Field`/`Index` do not add to their base's count.
+fn count_shared_accesses(expr: &Expr, info: &LevelInfo) -> usize {
+    use ExprKind::*;
+    match &expr.kind {
+        Var(name) => match info.global(name) {
+            Some(global) if !global.ghost => 1,
+            _ => 0,
+        },
+        Deref(operand) => {
+            // The dereference is one access; address computation inside may
+            // itself read shared state (e.g. `*(gp + i)` reads `gp` too).
+            1 + count_shared_accesses(operand, info)
+        }
+        AddrOf(operand) => {
+            // Taking an address reads nothing; but computing the lvalue may
+            // (e.g. `&(*p).f` reads `p` if `p` is shared). Address-of a bare
+            // global reads nothing.
+            count_address_accesses(operand, info)
+        }
+        Field(base, _) => count_shared_accesses(base, info),
+        Index(base, index) => count_shared_accesses(base, info) + count_shared_accesses(index, info),
+        Unary(_, operand) => count_shared_accesses(operand, info),
+        Binary(_, lhs, rhs) => {
+            count_shared_accesses(lhs, info) + count_shared_accesses(rhs, info)
+        }
+        Call(_, args) => args.iter().map(|a| count_shared_accesses(a, info)).sum(),
+        SeqLit(elems) => elems.iter().map(|e| count_shared_accesses(e, info)).sum(),
+        Old(inner) => count_shared_accesses(inner, info),
+        _ => 0,
+    }
+}
+
+/// Accesses performed when computing the *address* of an lvalue (not loading
+/// from it).
+fn count_address_accesses(expr: &Expr, info: &LevelInfo) -> usize {
+    use ExprKind::*;
+    match &expr.kind {
+        Var(_) => 0,
+        Deref(operand) => count_shared_accesses(operand, info),
+        Field(base, _) => count_address_accesses(base, info),
+        Index(base, index) => {
+            count_address_accesses(base, info) + count_shared_accesses(index, info)
+        }
+        _ => count_shared_accesses(expr, info),
+    }
+}
+
+fn stmt_shared_accesses(stmt: &Stmt, info: &LevelInfo) -> usize {
+    match &stmt.kind {
+        StmtKind::VarDecl { init: Some(Rhs::Expr(expr)), .. } => {
+            count_shared_accesses(expr, info)
+        }
+        StmtKind::VarDecl { .. } => 0,
+        StmtKind::Assign { lhs, rhs, .. } => {
+            let lhs_accesses: usize = lhs
+                .iter()
+                .map(|target| match &target.kind {
+                    // Writing a global is one access; writing through a
+                    // pointer is one access plus whatever computing the
+                    // address reads.
+                    ExprKind::Var(name) => match info.global(name) {
+                        Some(global) if !global.ghost => 1,
+                        _ => 0,
+                    },
+                    _ => 1 + count_address_accesses(target, info),
+                })
+                .sum();
+            let rhs_accesses: usize = rhs
+                .iter()
+                .map(|value| match value {
+                    Rhs::Expr(expr) => count_shared_accesses(expr, info),
+                    Rhs::Calloc { count, .. } => count_shared_accesses(count, info),
+                    Rhs::CreateThread { args, .. } => {
+                        args.iter().map(|a| count_shared_accesses(a, info)).sum()
+                    }
+                    Rhs::Malloc { .. } => 0,
+                })
+                .sum();
+            lhs_accesses + rhs_accesses
+        }
+        StmtKind::CallStmt { args, .. } => {
+            args.iter().map(|a| count_shared_accesses(a, info)).sum()
+        }
+        _ => 0,
+    }
+}
+
+fn check_shared_access_budget(stmt: &Stmt, info: &LevelInfo) -> LangResult<()> {
+    let count = stmt_shared_accesses(stmt, info);
+    if count > 1 {
+        return Err(LangError::core(
+            stmt.span,
+            format!(
+                "statement performs {count} shared-location accesses; \
+                 the hardware supports at most one atomic shared access per statement"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn check_guard_access(cond: &Expr, info: &LevelInfo) -> LangResult<()> {
+    let count = count_shared_accesses(cond, info);
+    if count > 1 {
+        return Err(LangError::core(
+            cond.span,
+            format!("guard performs {count} shared-location accesses; at most one is allowed"),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+    use crate::typeck::check_module;
+
+    fn core_result(source: &str) -> LangResult<()> {
+        let module = parse_module(source).expect("parse");
+        let typed = check_module(&module).expect("typecheck");
+        check_core(&module.levels[0], &typed.levels[0])
+    }
+
+    #[test]
+    fn accepts_core_program() {
+        core_result(
+            r#"level Impl {
+                var best: uint32 := 100;
+                void main() {
+                    var len: uint32 := 3;
+                    if (len < best) { best := len; }
+                    print(best);
+                }
+            }"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_ghost_and_somehow_and_nondet() {
+        // Ghost globals are tolerated (erased), but compiled code may not
+        // read or write them.
+        assert!(core_result(
+            "level L { ghost var g: int; void main() { g := 1; } }"
+        )
+        .is_err());
+        assert!(core_result(
+            "level L { var x: uint32; void main() { somehow modifies x; } }"
+        )
+        .is_err());
+        assert!(core_result(
+            "level L { var x: uint32; void main() { x := *; } }"
+        )
+        .is_err());
+        assert!(core_result(
+            "level L { var x: uint32; void main() { x ::= 1; } }"
+        )
+        .is_err());
+        assert!(core_result(
+            "level L { void main() { atomic { } } }"
+        )
+        .is_err());
+        assert!(core_result(
+            "level L { var x: uint32; void main() { assume x == 0; } }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn enforces_one_shared_access_per_statement() {
+        // best := best + 1 reads and writes the global: two accesses.
+        let err = core_result(
+            "level L { var best: uint32; void main() { best := best + 1; } }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("shared-location accesses"));
+        // A local intermediary fixes it.
+        core_result(
+            r#"level L {
+                var best: uint32;
+                void main() {
+                    var t: uint32 := best;
+                    t := t + 1;
+                    best := t;
+                }
+            }"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn guard_with_two_globals_is_rejected() {
+        let err = core_result(
+            "level L { var a: uint32; var b: uint32; void main() { if (a < b) { } } }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("guard"));
+    }
+
+    #[test]
+    fn deref_counts_as_shared_access() {
+        let err = core_result(
+            r#"level L {
+                void main() {
+                    var p: ptr<uint32> := malloc(uint32);
+                    var q: ptr<uint32> := malloc(uint32);
+                    *p := *q;
+                }
+            }"#,
+        )
+        .unwrap_err();
+        assert!(err.message().contains("shared-location accesses"));
+    }
+
+    #[test]
+    fn external_method_models_are_exempt() {
+        core_result(
+            r#"level L {
+                ghost var log: seq<int>;
+                method {:extern} PrintInteger(n: uint32) {
+                    somehow modifies log ensures log == old(log) + [n];
+                }
+                void main() { PrintInteger(3); }
+            }"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn local_accesses_are_free() {
+        core_result(
+            r#"level L {
+                void main() {
+                    var a: uint32 := 1;
+                    var b: uint32 := 2;
+                    var c: uint32 := a + b + a + b;
+                    print(c);
+                }
+            }"#,
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! Diagnostics for the language front end.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// Result alias used throughout the front end.
+pub type LangResult<T> = Result<T, LangError>;
+
+/// An error produced while lexing, parsing, resolving, or type checking an
+/// Armada module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    kind: LangErrorKind,
+    message: String,
+    span: Span,
+}
+
+/// The stage that produced a [`LangError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LangErrorKind {
+    /// Malformed token (unterminated string, stray character, overflow).
+    Lex,
+    /// Syntax error.
+    Parse,
+    /// Unknown name, duplicate definition, or misused symbol.
+    Resolve,
+    /// Ill-typed expression or statement.
+    Type,
+    /// Program uses full-Armada features outside the compilable core subset
+    /// (§3.1.1), or violates the one-shared-access-per-statement rule.
+    Core,
+}
+
+impl LangError {
+    /// Creates an error of the given kind at `span`.
+    pub fn new(kind: LangErrorKind, span: Span, message: impl Into<String>) -> Self {
+        LangError { kind, message: message.into(), span }
+    }
+
+    /// Convenience constructor for lexer errors.
+    pub fn lex(span: Span, message: impl Into<String>) -> Self {
+        Self::new(LangErrorKind::Lex, span, message)
+    }
+
+    /// Convenience constructor for parser errors.
+    pub fn parse(span: Span, message: impl Into<String>) -> Self {
+        Self::new(LangErrorKind::Parse, span, message)
+    }
+
+    /// Convenience constructor for resolver errors.
+    pub fn resolve(span: Span, message: impl Into<String>) -> Self {
+        Self::new(LangErrorKind::Resolve, span, message)
+    }
+
+    /// Convenience constructor for type errors.
+    pub fn ty(span: Span, message: impl Into<String>) -> Self {
+        Self::new(LangErrorKind::Type, span, message)
+    }
+
+    /// Convenience constructor for core-subset violations.
+    pub fn core(span: Span, message: impl Into<String>) -> Self {
+        Self::new(LangErrorKind::Core, span, message)
+    }
+
+    /// The stage that produced the error.
+    pub fn kind(&self) -> LangErrorKind {
+        self.kind
+    }
+
+    /// The human-readable message, without location prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where in the source the error occurred.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.kind {
+            LangErrorKind::Lex => "lex",
+            LangErrorKind::Parse => "parse",
+            LangErrorKind::Resolve => "resolve",
+            LangErrorKind::Type => "type",
+            LangErrorKind::Core => "core",
+        };
+        write!(f, "{} error at {}: {}", stage, self.span, self.message)
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_and_location() {
+        let err = LangError::parse(Span::new(0, 1, 2, 7), "expected `;`");
+        assert_eq!(err.to_string(), "parse error at 2:7: expected `;`");
+        assert_eq!(err.kind(), LangErrorKind::Parse);
+        assert_eq!(err.message(), "expected `;`");
+    }
+}

@@ -1,0 +1,352 @@
+//! Hand-rolled lexer for the Armada language.
+
+use crate::error::{LangError, LangResult};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `source` into a vector of tokens ending with [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on stray characters, unterminated strings or block
+/// comments, and integer literals that overflow `i128`.
+pub fn lex(source: &str) -> LangResult<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn peek3(&self) -> Option<u8> {
+        self.src.get(self.pos + 2).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let byte = self.peek()?;
+        self.pos += 1;
+        if byte == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(byte)
+    }
+
+    fn span_from(&self, start: usize, line: u32, col: u32) -> Span {
+        Span::new(start as u32, self.pos as u32, line, col)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        let span = self.span_from(start, line, col);
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn run(mut self) -> LangResult<Vec<Token>> {
+        while let Some(byte) = self.peek() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            match byte {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == b'*' && self.peek() == Some(b'/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(LangError::lex(
+                            self.span_from(start, line, col),
+                            "unterminated block comment",
+                        ));
+                    }
+                }
+                b'"' => self.lex_string(start, line, col)?,
+                b'0'..=b'9' => self.lex_number(start, line, col)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => self.lex_word(start, line, col),
+                _ => self.lex_punct(start, line, col)?,
+            }
+        }
+        let span = Span::new(self.pos as u32, self.pos as u32, self.line, self.col);
+        self.tokens.push(Token { kind: TokenKind::Eof, span });
+        Ok(self.tokens)
+    }
+
+    fn lex_string(&mut self, start: usize, line: u32, col: u32) -> LangResult<()> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => value.push('\n'),
+                    Some(b't') => value.push('\t'),
+                    Some(b'"') => value.push('"'),
+                    Some(b'\\') => value.push('\\'),
+                    other => {
+                        return Err(LangError::lex(
+                            self.span_from(start, line, col),
+                            format!("invalid escape `\\{}`", other.map(char::from).unwrap_or(' ')),
+                        ))
+                    }
+                },
+                Some(other) => value.push(other as char),
+                None => {
+                    return Err(LangError::lex(
+                        self.span_from(start, line, col),
+                        "unterminated string literal",
+                    ))
+                }
+            }
+        }
+        self.push(TokenKind::Str(value), start, line, col);
+        Ok(())
+    }
+
+    fn lex_number(&mut self, start: usize, line: u32, col: u32) -> LangResult<()> {
+        let radix = if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X'))
+        {
+            self.bump();
+            self.bump();
+            16
+        } else {
+            10
+        };
+        let mut value: i128 = 0;
+        let mut saw_digit = radix == 10 && {
+            // the leading `0` of a hex literal was consumed above; for decimal
+            // we have not consumed anything yet
+            false
+        };
+        while let Some(c) = self.peek() {
+            let digit = match c {
+                b'0'..=b'9' => (c - b'0') as i128,
+                b'a'..=b'f' if radix == 16 => (c - b'a' + 10) as i128,
+                b'A'..=b'F' if radix == 16 => (c - b'A' + 10) as i128,
+                b'_' => {
+                    self.bump();
+                    continue;
+                }
+                _ => break,
+            };
+            saw_digit = true;
+            value = value
+                .checked_mul(radix)
+                .and_then(|v| v.checked_add(digit))
+                .ok_or_else(|| {
+                    LangError::lex(self.span_from(start, line, col), "integer literal overflows")
+                })?;
+            self.bump();
+        }
+        if !saw_digit {
+            return Err(LangError::lex(
+                self.span_from(start, line, col),
+                "expected digits after `0x`",
+            ));
+        }
+        self.push(TokenKind::Int(value), start, line, col);
+        Ok(())
+    }
+
+    fn lex_word(&mut self, start: usize, line: u32, col: u32) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || (c == b'$' && self.pos == start) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // `$me` / `$sb_empty`: the `$` is only legal as the first character.
+        let word = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        let kind = TokenKind::keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string()));
+        self.push(kind, start, line, col);
+    }
+
+    fn lex_punct(&mut self, start: usize, line: u32, col: u32) -> LangResult<()> {
+        use TokenKind::*;
+        let a = self.peek().unwrap_or(0);
+        let b = self.peek2();
+        let c = self.peek3();
+        let (kind, len) = match (a, b, c) {
+            (b':', Some(b':'), Some(b'=')) => (AssignSc, 3),
+            (b'=', Some(b'='), Some(b'>')) => (Implies, 3),
+            (b':', Some(b':'), _) => (ColonColon, 2),
+            (b':', Some(b'='), _) => (Assign, 2),
+            (b'=', Some(b'='), _) => (EqEq, 2),
+            (b'!', Some(b'='), _) => (NotEq, 2),
+            (b'<', Some(b'='), _) => (Le, 2),
+            (b'>', Some(b'='), _) => (Ge, 2),
+            (b'<', Some(b'<'), _) => (Shl, 2),
+            (b'>', Some(b'>'), _) => (Shr, 2),
+            (b'&', Some(b'&'), _) => (AmpAmp, 2),
+            (b'|', Some(b'|'), _) => (PipePipe, 2),
+            (b'.', Some(b'.'), _) => (DotDot, 2),
+            (b'(', ..) => (LParen, 1),
+            (b')', ..) => (RParen, 1),
+            (b'{', ..) => (LBrace, 1),
+            (b'}', ..) => (RBrace, 1),
+            (b'[', ..) => (LBracket, 1),
+            (b']', ..) => (RBracket, 1),
+            (b';', ..) => (Semi, 1),
+            (b',', ..) => (Comma, 1),
+            (b'.', ..) => (Dot, 1),
+            (b':', ..) => (Colon, 1),
+            (b'=', ..) => (Eq, 1),
+            (b'<', ..) => (Lt, 1),
+            (b'>', ..) => (Gt, 1),
+            (b'+', ..) => (Plus, 1),
+            (b'-', ..) => (Minus, 1),
+            (b'*', ..) => (Star, 1),
+            (b'/', ..) => (Slash, 1),
+            (b'%', ..) => (Percent, 1),
+            (b'&', ..) => (Amp, 1),
+            (b'|', ..) => (Pipe, 1),
+            (b'^', ..) => (Caret, 1),
+            (b'!', ..) => (Bang, 1),
+            (b'~', ..) => (Tilde, 1),
+            _ => {
+                return Err(LangError::lex(
+                    Span::new(start as u32, start as u32 + 1, line, col),
+                    format!("unexpected character `{}`", a as char),
+                ))
+            }
+        };
+        for _ in 0..len {
+            self.bump();
+        }
+        self.push(kind, start, line, col);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_assignment_operators_with_maximal_munch() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x ::= 1; y := 2; z = 3;"),
+            vec![
+                Ident("x".into()),
+                AssignSc,
+                Int(1),
+                Semi,
+                Ident("y".into()),
+                Assign,
+                Int(2),
+                Semi,
+                Ident("z".into()),
+                Eq,
+                Int(3),
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_and_underscored_literals() {
+        assert_eq!(kinds("0xFF 1_000"), vec![TokenKind::Int(255), TokenKind::Int(1000), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lexes_meta_variables() {
+        assert_eq!(
+            kinds("$me $sb_empty"),
+            vec![
+                TokenKind::Ident("$me".into()),
+                TokenKind::Ident("$sb_empty".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        assert_eq!(kinds("a // c\n /* x\ny */ b"), vec![
+            TokenKind::Ident("a".into()),
+            TokenKind::Ident("b".into()),
+            TokenKind::Eof
+        ]);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_literal() {
+        assert!(lex("999999999999999999999999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!(tokens[0].span.line, 1);
+        assert_eq!(tokens[1].span.line, 2);
+        assert_eq!(tokens[1].span.col, 3);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let tokens = lex(r#""a\n\"b\\""#).unwrap();
+        assert_eq!(tokens[0].kind, TokenKind::Str("a\n\"b\\".into()));
+    }
+
+    #[test]
+    fn implication_and_shift_disambiguation() {
+        use TokenKind::*;
+        assert_eq!(kinds("a ==> b >> 2"), vec![
+            Ident("a".into()),
+            Implies,
+            Ident("b".into()),
+            Shr,
+            Int(2),
+            Eof
+        ]);
+    }
+}

@@ -1,0 +1,1533 @@
+//! Recursive-descent parser for the Armada language.
+//!
+//! The grammar follows Figure 7 of the paper, with the surface conveniences
+//! its examples use: C-like method headers (`void worker() { … }`), `=` as a
+//! synonym for `:=`, and parenthesized or bare guards.
+//!
+//! Predicates supplied inside recipes as quoted strings (ownership predicates
+//! for `tso_elim`, invariants, rely predicates) are parsed by re-entering the
+//! expression parser on the string contents; their spans are relative to the
+//! quoted text.
+
+use crate::ast::*;
+use crate::error::{LangError, LangResult};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete Armada module (levels, recipes, refinement relation).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntax error encountered.
+///
+/// # Example
+///
+/// ```
+/// let module = armada_lang::parse_module(
+///     "level L { void main() { print(1); } }",
+/// ).unwrap();
+/// assert_eq!(module.levels[0].name, "L");
+/// ```
+pub fn parse_module(source: &str) -> LangResult<Module> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(tokens);
+    parser.module()
+}
+
+/// Parses a single expression, e.g. a recipe's ownership predicate.
+///
+/// # Errors
+///
+/// Returns an error if `source` is not exactly one expression.
+pub fn parse_expr(source: &str) -> LangResult<Expr> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(tokens);
+    let expr = parser.expr()?;
+    parser.expect(TokenKind::Eof)?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, offset: usize) -> &TokenKind {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if *self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> LangResult<Span> {
+        if *self.peek() == kind {
+            let span = self.span();
+            self.advance();
+            Ok(span)
+        } else {
+            Err(LangError::parse(
+                self.span(),
+                format!("expected `{kind}`, found {}", self.peek().describe()),
+            ))
+        }
+    }
+
+    /// Consumes one `>`; splits a `>>` token in two so nested generics like
+    /// `ptr<ptr<T>>` parse.
+    fn expect_gt(&mut self) -> LangResult<()> {
+        match self.peek() {
+            TokenKind::Gt => {
+                self.advance();
+                Ok(())
+            }
+            TokenKind::Shr => {
+                self.tokens[self.pos].kind = TokenKind::Gt;
+                Ok(())
+            }
+            other => Err(LangError::parse(
+                self.span(),
+                format!("expected `>`, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn ident(&mut self) -> LangResult<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(LangError::parse(
+                self.span(),
+                format!("expected identifier, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn string_lit(&mut self) -> LangResult<String> {
+        match self.peek().clone() {
+            TokenKind::Str(text) => {
+                self.advance();
+                Ok(text)
+            }
+            other => Err(LangError::parse(
+                self.span(),
+                format!("expected string literal, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn predicate_source(&mut self) -> LangResult<PredicateSource> {
+        let span = self.span();
+        let text = self.string_lit()?;
+        let expr = parse_expr(&text).map_err(|err| {
+            LangError::parse(span, format!("in quoted predicate `{text}`: {err}"))
+        })?;
+        Ok(PredicateSource { text, expr })
+    }
+
+    // -- module ------------------------------------------------------------
+
+    fn module(&mut self) -> LangResult<Module> {
+        let mut module = Module::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Level => module.levels.push(self.level()?),
+                TokenKind::Proof => module.recipes.push(self.recipe()?),
+                TokenKind::Refinement => {
+                    let relation = self.relation_decl()?;
+                    if module.relation.is_some() {
+                        return Err(LangError::parse(
+                            self.prev_span(),
+                            "duplicate refinement relation declaration",
+                        ));
+                    }
+                    module.relation = Some(relation);
+                }
+                other => {
+                    return Err(LangError::parse(
+                        self.span(),
+                        format!(
+                            "expected `level`, `proof`, or `refinement`, found {}",
+                            other.describe()
+                        ),
+                    ))
+                }
+            }
+        }
+        Ok(module)
+    }
+
+    fn relation_decl(&mut self) -> LangResult<RelationKind> {
+        self.expect(TokenKind::Refinement)?;
+        // `refinement relation <name|string> ;?`
+        let word = self.ident()?;
+        if word != "relation" {
+            return Err(LangError::parse(
+                self.prev_span(),
+                "expected `relation` after `refinement` at module scope",
+            ));
+        }
+        let relation = match self.peek().clone() {
+            TokenKind::Ident(name) if name == "log_prefix" => {
+                self.advance();
+                RelationKind::LogPrefix
+            }
+            TokenKind::Ident(name) if name == "log_equal_at_exit" => {
+                self.advance();
+                RelationKind::LogEqualAtExit
+            }
+            TokenKind::Str(_) => RelationKind::Custom(self.predicate_source()?),
+            other => {
+                return Err(LangError::parse(
+                    self.span(),
+                    format!(
+                        "expected `log_prefix`, `log_equal_at_exit`, or a quoted predicate, \
+                         found {}",
+                        other.describe()
+                    ),
+                ))
+            }
+        };
+        self.eat(TokenKind::Semi);
+        Ok(relation)
+    }
+
+    // -- levels and declarations -------------------------------------------
+
+    fn level(&mut self) -> LangResult<Level> {
+        let start = self.expect(TokenKind::Level)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut decls = Vec::new();
+        while !self.eat(TokenKind::RBrace) {
+            decls.push(self.decl()?);
+        }
+        Ok(Level { name, decls, span: start.join(self.prev_span()) })
+    }
+
+    fn decl(&mut self) -> LangResult<Decl> {
+        match self.peek() {
+            TokenKind::Var | TokenKind::Ghost => Ok(Decl::Var(self.global_var()?)),
+            TokenKind::Struct => Ok(Decl::Struct(self.struct_decl()?)),
+            TokenKind::Method => Ok(Decl::Method(self.method_decl_dafny_style()?)),
+            TokenKind::Function => Ok(Decl::Function(self.function_decl()?)),
+            TokenKind::Void => Ok(Decl::Method(self.method_decl_c_style(None)?)),
+            _ if self.starts_type() => {
+                let ty = self.ty()?;
+                Ok(Decl::Method(self.method_decl_c_style(Some(ty))?))
+            }
+            other => Err(LangError::parse(
+                self.span(),
+                format!("expected declaration, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn starts_type(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::FixedIntTy(_)
+                | TokenKind::BoolTy
+                | TokenKind::IntTy
+                | TokenKind::PtrTy
+                | TokenKind::SeqTy
+                | TokenKind::SetTy
+                | TokenKind::MapTy
+                | TokenKind::OptionTy
+        ) || matches!(
+            (self.peek(), self.peek_at(1)),
+            (TokenKind::Ident(_), TokenKind::Ident(_))
+        )
+    }
+
+    fn global_var(&mut self) -> LangResult<GlobalVar> {
+        let start = self.span();
+        let ghost = self.eat(TokenKind::Ghost);
+        self.expect(TokenKind::Var)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::Colon)?;
+        let ty = self.ty()?;
+        let init = if self.eat(TokenKind::Assign) || self.eat(TokenKind::Eq) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::Semi)?;
+        Ok(GlobalVar { ghost, name, ty, init, span: start.join(self.prev_span()) })
+    }
+
+    fn struct_decl(&mut self) -> LangResult<StructDecl> {
+        let start = self.expect(TokenKind::Struct)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(TokenKind::RBrace) {
+            let field_start = self.span();
+            self.eat(TokenKind::Var);
+            let field_name = self.ident()?;
+            self.expect(TokenKind::Colon)?;
+            let ty = self.ty()?;
+            self.expect(TokenKind::Semi)?;
+            fields.push(Param { name: field_name, ty, span: field_start.join(self.prev_span()) });
+        }
+        Ok(StructDecl { name, fields, span: start.join(self.prev_span()) })
+    }
+
+    /// `method [{:extern}] name(params) [returns (r: T)] spec* (body | ;)`
+    fn method_decl_dafny_style(&mut self) -> LangResult<MethodDecl> {
+        let start = self.expect(TokenKind::Method)?;
+        let mut external = false;
+        if self.eat(TokenKind::LBrace) {
+            self.expect(TokenKind::Colon)?;
+            self.expect(TokenKind::Extern)?;
+            self.expect(TokenKind::RBrace)?;
+            external = true;
+        }
+        let name = self.ident()?;
+        let params = self.params()?;
+        let mut ret = None;
+        let mut ret_name = None;
+        if let TokenKind::Ident(word) = self.peek() {
+            if word == "returns" {
+                self.advance();
+                self.expect(TokenKind::LParen)?;
+                // Allow `returns (r: T)` or `returns (T)`.
+                if matches!(self.peek(), TokenKind::Ident(_))
+                    && *self.peek_at(1) == TokenKind::Colon
+                {
+                    ret_name = Some(self.ident()?);
+                    self.expect(TokenKind::Colon)?;
+                }
+                ret = Some(self.ty()?);
+                self.expect(TokenKind::RParen)?;
+            }
+        }
+        self.finish_method(start, name, params, ret, ret_name, external)
+    }
+
+    /// `void name(params) spec* { body }` / `T name(params) spec* { body }`
+    fn method_decl_c_style(&mut self, ret: Option<Type>) -> LangResult<MethodDecl> {
+        let start = self.span();
+        let ret = match ret {
+            Some(ty) => Some(ty),
+            None => {
+                self.expect(TokenKind::Void)?;
+                None
+            }
+        };
+        let name = self.ident()?;
+        let params = self.params()?;
+        self.finish_method(start, name, params, ret, None, false)
+    }
+
+    fn finish_method(
+        &mut self,
+        start: Span,
+        name: String,
+        params: Vec<Param>,
+        ret: Option<Type>,
+        ret_name: Option<String>,
+        external: bool,
+    ) -> LangResult<MethodDecl> {
+        let mut method = MethodDecl {
+            name,
+            params,
+            ret,
+            ret_name,
+            external,
+            requires: Vec::new(),
+            ensures: Vec::new(),
+            modifies: Vec::new(),
+            reads: Vec::new(),
+            body: None,
+            span: start,
+        };
+        loop {
+            match self.peek() {
+                TokenKind::Requires => {
+                    self.advance();
+                    method.requires.push(self.expr()?);
+                }
+                TokenKind::Ensures => {
+                    self.advance();
+                    method.ensures.push(self.expr()?);
+                }
+                TokenKind::Modifies => {
+                    self.advance();
+                    method.modifies.push(self.expr()?);
+                }
+                TokenKind::Reads => {
+                    self.advance();
+                    method.reads.push(self.expr()?);
+                }
+                _ => break,
+            }
+        }
+        if self.eat(TokenKind::Semi) {
+            // body-less declaration (external model by Figure 8)
+        } else {
+            method.body = Some(self.block()?);
+        }
+        method.span = start.join(self.prev_span());
+        Ok(method)
+    }
+
+    fn function_decl(&mut self) -> LangResult<FunctionDecl> {
+        let start = self.expect(TokenKind::Function)?;
+        let name = self.ident()?;
+        let params = self.params()?;
+        self.expect(TokenKind::Colon)?;
+        let ret = self.ty()?;
+        self.expect(TokenKind::LBrace)?;
+        let body = self.expr()?;
+        self.expect(TokenKind::RBrace)?;
+        Ok(FunctionDecl { name, params, ret, body, span: start.join(self.prev_span()) })
+    }
+
+    fn params(&mut self) -> LangResult<Vec<Param>> {
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(TokenKind::RParen) {
+            loop {
+                let start = self.span();
+                let name = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.ty()?;
+                params.push(Param { name, ty, span: start.join(self.prev_span()) });
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        Ok(params)
+    }
+
+    // -- types ---------------------------------------------------------------
+
+    fn ty(&mut self) -> LangResult<Type> {
+        let base = match self.peek().clone() {
+            TokenKind::FixedIntTy(word) => {
+                self.advance();
+                Type::Int(IntType::from_keyword(word).expect("lexer produced valid keyword"))
+            }
+            TokenKind::BoolTy => {
+                self.advance();
+                Type::Bool
+            }
+            TokenKind::IntTy => {
+                self.advance();
+                Type::MathInt
+            }
+            TokenKind::PtrTy => {
+                self.advance();
+                self.expect(TokenKind::Lt)?;
+                let inner = self.ty()?;
+                self.expect_gt()?;
+                Type::ptr(inner)
+            }
+            TokenKind::SeqTy => {
+                self.advance();
+                self.expect(TokenKind::Lt)?;
+                let inner = self.ty()?;
+                self.expect_gt()?;
+                Type::Seq(Box::new(inner))
+            }
+            TokenKind::SetTy => {
+                self.advance();
+                self.expect(TokenKind::Lt)?;
+                let inner = self.ty()?;
+                self.expect_gt()?;
+                Type::Set(Box::new(inner))
+            }
+            TokenKind::MapTy => {
+                self.advance();
+                self.expect(TokenKind::Lt)?;
+                let key = self.ty()?;
+                self.expect(TokenKind::Comma)?;
+                let value = self.ty()?;
+                self.expect_gt()?;
+                Type::Map(Box::new(key), Box::new(value))
+            }
+            TokenKind::OptionTy => {
+                self.advance();
+                self.expect(TokenKind::Lt)?;
+                let inner = self.ty()?;
+                self.expect_gt()?;
+                Type::Option(Box::new(inner))
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                Type::Named(name)
+            }
+            other => {
+                return Err(LangError::parse(
+                    self.span(),
+                    format!("expected type, found {}", other.describe()),
+                ))
+            }
+        };
+        // Array postfixes: `uint64[100]`, `T[2][3]` (C layout: array of 2
+        // arrays of 3).
+        let mut lens = Vec::new();
+        while *self.peek() == TokenKind::LBracket {
+            self.advance();
+            let len = match self.peek().clone() {
+                TokenKind::Int(value) if value >= 0 => {
+                    self.advance();
+                    value as u64
+                }
+                other => {
+                    return Err(LangError::parse(
+                        self.span(),
+                        format!("expected array length, found {}", other.describe()),
+                    ))
+                }
+            };
+            self.expect(TokenKind::RBracket)?;
+            lens.push(len);
+        }
+        let mut ty = base;
+        for &len in lens.iter().rev() {
+            ty = Type::array(ty, len);
+        }
+        Ok(ty)
+    }
+
+    // -- statements -----------------------------------------------------------
+
+    fn block(&mut self) -> LangResult<Block> {
+        let start = self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts, span: start.join(self.prev_span()) })
+    }
+
+    fn stmt(&mut self) -> LangResult<Stmt> {
+        let start = self.span();
+        let kind = match self.peek().clone() {
+            TokenKind::Var | TokenKind::Ghost => self.var_decl_stmt()?,
+            TokenKind::If => self.if_stmt()?,
+            TokenKind::While => self.while_stmt()?,
+            TokenKind::Break => {
+                self.advance();
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Break
+            }
+            TokenKind::Continue => {
+                self.advance();
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Continue
+            }
+            TokenKind::Return => {
+                self.advance();
+                let value =
+                    if *self.peek() == TokenKind::Semi { None } else { Some(self.expr()?) };
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Return(value)
+            }
+            TokenKind::Assert => {
+                self.advance();
+                let cond = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Assert(cond)
+            }
+            TokenKind::Assume => {
+                self.advance();
+                let cond = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Assume(cond)
+            }
+            TokenKind::Somehow => self.somehow_stmt()?,
+            TokenKind::Dealloc => {
+                self.advance();
+                let target = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Dealloc(target)
+            }
+            TokenKind::Join => {
+                self.advance();
+                let handle = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Join(handle)
+            }
+            TokenKind::Label => {
+                self.advance();
+                let name = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                let inner = self.stmt()?;
+                StmtKind::Label(name, Box::new(inner))
+            }
+            TokenKind::ExplicitYield => {
+                self.advance();
+                StmtKind::ExplicitYield(self.block()?)
+            }
+            TokenKind::Yield => {
+                self.advance();
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Yield
+            }
+            TokenKind::Atomic => {
+                self.advance();
+                StmtKind::Atomic(self.block()?)
+            }
+            TokenKind::Print => {
+                self.advance();
+                self.expect(TokenKind::LParen)?;
+                let mut args = Vec::new();
+                if !self.eat(TokenKind::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                }
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Print(args)
+            }
+            TokenKind::Fence => {
+                self.advance();
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Fence
+            }
+            TokenKind::LBrace => StmtKind::Block(self.block()?),
+            _ => self.simple_stmt()?,
+        };
+        Ok(Stmt::new(kind, start.join(self.prev_span())))
+    }
+
+    fn var_decl_stmt(&mut self) -> LangResult<StmtKind> {
+        let ghost = self.eat(TokenKind::Ghost);
+        self.expect(TokenKind::Var)?;
+        // `var a: T, b: T2;` is not in the grammar; one variable per decl,
+        // but the paper writes `var i:int32 := 0, s:Solution, len:uint32;`.
+        // We desugar that comma form into the first decl and re-queue is not
+        // possible, so we support it by returning a Block of decls.
+        let mut decls = Vec::new();
+        loop {
+            let start = self.span();
+            let name = self.ident()?;
+            self.expect(TokenKind::Colon)?;
+            let ty = self.ty()?;
+            let init = if self.eat(TokenKind::Assign) || self.eat(TokenKind::Eq) {
+                Some(self.rhs()?)
+            } else {
+                None
+            };
+            decls.push(Stmt::new(
+                StmtKind::VarDecl { ghost, name, ty, init },
+                start.join(self.prev_span()),
+            ));
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::Semi)?;
+        if decls.len() == 1 {
+            Ok(decls.pop().expect("one decl").kind)
+        } else {
+            let span = decls[0].span.join(decls.last().expect("nonempty").span);
+            Ok(StmtKind::Block(Block { stmts: decls, span }))
+        }
+    }
+
+    fn if_stmt(&mut self) -> LangResult<StmtKind> {
+        self.expect(TokenKind::If)?;
+        let cond = self.expr()?;
+        let then_block = self.block_or_single_stmt()?;
+        let else_block = if self.eat(TokenKind::Else) {
+            if *self.peek() == TokenKind::If {
+                let start = self.span();
+                let nested = self.stmt()?;
+                let span = start.join(self.prev_span());
+                Some(Block { stmts: vec![nested], span })
+            } else {
+                Some(self.block_or_single_stmt()?)
+            }
+        } else {
+            None
+        };
+        Ok(StmtKind::If { cond, then_block, else_block })
+    }
+
+    fn while_stmt(&mut self) -> LangResult<StmtKind> {
+        self.expect(TokenKind::While)?;
+        let cond = self.expr()?;
+        let mut invariants = Vec::new();
+        while self.eat(TokenKind::Invariant) {
+            invariants.push(self.expr()?);
+        }
+        let body = self.block_or_single_stmt()?;
+        Ok(StmtKind::While { cond, invariants, body })
+    }
+
+    fn block_or_single_stmt(&mut self) -> LangResult<Block> {
+        if *self.peek() == TokenKind::LBrace {
+            self.block()
+        } else {
+            let start = self.span();
+            let stmt = self.stmt()?;
+            let span = start.join(self.prev_span());
+            Ok(Block { stmts: vec![stmt], span })
+        }
+    }
+
+    fn somehow_stmt(&mut self) -> LangResult<StmtKind> {
+        self.expect(TokenKind::Somehow)?;
+        let mut requires = Vec::new();
+        let mut modifies = Vec::new();
+        let mut ensures = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Requires => {
+                    self.advance();
+                    requires.push(self.expr()?);
+                }
+                TokenKind::Modifies => {
+                    self.advance();
+                    modifies.push(self.expr()?);
+                }
+                TokenKind::Ensures => {
+                    self.advance();
+                    ensures.push(self.expr()?);
+                }
+                _ => break,
+            }
+        }
+        self.expect(TokenKind::Semi)?;
+        Ok(StmtKind::Somehow { requires, modifies, ensures })
+    }
+
+    /// Assignment or bare call.
+    fn simple_stmt(&mut self) -> LangResult<StmtKind> {
+        let first = self.expr()?;
+        match self.peek() {
+            TokenKind::Assign | TokenKind::AssignSc | TokenKind::Eq | TokenKind::Comma => {
+                let mut lhs = vec![first];
+                while self.eat(TokenKind::Comma) {
+                    lhs.push(self.expr()?);
+                }
+                let sc = match self.advance() {
+                    TokenKind::Assign | TokenKind::Eq => false,
+                    TokenKind::AssignSc => true,
+                    other => {
+                        return Err(LangError::parse(
+                            self.prev_span(),
+                            format!("expected `:=` or `::=`, found {}", other.describe()),
+                        ))
+                    }
+                };
+                let mut rhs = vec![self.rhs()?];
+                while self.eat(TokenKind::Comma) {
+                    rhs.push(self.rhs()?);
+                }
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtKind::Assign { lhs, rhs, sc })
+            }
+            TokenKind::Semi => {
+                self.advance();
+                match first.kind {
+                    ExprKind::Call(method, args) => Ok(StmtKind::CallStmt { method, args }),
+                    _ => Err(LangError::parse(
+                        first.span,
+                        "expression statement must be a call",
+                    )),
+                }
+            }
+            other => Err(LangError::parse(
+                self.span(),
+                format!("expected `:=`, `::=`, `,`, or `;`, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn rhs(&mut self) -> LangResult<Rhs> {
+        let start = self.span();
+        match self.peek() {
+            TokenKind::Malloc => {
+                self.advance();
+                self.expect(TokenKind::LParen)?;
+                let ty = self.ty()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Rhs::Malloc { ty, span: start.join(self.prev_span()) })
+            }
+            TokenKind::Calloc => {
+                self.advance();
+                self.expect(TokenKind::LParen)?;
+                let ty = self.ty()?;
+                self.expect(TokenKind::Comma)?;
+                let count = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Rhs::Calloc { ty, count, span: start.join(self.prev_span()) })
+            }
+            TokenKind::CreateThread => {
+                self.advance();
+                let method = self.ident()?;
+                self.expect(TokenKind::LParen)?;
+                let mut args = Vec::new();
+                if !self.eat(TokenKind::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                }
+                Ok(Rhs::CreateThread { method, args, span: start.join(self.prev_span()) })
+            }
+            _ => Ok(Rhs::Expr(self.expr()?)),
+        }
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    fn expr(&mut self) -> LangResult<Expr> {
+        self.quantified()
+    }
+
+    fn quantified(&mut self) -> LangResult<Expr> {
+        let start = self.span();
+        let is_forall = match self.peek() {
+            TokenKind::Forall => true,
+            TokenKind::Exists => false,
+            _ => return self.implies(),
+        };
+        self.advance();
+        let var = self.ident()?;
+        self.expect(TokenKind::In)?;
+        let lo = self.implies()?;
+        self.expect(TokenKind::DotDot)?;
+        let hi = self.implies()?;
+        self.expect(TokenKind::ColonColon)?;
+        let body = self.quantified()?;
+        let span = start.join(self.prev_span());
+        let kind = if is_forall {
+            ExprKind::Forall { var, lo: Box::new(lo), hi: Box::new(hi), body: Box::new(body) }
+        } else {
+            ExprKind::Exists { var, lo: Box::new(lo), hi: Box::new(hi), body: Box::new(body) }
+        };
+        Ok(Expr::new(kind, span))
+    }
+
+    fn implies(&mut self) -> LangResult<Expr> {
+        let lhs = self.or()?;
+        if self.eat(TokenKind::Implies) {
+            // right-associative
+            let rhs = self.implies()?;
+            let span = lhs.span.join(rhs.span);
+            Ok(Expr::new(ExprKind::Binary(BinOp::Implies, Box::new(lhs), Box::new(rhs)), span))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn binary_level<F>(&mut self, ops: &[(TokenKind, BinOp)], next: F) -> LangResult<Expr>
+    where
+        F: Fn(&mut Self) -> LangResult<Expr>,
+    {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (token, op) in ops {
+                if self.peek() == token {
+                    self.advance();
+                    let rhs = next(self)?;
+                    let span = lhs.span.join(rhs.span);
+                    lhs =
+                        Expr::new(ExprKind::Binary(*op, Box::new(lhs), Box::new(rhs)), span);
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Ok(lhs)
+    }
+
+    fn or(&mut self) -> LangResult<Expr> {
+        self.binary_level(&[(TokenKind::PipePipe, BinOp::Or)], Self::and)
+    }
+
+    fn and(&mut self) -> LangResult<Expr> {
+        self.binary_level(&[(TokenKind::AmpAmp, BinOp::And)], Self::bitor)
+    }
+
+    fn bitor(&mut self) -> LangResult<Expr> {
+        self.binary_level(&[(TokenKind::Pipe, BinOp::BitOr)], Self::bitxor)
+    }
+
+    fn bitxor(&mut self) -> LangResult<Expr> {
+        self.binary_level(&[(TokenKind::Caret, BinOp::BitXor)], Self::bitand)
+    }
+
+    fn bitand(&mut self) -> LangResult<Expr> {
+        self.binary_level(&[(TokenKind::Amp, BinOp::BitAnd)], Self::equality)
+    }
+
+    fn equality(&mut self) -> LangResult<Expr> {
+        self.binary_level(
+            &[(TokenKind::EqEq, BinOp::Eq), (TokenKind::NotEq, BinOp::Ne)],
+            Self::relational,
+        )
+    }
+
+    fn relational(&mut self) -> LangResult<Expr> {
+        self.binary_level(
+            &[
+                (TokenKind::Le, BinOp::Le),
+                (TokenKind::Ge, BinOp::Ge),
+                (TokenKind::Lt, BinOp::Lt),
+                (TokenKind::Gt, BinOp::Gt),
+            ],
+            Self::shift,
+        )
+    }
+
+    fn shift(&mut self) -> LangResult<Expr> {
+        self.binary_level(
+            &[(TokenKind::Shl, BinOp::Shl), (TokenKind::Shr, BinOp::Shr)],
+            Self::additive,
+        )
+    }
+
+    fn additive(&mut self) -> LangResult<Expr> {
+        self.binary_level(
+            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            Self::multiplicative,
+        )
+    }
+
+    fn multiplicative(&mut self) -> LangResult<Expr> {
+        self.binary_level(
+            &[
+                (TokenKind::Star, BinOp::Mul),
+                (TokenKind::Slash, BinOp::Div),
+                (TokenKind::Percent, BinOp::Mod),
+            ],
+            Self::unary,
+        )
+    }
+
+    /// Tokens that may directly follow a bare `*` used as the
+    /// nondeterministic-choice expression.
+    fn nondet_follows(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::RParen
+                | TokenKind::Semi
+                | TokenKind::Comma
+                | TokenKind::RBracket
+                | TokenKind::RBrace
+                | TokenKind::LBrace
+                | TokenKind::Eof
+        )
+    }
+
+    fn unary(&mut self) -> LangResult<Expr> {
+        let start = self.span();
+        match self.peek() {
+            TokenKind::Minus => {
+                self.advance();
+                let operand = self.unary()?;
+                let span = start.join(operand.span);
+                Ok(Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(operand)), span))
+            }
+            TokenKind::Bang => {
+                self.advance();
+                let operand = self.unary()?;
+                let span = start.join(operand.span);
+                Ok(Expr::new(ExprKind::Unary(UnOp::Not, Box::new(operand)), span))
+            }
+            TokenKind::Tilde => {
+                self.advance();
+                let operand = self.unary()?;
+                let span = start.join(operand.span);
+                Ok(Expr::new(ExprKind::Unary(UnOp::BitNot, Box::new(operand)), span))
+            }
+            TokenKind::Amp => {
+                self.advance();
+                let operand = self.unary()?;
+                let span = start.join(operand.span);
+                Ok(Expr::new(ExprKind::AddrOf(Box::new(operand)), span))
+            }
+            TokenKind::Star => {
+                self.advance();
+                if self.nondet_follows() {
+                    Ok(Expr::new(ExprKind::Nondet, start))
+                } else {
+                    let operand = self.unary()?;
+                    let span = start.join(operand.span);
+                    Ok(Expr::new(ExprKind::Deref(Box::new(operand)), span))
+                }
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> LangResult<Expr> {
+        let mut expr = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.advance();
+                    let field = self.ident()?;
+                    let span = expr.span.join(self.prev_span());
+                    expr = Expr::new(ExprKind::Field(Box::new(expr), field), span);
+                }
+                TokenKind::LBracket => {
+                    self.advance();
+                    let index = self.expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    let span = expr.span.join(self.prev_span());
+                    expr = Expr::new(ExprKind::Index(Box::new(expr), Box::new(index)), span);
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn primary(&mut self) -> LangResult<Expr> {
+        let start = self.span();
+        let kind = match self.peek().clone() {
+            TokenKind::Int(value) => {
+                self.advance();
+                ExprKind::IntLit(value)
+            }
+            TokenKind::True => {
+                self.advance();
+                ExprKind::BoolLit(true)
+            }
+            TokenKind::False => {
+                self.advance();
+                ExprKind::BoolLit(false)
+            }
+            TokenKind::Null => {
+                self.advance();
+                ExprKind::Null
+            }
+            TokenKind::Old => {
+                self.advance();
+                self.expect(TokenKind::LParen)?;
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                ExprKind::Old(Box::new(inner))
+            }
+            TokenKind::Allocated => {
+                self.advance();
+                self.expect(TokenKind::LParen)?;
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                ExprKind::Allocated(Box::new(inner))
+            }
+            TokenKind::AllocatedArray => {
+                self.advance();
+                self.expect(TokenKind::LParen)?;
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                ExprKind::AllocatedArray(Box::new(inner))
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if name == "$me" {
+                    ExprKind::Me
+                } else if name == "$sb_empty" {
+                    ExprKind::SbEmpty
+                } else if self.eat(TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(TokenKind::RParen)?;
+                    }
+                    ExprKind::Call(name, args)
+                } else {
+                    ExprKind::Var(name)
+                }
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                return Ok(Expr::new(inner.kind, start.join(self.prev_span())));
+            }
+            TokenKind::LBracket => {
+                self.advance();
+                let mut elems = Vec::new();
+                if !self.eat(TokenKind::RBracket) {
+                    loop {
+                        elems.push(self.expr()?);
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RBracket)?;
+                }
+                ExprKind::SeqLit(elems)
+            }
+            TokenKind::Star => {
+                // reached only via `(*)`-style parenthesized nondet
+                self.advance();
+                ExprKind::Nondet
+            }
+            other => {
+                return Err(LangError::parse(
+                    start,
+                    format!("expected expression, found {}", other.describe()),
+                ))
+            }
+        };
+        Ok(Expr::new(kind, start.join(self.prev_span())))
+    }
+
+    // -- recipes ----------------------------------------------------------------
+
+    fn recipe(&mut self) -> LangResult<Recipe> {
+        let start = self.expect(TokenKind::Proof)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::LBrace)?;
+        self.expect(TokenKind::Refinement)?;
+        let low = self.ident()?;
+        let high = self.ident()?;
+        self.eat(TokenKind::Semi);
+
+        // Strategy line.
+        let strategy_span = self.span();
+        let strategy_word = self.ident()?;
+        let strategy = StrategyKind::from_keyword(&strategy_word).ok_or_else(|| {
+            LangError::parse(strategy_span, format!("unknown strategy `{strategy_word}`"))
+        })?;
+        let mut recipe = Recipe {
+            name,
+            low,
+            high,
+            strategy,
+            tso_vars: Vec::new(),
+            variables: Vec::new(),
+            invariants: Vec::new(),
+            rely: Vec::new(),
+            use_regions: false,
+            use_address_invariant: false,
+            lemmas: Vec::new(),
+            span: start,
+        };
+        match strategy {
+            StrategyKind::TsoElim => loop {
+                let var = self.ident()?;
+                let pred = self.predicate_source()?;
+                recipe.tso_vars.push((var, pred));
+                let next_is_pair = matches!(
+                    self.peek(), TokenKind::Ident(word) if !self.is_recipe_item_keyword(word)
+                ) && matches!(self.peek_at(1), TokenKind::Str(_));
+                if !next_is_pair {
+                    break;
+                }
+            },
+            StrategyKind::VarIntro | StrategyKind::VarHiding => {
+                while let TokenKind::Ident(word) = self.peek().clone() {
+                    if self.is_recipe_item_keyword(&word) {
+                        break;
+                    }
+                    self.advance();
+                    recipe.variables.push(word);
+                }
+            }
+            _ => {}
+        }
+        self.eat(TokenKind::Semi);
+
+        // Remaining recipe items, in any order.
+        while !self.eat(TokenKind::RBrace) {
+            match self.peek().clone() {
+                TokenKind::Invariant => {
+                    self.advance();
+                    recipe.invariants.push(self.predicate_source()?);
+                }
+                TokenKind::Ident(word) if word == "rely" => {
+                    self.advance();
+                    recipe.rely.push(self.predicate_source()?);
+                }
+                TokenKind::Ident(word) if word == "use_regions" => {
+                    self.advance();
+                    recipe.use_regions = true;
+                }
+                TokenKind::Ident(word) if word == "use_address_invariant" => {
+                    self.advance();
+                    recipe.use_address_invariant = true;
+                }
+                TokenKind::Ident(word) if word == "lemma" => {
+                    self.advance();
+                    let lemma_start = self.span();
+                    let lemma_name = self.ident()?;
+                    self.expect(TokenKind::LBrace)?;
+                    let mut establishes = Vec::new();
+                    while !self.eat(TokenKind::RBrace) {
+                        establishes.push(self.predicate_source()?);
+                        self.eat(TokenKind::Semi);
+                    }
+                    recipe.lemmas.push(LemmaCustomization {
+                        name: lemma_name,
+                        establishes,
+                        span: lemma_start.join(self.prev_span()),
+                    });
+                }
+                TokenKind::Ident(word) if word == "tso_elim" && strategy == StrategyKind::TsoElim =>
+                {
+                    // additional `tso_elim var "pred"` lines
+                    self.advance();
+                    let var = self.ident()?;
+                    let pred = self.predicate_source()?;
+                    recipe.tso_vars.push((var, pred));
+                }
+                TokenKind::Semi => {
+                    self.advance();
+                }
+                other => {
+                    return Err(LangError::parse(
+                        self.span(),
+                        format!("unexpected recipe item {}", other.describe()),
+                    ))
+                }
+            }
+        }
+        recipe.span = start.join(self.prev_span());
+        Ok(recipe)
+    }
+
+    fn is_recipe_item_keyword(&self, word: &str) -> bool {
+        matches!(word, "rely" | "use_regions" | "use_address_invariant" | "lemma")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure2_style_level() {
+        let src = r#"
+        level Implementation {
+            var best_len: uint32 := 0xFFFFFFFF;
+            var mutex: uint32;
+
+            void worker() {
+                var i: int32 := 0, len: uint32;
+                while i < 10000 {
+                    len = get_solution_length();
+                    if (len < best_len) {
+                        lock(&mutex);
+                        if (len < best_len) {
+                            best_len := len;
+                        }
+                        unlock(&mutex);
+                    }
+                    i := i + 1;
+                }
+            }
+
+            void main() {
+                var i: int32 := 0;
+                var a: uint64[100];
+                while i < 100 {
+                    a[i] := create_thread worker();
+                    i := i + 1;
+                }
+                i := 0;
+                while i < 100 {
+                    join a[i];
+                    i := i + 1;
+                }
+                print(best_len);
+            }
+        }
+        "#;
+        let module = parse_module(src).unwrap();
+        let level = &module.levels[0];
+        assert_eq!(level.name, "Implementation");
+        assert_eq!(level.methods().count(), 2);
+        assert_eq!(level.globals().count(), 2);
+        let main = level.method("main").unwrap();
+        assert!(main.body.is_some());
+    }
+
+    #[test]
+    fn parses_nondet_guard_and_assignment() {
+        let module = parse_module(
+            "level L { void main() { var t: uint32; if (*) { t := *; } } }",
+        )
+        .unwrap();
+        let main = module.levels[0].method("main").unwrap();
+        let body = main.body.as_ref().unwrap();
+        match &body.stmts[1].kind {
+            StmtKind::If { cond, .. } => assert!(cond.is_nondet()),
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_somehow_with_clauses() {
+        let module = parse_module(
+            r#"level Spec {
+                ghost var s: int;
+                void main() {
+                    somehow modifies s ensures valid_soln(s);
+                }
+            }"#,
+        )
+        .unwrap();
+        let main = module.levels[0].method("main").unwrap();
+        match &main.body.as_ref().unwrap().stmts[0].kind {
+            StmtKind::Somehow { modifies, ensures, .. } => {
+                assert_eq!(modifies.len(), 1);
+                assert_eq!(ensures.len(), 1);
+            }
+            other => panic!("expected somehow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_tso_bypassing_assignment() {
+        let module =
+            parse_module("level L { var x: uint32; void main() { x ::= 1; } }").unwrap();
+        let main = module.levels[0].method("main").unwrap();
+        match &main.body.as_ref().unwrap().stmts[0].kind {
+            StmtKind::Assign { sc, .. } => assert!(*sc),
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_weakening_recipe() {
+        let module = parse_module(
+            r#"
+            proof ImplementationRefinesArbitraryGuard {
+                refinement Implementation ArbitraryGuard
+                weakening
+            }
+            "#,
+        )
+        .unwrap();
+        let recipe = &module.recipes[0];
+        assert_eq!(recipe.low, "Implementation");
+        assert_eq!(recipe.high, "ArbitraryGuard");
+        assert_eq!(recipe.strategy, StrategyKind::Weakening);
+    }
+
+    #[test]
+    fn parses_tso_elim_recipe_with_ownership_predicate() {
+        let module = parse_module(
+            r#"
+            proof P {
+                refinement ArbitraryGuard BestLenSequential
+                tso_elim best_len "mutex_holder == $me"
+            }
+            "#,
+        )
+        .unwrap();
+        let recipe = &module.recipes[0];
+        assert_eq!(recipe.strategy, StrategyKind::TsoElim);
+        assert_eq!(recipe.tso_vars.len(), 1);
+        assert_eq!(recipe.tso_vars[0].0, "best_len");
+        assert!(matches!(
+            recipe.tso_vars[0].1.expr.kind,
+            ExprKind::Binary(BinOp::Eq, _, _)
+        ));
+    }
+
+    #[test]
+    fn parses_recipe_with_invariants_rely_and_lemma() {
+        let module = parse_module(
+            r#"
+            proof P {
+                refinement A B
+                assume_intro
+                invariant "best_len >= ghost_best"
+                rely "old(ghost_best) >= ghost_best"
+                use_regions
+                lemma BitVector { "x & 1 == x % 2" }
+            }
+            "#,
+        )
+        .unwrap();
+        let recipe = &module.recipes[0];
+        assert_eq!(recipe.invariants.len(), 1);
+        assert_eq!(recipe.rely.len(), 1);
+        assert!(recipe.use_regions);
+        assert_eq!(recipe.lemmas.len(), 1);
+        assert_eq!(recipe.lemmas[0].establishes.len(), 1);
+    }
+
+    #[test]
+    fn parses_explicit_yield_and_atomic_blocks() {
+        let module = parse_module(
+            r#"level L {
+                var m: uint32;
+                void main() {
+                    explicit_yield {
+                        lock(&m);
+                        yield;
+                        unlock(&m);
+                    }
+                    atomic { m := 1; }
+                }
+            }"#,
+        )
+        .unwrap();
+        let main = module.levels[0].method("main").unwrap();
+        let body = main.body.as_ref().unwrap();
+        assert!(matches!(body.stmts[0].kind, StmtKind::ExplicitYield(_)));
+        assert!(matches!(body.stmts[1].kind, StmtKind::Atomic(_)));
+    }
+
+    #[test]
+    fn parses_external_method_with_model_body() {
+        let module = parse_module(
+            r#"level L {
+                ghost var log: seq<int>;
+                method {:extern} PrintInteger(n: uint32) {
+                    somehow modifies log ensures log == old(log) + [n];
+                }
+            }"#,
+        )
+        .unwrap();
+        let method = module.levels[0].method("PrintInteger").unwrap();
+        assert!(method.external);
+        assert!(method.body.is_some());
+    }
+
+    #[test]
+    fn parses_bodyless_external_with_spec() {
+        let module = parse_module(
+            r#"level L {
+                var g: uint32;
+                method {:extern} Cas(p: ptr<uint32>, expected: uint32, desired: uint32)
+                    returns (r: bool)
+                    reads g
+                    modifies g;
+            }"#,
+        )
+        .unwrap();
+        let method = module.levels[0].method("Cas").unwrap();
+        assert!(method.external);
+        assert!(method.body.is_none());
+        assert_eq!(method.ret, Some(Type::Bool));
+    }
+
+    #[test]
+    fn parses_nested_generic_types() {
+        let module = parse_module(
+            "level L { var p: ptr<ptr<uint32>>; ghost var m: map<int, seq<int>>; }",
+        )
+        .unwrap();
+        let globals: Vec<_> = module.levels[0].globals().collect();
+        assert_eq!(globals[0].ty, Type::ptr(Type::ptr(Type::Int(IntType::U32))));
+        assert_eq!(
+            globals[1].ty,
+            Type::Map(Box::new(Type::MathInt), Box::new(Type::Seq(Box::new(Type::MathInt))))
+        );
+    }
+
+    #[test]
+    fn parses_pointer_and_field_expressions() {
+        let expr = parse_expr("(*p).next + arr[i].len").unwrap();
+        assert!(matches!(expr.kind, ExprKind::Binary(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn parses_bounded_quantifiers() {
+        let expr = parse_expr("forall i in 0 .. n :: flags[i] == 1").unwrap();
+        assert!(matches!(expr.kind, ExprKind::Forall { .. }));
+        let expr = parse_expr("exists i in 0 .. 4 :: i * i == 4").unwrap();
+        assert!(matches!(expr.kind, ExprKind::Exists { .. }));
+    }
+
+    #[test]
+    fn precedence_matches_c() {
+        // 1 + 2 * 3 == 7, and & binds tighter than ==? No: in our grammar,
+        // following C, `==` binds tighter than `&`.
+        let expr = parse_expr("a & b == c").unwrap();
+        match expr.kind {
+            ExprKind::Binary(BinOp::BitAnd, _, rhs) => {
+                assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Eq, _, _)));
+            }
+            other => panic!("expected &, got {other:?}"),
+        }
+        let expr = parse_expr("a ==> b ==> c").unwrap();
+        match expr.kind {
+            ExprKind::Binary(BinOp::Implies, _, rhs) => {
+                assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Implies, _, _)));
+            }
+            other => panic!("expected ==>, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_module("level {").is_err());
+        assert!(parse_module("level L { void main() { x := ; } }").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_module("proof P { refinement A B unknown_strategy }").is_err());
+    }
+
+    #[test]
+    fn label_and_join_and_dealloc() {
+        let module = parse_module(
+            r#"level L {
+                void main() {
+                    var p: ptr<uint32> := malloc(uint32);
+                    var t: uint64 := create_thread w(p);
+                    label back: join t;
+                    dealloc p;
+                }
+                void w(p: ptr<uint32>) { *p := 1; }
+            }"#,
+        )
+        .unwrap();
+        let main = module.levels[0].method("main").unwrap();
+        let body = main.body.as_ref().unwrap();
+        assert!(matches!(body.stmts[2].kind, StmtKind::Label(_, _)));
+        assert!(matches!(body.stmts[3].kind, StmtKind::Dealloc(_)));
+    }
+}

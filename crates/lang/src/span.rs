@@ -1,0 +1,99 @@
+//! Source locations.
+//!
+//! Every token and AST node carries a [`Span`] so that diagnostics from the
+//! type checker, the core-subset checker, and the proof strategies can point
+//! at the offending program text, mirroring the error-reporting story of the
+//! paper (§2.2: failed recipes produce statement-level error messages).
+
+use std::fmt;
+
+/// A half-open byte range into a source string, with 1-based line/column of
+/// its start for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end` at the given line and column.
+    pub fn new(start: u32, end: u32, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// A span that points nowhere; used for synthesized AST nodes.
+    pub fn synthetic() -> Self {
+        Span::default()
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    ///
+    /// Synthetic spans are ignored so that joining with a synthesized node
+    /// does not destroy location information.
+    pub fn join(self, other: Span) -> Span {
+        if self == Span::synthetic() {
+            return other;
+        }
+        if other == Span::synthetic() {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+            col: if self.start <= other.start { self.col } else { other.col },
+        }
+    }
+
+    /// Extracts the text this span covers from `source`.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        let start = self.start as usize;
+        let end = (self.end as usize).min(source.len());
+        source.get(start..end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_extends_both_directions() {
+        let a = Span::new(4, 8, 1, 5);
+        let b = Span::new(10, 12, 2, 1);
+        let joined = a.join(b);
+        assert_eq!(joined.start, 4);
+        assert_eq!(joined.end, 12);
+        assert_eq!(joined.line, 1);
+    }
+
+    #[test]
+    fn join_with_synthetic_keeps_real_span() {
+        let a = Span::new(4, 8, 1, 5);
+        assert_eq!(a.join(Span::synthetic()), a);
+        assert_eq!(Span::synthetic().join(a), a);
+    }
+
+    #[test]
+    fn text_slices_source() {
+        let span = Span::new(4, 7, 1, 5);
+        assert_eq!(span.text("let foo = 1;"), "foo");
+    }
+
+    #[test]
+    fn display_shows_line_and_column() {
+        assert_eq!(Span::new(0, 1, 3, 9).to_string(), "3:9");
+    }
+}

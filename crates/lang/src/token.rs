@@ -1,0 +1,417 @@
+//! Token definitions for the Armada lexer.
+
+use std::fmt;
+
+/// A lexical token together with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it came from.
+    pub span: crate::span::Span,
+}
+
+/// The kinds of token the Armada lexer produces.
+///
+/// Keywords are distinguished from identifiers by the lexer. Strategy names
+/// appearing inside `proof` recipes (`weakening`, `tso_elim`, …) are ordinary
+/// identifiers; the recipe parser interprets them contextually, which keeps
+/// them usable as variable names in programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier, including `$me` / `$sb_empty` meta-variables.
+    Ident(String),
+    /// Integer literal. Hexadecimal literals (`0xFFFF`) are folded to values.
+    Int(i128),
+    /// Double-quoted string literal (used in recipes for predicates).
+    Str(String),
+
+    // --- declaration keywords ---
+    /// `level`
+    Level,
+    /// `proof`
+    Proof,
+    /// `refinement`
+    Refinement,
+    /// `struct`
+    Struct,
+    /// `method`
+    Method,
+    /// `function`
+    Function,
+    /// `var`
+    Var,
+    /// `ghost`
+    Ghost,
+    /// `void`
+    Void,
+    /// `extern` (inside a `{:extern}` attribute)
+    Extern,
+
+    // --- statement keywords ---
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `return`
+    Return,
+    /// `assert`
+    Assert,
+    /// `assume`
+    Assume,
+    /// `somehow`
+    Somehow,
+    /// `requires`
+    Requires,
+    /// `ensures`
+    Ensures,
+    /// `modifies`
+    Modifies,
+    /// `reads`
+    Reads,
+    /// `invariant`
+    Invariant,
+    /// `malloc`
+    Malloc,
+    /// `calloc`
+    Calloc,
+    /// `dealloc`
+    Dealloc,
+    /// `create_thread`
+    CreateThread,
+    /// `join`
+    Join,
+    /// `explicit_yield`
+    ExplicitYield,
+    /// `yield`
+    Yield,
+    /// `atomic`
+    Atomic,
+    /// `label`
+    Label,
+    /// `print`
+    Print,
+    /// `fence`
+    Fence,
+
+    // --- expression keywords ---
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+    /// `old`
+    Old,
+    /// `allocated`
+    Allocated,
+    /// `allocated_array`
+    AllocatedArray,
+    /// `in` (for `forall x in lo .. hi :: body`)
+    In,
+    /// `forall`
+    Forall,
+    /// `exists`
+    Exists,
+
+    // --- type keywords ---
+    /// `bool`
+    BoolTy,
+    /// `int` (mathematical integer, ghost-only)
+    IntTy,
+    /// Fixed-width integer type keyword: `uint8` … `int64`. The payload is
+    /// the keyword text, e.g. `"uint32"`.
+    FixedIntTy(&'static str),
+    /// `ptr`
+    PtrTy,
+    /// `seq`
+    SeqTy,
+    /// `set`
+    SetTy,
+    /// `map`
+    MapTy,
+    /// `option`
+    OptionTy,
+
+    // --- punctuation ---
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `:=`
+    Assign,
+    /// `::=`
+    AssignSc,
+    /// `=` (accepted as a synonym for `:=`, as in the paper's examples)
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `^`
+    Caret,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==>` (implication, for recipe predicates and invariants)
+    Implies,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword token for `word`, if it is a keyword.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match word {
+            "level" => Level,
+            "proof" => Proof,
+            "refinement" => Refinement,
+            "struct" => Struct,
+            "method" => Method,
+            "function" => Function,
+            "var" => Var,
+            "ghost" => Ghost,
+            "void" => Void,
+            "extern" => Extern,
+            "if" => If,
+            "else" => Else,
+            "while" => While,
+            "break" => Break,
+            "continue" => Continue,
+            "return" => Return,
+            "assert" => Assert,
+            "assume" => Assume,
+            "somehow" => Somehow,
+            "requires" => Requires,
+            "ensures" => Ensures,
+            "modifies" => Modifies,
+            "reads" => Reads,
+            "invariant" => Invariant,
+            "malloc" => Malloc,
+            "calloc" => Calloc,
+            "dealloc" => Dealloc,
+            "create_thread" => CreateThread,
+            "join" => Join,
+            "explicit_yield" => ExplicitYield,
+            "yield" => Yield,
+            "atomic" => Atomic,
+            "label" => Label,
+            "print" => Print,
+            "fence" => Fence,
+            "true" => True,
+            "false" => False,
+            "null" => Null,
+            "old" => Old,
+            "allocated" => Allocated,
+            "allocated_array" => AllocatedArray,
+            "in" => In,
+            "forall" => Forall,
+            "exists" => Exists,
+            "bool" => BoolTy,
+            "int" => IntTy,
+            "uint8" => FixedIntTy("uint8"),
+            "uint16" => FixedIntTy("uint16"),
+            "uint32" => FixedIntTy("uint32"),
+            "uint64" => FixedIntTy("uint64"),
+            "int8" => FixedIntTy("int8"),
+            "int16" => FixedIntTy("int16"),
+            "int32" => FixedIntTy("int32"),
+            "int64" => FixedIntTy("int64"),
+            "ptr" => PtrTy,
+            "seq" => SeqTy,
+            "set" => SetTy,
+            "map" => MapTy,
+            "option" => OptionTy,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Ident(name) => format!("identifier `{name}`"),
+            Int(value) => format!("integer `{value}`"),
+            Str(_) => "string literal".to_string(),
+            Eof => "end of input".to_string(),
+            other => format!("`{other}`"),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        let text = match self {
+            Ident(name) => return write!(f, "{name}"),
+            Int(value) => return write!(f, "{value}"),
+            Str(value) => return write!(f, "\"{value}\""),
+            Level => "level",
+            Proof => "proof",
+            Refinement => "refinement",
+            Struct => "struct",
+            Method => "method",
+            Function => "function",
+            Var => "var",
+            Ghost => "ghost",
+            Void => "void",
+            Extern => "extern",
+            If => "if",
+            Else => "else",
+            While => "while",
+            Break => "break",
+            Continue => "continue",
+            Return => "return",
+            Assert => "assert",
+            Assume => "assume",
+            Somehow => "somehow",
+            Requires => "requires",
+            Ensures => "ensures",
+            Modifies => "modifies",
+            Reads => "reads",
+            Invariant => "invariant",
+            Malloc => "malloc",
+            Calloc => "calloc",
+            Dealloc => "dealloc",
+            CreateThread => "create_thread",
+            Join => "join",
+            ExplicitYield => "explicit_yield",
+            Yield => "yield",
+            Atomic => "atomic",
+            Label => "label",
+            Print => "print",
+            Fence => "fence",
+            True => "true",
+            False => "false",
+            Null => "null",
+            Old => "old",
+            Allocated => "allocated",
+            AllocatedArray => "allocated_array",
+            In => "in",
+            Forall => "forall",
+            Exists => "exists",
+            BoolTy => "bool",
+            IntTy => "int",
+            FixedIntTy(name) => name,
+            PtrTy => "ptr",
+            SeqTy => "seq",
+            SetTy => "set",
+            MapTy => "map",
+            OptionTy => "option",
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Dot => ".",
+            DotDot => "..",
+            Colon => ":",
+            ColonColon => "::",
+            Assign => ":=",
+            AssignSc => "::=",
+            Eq => "=",
+            EqEq => "==",
+            NotEq => "!=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            AmpAmp => "&&",
+            Pipe => "|",
+            PipePipe => "||",
+            Caret => "^",
+            Bang => "!",
+            Tilde => "~",
+            Shl => "<<",
+            Shr => ">>",
+            Implies => "==>",
+            Eof => "<eof>",
+        };
+        f.write_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::While));
+        assert_eq!(TokenKind::keyword("uint32"), Some(TokenKind::FixedIntTy("uint32")));
+        assert_eq!(TokenKind::keyword("weakening"), None);
+    }
+
+    #[test]
+    fn display_round_trips_punctuation() {
+        assert_eq!(TokenKind::AssignSc.to_string(), "::=");
+        assert_eq!(TokenKind::Implies.to_string(), "==>");
+    }
+}

@@ -1,0 +1,1176 @@
+//! Symbol resolution and type checking for Armada modules.
+//!
+//! The checker is deliberately permissive about fixed-width integer mixing —
+//! like the C code Armada compiles to, arithmetic is computed wide and
+//! wrapped at the assignment target's width (the state-machine semantics in
+//! `armada-sm` implement exactly that) — but strict about everything that
+//! affects the soundness of the proof machinery: ghost/concrete separation,
+//! lvalue-ness, pointer typing, two-state (`old`) placement, and method
+//! versus pure-function calls.
+
+use crate::ast::*;
+use crate::error::{LangError, LangResult};
+use crate::span::Span;
+use std::collections::BTreeMap;
+
+/// Signature of a method, as recorded in a [`LevelInfo`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodSig {
+    /// Parameter names and types, in order.
+    pub params: Vec<(String, Type)>,
+    /// Return type (`None` = void).
+    pub ret: Option<Type>,
+    /// Whether the method is `{:extern}`.
+    pub external: bool,
+}
+
+/// Signature of a ghost pure function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSig {
+    /// Parameter names and types, in order.
+    pub params: Vec<(String, Type)>,
+    /// Result type.
+    pub ret: Type,
+}
+
+/// Resolved symbol information for one level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelInfo {
+    /// Level name.
+    pub name: String,
+    /// Struct name → ordered fields.
+    pub structs: BTreeMap<String, Vec<(String, Type)>>,
+    /// Global variables in declaration order.
+    pub globals: Vec<GlobalVar>,
+    /// Method signatures by name.
+    pub methods: BTreeMap<String, MethodSig>,
+    /// Ghost pure-function signatures by name.
+    pub functions: BTreeMap<String, FunctionSig>,
+}
+
+impl LevelInfo {
+    /// Looks up a global variable by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalVar> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+}
+
+/// A type-checked module: the original AST plus per-level symbol tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedModule {
+    /// The module as parsed.
+    pub module: Module,
+    /// Symbol information for each level, in declaration order.
+    pub levels: Vec<LevelInfo>,
+}
+
+impl TypedModule {
+    /// Looks up level info by name.
+    pub fn level_info(&self, name: &str) -> Option<&LevelInfo> {
+        self.levels.iter().find(|l| l.name == name)
+    }
+}
+
+/// Type-checks a module and returns its symbol tables.
+///
+/// # Errors
+///
+/// Returns the first resolution or type error found. Recipes are *not*
+/// checked here — their predicates refer to a specific level's symbols and
+/// are validated by the strategy that consumes them.
+pub fn check_module(module: &Module) -> LangResult<TypedModule> {
+    let mut levels = Vec::new();
+    for level in &module.levels {
+        levels.push(check_level(level)?);
+    }
+    // Recipe level names must resolve.
+    for recipe in &module.recipes {
+        for name in [&recipe.low, &recipe.high] {
+            if module.level(name).is_none() {
+                return Err(LangError::resolve(
+                    recipe.span,
+                    format!("recipe `{}` references unknown level `{name}`", recipe.name),
+                ));
+            }
+        }
+    }
+    Ok(TypedModule { module: module.clone(), levels })
+}
+
+fn check_level(level: &Level) -> LangResult<LevelInfo> {
+    let mut info = LevelInfo {
+        name: level.name.clone(),
+        structs: BTreeMap::new(),
+        globals: Vec::new(),
+        methods: BTreeMap::new(),
+        functions: BTreeMap::new(),
+    };
+
+    // Pass 1: collect symbols.
+    for decl in &level.decls {
+        match decl {
+            Decl::Struct(s) => {
+                let fields: Vec<(String, Type)> =
+                    s.fields.iter().map(|f| (f.name.clone(), f.ty.clone())).collect();
+                if info.structs.insert(s.name.clone(), fields).is_some() {
+                    return Err(LangError::resolve(
+                        s.span,
+                        format!("duplicate struct `{}`", s.name),
+                    ));
+                }
+            }
+            Decl::Var(v) => {
+                if info.globals.iter().any(|g| g.name == v.name) {
+                    return Err(LangError::resolve(
+                        v.span,
+                        format!("duplicate global `{}`", v.name),
+                    ));
+                }
+                info.globals.push(v.clone());
+            }
+            Decl::Method(m) => {
+                let sig = MethodSig {
+                    params: m.params.iter().map(|p| (p.name.clone(), p.ty.clone())).collect(),
+                    ret: m.ret.clone(),
+                    external: m.external,
+                };
+                if info.methods.insert(m.name.clone(), sig).is_some() {
+                    return Err(LangError::resolve(
+                        m.span,
+                        format!("duplicate method `{}`", m.name),
+                    ));
+                }
+            }
+            Decl::Function(f) => {
+                let sig = FunctionSig {
+                    params: f.params.iter().map(|p| (p.name.clone(), p.ty.clone())).collect(),
+                    ret: f.ret.clone(),
+                };
+                if info.functions.insert(f.name.clone(), sig).is_some() {
+                    return Err(LangError::resolve(
+                        f.span,
+                        format!("duplicate function `{}`", f.name),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Pass 2: check types mention only known structs; check initializers,
+    // function bodies, and method bodies.
+    for decl in &level.decls {
+        match decl {
+            Decl::Struct(s) => {
+                for field in &s.fields {
+                    check_type_wf(&field.ty, &info, field.span)?;
+                }
+            }
+            Decl::Var(v) => {
+                check_type_wf(&v.ty, &info, v.span)?;
+                if !v.ghost && !v.ty.is_core() {
+                    return Err(LangError::ty(
+                        v.span,
+                        format!(
+                            "non-ghost global `{}` has non-compilable type `{}`; \
+                             declare it `ghost var`",
+                            v.name, v.ty
+                        ),
+                    ));
+                }
+                if let Some(init) = &v.init {
+                    let mut checker = Checker::new(&info, None);
+                    let ty = checker.expr(init, false)?;
+                    checker.require_assignable(&v.ty, &ty, init.span)?;
+                }
+            }
+            Decl::Function(f) => {
+                check_type_wf(&f.ret, &info, f.span)?;
+                let mut checker = Checker::new(&info, None);
+                for param in &f.params {
+                    check_type_wf(&param.ty, &info, param.span)?;
+                    checker.bind(param.name.clone(), param.ty.clone(), true, param.span)?;
+                }
+                let body_ty = checker.expr(&f.body, false)?;
+                checker.require_assignable(&f.ret, &body_ty, f.body.span)?;
+            }
+            Decl::Method(m) => check_method(m, &info)?,
+        }
+    }
+
+    Ok(info)
+}
+
+fn check_type_wf(ty: &Type, info: &LevelInfo, span: Span) -> LangResult<()> {
+    match ty {
+        Type::Named(name) => {
+            if info.structs.contains_key(name) {
+                Ok(())
+            } else {
+                Err(LangError::resolve(span, format!("unknown struct `{name}`")))
+            }
+        }
+        Type::Pointer(inner)
+        | Type::Array(inner, _)
+        | Type::Seq(inner)
+        | Type::Set(inner)
+        | Type::Option(inner) => check_type_wf(inner, info, span),
+        Type::Map(key, value) => {
+            check_type_wf(key, info, span)?;
+            check_type_wf(value, info, span)
+        }
+        _ => Ok(()),
+    }
+}
+
+fn check_method(method: &MethodDecl, info: &LevelInfo) -> LangResult<()> {
+    let mut checker = Checker::new(info, method.ret.clone());
+    for param in &method.params {
+        check_type_wf(&param.ty, info, param.span)?;
+        checker.bind(param.name.clone(), param.ty.clone(), false, param.span)?;
+    }
+    if let Some(ret) = &method.ret {
+        check_type_wf(ret, info, method.span)?;
+        // A named return value is in scope for the contract of a body-less
+        // (Figure-8 modeled) method; bodied methods return via `return e;`.
+        if let (Some(ret_name), None) = (&method.ret_name, &method.body) {
+            checker.bind(ret_name.clone(), ret.clone(), false, method.span)?;
+        }
+    }
+    for clause in &method.requires {
+        checker.require_bool(clause, false)?;
+    }
+    for clause in &method.ensures {
+        checker.require_bool(clause, true)?;
+    }
+    for clause in method.modifies.iter().chain(&method.reads) {
+        checker.require_lvalue(clause)?;
+        checker.expr(clause, false)?;
+    }
+    if let Some(body) = &method.body {
+        checker.push_scope();
+        checker.block(body)?;
+        checker.pop_scope();
+    }
+    Ok(())
+}
+
+/// Inferred type: a concrete [`Type`], or a polymorphic placeholder arising
+/// from literals, `null`, and `*`.
+#[derive(Debug, Clone, PartialEq)]
+enum Ty {
+    Known(Type),
+    /// An integer literal: adapts to any numeric type.
+    AnyInt,
+    /// `null`: adapts to any pointer type.
+    AnyPtr,
+    /// `*` (nondeterministic choice): adapts to anything.
+    Any,
+}
+
+impl Ty {
+    fn numeric(&self) -> bool {
+        matches!(self, Ty::AnyInt | Ty::Any | Ty::Known(Type::Int(_)) | Ty::Known(Type::MathInt))
+    }
+
+    fn boolean(&self) -> bool {
+        matches!(self, Ty::Any | Ty::Known(Type::Bool))
+    }
+
+    fn pointer(&self) -> bool {
+        matches!(self, Ty::AnyPtr | Ty::Any | Ty::Known(Type::Pointer(_)))
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Ty::Known(ty) => ty.to_string(),
+            Ty::AnyInt => "integer literal".to_string(),
+            Ty::AnyPtr => "null".to_string(),
+            Ty::Any => "nondeterministic value".to_string(),
+        }
+    }
+}
+
+struct Checker<'a> {
+    info: &'a LevelInfo,
+    ret: Option<Type>,
+    /// Scope stack: name → (type, is_ghost).
+    scopes: Vec<BTreeMap<String, (Type, bool)>>,
+    loop_depth: usize,
+}
+
+impl<'a> Checker<'a> {
+    fn new(info: &'a LevelInfo, ret: Option<Type>) -> Self {
+        Checker { info, ret, scopes: vec![BTreeMap::new()], loop_depth: 0 }
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(BTreeMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn bind(&mut self, name: String, ty: Type, ghost: bool, span: Span) -> LangResult<()> {
+        let scope = self.scopes.last_mut().expect("scope stack nonempty");
+        if scope.contains_key(&name) {
+            return Err(LangError::resolve(span, format!("duplicate variable `{name}`")));
+        }
+        scope.insert(name, (ty, ghost));
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<(Type, bool)> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(found) = scope.get(name) {
+                return Some(found.clone());
+            }
+        }
+        self.info.global(name).map(|g| (g.ty.clone(), g.ghost))
+    }
+
+    // -- statements --------------------------------------------------------
+
+    fn block(&mut self, block: &Block) -> LangResult<()> {
+        self.push_scope();
+        for stmt in &block.stmts {
+            self.stmt(stmt)?;
+        }
+        self.pop_scope();
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> LangResult<()> {
+        match &stmt.kind {
+            StmtKind::VarDecl { ghost, name, ty, init } => {
+                check_type_wf(ty, self.info, stmt.span)?;
+                if !*ghost && !ty.is_core() {
+                    return Err(LangError::ty(
+                        stmt.span,
+                        format!("non-ghost local `{name}` has non-compilable type `{ty}`"),
+                    ));
+                }
+                if let Some(init) = init {
+                    let init_ty = self.rhs(init)?;
+                    self.require_assignable(ty, &init_ty, init.span())?;
+                }
+                self.bind(name.clone(), ty.clone(), *ghost, stmt.span)?;
+            }
+            StmtKind::Assign { lhs, rhs, sc: _ } => {
+                if lhs.len() != rhs.len() {
+                    return Err(LangError::ty(
+                        stmt.span,
+                        format!(
+                            "assignment has {} left-hand sides but {} right-hand sides",
+                            lhs.len(),
+                            rhs.len()
+                        ),
+                    ));
+                }
+                for (target, value) in lhs.iter().zip(rhs) {
+                    self.require_lvalue(target)?;
+                    let target_ty = self.expr(target, false)?;
+                    let value_ty = self.rhs(value)?;
+                    if let Ty::Known(target_ty) = &target_ty {
+                        self.require_assignable(target_ty, &value_ty, value.span())?;
+                    }
+                }
+            }
+            StmtKind::CallStmt { method, args } => {
+                let sig = self.method_sig(method, stmt.span)?;
+                self.check_call_args(method, &sig.params, args, stmt.span)?;
+            }
+            StmtKind::If { cond, then_block, else_block } => {
+                self.require_bool(cond, false)?;
+                self.block(then_block)?;
+                if let Some(els) = else_block {
+                    self.block(els)?;
+                }
+            }
+            StmtKind::While { cond, invariants, body } => {
+                self.require_bool(cond, false)?;
+                for inv in invariants {
+                    self.require_bool(inv, false)?;
+                }
+                self.loop_depth += 1;
+                self.block(body)?;
+                self.loop_depth -= 1;
+            }
+            StmtKind::Break | StmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    return Err(LangError::ty(
+                        stmt.span,
+                        "`break`/`continue` outside of a loop",
+                    ));
+                }
+            }
+            StmtKind::Return(value) => match (&self.ret.clone(), value) {
+                (None, None) => {}
+                (None, Some(value)) => {
+                    return Err(LangError::ty(value.span, "void method returns a value"))
+                }
+                (Some(ret), Some(value)) => {
+                    let value_ty = self.expr(value, false)?;
+                    self.require_assignable(ret, &value_ty, value.span)?;
+                }
+                (Some(_), None) => {
+                    return Err(LangError::ty(
+                        stmt.span,
+                        "non-void method `return` must supply a value",
+                    ))
+                }
+            },
+            StmtKind::Assert(cond) | StmtKind::Assume(cond) => {
+                self.require_bool(cond, false)?;
+            }
+            StmtKind::Somehow { requires, modifies, ensures } => {
+                for clause in requires {
+                    self.require_bool(clause, false)?;
+                }
+                for clause in modifies {
+                    self.require_lvalue(clause)?;
+                    self.expr(clause, false)?;
+                }
+                for clause in ensures {
+                    self.require_bool(clause, true)?;
+                }
+            }
+            StmtKind::Dealloc(target) => {
+                let ty = self.expr(target, false)?;
+                if !ty.pointer() {
+                    return Err(LangError::ty(
+                        target.span,
+                        format!("`dealloc` expects a pointer, found {}", ty.describe()),
+                    ));
+                }
+            }
+            StmtKind::Join(handle) => {
+                let ty = self.expr(handle, false)?;
+                if !ty.numeric() {
+                    return Err(LangError::ty(
+                        handle.span,
+                        format!("`join` expects a thread handle (uint64), found {}", ty.describe()),
+                    ));
+                }
+            }
+            StmtKind::Label(_, inner) => self.stmt(inner)?,
+            StmtKind::ExplicitYield(body) | StmtKind::Atomic(body) => self.block(body)?,
+            StmtKind::Yield | StmtKind::Fence => {}
+            StmtKind::Print(args) => {
+                for arg in args {
+                    self.expr(arg, false)?;
+                }
+            }
+            StmtKind::Block(body) => self.block(body)?,
+        }
+        Ok(())
+    }
+
+    fn method_sig(&self, name: &str, span: Span) -> LangResult<MethodSig> {
+        self.info
+            .methods
+            .get(name)
+            .cloned()
+            .ok_or_else(|| LangError::resolve(span, format!("unknown method `{name}`")))
+    }
+
+    fn check_call_args(
+        &mut self,
+        name: &str,
+        params: &[(String, Type)],
+        args: &[Expr],
+        span: Span,
+    ) -> LangResult<()> {
+        if params.len() != args.len() {
+            return Err(LangError::ty(
+                span,
+                format!("`{name}` expects {} argument(s), got {}", params.len(), args.len()),
+            ));
+        }
+        for ((_, param_ty), arg) in params.iter().zip(args) {
+            let arg_ty = self.expr(arg, false)?;
+            self.require_assignable(param_ty, &arg_ty, arg.span)?;
+        }
+        Ok(())
+    }
+
+    fn rhs(&mut self, rhs: &Rhs) -> LangResult<Ty> {
+        match rhs {
+            Rhs::Expr(expr) => {
+                // A top-level call may be a method call (impure); nested calls
+                // must be pure functions and are rejected inside `expr`.
+                if let ExprKind::Call(name, args) = &expr.kind {
+                    if let Some(sig) = self.info.methods.get(name).cloned() {
+                        self.check_call_args(name, &sig.params, args, expr.span)?;
+                        return match sig.ret {
+                            Some(ret) => Ok(Ty::Known(ret)),
+                            None => Err(LangError::ty(
+                                expr.span,
+                                format!("void method `{name}` used as a value"),
+                            )),
+                        };
+                    }
+                }
+                self.expr(expr, false)
+            }
+            Rhs::Malloc { ty, span } => {
+                check_type_wf(ty, self.info, *span)?;
+                Ok(Ty::Known(Type::ptr(ty.clone())))
+            }
+            Rhs::Calloc { ty, count, span } => {
+                check_type_wf(ty, self.info, *span)?;
+                let count_ty = self.expr(count, false)?;
+                if !count_ty.numeric() {
+                    return Err(LangError::ty(
+                        count.span,
+                        format!("`calloc` count must be numeric, found {}", count_ty.describe()),
+                    ));
+                }
+                Ok(Ty::Known(Type::ptr(ty.clone())))
+            }
+            Rhs::CreateThread { method, args, span } => {
+                let sig = self.method_sig(method, *span)?;
+                if sig.ret.is_some() {
+                    return Err(LangError::ty(
+                        *span,
+                        format!("thread routine `{method}` must be void"),
+                    ));
+                }
+                self.check_call_args(method, &sig.params, args, *span)?;
+                Ok(Ty::Known(Type::Int(IntType::U64)))
+            }
+        }
+    }
+
+    // -- expressions ---------------------------------------------------------
+
+    fn require_bool(&mut self, expr: &Expr, two_state: bool) -> LangResult<()> {
+        let ty = self.expr(expr, two_state)?;
+        if ty.boolean() {
+            Ok(())
+        } else {
+            Err(LangError::ty(
+                expr.span,
+                format!("expected bool, found {}", ty.describe()),
+            ))
+        }
+    }
+
+    fn require_lvalue(&self, expr: &Expr) -> LangResult<()> {
+        match &expr.kind {
+            ExprKind::Var(_) | ExprKind::Deref(_) => Ok(()),
+            ExprKind::Field(base, _) | ExprKind::Index(base, _) => self.require_lvalue(base),
+            _ => Err(LangError::ty(expr.span, "expected an lvalue")),
+        }
+    }
+
+    fn require_assignable(&self, target: &Type, value: &Ty, span: Span) -> LangResult<()> {
+        let ok = match value {
+            Ty::Any => true,
+            Ty::AnyInt => matches!(target, Type::Int(_) | Type::MathInt),
+            Ty::AnyPtr => matches!(target, Type::Pointer(_)),
+            Ty::Known(value_ty) => assignable(target, value_ty),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(LangError::ty(
+                span,
+                format!("cannot assign {} to `{target}`", value.describe()),
+            ))
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr, two_state: bool) -> LangResult<Ty> {
+        match &expr.kind {
+            ExprKind::IntLit(_) => Ok(Ty::AnyInt),
+            ExprKind::BoolLit(_) => Ok(Ty::Known(Type::Bool)),
+            ExprKind::Null => Ok(Ty::AnyPtr),
+            ExprKind::Nondet => Ok(Ty::Any),
+            ExprKind::Me => Ok(Ty::Known(Type::Int(IntType::U64))),
+            ExprKind::SbEmpty => Ok(Ty::Known(Type::Bool)),
+            ExprKind::Var(name) => match self.lookup(name) {
+                Some((ty, _ghost)) => Ok(Ty::Known(ty)),
+                None => Err(LangError::resolve(expr.span, format!("unknown variable `{name}`"))),
+            },
+            ExprKind::Unary(op, operand) => {
+                let operand_ty = self.expr(operand, two_state)?;
+                match op {
+                    UnOp::Neg | UnOp::BitNot => {
+                        if operand_ty.numeric() {
+                            Ok(operand_ty)
+                        } else {
+                            Err(LangError::ty(
+                                expr.span,
+                                format!("`{op}` needs a numeric operand, found {}", operand_ty.describe()),
+                            ))
+                        }
+                    }
+                    UnOp::Not => {
+                        if operand_ty.boolean() {
+                            Ok(Ty::Known(Type::Bool))
+                        } else {
+                            Err(LangError::ty(
+                                expr.span,
+                                format!("`!` needs a bool operand, found {}", operand_ty.describe()),
+                            ))
+                        }
+                    }
+                }
+            }
+            ExprKind::Binary(op, lhs, rhs) => self.binary(*op, lhs, rhs, expr.span, two_state),
+            ExprKind::AddrOf(operand) => {
+                self.require_lvalue(operand)?;
+                let operand_ty = self.expr(operand, two_state)?;
+                match operand_ty {
+                    Ty::Known(ty) => Ok(Ty::Known(Type::ptr(ty))),
+                    other => Err(LangError::ty(
+                        expr.span,
+                        format!("cannot take the address of {}", other.describe()),
+                    )),
+                }
+            }
+            ExprKind::Deref(operand) => {
+                let operand_ty = self.expr(operand, two_state)?;
+                match operand_ty {
+                    Ty::Known(Type::Pointer(inner)) => Ok(Ty::Known(*inner)),
+                    other => Err(LangError::ty(
+                        expr.span,
+                        format!("cannot dereference {}", other.describe()),
+                    )),
+                }
+            }
+            ExprKind::Field(base, field) => {
+                let base_ty = self.expr(base, two_state)?;
+                match base_ty {
+                    Ty::Known(Type::Named(struct_name)) => {
+                        let fields = self.info.structs.get(&struct_name).ok_or_else(|| {
+                            LangError::resolve(
+                                base.span,
+                                format!("unknown struct `{struct_name}`"),
+                            )
+                        })?;
+                        fields
+                            .iter()
+                            .find(|(name, _)| name == field)
+                            .map(|(_, ty)| Ty::Known(ty.clone()))
+                            .ok_or_else(|| {
+                                LangError::ty(
+                                    expr.span,
+                                    format!("struct `{struct_name}` has no field `{field}`"),
+                                )
+                            })
+                    }
+                    other => Err(LangError::ty(
+                        expr.span,
+                        format!("field access on non-struct {}", other.describe()),
+                    )),
+                }
+            }
+            ExprKind::Index(base, index) => {
+                let base_ty = self.expr(base, two_state)?;
+                let index_ty = self.expr(index, two_state)?;
+                match base_ty {
+                    Ty::Known(Type::Array(elem, _)) | Ty::Known(Type::Seq(elem)) => {
+                        if index_ty.numeric() {
+                            Ok(Ty::Known(*elem))
+                        } else {
+                            Err(LangError::ty(
+                                index.span,
+                                format!("index must be numeric, found {}", index_ty.describe()),
+                            ))
+                        }
+                    }
+                    Ty::Known(Type::Map(key, value)) => {
+                        self.require_assignable(&key, &index_ty, index.span)?;
+                        Ok(Ty::Known(*value))
+                    }
+                    other => Err(LangError::ty(
+                        expr.span,
+                        format!("cannot index {}", other.describe()),
+                    )),
+                }
+            }
+            ExprKind::Old(inner) => {
+                if !two_state {
+                    return Err(LangError::ty(
+                        expr.span,
+                        "`old(…)` is only allowed in two-state predicates \
+                         (ensures and rely clauses)",
+                    ));
+                }
+                self.expr(inner, two_state)
+            }
+            ExprKind::Allocated(inner) | ExprKind::AllocatedArray(inner) => {
+                let inner_ty = self.expr(inner, two_state)?;
+                if inner_ty.pointer() {
+                    Ok(Ty::Known(Type::Bool))
+                } else {
+                    Err(LangError::ty(
+                        expr.span,
+                        format!("`allocated` expects a pointer, found {}", inner_ty.describe()),
+                    ))
+                }
+            }
+            ExprKind::Call(name, args) => self.pure_call(name, args, expr.span, two_state),
+            ExprKind::SeqLit(elems) => {
+                let mut elem_ty: Option<Type> = None;
+                for elem in elems {
+                    if let Ty::Known(found) = self.expr(elem, two_state)? {
+                        match &elem_ty {
+                            None => elem_ty = Some(found),
+                            Some(existing) if assignable(existing, &found) => {}
+                            Some(existing) => {
+                                return Err(LangError::ty(
+                                    elem.span,
+                                    format!(
+                                        "sequence literal mixes `{existing}` and `{found}`"
+                                    ),
+                                ))
+                            }
+                        }
+                    }
+                }
+                Ok(Ty::Known(Type::Seq(Box::new(elem_ty.unwrap_or(Type::MathInt)))))
+            }
+            ExprKind::Forall { var, lo, hi, body } | ExprKind::Exists { var, lo, hi, body } => {
+                let lo_ty = self.expr(lo, two_state)?;
+                let hi_ty = self.expr(hi, two_state)?;
+                if !lo_ty.numeric() || !hi_ty.numeric() {
+                    return Err(LangError::ty(expr.span, "quantifier bounds must be numeric"));
+                }
+                self.push_scope();
+                self.bind(var.clone(), Type::MathInt, true, expr.span)?;
+                let result = self.require_bool(body, two_state);
+                self.pop_scope();
+                result?;
+                Ok(Ty::Known(Type::Bool))
+            }
+        }
+    }
+
+    fn binary(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        span: Span,
+        two_state: bool,
+    ) -> LangResult<Ty> {
+        let lhs_ty = self.expr(lhs, two_state)?;
+        let rhs_ty = self.expr(rhs, two_state)?;
+        if op.is_logical() {
+            if lhs_ty.boolean() && rhs_ty.boolean() {
+                return Ok(Ty::Known(Type::Bool));
+            }
+            return Err(LangError::ty(
+                span,
+                format!(
+                    "`{op}` needs bool operands, found {} and {}",
+                    lhs_ty.describe(),
+                    rhs_ty.describe()
+                ),
+            ));
+        }
+        if op.is_comparison() {
+            let ok = (lhs_ty.numeric() && rhs_ty.numeric())
+                || (lhs_ty.pointer() && rhs_ty.pointer() && matches!(op, BinOp::Eq | BinOp::Ne))
+                // Pointer ordering: only between elements of the same array;
+                // the semantics flag cross-array comparison as UB at runtime.
+                || (lhs_ty.pointer() && rhs_ty.pointer())
+                || (matches!(op, BinOp::Eq | BinOp::Ne) && comparable(&lhs_ty, &rhs_ty));
+            if ok {
+                return Ok(Ty::Known(Type::Bool));
+            }
+            return Err(LangError::ty(
+                span,
+                format!(
+                    "cannot compare {} with {}",
+                    lhs_ty.describe(),
+                    rhs_ty.describe()
+                ),
+            ));
+        }
+        // Arithmetic / bitwise.
+        // Ghost collection operators: seq + seq, set + set, set - set.
+        if let (Ty::Known(l), Ty::Known(r)) = (&lhs_ty, &rhs_ty) {
+            match (op, l, r) {
+                (BinOp::Add, Type::Seq(a), Type::Seq(b))
+                    if assignable(a, b) || assignable(b, a) =>
+                {
+                    return Ok(lhs_ty.clone());
+                }
+                (BinOp::Add | BinOp::Sub, Type::Set(a), Type::Set(b))
+                    if assignable(a, b) || assignable(b, a) =>
+                {
+                    return Ok(lhs_ty.clone());
+                }
+                _ => {}
+            }
+        }
+        // Pointer arithmetic: ptr ± int (within a single array; checked at
+        // runtime by the heap model).
+        if matches!(op, BinOp::Add | BinOp::Sub) && lhs_ty.pointer() && rhs_ty.numeric() {
+            return Ok(lhs_ty);
+        }
+        if lhs_ty.numeric() && rhs_ty.numeric() {
+            return Ok(join_numeric(lhs_ty, rhs_ty));
+        }
+        Err(LangError::ty(
+            span,
+            format!(
+                "`{op}` needs numeric operands, found {} and {}",
+                lhs_ty.describe(),
+                rhs_ty.describe()
+            ),
+        ))
+    }
+
+    fn pure_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        span: Span,
+        two_state: bool,
+    ) -> LangResult<Ty> {
+        let arg_tys: Vec<Ty> =
+            args.iter().map(|a| self.expr(a, two_state)).collect::<LangResult<_>>()?;
+        // Builtins first.
+        if let Some(result) = self.builtin(name, &arg_tys, span)? {
+            return Ok(result);
+        }
+        if let Some(sig) = self.info.functions.get(name).cloned() {
+            if sig.params.len() != args.len() {
+                return Err(LangError::ty(
+                    span,
+                    format!(
+                        "function `{name}` expects {} argument(s), got {}",
+                        sig.params.len(),
+                        args.len()
+                    ),
+                ));
+            }
+            for (((_, param_ty), arg), arg_ty) in sig.params.iter().zip(args).zip(&arg_tys) {
+                self.require_assignable(param_ty, arg_ty, arg.span)?;
+            }
+            return Ok(Ty::Known(sig.ret));
+        }
+        if self.info.methods.contains_key(name) {
+            return Err(LangError::ty(
+                span,
+                format!(
+                    "method `{name}` cannot be called inside an expression; \
+                     method calls are statements"
+                ),
+            ));
+        }
+        Err(LangError::resolve(span, format!("unknown function `{name}`")))
+    }
+
+    /// Type rules for builtin ghost functions. Returns `Ok(None)` when
+    /// `name` is not a builtin.
+    fn builtin(&self, name: &str, args: &[Ty], span: Span) -> LangResult<Option<Ty>> {
+        let wrong = |expected: &str| {
+            Err(LangError::ty(span, format!("`{name}` expects {expected}")))
+        };
+        let result = match (name, args) {
+            ("len", [Ty::Known(Type::Seq(_) | Type::Set(_) | Type::Map(_, _))]) => {
+                Ty::Known(Type::MathInt)
+            }
+            ("len", [_]) => return wrong("a seq, set, or map"),
+            ("set_add" | "set_remove", [Ty::Known(Type::Set(elem)), value]) => {
+                self.require_assignable(elem, value, span)?;
+                Ty::Known(Type::Set(elem.clone()))
+            }
+            ("set_contains", [Ty::Known(Type::Set(elem)), value]) => {
+                self.require_assignable(elem, value, span)?;
+                Ty::Known(Type::Bool)
+            }
+            ("set_add" | "set_remove" | "set_contains", _) => {
+                return wrong("a set and an element")
+            }
+            ("map_set", [Ty::Known(Type::Map(key, value)), key_arg, value_arg]) => {
+                self.require_assignable(key, key_arg, span)?;
+                self.require_assignable(value, value_arg, span)?;
+                Ty::Known(Type::Map(key.clone(), value.clone()))
+            }
+            ("map_get", [Ty::Known(Type::Map(key, value)), key_arg]) => {
+                self.require_assignable(key, key_arg, span)?;
+                Ty::Known((**value).clone())
+            }
+            ("map_contains", [Ty::Known(Type::Map(key, _)), key_arg]) => {
+                self.require_assignable(key, key_arg, span)?;
+                Ty::Known(Type::Bool)
+            }
+            ("map_remove", [Ty::Known(Type::Map(key, value)), key_arg]) => {
+                self.require_assignable(key, key_arg, span)?;
+                Ty::Known(Type::Map(key.clone(), value.clone()))
+            }
+            ("map_set" | "map_get" | "map_contains" | "map_remove", _) => {
+                return wrong("a map and key (and value)")
+            }
+            ("some", [Ty::Known(inner)]) => {
+                Ty::Known(Type::Option(Box::new(inner.clone())))
+            }
+            ("some", [Ty::AnyInt]) => Ty::Known(Type::Option(Box::new(Type::MathInt))),
+            ("some", _) => return wrong("one value"),
+            ("is_some" | "is_none", [Ty::Known(Type::Option(_))]) => Ty::Known(Type::Bool),
+            ("is_some" | "is_none", _) => return wrong("an option"),
+            ("unwrap", [Ty::Known(Type::Option(inner))]) => Ty::Known((**inner).clone()),
+            ("unwrap", _) => return wrong("an option"),
+            ("update", [Ty::Known(Type::Seq(elem)), index, value]) => {
+                if !index.numeric() {
+                    return wrong("a seq, numeric index, and element");
+                }
+                self.require_assignable(elem, value, span)?;
+                Ty::Known(Type::Seq(elem.clone()))
+            }
+            ("update", _) => return wrong("a seq, index, and element"),
+            _ => return Ok(None),
+        };
+        Ok(Some(result))
+    }
+}
+
+/// Assignment compatibility between concrete types.
+fn assignable(target: &Type, value: &Type) -> bool {
+    if target == value {
+        return true;
+    }
+    match (target, value) {
+        // Numeric values wrap to the target's width at assignment, as in C.
+        (Type::Int(_) | Type::MathInt, Type::Int(_) | Type::MathInt) => true,
+        (Type::Pointer(a), Type::Pointer(b)) => a == b,
+        (Type::Seq(a), Type::Seq(b)) | (Type::Set(a), Type::Set(b)) => assignable(a, b),
+        (Type::Option(a), Type::Option(b)) => assignable(a, b),
+        (Type::Map(ak, av), Type::Map(bk, bv)) => assignable(ak, bk) && assignable(av, bv),
+        _ => false,
+    }
+}
+
+fn comparable(lhs: &Ty, rhs: &Ty) -> bool {
+    match (lhs, rhs) {
+        (Ty::Any, _) | (_, Ty::Any) => true,
+        (Ty::Known(a), Ty::Known(b)) => assignable(a, b) || assignable(b, a),
+        (Ty::AnyInt, other) | (other, Ty::AnyInt) => other.numeric(),
+        (Ty::AnyPtr, other) | (other, Ty::AnyPtr) => other.pointer(),
+    }
+}
+
+fn join_numeric(lhs: Ty, rhs: Ty) -> Ty {
+    match (&lhs, &rhs) {
+        (Ty::Known(Type::MathInt), _) | (_, Ty::Known(Type::MathInt)) => {
+            Ty::Known(Type::MathInt)
+        }
+        (Ty::Known(Type::Int(a)), Ty::Known(Type::Int(b))) => {
+            if a.bits >= b.bits {
+                lhs
+            } else {
+                rhs
+            }
+        }
+        (Ty::Known(Type::Int(_)), _) => lhs,
+        (_, Ty::Known(Type::Int(_))) => rhs,
+        _ => Ty::AnyInt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn check(source: &str) -> LangResult<TypedModule> {
+        check_module(&parse_module(source).expect("parse"))
+    }
+
+    #[test]
+    fn accepts_figure2_like_program() {
+        check(
+            r#"level L {
+                var best_len: uint32 := 0xFFFFFFFF;
+                var mutex: uint32;
+                void worker(seed: uint32) {
+                    var len: uint32 := seed;
+                    if (len < best_len) {
+                        lock(&mutex);
+                        if (len < best_len) { best_len := len; }
+                        unlock(&mutex);
+                    }
+                }
+                method {:extern} lock(m: ptr<uint32>) modifies *m;
+                method {:extern} unlock(m: ptr<uint32>) modifies *m;
+                void main() {
+                    var t: uint64 := create_thread worker(1);
+                    join t;
+                    print(best_len);
+                }
+            }"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let err = check("level L { void main() { x := 1; } }").unwrap_err();
+        assert!(err.message().contains("unknown variable"));
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let err = check(
+            "level L { var p: ptr<uint32>; void main() { p := true; } }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("cannot assign"));
+    }
+
+    #[test]
+    fn rejects_non_ghost_math_global() {
+        let err = check("level L { var g: int; }").unwrap_err();
+        assert!(err.message().contains("non-compilable"));
+        check("level L { ghost var g: int; }").unwrap();
+    }
+
+    #[test]
+    fn rejects_old_outside_two_state_context() {
+        let err = check(
+            "level L { var x: uint32; void main() { assert old(x) == x; } }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("old"));
+        // …but allows it in ensures.
+        check(
+            "level L { ghost var g: int; method {:extern} f() ensures g == old(g); }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_method_call_in_expression() {
+        let err = check(
+            r#"level L {
+                var x: uint32;
+                method m() returns (r: uint32) { return 1; }
+                void main() { x := m() + 1; }
+            }"#,
+        )
+        .unwrap_err();
+        assert!(err.message().contains("cannot be called inside an expression"));
+    }
+
+    #[test]
+    fn allows_method_call_as_rhs() {
+        check(
+            r#"level L {
+                var x: uint32;
+                method m() returns (r: uint32) { return 1; }
+                void main() { x := m(); }
+            }"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn checks_ghost_collection_builtins() {
+        check(
+            r#"level L {
+                ghost var s: set<int>;
+                ghost var q: seq<int>;
+                ghost var m: map<int, int>;
+                void main() {
+                    s := set_add(s, 3);
+                    assert set_contains(s, 3);
+                    q := q + [1, 2];
+                    assert len(q) >= 0;
+                    m := map_set(m, 1, 2);
+                    assert map_contains(m, 1) ==> map_get(m, 1) == 2;
+                }
+            }"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_builtin_args() {
+        let err = check(
+            "level L { ghost var s: set<int>; void main() { assert len(1) == 0; } }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("len"));
+    }
+
+    #[test]
+    fn checks_pointer_arithmetic_and_comparison() {
+        check(
+            r#"level L {
+                var a: uint32[8];
+                void main() {
+                    var p: ptr<uint32> := &a[0];
+                    var q: ptr<uint32> := p + 3;
+                    assert q != null;
+                    assert p < q;
+                    *q := 7;
+                }
+            }"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicate_definitions() {
+        assert!(check("level L { var x: uint32; var x: uint32; }").is_err());
+        assert!(check("level L { void m() {} void m() {} }").is_err());
+        assert!(check(
+            "level L { void main() { var x: uint32; var x: uint32; } }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_recipe_with_unknown_level() {
+        let err = check("proof P { refinement A B weakening }").unwrap_err();
+        assert!(err.message().contains("unknown level"));
+    }
+
+    #[test]
+    fn checks_struct_fields_and_nesting() {
+        check(
+            r#"level L {
+                struct Inner { v: uint32; }
+                struct Outer { inner: Inner; arr: uint32[4]; }
+                var o: Outer;
+                void main() {
+                    o.inner.v := 1;
+                    o.arr[2] := o.inner.v;
+                    var p: ptr<uint32> := &o.arr[0];
+                    *p := 5;
+                }
+            }"#,
+        )
+        .unwrap();
+        let err = check(
+            "level L { struct S { v: uint32; } var s: S; void main() { s.w := 1; } }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("no field"));
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        assert!(check("level L { void main() { break; } }").is_err());
+    }
+
+    #[test]
+    fn quantifier_binds_variable() {
+        check(
+            r#"level L {
+                var a: uint32[4];
+                void main() {
+                    assert forall i in 0 .. 4 :: a[i] >= 0;
+                }
+            }"#,
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the front end: total parsing (errors, never panics),
+//! printer/parser round-tripping over generated programs, and SLOC counting
+//! laws.
+
+use armada_lang::{count_sloc, parse_expr, parse_module};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser is total: arbitrary input produces `Ok` or `Err`, never a
+    /// panic.
+    #[test]
+    fn parser_never_panics(input in "\\PC*") {
+        let _ = parse_module(&input);
+        let _ = parse_expr(&input);
+    }
+
+    /// ASCII-ish soup with Armada-flavored tokens also never panics and
+    /// never loops.
+    #[test]
+    fn parser_survives_token_soup(
+        tokens in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "level", "proof", "{", "}", "(", ")", ";", ":=", "::=", "*",
+                "if", "while", "var", "x", "uint32", "1", "==", "assume",
+                "somehow", "ensures", "atomic", "yield", "$me", "\"p\"",
+            ]),
+            0..40,
+        )
+    ) {
+        let source = tokens.join(" ");
+        let _ = parse_module(&source);
+    }
+
+    /// SLOC is monotone under concatenation and insensitive to blank lines.
+    #[test]
+    fn sloc_laws(a in "[a-z ;{}]{0,40}", b in "[a-z ;{}]{0,40}") {
+        let joined = format!("{a}\n{b}");
+        prop_assert_eq!(count_sloc(&joined), count_sloc(&a) + count_sloc(&b));
+        let with_blanks = format!("{a}\n\n\n{b}");
+        prop_assert_eq!(count_sloc(&with_blanks), count_sloc(&joined));
+    }
+
+    /// Round-trip: a generated expression survives print → parse → print.
+    #[test]
+    fn expr_round_trip(expr in arb_expr(3)) {
+        let printed = armada_lang::pretty::expr_to_string(&expr);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|e| panic!("`{printed}` does not reparse: {e}"));
+        let reprinted = armada_lang::pretty::expr_to_string(&reparsed);
+        prop_assert_eq!(printed, reprinted);
+    }
+}
+
+/// Generates random well-formed expressions of bounded depth.
+fn arb_expr(depth: u32) -> impl Strategy<Value = armada_lang::Expr> {
+    use armada_lang::ast::{BinOp, Expr, ExprKind, UnOp};
+    let leaf = prop_oneof![
+        (-100i128..100).prop_map(|v| Expr::synthetic(ExprKind::IntLit(v))),
+        proptest::bool::ANY.prop_map(|b| Expr::synthetic(ExprKind::BoolLit(b))),
+        "q[a-z0-9]{0,4}".prop_map(|name| Expr::synthetic(ExprKind::Var(name))),
+        Just(Expr::synthetic(ExprKind::Me)),
+        Just(Expr::synthetic(ExprKind::Null)),
+    ];
+    leaf.prop_recursive(depth, 32, 4, |inner| {
+        let bin_op = proptest::sample::select(vec![
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Eq,
+            BinOp::Lt,
+            BinOp::Implies,
+            BinOp::BitAnd,
+            BinOp::Shl,
+        ]);
+        let un_op =
+            proptest::sample::select(vec![UnOp::Neg, UnOp::Not, UnOp::BitNot]);
+        prop_oneof![
+            (bin_op, inner.clone(), inner.clone()).prop_map(|(op, a, b)| {
+                Expr::synthetic(ExprKind::Binary(op, Box::new(a), Box::new(b)))
+            }),
+            (un_op, inner.clone()).prop_map(|(op, a)| {
+                Expr::synthetic(ExprKind::Unary(op, Box::new(a)))
+            }),
+            inner.clone().prop_map(|a| Expr::synthetic(ExprKind::Deref(Box::new(a)))),
+            (inner.clone(), "f[a-z0-9]{0,3}").prop_map(|(a, f)| {
+                Expr::synthetic(ExprKind::Field(Box::new(a), f))
+            }),
+            (inner.clone(), inner).prop_map(|(a, b)| {
+                Expr::synthetic(ExprKind::Index(Box::new(a), Box::new(b)))
+            }),
+        ]
+    })
+}

@@ -1,0 +1,463 @@
+//! Proof obligations and strategy reports.
+//!
+//! An obligation is the structured form of one generated lemma. Its
+//! `lemma_text` rendering is the analogue of the Dafny text Armada writes to
+//! disk; the effort tables of the evaluation count its SLOC.
+
+use armada_lang::ast::StrategyKind;
+use std::fmt;
+
+use crate::prover::Verdict;
+
+/// The kinds of lemma the strategies generate (§4.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObligationKind {
+    /// Weakening: the low-level statement's behaviors are a subset of the
+    /// high-level statement's (§4.2.4).
+    StatementWeakening {
+        /// Program point, e.g. `worker:4`.
+        at: String,
+        /// Low-level statement text.
+        low: String,
+        /// High-level statement text.
+        high: String,
+    },
+    /// Nondeterministic weakening: a witness for the existential introduced
+    /// by `*` (§4.2.5).
+    NondetWitness {
+        /// Program point.
+        at: String,
+        /// The witness expression chosen by the heuristic.
+        witness: String,
+    },
+    /// Reduction: `first` commutes in the given direction across `second`
+    /// (§4.2.1, Cohen–Lamport).
+    Commutativity {
+        /// Description of the mover step.
+        first: String,
+        /// Description of the other thread's step.
+        second: String,
+        /// `true` for right-mover lemmas, `false` for left-mover lemmas.
+        right: bool,
+    },
+    /// Reduction: program phases never pass from the second phase directly
+    /// back to the first (§4.2.1).
+    PhaseDiscipline {
+        /// Program point where the discipline is checked.
+        at: String,
+    },
+    /// TSO elimination: at most one thread owns the location (§4.2.3).
+    OwnershipExclusive {
+        /// Eliminated variable.
+        var: String,
+        /// Ownership predicate text.
+        ownership: String,
+    },
+    /// TSO elimination: every access to the location happens under
+    /// ownership.
+    OwnershipOnAccess {
+        /// Eliminated variable.
+        var: String,
+        /// Program point of the access.
+        at: String,
+    },
+    /// TSO elimination: releasing ownership requires an empty store buffer.
+    BufferEmptyOnRelease {
+        /// Eliminated variable.
+        var: String,
+        /// Program point of the release.
+        at: String,
+    },
+    /// An invariant holds initially.
+    InvariantInitial {
+        /// Invariant text.
+        invariant: String,
+    },
+    /// An invariant is inductive across a step (or across an environment
+    /// step constrained by the rely predicates).
+    InvariantInductive {
+        /// Invariant text.
+        invariant: String,
+        /// The step description.
+        step: String,
+    },
+    /// Assume-introduction: the introduced enablement condition always holds
+    /// at its program point in the low level (§4.2.2).
+    EnablementJustified {
+        /// The introduced condition.
+        cond: String,
+        /// Program point.
+        at: String,
+    },
+    /// Rely-guarantee: thread steps preserve the rely predicate other
+    /// threads depend on.
+    RelyPreserved {
+        /// The rely predicate.
+        rely: String,
+        /// The step description.
+        step: String,
+    },
+    /// Combining: every path through the atomic block exhibits behaviors of
+    /// the high-level statement (§4.2.6).
+    CombiningPath {
+        /// The path, as a statement list.
+        path: String,
+        /// The high-level statement.
+        high: String,
+    },
+    /// Variable introduction/hiding: erasing the variables maps the
+    /// high-level program onto the low-level one (§4.2.7–4.2.8).
+    VariableMapping {
+        /// The introduced/hidden variables.
+        vars: String,
+    },
+    /// Region reasoning: two accesses are in distinct regions (§4.1.1).
+    RegionSeparation {
+        /// First pointer expression.
+        a: String,
+        /// Second pointer expression.
+        b: String,
+    },
+    /// The strategy-level structural correspondence between the two
+    /// programs (levels match except at the strategy's designated points).
+    StructuralCorrespondence {
+        /// A description of the correspondence checked.
+        description: String,
+    },
+}
+
+impl ObligationKind {
+    /// A short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ObligationKind::StatementWeakening { .. } => "weakening",
+            ObligationKind::NondetWitness { .. } => "nondet-witness",
+            ObligationKind::Commutativity { .. } => "commutativity",
+            ObligationKind::PhaseDiscipline { .. } => "phase-discipline",
+            ObligationKind::OwnershipExclusive { .. } => "ownership-exclusive",
+            ObligationKind::OwnershipOnAccess { .. } => "ownership-on-access",
+            ObligationKind::BufferEmptyOnRelease { .. } => "buffer-empty-on-release",
+            ObligationKind::InvariantInitial { .. } => "invariant-initial",
+            ObligationKind::InvariantInductive { .. } => "invariant-inductive",
+            ObligationKind::EnablementJustified { .. } => "enablement",
+            ObligationKind::RelyPreserved { .. } => "rely-preserved",
+            ObligationKind::CombiningPath { .. } => "combining-path",
+            ObligationKind::VariableMapping { .. } => "variable-mapping",
+            ObligationKind::RegionSeparation { .. } => "region-separation",
+            ObligationKind::StructuralCorrespondence { .. } => "correspondence",
+        }
+    }
+}
+
+/// One generated lemma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofObligation {
+    /// What the lemma claims.
+    pub kind: ObligationKind,
+    /// Rendered lemma text (pseudo-Dafny), written to the proof artifact.
+    pub lemma_text: String,
+}
+
+impl ProofObligation {
+    /// Creates an obligation, rendering its lemma text from the kind plus
+    /// the supplied proof-body lines (typically one case per related
+    /// instruction, mirroring the case analyses Armada's generated Dafny
+    /// performs).
+    pub fn new(kind: ObligationKind, body_lines: Vec<String>) -> ProofObligation {
+        let lemma_text = render_lemma(&kind, &body_lines);
+        ProofObligation { kind, lemma_text }
+    }
+}
+
+fn render_lemma(kind: &ObligationKind, body_lines: &[String]) -> String {
+    let (name, requires, ensures) = lemma_signature(kind);
+    let mut out = String::new();
+    out.push_str(&format!("lemma {name}()\n"));
+    for clause in requires {
+        out.push_str(&format!("  requires {clause}\n"));
+    }
+    for clause in ensures {
+        out.push_str(&format!("  ensures {clause}\n"));
+    }
+    out.push_str("{\n");
+    for line in body_lines {
+        out.push_str(&format!("  {line}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn lemma_signature(kind: &ObligationKind) -> (String, Vec<String>, Vec<String>) {
+    match kind {
+        ObligationKind::StatementWeakening { at, low, high } => (
+            format!("Weakening_{}", sanitize(at)),
+            vec![format!("LStep_{} == `{low}`", sanitize(at))],
+            vec![format!(
+                "forall s, s' :: LNext(s, s') ==> HNext(s, s')  // `{high}`"
+            )],
+        ),
+        ObligationKind::NondetWitness { at, witness } => (
+            format!("NondetWitness_{}", sanitize(at)),
+            vec![],
+            vec![format!("exists w :: w == {witness} && HNextWith(s, s', w)")],
+        ),
+        ObligationKind::Commutativity { first, second, right } => (
+            format!(
+                "Commute_{}_{}_{}",
+                if *right { "Right" } else { "Left" },
+                sanitize(first),
+                sanitize(second)
+            ),
+            vec![
+                format!("sigma_i == `{first}`"),
+                format!("sigma_j == `{second}`"),
+            ],
+            vec![
+                "NextState(NextState(s, sigma_j), sigma_i) == \
+                 NextState(NextState(s, sigma_i), sigma_j)"
+                    .to_string(),
+            ],
+        ),
+        ObligationKind::PhaseDiscipline { at } => (
+            format!("PhaseDiscipline_{}", sanitize(at)),
+            vec![],
+            vec!["!(phase2(s) && phase1(s'))".to_string()],
+        ),
+        ObligationKind::OwnershipExclusive { var, ownership } => (
+            format!("OwnershipExclusive_{}", sanitize(var)),
+            vec![format!("owns(tid, s) <==> {ownership}")],
+            vec![format!(
+                "forall t1, t2 :: owns(t1, s) && owns(t2, s) ==> t1 == t2 // {var}"
+            )],
+        ),
+        ObligationKind::OwnershipOnAccess { var, at } => (
+            format!("OwnershipOnAccess_{}_{}", sanitize(var), sanitize(at)),
+            vec![format!("accesses(`{at}`, {var})")],
+            vec![format!("owns($me, s) // before `{at}`")],
+        ),
+        ObligationKind::BufferEmptyOnRelease { var, at } => (
+            format!("BufferEmptyOnRelease_{}_{}", sanitize(var), sanitize(at)),
+            vec![format!("releases(`{at}`, {var})")],
+            vec!["s.threads[$me].storeBuffer == []".to_string()],
+        ),
+        ObligationKind::InvariantInitial { invariant } => (
+            format!("InvariantInitial_{}", short_hash(invariant)),
+            vec![],
+            vec![format!("Init(s) ==> ({invariant})")],
+        ),
+        ObligationKind::InvariantInductive { invariant, step } => (
+            format!("InvariantInductive_{}_{}", short_hash(invariant), sanitize(step)),
+            vec![format!("({invariant}) && Next(s, s') via `{step}`")],
+            vec![format!("({invariant})'")],
+        ),
+        ObligationKind::EnablementJustified { cond, at } => (
+            format!("Enablement_{}", sanitize(at)),
+            vec![format!("reachable(s) && pc(s) == `{at}`")],
+            vec![format!("({cond})")],
+        ),
+        ObligationKind::RelyPreserved { rely, step } => (
+            format!("RelyPreserved_{}_{}", short_hash(rely), sanitize(step)),
+            vec![format!("Next(s, s') via `{step}` by thread t")],
+            vec![format!("forall u != t :: ({rely}) holds for u")],
+        ),
+        ObligationKind::CombiningPath { path, high } => (
+            format!("CombiningPath_{}", short_hash(path)),
+            vec![format!("path == [{path}]")],
+            vec![format!("behaviors(path) <= behaviors(`{high}`)")],
+        ),
+        ObligationKind::VariableMapping { vars } => (
+            format!("VariableMapping_{}", short_hash(vars)),
+            vec![],
+            vec![format!("erase(H, {{{vars}}}) == L")],
+        ),
+        ObligationKind::RegionSeparation { a, b } => (
+            format!("RegionSeparation_{}_{}", short_hash(a), short_hash(b)),
+            vec![],
+            vec![format!("region({a}) != region({b})")],
+        ),
+        ObligationKind::StructuralCorrespondence { description } => (
+            format!("Correspondence_{}", short_hash(description)),
+            vec![],
+            vec![description.clone()],
+        ),
+    }
+}
+
+fn sanitize(text: &str) -> String {
+    text.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .take(48)
+        .collect()
+}
+
+fn short_hash(text: &str) -> String {
+    // FNV-1a, enough for stable lemma names.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// An obligation together with the engine's verdict on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DischargedObligation {
+    /// The obligation.
+    pub obligation: ProofObligation,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// The outcome of running one strategy on one adjacent level pair — the
+/// analogue of the Dafny files Armada generates plus their verification
+/// status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyReport {
+    /// Recipe name.
+    pub recipe: String,
+    /// Low level name.
+    pub low: String,
+    /// High level name.
+    pub high: String,
+    /// Strategy used.
+    pub strategy: StrategyKind,
+    /// All obligations with verdicts.
+    pub obligations: Vec<DischargedObligation>,
+    /// Common prelude text (state-machine definitions both lemma sets
+    /// reference), included in the artifact size.
+    pub prelude: String,
+}
+
+impl StrategyReport {
+    /// True if every obligation was proved.
+    pub fn success(&self) -> bool {
+        self.obligations.iter().all(|o| matches!(o.verdict, Verdict::Proved(_)))
+    }
+
+    /// The obligations that failed or could not be discharged.
+    pub fn failures(&self) -> Vec<&DischargedObligation> {
+        self.obligations
+            .iter()
+            .filter(|o| !matches!(o.verdict, Verdict::Proved(_)))
+            .collect()
+    }
+
+    /// The full generated proof artifact: prelude plus every lemma.
+    pub fn generated_text(&self) -> String {
+        let mut out = self.prelude.clone();
+        for discharged in &self.obligations {
+            out.push('\n');
+            out.push_str(&discharged.obligation.lemma_text);
+        }
+        out
+    }
+
+    /// SLOC of the generated proof artifact (the paper's "Armada generates N
+    /// SLOC of proof" numbers).
+    pub fn generated_sloc(&self) -> usize {
+        armada_lang::count_sloc(&self.generated_text())
+    }
+
+    /// A human-readable summary of failures, mirroring the paper's story
+    /// that a bad recipe yields an error naming the offending statement.
+    pub fn failure_summary(&self) -> String {
+        let mut out = String::new();
+        for discharged in self.failures() {
+            out.push_str(&format!(
+                "{}: {:?}\n",
+                discharged.obligation.kind.label(),
+                discharged.verdict
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for StrategyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "proof {} ({} ⊑ {}) via {}: {} obligations, {}",
+            self.recipe,
+            self.low,
+            self.high,
+            self.strategy,
+            self.obligations.len(),
+            if self.success() { "VERIFIED" } else { "FAILED" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::{ProofMethod, Verdict};
+
+    #[test]
+    fn lemma_rendering_contains_signature_and_body() {
+        let obligation = ProofObligation::new(
+            ObligationKind::StatementWeakening {
+                at: "worker:4".into(),
+                low: "if (len < best_len)".into(),
+                high: "if (*)".into(),
+            },
+            vec!["case GuardTrue => trivial".into(), "case GuardFalse => trivial".into()],
+        );
+        assert!(obligation.lemma_text.starts_with("lemma Weakening_worker_4()"));
+        assert!(obligation.lemma_text.contains("case GuardTrue"));
+        assert!(obligation.lemma_text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn report_accounting() {
+        let proved = DischargedObligation {
+            obligation: ProofObligation::new(
+                ObligationKind::VariableMapping { vars: "g".into() },
+                vec![],
+            ),
+            verdict: Verdict::Proved(ProofMethod::Syntactic),
+        };
+        let failed = DischargedObligation {
+            obligation: ProofObligation::new(
+                ObligationKind::InvariantInitial { invariant: "x >= 0".into() },
+                vec![],
+            ),
+            verdict: Verdict::Refuted { counterexample: "x = -1".into() },
+        };
+        let report = StrategyReport {
+            recipe: "P".into(),
+            low: "A".into(),
+            high: "B".into(),
+            strategy: StrategyKind::Weakening,
+            obligations: vec![proved.clone()],
+            prelude: "datatype State = ...\n".into(),
+        };
+        assert!(report.success());
+        assert!(report.generated_sloc() > 0);
+        assert!(report.to_string().contains("VERIFIED"));
+
+        let failing = StrategyReport { obligations: vec![proved, failed], ..report };
+        assert!(!failing.success());
+        assert_eq!(failing.failures().len(), 1);
+        assert!(failing.failure_summary().contains("invariant-initial"));
+    }
+
+    #[test]
+    fn lemma_names_are_stable_and_distinct() {
+        let a = ProofObligation::new(
+            ObligationKind::InvariantInitial { invariant: "x == 0".into() },
+            vec![],
+        );
+        let b = ProofObligation::new(
+            ObligationKind::InvariantInitial { invariant: "x == 1".into() },
+            vec![],
+        );
+        assert_ne!(a.lemma_text.lines().next(), b.lemma_text.lines().next());
+        let a2 = ProofObligation::new(
+            ObligationKind::InvariantInitial { invariant: "x == 0".into() },
+            vec![],
+        );
+        assert_eq!(a.lemma_text, a2.lemma_text);
+    }
+}

@@ -1,0 +1,188 @@
+//! Refinement relations (§3.1.3).
+//!
+//! A refinement relation `R ⊆ S_low × S_high` says when a low-level state is
+//! acceptably represented by a high-level state. The paper's example — and
+//! our default — is the console-log relation: the implementation's event log
+//! must be a prefix of the specification's, with full agreement once the
+//! implementation has exited.
+//!
+//! Per §3.2.3, every relation is automatically conjoined with the
+//! undefined-behavior condition: *if the low-level program exhibits UB, the
+//! high-level program must too* — otherwise proofs about UB-terminating
+//! behaviors would be vacuous.
+
+use armada_lang::ast::{PredicateSource, RelationKind};
+use armada_sm::{ProgState, Termination, Value};
+use std::collections::BTreeMap;
+
+/// When a low-level state is acceptably abstracted by a high-level state.
+pub trait RefinementRelation {
+    /// Does the pair belong to the relation? (UB conjunct included.)
+    fn relates(&self, low: &ProgState, high: &ProgState) -> bool;
+
+    /// Human-readable description for reports.
+    fn describe(&self) -> String;
+}
+
+/// The §3.2.3 conjunct: a UB-terminated low state may only be related to a
+/// UB-terminated high state, and an assertion-failed low state to a failed
+/// or UB high state.
+pub fn conjoin_ub_condition(low: &ProgState, high: &ProgState, base: bool) -> bool {
+    match &low.termination {
+        Termination::UndefinedBehavior(_) => {
+            matches!(high.termination, Termination::UndefinedBehavior(_))
+        }
+        Termination::AssertFailed(_) => matches!(
+            high.termination,
+            Termination::AssertFailed(_) | Termination::UndefinedBehavior(_)
+        ),
+        _ => base,
+    }
+}
+
+/// A relation built from the module's [`RelationKind`] declaration.
+#[derive(Debug, Clone)]
+pub struct StandardRelation {
+    kind: RelationKind,
+}
+
+impl StandardRelation {
+    /// Builds the relation for a module declaration (or the default).
+    pub fn new(kind: RelationKind) -> StandardRelation {
+        StandardRelation { kind }
+    }
+
+    /// The default log-prefix relation.
+    pub fn log_prefix() -> StandardRelation {
+        StandardRelation { kind: RelationKind::LogPrefix }
+    }
+}
+
+impl RefinementRelation for StandardRelation {
+    fn relates(&self, low: &ProgState, high: &ProgState) -> bool {
+        let base = match &self.kind {
+            RelationKind::LogPrefix => {
+                let prefix = low.log.len() <= high.log.len()
+                    && high.log[..low.log.len()] == low.log[..];
+                let exit_ok = if low.termination == Termination::Exited {
+                    high.termination == Termination::Exited && low.log == high.log
+                } else {
+                    true
+                };
+                prefix && exit_ok
+            }
+            RelationKind::LogEqualAtExit => {
+                if low.termination == Termination::Exited {
+                    high.termination == Termination::Exited && low.log == high.log
+                } else {
+                    true
+                }
+            }
+            RelationKind::Custom(pred) => custom_relates(pred, low, high),
+        };
+        conjoin_ub_condition(low, high, base)
+    }
+
+    fn describe(&self) -> String {
+        match &self.kind {
+            RelationKind::LogPrefix => "log-prefix (default)".to_string(),
+            RelationKind::LogEqualAtExit => "log-equal-at-exit".to_string(),
+            RelationKind::Custom(pred) => format!("custom: {}", pred.text),
+        }
+    }
+}
+
+/// Evaluates a custom relation predicate over the observable projections of
+/// the two states: `low_log`/`high_log` (ghost sequences), and
+/// `low_exited`/`high_exited`/`low_ub`/`high_ub` booleans.
+fn custom_relates(pred: &PredicateSource, low: &ProgState, high: &ProgState) -> bool {
+    let mut env = BTreeMap::new();
+    env.insert("low_log".to_string(), Value::Seq(low.log.clone()));
+    env.insert("high_log".to_string(), Value::Seq(high.log.clone()));
+    env.insert(
+        "low_exited".to_string(),
+        Value::Bool(low.termination == Termination::Exited),
+    );
+    env.insert(
+        "high_exited".to_string(),
+        Value::Bool(high.termination == Termination::Exited),
+    );
+    env.insert(
+        "low_ub".to_string(),
+        Value::Bool(matches!(low.termination, Termination::UndefinedBehavior(_))),
+    );
+    env.insert(
+        "high_ub".to_string(),
+        Value::Bool(matches!(high.termination, Termination::UndefinedBehavior(_))),
+    );
+    matches!(crate::prover::pure_eval(&pred.expr, &env), Ok(Value::Bool(true)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_lang::ast::IntType;
+    use armada_sm::{lower, Bounds, UbReason};
+
+    fn state_with_log(log: Vec<i128>, termination: Termination) -> ProgState {
+        // Build a real state via a trivial program, then adjust.
+        let module = armada_lang::parse_module("level L { void main() { } }").unwrap();
+        let typed = armada_lang::check_module(&module).unwrap();
+        let program = lower(&typed, "L").unwrap();
+        let mut state = armada_sm::run_to_completion(&program, &Bounds::small()).unwrap();
+        state.log = log.into_iter().map(|v| Value::int(IntType::U32, v)).collect();
+        state.termination = termination;
+        state
+    }
+
+    #[test]
+    fn log_prefix_accepts_prefixes_and_rejects_divergence() {
+        let relation = StandardRelation::log_prefix();
+        let low = state_with_log(vec![1, 2], Termination::Running);
+        let high = state_with_log(vec![1, 2, 3], Termination::Running);
+        assert!(relation.relates(&low, &high));
+        let diverged = state_with_log(vec![9], Termination::Running);
+        assert!(!relation.relates(&low, &diverged));
+    }
+
+    #[test]
+    fn log_prefix_requires_agreement_at_exit() {
+        let relation = StandardRelation::log_prefix();
+        let low = state_with_log(vec![1], Termination::Exited);
+        let short_high = state_with_log(vec![1], Termination::Exited);
+        let long_high = state_with_log(vec![1, 2], Termination::Exited);
+        assert!(relation.relates(&low, &short_high));
+        assert!(!relation.relates(&low, &long_high), "exited impl must match spec log");
+    }
+
+    #[test]
+    fn ub_conjunct_is_enforced() {
+        let relation = StandardRelation::log_prefix();
+        let low_ub = state_with_log(
+            vec![],
+            Termination::UndefinedBehavior(UbReason::NullDereference),
+        );
+        let high_ok = state_with_log(vec![], Termination::Running);
+        let high_ub = state_with_log(
+            vec![],
+            Termination::UndefinedBehavior(UbReason::NullDereference),
+        );
+        assert!(!relation.relates(&low_ub, &high_ok));
+        assert!(relation.relates(&low_ub, &high_ub));
+    }
+
+    #[test]
+    fn custom_relation_evaluates_projection_predicate() {
+        let pred_src = "len(low_log) <= len(high_log)";
+        let pred = PredicateSource {
+            text: pred_src.to_string(),
+            expr: armada_lang::parse_expr(pred_src).unwrap(),
+        };
+        let relation = StandardRelation::new(RelationKind::Custom(pred));
+        let low = state_with_log(vec![1], Termination::Running);
+        let high = state_with_log(vec![2, 3], Termination::Running);
+        assert!(relation.relates(&low, &high));
+        assert!(!relation.relates(&high, &low));
+        assert!(relation.describe().contains("custom"));
+    }
+}

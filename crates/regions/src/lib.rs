@@ -1,0 +1,565 @@
+//! # armada-regions
+//!
+//! Region-based pointer reasoning for Armada (§4.1.1 of the paper).
+//!
+//! To prove that two pointers cannot alias, Armada assigns abstract *region
+//! ids* to memory locations using Steensgaard's unification-based points-to
+//! analysis: every variable starts in its own region, and the regions of any
+//! two sides of an assignment are merged. The analysis is flow- and
+//! field-insensitive, runs in almost-linear time, and — crucially for the
+//! paper's design — lives purely in generated proofs: it needs no changes to
+//! the program or the state-machine semantics.
+//!
+//! The `use_regions` recipe flag makes a strategy consult [`RegionAnalysis`]
+//! when discharging obligations; `use_address_invariant` is the cheaper
+//! variant asserting only that distinct in-scope variables have distinct,
+//! valid addresses.
+//!
+//! # Example
+//!
+//! ```
+//! use armada_lang::parse_module;
+//! use armada_regions::RegionAnalysis;
+//!
+//! let module = parse_module(r#"
+//!     level L {
+//!         void main() {
+//!             var p: ptr<uint32> := malloc(uint32);
+//!             var q: ptr<uint32> := malloc(uint32);
+//!             var r: ptr<uint32> := p;
+//!             *p := 1;
+//!             *q := 2;
+//!         }
+//!     }
+//! "#).unwrap();
+//! let analysis = RegionAnalysis::of_level(&module.levels[0]);
+//! // p and r were unified by `r := p`; q came from a different allocation.
+//! assert!(analysis.may_alias("main", "p", "main", "r"));
+//! assert!(!analysis.may_alias("main", "p", "main", "q"));
+//! ```
+
+use armada_lang::ast::*;
+use std::collections::BTreeMap;
+
+/// An abstract region identifier. Pointers whose pointees are in different
+/// regions provably do not alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u32);
+
+/// A node of the points-to graph: a variable in a scope, or an allocation
+/// site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum NodeKey {
+    /// `scope` is the method name, or `""` for globals.
+    Var { scope: String, name: String },
+    /// One `malloc`/`calloc` occurrence, numbered in traversal order.
+    AllocSite(u32),
+    /// The return value of a method.
+    Return(String),
+}
+
+/// Union-find with a `points_to` successor per class, implementing
+/// Steensgaard's unification rules.
+#[derive(Debug, Default)]
+struct Graph {
+    parent: Vec<u32>,
+    points_to: Vec<Option<u32>>,
+    keys: BTreeMap<NodeKey, u32>,
+}
+
+impl Graph {
+    fn node(&mut self, key: NodeKey) -> u32 {
+        if let Some(&id) = self.keys.get(&key) {
+            return id;
+        }
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.points_to.push(None);
+        self.keys.insert(key, id);
+        id
+    }
+
+    fn fresh(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.points_to.push(None);
+        id
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// The points-to successor of a class, created on demand (Steensgaard's
+    /// lazily materialized ⊥ successors).
+    fn pts(&mut self, x: u32) -> u32 {
+        let root = self.find(x);
+        match self.points_to[root as usize] {
+            Some(succ) => self.find(succ),
+            None => {
+                let succ = self.fresh();
+                self.points_to[root as usize] = Some(succ);
+                succ
+            }
+        }
+    }
+
+    /// Unifies two classes and, recursively, their points-to successors
+    /// (iteratively, to stay safe on cyclic graphs).
+    fn unify(&mut self, a: u32, b: u32) {
+        let mut work = vec![(a, b)];
+        while let Some((a, b)) = work.pop() {
+            let (ra, rb) = (self.find(a), self.find(b));
+            if ra == rb {
+                continue;
+            }
+            self.parent[rb as usize] = ra;
+            match (self.points_to[ra as usize], self.points_to[rb as usize]) {
+                (Some(pa), Some(pb)) => work.push((pa, pb)),
+                (None, Some(pb)) => self.points_to[ra as usize] = Some(pb),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The result of running Steensgaard's analysis over one level.
+#[derive(Debug)]
+pub struct RegionAnalysis {
+    graph: std::cell::RefCell<Graph>,
+    /// Number of nodes at analysis completion, for reporting.
+    nodes: usize,
+}
+
+impl RegionAnalysis {
+    /// Runs the analysis over every method of `level`.
+    pub fn of_level(level: &Level) -> RegionAnalysis {
+        let mut builder = Builder { graph: Graph::default(), alloc_counter: 0, level };
+        for global in level.globals() {
+            let node = builder.graph.node(NodeKey::Var {
+                scope: String::new(),
+                name: global.name.clone(),
+            });
+            if let Some(init) = &global.init {
+                builder.assign_expr(node, "", init);
+            }
+        }
+        for method in level.methods() {
+            if let Some(body) = &method.body {
+                builder.block(&method.name, body);
+            }
+        }
+        let nodes = builder.graph.parent.len();
+        RegionAnalysis { graph: std::cell::RefCell::new(builder.graph), nodes }
+    }
+
+    /// The region a pointer variable's *pointee* belongs to.
+    pub fn pointee_region(&self, scope: &str, name: &str) -> RegionId {
+        let mut graph = self.graph.borrow_mut();
+        let node =
+            graph.node(NodeKey::Var { scope: scope.to_string(), name: name.to_string() });
+        let pts = graph.pts(node);
+        RegionId(graph.find(pts))
+    }
+
+    /// Whether pointers `a` (in method scope `scope_a`) and `b` may alias —
+    /// i.e. whether their pointee regions were unified.
+    pub fn may_alias(&self, scope_a: &str, a: &str, scope_b: &str, b: &str) -> bool {
+        self.pointee_region(scope_a, a) == self.pointee_region(scope_b, b)
+    }
+
+    /// Number of points-to nodes created, reported in proof artifacts.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Renders the region assignment for the pointer variables of a method,
+    /// used in generated proof text.
+    pub fn describe_scope(&self, level: &Level, scope: &str) -> String {
+        let mut out = String::new();
+        let mut names: Vec<String> = Vec::new();
+        if let Some(method) = level.method(scope) {
+            for param in &method.params {
+                if matches!(param.ty, Type::Pointer(_)) {
+                    names.push(param.name.clone());
+                }
+            }
+            if let Some(body) = &method.body {
+                collect_pointer_locals(body, &mut names);
+            }
+        }
+        for global in level.globals() {
+            if matches!(global.ty, Type::Pointer(_)) {
+                names.push(global.name.clone());
+            }
+        }
+        for name in names {
+            let scope_of = if level.globals().any(|g| g.name == name) { "" } else { scope };
+            let region = self.pointee_region(scope_of, &name);
+            out.push_str(&format!("  region({name}) = R{}\n", region.0));
+        }
+        out
+    }
+}
+
+fn collect_pointer_locals(block: &Block, out: &mut Vec<String>) {
+    for stmt in &block.stmts {
+        match &stmt.kind {
+            StmtKind::VarDecl { name, ty: Type::Pointer(_), .. } => out.push(name.clone()),
+            StmtKind::If { then_block, else_block, .. } => {
+                collect_pointer_locals(then_block, out);
+                if let Some(els) = else_block {
+                    collect_pointer_locals(els, out);
+                }
+            }
+            StmtKind::While { body, .. } => collect_pointer_locals(body, out),
+            StmtKind::ExplicitYield(b) | StmtKind::Atomic(b) | StmtKind::Block(b) => {
+                collect_pointer_locals(b, out)
+            }
+            StmtKind::Label(_, inner) => {
+                if let StmtKind::Block(b) = &inner.kind {
+                    collect_pointer_locals(b, out)
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Builder<'a> {
+    graph: Graph,
+    alloc_counter: u32,
+    level: &'a Level,
+}
+
+impl Builder<'_> {
+    /// The graph node denoting an lvalue/rvalue *location* (field- and
+    /// index-insensitive: `e.f` and `e[i]` collapse to `e`).
+    fn loc_node(&mut self, scope: &str, expr: &Expr) -> Option<u32> {
+        match &expr.kind {
+            ExprKind::Var(name) => {
+                let scope = self.var_scope(scope, name);
+                Some(self.graph.node(NodeKey::Var { scope, name: name.clone() }))
+            }
+            ExprKind::Field(base, _) | ExprKind::Index(base, _) => self.loc_node(scope, base),
+            ExprKind::Deref(inner) => {
+                let node = self.loc_node(scope, inner)?;
+                Some(self.graph.pts(node))
+            }
+            // Pointer arithmetic stays within the array: same region.
+            ExprKind::Binary(BinOp::Add | BinOp::Sub, lhs, _) => self.loc_node(scope, lhs),
+            _ => None,
+        }
+    }
+
+    fn var_scope(&self, scope: &str, name: &str) -> String {
+        let is_local = self
+            .level
+            .method(scope)
+            .map(|m| {
+                m.params.iter().any(|p| p.name == name)
+                    || m.body.as_ref().map(|b| declares(b, name)).unwrap_or(false)
+            })
+            .unwrap_or(false);
+        if is_local {
+            scope.to_string()
+        } else {
+            String::new()
+        }
+    }
+
+    /// Processes `target := value` for points-to purposes.
+    fn assign(&mut self, scope: &str, target: &Expr, value: &Expr) {
+        let Some(lhs) = self.loc_node(scope, target) else { return };
+        self.assign_node(lhs, scope, value);
+    }
+
+    fn assign_expr(&mut self, lhs: u32, scope: &str, value: &Expr) {
+        self.assign_node(lhs, scope, value);
+    }
+
+    fn assign_node(&mut self, lhs: u32, scope: &str, value: &Expr) {
+        match &value.kind {
+            // x := &y — y joins x's pointee region.
+            ExprKind::AddrOf(inner) => {
+                if let Some(target) = self.loc_node(scope, inner) {
+                    let pts = self.graph.pts(lhs);
+                    self.graph.unify(pts, target);
+                }
+            }
+            // x := y (or y.f, y[i], *y, y±k) — unify pointees.
+            ExprKind::Var(_)
+            | ExprKind::Field(_, _)
+            | ExprKind::Index(_, _)
+            | ExprKind::Deref(_)
+            | ExprKind::Binary(BinOp::Add | BinOp::Sub, _, _) => {
+                if let Some(rhs) = self.loc_node(scope, value) {
+                    let lp = self.graph.pts(lhs);
+                    let rp = self.graph.pts(rhs);
+                    self.graph.unify(lp, rp);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn assign_rhs(&mut self, scope: &str, target: &Expr, value: &Rhs) {
+        match value {
+            Rhs::Expr(expr) => {
+                // A method-call RHS binds the callee's return node.
+                if let ExprKind::Call(name, args) = &expr.kind {
+                    if self.level.method(name).is_some() {
+                        self.call(scope, name, args);
+                        if let Some(lhs) = self.loc_node(scope, target) {
+                            let ret = self.graph.node(NodeKey::Return(name.clone()));
+                            let lp = self.graph.pts(lhs);
+                            let rp = self.graph.pts(ret);
+                            self.graph.unify(lp, rp);
+                        }
+                        return;
+                    }
+                }
+                self.assign(scope, target, expr);
+            }
+            Rhs::Malloc { .. } | Rhs::Calloc { .. } => {
+                if let Some(lhs) = self.loc_node(scope, target) {
+                    let site = self.alloc_counter;
+                    self.alloc_counter += 1;
+                    let alloc = self.graph.node(NodeKey::AllocSite(site));
+                    let pts = self.graph.pts(lhs);
+                    self.graph.unify(pts, alloc);
+                }
+            }
+            Rhs::CreateThread { method, args, .. } => self.call(scope, method, args),
+        }
+    }
+
+    /// Parameter binding behaves like assignments `param := arg`.
+    fn call(&mut self, scope: &str, callee: &str, args: &[Expr]) {
+        let params: Vec<String> = match self.level.method(callee) {
+            Some(method) => method.params.iter().map(|p| p.name.clone()).collect(),
+            None => return,
+        };
+        for (param, arg) in params.iter().zip(args) {
+            let node = self
+                .graph
+                .node(NodeKey::Var { scope: callee.to_string(), name: param.clone() });
+            self.assign_node(node, scope, arg);
+        }
+    }
+
+    fn block(&mut self, scope: &str, block: &Block) {
+        for stmt in &block.stmts {
+            self.stmt(scope, stmt);
+        }
+    }
+
+    fn stmt(&mut self, scope: &str, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::VarDecl { name, init: Some(init), .. } => {
+                let target = Expr::synthetic(ExprKind::Var(name.clone()));
+                self.assign_rhs(scope, &target, init);
+            }
+            StmtKind::Assign { lhs, rhs, .. } => {
+                for (target, value) in lhs.iter().zip(rhs) {
+                    self.assign_rhs(scope, target, value);
+                }
+            }
+            StmtKind::CallStmt { method, args } => self.call(scope, method, args),
+            StmtKind::Return(Some(value)) => {
+                let ret = self.graph.node(NodeKey::Return(scope.to_string()));
+                self.assign_node(ret, scope, value);
+            }
+            StmtKind::If { then_block, else_block, .. } => {
+                self.block(scope, then_block);
+                if let Some(els) = else_block {
+                    self.block(scope, els);
+                }
+            }
+            StmtKind::While { body, .. } => self.block(scope, body),
+            StmtKind::Label(_, inner) => self.stmt(scope, inner),
+            StmtKind::ExplicitYield(b) | StmtKind::Atomic(b) | StmtKind::Block(b) => {
+                self.block(scope, b)
+            }
+            _ => {}
+        }
+    }
+}
+
+fn declares(block: &Block, name: &str) -> bool {
+    block.stmts.iter().any(|stmt| match &stmt.kind {
+        StmtKind::VarDecl { name: n, .. } => n == name,
+        StmtKind::If { then_block, else_block, .. } => {
+            declares(then_block, name)
+                || else_block.as_ref().map(|e| declares(e, name)).unwrap_or(false)
+        }
+        StmtKind::While { body, .. } => declares(body, name),
+        StmtKind::Label(_, inner) => matches!(&inner.kind, StmtKind::Block(b) if declares(b, name)),
+        StmtKind::ExplicitYield(b) | StmtKind::Atomic(b) | StmtKind::Block(b) => {
+            declares(b, name)
+        }
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_lang::parse_module;
+
+    fn analysis(src: &str) -> (armada_lang::Module, RegionAnalysis) {
+        let module = parse_module(src).expect("parse");
+        let analysis = RegionAnalysis::of_level(&module.levels[0]);
+        (module, analysis)
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_alias() {
+        let (_, a) = analysis(
+            r#"level L {
+                void main() {
+                    var p: ptr<uint32> := malloc(uint32);
+                    var q: ptr<uint32> := malloc(uint32);
+                    *p := 1;
+                    *q := 2;
+                }
+            }"#,
+        );
+        assert!(!a.may_alias("main", "p", "main", "q"));
+    }
+
+    #[test]
+    fn assignment_unifies_regions() {
+        let (_, a) = analysis(
+            r#"level L {
+                void main() {
+                    var p: ptr<uint32> := malloc(uint32);
+                    var q: ptr<uint32> := malloc(uint32);
+                    q := p;
+                }
+            }"#,
+        );
+        assert!(a.may_alias("main", "p", "main", "q"));
+    }
+
+    #[test]
+    fn address_of_links_pointee() {
+        let (_, a) = analysis(
+            r#"level L {
+                var g: uint32;
+                var h: uint32;
+                void main() {
+                    var p: ptr<uint32> := &g;
+                    var q: ptr<uint32> := &h;
+                    var r: ptr<uint32> := &g;
+                    *p := 1;
+                }
+            }"#,
+        );
+        assert!(!a.may_alias("main", "p", "main", "q"));
+        assert!(a.may_alias("main", "p", "main", "r"));
+    }
+
+    #[test]
+    fn parameters_unify_with_arguments() {
+        let (_, a) = analysis(
+            r#"level L {
+                void callee(x: ptr<uint32>) { *x := 1; }
+                void main() {
+                    var p: ptr<uint32> := malloc(uint32);
+                    var q: ptr<uint32> := malloc(uint32);
+                    callee(p);
+                }
+            }"#,
+        );
+        assert!(a.may_alias("main", "p", "callee", "x"));
+        assert!(!a.may_alias("main", "q", "callee", "x"));
+    }
+
+    #[test]
+    fn return_values_flow_back() {
+        let (_, a) = analysis(
+            r#"level L {
+                method make() returns (r: ptr<uint32>) {
+                    var p: ptr<uint32> := malloc(uint32);
+                    return p;
+                }
+                void main() {
+                    var q: ptr<uint32> := make();
+                    *q := 1;
+                }
+            }"#,
+        );
+        assert!(a.may_alias("main", "q", "make", "p"));
+    }
+
+    #[test]
+    fn pointer_arithmetic_stays_in_region() {
+        let (_, a) = analysis(
+            r#"level L {
+                void main() {
+                    var base: ptr<uint32> := calloc(uint32, 8);
+                    var elem: ptr<uint32> := base + 3;
+                    var other: ptr<uint32> := malloc(uint32);
+                    *elem := 1;
+                }
+            }"#,
+        );
+        assert!(a.may_alias("main", "base", "main", "elem"));
+        assert!(!a.may_alias("main", "elem", "main", "other"));
+    }
+
+    #[test]
+    fn steensgaard_is_transitively_closed() {
+        // Unification (unlike Andersen) merges both sides: after p := q and
+        // p := r, q and r share a region even though neither was assigned
+        // the other.
+        let (_, a) = analysis(
+            r#"level L {
+                void main() {
+                    var p: ptr<uint32> := malloc(uint32);
+                    var q: ptr<uint32> := malloc(uint32);
+                    var r: ptr<uint32> := malloc(uint32);
+                    p := q;
+                    p := r;
+                }
+            }"#,
+        );
+        assert!(a.may_alias("main", "q", "main", "r"));
+    }
+
+    #[test]
+    fn globals_share_scope_across_methods() {
+        let (_, a) = analysis(
+            r#"level L {
+                var shared: ptr<uint32>;
+                void writer() { shared := malloc(uint32); }
+                void main() {
+                    var mine: ptr<uint32> := shared;
+                    *mine := 1;
+                }
+            }"#,
+        );
+        assert!(a.may_alias("main", "mine", "", "shared"));
+    }
+
+    #[test]
+    fn describe_scope_lists_pointer_regions() {
+        let (module, a) = analysis(
+            r#"level L {
+                void main() {
+                    var p: ptr<uint32> := malloc(uint32);
+                    *p := 1;
+                }
+            }"#,
+        );
+        let text = a.describe_scope(&module.levels[0], "main");
+        assert!(text.contains("region(p) = R"));
+        assert!(a.node_count() > 0);
+    }
+}

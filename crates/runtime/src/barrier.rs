@@ -1,0 +1,185 @@
+//! The Schirmer–Cohen flag barrier (§6.1).
+//!
+//! “Each processor has a flag that it exclusively writes (with volatile
+//! writes without any flushing) and other processors read, and each
+//! processor waits for all processors to set their flags before continuing
+//! past the barrier.” The write is an instance of Owens's *publication
+//! idiom*: it races with the readers by design, which is exactly why
+//! ownership-based methodologies cannot verify it and why the paper uses it
+//! as a case study.
+//!
+//! The native implementation uses release stores and acquire loads (free on
+//! x86, matching the case study's "no flushing" requirement).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A single-use N-participant flag barrier.
+#[derive(Debug)]
+pub struct FlagBarrier {
+    flags: Box<[AtomicU32]>,
+}
+
+impl FlagBarrier {
+    /// Creates a barrier for `participants` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is zero.
+    pub fn new(participants: usize) -> FlagBarrier {
+        assert!(participants > 0, "a barrier needs at least one participant");
+        FlagBarrier {
+            flags: (0..participants).map(|_| AtomicU32::new(0)).collect::<Vec<_>>().into(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Announces arrival of participant `id` and spins until every
+    /// participant has arrived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn wait(&self, id: usize) {
+        // Publication: a plain (release) store of our own flag — no RMW, no
+        // flush.
+        self.flags[id].store(1, Ordering::Release);
+        for (other, flag) in self.flags.iter().enumerate() {
+            if other == id {
+                continue;
+            }
+            let mut iterations = 0u32;
+            while flag.load(Ordering::Acquire) == 0 {
+                if iterations < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+                iterations = iterations.wrapping_add(1);
+            }
+        }
+    }
+
+    /// True once participant `id` has arrived (used in tests and the
+    /// example).
+    pub fn arrived(&self, id: usize) -> bool {
+        self.flags[id].load(Ordering::Acquire) != 0
+    }
+}
+
+/// A reusable sense-reversing variant built from the same publication idiom,
+/// for workloads that cross the barrier repeatedly.
+#[derive(Debug)]
+pub struct SenseBarrier {
+    flags: Box<[AtomicU32]>,
+}
+
+impl SenseBarrier {
+    /// Creates a reusable barrier for `participants` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is zero.
+    pub fn new(participants: usize) -> SenseBarrier {
+        assert!(participants > 0, "a barrier needs at least one participant");
+        SenseBarrier {
+            flags: (0..participants).map(|_| AtomicU32::new(0)).collect::<Vec<_>>().into(),
+        }
+    }
+
+    /// Crosses the barrier for the `round`-th time (rounds start at 0 and
+    /// must be passed in order by every participant).
+    pub fn wait(&self, id: usize, round: u32) {
+        let target = round + 1;
+        self.flags[id].store(target, Ordering::Release);
+        for (other, flag) in self.flags.iter().enumerate() {
+            if other == id {
+                continue;
+            }
+            let mut iterations = 0u32;
+            while flag.load(Ordering::Acquire) < target {
+                if iterations < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+                iterations = iterations.wrapping_add(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn all_pre_barrier_writes_visible_after_crossing() {
+        // The case study's safety property: each thread's post-barrier read
+        // sees *every* thread's pre-barrier write.
+        let n = 4;
+        let barrier = Arc::new(FlagBarrier::new(n));
+        let data: Arc<Vec<AtomicU64>> =
+            Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let threads: Vec<_> = (0..n)
+            .map(|id| {
+                let barrier = Arc::clone(&barrier);
+                let data = Arc::clone(&data);
+                thread::spawn(move || {
+                    data[id].store(id as u64 + 1, Ordering::Relaxed);
+                    barrier.wait(id);
+                    // Post-barrier: all pre-barrier writes must be visible.
+                    for (other, slot) in data.iter().enumerate() {
+                        assert_eq!(
+                            slot.load(Ordering::Relaxed),
+                            other as u64 + 1,
+                            "thread {id} missed thread {other}'s pre-barrier write"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("thread");
+        }
+    }
+
+    #[test]
+    fn sense_barrier_is_reusable() {
+        let n = 3;
+        let rounds = 20;
+        let barrier = Arc::new(SenseBarrier::new(n));
+        let counter = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..n)
+            .map(|id| {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    for round in 0..rounds {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait(id, round);
+                        // After round r, exactly (r+1)*n increments exist.
+                        let seen = counter.load(Ordering::Relaxed);
+                        assert!(seen >= (round as u64 + 1) * n as u64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("thread");
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), rounds as u64 * n as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        let _ = FlagBarrier::new(0);
+    }
+}

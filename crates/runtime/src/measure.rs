@@ -1,0 +1,114 @@
+//! Throughput measurement with trial statistics (Figure 12's protocol:
+//! repeated trials, mean, 95% confidence intervals).
+
+use std::time::Instant;
+
+/// Summary statistics over repeated trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval (normal approximation).
+    pub ci95: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl Stats {
+    /// Computes mean and 95% CI of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> Stats {
+        assert!(!samples.is_empty(), "no samples");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let variance = if samples.len() > 1 {
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let ci95 = 1.96 * (variance / n).sqrt();
+        Stats { mean, ci95, samples: samples.len() }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3e} ± {:.1e} (n={})", self.mean, self.ci95, self.samples)
+    }
+}
+
+/// Runs one producer/consumer throughput trial: transfers `ops` values
+/// through a queue whose endpoints are driven by the two closures, and
+/// returns operations per second.
+///
+/// `enqueue` must return `false` on a full queue; `dequeue` must return
+/// `None` on an empty one — the benchmark spins in both cases, exactly like
+/// liblfds' built-in benchmark.
+pub fn queue_throughput_ops_per_sec<E, D>(ops: u64, enqueue: E, dequeue: D) -> f64
+where
+    E: FnOnce() -> Box<dyn FnMut(u64) -> bool + Send> ,
+    D: FnOnce() -> Box<dyn FnMut() -> Option<u64> + Send>,
+{
+    let mut enqueue = enqueue();
+    let mut dequeue = dequeue();
+    let start = Instant::now();
+    let consumer = std::thread::spawn(move || {
+        let mut received = 0u64;
+        let mut checksum = 0u64;
+        while received < ops {
+            if let Some(value) = dequeue() {
+                checksum = checksum.wrapping_add(value);
+                received += 1;
+            } else {
+                // Essential on few-core machines: a pure spin would burn the
+                // whole quantum while the producer is descheduled.
+                std::thread::yield_now();
+            }
+        }
+        checksum
+    });
+    for i in 0..ops {
+        while !enqueue(i) {
+            std::thread::yield_now();
+        }
+    }
+    let checksum = consumer.join().expect("consumer thread");
+    let elapsed = start.elapsed().as_secs_f64();
+    // The checksum keeps the transfer from being optimized away and
+    // validates no loss/duplication.
+    let expected = (0..ops).fold(0u64, |a, b| a.wrapping_add(b));
+    assert_eq!(checksum, expected, "queue lost or duplicated elements");
+    ops as f64 / elapsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_mean_and_ci() {
+        let stats = Stats::of(&[10.0, 12.0, 8.0, 10.0]);
+        assert!((stats.mean - 10.0).abs() < 1e-9);
+        assert!(stats.ci95 > 0.0);
+        assert_eq!(stats.samples, 4);
+        // Constant samples have zero CI.
+        let constant = Stats::of(&[5.0, 5.0, 5.0]);
+        assert_eq!(constant.ci95, 0.0);
+        assert!(constant.to_string().contains("n=3"));
+    }
+
+    #[test]
+    fn throughput_harness_transfers_everything() {
+        let (producer, consumer) =
+            crate::spsc::spsc_queue::<crate::spsc::Bitmask, crate::spsc::HwTso>(64);
+        let ops_per_sec = queue_throughput_ops_per_sec(
+            10_000,
+            move || Box::new(move |v| producer.try_enqueue(v)),
+            move || Box::new(move || consumer.try_dequeue()),
+        );
+        assert!(ops_per_sec > 0.0);
+    }
+}

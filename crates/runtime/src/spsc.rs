@@ -1,0 +1,307 @@
+//! Bounded single-producer / single-consumer queue, ported from liblfds
+//! 7.1.1's `lfds711_queue_bounded_singleproducer_singleconsumer` (§6.4,
+//! Figure 12).
+//!
+//! The queue is a power-of-two ring of slots with monotonically increasing
+//! read/write counters. The producer publishes an element by writing the
+//! slot and then advancing `write_index` with release ordering; the consumer
+//! observes it with an acquire load. On x86 these orderings compile to plain
+//! loads and stores — exactly the code liblfds emits — so the
+//! [`HwTso`] policy is the "GCC" build of the paper's figure.
+//!
+//! Two compile-time policies reproduce the figure's other dimensions:
+//!
+//! * [`Bitmask`] vs [`Modulo`] index reduction — the paper's Armada port
+//!   uses `%` to avoid bit-vector reasoning, and measures the cost with a
+//!   `liblfds-modulo` variant;
+//! * [`HwTso`] vs [`SeqCstConservative`] memory policy — the conservative
+//!   policy issues sequentially consistent accesses plus a full fence after
+//!   every shared access, modeling CompCertTSO's unoptimized mapping.
+//!
+//! The API is safe: [`spsc_queue`] returns a non-cloneable
+//! [`Producer`]/[`Consumer`] pair, so the single-producer single-consumer
+//! contract is enforced by ownership.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How ring indices are reduced to slot positions.
+pub trait IndexPolicy: Send + Sync + 'static {
+    /// Human-readable variant name (used in benchmark reports).
+    const NAME: &'static str;
+
+    /// Maps a monotone counter to a slot index.
+    fn slot(index: u64, capacity: u64, mask: u64) -> usize;
+}
+
+/// liblfds' index reduction: `index & (capacity - 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bitmask;
+
+impl IndexPolicy for Bitmask {
+    const NAME: &'static str = "bitmask";
+
+    #[inline(always)]
+    fn slot(index: u64, _capacity: u64, mask: u64) -> usize {
+        (index & mask) as usize
+    }
+}
+
+/// The Armada port's index reduction: `index % capacity` (the paper uses
+/// modulo to avoid bit-vector reasoning in proofs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Modulo;
+
+impl IndexPolicy for Modulo {
+    const NAME: &'static str = "modulo";
+
+    #[inline(always)]
+    fn slot(index: u64, capacity: u64, _mask: u64) -> usize {
+        (index % capacity) as usize
+    }
+}
+
+/// Memory-access policy: which orderings shared accesses use, and whether a
+/// trailing fence is issued.
+pub trait MemPolicy: Send + Sync + 'static {
+    /// Human-readable policy name.
+    const NAME: &'static str;
+    /// Ordering for shared loads.
+    const LOAD: Ordering;
+    /// Ordering for shared stores.
+    const STORE: Ordering;
+
+    /// Issued after every shared access by the conservative policy.
+    #[inline(always)]
+    fn post_access_barrier() {}
+}
+
+/// Hardware-TSO policy: acquire loads, release stores — free on x86, the
+/// "compiled by GCC" rows of Figure 12.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HwTso;
+
+impl MemPolicy for HwTso {
+    const NAME: &'static str = "hw-tso";
+    const LOAD: Ordering = Ordering::Acquire;
+    const STORE: Ordering = Ordering::Release;
+}
+
+/// Conservative policy: sequentially consistent accesses plus a full fence
+/// after each one — the cost model of CompCertTSO's unoptimized code
+/// generation (every shared store becomes `mov; mfence`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeqCstConservative;
+
+impl MemPolicy for SeqCstConservative {
+    const NAME: &'static str = "seqcst-conservative";
+    const LOAD: Ordering = Ordering::SeqCst;
+    const STORE: Ordering = Ordering::SeqCst;
+
+    #[inline(always)]
+    fn post_access_barrier() {
+        fence(Ordering::SeqCst);
+    }
+}
+
+#[derive(Debug)]
+struct Ring<I: IndexPolicy, M: MemPolicy> {
+    slots: Box<[AtomicU64]>,
+    read_index: AtomicU64,
+    write_index: AtomicU64,
+    capacity: u64,
+    mask: u64,
+    _policies: PhantomData<(I, M)>,
+}
+
+/// The producing half of an SPSC queue. Not cloneable: exactly one producer.
+#[derive(Debug)]
+pub struct Producer<I: IndexPolicy, M: MemPolicy> {
+    ring: Arc<Ring<I, M>>,
+}
+
+/// The consuming half of an SPSC queue. Not cloneable: exactly one consumer.
+#[derive(Debug)]
+pub struct Consumer<I: IndexPolicy, M: MemPolicy> {
+    ring: Arc<Ring<I, M>>,
+}
+
+/// Creates a bounded SPSC queue with the given capacity (rounded up to a
+/// power of two, as liblfds requires) and returns its two endpoints.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn spsc_queue<I: IndexPolicy, M: MemPolicy>(
+    capacity: usize,
+) -> (Producer<I, M>, Consumer<I, M>) {
+    assert!(capacity > 0, "queue capacity must be positive");
+    let capacity = capacity.next_power_of_two() as u64;
+    let slots: Box<[AtomicU64]> =
+        (0..capacity).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice();
+    let ring = Arc::new(Ring {
+        slots,
+        read_index: AtomicU64::new(0),
+        write_index: AtomicU64::new(0),
+        capacity,
+        mask: capacity - 1,
+        _policies: PhantomData,
+    });
+    (Producer { ring: Arc::clone(&ring) }, Consumer { ring })
+}
+
+impl<I: IndexPolicy, M: MemPolicy> Producer<I, M> {
+    /// Attempts to enqueue `value`; returns `false` when the queue is full.
+    #[inline]
+    pub fn try_enqueue(&self, value: u64) -> bool {
+        let ring = &*self.ring;
+        let write = ring.write_index.load(Ordering::Relaxed);
+        let read = ring.read_index.load(M::LOAD);
+        M::post_access_barrier();
+        if write.wrapping_sub(read) == ring.capacity {
+            return false;
+        }
+        let slot = I::slot(write, ring.capacity, ring.mask);
+        // The slot is exclusively ours until write_index advances past it.
+        ring.slots[slot].store(value, M::STORE);
+        M::post_access_barrier();
+        ring.write_index.store(write.wrapping_add(1), M::STORE);
+        M::post_access_barrier();
+        true
+    }
+
+    /// The queue's slot count.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity as usize
+    }
+}
+
+impl<I: IndexPolicy, M: MemPolicy> Consumer<I, M> {
+    /// Attempts to dequeue; returns `None` when the queue is empty.
+    #[inline]
+    pub fn try_dequeue(&self) -> Option<u64> {
+        let ring = &*self.ring;
+        let read = ring.read_index.load(Ordering::Relaxed);
+        let write = ring.write_index.load(M::LOAD);
+        M::post_access_barrier();
+        if read == write {
+            return None;
+        }
+        let slot = I::slot(read, ring.capacity, ring.mask);
+        let value = ring.slots[slot].load(M::LOAD);
+        M::post_access_barrier();
+        ring.read_index.store(read.wrapping_add(1), M::STORE);
+        M::post_access_barrier();
+        Some(value)
+    }
+
+    /// The queue's slot count.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::thread;
+
+    fn fifo_roundtrip<I: IndexPolicy, M: MemPolicy>() {
+        let (producer, consumer) = spsc_queue::<I, M>(8);
+        for i in 0..8 {
+            assert!(producer.try_enqueue(i));
+        }
+        assert!(!producer.try_enqueue(99), "queue is full");
+        for i in 0..8 {
+            assert_eq!(consumer.try_dequeue(), Some(i));
+        }
+        assert_eq!(consumer.try_dequeue(), None, "queue is empty");
+    }
+
+    #[test]
+    fn fifo_in_all_variants() {
+        fifo_roundtrip::<Bitmask, HwTso>();
+        fifo_roundtrip::<Modulo, HwTso>();
+        fifo_roundtrip::<Bitmask, SeqCstConservative>();
+        fifo_roundtrip::<Modulo, SeqCstConservative>();
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (producer, _) = spsc_queue::<Bitmask, HwTso>(500);
+        assert_eq!(producer.capacity(), 512);
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let (producer, consumer) = spsc_queue::<Bitmask, HwTso>(4);
+        for round in 0..10u64 {
+            for i in 0..3 {
+                assert!(producer.try_enqueue(round * 10 + i));
+            }
+            for i in 0..3 {
+                assert_eq!(consumer.try_dequeue(), Some(round * 10 + i));
+            }
+        }
+    }
+
+    fn concurrent_transfer<I: IndexPolicy, M: MemPolicy>(count: u64) {
+        let (producer, consumer) = spsc_queue::<I, M>(64);
+        let consumer_thread = thread::spawn(move || {
+            let mut received = Vec::with_capacity(count as usize);
+            while received.len() < count as usize {
+                match consumer.try_dequeue() {
+                    Some(value) => received.push(value),
+                    None => std::thread::yield_now(),
+                }
+            }
+            received
+        });
+        for i in 0..count {
+            while !producer.try_enqueue(i) {
+                std::thread::yield_now();
+            }
+        }
+        let received = consumer_thread.join().expect("consumer");
+        let expected: Vec<u64> = (0..count).collect();
+        assert_eq!(received, expected, "{}-{}", I::NAME, M::NAME);
+    }
+
+    #[test]
+    fn concurrent_fifo_hw_tso() {
+        concurrent_transfer::<Bitmask, HwTso>(20_000);
+        concurrent_transfer::<Modulo, HwTso>(20_000);
+    }
+
+    #[test]
+    fn concurrent_fifo_conservative() {
+        concurrent_transfer::<Modulo, SeqCstConservative>(10_000);
+    }
+
+    proptest! {
+        /// Any interleaved sequence of enqueues and dequeues matches a
+        /// VecDeque model.
+        #[test]
+        fn matches_model(ops in proptest::collection::vec(0u8..3, 1..200)) {
+            let (producer, consumer) = spsc_queue::<Bitmask, HwTso>(4);
+            let mut model = std::collections::VecDeque::new();
+            let mut next = 0u64;
+            for op in ops {
+                if op < 2 {
+                    let accepted = producer.try_enqueue(next);
+                    if model.len() < producer.capacity() {
+                        prop_assert!(accepted);
+                        model.push_back(next);
+                    } else {
+                        prop_assert!(!accepted);
+                    }
+                    next += 1;
+                } else {
+                    prop_assert_eq!(consumer.try_dequeue(), model.pop_front());
+                }
+            }
+        }
+    }
+}

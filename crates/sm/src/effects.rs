@@ -1,0 +1,429 @@
+//! Static read/write-set (effect) analysis over lowered instructions.
+//!
+//! The proof strategies use effects in two ways: the reduction strategy's
+//! commutativity lemmas discharge instantly when two steps touch disjoint
+//! abstract locations, and the TSO-elimination strategy needs to know every
+//! instruction that can touch an eliminated variable. Pointer dereferences
+//! are conservatively mapped to [`AbsLoc::HeapUnknown`] unless the caller
+//! supplies region information from `armada-regions`.
+
+use armada_lang::ast::{Expr, ExprKind, Rhs, Stmt, StmtKind};
+use std::collections::BTreeSet;
+
+use crate::program::{Instr, Program, Routine};
+
+/// An abstract memory location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbsLoc {
+    /// A named non-ghost global (covering every path beneath it).
+    Global(String),
+    /// A named ghost global.
+    Ghost(String),
+    /// Some heap location reached through a pointer; conservatively aliases
+    /// every other heap access and every address-taken variable.
+    HeapUnknown,
+    /// A heap region id supplied by alias analysis; distinct regions do not
+    /// alias.
+    Region(u32),
+    /// The observable event log.
+    Log,
+    /// Thread bookkeeping (create/join).
+    Threads,
+}
+
+/// The effect footprint of one instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Effects {
+    /// Locations possibly read.
+    pub reads: BTreeSet<AbsLoc>,
+    /// Locations possibly written.
+    pub writes: BTreeSet<AbsLoc>,
+    /// Whether the instruction allocates or frees heap objects.
+    pub allocates: bool,
+    /// Whether the write goes through the store buffer (plain `:=` to a
+    /// shared location) rather than directly to memory.
+    pub buffered: bool,
+    /// Whether the instruction drains the store buffer (fence).
+    pub fences: bool,
+}
+
+impl Effects {
+    /// True when the instruction touches no shared state at all (local
+    /// computation, jumps, atomic markers): such steps are both-movers.
+    pub fn is_thread_local(&self) -> bool {
+        self.reads.is_empty()
+            && self.writes.is_empty()
+            && !self.allocates
+            && !self.fences
+    }
+
+    /// True when two effect footprints cannot conflict: neither writes a
+    /// location the other reads or writes. [`AbsLoc::HeapUnknown`] conflicts
+    /// with every heap access.
+    pub fn disjoint(&self, other: &Effects) -> bool {
+        if self.allocates && other.allocates {
+            // Allocation order determines object ids; two allocations
+            // commute only up to renaming, which step-level equality cannot
+            // see.
+            return false;
+        }
+        no_conflict(&self.writes, &other.writes)
+            && no_conflict(&self.writes, &other.reads)
+            && no_conflict(&self.reads, &other.writes)
+    }
+}
+
+fn heapish(loc: &AbsLoc) -> bool {
+    matches!(loc, AbsLoc::HeapUnknown | AbsLoc::Region(_) | AbsLoc::Global(_))
+}
+
+fn conflicts(a: &AbsLoc, b: &AbsLoc) -> bool {
+    if a == b {
+        return true;
+    }
+    match (a, b) {
+        (AbsLoc::HeapUnknown, other) | (other, AbsLoc::HeapUnknown) => heapish(other),
+        (AbsLoc::Region(_), AbsLoc::Global(_)) | (AbsLoc::Global(_), AbsLoc::Region(_)) => {
+            // A region id and a global name are different namespaces from
+            // different analyses; be conservative.
+            true
+        }
+        _ => false,
+    }
+}
+
+fn no_conflict(a: &BTreeSet<AbsLoc>, b: &BTreeSet<AbsLoc>) -> bool {
+    a.iter().all(|x| b.iter().all(|y| !conflicts(x, y)))
+}
+
+/// Classifies the shared locations an expression *reads*.
+pub fn expr_reads(program: &Program, routine: &Routine, expr: &Expr, out: &mut BTreeSet<AbsLoc>) {
+    use ExprKind::*;
+    match &expr.kind {
+        Var(name) => {
+            if routine.local_slot(name).is_some() {
+                // Address-taken locals are heap-resident but thread-private
+                // unless a pointer to them escapes; any access to them via
+                // pointer shows up as HeapUnknown on the deref side.
+                return;
+            }
+            if program.global_index(name).is_some() {
+                out.insert(AbsLoc::Global(name.clone()));
+            } else if program.ghost_index(name).is_some() {
+                out.insert(AbsLoc::Ghost(name.clone()));
+            }
+        }
+        Deref(inner) => {
+            out.insert(AbsLoc::HeapUnknown);
+            expr_reads(program, routine, inner, out);
+        }
+        AddrOf(inner) => {
+            // Taking an address reads nothing; index expressions inside the
+            // lvalue still count.
+            addr_reads(program, routine, inner, out);
+        }
+        Unary(_, a) | Old(a) | Allocated(a) | AllocatedArray(a) => {
+            expr_reads(program, routine, a, out)
+        }
+        Binary(_, a, b) | Index(a, b) => {
+            expr_reads(program, routine, a, out);
+            expr_reads(program, routine, b, out);
+        }
+        Field(a, _) => expr_reads(program, routine, a, out),
+        Call(_, args) | SeqLit(args) => {
+            for a in args {
+                expr_reads(program, routine, a, out);
+            }
+        }
+        Forall { lo, hi, body, .. } | Exists { lo, hi, body, .. } => {
+            expr_reads(program, routine, lo, out);
+            expr_reads(program, routine, hi, out);
+            expr_reads(program, routine, body, out);
+        }
+        SbEmpty | Me | IntLit(_) | BoolLit(_) | Null | Nondet => {}
+    }
+}
+
+fn addr_reads(program: &Program, routine: &Routine, lvalue: &Expr, out: &mut BTreeSet<AbsLoc>) {
+    match &lvalue.kind {
+        ExprKind::Var(_) => {}
+        ExprKind::Deref(inner) => expr_reads(program, routine, inner, out),
+        ExprKind::Field(base, _) => addr_reads(program, routine, base, out),
+        ExprKind::Index(base, index) => {
+            addr_reads(program, routine, base, out);
+            expr_reads(program, routine, index, out);
+        }
+        _ => expr_reads(program, routine, lvalue, out),
+    }
+}
+
+/// Classifies the shared location an lvalue *writes* (plus any reads its
+/// address computation performs).
+pub fn lvalue_effects(
+    program: &Program,
+    routine: &Routine,
+    lvalue: &Expr,
+    effects: &mut Effects,
+) {
+    match &lvalue.kind {
+        ExprKind::Var(name) => {
+            if routine.local_slot(name).is_some() {
+                return;
+            }
+            if program.global_index(name).is_some() {
+                effects.writes.insert(AbsLoc::Global(name.clone()));
+            } else if program.ghost_index(name).is_some() {
+                effects.writes.insert(AbsLoc::Ghost(name.clone()));
+            }
+        }
+        ExprKind::Deref(inner) => {
+            effects.writes.insert(AbsLoc::HeapUnknown);
+            expr_reads(program, routine, inner, &mut effects.reads);
+        }
+        ExprKind::Field(base, _) => lvalue_effects(program, routine, base, effects),
+        ExprKind::Index(base, index) => {
+            lvalue_effects(program, routine, base, effects);
+            expr_reads(program, routine, index, &mut effects.reads);
+        }
+        _ => expr_reads(program, routine, lvalue, &mut effects.reads),
+    }
+}
+
+/// Computes the effect footprint of an instruction. Call/return effects
+/// cover only the step itself (argument evaluation, return-value store) —
+/// the callee's body instructions carry their own effects.
+pub fn instr_effects(program: &Program, routine: &Routine, instr: &Instr) -> Effects {
+    let mut effects = Effects::default();
+    let reads_of = |e: &Expr, eff: &mut Effects| {
+        expr_reads(program, routine, e, &mut eff.reads);
+    };
+    match instr {
+        Instr::Assign { lhs, rhs, sc } => {
+            for value in rhs {
+                reads_of(value, &mut effects);
+            }
+            for target in lhs {
+                lvalue_effects(program, routine, target, &mut effects);
+            }
+            let shared_write = effects
+                .writes
+                .iter()
+                .any(|w| matches!(w, AbsLoc::Global(_) | AbsLoc::HeapUnknown | AbsLoc::Region(_)));
+            effects.buffered = !sc && shared_write;
+        }
+        Instr::Malloc { into, .. } => {
+            effects.allocates = true;
+            lvalue_effects(program, routine, into, &mut effects);
+        }
+        Instr::Calloc { into, count, .. } => {
+            effects.allocates = true;
+            reads_of(count, &mut effects);
+            lvalue_effects(program, routine, into, &mut effects);
+        }
+        Instr::Dealloc(target) => {
+            effects.allocates = true;
+            reads_of(target, &mut effects);
+            effects.writes.insert(AbsLoc::HeapUnknown);
+        }
+        Instr::CreateThread { into, args, .. } => {
+            effects.writes.insert(AbsLoc::Threads);
+            for a in args {
+                reads_of(a, &mut effects);
+            }
+            if let Some(target) = into {
+                lvalue_effects(program, routine, target, &mut effects);
+            }
+        }
+        Instr::Call { args, .. } => {
+            for a in args {
+                reads_of(a, &mut effects);
+            }
+        }
+        Instr::Ret { value } => {
+            if let Some(v) = value {
+                reads_of(v, &mut effects);
+            }
+            // The return-value store happens against the *caller's* frame;
+            // writing a shared lvalue from a return is possible, so be
+            // conservative only when the program does that (rare). We cannot
+            // see the caller here; mark nothing. Reduction treats Ret as a
+            // both-mover only when the routine is private to one thread.
+        }
+        Instr::Guard { cond, .. } | Instr::Assert(cond) | Instr::Assume(cond) => {
+            reads_of(cond, &mut effects);
+        }
+        Instr::Somehow { requires, modifies, ensures } => {
+            for clause in requires.iter().chain(ensures) {
+                reads_of(clause, &mut effects);
+            }
+            for target in modifies {
+                lvalue_effects(program, routine, target, &mut effects);
+            }
+        }
+        Instr::Join(handle) => {
+            effects.reads.insert(AbsLoc::Threads);
+            reads_of(handle, &mut effects);
+        }
+        Instr::Print(args) => {
+            effects.writes.insert(AbsLoc::Log);
+            for a in args {
+                reads_of(a, &mut effects);
+            }
+        }
+        Instr::Fence => {
+            effects.fences = true;
+            // Draining publishes this thread's pending writes; modeled as a
+            // heap write barrier.
+            effects.writes.insert(AbsLoc::HeapUnknown);
+        }
+        Instr::AtomicBegin { .. }
+        | Instr::AtomicEnd
+        | Instr::YieldPoint
+        | Instr::Jump(_)
+        | Instr::Noop => {}
+    }
+    effects
+}
+
+/// Effects of a source-level statement (used by strategies that work on the
+/// AST before lowering, e.g. ownership checks on `tso_elim` recipes).
+pub fn stmt_touches_var(stmt: &Stmt, var: &str) -> bool {
+    fn in_expr(e: &Expr, var: &str) -> bool {
+        use ExprKind::*;
+        match &e.kind {
+            Var(name) => name == var,
+            Unary(_, a) | AddrOf(a) | Deref(a) | Old(a) | Allocated(a) | AllocatedArray(a)
+            | Field(a, _) => in_expr(a, var),
+            Binary(_, a, b) | Index(a, b) => in_expr(a, var) || in_expr(b, var),
+            Call(_, args) | SeqLit(args) => args.iter().any(|a| in_expr(a, var)),
+            Forall { lo, hi, body, .. } | Exists { lo, hi, body, .. } => {
+                in_expr(lo, var) || in_expr(hi, var) || in_expr(body, var)
+            }
+            _ => false,
+        }
+    }
+    fn in_rhs(r: &Rhs, var: &str) -> bool {
+        match r {
+            Rhs::Expr(e) => in_expr(e, var),
+            Rhs::Calloc { count, .. } => in_expr(count, var),
+            Rhs::CreateThread { args, .. } => args.iter().any(|a| in_expr(a, var)),
+            Rhs::Malloc { .. } => false,
+        }
+    }
+    match &stmt.kind {
+        StmtKind::VarDecl { init: Some(r), .. } => in_rhs(r, var),
+        StmtKind::Assign { lhs, rhs, .. } => {
+            lhs.iter().any(|l| in_expr(l, var)) || rhs.iter().any(|r| in_rhs(r, var))
+        }
+        StmtKind::CallStmt { args, .. } | StmtKind::Print(args) => {
+            args.iter().any(|a| in_expr(a, var))
+        }
+        StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => in_expr(cond, var),
+        StmtKind::Return(Some(e))
+        | StmtKind::Assert(e)
+        | StmtKind::Assume(e)
+        | StmtKind::Dealloc(e)
+        | StmtKind::Join(e) => in_expr(e, var),
+        StmtKind::Somehow { requires, modifies, ensures } => requires
+            .iter()
+            .chain(modifies)
+            .chain(ensures)
+            .any(|e| in_expr(e, var)),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use armada_lang::{check_module, parse_module};
+
+    fn program(src: &str) -> Program {
+        let module = parse_module(src).expect("parse");
+        let typed = check_module(&module).expect("typecheck");
+        lower(&typed, &module.levels[0].name.clone()).expect("lower")
+    }
+
+    #[test]
+    fn assign_effects_track_globals_and_buffering() {
+        let p = program(
+            r#"level L {
+                var g: uint32;
+                var h: uint32;
+                void main() {
+                    var t: uint32 := g;
+                    h := t;
+                    h ::= t;
+                }
+            }"#,
+        );
+        let main = &p.routines[p.main as usize];
+        // instr 0: t := g — reads g, writes nothing shared.
+        let e0 = instr_effects(&p, main, &main.instrs[0]);
+        assert!(e0.reads.contains(&AbsLoc::Global("g".into())));
+        assert!(e0.writes.is_empty());
+        assert!(!e0.buffered);
+        // instr 1: h := t — buffered shared write.
+        let e1 = instr_effects(&p, main, &main.instrs[1]);
+        assert!(e1.writes.contains(&AbsLoc::Global("h".into())));
+        assert!(e1.buffered);
+        // instr 2: h ::= t — sequentially consistent write.
+        let e2 = instr_effects(&p, main, &main.instrs[2]);
+        assert!(!e2.buffered);
+        // g-read and h-write are disjoint; two h-writes are not.
+        assert!(e0.disjoint(&e1));
+        assert!(!e1.disjoint(&e2));
+    }
+
+    #[test]
+    fn deref_is_conservative() {
+        let p = program(
+            r#"level L {
+                var g: uint32;
+                void main() {
+                    var p: ptr<uint32> := malloc(uint32);
+                    *p := 1;
+                    g := 2;
+                }
+            }"#,
+        );
+        let main = &p.routines[p.main as usize];
+        let deref_write = instr_effects(&p, main, &main.instrs[1]);
+        let global_write = instr_effects(&p, main, &main.instrs[2]);
+        assert!(deref_write.writes.contains(&AbsLoc::HeapUnknown));
+        assert!(
+            !deref_write.disjoint(&global_write),
+            "HeapUnknown must conflict with global writes"
+        );
+    }
+
+    #[test]
+    fn local_only_steps_are_thread_local() {
+        let p = program(
+            r#"level L {
+                void main() {
+                    var a: uint32 := 1;
+                    var b: uint32 := a + 1;
+                    print(b);
+                }
+            }"#,
+        );
+        let main = &p.routines[p.main as usize];
+        assert!(instr_effects(&p, main, &main.instrs[0]).is_thread_local());
+        assert!(instr_effects(&p, main, &main.instrs[1]).is_thread_local());
+        assert!(!instr_effects(&p, main, &main.instrs[2]).is_thread_local());
+    }
+
+    #[test]
+    fn stmt_touches_var_sees_reads_and_writes() {
+        let module = parse_module(
+            "level L { var x: uint32; void main() { if (x < 1) { } } }",
+        )
+        .unwrap();
+        let main = module.levels[0].method("main").unwrap();
+        let stmt = &main.body.as_ref().unwrap().stmts[0];
+        assert!(stmt_touches_var(stmt, "x"));
+        assert!(!stmt_touches_var(stmt, "y"));
+    }
+}

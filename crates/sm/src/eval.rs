@@ -1,0 +1,874 @@
+//! Expression evaluation against a thread's view of the state.
+//!
+//! Reads go through the executing thread's x86-TSO store buffer
+//! ([`crate::state::ProgState::read_leaf`]); `old(…)` switches evaluation to
+//! the step's pre-state; every `*` (nondeterministic choice) consumes the
+//! next value from the step object's nondet list, keeping evaluation a
+//! deterministic function of `(state, step)` (§4.1, nondeterminism
+//! encapsulation).
+
+use armada_lang::ast::{BinOp, Expr, ExprKind, IntType, UnOp};
+use std::fmt;
+
+use crate::heap::{MemNode, ObjectId, PtrVal};
+use crate::program::Program;
+use crate::state::{LocalCell, ProgState, Tid};
+use crate::value::{UbReason, Value};
+
+/// Why evaluation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalErr {
+    /// The access was undefined behavior; the program transitions to the
+    /// terminated-by-UB state.
+    Ub(UbReason),
+    /// The expression cannot be evaluated in this context (type confusion on
+    /// a nondet candidate, exhausted nondet list, unsupported ghost lvalue).
+    /// A stuck evaluation disables the step rather than changing the state.
+    Stuck(String),
+}
+
+impl From<UbReason> for EvalErr {
+    fn from(reason: UbReason) -> Self {
+        EvalErr::Ub(reason)
+    }
+}
+
+impl fmt::Display for EvalErr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalErr::Ub(reason) => write!(f, "undefined behavior: {reason}"),
+            EvalErr::Stuck(msg) => write!(f, "stuck: {msg}"),
+        }
+    }
+}
+
+/// Result alias for evaluation.
+pub type EvalResult<T> = Result<T, EvalErr>;
+
+/// Maximum quantifier range, function recursion depth, and `calloc` length,
+/// to keep ghost evaluation total in practice.
+const MAX_QUANT_RANGE: i128 = 4096;
+const MAX_FN_DEPTH: u32 = 64;
+
+/// Where an lvalue lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceBase {
+    /// Slot of the executing thread's top frame.
+    Local(usize),
+    /// A heap object (global, address-taken local, or allocation).
+    Heap(ObjectId),
+    /// A ghost global slot.
+    Ghost(usize),
+}
+
+/// A resolved lvalue: a base plus a path of child indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Place {
+    /// Where the storage lives.
+    pub base: PlaceBase,
+    /// Path below the base.
+    pub path: Vec<u32>,
+}
+
+/// Evaluation context: one thread's view of one state, plus the step's
+/// encapsulated nondeterminism.
+pub struct EvalCtx<'a> {
+    /// The program being executed.
+    pub program: &'a Program,
+    /// The state expressions are evaluated against.
+    pub state: &'a ProgState,
+    /// Pre-state for `old(…)`, when evaluating a two-state predicate.
+    pub old_state: Option<&'a ProgState>,
+    /// The executing thread.
+    pub tid: Tid,
+    /// Values consumed by `*` sites, in evaluation order.
+    pub nondets: &'a [Value],
+    /// Next nondet to consume.
+    pub cursor: usize,
+    /// Quantifier / ghost-function bindings, innermost last.
+    pub bound: Vec<(String, Value)>,
+    /// Ghost-function recursion depth.
+    pub depth: u32,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Creates a context for `tid` evaluating against `state`.
+    pub fn new(
+        program: &'a Program,
+        state: &'a ProgState,
+        tid: Tid,
+        nondets: &'a [Value],
+    ) -> Self {
+        EvalCtx {
+            program,
+            state,
+            old_state: None,
+            tid,
+            nondets,
+            cursor: 0,
+            bound: Vec::new(),
+            depth: 0,
+        }
+    }
+
+    /// Attaches a pre-state so `old(…)` is meaningful.
+    pub fn with_old(mut self, old_state: &'a ProgState) -> Self {
+        self.old_state = Some(old_state);
+        self
+    }
+
+    fn take_nondet(&mut self) -> EvalResult<Value> {
+        let value = self
+            .nondets
+            .get(self.cursor)
+            .cloned()
+            .ok_or_else(|| EvalErr::Stuck("nondet values exhausted".into()))?;
+        self.cursor += 1;
+        Ok(value)
+    }
+
+    fn lookup_bound(&self, name: &str) -> Option<Value> {
+        self.bound.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.clone())
+    }
+
+    /// Resolves a variable name to a place (bound variables are values, not
+    /// places, and are rejected).
+    fn var_place(&self, name: &str) -> EvalResult<Place> {
+        if self.lookup_bound(name).is_some() {
+            return Err(EvalErr::Stuck(format!("bound variable `{name}` is not an lvalue")));
+        }
+        // Local of the top frame?
+        if let Some(thread) = self.state.thread(self.tid) {
+            if let Some(frame) = thread.frames.last() {
+                let routine = &self.program.routines[frame.routine as usize];
+                if let Some(slot) = routine.local_slot(name) {
+                    return Ok(match &frame.locals[slot] {
+                        LocalCell::Val(_) => {
+                            Place { base: PlaceBase::Local(slot), path: Vec::new() }
+                        }
+                        LocalCell::Obj(id) => {
+                            Place { base: PlaceBase::Heap(*id), path: Vec::new() }
+                        }
+                    });
+                }
+            }
+        }
+        if let Some(index) = self.program.global_index(name) {
+            return Ok(Place { base: PlaceBase::Heap(ObjectId(index)), path: Vec::new() });
+        }
+        if let Some(index) = self.program.ghost_index(name) {
+            return Ok(Place { base: PlaceBase::Ghost(index as usize), path: Vec::new() });
+        }
+        Err(EvalErr::Stuck(format!("unknown variable `{name}`")))
+    }
+
+    /// Resolves an lvalue expression to a [`Place`].
+    pub fn eval_place(&mut self, expr: &Expr) -> EvalResult<Place> {
+        match &expr.kind {
+            ExprKind::Var(name) => self.var_place(name),
+            ExprKind::Deref(inner) => {
+                let ptr = self.eval(inner)?;
+                match ptr {
+                    Value::Ptr(Some(p)) => {
+                        Ok(Place { base: PlaceBase::Heap(p.object), path: p.path })
+                    }
+                    Value::Ptr(None) => Err(UbReason::NullDereference.into()),
+                    other => Err(EvalErr::Stuck(format!("dereference of non-pointer {other}"))),
+                }
+            }
+            ExprKind::Field(base, field) => {
+                let mut place = self.eval_place(base)?;
+                let node = self.place_shape(&place)?;
+                let index = node.field_index(field).ok_or_else(|| {
+                    EvalErr::Stuck(format!("no field `{field}` at this place"))
+                })?;
+                place.path.push(index);
+                Ok(place)
+            }
+            ExprKind::Index(base, index) => {
+                let mut place = self.eval_place(base)?;
+                let index_value = self.eval(index)?;
+                let index = index_value
+                    .as_int()
+                    .ok_or_else(|| EvalErr::Stuck("non-numeric index".into()))?;
+                if index < 0 {
+                    return Err(UbReason::OutOfBounds.into());
+                }
+                place.path.push(index as u32);
+                Ok(place)
+            }
+            _ => Err(EvalErr::Stuck("expression is not an lvalue".into())),
+        }
+    }
+
+    /// The memory tree shape at a place (global view; shape is
+    /// buffer-independent because store buffers only carry leaf writes).
+    fn place_shape(&self, place: &Place) -> EvalResult<MemNode> {
+        self.read_place_node(place)
+    }
+
+    /// Reads the whole memory tree at a place, applying the thread's store
+    /// buffer overlay for heap places.
+    pub fn read_place_node(&self, place: &Place) -> EvalResult<MemNode> {
+        match &place.base {
+            PlaceBase::Local(slot) => {
+                let thread =
+                    self.state.thread(self.tid).ok_or(EvalErr::Ub(UbReason::FreedAccess))?;
+                let frame = thread
+                    .frames
+                    .last()
+                    .ok_or_else(|| EvalErr::Stuck("no frame".into()))?;
+                match &frame.locals[*slot] {
+                    LocalCell::Val(node) => Ok(node.descend(&place.path)?.clone()),
+                    LocalCell::Obj(_) => unreachable!("Obj cells resolve to heap places"),
+                }
+            }
+            PlaceBase::Heap(object) => {
+                let loc =
+                    crate::heap::Location { object: *object, path: place.path.clone() };
+                Ok(self.state.read_node(self.tid, &loc)?)
+            }
+            PlaceBase::Ghost(slot) => {
+                if !place.path.is_empty() {
+                    return Err(EvalErr::Stuck(
+                        "paths into ghost variables are not supported; \
+                         assign whole ghost values"
+                            .into(),
+                    ));
+                }
+                Ok(MemNode::Leaf(
+                    self.state
+                        .ghosts
+                        .get(*slot)
+                        .cloned()
+                        .ok_or_else(|| EvalErr::Stuck("ghost slot out of range".into()))?,
+                ))
+            }
+        }
+    }
+
+    /// Reads the primitive value at a place.
+    pub fn read_place(&self, place: &Place) -> EvalResult<Value> {
+        match self.read_place_node(place)? {
+            MemNode::Leaf(value) => Ok(value),
+            _ => Err(EvalErr::Stuck("composite value used where a primitive is needed".into())),
+        }
+    }
+
+    /// Evaluates an expression to a primitive value.
+    pub fn eval(&mut self, expr: &Expr) -> EvalResult<Value> {
+        match &expr.kind {
+            ExprKind::IntLit(value) => Ok(Value::MathInt(*value)),
+            ExprKind::BoolLit(value) => Ok(Value::Bool(*value)),
+            ExprKind::Null => Ok(Value::Ptr(None)),
+            ExprKind::Nondet => self.take_nondet(),
+            ExprKind::Me => Ok(Value::tid(self.tid)),
+            ExprKind::SbEmpty => Ok(Value::Bool(
+                self.state.thread(self.tid).map(|t| t.buffer.is_empty()).unwrap_or(true),
+            )),
+            ExprKind::Var(name) => {
+                if let Some(value) = self.lookup_bound(name) {
+                    return Ok(value);
+                }
+                let place = self.var_place(name)?;
+                self.read_place(&place)
+            }
+            ExprKind::Unary(op, operand) => {
+                let value = self.eval(operand)?;
+                self.unary(*op, value)
+            }
+            ExprKind::Binary(op, lhs, rhs) => self.binary(*op, lhs, rhs),
+            ExprKind::AddrOf(inner) => {
+                let place = self.eval_place(inner)?;
+                match place.base {
+                    PlaceBase::Heap(object) => {
+                        Ok(Value::Ptr(Some(PtrVal { object, path: place.path })))
+                    }
+                    _ => Err(EvalErr::Stuck(
+                        "cannot take the address of a non-addressable variable".into(),
+                    )),
+                }
+            }
+            ExprKind::Deref(_) | ExprKind::Field(_, _) | ExprKind::Index(_, _) => {
+                // Ghost sequence/map indexing has no place; handle it first.
+                if let ExprKind::Index(base, index) = &expr.kind {
+                    if let Ok(base_value) = self.try_eval_ghost_collection(base) {
+                        return self.index_ghost(base_value, index);
+                    }
+                }
+                let place = self.eval_place(expr)?;
+                self.read_place(&place)
+            }
+            ExprKind::Old(inner) => {
+                let old_state = self.old_state.ok_or_else(|| {
+                    EvalErr::Stuck("`old(…)` outside a two-state context".into())
+                })?;
+                let mut sub = EvalCtx {
+                    program: self.program,
+                    state: old_state,
+                    old_state: None,
+                    tid: self.tid,
+                    nondets: self.nondets,
+                    cursor: self.cursor,
+                    bound: self.bound.clone(),
+                    depth: self.depth,
+                };
+                let value = sub.eval(inner)?;
+                self.cursor = sub.cursor;
+                Ok(value)
+            }
+            ExprKind::Allocated(inner) => {
+                let value = self.eval(inner)?;
+                match value {
+                    Value::Ptr(Some(p)) => Ok(Value::Bool(self.state.heap.is_valid(p.object))),
+                    Value::Ptr(None) => Ok(Value::Bool(false)),
+                    other => Err(EvalErr::Stuck(format!("allocated() of non-pointer {other}"))),
+                }
+            }
+            ExprKind::AllocatedArray(inner) => {
+                let value = self.eval(inner)?;
+                match value {
+                    Value::Ptr(Some(p)) => {
+                        let ok = self.state.heap.is_valid(p.object)
+                            && matches!(
+                                self.state.heap.object(p.object).map(|o| o.kind),
+                                Some(crate::heap::RootKind::Calloc)
+                            );
+                        Ok(Value::Bool(ok))
+                    }
+                    Value::Ptr(None) => Ok(Value::Bool(false)),
+                    other => {
+                        Err(EvalErr::Stuck(format!("allocated_array() of non-pointer {other}")))
+                    }
+                }
+            }
+            ExprKind::Call(name, args) => self.call(name, args),
+            ExprKind::SeqLit(elems) => {
+                let values: Vec<Value> =
+                    elems.iter().map(|e| self.eval(e)).collect::<EvalResult<_>>()?;
+                Ok(Value::Seq(values))
+            }
+            ExprKind::Forall { var, lo, hi, body } => {
+                self.quantify(var, lo, hi, body, true)
+            }
+            ExprKind::Exists { var, lo, hi, body } => {
+                self.quantify(var, lo, hi, body, false)
+            }
+        }
+    }
+
+    fn try_eval_ghost_collection(&mut self, base: &Expr) -> EvalResult<Value> {
+        let saved_cursor = self.cursor;
+        match &base.kind {
+            ExprKind::Var(name) => {
+                if let Some(value) = self.lookup_bound(name) {
+                    if matches!(value, Value::Seq(_) | Value::Map(_)) {
+                        return Ok(value);
+                    }
+                }
+                let place = self.var_place(name)?;
+                if matches!(place.base, PlaceBase::Ghost(_)) {
+                    let value = self.read_place(&place)?;
+                    if matches!(value, Value::Seq(_) | Value::Map(_)) {
+                        return Ok(value);
+                    }
+                }
+                self.cursor = saved_cursor;
+                Err(EvalErr::Stuck("not a ghost collection".into()))
+            }
+            ExprKind::Old(_) | ExprKind::Call(_, _) | ExprKind::SeqLit(_)
+            | ExprKind::Binary(_, _, _) => {
+                let value = self.eval(base)?;
+                if matches!(value, Value::Seq(_) | Value::Map(_)) {
+                    Ok(value)
+                } else {
+                    self.cursor = saved_cursor;
+                    Err(EvalErr::Stuck("not a ghost collection".into()))
+                }
+            }
+            _ => Err(EvalErr::Stuck("not a ghost collection".into())),
+        }
+    }
+
+    fn index_ghost(&mut self, base: Value, index: &Expr) -> EvalResult<Value> {
+        let index_value = self.eval(index)?;
+        match base {
+            Value::Seq(elems) => {
+                let i = index_value
+                    .as_int()
+                    .ok_or_else(|| EvalErr::Stuck("non-numeric sequence index".into()))?;
+                if i < 0 || i as usize >= elems.len() {
+                    return Err(UbReason::GhostPartialOperation.into());
+                }
+                Ok(elems[i as usize].clone())
+            }
+            Value::Map(entries) => entries
+                .get(&normalize_key(index_value))
+                .cloned()
+                .ok_or_else(|| UbReason::GhostPartialOperation.into()),
+            other => Err(EvalErr::Stuck(format!("cannot index {other}"))),
+        }
+    }
+
+    fn quantify(
+        &mut self,
+        var: &str,
+        lo: &Expr,
+        hi: &Expr,
+        body: &Expr,
+        is_forall: bool,
+    ) -> EvalResult<Value> {
+        let lo = self
+            .eval(lo)?
+            .as_int()
+            .ok_or_else(|| EvalErr::Stuck("non-numeric quantifier bound".into()))?;
+        let hi = self
+            .eval(hi)?
+            .as_int()
+            .ok_or_else(|| EvalErr::Stuck("non-numeric quantifier bound".into()))?;
+        if hi - lo > MAX_QUANT_RANGE {
+            return Err(EvalErr::Stuck("quantifier range too large to evaluate".into()));
+        }
+        let mut i = lo;
+        while i < hi {
+            self.bound.push((var.to_string(), Value::MathInt(i)));
+            let result = self.eval(body);
+            self.bound.pop();
+            let holds = result?
+                .as_bool()
+                .ok_or_else(|| EvalErr::Stuck("quantifier body not boolean".into()))?;
+            if is_forall && !holds {
+                return Ok(Value::Bool(false));
+            }
+            if !is_forall && holds {
+                return Ok(Value::Bool(true));
+            }
+            i += 1;
+        }
+        Ok(Value::Bool(is_forall))
+    }
+
+    fn unary(&self, op: UnOp, value: Value) -> EvalResult<Value> {
+        match (op, &value) {
+            (UnOp::Neg, Value::Int { ty, val }) => Ok(Value::int(*ty, -*val)),
+            (UnOp::Neg, Value::MathInt(val)) => val
+                .checked_neg()
+                .map(Value::MathInt)
+                .ok_or_else(|| UbReason::MathOverflow.into()),
+            (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+            (UnOp::BitNot, Value::Int { ty, val }) => Ok(Value::int(*ty, !*val)),
+            (UnOp::BitNot, Value::MathInt(val)) => Ok(Value::MathInt(!*val)),
+            _ => Err(EvalErr::Stuck(format!("`{op}` applied to {value}"))),
+        }
+    }
+
+    fn binary(&mut self, op: BinOp, lhs_expr: &Expr, rhs_expr: &Expr) -> EvalResult<Value> {
+        // Short-circuit logical operators: the C idiom `p != null && *p > 0`
+        // must not evaluate (and UB on) the right operand when the left
+        // decides.
+        match op {
+            BinOp::And => {
+                let lhs = self.eval_bool(lhs_expr)?;
+                if !lhs {
+                    return Ok(Value::Bool(false));
+                }
+                return Ok(Value::Bool(self.eval_bool(rhs_expr)?));
+            }
+            BinOp::Or => {
+                let lhs = self.eval_bool(lhs_expr)?;
+                if lhs {
+                    return Ok(Value::Bool(true));
+                }
+                return Ok(Value::Bool(self.eval_bool(rhs_expr)?));
+            }
+            BinOp::Implies => {
+                let lhs = self.eval_bool(lhs_expr)?;
+                if !lhs {
+                    return Ok(Value::Bool(true));
+                }
+                return Ok(Value::Bool(self.eval_bool(rhs_expr)?));
+            }
+            _ => {}
+        }
+        let lhs = self.eval(lhs_expr)?;
+        let rhs = self.eval(rhs_expr)?;
+        self.binary_values(op, lhs, rhs)
+    }
+
+    fn eval_bool(&mut self, expr: &Expr) -> EvalResult<bool> {
+        self.eval(expr)?
+            .as_bool()
+            .ok_or_else(|| EvalErr::Stuck("expected a boolean".into()))
+    }
+
+    /// Applies a non-short-circuit binary operator to evaluated operands.
+    pub fn binary_values(&self, op: BinOp, lhs: Value, rhs: Value) -> EvalResult<Value> {
+        use BinOp::*;
+        // Pointer operations.
+        if let (Value::Ptr(p), Value::Ptr(q)) = (&lhs, &rhs) {
+            return match op {
+                Eq => Ok(Value::Bool(self.state.heap.ptr_eq(p, q)?)),
+                Ne => Ok(Value::Bool(!self.state.heap.ptr_eq(p, q)?)),
+                Lt | Le | Gt | Ge => {
+                    let (p, q) = match (p, q) {
+                        (Some(p), Some(q)) => (p, q),
+                        _ => return Err(UbReason::CrossArrayPointerOp.into()),
+                    };
+                    let ord = self.state.heap.ptr_order(p, q)?;
+                    Ok(Value::Bool(match op {
+                        Lt => ord.is_lt(),
+                        Le => ord.is_le(),
+                        Gt => ord.is_gt(),
+                        _ => ord.is_ge(),
+                    }))
+                }
+                Sub => {
+                    let (p, q) = match (p, q) {
+                        (Some(p), Some(q)) => (p, q),
+                        _ => return Err(UbReason::CrossArrayPointerOp.into()),
+                    };
+                    Ok(Value::MathInt(self.state.heap.ptr_diff(p, q)?))
+                }
+                _ => Err(EvalErr::Stuck(format!("`{op}` on pointers"))),
+            };
+        }
+        // Pointer ± integer.
+        if let (Value::Ptr(p), true) = (&lhs, rhs.is_numeric()) {
+            if matches!(op, Add | Sub) {
+                let p = p.as_ref().ok_or(EvalErr::Ub(UbReason::NullDereference))?;
+                let offset = rhs.as_int().expect("numeric");
+                let offset = if op == Sub { -offset } else { offset };
+                return Ok(Value::Ptr(Some(self.state.heap.ptr_add(p, offset)?)));
+            }
+        }
+        // Ghost collection operators.
+        match (op, &lhs, &rhs) {
+            (Add, Value::Seq(a), Value::Seq(b)) => {
+                let mut out = a.clone();
+                out.extend(b.iter().cloned());
+                return Ok(Value::Seq(out));
+            }
+            (Add, Value::Set(a), Value::Set(b)) => {
+                return Ok(Value::Set(a.union(b).cloned().collect()));
+            }
+            (Sub, Value::Set(a), Value::Set(b)) => {
+                return Ok(Value::Set(a.difference(b).cloned().collect()));
+            }
+            _ => {}
+        }
+        // Equality on like ghost values and booleans.
+        if matches!(op, Eq | Ne) && !lhs.is_numeric() && !rhs.is_numeric() {
+            let eq = normalize_key(lhs) == normalize_key(rhs);
+            return Ok(Value::Bool(if op == Eq { eq } else { !eq }));
+        }
+        // Numeric operations.
+        let (a, b) = match (lhs.as_int(), rhs.as_int()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(EvalErr::Stuck(format!(
+                    "`{op}` applied to {lhs} and {rhs}"
+                )))
+            }
+        };
+        if op.is_comparison() {
+            let result = match op {
+                Eq => a == b,
+                Ne => a != b,
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                _ => a >= b,
+            };
+            return Ok(Value::Bool(result));
+        }
+        let result_ty = join_int_type(&lhs, &rhs);
+        let exact = match op {
+            Add => a.checked_add(b),
+            Sub => a.checked_sub(b),
+            Mul => a.checked_mul(b),
+            Div => {
+                if b == 0 {
+                    return Err(UbReason::DivisionByZero.into());
+                }
+                a.checked_div(b)
+            }
+            Mod => {
+                if b == 0 {
+                    return Err(UbReason::DivisionByZero.into());
+                }
+                a.checked_rem(b)
+            }
+            BitAnd => Some(a & b),
+            BitOr => Some(a | b),
+            BitXor => Some(a ^ b),
+            Shl | Shr => {
+                let width = match result_ty {
+                    Some(ty) => ty.bits as i128,
+                    None => 127,
+                };
+                if b < 0 || b >= width {
+                    return Err(UbReason::InvalidShift.into());
+                }
+                if op == Shl {
+                    a.checked_shl(b as u32)
+                } else {
+                    Some(a >> b)
+                }
+            }
+            _ => unreachable!("logical/comparison handled above"),
+        };
+        match result_ty {
+            Some(ty) => {
+                // Fixed-width arithmetic wraps like the compiled C.
+                let wrapped = exact
+                    .map(|v| ty.wrap(v))
+                    .unwrap_or_else(|| wrap_overflowed(op, a, b, ty));
+                Ok(Value::int(ty, wrapped))
+            }
+            None => exact.map(Value::MathInt).ok_or_else(|| UbReason::MathOverflow.into()),
+        }
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr]) -> EvalResult<Value> {
+        let values: Vec<Value> =
+            args.iter().map(|a| self.eval(a)).collect::<EvalResult<_>>()?;
+        if let Some(result) = builtin(name, &values)? {
+            return Ok(result);
+        }
+        let func = self
+            .program
+            .functions
+            .get(name)
+            .ok_or_else(|| EvalErr::Stuck(format!("unknown function `{name}`")))?
+            .clone();
+        if func.params.len() != values.len() {
+            return Err(EvalErr::Stuck(format!("arity mismatch calling `{name}`")));
+        }
+        if self.depth >= MAX_FN_DEPTH {
+            return Err(EvalErr::Stuck(format!("recursion too deep in `{name}`")));
+        }
+        let saved_len = self.bound.len();
+        for (param, value) in func.params.iter().zip(values) {
+            self.bound.push((param.name.clone(), value.coerce_to(&param.ty)));
+        }
+        self.depth += 1;
+        let result = self.eval(&func.body);
+        self.depth -= 1;
+        self.bound.truncate(saved_len);
+        Ok(result?.coerce_to(&func.ret))
+    }
+}
+
+/// Values used as set elements and map keys are normalized so that `2u32`
+/// and mathematical `2` are the same key.
+pub fn normalize_key(value: Value) -> Value {
+    match value {
+        Value::Int { val, .. } => Value::MathInt(val),
+        Value::Seq(elems) => Value::Seq(elems.into_iter().map(normalize_key).collect()),
+        Value::Set(elems) => Value::Set(elems.into_iter().map(normalize_key).collect()),
+        Value::Map(entries) => Value::Map(
+            entries.into_iter().map(|(k, v)| (normalize_key(k), normalize_key(v))).collect(),
+        ),
+        Value::Opt(Some(inner)) => Value::Opt(Some(Box::new(normalize_key(*inner)))),
+        other => other,
+    }
+}
+
+/// Ghost builtin functions shared by the evaluator and the proof engine.
+/// Returns `Ok(None)` if `name` is not a builtin.
+pub fn builtin(name: &str, args: &[Value]) -> EvalResult<Option<Value>> {
+    let bad = |expected: &str| EvalErr::Stuck(format!("`{name}` expects {expected}"));
+    let result = match (name, args) {
+        ("len", [Value::Seq(elems)]) => Value::MathInt(elems.len() as i128),
+        ("len", [Value::Set(elems)]) => Value::MathInt(elems.len() as i128),
+        ("len", [Value::Map(entries)]) => Value::MathInt(entries.len() as i128),
+        ("len", _) => return Err(bad("a collection")),
+        ("set_add", [Value::Set(elems), value]) => {
+            let mut out = elems.clone();
+            out.insert(normalize_key(value.clone()));
+            Value::Set(out)
+        }
+        ("set_remove", [Value::Set(elems), value]) => {
+            let mut out = elems.clone();
+            out.remove(&normalize_key(value.clone()));
+            Value::Set(out)
+        }
+        ("set_contains", [Value::Set(elems), value]) => {
+            Value::Bool(elems.contains(&normalize_key(value.clone())))
+        }
+        ("set_add" | "set_remove" | "set_contains", _) => return Err(bad("a set")),
+        ("map_set", [Value::Map(entries), key, value]) => {
+            let mut out = entries.clone();
+            out.insert(normalize_key(key.clone()), value.clone());
+            Value::Map(out)
+        }
+        ("map_get", [Value::Map(entries), key]) => entries
+            .get(&normalize_key(key.clone()))
+            .cloned()
+            .ok_or(EvalErr::Ub(UbReason::GhostPartialOperation))?,
+        ("map_contains", [Value::Map(entries), key]) => {
+            Value::Bool(entries.contains_key(&normalize_key(key.clone())))
+        }
+        ("map_remove", [Value::Map(entries), key]) => {
+            let mut out = entries.clone();
+            out.remove(&normalize_key(key.clone()));
+            Value::Map(out)
+        }
+        ("map_set" | "map_get" | "map_contains" | "map_remove", _) => {
+            return Err(bad("a map"))
+        }
+        ("some", [value]) => Value::Opt(Some(Box::new(value.clone()))),
+        ("is_some", [Value::Opt(inner)]) => Value::Bool(inner.is_some()),
+        ("is_none", [Value::Opt(inner)]) => Value::Bool(inner.is_none()),
+        ("is_some" | "is_none", _) => return Err(bad("an option")),
+        ("unwrap", [Value::Opt(Some(inner))]) => (**inner).clone(),
+        ("unwrap", [Value::Opt(None)]) => {
+            return Err(EvalErr::Ub(UbReason::GhostPartialOperation))
+        }
+        ("unwrap", _) => return Err(bad("an option")),
+        ("update", [Value::Seq(elems), index, value]) => {
+            let i = index.as_int().ok_or_else(|| bad("a numeric index"))?;
+            if i < 0 || i as usize >= elems.len() {
+                return Err(EvalErr::Ub(UbReason::GhostPartialOperation));
+            }
+            let mut out = elems.clone();
+            out[i as usize] = value.clone();
+            Value::Seq(out)
+        }
+        ("update", _) => return Err(bad("a seq, index, and element")),
+        _ => return Ok(None),
+    };
+    Ok(Some(result))
+}
+
+fn join_int_type(lhs: &Value, rhs: &Value) -> Option<IntType> {
+    match (lhs, rhs) {
+        (Value::Int { ty: a, .. }, Value::Int { ty: b, .. }) => {
+            Some(if a.bits >= b.bits { *a } else { *b })
+        }
+        (Value::Int { ty, .. }, Value::MathInt(_)) => Some(*ty),
+        (Value::MathInt(_), Value::Int { ty, .. }) => Some(*ty),
+        _ => None,
+    }
+}
+
+/// When checked i128 arithmetic overflows but the result type is
+/// fixed-width, compute the wrapped result via wide wrapping arithmetic.
+fn wrap_overflowed(op: BinOp, a: i128, b: i128, ty: IntType) -> i128 {
+    let result = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Shl => a.wrapping_shl(b as u32),
+        _ => a,
+    };
+    ty.wrap(result)
+}
+
+/// Evaluates a compile-time constant expression (global initializers).
+///
+/// # Errors
+///
+/// Returns a message if the expression reads state or is otherwise not a
+/// constant.
+pub fn eval_const(expr: &Expr) -> Result<Value, String> {
+    match &expr.kind {
+        ExprKind::IntLit(value) => Ok(Value::MathInt(*value)),
+        ExprKind::BoolLit(value) => Ok(Value::Bool(*value)),
+        ExprKind::Null => Ok(Value::Ptr(None)),
+        ExprKind::SeqLit(elems) => Ok(Value::Seq(
+            elems.iter().map(eval_const).collect::<Result<_, _>>()?,
+        )),
+        ExprKind::Unary(UnOp::Neg, inner) => {
+            let value = eval_const(inner)?;
+            value
+                .as_int()
+                .map(|v| Value::MathInt(-v))
+                .ok_or_else(|| "non-numeric negation".to_string())
+        }
+        ExprKind::Binary(op, lhs, rhs) => {
+            let (a, b) = (eval_const(lhs)?, eval_const(rhs)?);
+            let (a, b) = match (a.as_int(), b.as_int()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err("non-numeric constant arithmetic".into()),
+            };
+            let value = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div if b != 0 => a / b,
+                BinOp::Mod if b != 0 => a % b,
+                BinOp::Shl if (0..127).contains(&b) => a << b,
+                BinOp::Shr if (0..127).contains(&b) => a >> b,
+                BinOp::BitAnd => a & b,
+                BinOp::BitOr => a | b,
+                BinOp::BitXor => a ^ b,
+                other => return Err(format!("`{other}` not allowed in constants")),
+            };
+            Ok(Value::MathInt(value))
+        }
+        _ => Err("initializer is not a compile-time constant".into()),
+    }
+}
+
+/// Counts the syntactic `*` (nondet) sites of an expression, the maximum
+/// number of nondet values its evaluation can consume.
+pub fn count_nondet_sites(expr: &Expr) -> usize {
+    use ExprKind::*;
+    match &expr.kind {
+        Nondet => 1,
+        Unary(_, a) | AddrOf(a) | Deref(a) | Old(a) | Allocated(a) | AllocatedArray(a) => {
+            count_nondet_sites(a)
+        }
+        Binary(_, a, b) | Index(a, b) => count_nondet_sites(a) + count_nondet_sites(b),
+        Field(a, _) => count_nondet_sites(a),
+        Call(_, args) | SeqLit(args) => args.iter().map(count_nondet_sites).sum(),
+        Forall { lo, hi, body, .. } | Exists { lo, hi, body, .. } => {
+            count_nondet_sites(lo) + count_nondet_sites(hi) + count_nondet_sites(body)
+        }
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_eval_handles_hex_and_arithmetic() {
+        let expr = armada_lang::parse_expr("0xFF + 2 * 3").unwrap();
+        assert_eq!(eval_const(&expr), Ok(Value::MathInt(261)));
+        let expr = armada_lang::parse_expr("1 << 10").unwrap();
+        assert_eq!(eval_const(&expr), Ok(Value::MathInt(1024)));
+    }
+
+    #[test]
+    fn const_eval_rejects_state_reads() {
+        let expr = armada_lang::parse_expr("x + 1").unwrap();
+        assert!(eval_const(&expr).is_err());
+    }
+
+    #[test]
+    fn builtin_set_and_map_ops() {
+        let set = Value::Set(Default::default());
+        let set = builtin("set_add", &[set, Value::MathInt(3)]).unwrap().unwrap();
+        assert_eq!(
+            builtin("set_contains", &[set.clone(), Value::int(IntType::U32, 3)]),
+            Ok(Some(Value::Bool(true))),
+            "fixed-width and math ints normalize to the same key"
+        );
+        assert_eq!(builtin("len", &[set]), Ok(Some(Value::MathInt(1))));
+        assert_eq!(
+            builtin("unwrap", &[Value::Opt(None)]),
+            Err(EvalErr::Ub(UbReason::GhostPartialOperation))
+        );
+    }
+
+    #[test]
+    fn nondet_site_counting() {
+        let expr = armada_lang::parse_expr("(*) && x < 3").unwrap();
+        assert_eq!(count_nondet_sites(&expr), 1);
+        let expr = armada_lang::parse_expr("f(*, *) + 1").unwrap();
+        assert_eq!(count_nondet_sites(&expr), 2);
+    }
+}

@@ -1,0 +1,700 @@
+//! Lowering from the Armada AST to the micro-instruction [`Program`].
+//!
+//! Structured control flow becomes guarded branches; `explicit_yield` and
+//! `atomic` blocks become region markers; body-less external methods get the
+//! default Figure-8 model, synthesized as a single `somehow` with the
+//! method's `requires`/`modifies`/`ensures` clauses.
+
+use armada_lang::ast::*;
+use armada_lang::typeck::TypedModule;
+use armada_lang::LangError;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::program::{GhostDef, GlobalDef, Instr, LocalDef, Program, Routine};
+
+/// An error produced during lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError(String);
+
+impl LowerError {
+    fn new(msg: impl Into<String>) -> Self {
+        LowerError(msg.into())
+    }
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error: {}", self.0)
+    }
+}
+
+impl Error for LowerError {}
+
+impl From<LangError> for LowerError {
+    fn from(err: LangError) -> Self {
+        LowerError(err.to_string())
+    }
+}
+
+/// Lowers the named level of a type-checked module to a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] if the level is missing, has no `main`, uses
+/// `yield` outside `explicit_yield`, mixes allocation with multi-assignment,
+/// or declares two locals with the same name in one method (the lowered
+/// frame layout is flat).
+pub fn lower(typed: &TypedModule, level_name: &str) -> Result<Program, LowerError> {
+    let level = typed
+        .module
+        .level(level_name)
+        .ok_or_else(|| LowerError::new(format!("unknown level `{level_name}`")))?;
+    let info = typed
+        .level_info(level_name)
+        .ok_or_else(|| LowerError::new(format!("level `{level_name}` not checked")))?;
+
+    let mut program = Program {
+        name: level_name.to_string(),
+        structs: info.structs.clone(),
+        globals: Vec::new(),
+        ghosts: Vec::new(),
+        functions: BTreeMap::new(),
+        routines: Vec::new(),
+        main: 0,
+    };
+    for global in &info.globals {
+        if global.ghost {
+            program.ghosts.push(GhostDef {
+                name: global.name.clone(),
+                ty: global.ty.clone(),
+                init: global.init.clone(),
+            });
+        } else {
+            program.globals.push(GlobalDef {
+                name: global.name.clone(),
+                ty: global.ty.clone(),
+                init: global.init.clone(),
+            });
+        }
+    }
+    for decl in &level.decls {
+        if let Decl::Function(func) = decl {
+            program.functions.insert(func.name.clone(), func.clone());
+        }
+    }
+
+    // Routine indices are the order of method declarations.
+    let methods: Vec<&MethodDecl> = level.methods().collect();
+    let routine_index: BTreeMap<String, u32> =
+        methods.iter().enumerate().map(|(i, m)| (m.name.clone(), i as u32)).collect();
+
+    for method in &methods {
+        let routine = lower_method(method, &routine_index)?;
+        program.routines.push(routine);
+    }
+
+    program.main = *routine_index
+        .get("main")
+        .ok_or_else(|| LowerError::new(format!("level `{level_name}` has no `main` method")))?;
+    Ok(program)
+}
+
+struct MethodLowerer<'a> {
+    routine_index: &'a BTreeMap<String, u32>,
+    locals: Vec<LocalDef>,
+    instrs: Vec<Instr>,
+    /// Jump-target patch lists for enclosing loops: (break sites, continue
+    /// target).
+    loop_stack: Vec<LoopCtx>,
+    explicit_yield_depth: usize,
+}
+
+struct LoopCtx {
+    break_sites: Vec<usize>,
+    continue_target: u32,
+}
+
+fn lower_method(
+    method: &MethodDecl,
+    routine_index: &BTreeMap<String, u32>,
+) -> Result<Routine, LowerError> {
+    let mut lowerer = MethodLowerer {
+        routine_index,
+        locals: Vec::new(),
+        instrs: Vec::new(),
+        loop_stack: Vec::new(),
+        explicit_yield_depth: 0,
+    };
+    for param in &method.params {
+        lowerer.declare_local(&method.name, &param.name, param.ty.clone(), false)?;
+    }
+
+    match &method.body {
+        Some(body) => {
+            // Pre-scan for address-taken locals, and collect all local
+            // declarations so the frame layout is known up front.
+            lowerer.collect_locals(&method.name, &body.stmts)?;
+            let addr_taken = collect_addr_taken(body);
+            for local in &mut lowerer.locals {
+                if addr_taken.contains(&local.name) {
+                    local.addr_taken = true;
+                }
+            }
+            lowerer.lower_block(body)?;
+        }
+        None => {
+            // Default external model (Figure 8): one declarative atomic
+            // action with the method's contract. A named return value is a
+            // local the contract's `ensures` may constrain; it is havocked
+            // with the write set and returned.
+            let mut modifies = method.modifies.clone();
+            if let (Some(ret_ty), Some(ret_name)) = (&method.ret, &method.ret_name) {
+                lowerer.declare_local(&method.name, ret_name, ret_ty.clone(), false)?;
+                modifies.push(armada_lang::ast::Expr::synthetic(
+                    armada_lang::ast::ExprKind::Var(ret_name.clone()),
+                ));
+            }
+            lowerer.instrs.push(Instr::Somehow {
+                requires: method.requires.clone(),
+                modifies,
+                ensures: method.ensures.clone(),
+            });
+            if let Some(ret_name) = &method.ret_name {
+                if method.ret.is_some() {
+                    lowerer.instrs.push(Instr::Ret {
+                        value: Some(armada_lang::ast::Expr::synthetic(
+                            armada_lang::ast::ExprKind::Var(ret_name.clone()),
+                        )),
+                    });
+                }
+            }
+        }
+    }
+    // Fall-through return.
+    lowerer.instrs.push(Instr::Ret { value: None });
+
+    Ok(Routine {
+        name: method.name.clone(),
+        param_count: method.params.len(),
+        locals: lowerer.locals,
+        instrs: lowerer.instrs,
+        ret_ty: method.ret.clone(),
+        external: method.external,
+    })
+}
+
+/// Collects the names of locals (and parameters) whose address is taken
+/// anywhere in the body; those must live in the heap forest.
+fn collect_addr_taken(body: &Block) -> Vec<String> {
+    let mut names = Vec::new();
+    fn expr(e: &Expr, names: &mut Vec<String>) {
+        match &e.kind {
+            ExprKind::AddrOf(inner) => {
+                if let Some(name) = lvalue_base(inner) {
+                    names.push(name.to_string());
+                }
+                expr(inner, names);
+            }
+            ExprKind::Unary(_, a) | ExprKind::Deref(a) | ExprKind::Old(a)
+            | ExprKind::Allocated(a) | ExprKind::AllocatedArray(a) | ExprKind::Field(a, _) => {
+                expr(a, names)
+            }
+            ExprKind::Binary(_, a, b) | ExprKind::Index(a, b) => {
+                expr(a, names);
+                expr(b, names);
+            }
+            ExprKind::Call(_, args) | ExprKind::SeqLit(args) => {
+                for a in args {
+                    expr(a, names);
+                }
+            }
+            ExprKind::Forall { lo, hi, body, .. } | ExprKind::Exists { lo, hi, body, .. } => {
+                expr(lo, names);
+                expr(hi, names);
+                expr(body, names);
+            }
+            _ => {}
+        }
+    }
+    fn rhs(r: &Rhs, names: &mut Vec<String>) {
+        match r {
+            Rhs::Expr(e) => expr(e, names),
+            Rhs::Calloc { count, .. } => expr(count, names),
+            Rhs::CreateThread { args, .. } => {
+                for a in args {
+                    expr(a, names);
+                }
+            }
+            Rhs::Malloc { .. } => {}
+        }
+    }
+    fn stmt(s: &Stmt, names: &mut Vec<String>) {
+        match &s.kind {
+            StmtKind::VarDecl { init: Some(r), .. } => rhs(r, names),
+            StmtKind::VarDecl { .. } => {}
+            StmtKind::Assign { lhs, rhs: rs, .. } => {
+                for l in lhs {
+                    expr(l, names);
+                }
+                for r in rs {
+                    rhs(r, names);
+                }
+            }
+            StmtKind::CallStmt { args, .. } | StmtKind::Print(args) => {
+                for a in args {
+                    expr(a, names);
+                }
+            }
+            StmtKind::If { cond, then_block, else_block } => {
+                expr(cond, names);
+                block(then_block, names);
+                if let Some(e) = else_block {
+                    block(e, names);
+                }
+            }
+            StmtKind::While { cond, invariants, body } => {
+                expr(cond, names);
+                for i in invariants {
+                    expr(i, names);
+                }
+                block(body, names);
+            }
+            StmtKind::Return(Some(e))
+            | StmtKind::Assert(e)
+            | StmtKind::Assume(e)
+            | StmtKind::Dealloc(e)
+            | StmtKind::Join(e) => expr(e, names),
+            StmtKind::Somehow { requires, modifies, ensures } => {
+                for e in requires.iter().chain(modifies).chain(ensures) {
+                    expr(e, names);
+                }
+            }
+            StmtKind::Label(_, inner) => stmt(inner, names),
+            StmtKind::ExplicitYield(b) | StmtKind::Atomic(b) | StmtKind::Block(b) => {
+                block(b, names)
+            }
+            _ => {}
+        }
+    }
+    fn block(b: &Block, names: &mut Vec<String>) {
+        for s in &b.stmts {
+            stmt(s, names);
+        }
+    }
+    block(body, &mut names);
+    names
+}
+
+/// The base variable of an lvalue chain, e.g. `a` in `a[i].f`. Derefs have
+/// no base variable (their target is already a heap object).
+fn lvalue_base(expr: &Expr) -> Option<&str> {
+    match &expr.kind {
+        ExprKind::Var(name) => Some(name),
+        ExprKind::Field(base, _) | ExprKind::Index(base, _) => lvalue_base(base),
+        _ => None,
+    }
+}
+
+impl MethodLowerer<'_> {
+    fn declare_local(
+        &mut self,
+        method: &str,
+        name: &str,
+        ty: Type,
+        ghost: bool,
+    ) -> Result<(), LowerError> {
+        if self.locals.iter().any(|l| l.name == name) {
+            return Err(LowerError::new(format!(
+                "method `{method}` declares local `{name}` twice; \
+                 the lowered frame layout is flat, so rename one"
+            )));
+        }
+        self.locals.push(LocalDef { name: name.to_string(), ty, ghost, addr_taken: false });
+        Ok(())
+    }
+
+    fn collect_locals(&mut self, method: &str, stmts: &[Stmt]) -> Result<(), LowerError> {
+        for stmt in stmts {
+            match &stmt.kind {
+                StmtKind::VarDecl { ghost, name, ty, .. } => {
+                    self.declare_local(method, name, ty.clone(), *ghost)?;
+                }
+                StmtKind::If { then_block, else_block, .. } => {
+                    self.collect_locals(method, &then_block.stmts)?;
+                    if let Some(els) = else_block {
+                        self.collect_locals(method, &els.stmts)?;
+                    }
+                }
+                StmtKind::While { body, .. } => self.collect_locals(method, &body.stmts)?,
+                StmtKind::Label(_, inner) => {
+                    self.collect_locals(method, std::slice::from_ref(inner))?
+                }
+                StmtKind::ExplicitYield(block)
+                | StmtKind::Atomic(block)
+                | StmtKind::Block(block) => self.collect_locals(method, &block.stmts)?,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    fn lower_block(&mut self, block: &Block) -> Result<(), LowerError> {
+        for stmt in &block.stmts {
+            self.lower_stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), LowerError> {
+        match &stmt.kind {
+            StmtKind::VarDecl { name, init, .. } => {
+                if let Some(init) = init {
+                    let target = Expr::synthetic(ExprKind::Var(name.clone()));
+                    self.lower_assign(&[target], std::slice::from_ref(init), false)?;
+                }
+                Ok(())
+            }
+            StmtKind::Assign { lhs, rhs, sc } => self.lower_assign(lhs, rhs, *sc),
+            StmtKind::CallStmt { method, args } => {
+                let routine = self.resolve_routine(method)?;
+                self.instrs.push(Instr::Call { routine, args: args.clone(), into: None });
+                Ok(())
+            }
+            StmtKind::If { cond, then_block, else_block } => {
+                let guard_at = self.instrs.len();
+                self.instrs.push(Instr::Noop); // placeholder for Guard
+                let then_pc = self.here();
+                self.lower_block(then_block)?;
+                match else_block {
+                    Some(els) => {
+                        let jump_at = self.instrs.len();
+                        self.instrs.push(Instr::Noop); // placeholder for Jump
+                        let else_pc = self.here();
+                        self.lower_block(els)?;
+                        let end = self.here();
+                        self.instrs[guard_at] =
+                            Instr::Guard { cond: cond.clone(), then_pc, else_pc };
+                        self.instrs[jump_at] = Instr::Jump(end);
+                    }
+                    None => {
+                        let end = self.here();
+                        self.instrs[guard_at] =
+                            Instr::Guard { cond: cond.clone(), then_pc, else_pc: end };
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, invariants: _, body } => {
+                let head = self.here();
+                let guard_at = self.instrs.len();
+                self.instrs.push(Instr::Noop); // placeholder for Guard
+                let body_pc = self.here();
+                self.loop_stack
+                    .push(LoopCtx { break_sites: Vec::new(), continue_target: head });
+                self.lower_block(body)?;
+                self.instrs.push(Instr::Jump(head));
+                let end = self.here();
+                self.instrs[guard_at] =
+                    Instr::Guard { cond: cond.clone(), then_pc: body_pc, else_pc: end };
+                let ctx = self.loop_stack.pop().expect("pushed above");
+                for site in ctx.break_sites {
+                    self.instrs[site] = Instr::Jump(end);
+                }
+                Ok(())
+            }
+            StmtKind::Break => {
+                let site = self.instrs.len();
+                self.instrs.push(Instr::Noop); // patched to Jump(end)
+                self.loop_stack
+                    .last_mut()
+                    .ok_or_else(|| LowerError::new("`break` outside loop"))?
+                    .break_sites
+                    .push(site);
+                Ok(())
+            }
+            StmtKind::Continue => {
+                let target = self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| LowerError::new("`continue` outside loop"))?
+                    .continue_target;
+                self.instrs.push(Instr::Jump(target));
+                Ok(())
+            }
+            StmtKind::Return(value) => {
+                self.instrs.push(Instr::Ret { value: value.clone() });
+                Ok(())
+            }
+            StmtKind::Assert(cond) => {
+                self.instrs.push(Instr::Assert(cond.clone()));
+                Ok(())
+            }
+            StmtKind::Assume(cond) => {
+                self.instrs.push(Instr::Assume(cond.clone()));
+                Ok(())
+            }
+            StmtKind::Somehow { requires, modifies, ensures } => {
+                self.instrs.push(Instr::Somehow {
+                    requires: requires.clone(),
+                    modifies: modifies.clone(),
+                    ensures: ensures.clone(),
+                });
+                Ok(())
+            }
+            StmtKind::Dealloc(target) => {
+                self.instrs.push(Instr::Dealloc(target.clone()));
+                Ok(())
+            }
+            StmtKind::Join(handle) => {
+                self.instrs.push(Instr::Join(handle.clone()));
+                Ok(())
+            }
+            StmtKind::Label(_, inner) => self.lower_stmt(inner),
+            StmtKind::ExplicitYield(body) => {
+                self.instrs.push(Instr::AtomicBegin { explicit: true });
+                self.explicit_yield_depth += 1;
+                self.lower_block(body)?;
+                self.explicit_yield_depth -= 1;
+                self.instrs.push(Instr::AtomicEnd);
+                Ok(())
+            }
+            StmtKind::Yield => {
+                if self.explicit_yield_depth == 0 {
+                    return Err(LowerError::new("`yield` outside `explicit_yield`"));
+                }
+                self.instrs.push(Instr::YieldPoint);
+                Ok(())
+            }
+            StmtKind::Atomic(body) => {
+                self.instrs.push(Instr::AtomicBegin { explicit: false });
+                self.lower_block(body)?;
+                self.instrs.push(Instr::AtomicEnd);
+                Ok(())
+            }
+            StmtKind::Print(args) => {
+                self.instrs.push(Instr::Print(args.clone()));
+                Ok(())
+            }
+            StmtKind::Fence => {
+                self.instrs.push(Instr::Fence);
+                Ok(())
+            }
+            StmtKind::Block(body) => self.lower_block(body),
+        }
+    }
+
+    fn lower_assign(&mut self, lhs: &[Expr], rhs: &[Rhs], sc: bool) -> Result<(), LowerError> {
+        // Allocation / thread / call RHSs only in single assignments; plain
+        // expressions can be multi-assigned.
+        let all_exprs = rhs.iter().all(|r| matches!(r, Rhs::Expr(_)));
+        if all_exprs {
+            // A top-level call RHS is a method call, not an expression.
+            if rhs.len() == 1 {
+                if let Rhs::Expr(expr) = &rhs[0] {
+                    if let ExprKind::Call(name, args) = &expr.kind {
+                        if let Some(routine) = self.routine_index.get(name) {
+                            self.instrs.push(Instr::Call {
+                                routine: *routine,
+                                args: args.clone(),
+                                into: Some(lhs[0].clone()),
+                            });
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            let exprs: Vec<Expr> = rhs
+                .iter()
+                .map(|r| match r {
+                    Rhs::Expr(e) => e.clone(),
+                    _ => unreachable!("checked all_exprs"),
+                })
+                .collect();
+            self.instrs.push(Instr::Assign { lhs: lhs.to_vec(), rhs: exprs, sc });
+            return Ok(());
+        }
+        if lhs.len() != 1 || rhs.len() != 1 {
+            return Err(LowerError::new(
+                "allocation, thread creation, and calls cannot appear in multi-assignments",
+            ));
+        }
+        let target = lhs[0].clone();
+        match &rhs[0] {
+            Rhs::Malloc { ty, .. } => {
+                self.instrs.push(Instr::Malloc { into: target, ty: ty.clone() });
+            }
+            Rhs::Calloc { ty, count, .. } => {
+                self.instrs.push(Instr::Calloc {
+                    into: target,
+                    ty: ty.clone(),
+                    count: count.clone(),
+                });
+            }
+            Rhs::CreateThread { method, args, .. } => {
+                let routine = self.resolve_routine(method)?;
+                self.instrs.push(Instr::CreateThread {
+                    into: Some(target),
+                    routine,
+                    args: args.clone(),
+                });
+            }
+            Rhs::Expr(_) => unreachable!("handled above"),
+        }
+        Ok(())
+    }
+
+    fn resolve_routine(&self, name: &str) -> Result<u32, LowerError> {
+        self.routine_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| LowerError::new(format!("unknown method `{name}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_lang::{check_module, parse_module};
+
+    fn lower_src(src: &str, level: &str) -> Result<Program, LowerError> {
+        let module = parse_module(src).expect("parse");
+        let typed = check_module(&module).expect("typecheck");
+        lower(&typed, level)
+    }
+
+    #[test]
+    fn lowers_control_flow_to_guards() {
+        let program = lower_src(
+            r#"level L {
+                var x: uint32;
+                void main() {
+                    var i: uint32 := 0;
+                    while (i < 3) {
+                        if (i == 1) { x := i; } else { x := 0; }
+                        i := i + 1;
+                    }
+                }
+            }"#,
+            "L",
+        )
+        .unwrap();
+        let main = &program.routines[program.main as usize];
+        let guards =
+            main.instrs.iter().filter(|i| matches!(i, Instr::Guard { .. })).count();
+        assert_eq!(guards, 2, "one for while, one for if");
+        // Every guard / jump target is in range.
+        for instr in &main.instrs {
+            match instr {
+                Instr::Guard { then_pc, else_pc, .. } => {
+                    assert!((*then_pc as usize) < main.instrs.len());
+                    assert!((*else_pc as usize) <= main.instrs.len());
+                }
+                Instr::Jump(t) => assert!((*t as usize) <= main.instrs.len()),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn detects_address_taken_locals() {
+        let program = lower_src(
+            r#"level L {
+                void main() {
+                    var x: uint32;
+                    var p: ptr<uint32> := &x;
+                    *p := 1;
+                }
+            }"#,
+            "L",
+        )
+        .unwrap();
+        let main = &program.routines[program.main as usize];
+        let x = &main.locals[main.local_slot("x").unwrap()];
+        assert!(x.addr_taken);
+        let p = &main.locals[main.local_slot("p").unwrap()];
+        assert!(!p.addr_taken);
+    }
+
+    #[test]
+    fn external_method_without_body_gets_figure8_model() {
+        let program = lower_src(
+            r#"level L {
+                ghost var log: seq<int>;
+                method {:extern} P(n: uint32) modifies log ensures log == old(log) + [n];
+                void main() { P(1); }
+            }"#,
+            "L",
+        )
+        .unwrap();
+        let p = &program.routines[program.routine_index("P").unwrap() as usize];
+        assert!(matches!(p.instrs[0], Instr::Somehow { .. }));
+        assert!(matches!(p.instrs[1], Instr::Ret { .. }));
+    }
+
+    #[test]
+    fn rejects_yield_outside_explicit_yield() {
+        let err = lower_src("level L { void main() { yield; } }", "L").unwrap_err();
+        assert!(err.to_string().contains("yield"));
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        let err = lower_src("level L { void helper() { } }", "L").unwrap_err();
+        assert!(err.to_string().contains("main"));
+    }
+
+    #[test]
+    fn rejects_duplicate_flat_locals() {
+        let err = lower_src(
+            r#"level L {
+                void main() {
+                    if (true) { var x: uint32; x := 1; } else { var x: uint32; x := 2; }
+                }
+            }"#,
+            "L",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn break_and_continue_lower_to_jumps() {
+        let program = lower_src(
+            r#"level L {
+                void main() {
+                    var i: uint32 := 0;
+                    while (true) {
+                        i := i + 1;
+                        if (i == 2) { continue; }
+                        if (i > 3) { break; }
+                    }
+                }
+            }"#,
+            "L",
+        )
+        .unwrap();
+        let main = &program.routines[program.main as usize];
+        let jumps = main.instrs.iter().filter(|i| matches!(i, Instr::Jump(_))).count();
+        assert!(jumps >= 3, "loop back-edge, continue, break; got {jumps}");
+    }
+
+    #[test]
+    fn ghosts_and_globals_are_separated() {
+        let program = lower_src(
+            "level L { var a: uint32; ghost var g: int; var b: bool; void main() { } }",
+            "L",
+        )
+        .unwrap();
+        assert_eq!(program.globals.len(), 2);
+        assert_eq!(program.ghosts.len(), 1);
+        assert_eq!(program.global_index("a"), Some(0));
+        assert_eq!(program.global_index("b"), Some(1));
+        assert_eq!(program.ghost_index("g"), Some(0));
+    }
+}

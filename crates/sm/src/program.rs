@@ -1,0 +1,314 @@
+//! The lowered program representation.
+//!
+//! Each level is compiled to a [`Program`]: a set of [`Routine`]s whose
+//! bodies are flat lists of micro-instructions ([`Instr`]), with structured
+//! control flow lowered to guarded branches. A program counter ([`Pc`])
+//! names a routine and an instruction index.
+//!
+//! The semantics are *program-specific* in the paper's sense (§3.2.2): the
+//! possible steps of a state machine are exactly "thread t executes the
+//! instruction at its PC" (plus store-buffer drains), and each instruction
+//! carries the concrete lvalues and rvalues of its source statement.
+
+use armada_lang::ast::{Expr, FunctionDecl, Type};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A program counter: routine index plus instruction index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc {
+    /// Index into [`Program::routines`].
+    pub routine: u32,
+    /// Index into [`Routine::instrs`].
+    pub instr: u32,
+}
+
+impl Pc {
+    /// Creates a program counter.
+    pub fn new(routine: u32, instr: u32) -> Pc {
+        Pc { routine, instr }
+    }
+
+    /// The next instruction in the same routine.
+    pub fn next(self) -> Pc {
+        Pc { routine: self.routine, instr: self.instr + 1 }
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}:{}", self.routine, self.instr)
+    }
+}
+
+/// A non-ghost global variable. Its backing storage is heap object number
+/// `index-in-this-list`, allocated by [`crate::state::initial_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Variable name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Constant initializer, if any (zero otherwise).
+    pub init: Option<Expr>,
+}
+
+/// A ghost global variable, stored sequentially consistently outside the
+/// heap (§3.1.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GhostDef {
+    /// Variable name.
+    pub name: String,
+    /// Type (any ghost type).
+    pub ty: Type,
+    /// Constant initializer, if any.
+    pub init: Option<Expr>,
+}
+
+/// A routine-local variable (parameters come first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalDef {
+    /// Variable name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Whether the variable is ghost.
+    pub ghost: bool,
+    /// Whether the program text takes its address, forcing it to live in the
+    /// heap forest (§3.2.4).
+    pub addr_taken: bool,
+}
+
+/// A micro-instruction; executing one is a single state-machine step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Multi-assignment. `sc` selects TSO-bypassing (`::=`) semantics.
+    Assign {
+        /// Lvalue targets.
+        lhs: Vec<Expr>,
+        /// Value expressions, one per target.
+        rhs: Vec<Expr>,
+        /// `true` for sequentially consistent (`::=`) stores.
+        sc: bool,
+    },
+    /// `into := malloc(T)`.
+    Malloc {
+        /// Lvalue receiving the pointer.
+        into: Expr,
+        /// Allocated type.
+        ty: Type,
+    },
+    /// `into := calloc(T, count)`.
+    Calloc {
+        /// Lvalue receiving the pointer to element 0.
+        into: Expr,
+        /// Element type.
+        ty: Type,
+        /// Element count.
+        count: Expr,
+    },
+    /// `into := create_thread r(args)` (or bare `create_thread`).
+    CreateThread {
+        /// Lvalue receiving the new thread's id, if any.
+        into: Option<Expr>,
+        /// Routine index the thread runs.
+        routine: u32,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Method call. Evaluates arguments, pushes a frame.
+    Call {
+        /// Callee routine index.
+        routine: u32,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Lvalue receiving the return value, if any.
+        into: Option<Expr>,
+    },
+    /// Return from the current routine.
+    Ret {
+        /// Returned value, if the routine is non-void.
+        value: Option<Expr>,
+    },
+    /// Conditional branch: evaluating the guard is itself a step.
+    Guard {
+        /// The condition.
+        cond: Expr,
+        /// Target when true.
+        then_pc: u32,
+        /// Target when false.
+        else_pc: u32,
+    },
+    /// Unconditional jump.
+    Jump(u32),
+    /// `assert e;` — false crashes the program (terminating state).
+    Assert(Expr),
+    /// `assume e;` — enablement condition: the step only exists when true.
+    Assume(Expr),
+    /// Declarative atomic action (§3.1.2). Undefined behavior if a
+    /// `requires` fails; havocs the `modifies` lvalues subject to `ensures`.
+    Somehow {
+        /// Preconditions.
+        requires: Vec<Expr>,
+        /// Havocked lvalues.
+        modifies: Vec<Expr>,
+        /// Two-state postconditions.
+        ensures: Vec<Expr>,
+    },
+    /// `dealloc e;`.
+    Dealloc(Expr),
+    /// `join e;` — enabled only once the target thread has exited.
+    Join(Expr),
+    /// Appends values to the observable event log.
+    Print(Vec<Expr>),
+    /// Drains the executing thread's store buffer completely.
+    Fence,
+    /// Enter an atomic region. `explicit` marks `explicit_yield` blocks,
+    /// which are interruptible at [`Instr::YieldPoint`]s.
+    AtomicBegin {
+        /// Whether the region came from `explicit_yield`.
+        explicit: bool,
+    },
+    /// Leave an atomic region.
+    AtomicEnd,
+    /// A `yield;` marker inside an `explicit_yield` block: while a thread's
+    /// PC rests here, other threads may interleave.
+    YieldPoint,
+    /// No effect; used for labels and empty declarations.
+    Noop,
+}
+
+impl Instr {
+    /// A one-line rendering used in diagnostics and generated proof text.
+    pub fn describe(&self) -> String {
+        use armada_lang::pretty::expr_to_string;
+        match self {
+            Instr::Assign { lhs, rhs, sc } => {
+                let op = if *sc { "::=" } else { ":=" };
+                format!(
+                    "{} {op} {}",
+                    lhs.iter().map(expr_to_string).collect::<Vec<_>>().join(", "),
+                    rhs.iter().map(expr_to_string).collect::<Vec<_>>().join(", ")
+                )
+            }
+            Instr::Malloc { into, ty } => {
+                format!("{} := malloc({ty})", expr_to_string(into))
+            }
+            Instr::Calloc { into, ty, count } => {
+                format!("{} := calloc({ty}, {})", expr_to_string(into), expr_to_string(count))
+            }
+            Instr::CreateThread { routine, .. } => format!("create_thread r{routine}"),
+            Instr::Call { routine, .. } => format!("call r{routine}"),
+            Instr::Ret { .. } => "return".to_string(),
+            Instr::Guard { cond, then_pc, else_pc } => {
+                format!("if {} goto {then_pc} else {else_pc}", expr_to_string(cond))
+            }
+            Instr::Jump(target) => format!("goto {target}"),
+            Instr::Assert(cond) => format!("assert {}", expr_to_string(cond)),
+            Instr::Assume(cond) => format!("assume {}", expr_to_string(cond)),
+            Instr::Somehow { .. } => "somehow".to_string(),
+            Instr::Dealloc(target) => format!("dealloc {}", expr_to_string(target)),
+            Instr::Join(handle) => format!("join {}", expr_to_string(handle)),
+            Instr::Print(_) => "print".to_string(),
+            Instr::Fence => "fence".to_string(),
+            Instr::AtomicBegin { explicit: true } => "explicit_yield {".to_string(),
+            Instr::AtomicBegin { explicit: false } => "atomic {".to_string(),
+            Instr::AtomicEnd => "}".to_string(),
+            Instr::YieldPoint => "yield".to_string(),
+            Instr::Noop => "noop".to_string(),
+        }
+    }
+}
+
+/// A lowered routine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routine {
+    /// Source method name.
+    pub name: String,
+    /// Number of leading locals that are parameters.
+    pub param_count: usize,
+    /// All locals, parameters first.
+    pub locals: Vec<LocalDef>,
+    /// The instruction list; control falls off the end only via `Ret`
+    /// (lowering appends one).
+    pub instrs: Vec<Instr>,
+    /// Return type (`None` = void).
+    pub ret_ty: Option<Type>,
+    /// Whether the source method was `{:extern}`.
+    pub external: bool,
+}
+
+impl Routine {
+    /// Resolves a local name to its slot.
+    pub fn local_slot(&self, name: &str) -> Option<usize> {
+        self.locals.iter().position(|l| l.name == name)
+    }
+}
+
+/// A complete lowered program (one level).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Level name.
+    pub name: String,
+    /// Struct name → ordered fields.
+    pub structs: BTreeMap<String, Vec<(String, Type)>>,
+    /// Non-ghost globals; global *i* is heap object *i*.
+    pub globals: Vec<GlobalDef>,
+    /// Ghost globals, in ghost-slot order.
+    pub ghosts: Vec<GhostDef>,
+    /// Ghost pure functions by name.
+    pub functions: BTreeMap<String, FunctionDecl>,
+    /// All routines.
+    pub routines: Vec<Routine>,
+    /// Index of `main` in `routines`.
+    pub main: u32,
+}
+
+impl Program {
+    /// Resolves a routine name to its index.
+    pub fn routine_index(&self, name: &str) -> Option<u32> {
+        self.routines.iter().position(|r| r.name == name).map(|i| i as u32)
+    }
+
+    /// Resolves a non-ghost global name to its index (= heap object id).
+    pub fn global_index(&self, name: &str) -> Option<u32> {
+        self.globals.iter().position(|g| g.name == name).map(|i| i as u32)
+    }
+
+    /// Resolves a ghost global name to its slot.
+    pub fn ghost_index(&self, name: &str) -> Option<u32> {
+        self.ghosts.iter().position(|g| g.name == name).map(|i| i as u32)
+    }
+
+    /// The instruction at `pc`, if it exists.
+    pub fn instr_at(&self, pc: Pc) -> Option<&Instr> {
+        self.routines.get(pc.routine as usize)?.instrs.get(pc.instr as usize)
+    }
+
+    /// Renders the whole program as an instruction listing, used in
+    /// diagnostics and generated proof artifacts.
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for (ri, routine) in self.routines.iter().enumerate() {
+            out.push_str(&format!("routine r{ri} {} {{\n", routine.name));
+            for (ii, instr) in routine.instrs.iter().enumerate() {
+                out.push_str(&format!("  {ii:3}: {}\n", instr.describe()));
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_ordering_and_next() {
+        let a = Pc::new(0, 3);
+        assert_eq!(a.next(), Pc::new(0, 4));
+        assert!(Pc::new(0, 3) < Pc::new(1, 0));
+        assert_eq!(a.to_string(), "r0:3");
+    }
+}

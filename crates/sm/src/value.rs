@@ -1,0 +1,248 @@
+//! Runtime values of the Armada state machine.
+
+use armada_lang::ast::{IntType, Type};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::heap::PtrVal;
+
+/// A first-class runtime value.
+///
+/// Machine values (`Int`, `Bool`, `Ptr`) are what compiled code manipulates;
+/// the remaining variants are ghost values usable in specifications and
+/// proof levels. All variants are totally ordered so values can be set/map
+/// keys.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A fixed-width machine integer; the payload is kept in range by
+    /// construction via [`IntType::wrap`].
+    Int {
+        /// The integer type, determining the wrap-around behavior.
+        ty: IntType,
+        /// The value, within `ty`'s range.
+        val: i128,
+    },
+    /// A mathematical (ghost) integer. We bound it to `i128`; case studies
+    /// and benchmarks stay far below this, and overflow panics rather than
+    /// wraps, so the bound cannot silently change a proof outcome.
+    MathInt(i128),
+    /// A boolean.
+    Bool(bool),
+    /// A pointer, `None` for `null`.
+    Ptr(Option<PtrVal>),
+    /// A ghost sequence.
+    Seq(Vec<Value>),
+    /// A ghost finite set.
+    Set(BTreeSet<Value>),
+    /// A ghost finite map.
+    Map(BTreeMap<Value, Value>),
+    /// A ghost option.
+    Opt(Option<Box<Value>>),
+}
+
+impl Value {
+    /// Creates a fixed-width integer, wrapping into range.
+    pub fn int(ty: IntType, val: i128) -> Value {
+        Value::Int { ty, val: ty.wrap(val) }
+    }
+
+    /// Creates the unsigned 64-bit value used for thread ids.
+    pub fn tid(val: u64) -> Value {
+        Value::int(IntType::U64, val as i128)
+    }
+
+    /// The numeric payload of an integer value, if it is one.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int { val, .. } => Some(*val),
+            Value::MathInt(val) => Some(*val),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The pointer payload, if this is a pointer.
+    pub fn as_ptr(&self) -> Option<&Option<PtrVal>> {
+        match self {
+            Value::Ptr(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// True if the value is numeric (fixed-width or mathematical).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int { .. } | Value::MathInt(_))
+    }
+
+    /// The default (zero) value of a type: 0, false, null, empty collections.
+    /// Struct and array types are memory trees, not first-class values; the
+    /// heap builds their zero layout separately.
+    pub fn zero_of(ty: &Type) -> Option<Value> {
+        Some(match ty {
+            Type::Int(int_ty) => Value::int(*int_ty, 0),
+            Type::MathInt => Value::MathInt(0),
+            Type::Bool => Value::Bool(false),
+            Type::Pointer(_) => Value::Ptr(None),
+            Type::Seq(_) => Value::Seq(Vec::new()),
+            Type::Set(_) => Value::Set(BTreeSet::new()),
+            Type::Map(_, _) => Value::Map(BTreeMap::new()),
+            Type::Option(_) => Value::Opt(None),
+            Type::Array(_, _) | Type::Named(_) => return None,
+        })
+    }
+
+    /// Coerces a numeric value to the given target type, wrapping fixed-width
+    /// targets. Non-numeric values are returned unchanged.
+    pub fn coerce_to(&self, ty: &Type) -> Value {
+        match (self, ty) {
+            (Value::Int { val, .. } | Value::MathInt(val), Type::Int(int_ty)) => {
+                Value::int(*int_ty, *val)
+            }
+            (Value::Int { val, .. } | Value::MathInt(val), Type::MathInt) => {
+                Value::MathInt(*val)
+            }
+            _ => self.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int { val, .. } => write!(f, "{val}"),
+            Value::MathInt(val) => write!(f, "{val}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Ptr(None) => write!(f, "null"),
+            Value::Ptr(Some(p)) => write!(f, "{p}"),
+            Value::Seq(elems) => {
+                write!(f, "[")?;
+                for (i, elem) in elems.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{elem}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Set(elems) => {
+                write!(f, "{{")?;
+                for (i, elem) in elems.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{elem}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Map(entries) => {
+                write!(f, "map[")?;
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{key} := {value}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Opt(None) => write!(f, "none"),
+            Value::Opt(Some(inner)) => write!(f, "some({inner})"),
+        }
+    }
+}
+
+/// Why an execution step manifested undefined behavior (§3.2.3–3.2.4).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UbReason {
+    /// Dereference of `null`.
+    NullDereference,
+    /// Access through a pointer into a freed object, or comparison with one.
+    FreedAccess,
+    /// Array index or pointer offset outside the object.
+    OutOfBounds,
+    /// Division or modulus by zero.
+    DivisionByZero,
+    /// Shift amount negative or at least the operand width.
+    InvalidShift,
+    /// Ordering comparison (or subtraction) of pointers into different
+    /// arrays, which the heap model cannot define (§3.2.4).
+    CrossArrayPointerOp,
+    /// A `somehow` or external-method precondition was violated.
+    RequiresViolated,
+    /// `unwrap` of `none`, or `map_get` of an absent key.
+    GhostPartialOperation,
+    /// `join` of a value that is not a live or exited thread's id.
+    InvalidJoin,
+    /// `dealloc` of a pointer that is not the root of a live allocation.
+    InvalidDealloc,
+    /// A ghost-integer operation overflowed the `i128` carrier.
+    MathOverflow,
+}
+
+impl fmt::Display for UbReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            UbReason::NullDereference => "null dereference",
+            UbReason::FreedAccess => "access to freed memory",
+            UbReason::OutOfBounds => "out-of-bounds access",
+            UbReason::DivisionByZero => "division by zero",
+            UbReason::InvalidShift => "invalid shift amount",
+            UbReason::CrossArrayPointerOp => "pointer operation across distinct arrays",
+            UbReason::RequiresViolated => "precondition violated",
+            UbReason::GhostPartialOperation => "partial ghost operation misapplied",
+            UbReason::InvalidJoin => "join of an invalid thread id",
+            UbReason::InvalidDealloc => "dealloc of a non-allocation",
+            UbReason::MathOverflow => "mathematical integer overflow",
+        };
+        f.write_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_constructor_wraps() {
+        assert_eq!(Value::int(IntType::U8, 300), Value::Int { ty: IntType::U8, val: 44 });
+        assert_eq!(Value::int(IntType::I8, 200), Value::Int { ty: IntType::I8, val: -56 });
+    }
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(Value::zero_of(&Type::Bool), Some(Value::Bool(false)));
+        assert_eq!(Value::zero_of(&Type::ptr(Type::Bool)), Some(Value::Ptr(None)));
+        assert_eq!(Value::zero_of(&Type::array(Type::Bool, 3)), None);
+    }
+
+    #[test]
+    fn coercion_wraps_to_target() {
+        let wide = Value::MathInt(257);
+        assert_eq!(wide.coerce_to(&Type::Int(IntType::U8)), Value::int(IntType::U8, 1));
+        assert_eq!(wide.coerce_to(&Type::MathInt), Value::MathInt(257));
+        // Non-numerics pass through unchanged.
+        assert_eq!(Value::Bool(true).coerce_to(&Type::Int(IntType::U8)), Value::Bool(true));
+    }
+
+    #[test]
+    fn values_are_ordered_and_usable_as_keys() {
+        let mut set = BTreeSet::new();
+        set.insert(Value::MathInt(2));
+        set.insert(Value::MathInt(1));
+        set.insert(Value::Bool(true));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Value::int(IntType::U32, 7).to_string(), "7");
+        assert_eq!(Value::Seq(vec![Value::MathInt(1), Value::MathInt(2)]).to_string(), "[1, 2]");
+        assert_eq!(Value::Opt(None).to_string(), "none");
+    }
+}

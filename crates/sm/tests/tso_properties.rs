@@ -1,0 +1,143 @@
+//! Property tests for the x86-TSO core: store-buffer laws, heap-model laws,
+//! and coherence of a thread's local view (§3.2.1).
+
+use armada_lang::ast::{IntType, Type};
+use armada_sm::heap::{Location, MemNode, PtrVal, RootKind};
+use armada_sm::{Heap, UbReason, Value};
+use proptest::prelude::*;
+
+fn u64v(v: i128) -> Value {
+    Value::int(IntType::U64, v)
+}
+
+proptest! {
+    /// FIFO drain: applying a buffer's writes oldest-first makes the newest
+    /// write to each location win — global memory converges to the thread's
+    /// local view.
+    #[test]
+    fn buffer_drain_converges_to_local_view(
+        writes in proptest::collection::vec((0u32..4, 0i128..100), 0..12)
+    ) {
+        let mut heap = Heap::new();
+        let node = MemNode::Array((0..4).map(|_| MemNode::Leaf(u64v(0))).collect());
+        let object = heap.alloc(node, RootKind::Calloc);
+
+        // The thread's view: newest write per location, else initial 0.
+        let mut view = [0i128; 4];
+        for &(slot, value) in &writes {
+            view[slot as usize] = value;
+        }
+        // Drain in FIFO order.
+        for &(slot, value) in &writes {
+            let loc = Location { object, path: vec![slot] };
+            heap.write_leaf(&loc, u64v(value)).unwrap();
+        }
+        for slot in 0..4u32 {
+            let loc = Location { object, path: vec![slot] };
+            prop_assert_eq!(
+                heap.read(&loc).unwrap().as_leaf(),
+                Some(&u64v(view[slot as usize]))
+            );
+        }
+    }
+
+    /// Pointer arithmetic within an array is associative with itself and
+    /// faithful to index arithmetic; stepping outside the array is UB.
+    #[test]
+    fn pointer_arithmetic_laws(len in 1usize..16, a in 0i128..16, b in -16i128..16) {
+        let mut heap = Heap::new();
+        let node = MemNode::Array((0..len).map(|_| MemNode::Leaf(u64v(0))).collect());
+        let object = heap.alloc(node, RootKind::Calloc);
+        let base = PtrVal { object, path: vec![0] };
+
+        let direct = heap.ptr_add(&base, a + b);
+        let stepped = heap
+            .ptr_add(&base, a)
+            .and_then(|mid| heap.ptr_add(&mid, b));
+        match (direct, stepped) {
+            (Ok(p), Ok(q)) => prop_assert_eq!(p, q),
+            // One route can fail where the other succeeds only by leaving
+            // the array mid-way; both must agree when both are in bounds.
+            (Err(_), _) | (_, Err(_)) => {
+                let total = a + b;
+                prop_assert!(
+                    total < 0 || total > len as i128
+                        || a < 0 || a > len as i128
+                        || a + b < 0
+                );
+            }
+        }
+    }
+
+    /// Freed objects are permanently inaccessible, and double free is UB.
+    #[test]
+    fn freed_objects_stay_dead(accesses in proptest::collection::vec(0u32..4, 1..8)) {
+        let mut heap = Heap::new();
+        let node = MemNode::Array((0..4).map(|_| MemNode::Leaf(u64v(9))).collect());
+        let object = heap.alloc(node, RootKind::Calloc);
+        heap.dealloc(&PtrVal { object, path: vec![0] }).unwrap();
+        for slot in accesses {
+            let loc = Location { object, path: vec![slot] };
+            prop_assert_eq!(heap.read(&loc), Err(UbReason::FreedAccess));
+        }
+        prop_assert_eq!(
+            heap.dealloc(&PtrVal { object, path: vec![0] }),
+            Err(UbReason::FreedAccess)
+        );
+    }
+
+    /// Zero layouts contain a leaf at every scalar position and respect
+    /// array lengths.
+    #[test]
+    fn zero_layout_shape(len in 0u64..20) {
+        let structs = std::collections::BTreeMap::new();
+        let node = MemNode::zero(&Type::array(Type::Int(IntType::U32), len), &structs);
+        match node {
+            MemNode::Array(children) => {
+                prop_assert_eq!(children.len() as u64, len);
+                for child in children {
+                    prop_assert_eq!(
+                        child.as_leaf(),
+                        Some(&Value::int(IntType::U32, 0))
+                    );
+                }
+            }
+            other => prop_assert!(false, "expected array, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn message_passing_litmus_never_reorders() {
+    // MP litmus: with data written before flag by the same thread, a reader
+    // that observes flag==1 must observe data==1 — TSO's FIFO buffers
+    // guarantee it. Checked over every interleaving.
+    let source = r#"
+        level MP {
+            var data: uint32;
+            var flag: uint32;
+            void writer() {
+                data := 1;
+                flag := 1;
+            }
+            void main() {
+                var t: uint64 := create_thread writer();
+                var f: uint32 := flag;
+                if (f == 1) {
+                    var d: uint32 := data;
+                    assert d == 1;
+                }
+                join t;
+            }
+        }
+    "#;
+    let module = armada_lang::parse_module(source).unwrap();
+    let typed = armada_lang::check_module(&module).unwrap();
+    let program = armada_sm::lower(&typed, "MP").unwrap();
+    let exploration = armada_sm::explore(&program, &armada_sm::Bounds::small());
+    assert!(
+        exploration.assert_failures.is_empty(),
+        "TSO must not reorder same-thread stores"
+    );
+    assert!(!exploration.exited.is_empty());
+}

@@ -1,0 +1,283 @@
+//! The combining strategy (§4.2.6).
+//!
+//! Two programs exhibit the *combining correspondence* when an atomic block
+//! in the low level is replaced by a single statement in the high level with
+//! a superset of the block's behaviors. Unlike plain weakening, the low side
+//! is a *sequence* of steps executed without interruption, so the key lemma
+//! quantifies over every path through the block.
+//!
+//! The strategy enumerates the block's paths (branching allowed; loops
+//! inside an atomic block would make the path set infinite and are
+//! rejected), emits one [`ObligationKind::CombiningPath`] per path, and
+//! discharges them semantically: the bounded refinement checker verifies
+//! that the whole low level simulates the high level, which in particular
+//! covers every enumerated path.
+
+use armada_lang::ast::{Block, Stmt, StmtKind};
+use armada_lang::pretty::stmt_to_string;
+use armada_proof::relation::StandardRelation;
+use armada_proof::{
+    DischargedObligation, ObligationKind, ProofMethod, ProofObligation, StrategyReport, Verdict,
+};
+use armada_verify::check_refinement;
+
+use crate::align::{diff_levels, AlignOptions, DiffItem};
+use crate::common::StrategyCtx;
+
+/// Runs the combining strategy.
+pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
+    let mut report = ctx.report();
+    let items = match diff_levels(ctx.low, ctx.high, &AlignOptions::default()) {
+        Ok(items) => items,
+        Err(reason) => return ctx.structural_failure(reason),
+    };
+    let mut combined = Vec::new();
+    for item in items {
+        match item {
+            DiffItem::ChangedStmt { path, low, high } => match &low.kind {
+                StmtKind::Atomic(block) | StmtKind::ExplicitYield(block) => {
+                    combined.push((path, block.clone(), high.clone()));
+                }
+                _ => {
+                    return ctx.structural_failure(format!(
+                        "combining requires the low side of each difference to be an \
+                         atomic block; found `{}` at {path}",
+                        stmt_to_string(&low).trim()
+                    ))
+                }
+            },
+            other => {
+                return ctx.structural_failure(format!(
+                    "combining permits only atomic-block replacements; found {other:?}"
+                ))
+            }
+        }
+    }
+    if combined.is_empty() {
+        return ctx.structural_failure("combining found no atomic block to combine".to_string());
+    }
+
+    // Path enumeration per combined block.
+    let mut all_paths = Vec::new();
+    for (path, block, high) in &combined {
+        let paths = match enumerate_paths(block) {
+            Ok(paths) => paths,
+            Err(reason) => {
+                return ctx.structural_failure(format!("at {path}: {reason}"));
+            }
+        };
+        for trace in paths {
+            all_paths.push((path.clone(), trace, stmt_to_string(high).trim().to_string()));
+        }
+    }
+
+    // Semantic discharge: the bounded refinement check covers every path of
+    // every interleaving.
+    let relation = StandardRelation::new(ctx.typed.module.relation());
+    let outcome = check_refinement(&ctx.low_prog, &ctx.high_prog, &relation, &ctx.sim);
+    for (at, trace, high) in all_paths {
+        let verdict = match &outcome {
+            Ok(cert) => Verdict::Proved(ProofMethod::ModelChecked {
+                states: cert.product_nodes,
+            }),
+            Err(ce) => Verdict::Refuted { counterexample: ce.description.clone() },
+        };
+        report.obligations.push(DischargedObligation {
+            obligation: ProofObligation::new(
+                ObligationKind::CombiningPath { path: trace.join("; "), high },
+                vec![
+                    format!("// block at {at}"),
+                    "assert PathBehaviors(path) <= behaviors(HStatement);".to_string(),
+                ],
+            ),
+            verdict,
+        });
+        if outcome.is_err() {
+            break;
+        }
+    }
+    report
+}
+
+/// Enumerates the straight-line paths through a block (each path is the list
+/// of executed statement texts).
+///
+/// # Errors
+///
+/// Rejects loops: their path set is unbounded, and the paper's combining
+/// lemma enumerates path prefixes of loop-free atomic blocks.
+fn enumerate_paths(block: &Block) -> Result<Vec<Vec<String>>, String> {
+    let mut paths = vec![Vec::new()];
+    extend_paths(&block.stmts, &mut paths)?;
+    Ok(paths)
+}
+
+fn extend_paths(stmts: &[Stmt], paths: &mut Vec<Vec<String>>) -> Result<(), String> {
+    for stmt in stmts {
+        match &stmt.kind {
+            StmtKind::While { .. } => {
+                return Err(
+                    "combining cannot enumerate paths through a loop inside an atomic block"
+                        .to_string(),
+                )
+            }
+            StmtKind::If { cond, then_block, else_block } => {
+                let mut with_then = paths.clone();
+                for path in with_then.iter_mut() {
+                    path.push(format!(
+                        "assume {}",
+                        armada_lang::pretty::expr_to_string(cond)
+                    ));
+                }
+                extend_paths(&then_block.stmts, &mut with_then)?;
+                let mut with_else = paths.clone();
+                for path in with_else.iter_mut() {
+                    path.push(format!(
+                        "assume !{}",
+                        armada_lang::pretty::expr_to_string(cond)
+                    ));
+                }
+                if let Some(els) = else_block {
+                    extend_paths(&els.stmts, &mut with_else)?;
+                }
+                paths.clear();
+                paths.extend(with_then);
+                paths.extend(with_else);
+            }
+            StmtKind::Block(inner) => extend_paths(&inner.stmts, paths)?,
+            other => {
+                let text = stmt_to_string(&Stmt::new(other.clone(), stmt.span));
+                for path in paths.iter_mut() {
+                    path.push(text.trim().to_string());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_lang::{check_module, parse_module};
+    use armada_verify::SimConfig;
+
+    fn run_recipe(src: &str) -> StrategyReport {
+        let module = parse_module(src).expect("parse");
+        let typed = check_module(&module).expect("typecheck");
+        let recipe = &typed.module.recipes[0];
+        let ctx = StrategyCtx::build(&typed, recipe, SimConfig::default()).expect("ctx");
+        run(&ctx)
+    }
+
+    #[test]
+    fn atomic_increment_combines_into_somehow() {
+        let report = run_recipe(
+            r#"
+            level Low {
+                ghost var g: int := 0;
+                void main() {
+                    atomic {
+                        g := g + 1;
+                        g := g + 1;
+                    }
+                    print(g);
+                }
+            }
+            level High {
+                ghost var g: int := 0;
+                void main() {
+                    somehow modifies g ensures g == old(g) + 2;
+                    print(g);
+                }
+            }
+            proof P { refinement Low High combining }
+            "#,
+        );
+        assert!(report.success(), "{}", report.failure_summary());
+        assert!(report
+            .obligations
+            .iter()
+            .any(|o| matches!(o.obligation.kind, ObligationKind::CombiningPath { .. })));
+    }
+
+    #[test]
+    fn branching_block_enumerates_both_paths() {
+        let report = run_recipe(
+            r#"
+            level Low {
+                ghost var g: int := 0;
+                void main() {
+                    atomic {
+                        if (g == 0) { g := 1; } else { g := 2; }
+                    }
+                    print(g);
+                }
+            }
+            level High {
+                ghost var g: int := 0;
+                void main() {
+                    somehow modifies g ensures g >= 1;
+                    print(g);
+                }
+            }
+            proof P { refinement Low High combining }
+            "#,
+        );
+        // Two paths were enumerated.
+        let paths = report
+            .obligations
+            .iter()
+            .filter(|o| matches!(o.obligation.kind, ObligationKind::CombiningPath { .. }))
+            .count();
+        assert_eq!(paths, 2);
+        assert!(report.success(), "{}", report.failure_summary());
+    }
+
+    #[test]
+    fn wrong_combined_statement_is_refuted() {
+        let report = run_recipe(
+            r#"
+            level Low {
+                ghost var g: int := 0;
+                void main() {
+                    atomic { g := g + 1; g := g + 1; }
+                    print(g);
+                }
+            }
+            level High {
+                ghost var g: int := 0;
+                void main() {
+                    somehow modifies g ensures g == old(g) + 3;
+                    print(g);
+                }
+            }
+            proof P { refinement Low High combining }
+            "#,
+        );
+        assert!(!report.success(), "g + 2 does not satisfy g == old(g) + 3");
+    }
+
+    #[test]
+    fn loops_inside_atomic_blocks_are_rejected() {
+        let report = run_recipe(
+            r#"
+            level Low {
+                ghost var g: int := 0;
+                void main() {
+                    atomic { while (g < 2) { g := g + 1; } }
+                }
+            }
+            level High {
+                ghost var g: int := 0;
+                void main() {
+                    somehow modifies g ensures g == 2;
+                }
+            }
+            proof P { refinement Low High combining }
+            "#,
+        );
+        assert!(!report.success());
+        assert!(report.failure_summary().contains("loop"));
+    }
+}

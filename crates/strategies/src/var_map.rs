@@ -1,0 +1,332 @@
+//! Variable introduction and variable hiding (§4.2.7–4.2.8).
+//!
+//! A pair exhibits the *variable-introduction correspondence* when the high
+//! level has extra variables — typically ghost abstractions of concrete
+//! state — that appear only in declarations and in assignments to them;
+//! erasing them yields exactly the low level. *Variable hiding* is the same
+//! correspondence with the roles swapped: the low level's obviated concrete
+//! variables are erased.
+//!
+//! The strategy infers the variable set from the declaration diff when the
+//! recipe does not name one, checks the erasure equation structurally, and
+//! additionally verifies that the surviving program never *reads* an erased
+//! variable (reads would make erasure unsound).
+
+use armada_lang::ast::{Level, Recipe, StmtKind, StrategyKind};
+use armada_lang::pretty::level_to_string;
+use armada_proof::{
+    DischargedObligation, ObligationKind, ProofMethod, ProofObligation, StrategyReport, Verdict,
+};
+use armada_sm::effects::stmt_touches_var;
+
+use crate::align::{erase_vars, levels_equal_modulo_name};
+use crate::common::StrategyCtx;
+
+/// Runs variable introduction (`intro = true`) or hiding (`intro = false`).
+pub fn run(ctx: &StrategyCtx<'_>, intro: bool) -> StrategyReport {
+    let mut report = ctx.report();
+    // For introduction, the *high* level has extra variables; for hiding,
+    // the *low* level does.
+    let (extended, base) = if intro { (ctx.high, ctx.low) } else { (ctx.low, ctx.high) };
+    let vars = inferred_vars(ctx.recipe, extended, base);
+    if vars.is_empty() {
+        return ctx.structural_failure(format!(
+            "{} found no variables to {}",
+            ctx.recipe.strategy,
+            if intro { "introduce" } else { "hide" }
+        ));
+    }
+
+    // Reads of an erased variable outside assignments *to erased variables*
+    // break erasure. (Ghost self-updates like `wrote := set_add(wrote, i)`
+    // are the normal idiom and are fine: they disappear with the variable.)
+    for var in &vars {
+        for method in extended.methods() {
+            if let Some(body) = &method.body {
+                if let Some(site) = find_read(body, var, &vars) {
+                    report.obligations.push(DischargedObligation {
+                        obligation: ProofObligation::new(
+                            ObligationKind::VariableMapping { vars: var.clone() },
+                            vec![],
+                        ),
+                        verdict: Verdict::Refuted {
+                            counterexample: format!(
+                                "`{var}` is read (not just assigned) in `{}`: {site}",
+                                method.name
+                            ),
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    let erased = erase_vars(extended, &vars);
+    let vars_text = vars.join(", ");
+    let body = vec![
+        format!("var erased := Erase(H, {{{vars_text}}});"),
+        "assert LevelsEqual(erased, L);".to_string(),
+        "forall lb :: LBehavior(lb) ==> exists hb :: HBehavior(hb) && \
+         ProjectGhost(hb) == lb;"
+            .to_string(),
+    ];
+    let verdict = if levels_equal_modulo_name(base, &erased) {
+        Verdict::Proved(ProofMethod::Structural)
+    } else {
+        Verdict::Refuted {
+            counterexample: first_line_difference(base, &erased),
+        }
+    };
+    report.obligations.push(DischargedObligation {
+        obligation: ProofObligation::new(
+            ObligationKind::VariableMapping { vars: vars_text },
+            body,
+        ),
+        verdict,
+    });
+    report
+}
+
+/// The variable set: from the recipe, or inferred as the globals present in
+/// `extended` but not in `base`.
+fn inferred_vars(recipe: &Recipe, extended: &Level, base: &Level) -> Vec<String> {
+    if !recipe.variables.is_empty() {
+        return recipe.variables.clone();
+    }
+    let _ = recipe.strategy == StrategyKind::VarIntro;
+    extended
+        .globals()
+        .filter(|g| base.globals().all(|b| b.name != g.name))
+        .map(|g| g.name.clone())
+        .collect()
+}
+
+/// Finds a statement that *reads* `var` in a way erasure cannot remove:
+/// any mention outside the right-hand side of an assignment to an erased
+/// variable (`all_vars`). Ghost self-updates are thus permitted.
+fn find_read(
+    block: &armada_lang::ast::Block,
+    var: &str,
+    all_vars: &[String],
+) -> Option<String> {
+    fn erased_base(target: &armada_lang::ast::Expr, all_vars: &[String]) -> bool {
+        match &target.kind {
+            armada_lang::ast::ExprKind::Var(n) => all_vars.contains(n),
+            armada_lang::ast::ExprKind::Index(base, _)
+            | armada_lang::ast::ExprKind::Field(base, _) => erased_base(base, all_vars),
+            _ => false,
+        }
+    }
+    let erased_target =
+        |target: &armada_lang::ast::Expr| erased_base(target, all_vars);
+    for stmt in &block.stmts {
+        match &stmt.kind {
+            StmtKind::Assign { lhs, rhs, .. } => {
+                for (target, value) in lhs.iter().zip(rhs) {
+                    if erased_target(target) {
+                        continue; // this pair is erased wholesale
+                    }
+                    if let armada_lang::ast::Rhs::Expr(expr) = value {
+                        if mentions(expr, var) {
+                            return Some(
+                                armada_lang::pretty::stmt_to_string(stmt).trim().into(),
+                            );
+                        }
+                    }
+                    if mentions(target, var) {
+                        return Some(armada_lang::pretty::stmt_to_string(stmt).trim().into());
+                    }
+                }
+            }
+            StmtKind::VarDecl { name, init, .. } if !all_vars.contains(name) => {
+                if let Some(armada_lang::ast::Rhs::Expr(expr)) = init {
+                    if mentions(expr, var) {
+                        return Some(armada_lang::pretty::stmt_to_string(stmt).trim().into());
+                    }
+                }
+            }
+            StmtKind::VarDecl { .. } => {}
+            StmtKind::If { cond, then_block, else_block } => {
+                if mentions(cond, var) {
+                    return Some(armada_lang::pretty::stmt_to_string(stmt).trim().into());
+                }
+                if let Some(found) = find_read(then_block, var, all_vars) {
+                    return Some(found);
+                }
+                if let Some(els) = else_block {
+                    if let Some(found) = find_read(els, var, all_vars) {
+                        return Some(found);
+                    }
+                }
+            }
+            StmtKind::While { cond, body, .. } => {
+                if mentions(cond, var) {
+                    return Some(armada_lang::pretty::stmt_to_string(stmt).trim().into());
+                }
+                if let Some(found) = find_read(body, var, all_vars) {
+                    return Some(found);
+                }
+            }
+            StmtKind::ExplicitYield(b) | StmtKind::Atomic(b) | StmtKind::Block(b) => {
+                if let Some(found) = find_read(b, var, all_vars) {
+                    return Some(found);
+                }
+            }
+            other => {
+                // assert/assume/print/somehow etc.: any mention is a read.
+                let stmt_copy = armada_lang::ast::Stmt::new(other.clone(), stmt.span);
+                if stmt_touches_var(&stmt_copy, var) {
+                    return Some(armada_lang::pretty::stmt_to_string(stmt).trim().into());
+                }
+            }
+        }
+    }
+    None
+}
+
+fn mentions(expr: &armada_lang::ast::Expr, var: &str) -> bool {
+    let mut names = Vec::new();
+    armada_proof::prover::collect_vars(expr, &mut names);
+    names.iter().any(|n| n == var)
+}
+
+fn first_line_difference(base: &Level, erased: &Level) -> String {
+    let base_text = level_to_string(base);
+    let erased_text = level_to_string(erased);
+    for (a, b) in base_text.lines().skip(1).zip(erased_text.lines().skip(1)) {
+        if a != b {
+            return format!("erasure mismatch: `{}` vs `{}`", a.trim(), b.trim());
+        }
+    }
+    "erasure mismatch in trailing statements".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_lang::{check_module, parse_module};
+    use armada_verify::SimConfig;
+
+    fn run_recipe(src: &str) -> StrategyReport {
+        let module = parse_module(src).expect("parse");
+        let typed = check_module(&module).expect("typecheck");
+        let recipe = &typed.module.recipes[0];
+        let ctx = StrategyCtx::build(&typed, recipe, SimConfig::default()).expect("ctx");
+        run(&ctx, recipe.strategy == StrategyKind::VarIntro)
+    }
+
+    #[test]
+    fn ghost_variable_introduction_succeeds() {
+        let report = run_recipe(
+            r#"
+            level Low {
+                var x: uint32;
+                void main() { x := 1; print(x); }
+            }
+            level High {
+                var x: uint32;
+                ghost var count: int;
+                void main() { x := 1; count := 1; print(x); }
+            }
+            proof P { refinement Low High var_intro }
+            "#,
+        );
+        assert!(report.success(), "{}", report.failure_summary());
+    }
+
+    #[test]
+    fn ghost_self_updates_are_permitted() {
+        let report = run_recipe(
+            r#"
+            level Low {
+                var x: uint32;
+                void main() { x := 1; }
+            }
+            level High {
+                var x: uint32;
+                ghost var count: int;
+                void main() { x := 1; count := count + 1; }
+            }
+            proof P { refinement Low High var_intro }
+            "#,
+        );
+        assert!(report.success(), "{}", report.failure_summary());
+    }
+
+    #[test]
+    fn introduction_that_leaks_into_concrete_state_fails() {
+        let report = run_recipe(
+            r#"
+            level Low {
+                var x: uint32;
+                void main() { x := 1; }
+            }
+            level High {
+                var x: uint32;
+                ghost var count: int;
+                void main() { x := count; count := count + 1; }
+            }
+            proof P { refinement Low High var_intro }
+            "#,
+        );
+        assert!(!report.success(), "concrete state may not read the introduced variable");
+    }
+
+    #[test]
+    fn hiding_erases_low_level_variables() {
+        let report = run_recipe(
+            r#"
+            level Low {
+                var x: uint32;
+                var impl_detail: uint32;
+                void main() { impl_detail := 3; x := 1; print(x); }
+            }
+            level High {
+                var x: uint32;
+                void main() { x := 1; print(x); }
+            }
+            proof P { refinement Low High var_hiding impl_detail }
+            "#,
+        );
+        assert!(report.success(), "{}", report.failure_summary());
+    }
+
+    #[test]
+    fn hiding_a_variable_the_program_reads_fails() {
+        let report = run_recipe(
+            r#"
+            level Low {
+                var x: uint32;
+                var impl_detail: uint32;
+                void main() { impl_detail := 3; x := impl_detail; print(x); }
+            }
+            level High {
+                var x: uint32;
+                void main() { print(x); }
+            }
+            proof P { refinement Low High var_hiding impl_detail }
+            "#,
+        );
+        assert!(!report.success());
+    }
+
+    #[test]
+    fn erasure_mismatch_is_reported() {
+        let report = run_recipe(
+            r#"
+            level Low {
+                var x: uint32;
+                void main() { x := 1; }
+            }
+            level High {
+                var x: uint32;
+                ghost var g: int;
+                void main() { x := 2; g := 1; }
+            }
+            proof P { refinement Low High var_intro }
+            "#,
+        );
+        assert!(!report.success());
+        assert!(report.failure_summary().contains("mismatch"));
+    }
+}

@@ -1,0 +1,570 @@
+//! # armada-verify
+//!
+//! Bounded refinement checking between two Armada levels by explicit-state
+//! forward simulation.
+//!
+//! The paper proves refinement with generated Dafny lemmas; this crate is
+//! the *semantic* half of our substitution for that toolchain (see
+//! DESIGN.md): it checks, by exhaustive enumeration, that every behavior of
+//! the low-level program — every interleaving, every store-buffer drain
+//! schedule, every bounded nondeterministic choice — simulates some behavior
+//! of the high-level program under the refinement relation `R`, allowing
+//! stuttering on the high side.
+//!
+//! The check is an antichain-style subset construction: a product node pairs
+//! a concrete low state with the *set* of high states that match it so far;
+//! a low step succeeds if every successor can be matched by `0..=max_match`
+//! high steps ending in `R`-related states. An empty match set yields a
+//! [`Counterexample`] with the offending low-level trace.
+//!
+//! Combined with the per-strategy obligations of `armada-strategies`, and
+//! composed across adjacent levels by transitivity ([`RefinementChain`]),
+//! this regenerates the paper's end-to-end guarantee on bounded instances.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use armada_proof::RefinementRelation;
+use armada_sm::{
+    enabled_steps, initial_state, Bounds, ProgState, Program, Step, StepKind,
+};
+
+/// Configuration for the simulation search.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Bounds for both programs' step enumeration.
+    pub bounds: Bounds,
+    /// Maximum high-level steps allowed to match one low-level step.
+    pub max_match: usize,
+    /// Maximum product nodes to explore.
+    pub max_nodes: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { bounds: Bounds::small(), max_match: 4, max_nodes: 200_000 }
+    }
+}
+
+/// Evidence that the bounded refinement check succeeded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefinementCert {
+    /// Name of the low-level program.
+    pub low: String,
+    /// Name of the high-level program.
+    pub high: String,
+    /// Product nodes explored.
+    pub product_nodes: usize,
+    /// Low-level transitions checked.
+    pub low_transitions: usize,
+}
+
+/// A failing low-level behavior with no matching high-level behavior.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Human-readable failure description.
+    pub description: String,
+    /// The low-level step trace (instruction descriptions) to the failure.
+    pub trace: Vec<String>,
+    /// The unmatched low-level state.
+    pub state: ProgState,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "refinement counterexample: {}", self.description)?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:3}: {step}")?;
+        }
+        write!(f, "{}", self.state)
+    }
+}
+
+fn describe_step(program: &Program, state: &ProgState, step: &Step) -> String {
+    match &step.kind {
+        StepKind::Drain => format!("t{} drains one buffered write", step.tid),
+        StepKind::Instr { nondets } => {
+            let instr = state
+                .thread(step.tid)
+                .and_then(|t| program.instr_at(t.pc))
+                .map(|i| i.describe())
+                .unwrap_or_else(|| "<no instruction>".to_string());
+            if nondets.is_empty() {
+                format!("t{}: {instr}", step.tid)
+            } else {
+                let values: Vec<String> = nondets.iter().map(|v| v.to_string()).collect();
+                format!("t{}: {instr}  [nondet {}]", step.tid, values.join(", "))
+            }
+        }
+    }
+}
+
+/// Checks that `low` refines `high` under `relation`, over all bounded
+/// behaviors.
+///
+/// # Errors
+///
+/// Returns a [`Counterexample`] naming the unmatched low-level trace, or a
+/// search-budget failure if `max_nodes` was exceeded (reported as a
+/// counterexample with an explanatory description so callers treat it as
+/// "not verified").
+pub fn check_refinement(
+    low: &Program,
+    high: &Program,
+    relation: &dyn RefinementRelation,
+    config: &SimConfig,
+) -> Result<RefinementCert, Box<Counterexample>> {
+    let pool = config.bounds.pool_for(low);
+    let high_pool = config.bounds.pool_for(high);
+    let low_init = initial_state(low).map_err(|e| {
+        Box::new(Counterexample {
+            description: format!("low initial state: {e}"),
+            trace: vec![],
+            state: initial_state(high).expect("high init"),
+        })
+    })?;
+    let high_init = initial_state(high).map_err(|e| {
+        Box::new(Counterexample {
+            description: format!("high initial state: {e}"),
+            trace: vec![],
+            state: low_init.clone(),
+        })
+    })?;
+
+    // High states are interned so match sets are integer sets; successor
+    // lists and stutter closures are memoized per interned state.
+    let mut intern: BTreeMap<ProgState, u32> = BTreeMap::new();
+    let mut states: Vec<ProgState> = Vec::new();
+    let mut successors: Vec<Option<Vec<u32>>> = Vec::new();
+    let mut closures: Vec<Option<Vec<u32>>> = Vec::new();
+
+    fn intern_state(
+        state: ProgState,
+        intern: &mut BTreeMap<ProgState, u32>,
+        states: &mut Vec<ProgState>,
+        successors: &mut Vec<Option<Vec<u32>>>,
+        closures: &mut Vec<Option<Vec<u32>>>,
+    ) -> u32 {
+        if let Some(&id) = intern.get(&state) {
+            return id;
+        }
+        let id = states.len() as u32;
+        intern.insert(state.clone(), id);
+        states.push(state);
+        successors.push(None);
+        closures.push(None);
+        id
+    }
+
+    // The stutter closure of an interned high state (ids reachable within
+    // max_match steps).
+    let closure_of = |id: u32,
+                          intern: &mut BTreeMap<ProgState, u32>,
+                          states: &mut Vec<ProgState>,
+                          successors: &mut Vec<Option<Vec<u32>>>,
+                          closures: &mut Vec<Option<Vec<u32>>>|
+     -> Vec<u32> {
+        if let Some(cached) = &closures[id as usize] {
+            return cached.clone();
+        }
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
+        let mut frontier = VecDeque::new();
+        seen.insert(id);
+        frontier.push_back((id, 0usize));
+        while let Some((current, depth)) = frontier.pop_front() {
+            if depth >= config.max_match {
+                continue;
+            }
+            if successors[current as usize].is_none() {
+                let next_states: Vec<ProgState> = enabled_steps(
+                    high,
+                    &states[current as usize],
+                    &high_pool,
+                    config.bounds.max_buffer,
+                )
+                .into_iter()
+                .map(|(_, s)| s)
+                .collect();
+                let ids: Vec<u32> = next_states
+                    .into_iter()
+                    .map(|s| intern_state(s, intern, states, successors, closures))
+                    .collect();
+                successors[current as usize] = Some(ids);
+            }
+            for next in successors[current as usize].clone().expect("just set") {
+                if seen.insert(next) {
+                    frontier.push_back((next, depth + 1));
+                }
+            }
+        }
+        let result: Vec<u32> = seen.into_iter().collect();
+        closures[id as usize] = Some(result.clone());
+        result
+    };
+
+    let high_root =
+        intern_state(high_init, &mut intern, &mut states, &mut successors, &mut closures);
+    let init_matches: BTreeSet<u32> =
+        closure_of(high_root, &mut intern, &mut states, &mut successors, &mut closures)
+            .into_iter()
+            .filter(|&h| relation.relates(&low_init, &states[h as usize]))
+            .collect();
+    if init_matches.is_empty() {
+        return Err(Box::new(Counterexample {
+            description: "initial states are not related by R".to_string(),
+            trace: vec![],
+            state: low_init,
+        }));
+    }
+
+    // Product search. Parent pointers give counterexample traces; antichain
+    // subsumption prunes nodes whose match set is a superset of a processed
+    // one (fewer matches is the strictly harder obligation).
+    //
+    // Match sets are interned, and — because every supported refinement
+    // relation is a function of a state's *observables* (event log and
+    // termination status) — the expansion of a match set against a low
+    // successor is memoized per (match-set, observables) pair. Stuttering
+    // low steps (no log change) therefore hit the cache almost always.
+    type NodeId = usize;
+    type Obs = (Vec<armada_sm::Value>, armada_sm::Termination);
+    let mut set_intern: BTreeMap<BTreeSet<u32>, u32> = BTreeMap::new();
+    let mut sets: Vec<BTreeSet<u32>> = Vec::new();
+    let intern_set = |set: BTreeSet<u32>, set_intern: &mut BTreeMap<BTreeSet<u32>, u32>, sets: &mut Vec<BTreeSet<u32>>| -> u32 {
+        if let Some(&id) = set_intern.get(&set) {
+            return id;
+        }
+        let id = sets.len() as u32;
+        set_intern.insert(set.clone(), id);
+        sets.push(set);
+        id
+    };
+    let mut expand_cache: BTreeMap<(u32, Obs), Option<u32>> = BTreeMap::new();
+
+    let mut nodes: Vec<(ProgState, u32)> = Vec::new();
+    let mut seen_low: BTreeMap<ProgState, Vec<u32>> = BTreeMap::new();
+    let mut parents: Vec<Option<(NodeId, String)>> = Vec::new();
+    let mut frontier: VecDeque<NodeId> = VecDeque::new();
+
+    let init_set_id = intern_set(init_matches, &mut set_intern, &mut sets);
+    seen_low.insert(low_init.clone(), vec![init_set_id]);
+    nodes.push((low_init, init_set_id));
+    parents.push(None);
+    frontier.push_back(0);
+
+    let mut low_transitions = 0usize;
+
+    let trace_of = |parents: &Vec<Option<(NodeId, String)>>, mut node: NodeId| {
+        let mut trace = Vec::new();
+        while let Some((parent, step)) = &parents[node] {
+            trace.push(step.clone());
+            node = *parent;
+        }
+        trace.reverse();
+        trace
+    };
+
+    while let Some(node_id) = frontier.pop_front() {
+        let (low_state, match_set_id) = nodes[node_id].clone();
+        if low_state.is_terminal() {
+            continue;
+        }
+        for (step, low_next) in
+            enabled_steps(low, &low_state, &pool, config.bounds.max_buffer)
+        {
+            low_transitions += 1;
+            let obs: Obs = (low_next.log.clone(), low_next.termination.clone());
+            let cache_key = (match_set_id, obs);
+            let new_set_id = match expand_cache.get(&cache_key) {
+                Some(cached) => *cached,
+                None => {
+                    // New match set: all states reachable (within the
+                    // stutter budget) from any current match that relate to
+                    // the new low state.
+                    let mut new_matches: BTreeSet<u32> = BTreeSet::new();
+                    for &high_id in sets[match_set_id as usize].clone().iter() {
+                        for candidate in closure_of(
+                            high_id,
+                            &mut intern,
+                            &mut states,
+                            &mut successors,
+                            &mut closures,
+                        ) {
+                            if new_matches.contains(&candidate) {
+                                continue;
+                            }
+                            if relation.relates(&low_next, &states[candidate as usize]) {
+                                new_matches.insert(candidate);
+                            }
+                        }
+                    }
+                    let result = if new_matches.is_empty() {
+                        None
+                    } else {
+                        Some(intern_set(new_matches, &mut set_intern, &mut sets))
+                    };
+                    expand_cache.insert(cache_key, result);
+                    result
+                }
+            };
+            let Some(new_set_id) = new_set_id else {
+                let mut trace = trace_of(&parents, node_id);
+                trace.push(describe_step(low, &low_state, &step));
+                return Err(Box::new(Counterexample {
+                    description: format!(
+                        "no high-level behavior matches after `{}`",
+                        describe_step(low, &low_state, &step)
+                    ),
+                    trace,
+                    state: low_next,
+                }));
+            };
+            let subsumed = seen_low
+                .get(&low_next)
+                .map(|ids| {
+                    ids.iter().any(|&m| {
+                        m == new_set_id
+                            || sets[m as usize].is_subset(&sets[new_set_id as usize])
+                    })
+                })
+                .unwrap_or(false);
+            if subsumed {
+                continue;
+            }
+            if nodes.len() >= config.max_nodes {
+                let trace = trace_of(&parents, node_id);
+                return Err(Box::new(Counterexample {
+                    description: format!(
+                        "search budget exceeded ({} product nodes); refinement NOT verified",
+                        config.max_nodes
+                    ),
+                    trace,
+                    state: low_next,
+                }));
+            }
+            let id = nodes.len();
+            seen_low.entry(low_next.clone()).or_default().push(new_set_id);
+            parents.push(Some((node_id, describe_step(low, &nodes[node_id].0, &step))));
+            nodes.push((low_next, new_set_id));
+            frontier.push_back(id);
+        }
+    }
+
+    Ok(RefinementCert {
+        low: low.name.clone(),
+        high: high.name.clone(),
+        product_nodes: nodes.len(),
+        low_transitions,
+    })
+}
+
+/// A transitively composed refinement result across a series of levels
+/// (implementation at index 0, specification last), mirroring Figure 1's
+/// final transitivity step.
+#[derive(Debug, Clone)]
+pub struct RefinementChain {
+    /// Level names, concrete to abstract.
+    pub levels: Vec<String>,
+    /// Per-adjacent-pair certificates.
+    pub certs: Vec<RefinementCert>,
+}
+
+impl RefinementChain {
+    /// Composes per-pair certificates into an end-to-end statement.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the certificates do not form a chain.
+    pub fn compose(certs: Vec<RefinementCert>) -> Result<RefinementChain, String> {
+        if certs.is_empty() {
+            return Err("empty refinement chain".to_string());
+        }
+        let mut levels = vec![certs[0].low.clone()];
+        for cert in &certs {
+            if cert.low != *levels.last().expect("nonempty") {
+                return Err(format!(
+                    "chain break: expected a certificate from `{}`, got `{}` ⊑ `{}`",
+                    levels.last().expect("nonempty"),
+                    cert.low,
+                    cert.high
+                ));
+            }
+            levels.push(cert.high.clone());
+        }
+        Ok(RefinementChain { levels, certs })
+    }
+
+    /// The end-to-end claim, e.g. `Implementation ⊑ Specification`.
+    pub fn claim(&self) -> String {
+        format!(
+            "{} ⊑ {}",
+            self.levels.first().expect("nonempty"),
+            self.levels.last().expect("nonempty")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_lang::{check_module, parse_module};
+    use armada_proof::relation::StandardRelation;
+    use armada_sm::lower;
+
+    fn programs(src: &str, low: &str, high: &str) -> (Program, Program) {
+        let module = parse_module(src).expect("parse");
+        let typed = check_module(&module).expect("typecheck");
+        (lower(&typed, low).expect("lower low"), lower(&typed, high).expect("lower high"))
+    }
+
+    #[test]
+    fn identical_programs_refine() {
+        let (low, high) = programs(
+            r#"
+            level A { var x: uint32; void main() { x := 1; print(x); } }
+            level B { var x: uint32; void main() { x := 1; print(x); } }
+            "#,
+            "A",
+            "B",
+        );
+        let relation = StandardRelation::log_prefix();
+        let cert =
+            check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap();
+        assert!(cert.product_nodes >= 1);
+    }
+
+    #[test]
+    fn weakened_guard_refines() {
+        // The high level replaces a concrete guard with `*`: every low
+        // behavior is a high behavior (§2.2's ArbitraryGuard).
+        let (low, high) = programs(
+            r#"
+            level Impl {
+                var x: uint32;
+                void main() {
+                    var t: uint32 := x;
+                    if (t < 1) { print(1); } else { print(2); }
+                }
+            }
+            level Weak {
+                var x: uint32;
+                void main() {
+                    var t: uint32 := x;
+                    if (*) { print(1); } else { print(2); }
+                }
+            }
+            "#,
+            "Impl",
+            "Weak",
+        );
+        let relation = StandardRelation::log_prefix();
+        check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn diverging_output_is_a_counterexample() {
+        let (low, high) = programs(
+            r#"
+            level A { void main() { print(1); } }
+            level B { void main() { print(2); } }
+            "#,
+            "A",
+            "B",
+        );
+        let relation = StandardRelation::log_prefix();
+        let err =
+            check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap_err();
+        assert!(err.description.contains("no high-level behavior"));
+        assert!(!err.trace.is_empty());
+        assert!(err.to_string().contains("counterexample"));
+    }
+
+    #[test]
+    fn somehow_spec_admits_implementation() {
+        // The spec "somehow prints a value >= 0" simulates the concrete
+        // implementation printing 1.
+        let (low, high) = programs(
+            r#"
+            level Impl {
+                void main() { print(1); }
+            }
+            level Spec {
+                ghost var v: int;
+                void main() {
+                    somehow modifies v ensures v >= 0;
+                    print(v);
+                }
+            }
+            "#,
+            "Impl",
+            "Spec",
+        );
+        let relation = StandardRelation::log_prefix();
+        check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn reverse_direction_fails() {
+        // The spec has more behaviors than the impl; checking spec ⊑ impl
+        // must fail.
+        let (low, high) = programs(
+            r#"
+            level Impl { void main() { print(1); } }
+            level Spec {
+                void main() { if (*) { print(1); } else { print(0); } }
+            }
+            "#,
+            "Spec",
+            "Impl",
+        );
+        let relation = StandardRelation::log_prefix();
+        assert!(check_refinement(&low, &high, &relation, &SimConfig::default()).is_err());
+    }
+
+    #[test]
+    fn concurrent_low_level_refines_atomic_spec() {
+        // Two workers each print once under a guard; the spec prints the
+        // two values in some order nondeterministically.
+        let (low, high) = programs(
+            r#"
+            level Impl {
+                void worker(v: uint32) { print(v); }
+                void main() {
+                    var a: uint64 := create_thread worker(1);
+                    var b: uint64 := create_thread worker(2);
+                    join a;
+                    join b;
+                }
+            }
+            level Spec {
+                void main() {
+                    if (*) { print(1); print(2); } else { print(2); print(1); }
+                }
+            }
+            "#,
+            "Impl",
+            "Spec",
+        );
+        let relation = StandardRelation::log_prefix();
+        check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn chain_composition() {
+        let cert_ab = RefinementCert {
+            low: "A".into(),
+            high: "B".into(),
+            product_nodes: 1,
+            low_transitions: 1,
+        };
+        let cert_bc = RefinementCert {
+            low: "B".into(),
+            high: "C".into(),
+            product_nodes: 1,
+            low_transitions: 1,
+        };
+        let chain = RefinementChain::compose(vec![cert_ab.clone(), cert_bc]).unwrap();
+        assert_eq!(chain.claim(), "A ⊑ C");
+        let err = RefinementChain::compose(vec![cert_ab.clone(), cert_ab]).unwrap_err();
+        assert!(err.contains("chain break"));
+    }
+}

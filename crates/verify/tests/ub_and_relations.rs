@@ -1,0 +1,117 @@
+//! Integration tests for the §3.2.3 undefined-behavior story through the
+//! refinement checker, and custom refinement relations.
+
+use armada_lang::ast::{PredicateSource, RelationKind};
+use armada_lang::{check_module, parse_module};
+use armada_proof::relation::StandardRelation;
+use armada_sm::lower;
+use armada_verify::{check_refinement, SimConfig};
+
+fn pair(src: &str, low: &str, high: &str) -> (armada_sm::Program, armada_sm::Program) {
+    let module = parse_module(src).unwrap();
+    let typed = check_module(&module).unwrap();
+    (lower(&typed, low).unwrap(), lower(&typed, high).unwrap())
+}
+
+#[test]
+fn low_ub_requires_high_ub() {
+    // The implementation dereferences freed memory; the "spec" does not.
+    // Per §3.2.3's conjunct, the refinement must fail — otherwise proofs
+    // about UB programs would be vacuous.
+    let (low, high) = pair(
+        r#"
+        level A {
+            void main() {
+                var p: ptr<uint32> := malloc(uint32);
+                dealloc p;
+                *p := 1;
+            }
+        }
+        level B {
+            void main() {
+                var p: ptr<uint32> := malloc(uint32);
+                dealloc p;
+                print(0);
+            }
+        }
+        "#,
+        "A",
+        "B",
+    );
+    let relation = StandardRelation::log_prefix();
+    let err = check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap_err();
+    assert!(err.description.contains("no high-level behavior"));
+}
+
+#[test]
+fn matching_ub_is_fine() {
+    let (low, high) = pair(
+        r#"
+        level A {
+            void main() {
+                var p: ptr<uint32> := malloc(uint32);
+                dealloc p;
+                *p := 1;
+            }
+        }
+        level B {
+            void main() {
+                var p: ptr<uint32> := malloc(uint32);
+                dealloc p;
+                *p := 2;
+            }
+        }
+        "#,
+        "A",
+        "B",
+    );
+    let relation = StandardRelation::log_prefix();
+    check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap();
+}
+
+#[test]
+fn assert_failures_must_be_matched() {
+    let (low, high) = pair(
+        r#"
+        level A { void main() { assert false; } }
+        level B { void main() { print(1); } }
+        "#,
+        "A",
+        "B",
+    );
+    let relation = StandardRelation::log_prefix();
+    assert!(check_refinement(&low, &high, &relation, &SimConfig::default()).is_err());
+    // …and a spec that may crash covers a crashing implementation.
+    let (low, high) = pair(
+        r#"
+        level A { void main() { assert false; } }
+        level B { void main() { assert false; } }
+        "#,
+        "A",
+        "B",
+    );
+    check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap();
+}
+
+#[test]
+fn custom_relation_changes_the_verdict() {
+    // Under log-prefix, printing different values fails; under a custom
+    // relation comparing only log lengths, it verifies.
+    let (low, high) = pair(
+        r#"
+        level A { void main() { print(1); } }
+        level B { void main() { print(2); } }
+        "#,
+        "A",
+        "B",
+    );
+    let strict = StandardRelation::log_prefix();
+    assert!(check_refinement(&low, &high, &strict, &SimConfig::default()).is_err());
+
+    let text = "len(low_log) <= len(high_log)";
+    let custom = StandardRelation::new(RelationKind::Custom(PredicateSource {
+        text: text.to_string(),
+        expr: armada_lang::parse_expr(text).unwrap(),
+    }));
+    check_refinement(&low, &high, &custom, &SimConfig::default()).unwrap();
+}

@@ -1,0 +1,3 @@
+//! Workspace facade crate: hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). The library surface lives in
+//! the `armada` crate (crates/core); see the README for the map.

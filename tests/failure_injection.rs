@@ -1,0 +1,152 @@
+//! Failure injection: the paper's soundness story (§2.2, §4) is that a
+//! *wrong recipe* — claiming a correspondence the programs do not have —
+//! surfaces as a verification failure, never as a silent success. Each test
+//! here mutates a correct proof into an incorrect one and asserts the
+//! pipeline refuses it.
+
+use armada::Pipeline;
+
+fn run(source: &str) -> armada::PipelineReport {
+    Pipeline::from_source(source).expect("front end").run().expect("pipeline")
+}
+
+#[test]
+fn wrong_strategy_for_the_correspondence_fails() {
+    // The levels exhibit nondet weakening; claiming variable introduction
+    // must fail structurally.
+    let report = run(r#"
+        level A { var x: uint32; void main() { x := 1; } }
+        level B { var x: uint32; void main() { x := *; } }
+        proof P { refinement A B var_intro }
+    "#);
+    assert!(!report.verified());
+}
+
+#[test]
+fn tso_elim_without_ownership_fails() {
+    // Two threads write the same variable with no discipline at all; the
+    // ownership predicate `true` cannot be exclusive.
+    let report = run(r#"
+        level A {
+            var x: uint32;
+            void w() { x := 1; }
+            void main() { var t: uint64 := create_thread w(); x := 2; join t; }
+        }
+        level B {
+            var x: uint32;
+            void w() { x ::= 1; }
+            void main() { var t: uint64 := create_thread w(); x ::= 2; join t; }
+        }
+        proof P { refinement A B tso_elim x "true" }
+    "#);
+    assert!(!report.verified());
+    let summary = report.failure_summary();
+    assert!(
+        summary.contains("ownership") || summary.contains("owning"),
+        "failure should name the ownership discipline: {summary}"
+    );
+}
+
+#[test]
+fn reduction_of_a_racy_section_fails() {
+    // Claiming atomicity for two unfenced writes racing a reader.
+    let report = run(r#"
+        level A {
+            var x: uint32;
+            var y: uint32;
+            void w() { x := 1; y := 1; fence; }
+            void main() {
+                var t: uint64 := create_thread w();
+                var a: uint32 := x;
+                var b: uint32 := y;
+                print(a);
+                print(b);
+                join t;
+            }
+        }
+        level B {
+            var x: uint32;
+            var y: uint32;
+            void w() { explicit_yield { x := 1; y := 1; fence; } }
+            void main() {
+                var t: uint64 := create_thread w();
+                var a: uint32 := x;
+                var b: uint32 := y;
+                print(a);
+                print(b);
+                join t;
+            }
+        }
+        proof P { refinement A B reduction }
+    "#);
+    assert!(!report.verified());
+}
+
+#[test]
+fn enablement_that_can_be_false_fails() {
+    let report = run(r#"
+        level A {
+            var x: uint32;
+            void main() { x := 5; var t: uint32 := x; print(t); }
+        }
+        level B {
+            var x: uint32;
+            void main() { x := 5; var t: uint32 := x; assume t < 5; print(t); }
+        }
+        proof P { refinement A B assume_intro }
+    "#);
+    assert!(!report.verified());
+}
+
+#[test]
+fn hiding_a_variable_the_output_depends_on_fails() {
+    let report = run(r#"
+        level A {
+            var secret: uint32;
+            void main() { secret := 3; var t: uint32 := secret; print(t); }
+        }
+        level B {
+            void main() { var t: uint32 := 0; print(t); }
+        }
+        proof P { refinement A B var_hiding secret }
+    "#);
+    assert!(!report.verified());
+}
+
+#[test]
+fn combining_with_too_strong_a_postcondition_fails() {
+    let report = run(r#"
+        level A {
+            ghost var g: int;
+            void main() { atomic { g := g + 1; } print(g); }
+        }
+        level B {
+            ghost var g: int;
+            void main() { somehow modifies g ensures g == old(g) + 2; print(g); }
+        }
+        proof P { refinement A B combining }
+    "#);
+    assert!(!report.verified());
+}
+
+#[test]
+fn semantic_divergence_is_caught_even_with_matching_syntax_shape() {
+    // Both levels assign then print; the weakening obligations compare the
+    // RHSs and must catch 2 ≠ 3.
+    let report = run(r#"
+        level A { void main() { print(2); } }
+        level B { void main() { print(3); } }
+        proof P { refinement A B weakening }
+    "#);
+    assert!(!report.verified());
+}
+
+#[test]
+fn spec_must_not_have_fewer_behaviors_than_impl() {
+    let report = run(r#"
+        level A { void main() { if (*) { print(1); } else { print(2); } } }
+        level B { void main() { print(1); } }
+        proof P { refinement A B weakening }
+    "#);
+    assert!(!report.verified());
+}

@@ -1,0 +1,132 @@
+//! Cross-crate property tests over the core invariants (§3.2, §4.1).
+
+use armada_lang::{check_module, parse_module};
+use armada_sm::{enabled_steps, initial_state, lower, next_state, Bounds};
+use proptest::prelude::*;
+
+/// A small concurrent program with buffered writes, fences, and branching,
+/// used as the random-walk substrate.
+const SUBSTRATE: &str = r#"
+level L {
+    var x: uint32;
+    var y: uint32;
+    void w() {
+        x := 1;
+        y := 2;
+        fence;
+        var a: uint32 := y;
+        if (a == 2) { x := 3; }
+    }
+    void main() {
+        var t: uint64 := create_thread w();
+        var b: uint32 := x;
+        y := b + 1;
+        join t;
+        print(y);
+    }
+}
+"#;
+
+fn substrate() -> armada_sm::Program {
+    let module = parse_module(SUBSTRATE).expect("parse");
+    let typed = check_module(&module).expect("typecheck");
+    lower(&typed, "L").expect("lower")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// NextState is a deterministic total function of (state, step): §4.1's
+    /// nondeterminism encapsulation. Random scheduling choices replayed
+    /// twice give identical states.
+    #[test]
+    fn next_state_is_deterministic(choices in proptest::collection::vec(0usize..64, 1..40)) {
+        let program = substrate();
+        let bounds = Bounds::small();
+        let pool = bounds.pool();
+        let mut state = initial_state(&program).expect("initial");
+        for &choice in &choices {
+            let steps = enabled_steps(&program, &state, &pool, bounds.max_buffer);
+            if steps.is_empty() {
+                break;
+            }
+            let (step, successor) = &steps[choice % steps.len()];
+            let replay_a = next_state(&program, &state, step);
+            let replay_b = next_state(&program, &state, step);
+            prop_assert_eq!(&replay_a, &replay_b);
+            prop_assert_eq!(&replay_a, successor);
+            state = successor.clone();
+        }
+    }
+
+    /// A disabled or malformed step leaves the state unchanged (totality).
+    #[test]
+    fn next_state_is_total(tid in 0u64..6, drain in proptest::bool::ANY) {
+        let program = substrate();
+        let state = initial_state(&program).expect("initial");
+        let step = if drain {
+            armada_sm::Step::drain(tid)
+        } else {
+            armada_sm::Step::instr_with(tid, vec![])
+        };
+        // Whatever happens, next_state returns *a* state; for unknown tids
+        // it is the unchanged state.
+        let next = next_state(&program, &state, &step);
+        if state.thread(tid).is_none() {
+            prop_assert_eq!(next, state);
+        }
+    }
+
+    /// Store buffers preserve per-thread FIFO order: after any schedule, the
+    /// buffered writes of each thread drain in issue order, so a thread's
+    /// own final writes win.
+    #[test]
+    fn exploration_invariants_hold_on_random_schedules(
+        choices in proptest::collection::vec(0usize..64, 1..60)
+    ) {
+        let program = substrate();
+        let bounds = Bounds::small();
+        let pool = bounds.pool();
+        let mut state = initial_state(&program).expect("initial");
+        for &choice in &choices {
+            let steps = enabled_steps(&program, &state, &pool, bounds.max_buffer);
+            if steps.is_empty() {
+                break;
+            }
+            state = steps[choice % steps.len()].1.clone();
+            // Invariant: buffers never exceed the bound.
+            for thread in state.threads.values() {
+                prop_assert!(thread.buffer.len() <= bounds.max_buffer);
+            }
+            // Invariant: terminal states have no enabled steps.
+            if state.is_terminal() {
+                prop_assert!(enabled_steps(&program, &state, &pool, bounds.max_buffer)
+                    .is_empty());
+                break;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The pretty printer is a fixpoint through the parser for arbitrary
+    /// case-study sources (print ∘ parse ∘ print = print).
+    #[test]
+    fn pretty_print_round_trips_case_sources(index in 0usize..5) {
+        let sources = [
+            armada_cases::tsp::MODEL,
+            armada_cases::barrier::MODEL,
+            armada_cases::pointers::MODEL,
+            armada_cases::mcs_lock::MODEL,
+            armada_cases::queue::MODEL,
+        ];
+        let source = sources[index];
+        let module = parse_module(source).expect("parse");
+        let printed = armada_lang::pretty::module_to_string(&module);
+        let reparsed = parse_module(&printed).expect("reparse");
+        let reprinted = armada_lang::pretty::module_to_string(&reparsed);
+        prop_assert_eq!(printed, reprinted);
+    }
+}
