@@ -1,37 +1,31 @@
-//! Criterion tracking of the verification pipeline itself (the Table-1
-//! workloads): front-end cost and full-pipeline cost on the lighter case
-//! studies. The heavyweight model-checked studies are exercised by
-//! `cargo run -p armada-bench --bin table1` instead, so this bench stays
-//! fast enough for routine use.
+//! Tracking of the verification pipeline itself (the Table-1 workloads) on
+//! the in-repo bench harness: front-end cost and full-pipeline cost on the
+//! lighter case studies. The heavyweight model-checked studies are
+//! exercised by `cargo run -p armada-bench --bin table1` instead, so this
+//! bench stays fast enough for routine use.
+//!
+//! Run with `cargo bench -p armada-bench --bench pipeline`. Pass `--quick`
+//! (or set `ARMADA_BENCH_QUICK=1`) for a smoke-test-sized run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("ARMADA_BENCH_QUICK").is_some();
+    let (front_samples, pipeline_samples) = if quick { (3, 2) } else { (20, 10) };
 
-fn front_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("front_end");
-    group.sample_size(20);
     for case in armada_cases::all_cases() {
-        group.bench_function(case.name, |b| {
-            b.iter(|| {
-                let pipeline = armada::Pipeline::from_source(case.paper_source).unwrap();
-                std::hint::black_box(pipeline.typed().module.levels.len())
-            });
+        armada_bench::harness::bench(&format!("front_end/{}", case.name), front_samples, || {
+            let pipeline = armada::Pipeline::from_source(case.paper_source).unwrap();
+            std::hint::black_box(pipeline.typed().module.levels.len());
         });
     }
-    group.finish();
-}
 
-fn full_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10);
     let pointers = armada_cases::pointers::case();
-    group.bench_function("Pointers (strategies + bounded refinement)", |b| {
-        b.iter(|| {
+    armada_bench::harness::bench(
+        "pipeline/Pointers (strategies + bounded refinement)",
+        pipeline_samples,
+        || {
             let (_, report) = pointers.verify_model().unwrap();
             assert!(report.verified());
-        });
-    });
-    group.finish();
+        },
+    );
 }
-
-criterion_group!(benches, front_end, full_pipeline);
-criterion_main!(benches);

@@ -1,20 +1,21 @@
-//! Criterion tracking of Figure 12's quantities: per-element transfer cost
-//! through each queue variant.
+//! Tracking of Figure 12's quantities — per-element transfer cost through
+//! each queue variant — on the in-repo bench harness (Criterion is not
+//! available under the hermetic-build policy).
+//!
+//! Run with `cargo bench -p armada-bench --bench queue_throughput`. Pass
+//! `--quick` (or set `ARMADA_BENCH_QUICK=1`) for a smoke-test-sized run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
-fn queue_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure12_queue");
-    let ops: u64 = 50_000;
-    group.throughput(Throughput::Elements(ops));
-    group.sample_size(10);
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("ARMADA_BENCH_QUICK").is_some();
+    let (ops, samples): (u64, usize) = if quick { (5_000, 3) } else { (50_000, 10) };
+    println!("figure12_queue: {ops} ops/trial, {samples} trials per variant");
     for variant in armada_bench::FIGURE12_VARIANTS {
-        group.bench_with_input(BenchmarkId::from_parameter(variant), &ops, |b, &ops| {
-            b.iter(|| armada_bench::figure12_trial(variant, ops));
-        });
+        let result =
+            armada_bench::harness::bench(&format!("figure12_queue/{variant}"), samples, || {
+                std::hint::black_box(armada_bench::figure12_trial(variant, ops));
+            });
+        let per_elem = result.secs_per_iter.mean / ops as f64;
+        println!("    -> {:.1} ns/element", per_elem * 1e9);
     }
-    group.finish();
 }
-
-criterion_group!(benches, queue_throughput);
-criterion_main!(benches);

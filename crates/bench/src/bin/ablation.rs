@@ -57,8 +57,7 @@ fn main() {
 
     // Large subject: the Queue case study's final hiding step, whose high
     // level is maximally nondeterministic.
-    let pipeline =
-        armada::Pipeline::from_source(armada_cases::queue::MODEL).expect("front end");
+    let pipeline = armada::Pipeline::from_source(armada_cases::queue::MODEL).expect("front end");
     let typed = pipeline.typed();
     let low = lower(typed, "Weak").expect("lower");
     let high = lower(typed, "Spec").expect("lower");
@@ -67,16 +66,17 @@ fn main() {
     ablate(&low, &high, &relation);
 }
 
-fn ablate(
-    low: &armada::sm::Program,
-    high: &armada::sm::Program,
-    relation: &StandardRelation,
-) {
-
+fn ablate(low: &armada::sm::Program, high: &armada::sm::Program, relation: &StandardRelation) {
     println!("Ablation: stutter budget (max_match)");
-    println!("{:<12} {:>10} {:>14} {:>12}", "max_match", "verified", "product nodes", "time");
+    println!(
+        "{:<12} {:>10} {:>14} {:>12}",
+        "max_match", "verified", "product nodes", "time"
+    );
     for max_match in [1usize, 2, 3, 4, 6, 8] {
-        let config = SimConfig { max_match, ..SimConfig::default() };
+        let config = SimConfig {
+            max_match,
+            ..SimConfig::default()
+        };
         let start = Instant::now();
         let outcome = check_refinement(low, high, relation, &config);
         let elapsed = start.elapsed();
@@ -96,10 +96,16 @@ fn ablate(
     }
 
     println!("\nAblation: store-buffer capacity bound");
-    println!("{:<12} {:>10} {:>14} {:>12}", "max_buffer", "verified", "product nodes", "time");
+    println!(
+        "{:<12} {:>10} {:>14} {:>12}",
+        "max_buffer", "verified", "product nodes", "time"
+    );
     for max_buffer in [1usize, 2, 3, 4] {
         let config = SimConfig {
-            bounds: Bounds { max_buffer, ..Bounds::small() },
+            bounds: Bounds {
+                max_buffer,
+                ..Bounds::small()
+            },
             ..SimConfig::default()
         };
         let start = Instant::now();

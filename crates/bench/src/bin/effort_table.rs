@@ -22,8 +22,11 @@ fn main() {
             Ok((pipeline, report)) => {
                 let effort = pipeline.effort(&report);
                 print!("{effort}");
-                let recipe_total: usize =
-                    effort.recipes.iter().map(|r| r.recipe_sloc + r.customization_sloc).sum();
+                let recipe_total: usize = effort
+                    .recipes
+                    .iter()
+                    .map(|r| r.recipe_sloc + r.customization_sloc)
+                    .sum();
                 let generated = effort.total_generated();
                 println!(
                     "totals: recipes {recipe_total} SLOC -> generated {generated} SLOC \

@@ -26,7 +26,9 @@ fn crate_sloc(dir: &Path) -> usize {
 }
 
 fn main() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().and_then(Path::parent);
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent);
     let Some(root) = root else {
         eprintln!("cannot locate workspace root");
         std::process::exit(1);
@@ -35,14 +37,32 @@ fn main() {
     println!("{:<56} {:>8}", "component (paper analogue)", "SLOC");
     println!("{}", "-".repeat(66));
     let rows: [(&str, &str); 10] = [
-        ("crates/lang", "language front end (part of the 13,191-SLOC translator)"),
-        ("crates/sm", "state-machine translation + semantics (translator)"),
+        (
+            "crates/lang",
+            "language front end (part of the 13,191-SLOC translator)",
+        ),
+        (
+            "crates/sm",
+            "state-machine translation + semantics (translator)",
+        ),
         ("crates/proof", "proof framework (paper: 3,322 SLOC C#)"),
-        ("crates/strategies", "strategy proof generators (proof framework)"),
-        ("crates/verify", "refinement checking (paper: Dafny/Z3 toolchain)"),
+        (
+            "crates/strategies",
+            "strategy proof generators (proof framework)",
+        ),
+        (
+            "crates/verify",
+            "refinement checking (paper: Dafny/Z3 toolchain)",
+        ),
         ("crates/regions", "alias analysis (§4.1.1)"),
-        ("crates/backend", "code-generation backend (paper: 1,767 SLOC)"),
-        ("crates/runtime", "runtime substrate (paper: liblfds + pthreads)"),
+        (
+            "crates/backend",
+            "code-generation backend (paper: 1,767 SLOC)",
+        ),
+        (
+            "crates/runtime",
+            "runtime substrate (paper: liblfds + pthreads)",
+        ),
         ("crates/cases", "case studies (§6)"),
         ("crates/bench", "evaluation harness"),
     ];

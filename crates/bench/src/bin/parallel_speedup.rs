@@ -1,0 +1,117 @@
+//! Speedup benchmark for the multi-core refinement checker: runs the same
+//! bounded refinement checks at `jobs = 1` and `jobs = N` and reports the
+//! wall-clock ratio. Because parallel and serial runs are byte-identical by
+//! construction, the two timings are measuring exactly the same search.
+//!
+//! ```text
+//! cargo run --release -p armada-bench --bin parallel_speedup [-- --jobs N] [-- --quick]
+//! ```
+//!
+//! Writes `results/BENCH_parallel_speedup.json` (and prints the rows).
+//! `N` defaults to the machine's available parallelism; on a single-core
+//! host the expected speedup is ~1.0 (the determinism, not the scaling, is
+//! checkable there).
+
+use armada::proof::relation::StandardRelation;
+use armada::sm::lower;
+use armada::verify::{check_refinement, SimConfig};
+use armada_bench::harness::bench;
+use armada_bench::json::Json;
+
+struct Subject {
+    name: &'static str,
+    source: &'static str,
+    low: &'static str,
+    high: &'static str,
+}
+
+const SUBJECTS: &[Subject] = &[
+    Subject {
+        name: "queue/Weak ⊑ Spec",
+        source: armada_cases::queue::MODEL,
+        low: "Weak",
+        high: "Spec",
+    },
+    Subject {
+        name: "queue/Implementation ⊑ AbstractQueue",
+        source: armada_cases::queue::MODEL,
+        low: "Implementation",
+        high: "AbstractQueue",
+    },
+    Subject {
+        name: "mcs_lock/Implementation ⊑ Owned",
+        source: armada_cases::mcs_lock::MODEL,
+        low: "Implementation",
+        high: "Owned",
+    },
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick =
+        args.iter().any(|a| a == "--quick") || std::env::var_os("ARMADA_BENCH_QUICK").is_some();
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1);
+    let samples = if quick { 2 } else { 5 };
+    println!("parallel_speedup: jobs=1 vs jobs={jobs}, {samples} trials per row");
+
+    let mut rows: Vec<Json> = Vec::new();
+    for subject in SUBJECTS {
+        let pipeline = armada::Pipeline::from_source(subject.source).expect("front end");
+        let typed = pipeline.typed();
+        let low = lower(typed, subject.low).expect("lower low");
+        let high = lower(typed, subject.high).expect("lower high");
+        let relation = StandardRelation::new(typed.module.relation());
+
+        let serial_config = SimConfig::default();
+        let parallel_config = SimConfig::default().with_jobs(jobs);
+        // Sanity: identical results regardless of job count (certs carry
+        // node and transition counts, so this is a strong check).
+        let serial_outcome = check_refinement(&low, &high, &relation, &serial_config);
+        let parallel_outcome = check_refinement(&low, &high, &relation, &parallel_config);
+        match (&serial_outcome, &parallel_outcome) {
+            (Ok(s), Ok(p)) => assert_eq!(s, p, "{}", subject.name),
+            (Err(s), Err(p)) => {
+                assert_eq!(s.to_string(), p.to_string(), "{}", subject.name)
+            }
+            _ => panic!("{}: verdict differs across job counts", subject.name),
+        }
+
+        let serial = bench(&format!("{} [jobs=1]", subject.name), samples, || {
+            let _ = std::hint::black_box(check_refinement(&low, &high, &relation, &serial_config));
+        });
+        let parallel = bench(&format!("{} [jobs={jobs}]", subject.name), samples, || {
+            let _ =
+                std::hint::black_box(check_refinement(&low, &high, &relation, &parallel_config));
+        });
+        let speedup = serial.secs_per_iter.mean / parallel.secs_per_iter.mean;
+        println!("    -> speedup {speedup:.2}x");
+        rows.push(Json::obj(vec![
+            ("subject", Json::str(subject.name)),
+            ("serial_secs", Json::Num(serial.secs_per_iter.mean)),
+            ("parallel_secs", Json::Num(parallel.secs_per_iter.mean)),
+            ("speedup", Json::Num(speedup)),
+        ]));
+    }
+
+    let report = Json::obj(vec![
+        ("bench", Json::str("parallel_speedup")),
+        ("jobs", Json::int(jobs)),
+        ("samples", Json::int(samples)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    let path = "results/BENCH_parallel_speedup.json";
+    match std::fs::write(path, format!("{report}\n")) {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err} (printing instead)\n{report}"),
+    }
+}

@@ -17,7 +17,10 @@ fn main() {
             }
             Ok((_, report)) => {
                 all_ok = false;
-                format!("NO: {}", report.failure_summary().lines().next().unwrap_or(""))
+                format!(
+                    "NO: {}",
+                    report.failure_summary().lines().next().unwrap_or("")
+                )
             }
             Err(err) => {
                 all_ok = false;

@@ -1,0 +1,72 @@
+//! The in-repo micro-benchmark harness: repeated timed trials with the
+//! mean/95%-CI statistics of `armada_runtime::measure::Stats`.
+//!
+//! This replaces Criterion under the hermetic-build policy (no crates.io
+//! dependencies). The protocol is Criterion's core loop without the
+//! adaptive sampling: warm up, run `samples` timed trials of the closure,
+//! report per-iteration wall time and derived throughput.
+
+use armada_runtime::measure::Stats;
+use std::time::Instant;
+
+/// One benchmark's result: trial statistics over seconds-per-iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id, `group/name` style.
+    pub name: String,
+    /// Seconds per iteration, over the timed trials.
+    pub secs_per_iter: Stats,
+}
+
+impl BenchResult {
+    /// Iterations per second implied by the mean trial time.
+    pub fn iters_per_sec(&self) -> f64 {
+        1.0 / self.secs_per_iter.mean
+    }
+}
+
+impl std::fmt::Display for BenchResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<52} {:>11.3e} s/iter ± {:>8.1e} ({:>10.1} iter/s)",
+            self.name,
+            self.secs_per_iter.mean,
+            self.secs_per_iter.ci95,
+            self.iters_per_sec()
+        )
+    }
+}
+
+/// Times `samples` trials of `routine` (after one untimed warmup) and
+/// prints the Criterion-style summary line.
+pub fn bench(name: &str, samples: usize, mut routine: impl FnMut()) -> BenchResult {
+    routine(); // warmup: page in code and data, populate caches
+    let mut trials = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        routine();
+        trials.push(start.elapsed().as_secs_f64());
+    }
+    let result = BenchResult {
+        name: name.to_string(),
+        secs_per_iter: Stats::of(&trials),
+    };
+    println!("{result}");
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_time() {
+        let result = bench("harness/self-test", 3, || {
+            std::hint::black_box((0..1000u64).sum::<u64>());
+        });
+        assert!(result.secs_per_iter.mean > 0.0);
+        assert_eq!(result.secs_per_iter.samples, 3);
+        assert!(result.to_string().contains("harness/self-test"));
+    }
+}

@@ -1,0 +1,129 @@
+//! A hand-rolled JSON writer for the `BENCH_*.json` artifacts.
+//!
+//! The hermetic-build policy forbids `serde`; benchmark outputs are simple
+//! trees of numbers and strings, so a minimal value type with a correct
+//! string escaper covers everything the harness emits.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// Any finite number (emitted via Rust's shortest-roundtrip float
+    /// formatting; integers print without a fraction).
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object literals.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for integer counts.
+    pub fn int(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    // Renders compact single-line JSON.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) if n.fract() == 0.0 && n.abs() < 1e15 => {
+                write!(f, "{}", *n as i64)
+            }
+            Json::Num(n) => write!(f, "{n}"),
+            Json::Str(s) => escape(s, f),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(key, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let value = Json::obj([
+            ("name", Json::str("queue")),
+            ("speedup", Json::Num(2.5)),
+            ("nodes", Json::int(1234)),
+            ("ok", Json::Bool(true)),
+            ("trace", Json::Arr(vec![Json::str("a\"b"), Json::Null])),
+        ]);
+        assert_eq!(
+            value.to_string(),
+            r#"{"name":"queue","speedup":2.5,"nodes":1234,"ok":true,"trace":["a\"b",null]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(
+            Json::str("a\nb\tc\u{1}").to_string(),
+            "\"a\\nb\\tc\\u0001\""
+        );
+    }
+
+    #[test]
+    fn integers_have_no_fraction() {
+        assert_eq!(Json::Num(3.0).to_string(), "3");
+        assert_eq!(Json::Num(0.125).to_string(), "0.125");
+    }
+}

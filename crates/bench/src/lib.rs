@@ -11,14 +11,21 @@
 //! | Queue throughput | `figure12` | Figure 12 |
 //! | Implementation inventory | `impl_inventory` | §5 |
 //!
-//! Criterion benches (`queue_throughput`, `pipeline`) track the same
-//! quantities under the Criterion protocol.
+//! The `queue_throughput` and `pipeline` bench targets track the same
+//! quantities under the in-repo [`harness`] protocol (warmup + repeated
+//! timed trials with mean/95%-CI), and `parallel_speedup` measures the
+//! multi-core refinement checker; results land in `BENCH_*.json` via the
+//! hand-rolled [`json`] writer. No crates.io dependencies are involved
+//! (hermetic-build policy, see DESIGN.md).
 //!
 //! Absolute numbers differ from the paper's (their testbed was an 8-core
 //! Xeon with GCC 6.3 and CompCertTSO 1.13; ours is whatever container this
 //! runs in, and the "CompCertTSO" column is the conservative-emission
 //! analogue described in DESIGN.md). The *shape* — which variant wins and
 //! by roughly what factor — is the reproduction target.
+
+pub mod harness;
+pub mod json;
 
 use armada_runtime::generated::Implementation as GeneratedHwTso;
 use armada_runtime::generated_conservative::Implementation as GeneratedConservative;
@@ -107,9 +114,11 @@ pub fn figure12(ops: u64, trials: usize) -> Vec<Figure12Row> {
     FIGURE12_VARIANTS
         .iter()
         .map(|&name| {
-            let samples: Vec<f64> =
-                (0..trials).map(|_| figure12_trial(name, ops)).collect();
-            Figure12Row { name, stats: Stats::of(&samples) }
+            let samples: Vec<f64> = (0..trials).map(|_| figure12_trial(name, ops)).collect();
+            Figure12Row {
+                name,
+                stats: Stats::of(&samples),
+            }
         })
         .collect()
 }

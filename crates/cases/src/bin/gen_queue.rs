@@ -21,7 +21,10 @@ fn main() {
 
     for (mode, path) in [
         (RustMode::HwTso, "crates/runtime/src/generated.rs"),
-        (RustMode::Conservative, "crates/runtime/src/generated_conservative.rs"),
+        (
+            RustMode::Conservative,
+            "crates/runtime/src/generated_conservative.rs",
+        ),
     ] {
         let code = emit_rust(level, info, mode).expect("emit");
         std::fs::write(path, &code)

@@ -4,13 +4,15 @@
 //! cargo run -p armada-cases --bin profile_pipeline --release -- queue
 //! ```
 
+use armada::proof::relation::StandardRelation;
 use armada::strategies;
 use armada::verify::{check_refinement, SimConfig};
-use armada::proof::relation::StandardRelation;
 use std::time::Instant;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "queue".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "queue".to_string());
     let case = match which.as_str() {
         "barrier" => armada_cases::barrier::case(),
         "pointers" => armada_cases::pointers::case(),
@@ -29,8 +31,7 @@ fn main() {
         let start = Instant::now();
         let low = armada_sm::lower(&typed, &recipe.low).expect("lower");
         let high = armada_sm::lower(&typed, &recipe.high).expect("lower");
-        let semantic =
-            check_refinement(&low, &high, &relation, &SimConfig::default());
+        let semantic = check_refinement(&low, &high, &relation, &SimConfig::default());
         let semantic_time = start.elapsed();
         println!(
             "{:<40} strategy {:>8.2?} ({}) | semantic {:>8.2?} ({})",

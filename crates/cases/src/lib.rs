@@ -90,7 +90,12 @@ impl CaseStudy {
 
 /// All case studies, in Table-1 order.
 pub fn all_cases() -> Vec<CaseStudy> {
-    vec![barrier::case(), pointers::case(), mcs_lock::case(), queue::case()]
+    vec![
+        barrier::case(),
+        pointers::case(),
+        mcs_lock::case(),
+        queue::case(),
+    ]
 }
 
 #[cfg(test)]

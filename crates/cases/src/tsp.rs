@@ -246,11 +246,7 @@ mod tests {
         let module = &pipeline.typed().module;
         assert_eq!(module.levels.len(), 2);
         let info = pipeline.typed().level_info("Implementation").unwrap();
-        armada_lang::core_check::check_core(
-            module.level("Implementation").unwrap(),
-            info,
-        )
-        .unwrap();
+        armada_lang::core_check::check_core(module.level("Implementation").unwrap(), info).unwrap();
     }
 
     #[test]
@@ -262,6 +258,9 @@ mod tests {
             "Implementation ⊑ BestLenSequential"
         );
         let effort = pipeline.effort(&report);
-        assert!(effort.total_generated() > 500, "generated proof is substantial");
+        assert!(
+            effort.total_generated() > 500,
+            "generated proof is substantial"
+        );
     }
 }

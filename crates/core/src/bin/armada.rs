@@ -3,8 +3,9 @@
 //! the paper's tool driver (§5).
 //!
 //! ```text
-//! armada verify <file.arm>      run the full pipeline (strategies + bounded
-//!                               refinement model checking)
+//! armada verify <file.arm> [--jobs N]
+//!                               run the full pipeline (strategies + bounded
+//!                               refinement model checking, on N threads)
 //! armada check <file.arm>       front end + core-subset check only
 //! armada effort <file.arm>      strategy-only run with effort accounting
 //! armada emit-c <file.arm>      emit ClightTSO-flavored C for the
@@ -12,15 +13,37 @@
 //! armada emit-rust <file.arm> [--conservative]
 //!                               emit Rust for the implementation level
 //! ```
+//!
+//! `--jobs N` (default 1) parallelizes the refinement search and the
+//! per-recipe pipeline work; results are byte-identical for any N.
 
+use armada::verify::SimConfig;
 use armada::Pipeline;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: armada <verify|check|effort|emit-c|emit-rust> <file.arm> [--conservative]"
+        "usage: armada <verify|check|effort|emit-c|emit-rust> <file.arm> [--jobs N] [--conservative]"
     );
     ExitCode::from(2)
+}
+
+/// Extracts `--jobs N` (or `--jobs=N`) from the argument list.
+fn jobs_flag(args: &[String]) -> Result<usize, String> {
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(value) = arg.strip_prefix("--jobs=") {
+            return value
+                .parse()
+                .map_err(|_| format!("invalid --jobs value `{value}`"));
+        }
+        if arg == "--jobs" {
+            let value = args.get(i + 1).ok_or("--jobs requires a value")?;
+            return value
+                .parse()
+                .map_err(|_| format!("invalid --jobs value `{value}`"));
+        }
+    }
+    Ok(1)
 }
 
 fn main() -> ExitCode {
@@ -28,6 +51,13 @@ fn main() -> ExitCode {
     let (command, path) = match (args.first(), args.get(1)) {
         (Some(command), Some(path)) => (command.as_str(), path.as_str()),
         _ => return usage(),
+    };
+    let jobs = match jobs_flag(&args) {
+        Ok(jobs) => jobs,
+        Err(err) => {
+            eprintln!("armada: {err}");
+            return ExitCode::from(2);
+        }
     };
     let source = match std::fs::read_to_string(path) {
         Ok(source) => source,
@@ -37,7 +67,7 @@ fn main() -> ExitCode {
         }
     };
     let pipeline = match Pipeline::from_source(&source) {
-        Ok(pipeline) => pipeline,
+        Ok(pipeline) => pipeline.with_sim_config(SimConfig::default().with_jobs(jobs)),
         Err(err) => {
             eprintln!("armada: {err}");
             return ExitCode::FAILURE;
@@ -131,7 +161,14 @@ fn implementation_level(pipeline: &Pipeline) -> String {
         .level_chain()
         .ok()
         .and_then(|chain| chain.first().cloned())
-        .or_else(|| pipeline.typed().module.levels.first().map(|l| l.name.clone()))
+        .or_else(|| {
+            pipeline
+                .typed()
+                .module
+                .levels
+                .first()
+                .map(|l| l.name.clone())
+        })
         .unwrap_or_default()
 }
 

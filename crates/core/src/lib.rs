@@ -45,6 +45,8 @@
 //! ```
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 pub use armada_backend as backend;
 pub use armada_lang as lang;
@@ -101,7 +103,10 @@ impl PipelineReport {
 
     /// Total generated proof SLOC across all recipes.
     pub fn generated_sloc(&self) -> usize {
-        self.strategy_reports.iter().map(|r| r.generated_sloc()).sum()
+        self.strategy_reports
+            .iter()
+            .map(|r| r.generated_sloc())
+            .sum()
     }
 
     /// A human-readable failure summary (empty when verified).
@@ -109,7 +114,11 @@ impl PipelineReport {
         let mut out = String::new();
         for report in &self.strategy_reports {
             if !report.success() {
-                out.push_str(&format!("recipe {}:\n{}", report.recipe, report.failure_summary()));
+                out.push_str(&format!(
+                    "recipe {}:\n{}",
+                    report.recipe,
+                    report.failure_summary()
+                ));
             }
         }
         for (index, refinement) in self.refinements.iter().enumerate() {
@@ -217,38 +226,85 @@ impl Pipeline {
 
     /// Runs the whole pipeline.
     ///
+    /// With `jobs > 1` in the sim config's bounds, the per-recipe work —
+    /// strategy obligations plus the bounded semantic check — runs
+    /// concurrently across the chain's links (and each semantic check is
+    /// itself multi-core). Reports keep recipe order and the first
+    /// infrastructure error in recipe order wins, so the output is
+    /// identical to a serial run.
+    ///
     /// # Errors
     ///
     /// Returns a message for *infrastructure* failures (unknown levels,
     /// lowering errors); proof failures are reported inside the
     /// [`PipelineReport`].
     pub fn run(&self) -> Result<PipelineReport, String> {
+        type RecipeOutcome =
+            Result<(StrategyReport, Option<Result<RefinementCert, String>>), String>;
+        let relation = StandardRelation::new(self.typed.module.relation());
+        let recipes = &self.typed.module.recipes;
+        let run_one = |recipe: &_| -> RecipeOutcome {
+            let report = armada_strategies::run_recipe(&self.typed, recipe, self.sim.clone())?;
+            if !self.semantic_check {
+                return Ok((report, None));
+            }
+            let low = lower(&self.typed, &recipe.low).map_err(|e| e.to_string())?;
+            let high = lower(&self.typed, &recipe.high).map_err(|e| e.to_string())?;
+            let refinement = match check_refinement(&low, &high, &relation, &self.sim) {
+                Ok(cert) => Ok(cert),
+                Err(ce) => Err(ce.to_string()),
+            };
+            Ok((report, Some(refinement)))
+        };
+
+        let jobs = self.sim.bounds.jobs.max(1);
+        let outcomes: Vec<RecipeOutcome> = if jobs > 1 && recipes.len() > 1 {
+            let slots: Vec<OnceLock<RecipeOutcome>> =
+                (0..recipes.len()).map(|_| OnceLock::new()).collect();
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..jobs.min(recipes.len()) {
+                    scope.spawn(|| loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= recipes.len() {
+                            break;
+                        }
+                        let outcome = run_one(&recipes[index]);
+                        slots[index]
+                            .set(outcome)
+                            .ok()
+                            .expect("each slot claimed once");
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("every slot filled"))
+                .collect()
+        } else {
+            recipes.iter().map(run_one).collect()
+        };
+
         let mut strategy_reports = Vec::new();
         let mut refinements = Vec::new();
         let mut certs = Vec::new();
-        let relation = StandardRelation::new(self.typed.module.relation());
-        for recipe in &self.typed.module.recipes {
-            let report =
-                armada_strategies::run_recipe(&self.typed, recipe, self.sim.clone())?;
+        for (recipe, outcome) in recipes.iter().zip(outcomes) {
+            let (report, refinement) = outcome?;
             let strategy_ok = report.success();
             strategy_reports.push(report);
-            if self.semantic_check {
-                let low = lower(&self.typed, &recipe.low).map_err(|e| e.to_string())?;
-                let high = lower(&self.typed, &recipe.high).map_err(|e| e.to_string())?;
-                match check_refinement(&low, &high, &relation, &self.sim) {
-                    Ok(cert) => {
-                        certs.push(cert.clone());
-                        refinements.push(Ok(cert));
-                    }
-                    Err(ce) => refinements.push(Err(ce.to_string())),
+            match refinement {
+                Some(Ok(cert)) => {
+                    certs.push(cert.clone());
+                    refinements.push(Ok(cert));
                 }
-            } else if strategy_ok {
-                certs.push(RefinementCert {
+                Some(Err(reason)) => refinements.push(Err(reason)),
+                None if strategy_ok => certs.push(RefinementCert {
                     low: recipe.low.clone(),
                     high: recipe.high.clone(),
                     product_nodes: 0,
                     low_transitions: 0,
-                });
+                }),
+                None => {}
             }
         }
         // Order certificates along the chain and compose.
@@ -256,8 +312,7 @@ impl Pipeline {
             Ok(levels) => {
                 let mut ordered = Vec::new();
                 for pair in levels.windows(2) {
-                    if let Some(cert) =
-                        certs.iter().find(|c| c.low == pair[0] && c.high == pair[1])
+                    if let Some(cert) = certs.iter().find(|c| c.low == pair[0] && c.high == pair[1])
                     {
                         ordered.push(cert.clone());
                     }
@@ -270,7 +325,11 @@ impl Pipeline {
             }
             Err(_) => None,
         };
-        Ok(PipelineReport { strategy_reports, refinements, chain })
+        Ok(PipelineReport {
+            strategy_reports,
+            refinements,
+            chain,
+        })
     }
 
     /// Computes the paper-style effort metrics for this module.
@@ -336,7 +395,10 @@ impl EffortReport {
                 }
             })
             .collect();
-        EffortReport { level_sloc, recipes }
+        EffortReport {
+            level_sloc,
+            recipes,
+        }
     }
 
     /// Total generated proof SLOC.
@@ -413,7 +475,10 @@ mod tests {
         assert_eq!(effort.level_sloc.len(), 3);
         assert!(effort.level_sloc.iter().all(|(_, sloc)| *sloc > 0));
         assert_eq!(effort.recipes.len(), 2);
-        assert!(effort.total_generated() > 100, "generated proofs are substantial");
+        assert!(
+            effort.total_generated() > 100,
+            "generated proofs are substantial"
+        );
         let text = effort.to_string();
         assert!(text.contains("nondet_weakening"));
     }

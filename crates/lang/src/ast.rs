@@ -22,21 +22,45 @@ pub struct IntType {
 
 impl IntType {
     /// The unsigned 8-bit type.
-    pub const U8: IntType = IntType { signed: false, bits: 8 };
+    pub const U8: IntType = IntType {
+        signed: false,
+        bits: 8,
+    };
     /// The unsigned 16-bit type.
-    pub const U16: IntType = IntType { signed: false, bits: 16 };
+    pub const U16: IntType = IntType {
+        signed: false,
+        bits: 16,
+    };
     /// The unsigned 32-bit type.
-    pub const U32: IntType = IntType { signed: false, bits: 32 };
+    pub const U32: IntType = IntType {
+        signed: false,
+        bits: 32,
+    };
     /// The unsigned 64-bit type.
-    pub const U64: IntType = IntType { signed: false, bits: 64 };
+    pub const U64: IntType = IntType {
+        signed: false,
+        bits: 64,
+    };
     /// The signed 8-bit type.
-    pub const I8: IntType = IntType { signed: true, bits: 8 };
+    pub const I8: IntType = IntType {
+        signed: true,
+        bits: 8,
+    };
     /// The signed 16-bit type.
-    pub const I16: IntType = IntType { signed: true, bits: 16 };
+    pub const I16: IntType = IntType {
+        signed: true,
+        bits: 16,
+    };
     /// The signed 32-bit type.
-    pub const I32: IntType = IntType { signed: true, bits: 32 };
+    pub const I32: IntType = IntType {
+        signed: true,
+        bits: 32,
+    };
     /// The signed 64-bit type.
-    pub const I64: IntType = IntType { signed: true, bits: 64 };
+    pub const I64: IntType = IntType {
+        signed: true,
+        bits: 64,
+    };
 
     /// Parses a type keyword such as `"uint32"`.
     pub fn from_keyword(word: &str) -> Option<IntType> {
@@ -235,7 +259,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for `==`, `!=`, `<`, `<=`, `>`, `>=`.
     pub fn is_comparison(&self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// True for `&&`, `||`, `==>`.
@@ -287,7 +314,10 @@ impl Expr {
 
     /// Creates a synthesized expression with no source location.
     pub fn synthetic(kind: ExprKind) -> Expr {
-        Expr { kind, span: Span::synthetic() }
+        Expr {
+            kind,
+            span: Span::synthetic(),
+        }
     }
 
     /// True if this expression is syntactically the nondeterministic `*`.

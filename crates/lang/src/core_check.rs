@@ -105,7 +105,12 @@ fn check_block(block: &Block, info: &LevelInfo) -> LangResult<()> {
 
 fn check_stmt(stmt: &Stmt, info: &LevelInfo) -> LangResult<()> {
     match &stmt.kind {
-        StmtKind::VarDecl { ghost, name, ty, init } => {
+        StmtKind::VarDecl {
+            ghost,
+            name,
+            ty,
+            init,
+        } => {
             if *ghost {
                 return Err(LangError::core(
                     stmt.span,
@@ -146,7 +151,11 @@ fn check_stmt(stmt: &Stmt, info: &LevelInfo) -> LangResult<()> {
             }
             check_shared_access_budget(stmt, info)?;
         }
-        StmtKind::If { cond, then_block, else_block } => {
+        StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
             check_expr(cond, info)?;
             check_guard_access(cond, info)?;
             check_block(then_block, info)?;
@@ -154,7 +163,11 @@ fn check_stmt(stmt: &Stmt, info: &LevelInfo) -> LangResult<()> {
                 check_block(els, info)?;
             }
         }
-        StmtKind::While { cond, invariants, body } => {
+        StmtKind::While {
+            cond,
+            invariants,
+            body,
+        } => {
             check_expr(cond, info)?;
             check_guard_access(cond, info)?;
             // Loop invariants are proof annotations; they are erased by the
@@ -203,7 +216,10 @@ fn check_stmt(stmt: &Stmt, info: &LevelInfo) -> LangResult<()> {
 fn check_expr(expr: &Expr, info: &LevelInfo) -> LangResult<()> {
     use ExprKind::*;
     match &expr.kind {
-        Nondet => Err(LangError::core(expr.span, "`*` (nondeterminism) is not compilable")),
+        Nondet => Err(LangError::core(
+            expr.span,
+            "`*` (nondeterminism) is not compilable",
+        )),
         Old(_) => Err(LangError::core(expr.span, "`old(…)` is not compilable")),
         SbEmpty => Err(LangError::core(expr.span, "`$sb_empty` is not compilable")),
         Allocated(_) | AllocatedArray(_) => Err(LangError::core(
@@ -213,7 +229,10 @@ fn check_expr(expr: &Expr, info: &LevelInfo) -> LangResult<()> {
         Forall { .. } | Exists { .. } => {
             Err(LangError::core(expr.span, "quantifiers are not compilable"))
         }
-        SeqLit(_) => Err(LangError::core(expr.span, "ghost sequence literals are not compilable")),
+        SeqLit(_) => Err(LangError::core(
+            expr.span,
+            "ghost sequence literals are not compilable",
+        )),
         Call(name, args) => {
             // Methods compile to calls; ghost functions and collection
             // builtins do not exist at runtime.
@@ -271,11 +290,11 @@ fn count_shared_accesses(expr: &Expr, info: &LevelInfo) -> usize {
             count_address_accesses(operand, info)
         }
         Field(base, _) => count_shared_accesses(base, info),
-        Index(base, index) => count_shared_accesses(base, info) + count_shared_accesses(index, info),
-        Unary(_, operand) => count_shared_accesses(operand, info),
-        Binary(_, lhs, rhs) => {
-            count_shared_accesses(lhs, info) + count_shared_accesses(rhs, info)
+        Index(base, index) => {
+            count_shared_accesses(base, info) + count_shared_accesses(index, info)
         }
+        Unary(_, operand) => count_shared_accesses(operand, info),
+        Binary(_, lhs, rhs) => count_shared_accesses(lhs, info) + count_shared_accesses(rhs, info),
         Call(_, args) => args.iter().map(|a| count_shared_accesses(a, info)).sum(),
         SeqLit(elems) => elems.iter().map(|e| count_shared_accesses(e, info)).sum(),
         Old(inner) => count_shared_accesses(inner, info),
@@ -300,9 +319,10 @@ fn count_address_accesses(expr: &Expr, info: &LevelInfo) -> usize {
 
 fn stmt_shared_accesses(stmt: &Stmt, info: &LevelInfo) -> usize {
     match &stmt.kind {
-        StmtKind::VarDecl { init: Some(Rhs::Expr(expr)), .. } => {
-            count_shared_accesses(expr, info)
-        }
+        StmtKind::VarDecl {
+            init: Some(Rhs::Expr(expr)),
+            ..
+        } => count_shared_accesses(expr, info),
         StmtKind::VarDecl { .. } => 0,
         StmtKind::Assign { lhs, rhs, .. } => {
             let lhs_accesses: usize = lhs
@@ -394,39 +414,21 @@ mod tests {
     fn rejects_ghost_and_somehow_and_nondet() {
         // Ghost globals are tolerated (erased), but compiled code may not
         // read or write them.
-        assert!(core_result(
-            "level L { ghost var g: int; void main() { g := 1; } }"
-        )
-        .is_err());
-        assert!(core_result(
-            "level L { var x: uint32; void main() { somehow modifies x; } }"
-        )
-        .is_err());
-        assert!(core_result(
-            "level L { var x: uint32; void main() { x := *; } }"
-        )
-        .is_err());
-        assert!(core_result(
-            "level L { var x: uint32; void main() { x ::= 1; } }"
-        )
-        .is_err());
-        assert!(core_result(
-            "level L { void main() { atomic { } } }"
-        )
-        .is_err());
-        assert!(core_result(
-            "level L { var x: uint32; void main() { assume x == 0; } }"
-        )
-        .is_err());
+        assert!(core_result("level L { ghost var g: int; void main() { g := 1; } }").is_err());
+        assert!(
+            core_result("level L { var x: uint32; void main() { somehow modifies x; } }").is_err()
+        );
+        assert!(core_result("level L { var x: uint32; void main() { x := *; } }").is_err());
+        assert!(core_result("level L { var x: uint32; void main() { x ::= 1; } }").is_err());
+        assert!(core_result("level L { void main() { atomic { } } }").is_err());
+        assert!(core_result("level L { var x: uint32; void main() { assume x == 0; } }").is_err());
     }
 
     #[test]
     fn enforces_one_shared_access_per_statement() {
         // best := best + 1 reads and writes the global: two accesses.
-        let err = core_result(
-            "level L { var best: uint32; void main() { best := best + 1; } }",
-        )
-        .unwrap_err();
+        let err = core_result("level L { var best: uint32; void main() { best := best + 1; } }")
+            .unwrap_err();
         assert!(err.message().contains("shared-location accesses"));
         // A local intermediary fixes it.
         core_result(
@@ -444,10 +446,9 @@ mod tests {
 
     #[test]
     fn guard_with_two_globals_is_rejected() {
-        let err = core_result(
-            "level L { var a: uint32; var b: uint32; void main() { if (a < b) { } } }",
-        )
-        .unwrap_err();
+        let err =
+            core_result("level L { var a: uint32; var b: uint32; void main() { if (a < b) { } } }")
+                .unwrap_err();
         assert!(err.message().contains("guard"));
     }
 

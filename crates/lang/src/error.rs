@@ -35,7 +35,11 @@ pub enum LangErrorKind {
 impl LangError {
     /// Creates an error of the given kind at `span`.
     pub fn new(kind: LangErrorKind, span: Span, message: impl Into<String>) -> Self {
-        LangError { kind, message: message.into(), span }
+        LangError {
+            kind,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Convenience constructor for lexer errors.

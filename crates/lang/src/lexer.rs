@@ -24,7 +24,13 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(source: &'a str) -> Self {
-        Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new() }
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -100,7 +106,10 @@ impl<'a> Lexer<'a> {
             }
         }
         let span = Span::new(self.pos as u32, self.pos as u32, self.line, self.col);
-        self.tokens.push(Token { kind: TokenKind::Eof, span });
+        self.tokens.push(Token {
+            kind: TokenKind::Eof,
+            span,
+        });
         Ok(self.tokens)
     }
 
@@ -118,7 +127,10 @@ impl<'a> Lexer<'a> {
                     other => {
                         return Err(LangError::lex(
                             self.span_from(start, line, col),
-                            format!("invalid escape `\\{}`", other.map(char::from).unwrap_or(' ')),
+                            format!(
+                                "invalid escape `\\{}`",
+                                other.map(char::from).unwrap_or(' ')
+                            ),
                         ))
                     }
                 },
@@ -166,7 +178,10 @@ impl<'a> Lexer<'a> {
                 .checked_mul(radix)
                 .and_then(|v| v.checked_add(digit))
                 .ok_or_else(|| {
-                    LangError::lex(self.span_from(start, line, col), "integer literal overflows")
+                    LangError::lex(
+                        self.span_from(start, line, col),
+                        "integer literal overflows",
+                    )
                 })?;
             self.bump();
         }
@@ -284,7 +299,10 @@ mod tests {
 
     #[test]
     fn lexes_hex_and_underscored_literals() {
-        assert_eq!(kinds("0xFF 1_000"), vec![TokenKind::Int(255), TokenKind::Int(1000), TokenKind::Eof]);
+        assert_eq!(
+            kinds("0xFF 1_000"),
+            vec![TokenKind::Int(255), TokenKind::Int(1000), TokenKind::Eof]
+        );
     }
 
     #[test]
@@ -301,11 +319,14 @@ mod tests {
 
     #[test]
     fn skips_line_and_block_comments() {
-        assert_eq!(kinds("a // c\n /* x\ny */ b"), vec![
-            TokenKind::Ident("a".into()),
-            TokenKind::Ident("b".into()),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("a // c\n /* x\ny */ b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
     }
 
     #[test]
@@ -340,13 +361,16 @@ mod tests {
     #[test]
     fn implication_and_shift_disambiguation() {
         use TokenKind::*;
-        assert_eq!(kinds("a ==> b >> 2"), vec![
-            Ident("a".into()),
-            Implies,
-            Ident("b".into()),
-            Shr,
-            Int(2),
-            Eof
-        ]);
+        assert_eq!(
+            kinds("a ==> b >> 2"),
+            vec![
+                Ident("a".into()),
+                Implies,
+                Ident("b".into()),
+                Shr,
+                Int(2),
+                Eof
+            ]
+        );
     }
 }

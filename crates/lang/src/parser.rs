@@ -237,7 +237,11 @@ impl Parser {
         while !self.eat(TokenKind::RBrace) {
             decls.push(self.decl()?);
         }
-        Ok(Level { name, decls, span: start.join(self.prev_span()) })
+        Ok(Level {
+            name,
+            decls,
+            span: start.join(self.prev_span()),
+        })
     }
 
     fn decl(&mut self) -> LangResult<Decl> {
@@ -288,7 +292,13 @@ impl Parser {
             None
         };
         self.expect(TokenKind::Semi)?;
-        Ok(GlobalVar { ghost, name, ty, init, span: start.join(self.prev_span()) })
+        Ok(GlobalVar {
+            ghost,
+            name,
+            ty,
+            init,
+            span: start.join(self.prev_span()),
+        })
     }
 
     fn struct_decl(&mut self) -> LangResult<StructDecl> {
@@ -303,9 +313,17 @@ impl Parser {
             self.expect(TokenKind::Colon)?;
             let ty = self.ty()?;
             self.expect(TokenKind::Semi)?;
-            fields.push(Param { name: field_name, ty, span: field_start.join(self.prev_span()) });
+            fields.push(Param {
+                name: field_name,
+                ty,
+                span: field_start.join(self.prev_span()),
+            });
         }
-        Ok(StructDecl { name, fields, span: start.join(self.prev_span()) })
+        Ok(StructDecl {
+            name,
+            fields,
+            span: start.join(self.prev_span()),
+        })
     }
 
     /// `method [{:extern}] name(params) [returns (r: T)] spec* (body | ;)`
@@ -416,7 +434,13 @@ impl Parser {
         self.expect(TokenKind::LBrace)?;
         let body = self.expr()?;
         self.expect(TokenKind::RBrace)?;
-        Ok(FunctionDecl { name, params, ret, body, span: start.join(self.prev_span()) })
+        Ok(FunctionDecl {
+            name,
+            params,
+            ret,
+            body,
+            span: start.join(self.prev_span()),
+        })
     }
 
     fn params(&mut self) -> LangResult<Vec<Param>> {
@@ -428,7 +452,11 @@ impl Parser {
                 let name = self.ident()?;
                 self.expect(TokenKind::Colon)?;
                 let ty = self.ty()?;
-                params.push(Param { name, ty, span: start.join(self.prev_span()) });
+                params.push(Param {
+                    name,
+                    ty,
+                    span: start.join(self.prev_span()),
+                });
                 if !self.eat(TokenKind::Comma) {
                     break;
                 }
@@ -537,7 +565,10 @@ impl Parser {
         while !self.eat(TokenKind::RBrace) {
             stmts.push(self.stmt()?);
         }
-        Ok(Block { stmts, span: start.join(self.prev_span()) })
+        Ok(Block {
+            stmts,
+            span: start.join(self.prev_span()),
+        })
     }
 
     fn stmt(&mut self) -> LangResult<Stmt> {
@@ -558,8 +589,11 @@ impl Parser {
             }
             TokenKind::Return => {
                 self.advance();
-                let value =
-                    if *self.peek() == TokenKind::Semi { None } else { Some(self.expr()?) };
+                let value = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(TokenKind::Semi)?;
                 StmtKind::Return(value)
             }
@@ -654,7 +688,12 @@ impl Parser {
                 None
             };
             decls.push(Stmt::new(
-                StmtKind::VarDecl { ghost, name, ty, init },
+                StmtKind::VarDecl {
+                    ghost,
+                    name,
+                    ty,
+                    init,
+                },
                 start.join(self.prev_span()),
             ));
             if !self.eat(TokenKind::Comma) {
@@ -679,14 +718,21 @@ impl Parser {
                 let start = self.span();
                 let nested = self.stmt()?;
                 let span = start.join(self.prev_span());
-                Some(Block { stmts: vec![nested], span })
+                Some(Block {
+                    stmts: vec![nested],
+                    span,
+                })
             } else {
                 Some(self.block_or_single_stmt()?)
             }
         } else {
             None
         };
-        Ok(StmtKind::If { cond, then_block, else_block })
+        Ok(StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        })
     }
 
     fn while_stmt(&mut self) -> LangResult<StmtKind> {
@@ -697,7 +743,11 @@ impl Parser {
             invariants.push(self.expr()?);
         }
         let body = self.block_or_single_stmt()?;
-        Ok(StmtKind::While { cond, invariants, body })
+        Ok(StmtKind::While {
+            cond,
+            invariants,
+            body,
+        })
     }
 
     fn block_or_single_stmt(&mut self) -> LangResult<Block> {
@@ -707,7 +757,10 @@ impl Parser {
             let start = self.span();
             let stmt = self.stmt()?;
             let span = start.join(self.prev_span());
-            Ok(Block { stmts: vec![stmt], span })
+            Ok(Block {
+                stmts: vec![stmt],
+                span,
+            })
         }
     }
 
@@ -734,7 +787,11 @@ impl Parser {
             }
         }
         self.expect(TokenKind::Semi)?;
-        Ok(StmtKind::Somehow { requires, modifies, ensures })
+        Ok(StmtKind::Somehow {
+            requires,
+            modifies,
+            ensures,
+        })
     }
 
     /// Assignment or bare call.
@@ -775,7 +832,10 @@ impl Parser {
             }
             other => Err(LangError::parse(
                 self.span(),
-                format!("expected `:=`, `::=`, `,`, or `;`, found {}", other.describe()),
+                format!(
+                    "expected `:=`, `::=`, `,`, or `;`, found {}",
+                    other.describe()
+                ),
             )),
         }
     }
@@ -788,7 +848,10 @@ impl Parser {
                 self.expect(TokenKind::LParen)?;
                 let ty = self.ty()?;
                 self.expect(TokenKind::RParen)?;
-                Ok(Rhs::Malloc { ty, span: start.join(self.prev_span()) })
+                Ok(Rhs::Malloc {
+                    ty,
+                    span: start.join(self.prev_span()),
+                })
             }
             TokenKind::Calloc => {
                 self.advance();
@@ -797,7 +860,11 @@ impl Parser {
                 self.expect(TokenKind::Comma)?;
                 let count = self.expr()?;
                 self.expect(TokenKind::RParen)?;
-                Ok(Rhs::Calloc { ty, count, span: start.join(self.prev_span()) })
+                Ok(Rhs::Calloc {
+                    ty,
+                    count,
+                    span: start.join(self.prev_span()),
+                })
             }
             TokenKind::CreateThread => {
                 self.advance();
@@ -813,7 +880,11 @@ impl Parser {
                     }
                     self.expect(TokenKind::RParen)?;
                 }
-                Ok(Rhs::CreateThread { method, args, span: start.join(self.prev_span()) })
+                Ok(Rhs::CreateThread {
+                    method,
+                    args,
+                    span: start.join(self.prev_span()),
+                })
             }
             _ => Ok(Rhs::Expr(self.expr()?)),
         }
@@ -842,9 +913,19 @@ impl Parser {
         let body = self.quantified()?;
         let span = start.join(self.prev_span());
         let kind = if is_forall {
-            ExprKind::Forall { var, lo: Box::new(lo), hi: Box::new(hi), body: Box::new(body) }
+            ExprKind::Forall {
+                var,
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                body: Box::new(body),
+            }
         } else {
-            ExprKind::Exists { var, lo: Box::new(lo), hi: Box::new(hi), body: Box::new(body) }
+            ExprKind::Exists {
+                var,
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                body: Box::new(body),
+            }
         };
         Ok(Expr::new(kind, span))
     }
@@ -855,7 +936,10 @@ impl Parser {
             // right-associative
             let rhs = self.implies()?;
             let span = lhs.span.join(rhs.span);
-            Ok(Expr::new(ExprKind::Binary(BinOp::Implies, Box::new(lhs), Box::new(rhs)), span))
+            Ok(Expr::new(
+                ExprKind::Binary(BinOp::Implies, Box::new(lhs), Box::new(rhs)),
+                span,
+            ))
         } else {
             Ok(lhs)
         }
@@ -872,8 +956,7 @@ impl Parser {
                     self.advance();
                     let rhs = next(self)?;
                     let span = lhs.span.join(rhs.span);
-                    lhs =
-                        Expr::new(ExprKind::Binary(*op, Box::new(lhs), Box::new(rhs)), span);
+                    lhs = Expr::new(ExprKind::Binary(*op, Box::new(lhs), Box::new(rhs)), span);
                     continue 'outer;
                 }
             }
@@ -930,7 +1013,10 @@ impl Parser {
 
     fn additive(&mut self) -> LangResult<Expr> {
         self.binary_level(
-            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            &[
+                (TokenKind::Plus, BinOp::Add),
+                (TokenKind::Minus, BinOp::Sub),
+            ],
             Self::multiplicative,
         )
     }
@@ -968,19 +1054,28 @@ impl Parser {
                 self.advance();
                 let operand = self.unary()?;
                 let span = start.join(operand.span);
-                Ok(Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(operand)), span))
+                Ok(Expr::new(
+                    ExprKind::Unary(UnOp::Neg, Box::new(operand)),
+                    span,
+                ))
             }
             TokenKind::Bang => {
                 self.advance();
                 let operand = self.unary()?;
                 let span = start.join(operand.span);
-                Ok(Expr::new(ExprKind::Unary(UnOp::Not, Box::new(operand)), span))
+                Ok(Expr::new(
+                    ExprKind::Unary(UnOp::Not, Box::new(operand)),
+                    span,
+                ))
             }
             TokenKind::Tilde => {
                 self.advance();
                 let operand = self.unary()?;
                 let span = start.join(operand.span);
-                Ok(Expr::new(ExprKind::Unary(UnOp::BitNot, Box::new(operand)), span))
+                Ok(Expr::new(
+                    ExprKind::Unary(UnOp::BitNot, Box::new(operand)),
+                    span,
+                ))
             }
             TokenKind::Amp => {
                 self.advance();
@@ -1213,7 +1308,8 @@ impl Parser {
                         span: lemma_start.join(self.prev_span()),
                     });
                 }
-                TokenKind::Ident(word) if word == "tso_elim" && strategy == StrategyKind::TsoElim =>
+                TokenKind::Ident(word)
+                    if word == "tso_elim" && strategy == StrategyKind::TsoElim =>
                 {
                     // additional `tso_elim var "pred"` lines
                     self.advance();
@@ -1237,7 +1333,10 @@ impl Parser {
     }
 
     fn is_recipe_item_keyword(&self, word: &str) -> bool {
-        matches!(word, "rely" | "use_regions" | "use_address_invariant" | "lemma")
+        matches!(
+            word,
+            "rely" | "use_regions" | "use_address_invariant" | "lemma"
+        )
     }
 }
 
@@ -1294,10 +1393,8 @@ mod tests {
 
     #[test]
     fn parses_nondet_guard_and_assignment() {
-        let module = parse_module(
-            "level L { void main() { var t: uint32; if (*) { t := *; } } }",
-        )
-        .unwrap();
+        let module =
+            parse_module("level L { void main() { var t: uint32; if (*) { t := *; } } }").unwrap();
         let main = module.levels[0].method("main").unwrap();
         let body = main.body.as_ref().unwrap();
         match &body.stmts[1].kind {
@@ -1319,7 +1416,9 @@ mod tests {
         .unwrap();
         let main = module.levels[0].method("main").unwrap();
         match &main.body.as_ref().unwrap().stmts[0].kind {
-            StmtKind::Somehow { modifies, ensures, .. } => {
+            StmtKind::Somehow {
+                modifies, ensures, ..
+            } => {
                 assert_eq!(modifies.len(), 1);
                 assert_eq!(ensures.len(), 1);
             }
@@ -1329,8 +1428,7 @@ mod tests {
 
     #[test]
     fn parses_tso_bypassing_assignment() {
-        let module =
-            parse_module("level L { var x: uint32; void main() { x ::= 1; } }").unwrap();
+        let module = parse_module("level L { var x: uint32; void main() { x ::= 1; } }").unwrap();
         let main = module.levels[0].method("main").unwrap();
         match &main.body.as_ref().unwrap().stmts[0].kind {
             StmtKind::Assign { sc, .. } => assert!(*sc),
@@ -1457,15 +1555,17 @@ mod tests {
 
     #[test]
     fn parses_nested_generic_types() {
-        let module = parse_module(
-            "level L { var p: ptr<ptr<uint32>>; ghost var m: map<int, seq<int>>; }",
-        )
-        .unwrap();
+        let module =
+            parse_module("level L { var p: ptr<ptr<uint32>>; ghost var m: map<int, seq<int>>; }")
+                .unwrap();
         let globals: Vec<_> = module.levels[0].globals().collect();
         assert_eq!(globals[0].ty, Type::ptr(Type::ptr(Type::Int(IntType::U32))));
         assert_eq!(
             globals[1].ty,
-            Type::Map(Box::new(Type::MathInt), Box::new(Type::Seq(Box::new(Type::MathInt))))
+            Type::Map(
+                Box::new(Type::MathInt),
+                Box::new(Type::Seq(Box::new(Type::MathInt)))
+            )
         );
     }
 

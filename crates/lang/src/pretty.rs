@@ -58,7 +58,10 @@ struct Printer {
 
 impl Printer {
     fn new() -> Self {
-        Printer { out: String::new(), indent: 0 }
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
     }
 
     fn line(&mut self, text: &str) {
@@ -166,12 +169,18 @@ impl Printer {
 
     fn stmt(&mut self, stmt: &Stmt) {
         match &stmt.kind {
-            StmtKind::VarDecl { ghost, name, ty, init } => {
+            StmtKind::VarDecl {
+                ghost,
+                name,
+                ty,
+                init,
+            } => {
                 let ghost = if *ghost { "ghost " } else { "" };
                 match init {
-                    Some(init) => {
-                        self.line(&format!("{ghost}var {name}: {ty} := {};", rhs_to_string(init)))
-                    }
+                    Some(init) => self.line(&format!(
+                        "{ghost}var {name}: {ty} := {};",
+                        rhs_to_string(init)
+                    )),
                     None => self.line(&format!("{ghost}var {name}: {ty};")),
                 }
             }
@@ -179,13 +188,21 @@ impl Printer {
                 let lhs_text: Vec<String> = lhs.iter().map(expr_to_string).collect();
                 let rhs_text: Vec<String> = rhs.iter().map(|r| rhs_to_string(r)).collect();
                 let op = if *sc { "::=" } else { ":=" };
-                self.line(&format!("{} {op} {};", lhs_text.join(", "), rhs_text.join(", ")));
+                self.line(&format!(
+                    "{} {op} {};",
+                    lhs_text.join(", "),
+                    rhs_text.join(", ")
+                ));
             }
             StmtKind::CallStmt { method, args } => {
                 let args_text: Vec<String> = args.iter().map(expr_to_string).collect();
                 self.line(&format!("{method}({});", args_text.join(", ")));
             }
-            StmtKind::If { cond, then_block, else_block } => {
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 self.line(&format!("if ({}) {{", expr_to_string(cond)));
                 self.indent += 1;
                 for stmt in &then_block.stmts {
@@ -205,11 +222,14 @@ impl Printer {
                     None => self.line("}"),
                 }
             }
-            StmtKind::While { cond, invariants, body } => {
+            StmtKind::While {
+                cond,
+                invariants,
+                body,
+            } => {
                 let mut header = format!("while ({})", expr_to_string(cond));
                 for inv in invariants {
-                    write!(header, " invariant {}", expr_to_string(inv))
-                        .expect("write to string");
+                    write!(header, " invariant {}", expr_to_string(inv)).expect("write to string");
                 }
                 self.line(&format!("{header} {{"));
                 self.indent += 1;
@@ -227,15 +247,17 @@ impl Printer {
             }
             StmtKind::Assert(cond) => self.line(&format!("assert {};", expr_to_string(cond))),
             StmtKind::Assume(cond) => self.line(&format!("assume {};", expr_to_string(cond))),
-            StmtKind::Somehow { requires, modifies, ensures } => {
+            StmtKind::Somehow {
+                requires,
+                modifies,
+                ensures,
+            } => {
                 let mut text = "somehow".to_string();
                 for clause in requires {
-                    write!(text, " requires {}", expr_to_string(clause))
-                        .expect("write to string");
+                    write!(text, " requires {}", expr_to_string(clause)).expect("write to string");
                 }
                 for clause in modifies {
-                    write!(text, " modifies {}", expr_to_string(clause))
-                        .expect("write to string");
+                    write!(text, " modifies {}", expr_to_string(clause)).expect("write to string");
                 }
                 for clause in ensures {
                     write!(text, " ensures {}", expr_to_string(clause)).expect("write to string");
@@ -243,9 +265,7 @@ impl Printer {
                 text.push(';');
                 self.line(&text);
             }
-            StmtKind::Dealloc(target) => {
-                self.line(&format!("dealloc {};", expr_to_string(target)))
-            }
+            StmtKind::Dealloc(target) => self.line(&format!("dealloc {};", expr_to_string(target))),
             StmtKind::Join(handle) => self.line(&format!("join {};", expr_to_string(handle))),
             StmtKind::Label(name, inner) => {
                 self.line(&format!("label {name}:"));
@@ -315,7 +335,11 @@ impl Printer {
 }
 
 fn params_to_string(params: &[Param]) -> String {
-    params.iter().map(|p| format!("{}: {}", p.name, p.ty)).collect::<Vec<_>>().join(", ")
+    params
+        .iter()
+        .map(|p| format!("{}: {}", p.name, p.ty))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn write_rhs(out: &mut String, rhs: &Rhs) {
@@ -439,18 +463,14 @@ fn write_atom(out: &mut String, expr: &Expr) {
     let atomic = matches!(
         expr.kind,
         ExprKind::IntLit(v) if v >= 0
-    ) || matches!(
-        expr.kind,
-            | ExprKind::BoolLit(_)
-            | ExprKind::Null
-            | ExprKind::Var(_)
-            | ExprKind::Me
-            | ExprKind::SbEmpty
-            | ExprKind::Call(_, _)
-            | ExprKind::Old(_)
-            | ExprKind::Allocated(_)
-            | ExprKind::AllocatedArray(_)
-    );
+    ) || matches!(expr.kind, |ExprKind::BoolLit(_)| ExprKind::Null
+        | ExprKind::Var(_)
+        | ExprKind::Me
+        | ExprKind::SbEmpty
+        | ExprKind::Call(_, _)
+        | ExprKind::Old(_)
+        | ExprKind::Allocated(_)
+        | ExprKind::AllocatedArray(_));
     if atomic {
         write_expr(out, expr);
     } else {
@@ -525,6 +545,9 @@ mod tests {
     fn deref_field_parenthesization_is_preserved() {
         let deref_then_field = parse_expr("(*p).f").unwrap();
         let field_then_deref = parse_expr("*(p.f)").unwrap();
-        assert_ne!(expr_to_string(&deref_then_field), expr_to_string(&field_then_deref));
+        assert_ne!(
+            expr_to_string(&deref_then_field),
+            expr_to_string(&field_then_deref)
+        );
     }
 }

@@ -24,7 +24,12 @@ pub struct Span {
 impl Span {
     /// Creates a span covering `start..end` at the given line and column.
     pub fn new(start: u32, end: u32, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// A span that points nowhere; used for synthesized AST nodes.
@@ -47,7 +52,11 @@ impl Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),
             line: self.line.min(other.line),
-            col: if self.start <= other.start { self.col } else { other.col },
+            col: if self.start <= other.start {
+                self.col
+            } else {
+                other.col
+            },
         }
     }
 

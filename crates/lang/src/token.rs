@@ -405,7 +405,10 @@ mod tests {
     #[test]
     fn keywords_resolve() {
         assert_eq!(TokenKind::keyword("while"), Some(TokenKind::While));
-        assert_eq!(TokenKind::keyword("uint32"), Some(TokenKind::FixedIntTy("uint32")));
+        assert_eq!(
+            TokenKind::keyword("uint32"),
+            Some(TokenKind::FixedIntTy("uint32"))
+        );
         assert_eq!(TokenKind::keyword("weakening"), None);
     }
 

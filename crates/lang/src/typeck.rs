@@ -94,7 +94,10 @@ pub fn check_module(module: &Module) -> LangResult<TypedModule> {
             }
         }
     }
-    Ok(TypedModule { module: module.clone(), levels })
+    Ok(TypedModule {
+        module: module.clone(),
+        levels,
+    })
 }
 
 fn check_level(level: &Level) -> LangResult<LevelInfo> {
@@ -110,8 +113,11 @@ fn check_level(level: &Level) -> LangResult<LevelInfo> {
     for decl in &level.decls {
         match decl {
             Decl::Struct(s) => {
-                let fields: Vec<(String, Type)> =
-                    s.fields.iter().map(|f| (f.name.clone(), f.ty.clone())).collect();
+                let fields: Vec<(String, Type)> = s
+                    .fields
+                    .iter()
+                    .map(|f| (f.name.clone(), f.ty.clone()))
+                    .collect();
                 if info.structs.insert(s.name.clone(), fields).is_some() {
                     return Err(LangError::resolve(
                         s.span,
@@ -130,7 +136,11 @@ fn check_level(level: &Level) -> LangResult<LevelInfo> {
             }
             Decl::Method(m) => {
                 let sig = MethodSig {
-                    params: m.params.iter().map(|p| (p.name.clone(), p.ty.clone())).collect(),
+                    params: m
+                        .params
+                        .iter()
+                        .map(|p| (p.name.clone(), p.ty.clone()))
+                        .collect(),
                     ret: m.ret.clone(),
                     external: m.external,
                 };
@@ -143,7 +153,11 @@ fn check_level(level: &Level) -> LangResult<LevelInfo> {
             }
             Decl::Function(f) => {
                 let sig = FunctionSig {
-                    params: f.params.iter().map(|p| (p.name.clone(), p.ty.clone())).collect(),
+                    params: f
+                        .params
+                        .iter()
+                        .map(|p| (p.name.clone(), p.ty.clone()))
+                        .collect(),
                     ret: f.ret.clone(),
                 };
                 if info.functions.insert(f.name.clone(), sig).is_some() {
@@ -269,7 +283,10 @@ enum Ty {
 
 impl Ty {
     fn numeric(&self) -> bool {
-        matches!(self, Ty::AnyInt | Ty::Any | Ty::Known(Type::Int(_)) | Ty::Known(Type::MathInt))
+        matches!(
+            self,
+            Ty::AnyInt | Ty::Any | Ty::Known(Type::Int(_)) | Ty::Known(Type::MathInt)
+        )
     }
 
     fn boolean(&self) -> bool {
@@ -300,7 +317,12 @@ struct Checker<'a> {
 
 impl<'a> Checker<'a> {
     fn new(info: &'a LevelInfo, ret: Option<Type>) -> Self {
-        Checker { info, ret, scopes: vec![BTreeMap::new()], loop_depth: 0 }
+        Checker {
+            info,
+            ret,
+            scopes: vec![BTreeMap::new()],
+            loop_depth: 0,
+        }
     }
 
     fn push_scope(&mut self) {
@@ -314,7 +336,10 @@ impl<'a> Checker<'a> {
     fn bind(&mut self, name: String, ty: Type, ghost: bool, span: Span) -> LangResult<()> {
         let scope = self.scopes.last_mut().expect("scope stack nonempty");
         if scope.contains_key(&name) {
-            return Err(LangError::resolve(span, format!("duplicate variable `{name}`")));
+            return Err(LangError::resolve(
+                span,
+                format!("duplicate variable `{name}`"),
+            ));
         }
         scope.insert(name, (ty, ghost));
         Ok(())
@@ -342,7 +367,12 @@ impl<'a> Checker<'a> {
 
     fn stmt(&mut self, stmt: &Stmt) -> LangResult<()> {
         match &stmt.kind {
-            StmtKind::VarDecl { ghost, name, ty, init } => {
+            StmtKind::VarDecl {
+                ghost,
+                name,
+                ty,
+                init,
+            } => {
                 check_type_wf(ty, self.info, stmt.span)?;
                 if !*ghost && !ty.is_core() {
                     return Err(LangError::ty(
@@ -380,14 +410,22 @@ impl<'a> Checker<'a> {
                 let sig = self.method_sig(method, stmt.span)?;
                 self.check_call_args(method, &sig.params, args, stmt.span)?;
             }
-            StmtKind::If { cond, then_block, else_block } => {
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 self.require_bool(cond, false)?;
                 self.block(then_block)?;
                 if let Some(els) = else_block {
                     self.block(els)?;
                 }
             }
-            StmtKind::While { cond, invariants, body } => {
+            StmtKind::While {
+                cond,
+                invariants,
+                body,
+            } => {
                 self.require_bool(cond, false)?;
                 for inv in invariants {
                     self.require_bool(inv, false)?;
@@ -423,7 +461,11 @@ impl<'a> Checker<'a> {
             StmtKind::Assert(cond) | StmtKind::Assume(cond) => {
                 self.require_bool(cond, false)?;
             }
-            StmtKind::Somehow { requires, modifies, ensures } => {
+            StmtKind::Somehow {
+                requires,
+                modifies,
+                ensures,
+            } => {
                 for clause in requires {
                     self.require_bool(clause, false)?;
                 }
@@ -449,7 +491,10 @@ impl<'a> Checker<'a> {
                 if !ty.numeric() {
                     return Err(LangError::ty(
                         handle.span,
-                        format!("`join` expects a thread handle (uint64), found {}", ty.describe()),
+                        format!(
+                            "`join` expects a thread handle (uint64), found {}",
+                            ty.describe()
+                        ),
                     ));
                 }
             }
@@ -484,7 +529,11 @@ impl<'a> Checker<'a> {
         if params.len() != args.len() {
             return Err(LangError::ty(
                 span,
-                format!("`{name}` expects {} argument(s), got {}", params.len(), args.len()),
+                format!(
+                    "`{name}` expects {} argument(s), got {}",
+                    params.len(),
+                    args.len()
+                ),
             ));
         }
         for ((_, param_ty), arg) in params.iter().zip(args) {
@@ -523,7 +572,10 @@ impl<'a> Checker<'a> {
                 if !count_ty.numeric() {
                     return Err(LangError::ty(
                         count.span,
-                        format!("`calloc` count must be numeric, found {}", count_ty.describe()),
+                        format!(
+                            "`calloc` count must be numeric, found {}",
+                            count_ty.describe()
+                        ),
                     ));
                 }
                 Ok(Ty::Known(Type::ptr(ty.clone())))
@@ -591,7 +643,10 @@ impl<'a> Checker<'a> {
             ExprKind::SbEmpty => Ok(Ty::Known(Type::Bool)),
             ExprKind::Var(name) => match self.lookup(name) {
                 Some((ty, _ghost)) => Ok(Ty::Known(ty)),
-                None => Err(LangError::resolve(expr.span, format!("unknown variable `{name}`"))),
+                None => Err(LangError::resolve(
+                    expr.span,
+                    format!("unknown variable `{name}`"),
+                )),
             },
             ExprKind::Unary(op, operand) => {
                 let operand_ty = self.expr(operand, two_state)?;
@@ -602,7 +657,10 @@ impl<'a> Checker<'a> {
                         } else {
                             Err(LangError::ty(
                                 expr.span,
-                                format!("`{op}` needs a numeric operand, found {}", operand_ty.describe()),
+                                format!(
+                                    "`{op}` needs a numeric operand, found {}",
+                                    operand_ty.describe()
+                                ),
                             ))
                         }
                     }
@@ -612,7 +670,10 @@ impl<'a> Checker<'a> {
                         } else {
                             Err(LangError::ty(
                                 expr.span,
-                                format!("`!` needs a bool operand, found {}", operand_ty.describe()),
+                                format!(
+                                    "`!` needs a bool operand, found {}",
+                                    operand_ty.describe()
+                                ),
                             ))
                         }
                     }
@@ -645,10 +706,7 @@ impl<'a> Checker<'a> {
                 match base_ty {
                     Ty::Known(Type::Named(struct_name)) => {
                         let fields = self.info.structs.get(&struct_name).ok_or_else(|| {
-                            LangError::resolve(
-                                base.span,
-                                format!("unknown struct `{struct_name}`"),
-                            )
+                            LangError::resolve(base.span, format!("unknown struct `{struct_name}`"))
                         })?;
                         fields
                             .iter()
@@ -708,7 +766,10 @@ impl<'a> Checker<'a> {
                 } else {
                     Err(LangError::ty(
                         expr.span,
-                        format!("`allocated` expects a pointer, found {}", inner_ty.describe()),
+                        format!(
+                            "`allocated` expects a pointer, found {}",
+                            inner_ty.describe()
+                        ),
                     ))
                 }
             }
@@ -723,21 +784,24 @@ impl<'a> Checker<'a> {
                             Some(existing) => {
                                 return Err(LangError::ty(
                                     elem.span,
-                                    format!(
-                                        "sequence literal mixes `{existing}` and `{found}`"
-                                    ),
+                                    format!("sequence literal mixes `{existing}` and `{found}`"),
                                 ))
                             }
                         }
                     }
                 }
-                Ok(Ty::Known(Type::Seq(Box::new(elem_ty.unwrap_or(Type::MathInt)))))
+                Ok(Ty::Known(Type::Seq(Box::new(
+                    elem_ty.unwrap_or(Type::MathInt),
+                ))))
             }
             ExprKind::Forall { var, lo, hi, body } | ExprKind::Exists { var, lo, hi, body } => {
                 let lo_ty = self.expr(lo, two_state)?;
                 let hi_ty = self.expr(hi, two_state)?;
                 if !lo_ty.numeric() || !hi_ty.numeric() {
-                    return Err(LangError::ty(expr.span, "quantifier bounds must be numeric"));
+                    return Err(LangError::ty(
+                        expr.span,
+                        "quantifier bounds must be numeric",
+                    ));
                 }
                 self.push_scope();
                 self.bind(var.clone(), Type::MathInt, true, expr.span)?;
@@ -833,8 +897,10 @@ impl<'a> Checker<'a> {
         span: Span,
         two_state: bool,
     ) -> LangResult<Ty> {
-        let arg_tys: Vec<Ty> =
-            args.iter().map(|a| self.expr(a, two_state)).collect::<LangResult<_>>()?;
+        let arg_tys: Vec<Ty> = args
+            .iter()
+            .map(|a| self.expr(a, two_state))
+            .collect::<LangResult<_>>()?;
         // Builtins first.
         if let Some(result) = self.builtin(name, &arg_tys, span)? {
             return Ok(result);
@@ -864,15 +930,17 @@ impl<'a> Checker<'a> {
                 ),
             ));
         }
-        Err(LangError::resolve(span, format!("unknown function `{name}`")))
+        Err(LangError::resolve(
+            span,
+            format!("unknown function `{name}`"),
+        ))
     }
 
     /// Type rules for builtin ghost functions. Returns `Ok(None)` when
     /// `name` is not a builtin.
     fn builtin(&self, name: &str, args: &[Ty], span: Span) -> LangResult<Option<Ty>> {
-        let wrong = |expected: &str| {
-            Err(LangError::ty(span, format!("`{name}` expects {expected}")))
-        };
+        let wrong =
+            |expected: &str| Err(LangError::ty(span, format!("`{name}` expects {expected}")));
         let result = match (name, args) {
             ("len", [Ty::Known(Type::Seq(_) | Type::Set(_) | Type::Map(_, _))]) => {
                 Ty::Known(Type::MathInt)
@@ -886,9 +954,7 @@ impl<'a> Checker<'a> {
                 self.require_assignable(elem, value, span)?;
                 Ty::Known(Type::Bool)
             }
-            ("set_add" | "set_remove" | "set_contains", _) => {
-                return wrong("a set and an element")
-            }
+            ("set_add" | "set_remove" | "set_contains", _) => return wrong("a set and an element"),
             ("map_set", [Ty::Known(Type::Map(key, value)), key_arg, value_arg]) => {
                 self.require_assignable(key, key_arg, span)?;
                 self.require_assignable(value, value_arg, span)?;
@@ -909,9 +975,7 @@ impl<'a> Checker<'a> {
             ("map_set" | "map_get" | "map_contains" | "map_remove", _) => {
                 return wrong("a map and key (and value)")
             }
-            ("some", [Ty::Known(inner)]) => {
-                Ty::Known(Type::Option(Box::new(inner.clone())))
-            }
+            ("some", [Ty::Known(inner)]) => Ty::Known(Type::Option(Box::new(inner.clone()))),
             ("some", [Ty::AnyInt]) => Ty::Known(Type::Option(Box::new(Type::MathInt))),
             ("some", _) => return wrong("one value"),
             ("is_some" | "is_none", [Ty::Known(Type::Option(_))]) => Ty::Known(Type::Bool),
@@ -959,9 +1023,7 @@ fn comparable(lhs: &Ty, rhs: &Ty) -> bool {
 
 fn join_numeric(lhs: Ty, rhs: Ty) -> Ty {
     match (&lhs, &rhs) {
-        (Ty::Known(Type::MathInt), _) | (_, Ty::Known(Type::MathInt)) => {
-            Ty::Known(Type::MathInt)
-        }
+        (Ty::Known(Type::MathInt), _) | (_, Ty::Known(Type::MathInt)) => Ty::Known(Type::MathInt),
         (Ty::Known(Type::Int(a)), Ty::Known(Type::Int(b))) => {
             if a.bits >= b.bits {
                 lhs
@@ -1018,10 +1080,7 @@ mod tests {
 
     #[test]
     fn rejects_type_mismatch() {
-        let err = check(
-            "level L { var p: ptr<uint32>; void main() { p := true; } }",
-        )
-        .unwrap_err();
+        let err = check("level L { var p: ptr<uint32>; void main() { p := true; } }").unwrap_err();
         assert!(err.message().contains("cannot assign"));
     }
 
@@ -1034,16 +1093,11 @@ mod tests {
 
     #[test]
     fn rejects_old_outside_two_state_context() {
-        let err = check(
-            "level L { var x: uint32; void main() { assert old(x) == x; } }",
-        )
-        .unwrap_err();
+        let err =
+            check("level L { var x: uint32; void main() { assert old(x) == x; } }").unwrap_err();
         assert!(err.message().contains("old"));
         // …but allows it in ensures.
-        check(
-            "level L { ghost var g: int; method {:extern} f() ensures g == old(g); }",
-        )
-        .unwrap();
+        check("level L { ghost var g: int; method {:extern} f() ensures g == old(g); }").unwrap();
     }
 
     #[test]
@@ -1056,7 +1110,9 @@ mod tests {
             }"#,
         )
         .unwrap_err();
-        assert!(err.message().contains("cannot be called inside an expression"));
+        assert!(err
+            .message()
+            .contains("cannot be called inside an expression"));
     }
 
     #[test]
@@ -1093,10 +1149,8 @@ mod tests {
 
     #[test]
     fn rejects_bad_builtin_args() {
-        let err = check(
-            "level L { ghost var s: set<int>; void main() { assert len(1) == 0; } }",
-        )
-        .unwrap_err();
+        let err = check("level L { ghost var s: set<int>; void main() { assert len(1) == 0; } }")
+            .unwrap_err();
         assert!(err.message().contains("len"));
     }
 
@@ -1121,10 +1175,7 @@ mod tests {
     fn rejects_duplicate_definitions() {
         assert!(check("level L { var x: uint32; var x: uint32; }").is_err());
         assert!(check("level L { void m() {} void m() {} }").is_err());
-        assert!(check(
-            "level L { void main() { var x: uint32; var x: uint32; } }"
-        )
-        .is_err());
+        assert!(check("level L { void main() { var x: uint32; var x: uint32; } }").is_err());
     }
 
     #[test]
@@ -1149,10 +1200,8 @@ mod tests {
             }"#,
         )
         .unwrap();
-        let err = check(
-            "level L { struct S { v: uint32; } var s: S; void main() { s.w := 1; } }",
-        )
-        .unwrap_err();
+        let err = check("level L { struct S { v: uint32; } var s: S; void main() { s.w := 1; } }")
+            .unwrap_err();
         assert!(err.message().contains("no field"));
     }
 

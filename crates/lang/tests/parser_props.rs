@@ -1,97 +1,131 @@
-//! Property tests for the front end: total parsing (errors, never panics),
-//! printer/parser round-tripping over generated programs, and SLOC counting
-//! laws.
+//! Seeded randomized tests for the front end: total parsing (errors, never
+//! panics), printer/parser round-tripping over generated programs, and SLOC
+//! counting laws.
+//!
+//! These are the former proptest suites, driven by the in-repo SplitMix64
+//! PRNG (hermetic-build policy: no crates.io dependencies). Every case is
+//! reproducible from the fixed seed plus the case index reported in the
+//! assertion message.
 
+use armada_lang::ast::{BinOp, Expr, ExprKind, UnOp};
 use armada_lang::{count_sloc, parse_expr, parse_module};
-use proptest::prelude::*;
+use armada_runtime::prng::{run_seeded_cases, SplitMix64};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The parser is total: arbitrary input produces `Ok` or `Err`, never a
-    /// panic.
-    #[test]
-    fn parser_never_panics(input in "\\PC*") {
+/// The parser is total: arbitrary input produces `Ok` or `Err`, never a
+/// panic.
+#[test]
+fn parser_never_panics() {
+    run_seeded_cases(0x1a06_0001, 256, |rng, _case| {
+        let input = rng.printable_string(120);
         let _ = parse_module(&input);
         let _ = parse_expr(&input);
-    }
-
-    /// ASCII-ish soup with Armada-flavored tokens also never panics and
-    /// never loops.
-    #[test]
-    fn parser_survives_token_soup(
-        tokens in proptest::collection::vec(
-            proptest::sample::select(vec![
-                "level", "proof", "{", "}", "(", ")", ";", ":=", "::=", "*",
-                "if", "while", "var", "x", "uint32", "1", "==", "assume",
-                "somehow", "ensures", "atomic", "yield", "$me", "\"p\"",
-            ]),
-            0..40,
-        )
-    ) {
-        let source = tokens.join(" ");
-        let _ = parse_module(&source);
-    }
-
-    /// SLOC is monotone under concatenation and insensitive to blank lines.
-    #[test]
-    fn sloc_laws(a in "[a-z ;{}]{0,40}", b in "[a-z ;{}]{0,40}") {
-        let joined = format!("{a}\n{b}");
-        prop_assert_eq!(count_sloc(&joined), count_sloc(&a) + count_sloc(&b));
-        let with_blanks = format!("{a}\n\n\n{b}");
-        prop_assert_eq!(count_sloc(&with_blanks), count_sloc(&joined));
-    }
-
-    /// Round-trip: a generated expression survives print → parse → print.
-    #[test]
-    fn expr_round_trip(expr in arb_expr(3)) {
-        let printed = armada_lang::pretty::expr_to_string(&expr);
-        let reparsed = parse_expr(&printed)
-            .unwrap_or_else(|e| panic!("`{printed}` does not reparse: {e}"));
-        let reprinted = armada_lang::pretty::expr_to_string(&reparsed);
-        prop_assert_eq!(printed, reprinted);
-    }
+    });
 }
 
-/// Generates random well-formed expressions of bounded depth.
-fn arb_expr(depth: u32) -> impl Strategy<Value = armada_lang::Expr> {
-    use armada_lang::ast::{BinOp, Expr, ExprKind, UnOp};
-    let leaf = prop_oneof![
-        (-100i128..100).prop_map(|v| Expr::synthetic(ExprKind::IntLit(v))),
-        proptest::bool::ANY.prop_map(|b| Expr::synthetic(ExprKind::BoolLit(b))),
-        "q[a-z0-9]{0,4}".prop_map(|name| Expr::synthetic(ExprKind::Var(name))),
-        Just(Expr::synthetic(ExprKind::Me)),
-        Just(Expr::synthetic(ExprKind::Null)),
+/// ASCII-ish soup with Armada-flavored tokens also never panics and never
+/// loops.
+#[test]
+fn parser_survives_token_soup() {
+    const TOKENS: [&str; 24] = [
+        "level", "proof", "{", "}", "(", ")", ";", ":=", "::=", "*", "if", "while", "var", "x",
+        "uint32", "1", "==", "assume", "somehow", "ensures", "atomic", "yield", "$me", "\"p\"",
     ];
-    leaf.prop_recursive(depth, 32, 4, |inner| {
-        let bin_op = proptest::sample::select(vec![
-            BinOp::Add,
-            BinOp::Sub,
-            BinOp::Mul,
-            BinOp::And,
-            BinOp::Or,
-            BinOp::Eq,
-            BinOp::Lt,
-            BinOp::Implies,
-            BinOp::BitAnd,
-            BinOp::Shl,
-        ]);
-        let un_op =
-            proptest::sample::select(vec![UnOp::Neg, UnOp::Not, UnOp::BitNot]);
-        prop_oneof![
-            (bin_op, inner.clone(), inner.clone()).prop_map(|(op, a, b)| {
-                Expr::synthetic(ExprKind::Binary(op, Box::new(a), Box::new(b)))
-            }),
-            (un_op, inner.clone()).prop_map(|(op, a)| {
-                Expr::synthetic(ExprKind::Unary(op, Box::new(a)))
-            }),
-            inner.clone().prop_map(|a| Expr::synthetic(ExprKind::Deref(Box::new(a)))),
-            (inner.clone(), "f[a-z0-9]{0,3}").prop_map(|(a, f)| {
-                Expr::synthetic(ExprKind::Field(Box::new(a), f))
-            }),
-            (inner.clone(), inner).prop_map(|(a, b)| {
-                Expr::synthetic(ExprKind::Index(Box::new(a), Box::new(b)))
-            }),
-        ]
-    })
+    run_seeded_cases(0x1a06_0002, 256, |rng, _case| {
+        let count = rng.index(40);
+        let source = (0..count)
+            .map(|_| *rng.choose(&TOKENS))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = parse_module(&source);
+    });
+}
+
+/// SLOC is monotone under concatenation and insensitive to blank lines.
+#[test]
+fn sloc_laws() {
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyz ;{}".chars().collect();
+    run_seeded_cases(0x1a06_0003, 256, |rng, case| {
+        let a = rng.string_from(&alphabet, 40);
+        let b = rng.string_from(&alphabet, 40);
+        let joined = format!("{a}\n{b}");
+        assert_eq!(
+            count_sloc(&joined),
+            count_sloc(&a) + count_sloc(&b),
+            "case {case}: a={a:?} b={b:?}"
+        );
+        let with_blanks = format!("{a}\n\n\n{b}");
+        assert_eq!(
+            count_sloc(&with_blanks),
+            count_sloc(&joined),
+            "case {case}: a={a:?} b={b:?}"
+        );
+    });
+}
+
+/// Round-trip: a generated expression survives print → parse → print.
+#[test]
+fn expr_round_trip() {
+    run_seeded_cases(0x1a06_0004, 256, |rng, case| {
+        let expr = arb_expr(rng, 3);
+        let printed = armada_lang::pretty::expr_to_string(&expr);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|e| panic!("case {case}: `{printed}` does not reparse: {e}"));
+        let reprinted = armada_lang::pretty::expr_to_string(&reparsed);
+        assert_eq!(printed, reprinted, "case {case}");
+    });
+}
+
+/// Generates a random well-formed expression of bounded depth, mirroring the
+/// former proptest strategy: leaves are literals/variables/`$me`/`null`,
+/// interior nodes are unary/binary operators, derefs, fields, and indexing.
+fn arb_expr(rng: &mut SplitMix64, depth: u32) -> Expr {
+    const BIN_OPS: [BinOp; 10] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Eq,
+        BinOp::Lt,
+        BinOp::Implies,
+        BinOp::BitAnd,
+        BinOp::Shl,
+    ];
+    const UN_OPS: [UnOp; 3] = [UnOp::Neg, UnOp::Not, UnOp::BitNot];
+    let ident_tail: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789".chars().collect();
+    if depth == 0 || rng.below(3) == 0 {
+        return match rng.below(5) {
+            0 => Expr::synthetic(ExprKind::IntLit(rng.range_i128(-100, 100))),
+            1 => Expr::synthetic(ExprKind::BoolLit(rng.bool())),
+            2 => Expr::synthetic(ExprKind::Var(format!(
+                "q{}",
+                rng.string_from(&ident_tail, 4)
+            ))),
+            3 => Expr::synthetic(ExprKind::Me),
+            _ => Expr::synthetic(ExprKind::Null),
+        };
+    }
+    match rng.below(5) {
+        0 => {
+            let op = *rng.choose(&BIN_OPS);
+            let a = arb_expr(rng, depth - 1);
+            let b = arb_expr(rng, depth - 1);
+            Expr::synthetic(ExprKind::Binary(op, Box::new(a), Box::new(b)))
+        }
+        1 => {
+            let op = *rng.choose(&UN_OPS);
+            Expr::synthetic(ExprKind::Unary(op, Box::new(arb_expr(rng, depth - 1))))
+        }
+        2 => Expr::synthetic(ExprKind::Deref(Box::new(arb_expr(rng, depth - 1)))),
+        3 => {
+            let base = arb_expr(rng, depth - 1);
+            let field = format!("f{}", rng.string_from(&ident_tail, 3));
+            Expr::synthetic(ExprKind::Field(Box::new(base), field))
+        }
+        _ => {
+            let a = arb_expr(rng, depth - 1);
+            let b = arb_expr(rng, depth - 1);
+            Expr::synthetic(ExprKind::Index(Box::new(a), Box::new(b)))
+        }
+    }
 }

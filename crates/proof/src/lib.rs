@@ -25,8 +25,6 @@ pub mod obligation;
 pub mod prover;
 pub mod relation;
 
-pub use obligation::{
-    DischargedObligation, ObligationKind, ProofObligation, StrategyReport,
-};
+pub use obligation::{DischargedObligation, ObligationKind, ProofObligation, StrategyReport};
 pub use prover::{check_valid, Hint, ProofMethod, ProverCtx, Verdict};
 pub use relation::{conjoin_ub_condition, RefinementRelation};

@@ -201,7 +201,11 @@ fn lemma_signature(kind: &ObligationKind) -> (String, Vec<String>, Vec<String>) 
             vec![],
             vec![format!("exists w :: w == {witness} && HNextWith(s, s', w)")],
         ),
-        ObligationKind::Commutativity { first, second, right } => (
+        ObligationKind::Commutativity {
+            first,
+            second,
+            right,
+        } => (
             format!(
                 "Commute_{}_{}_{}",
                 if *right { "Right" } else { "Left" },
@@ -212,11 +216,9 @@ fn lemma_signature(kind: &ObligationKind) -> (String, Vec<String>, Vec<String>) 
                 format!("sigma_i == `{first}`"),
                 format!("sigma_j == `{second}`"),
             ],
-            vec![
-                "NextState(NextState(s, sigma_j), sigma_i) == \
+            vec!["NextState(NextState(s, sigma_j), sigma_i) == \
                  NextState(NextState(s, sigma_i), sigma_j)"
-                    .to_string(),
-            ],
+                .to_string()],
         ),
         ObligationKind::PhaseDiscipline { at } => (
             format!("PhaseDiscipline_{}", sanitize(at)),
@@ -246,7 +248,11 @@ fn lemma_signature(kind: &ObligationKind) -> (String, Vec<String>, Vec<String>) 
             vec![format!("Init(s) ==> ({invariant})")],
         ),
         ObligationKind::InvariantInductive { invariant, step } => (
-            format!("InvariantInductive_{}_{}", short_hash(invariant), sanitize(step)),
+            format!(
+                "InvariantInductive_{}_{}",
+                short_hash(invariant),
+                sanitize(step)
+            ),
             vec![format!("({invariant}) && Next(s, s') via `{step}`")],
             vec![format!("({invariant})'")],
         ),
@@ -332,7 +338,9 @@ pub struct StrategyReport {
 impl StrategyReport {
     /// True if every obligation was proved.
     pub fn success(&self) -> bool {
-        self.obligations.iter().all(|o| matches!(o.verdict, Verdict::Proved(_)))
+        self.obligations
+            .iter()
+            .all(|o| matches!(o.verdict, Verdict::Proved(_)))
     }
 
     /// The obligations that failed or could not be discharged.
@@ -402,9 +410,14 @@ mod tests {
                 low: "if (len < best_len)".into(),
                 high: "if (*)".into(),
             },
-            vec!["case GuardTrue => trivial".into(), "case GuardFalse => trivial".into()],
+            vec![
+                "case GuardTrue => trivial".into(),
+                "case GuardFalse => trivial".into(),
+            ],
         );
-        assert!(obligation.lemma_text.starts_with("lemma Weakening_worker_4()"));
+        assert!(obligation
+            .lemma_text
+            .starts_with("lemma Weakening_worker_4()"));
         assert!(obligation.lemma_text.contains("case GuardTrue"));
         assert!(obligation.lemma_text.ends_with("}\n"));
     }
@@ -420,10 +433,14 @@ mod tests {
         };
         let failed = DischargedObligation {
             obligation: ProofObligation::new(
-                ObligationKind::InvariantInitial { invariant: "x >= 0".into() },
+                ObligationKind::InvariantInitial {
+                    invariant: "x >= 0".into(),
+                },
                 vec![],
             ),
-            verdict: Verdict::Refuted { counterexample: "x = -1".into() },
+            verdict: Verdict::Refuted {
+                counterexample: "x = -1".into(),
+            },
         };
         let report = StrategyReport {
             recipe: "P".into(),
@@ -437,7 +454,10 @@ mod tests {
         assert!(report.generated_sloc() > 0);
         assert!(report.to_string().contains("VERIFIED"));
 
-        let failing = StrategyReport { obligations: vec![proved, failed], ..report };
+        let failing = StrategyReport {
+            obligations: vec![proved, failed],
+            ..report
+        };
         assert!(!failing.success());
         assert_eq!(failing.failures().len(), 1);
         assert!(failing.failure_summary().contains("invariant-initial"));
@@ -446,16 +466,22 @@ mod tests {
     #[test]
     fn lemma_names_are_stable_and_distinct() {
         let a = ProofObligation::new(
-            ObligationKind::InvariantInitial { invariant: "x == 0".into() },
+            ObligationKind::InvariantInitial {
+                invariant: "x == 0".into(),
+            },
             vec![],
         );
         let b = ProofObligation::new(
-            ObligationKind::InvariantInitial { invariant: "x == 1".into() },
+            ObligationKind::InvariantInitial {
+                invariant: "x == 1".into(),
+            },
             vec![],
         );
         assert_ne!(a.lemma_text.lines().next(), b.lemma_text.lines().next());
         let a2 = ProofObligation::new(
-            ObligationKind::InvariantInitial { invariant: "x == 0".into() },
+            ObligationKind::InvariantInitial {
+                invariant: "x == 0".into(),
+            },
             vec![],
         );
         assert_eq!(a.lemma_text, a2.lemma_text);

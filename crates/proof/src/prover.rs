@@ -160,9 +160,7 @@ pub fn check_valid(goal: &Expr, ctx: &ProverCtx) -> Verdict {
     for name in &mentions {
         if let Some(stripped) = name.strip_prefix("old$") {
             if !vars.iter().any(|(v, _)| v == name) {
-                if let Some((_, ty)) =
-                    ctx.free_vars.iter().find(|(v, _)| v == stripped).cloned()
-                {
+                if let Some((_, ty)) = ctx.free_vars.iter().find(|(v, _)| v == stripped).cloned() {
                     vars.push((name.clone(), ty));
                 }
             }
@@ -232,10 +230,12 @@ pub fn check_valid(goal: &Expr, ctx: &ProverCtx) -> Verdict {
         Some(counterexample) => Verdict::Refuted { counterexample },
         // Zero satisfying assignments means the assumptions were not
         // exercised at all — refuse to call a vacuous check a proof.
-        None if checked == 0 && !domains.is_empty() => Verdict::Unknown(
-            "assumptions unsatisfiable on the candidate lattice".to_string(),
-        ),
-        None => Verdict::Proved(ProofMethod::BoundedExhaustive { assignments: checked }),
+        None if checked == 0 && !domains.is_empty() => {
+            Verdict::Unknown("assumptions unsatisfiable on the candidate lattice".to_string())
+        }
+        None => Verdict::Proved(ProofMethod::BoundedExhaustive {
+            assignments: checked,
+        }),
     }
 }
 
@@ -244,7 +244,12 @@ fn collect_literals(expr: &Expr, out: &mut Vec<i128>) {
     use ExprKind::*;
     match &expr.kind {
         IntLit(value) => out.push(*value),
-        Unary(_, a) | AddrOf(a) | Deref(a) | Old(a) | Allocated(a) | AllocatedArray(a)
+        Unary(_, a)
+        | AddrOf(a)
+        | Deref(a)
+        | Old(a)
+        | Allocated(a)
+        | AllocatedArray(a)
         | Field(a, _) => collect_literals(a, out),
         Binary(_, a, b) | Index(a, b) => {
             collect_literals(a, out);
@@ -281,7 +286,7 @@ fn enumerate(
             match pure_eval(assumption, env) {
                 Ok(Value::Bool(true)) => {}
                 Ok(Value::Bool(false)) => return None, // vacuous
-                _ => return None,                       // unconstraining
+                _ => return None,                      // unconstraining
             }
         }
         *checked += 1;
@@ -289,15 +294,16 @@ fn enumerate(
             Ok(Value::Bool(true)) => None,
             Ok(Value::Bool(false)) => Some(render_env(env)),
             Ok(other) => Some(format!("goal evaluated to non-boolean {other}")),
-            Err(reason) => Some(format!("goal not evaluable: {reason} under {}", render_env(env))),
+            Err(reason) => Some(format!(
+                "goal not evaluable: {reason} under {}",
+                render_env(env)
+            )),
         };
     }
     let (name, domain) = &domains[index];
     for value in domain {
         env.insert(name.clone(), value.clone());
-        if let Some(ce) =
-            enumerate(domains, index + 1, env, assumptions, goal, checked)
-        {
+        if let Some(ce) = enumerate(domains, index + 1, env, assumptions, goal, checked) {
             return Some(ce);
         }
     }
@@ -327,9 +333,10 @@ pub fn domain_of(ty: &Type) -> Vec<Value> {
             values.dedup();
             values.into_iter().map(|v| Value::int(*int_ty, v)).collect()
         }
-        Type::MathInt => {
-            vec![-2, -1, 0, 1, 2, 3, 7].into_iter().map(Value::MathInt).collect()
-        }
+        Type::MathInt => vec![-2, -1, 0, 1, 2, 3, 7]
+            .into_iter()
+            .map(Value::MathInt)
+            .collect(),
         Type::Pointer(_) => vec![Value::Ptr(None)],
         Type::Seq(elem) => {
             let elem_values = domain_of(elem);
@@ -344,8 +351,7 @@ pub fn domain_of(ty: &Type) -> Vec<Value> {
             out
         }
         Type::Set(elem) => {
-            let elem_values: Vec<Value> =
-                domain_of(elem).into_iter().map(normalize_key).collect();
+            let elem_values: Vec<Value> = domain_of(elem).into_iter().map(normalize_key).collect();
             let mut out = vec![Value::Set(Default::default())];
             if let Some(first) = elem_values.first() {
                 out.push(Value::Set([first.clone()].into_iter().collect()));
@@ -404,9 +410,7 @@ pub fn inline_functions(
             ExprKind::Call(name.clone(), args)
         }
         ExprKind::Unary(op, a) => ExprKind::Unary(*op, Box::new(rec(a))),
-        ExprKind::Binary(op, a, b) => {
-            ExprKind::Binary(*op, Box::new(rec(a)), Box::new(rec(b)))
-        }
+        ExprKind::Binary(op, a, b) => ExprKind::Binary(*op, Box::new(rec(a)), Box::new(rec(b))),
         ExprKind::AddrOf(a) => ExprKind::AddrOf(Box::new(rec(a))),
         ExprKind::Deref(a) => ExprKind::Deref(Box::new(rec(a))),
         ExprKind::Field(a, f) => ExprKind::Field(Box::new(rec(a)), f.clone()),
@@ -429,7 +433,10 @@ pub fn inline_functions(
         },
         other => other.clone(),
     };
-    Expr { kind, span: expr.span }
+    Expr {
+        kind,
+        span: expr.span,
+    }
 }
 
 /// Capture-avoiding-enough substitution for function inlining (ghost
@@ -451,9 +458,7 @@ fn subst(expr: &Expr, name: &str, replacement: &Expr) -> Expr {
             Box::new(subst(a, name, replacement)),
             Box::new(subst(b, name, replacement)),
         ),
-        ExprKind::Field(a, f) => {
-            ExprKind::Field(Box::new(subst(a, name, replacement)), f.clone())
-        }
+        ExprKind::Field(a, f) => ExprKind::Field(Box::new(subst(a, name, replacement)), f.clone()),
         ExprKind::SeqLit(elems) => {
             ExprKind::SeqLit(elems.iter().map(|e| subst(e, name, replacement)).collect())
         }
@@ -471,7 +476,10 @@ fn subst(expr: &Expr, name: &str, replacement: &Expr) -> Expr {
         },
         other => other.clone(),
     };
-    Expr { kind, span: expr.span }
+    Expr {
+        kind,
+        span: expr.span,
+    }
 }
 
 /// Rewrites `old(x)` to the fresh variable `old$x`; nested non-variable
@@ -489,9 +497,7 @@ pub fn rewrite_old(expr: &Expr) -> Expr {
             ),
             ExprKind::AddrOf(a) => ExprKind::AddrOf(Box::new(rec(a, under_old))),
             ExprKind::Deref(a) => ExprKind::Deref(Box::new(rec(a, under_old))),
-            ExprKind::Field(a, f) => {
-                ExprKind::Field(Box::new(rec(a, under_old)), f.clone())
-            }
+            ExprKind::Field(a, f) => ExprKind::Field(Box::new(rec(a, under_old)), f.clone()),
             ExprKind::Index(a, b) => {
                 ExprKind::Index(Box::new(rec(a, under_old)), Box::new(rec(b, under_old)))
             }
@@ -503,9 +509,7 @@ pub fn rewrite_old(expr: &Expr) -> Expr {
                 ExprKind::SeqLit(elems.iter().map(|e| rec(e, under_old)).collect())
             }
             ExprKind::Allocated(a) => ExprKind::Allocated(Box::new(rec(a, under_old))),
-            ExprKind::AllocatedArray(a) => {
-                ExprKind::AllocatedArray(Box::new(rec(a, under_old)))
-            }
+            ExprKind::AllocatedArray(a) => ExprKind::AllocatedArray(Box::new(rec(a, under_old))),
             ExprKind::Forall { var, lo, hi, body } => ExprKind::Forall {
                 var: var.clone(),
                 lo: Box::new(rec(lo, under_old)),
@@ -520,7 +524,10 @@ pub fn rewrite_old(expr: &Expr) -> Expr {
             },
             other => other.clone(),
         };
-        Expr { kind, span: expr.span }
+        Expr {
+            kind,
+            span: expr.span,
+        }
     }
     rec(expr, false)
 }
@@ -540,8 +547,13 @@ pub fn collect_vars(expr: &Expr, out: &mut Vec<String>) {
                     out.push("$me".to_string());
                 }
             }
-            Unary(_, a) | AddrOf(a) | Deref(a) | Old(a) | Allocated(a)
-            | AllocatedArray(a) | Field(a, _) => rec(a, bound, out),
+            Unary(_, a)
+            | AddrOf(a)
+            | Deref(a)
+            | Old(a)
+            | Allocated(a)
+            | AllocatedArray(a)
+            | Field(a, _) => rec(a, bound, out),
             Binary(_, a, b) | Index(a, b) => {
                 rec(a, bound, out);
                 rec(b, bound, out);
@@ -571,12 +583,14 @@ pub fn pure_eval(expr: &Expr, env: &BTreeMap<String, Value>) -> Result<Value, St
         ExprKind::IntLit(value) => Ok(Value::MathInt(*value)),
         ExprKind::BoolLit(value) => Ok(Value::Bool(*value)),
         ExprKind::Null => Ok(Value::Ptr(None)),
-        ExprKind::Var(name) => {
-            env.get(name).cloned().ok_or_else(|| format!("unbound `{name}`"))
-        }
-        ExprKind::Me => {
-            env.get("$me").cloned().ok_or_else(|| "unbound `$me`".to_string())
-        }
+        ExprKind::Var(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("unbound `{name}`")),
+        ExprKind::Me => env
+            .get("$me")
+            .cloned()
+            .ok_or_else(|| "unbound `$me`".to_string()),
         ExprKind::Unary(op, operand) => {
             let value = pure_eval(operand, env)?;
             match (op, &value) {
@@ -637,8 +651,10 @@ pub fn pure_eval(expr: &Expr, env: &BTreeMap<String, Value>) -> Result<Value, St
             }
         }
         ExprKind::Call(name, args) => {
-            let values: Vec<Value> =
-                args.iter().map(|a| pure_eval(a, env)).collect::<Result<_, _>>()?;
+            let values: Vec<Value> = args
+                .iter()
+                .map(|a| pure_eval(a, env))
+                .collect::<Result<_, _>>()?;
             match builtin(name, &values) {
                 Ok(Some(result)) => Ok(result),
                 Ok(None) => Err(format!("non-builtin call `{name}` in pure context")),
@@ -646,7 +662,10 @@ pub fn pure_eval(expr: &Expr, env: &BTreeMap<String, Value>) -> Result<Value, St
             }
         }
         ExprKind::SeqLit(elems) => Ok(Value::Seq(
-            elems.iter().map(|e| pure_eval(e, env)).collect::<Result<_, _>>()?,
+            elems
+                .iter()
+                .map(|e| pure_eval(e, env))
+                .collect::<Result<_, _>>()?,
         )),
         ExprKind::Forall { var, lo, hi, body } | ExprKind::Exists { var, lo, hi, body } => {
             let is_forall = matches!(expr.kind, ExprKind::Forall { .. });
@@ -757,12 +776,15 @@ pub fn pure_binary(op: BinOp, a: Value, b: Value) -> Result<Value, String> {
         _ => unreachable!(),
     };
     match ty {
-        Some(ty) => Ok(Value::int(ty, exact.unwrap_or_else(|| match op {
-            Add => x.wrapping_add(y),
-            Sub => x.wrapping_sub(y),
-            Mul => x.wrapping_mul(y),
-            _ => 0,
-        }))),
+        Some(ty) => Ok(Value::int(
+            ty,
+            exact.unwrap_or_else(|| match op {
+                Add => x.wrapping_add(y),
+                Sub => x.wrapping_sub(y),
+                Mul => x.wrapping_mul(y),
+                _ => 0,
+            }),
+        )),
         None => exact.map(Value::MathInt).ok_or_else(|| "overflow".into()),
     }
 }
@@ -774,7 +796,9 @@ mod tests {
 
     fn prove(goal: &str, vars: &[(&str, Type)]) -> Verdict {
         let ctx = ProverCtx::new(
-            vars.iter().map(|(n, t)| (n.to_string(), t.clone())).collect(),
+            vars.iter()
+                .map(|(n, t)| (n.to_string(), t.clone()))
+                .collect(),
         );
         check_valid(&parse_expr(goal).unwrap(), &ctx)
     }
@@ -807,10 +831,13 @@ mod tests {
             other => panic!("expected refutation, got {other:?}"),
         }
         // Signed/unsigned boundary behavior is represented in the domains.
-        assert!(matches!(
-            prove("x + 1 > x", &[("x", Type::Int(IntType::U8))]),
-            Verdict::Refuted { .. }
-        ), "wrap-around at 255 must refute");
+        assert!(
+            matches!(
+                prove("x + 1 > x", &[("x", Type::Int(IntType::U8))]),
+                Verdict::Refuted { .. }
+            ),
+            "wrap-around at 255 must refute"
+        );
     }
 
     #[test]
@@ -851,7 +878,10 @@ mod tests {
     fn ghost_collection_goals() {
         let seq_ty = Type::Seq(Box::new(Type::MathInt));
         assert!(matches!(
-            prove("len(s + t) == len(s) + len(t)", &[("s", seq_ty.clone()), ("t", seq_ty)]),
+            prove(
+                "len(s + t) == len(s) + len(t)",
+                &[("s", seq_ty.clone()), ("t", seq_ty)]
+            ),
             Verdict::Proved(_)
         ));
         let set_ty = Type::Set(Box::new(Type::MathInt));

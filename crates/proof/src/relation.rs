@@ -54,7 +54,9 @@ impl StandardRelation {
 
     /// The default log-prefix relation.
     pub fn log_prefix() -> StandardRelation {
-        StandardRelation { kind: RelationKind::LogPrefix }
+        StandardRelation {
+            kind: RelationKind::LogPrefix,
+        }
     }
 }
 
@@ -62,8 +64,8 @@ impl RefinementRelation for StandardRelation {
     fn relates(&self, low: &ProgState, high: &ProgState) -> bool {
         let base = match &self.kind {
             RelationKind::LogPrefix => {
-                let prefix = low.log.len() <= high.log.len()
-                    && high.log[..low.log.len()] == low.log[..];
+                let prefix =
+                    low.log.len() <= high.log.len() && high.log[..low.log.len()] == low.log[..];
                 let exit_ok = if low.termination == Termination::Exited {
                     high.termination == Termination::Exited && low.log == high.log
                 } else {
@@ -113,9 +115,15 @@ fn custom_relates(pred: &PredicateSource, low: &ProgState, high: &ProgState) -> 
     );
     env.insert(
         "high_ub".to_string(),
-        Value::Bool(matches!(high.termination, Termination::UndefinedBehavior(_))),
+        Value::Bool(matches!(
+            high.termination,
+            Termination::UndefinedBehavior(_)
+        )),
     );
-    matches!(crate::prover::pure_eval(&pred.expr, &env), Ok(Value::Bool(true)))
+    matches!(
+        crate::prover::pure_eval(&pred.expr, &env),
+        Ok(Value::Bool(true))
+    )
 }
 
 #[cfg(test)]
@@ -130,7 +138,10 @@ mod tests {
         let typed = armada_lang::check_module(&module).unwrap();
         let program = lower(&typed, "L").unwrap();
         let mut state = armada_sm::run_to_completion(&program, &Bounds::small()).unwrap();
-        state.log = log.into_iter().map(|v| Value::int(IntType::U32, v)).collect();
+        state.log = log
+            .into_iter()
+            .map(|v| Value::int(IntType::U32, v))
+            .collect();
         state.termination = termination;
         state
     }
@@ -152,7 +163,10 @@ mod tests {
         let short_high = state_with_log(vec![1], Termination::Exited);
         let long_high = state_with_log(vec![1, 2], Termination::Exited);
         assert!(relation.relates(&low, &short_high));
-        assert!(!relation.relates(&low, &long_high), "exited impl must match spec log");
+        assert!(
+            !relation.relates(&low, &long_high),
+            "exited impl must match spec log"
+        );
     }
 
     #[test]

@@ -139,7 +139,11 @@ pub struct RegionAnalysis {
 impl RegionAnalysis {
     /// Runs the analysis over every method of `level`.
     pub fn of_level(level: &Level) -> RegionAnalysis {
-        let mut builder = Builder { graph: Graph::default(), alloc_counter: 0, level };
+        let mut builder = Builder {
+            graph: Graph::default(),
+            alloc_counter: 0,
+            level,
+        };
         for global in level.globals() {
             let node = builder.graph.node(NodeKey::Var {
                 scope: String::new(),
@@ -155,14 +159,19 @@ impl RegionAnalysis {
             }
         }
         let nodes = builder.graph.parent.len();
-        RegionAnalysis { graph: std::cell::RefCell::new(builder.graph), nodes }
+        RegionAnalysis {
+            graph: std::cell::RefCell::new(builder.graph),
+            nodes,
+        }
     }
 
     /// The region a pointer variable's *pointee* belongs to.
     pub fn pointee_region(&self, scope: &str, name: &str) -> RegionId {
         let mut graph = self.graph.borrow_mut();
-        let node =
-            graph.node(NodeKey::Var { scope: scope.to_string(), name: name.to_string() });
+        let node = graph.node(NodeKey::Var {
+            scope: scope.to_string(),
+            name: name.to_string(),
+        });
         let pts = graph.pts(node);
         RegionId(graph.find(pts))
     }
@@ -199,7 +208,11 @@ impl RegionAnalysis {
             }
         }
         for name in names {
-            let scope_of = if level.globals().any(|g| g.name == name) { "" } else { scope };
+            let scope_of = if level.globals().any(|g| g.name == name) {
+                ""
+            } else {
+                scope
+            };
             let region = self.pointee_region(scope_of, &name);
             out.push_str(&format!("  region({name}) = R{}\n", region.0));
         }
@@ -210,8 +223,16 @@ impl RegionAnalysis {
 fn collect_pointer_locals(block: &Block, out: &mut Vec<String>) {
     for stmt in &block.stmts {
         match &stmt.kind {
-            StmtKind::VarDecl { name, ty: Type::Pointer(_), .. } => out.push(name.clone()),
-            StmtKind::If { then_block, else_block, .. } => {
+            StmtKind::VarDecl {
+                name,
+                ty: Type::Pointer(_),
+                ..
+            } => out.push(name.clone()),
+            StmtKind::If {
+                then_block,
+                else_block,
+                ..
+            } => {
                 collect_pointer_locals(then_block, out);
                 if let Some(els) = else_block {
                     collect_pointer_locals(els, out);
@@ -244,7 +265,10 @@ impl Builder<'_> {
         match &expr.kind {
             ExprKind::Var(name) => {
                 let scope = self.var_scope(scope, name);
-                Some(self.graph.node(NodeKey::Var { scope, name: name.clone() }))
+                Some(self.graph.node(NodeKey::Var {
+                    scope,
+                    name: name.clone(),
+                }))
             }
             ExprKind::Field(base, _) | ExprKind::Index(base, _) => self.loc_node(scope, base),
             ExprKind::Deref(inner) => {
@@ -275,7 +299,9 @@ impl Builder<'_> {
 
     /// Processes `target := value` for points-to purposes.
     fn assign(&mut self, scope: &str, target: &Expr, value: &Expr) {
-        let Some(lhs) = self.loc_node(scope, target) else { return };
+        let Some(lhs) = self.loc_node(scope, target) else {
+            return;
+        };
         self.assign_node(lhs, scope, value);
     }
 
@@ -346,9 +372,10 @@ impl Builder<'_> {
             None => return,
         };
         for (param, arg) in params.iter().zip(args) {
-            let node = self
-                .graph
-                .node(NodeKey::Var { scope: callee.to_string(), name: param.clone() });
+            let node = self.graph.node(NodeKey::Var {
+                scope: callee.to_string(),
+                name: param.clone(),
+            });
             self.assign_node(node, scope, arg);
         }
     }
@@ -361,7 +388,11 @@ impl Builder<'_> {
 
     fn stmt(&mut self, scope: &str, stmt: &Stmt) {
         match &stmt.kind {
-            StmtKind::VarDecl { name, init: Some(init), .. } => {
+            StmtKind::VarDecl {
+                name,
+                init: Some(init),
+                ..
+            } => {
                 let target = Expr::synthetic(ExprKind::Var(name.clone()));
                 self.assign_rhs(scope, &target, init);
             }
@@ -375,7 +406,11 @@ impl Builder<'_> {
                 let ret = self.graph.node(NodeKey::Return(scope.to_string()));
                 self.assign_node(ret, scope, value);
             }
-            StmtKind::If { then_block, else_block, .. } => {
+            StmtKind::If {
+                then_block,
+                else_block,
+                ..
+            } => {
                 self.block(scope, then_block);
                 if let Some(els) = else_block {
                     self.block(scope, els);
@@ -394,15 +429,20 @@ impl Builder<'_> {
 fn declares(block: &Block, name: &str) -> bool {
     block.stmts.iter().any(|stmt| match &stmt.kind {
         StmtKind::VarDecl { name: n, .. } => n == name,
-        StmtKind::If { then_block, else_block, .. } => {
+        StmtKind::If {
+            then_block,
+            else_block,
+            ..
+        } => {
             declares(then_block, name)
-                || else_block.as_ref().map(|e| declares(e, name)).unwrap_or(false)
+                || else_block
+                    .as_ref()
+                    .map(|e| declares(e, name))
+                    .unwrap_or(false)
         }
         StmtKind::While { body, .. } => declares(body, name),
         StmtKind::Label(_, inner) => matches!(&inner.kind, StmtKind::Block(b) if declares(b, name)),
-        StmtKind::ExplicitYield(b) | StmtKind::Atomic(b) | StmtKind::Block(b) => {
-            declares(b, name)
-        }
+        StmtKind::ExplicitYield(b) | StmtKind::Atomic(b) | StmtKind::Block(b) => declares(b, name),
         _ => false,
     })
 }

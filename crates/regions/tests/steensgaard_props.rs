@@ -1,12 +1,13 @@
-//! Dynamic soundness of the Steensgaard analysis: for random straight-line
-//! pointer programs, whenever the analysis says two pointers *cannot* alias,
-//! an abstract replay of the program (mirroring the interpreter's allocation
-//! semantics) must end with them pointing at different objects.
+//! Dynamic soundness of the Steensgaard analysis, as seeded randomized
+//! tests: for random straight-line pointer programs, whenever the analysis
+//! says two pointers *cannot* alias, an abstract replay of the program
+//! (mirroring the interpreter's allocation semantics) must end with them
+//! pointing at different objects.
 
 use armada_lang::{check_module, parse_module};
 use armada_regions::RegionAnalysis;
+use armada_runtime::prng::{run_seeded_cases, SplitMix64};
 use armada_sm::{lower, run_to_completion, Bounds, Value};
-use proptest::prelude::*;
 
 /// A random pointer statement over variables p0..p{n}.
 #[derive(Debug, Clone)]
@@ -15,42 +16,43 @@ enum PtrStmt {
     Copy { dst: usize, src: usize },
 }
 
-fn arb_program(vars: usize, len: usize) -> impl Strategy<Value = Vec<PtrStmt>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0..vars).prop_map(PtrStmt::Malloc),
-            (0..vars, 0..vars).prop_map(|(dst, src)| PtrStmt::Copy { dst, src }),
-        ],
-        1..len,
-    )
+fn arb_program(rng: &mut SplitMix64, vars: usize, max_len: usize) -> Vec<PtrStmt> {
+    let len = 1 + rng.index(max_len - 1);
+    (0..len)
+        .map(|_| {
+            if rng.bool() {
+                PtrStmt::Malloc(rng.index(vars))
+            } else {
+                PtrStmt::Copy {
+                    dst: rng.index(vars),
+                    src: rng.index(vars),
+                }
+            }
+        })
+        .collect()
 }
 
 fn render(statements: &[PtrStmt], vars: usize) -> String {
     let mut body = String::new();
     for v in 0..vars {
-        body.push_str(&format!("        var p{v}: ptr<uint32> := malloc(uint32);\n"));
+        body.push_str(&format!(
+            "        var p{v}: ptr<uint32> := malloc(uint32);\n"
+        ));
     }
     for statement in statements {
         match statement {
-            PtrStmt::Malloc(v) => {
-                body.push_str(&format!("        p{v} := malloc(uint32);\n"))
-            }
-            PtrStmt::Copy { dst, src } => {
-                body.push_str(&format!("        p{dst} := p{src};\n"))
-            }
+            PtrStmt::Malloc(v) => body.push_str(&format!("        p{v} := malloc(uint32);\n")),
+            PtrStmt::Copy { dst, src } => body.push_str(&format!("        p{dst} := p{src};\n")),
         }
     }
     format!("level L {{\n    void main() {{\n{body}    }}\n}}\n")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn no_alias_verdicts_are_dynamically_true(
-        statements in arb_program(4, 12)
-    ) {
+#[test]
+fn no_alias_verdicts_are_dynamically_true() {
+    run_seeded_cases(0x4e90_0001, 128, |rng, case| {
         let vars = 4usize;
+        let statements = arb_program(rng, vars, 12);
         let source = render(&statements, vars);
         let module = parse_module(&source).expect("generated source parses");
         let typed = check_module(&module).expect("generated source typechecks");
@@ -76,20 +78,22 @@ proptest! {
                 let may_alias =
                     analysis.may_alias("main", &format!("p{a}"), "main", &format!("p{b}"));
                 if !may_alias {
-                    prop_assert_ne!(
+                    assert_ne!(
                         concrete[a], concrete[b],
-                        "analysis separated p{} and p{} but they alias dynamically\n{}",
-                        a, b, source
+                        "case {case}: analysis separated p{a} and p{b} but they alias \
+                         dynamically\n{source}"
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    /// End-to-end agreement with the interpreter: writing through one
-    /// pointer is visible through another iff they (may) alias.
-    #[test]
-    fn separated_pointers_do_not_interfere(copy_first in proptest::bool::ANY) {
+/// End-to-end agreement with the interpreter: writing through one pointer is
+/// visible through another iff they (may) alias.
+#[test]
+fn separated_pointers_do_not_interfere() {
+    for copy_first in [false, true] {
         let source = if copy_first {
             r#"level L {
                 void main() {
@@ -117,8 +121,8 @@ proptest! {
         let program = lower(&typed, "L").expect("lower");
         let final_state = run_to_completion(&program, &Bounds::small()).expect("run");
         let may_alias = analysis.may_alias("main", "p", "main", "q");
-        prop_assert_eq!(may_alias, copy_first);
+        assert_eq!(may_alias, copy_first);
         let expected = if copy_first { 7 } else { 0 };
-        prop_assert_eq!(&final_state.log, &vec![Value::MathInt(expected)]);
+        assert_eq!(&final_state.log, &vec![Value::MathInt(expected)]);
     }
 }

@@ -28,7 +28,10 @@ impl FlagBarrier {
     pub fn new(participants: usize) -> FlagBarrier {
         assert!(participants > 0, "a barrier needs at least one participant");
         FlagBarrier {
-            flags: (0..participants).map(|_| AtomicU32::new(0)).collect::<Vec<_>>().into(),
+            flags: (0..participants)
+                .map(|_| AtomicU32::new(0))
+                .collect::<Vec<_>>()
+                .into(),
         }
     }
 
@@ -86,7 +89,10 @@ impl SenseBarrier {
     pub fn new(participants: usize) -> SenseBarrier {
         assert!(participants > 0, "a barrier needs at least one participant");
         SenseBarrier {
-            flags: (0..participants).map(|_| AtomicU32::new(0)).collect::<Vec<_>>().into(),
+            flags: (0..participants)
+                .map(|_| AtomicU32::new(0))
+                .collect::<Vec<_>>()
+                .into(),
         }
     }
 
@@ -125,8 +131,7 @@ mod tests {
         // sees *every* thread's pre-barrier write.
         let n = 4;
         let barrier = Arc::new(FlagBarrier::new(n));
-        let data: Arc<Vec<AtomicU64>> =
-            Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let data: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
         let threads: Vec<_> = (0..n)
             .map(|id| {
                 let barrier = Arc::clone(&barrier);

@@ -18,18 +18,23 @@
 //!   study (§6.1), using Owens's publication idiom (racy flag writes, no
 //!   flushes);
 //! * [`measure`] — the throughput/trial statistics harness (mean and 95%
-//!   confidence intervals over repeated trials, as in Figure 12).
+//!   confidence intervals over repeated trials, as in Figure 12);
+//! * [`prng`] — the deterministic SplitMix64 generator behind the seeded
+//!   randomized test suites (the hermetic, in-repo replacement for
+//!   `rand`/`proptest`).
 
 pub mod barrier;
 pub mod generated;
 pub mod generated_conservative;
 pub mod mcs;
 pub mod measure;
+pub mod prng;
 pub mod spsc;
 
 pub use barrier::FlagBarrier;
 pub use mcs::McsMutex;
 pub use measure::{queue_throughput_ops_per_sec, Stats};
+pub use prng::{run_seeded_cases, SplitMix64};
 pub use spsc::{spsc_queue, Bitmask, Consumer, HwTso, Modulo, Producer, SeqCstConservative};
 
 /// The checked-in source of [`generated`], compared against the backend's

@@ -43,7 +43,9 @@ impl Default for McsLock {
 impl McsLock {
     /// Creates an unlocked MCS lock.
     pub fn new() -> McsLock {
-        McsLock { tail: AtomicPtr::new(ptr::null_mut()) }
+        McsLock {
+            tail: AtomicPtr::new(ptr::null_mut()),
+        }
     }
 
     /// Acquires the lock, returning a token that must be passed to
@@ -153,13 +155,19 @@ where
 impl<T> McsMutex<T> {
     /// Wraps `value` in an MCS lock.
     pub fn new(value: T) -> McsMutex<T> {
-        McsMutex { lock: McsLock::new(), value: UnsafeCell::new(value) }
+        McsMutex {
+            lock: McsLock::new(),
+            value: UnsafeCell::new(value),
+        }
     }
 
     /// Acquires the lock and returns a guard dereferencing to the value.
     pub fn lock(&self) -> McsGuard<'_, T> {
         let token = self.lock.acquire();
-        McsGuard { mutex: self, token: Some(token) }
+        McsGuard {
+            mutex: self,
+            token: Some(token),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.

@@ -30,13 +30,21 @@ impl Stats {
             0.0
         };
         let ci95 = 1.96 * (variance / n).sqrt();
-        Stats { mean, ci95, samples: samples.len() }
+        Stats {
+            mean,
+            ci95,
+            samples: samples.len(),
+        }
     }
 }
 
 impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.3e} ± {:.1e} (n={})", self.mean, self.ci95, self.samples)
+        write!(
+            f,
+            "{:.3e} ± {:.1e} (n={})",
+            self.mean, self.ci95, self.samples
+        )
     }
 }
 
@@ -49,7 +57,7 @@ impl std::fmt::Display for Stats {
 /// liblfds' built-in benchmark.
 pub fn queue_throughput_ops_per_sec<E, D>(ops: u64, enqueue: E, dequeue: D) -> f64
 where
-    E: FnOnce() -> Box<dyn FnMut(u64) -> bool + Send> ,
+    E: FnOnce() -> Box<dyn FnMut(u64) -> bool + Send>,
     D: FnOnce() -> Box<dyn FnMut() -> Option<u64> + Send>,
 {
     let mut enqueue = enqueue();

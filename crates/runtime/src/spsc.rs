@@ -138,8 +138,10 @@ pub fn spsc_queue<I: IndexPolicy, M: MemPolicy>(
 ) -> (Producer<I, M>, Consumer<I, M>) {
     assert!(capacity > 0, "queue capacity must be positive");
     let capacity = capacity.next_power_of_two() as u64;
-    let slots: Box<[AtomicU64]> =
-        (0..capacity).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice();
+    let slots: Box<[AtomicU64]> = (0..capacity)
+        .map(|_| AtomicU64::new(0))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
     let ring = Arc::new(Ring {
         slots,
         read_index: AtomicU64::new(0),
@@ -148,7 +150,12 @@ pub fn spsc_queue<I: IndexPolicy, M: MemPolicy>(
         mask: capacity - 1,
         _policies: PhantomData,
     });
-    (Producer { ring: Arc::clone(&ring) }, Consumer { ring })
+    (
+        Producer {
+            ring: Arc::clone(&ring),
+        },
+        Consumer { ring },
+    )
 }
 
 impl<I: IndexPolicy, M: MemPolicy> Producer<I, M> {
@@ -205,7 +212,7 @@ impl<I: IndexPolicy, M: MemPolicy> Consumer<I, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::prng::run_seeded_cases;
     use std::thread;
 
     fn fifo_roundtrip<I: IndexPolicy, M: MemPolicy>() {
@@ -280,28 +287,29 @@ mod tests {
         concurrent_transfer::<Modulo, SeqCstConservative>(10_000);
     }
 
-    proptest! {
-        /// Any interleaved sequence of enqueues and dequeues matches a
-        /// VecDeque model.
-        #[test]
-        fn matches_model(ops in proptest::collection::vec(0u8..3, 1..200)) {
+    /// Any interleaved sequence of enqueues and dequeues matches a VecDeque
+    /// model.
+    #[test]
+    fn matches_model() {
+        run_seeded_cases(0x5b5c_0001, 256, |rng, case| {
+            let op_count = 1 + rng.index(199);
             let (producer, consumer) = spsc_queue::<Bitmask, HwTso>(4);
             let mut model = std::collections::VecDeque::new();
             let mut next = 0u64;
-            for op in ops {
-                if op < 2 {
+            for _ in 0..op_count {
+                if rng.below(3) < 2 {
                     let accepted = producer.try_enqueue(next);
                     if model.len() < producer.capacity() {
-                        prop_assert!(accepted);
+                        assert!(accepted, "case {case}: enqueue refused with room");
                         model.push_back(next);
                     } else {
-                        prop_assert!(!accepted);
+                        assert!(!accepted, "case {case}: enqueue accepted when full");
                     }
                     next += 1;
                 } else {
-                    prop_assert_eq!(consumer.try_dequeue(), model.pop_front());
+                    assert_eq!(consumer.try_dequeue(), model.pop_front(), "case {case}");
                 }
             }
-        }
+        });
     }
 }

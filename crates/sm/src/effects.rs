@@ -51,10 +51,7 @@ impl Effects {
     /// True when the instruction touches no shared state at all (local
     /// computation, jumps, atomic markers): such steps are both-movers.
     pub fn is_thread_local(&self) -> bool {
-        self.reads.is_empty()
-            && self.writes.is_empty()
-            && !self.allocates
-            && !self.fences
+        self.reads.is_empty() && self.writes.is_empty() && !self.allocates && !self.fences
     }
 
     /// True when two effect footprints cannot conflict: neither writes a
@@ -74,7 +71,10 @@ impl Effects {
 }
 
 fn heapish(loc: &AbsLoc) -> bool {
-    matches!(loc, AbsLoc::HeapUnknown | AbsLoc::Region(_) | AbsLoc::Global(_))
+    matches!(
+        loc,
+        AbsLoc::HeapUnknown | AbsLoc::Region(_) | AbsLoc::Global(_)
+    )
 }
 
 fn conflicts(a: &AbsLoc, b: &AbsLoc) -> bool {
@@ -159,12 +159,7 @@ fn addr_reads(program: &Program, routine: &Routine, lvalue: &Expr, out: &mut BTr
 
 /// Classifies the shared location an lvalue *writes* (plus any reads its
 /// address computation performs).
-pub fn lvalue_effects(
-    program: &Program,
-    routine: &Routine,
-    lvalue: &Expr,
-    effects: &mut Effects,
-) {
+pub fn lvalue_effects(program: &Program, routine: &Routine, lvalue: &Expr, effects: &mut Effects) {
     match &lvalue.kind {
         ExprKind::Var(name) => {
             if routine.local_slot(name).is_some() {
@@ -205,10 +200,12 @@ pub fn instr_effects(program: &Program, routine: &Routine, instr: &Instr) -> Eff
             for target in lhs {
                 lvalue_effects(program, routine, target, &mut effects);
             }
-            let shared_write = effects
-                .writes
-                .iter()
-                .any(|w| matches!(w, AbsLoc::Global(_) | AbsLoc::HeapUnknown | AbsLoc::Region(_)));
+            let shared_write = effects.writes.iter().any(|w| {
+                matches!(
+                    w,
+                    AbsLoc::Global(_) | AbsLoc::HeapUnknown | AbsLoc::Region(_)
+                )
+            });
             effects.buffered = !sc && shared_write;
         }
         Instr::Malloc { into, .. } => {
@@ -252,7 +249,11 @@ pub fn instr_effects(program: &Program, routine: &Routine, instr: &Instr) -> Eff
         Instr::Guard { cond, .. } | Instr::Assert(cond) | Instr::Assume(cond) => {
             reads_of(cond, &mut effects);
         }
-        Instr::Somehow { requires, modifies, ensures } => {
+        Instr::Somehow {
+            requires,
+            modifies,
+            ensures,
+        } => {
             for clause in requires.iter().chain(ensures) {
                 reads_of(clause, &mut effects);
             }
@@ -292,7 +293,12 @@ pub fn stmt_touches_var(stmt: &Stmt, var: &str) -> bool {
         use ExprKind::*;
         match &e.kind {
             Var(name) => name == var,
-            Unary(_, a) | AddrOf(a) | Deref(a) | Old(a) | Allocated(a) | AllocatedArray(a)
+            Unary(_, a)
+            | AddrOf(a)
+            | Deref(a)
+            | Old(a)
+            | Allocated(a)
+            | AllocatedArray(a)
             | Field(a, _) => in_expr(a, var),
             Binary(_, a, b) | Index(a, b) => in_expr(a, var) || in_expr(b, var),
             Call(_, args) | SeqLit(args) => args.iter().any(|a| in_expr(a, var)),
@@ -324,7 +330,11 @@ pub fn stmt_touches_var(stmt: &Stmt, var: &str) -> bool {
         | StmtKind::Assume(e)
         | StmtKind::Dealloc(e)
         | StmtKind::Join(e) => in_expr(e, var),
-        StmtKind::Somehow { requires, modifies, ensures } => requires
+        StmtKind::Somehow {
+            requires,
+            modifies,
+            ensures,
+        } => requires
             .iter()
             .chain(modifies)
             .chain(ensures)
@@ -417,10 +427,8 @@ mod tests {
 
     #[test]
     fn stmt_touches_var_sees_reads_and_writes() {
-        let module = parse_module(
-            "level L { var x: uint32; void main() { if (x < 1) { } } }",
-        )
-        .unwrap();
+        let module =
+            parse_module("level L { var x: uint32; void main() { if (x < 1) { } } }").unwrap();
         let main = module.levels[0].method("main").unwrap();
         let stmt = &main.body.as_ref().unwrap().stmts[0];
         assert!(stmt_touches_var(stmt, "x"));

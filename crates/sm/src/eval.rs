@@ -93,12 +93,7 @@ pub struct EvalCtx<'a> {
 
 impl<'a> EvalCtx<'a> {
     /// Creates a context for `tid` evaluating against `state`.
-    pub fn new(
-        program: &'a Program,
-        state: &'a ProgState,
-        tid: Tid,
-        nondets: &'a [Value],
-    ) -> Self {
+    pub fn new(program: &'a Program, state: &'a ProgState, tid: Tid, nondets: &'a [Value]) -> Self {
         EvalCtx {
             program,
             state,
@@ -128,14 +123,20 @@ impl<'a> EvalCtx<'a> {
     }
 
     fn lookup_bound(&self, name: &str) -> Option<Value> {
-        self.bound.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.clone())
+        self.bound
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
     }
 
     /// Resolves a variable name to a place (bound variables are values, not
     /// places, and are rejected).
     fn var_place(&self, name: &str) -> EvalResult<Place> {
         if self.lookup_bound(name).is_some() {
-            return Err(EvalErr::Stuck(format!("bound variable `{name}` is not an lvalue")));
+            return Err(EvalErr::Stuck(format!(
+                "bound variable `{name}` is not an lvalue"
+            )));
         }
         // Local of the top frame?
         if let Some(thread) = self.state.thread(self.tid) {
@@ -143,21 +144,29 @@ impl<'a> EvalCtx<'a> {
                 let routine = &self.program.routines[frame.routine as usize];
                 if let Some(slot) = routine.local_slot(name) {
                     return Ok(match &frame.locals[slot] {
-                        LocalCell::Val(_) => {
-                            Place { base: PlaceBase::Local(slot), path: Vec::new() }
-                        }
-                        LocalCell::Obj(id) => {
-                            Place { base: PlaceBase::Heap(*id), path: Vec::new() }
-                        }
+                        LocalCell::Val(_) => Place {
+                            base: PlaceBase::Local(slot),
+                            path: Vec::new(),
+                        },
+                        LocalCell::Obj(id) => Place {
+                            base: PlaceBase::Heap(*id),
+                            path: Vec::new(),
+                        },
                     });
                 }
             }
         }
         if let Some(index) = self.program.global_index(name) {
-            return Ok(Place { base: PlaceBase::Heap(ObjectId(index)), path: Vec::new() });
+            return Ok(Place {
+                base: PlaceBase::Heap(ObjectId(index)),
+                path: Vec::new(),
+            });
         }
         if let Some(index) = self.program.ghost_index(name) {
-            return Ok(Place { base: PlaceBase::Ghost(index as usize), path: Vec::new() });
+            return Ok(Place {
+                base: PlaceBase::Ghost(index as usize),
+                path: Vec::new(),
+            });
         }
         Err(EvalErr::Stuck(format!("unknown variable `{name}`")))
     }
@@ -169,19 +178,22 @@ impl<'a> EvalCtx<'a> {
             ExprKind::Deref(inner) => {
                 let ptr = self.eval(inner)?;
                 match ptr {
-                    Value::Ptr(Some(p)) => {
-                        Ok(Place { base: PlaceBase::Heap(p.object), path: p.path })
-                    }
+                    Value::Ptr(Some(p)) => Ok(Place {
+                        base: PlaceBase::Heap(p.object),
+                        path: p.path,
+                    }),
                     Value::Ptr(None) => Err(UbReason::NullDereference.into()),
-                    other => Err(EvalErr::Stuck(format!("dereference of non-pointer {other}"))),
+                    other => Err(EvalErr::Stuck(format!(
+                        "dereference of non-pointer {other}"
+                    ))),
                 }
             }
             ExprKind::Field(base, field) => {
                 let mut place = self.eval_place(base)?;
                 let node = self.place_shape(&place)?;
-                let index = node.field_index(field).ok_or_else(|| {
-                    EvalErr::Stuck(format!("no field `{field}` at this place"))
-                })?;
+                let index = node
+                    .field_index(field)
+                    .ok_or_else(|| EvalErr::Stuck(format!("no field `{field}` at this place")))?;
                 place.path.push(index);
                 Ok(place)
             }
@@ -212,8 +224,10 @@ impl<'a> EvalCtx<'a> {
     pub fn read_place_node(&self, place: &Place) -> EvalResult<MemNode> {
         match &place.base {
             PlaceBase::Local(slot) => {
-                let thread =
-                    self.state.thread(self.tid).ok_or(EvalErr::Ub(UbReason::FreedAccess))?;
+                let thread = self
+                    .state
+                    .thread(self.tid)
+                    .ok_or(EvalErr::Ub(UbReason::FreedAccess))?;
                 let frame = thread
                     .frames
                     .last()
@@ -224,8 +238,10 @@ impl<'a> EvalCtx<'a> {
                 }
             }
             PlaceBase::Heap(object) => {
-                let loc =
-                    crate::heap::Location { object: *object, path: place.path.clone() };
+                let loc = crate::heap::Location {
+                    object: *object,
+                    path: place.path.clone(),
+                };
                 Ok(self.state.read_node(self.tid, &loc)?)
             }
             PlaceBase::Ghost(slot) => {
@@ -251,7 +267,9 @@ impl<'a> EvalCtx<'a> {
     pub fn read_place(&self, place: &Place) -> EvalResult<Value> {
         match self.read_place_node(place)? {
             MemNode::Leaf(value) => Ok(value),
-            _ => Err(EvalErr::Stuck("composite value used where a primitive is needed".into())),
+            _ => Err(EvalErr::Stuck(
+                "composite value used where a primitive is needed".into(),
+            )),
         }
     }
 
@@ -264,7 +282,10 @@ impl<'a> EvalCtx<'a> {
             ExprKind::Nondet => self.take_nondet(),
             ExprKind::Me => Ok(Value::tid(self.tid)),
             ExprKind::SbEmpty => Ok(Value::Bool(
-                self.state.thread(self.tid).map(|t| t.buffer.is_empty()).unwrap_or(true),
+                self.state
+                    .thread(self.tid)
+                    .map(|t| t.buffer.is_empty())
+                    .unwrap_or(true),
             )),
             ExprKind::Var(name) => {
                 if let Some(value) = self.lookup_bound(name) {
@@ -281,9 +302,10 @@ impl<'a> EvalCtx<'a> {
             ExprKind::AddrOf(inner) => {
                 let place = self.eval_place(inner)?;
                 match place.base {
-                    PlaceBase::Heap(object) => {
-                        Ok(Value::Ptr(Some(PtrVal { object, path: place.path })))
-                    }
+                    PlaceBase::Heap(object) => Ok(Value::Ptr(Some(PtrVal {
+                        object,
+                        path: place.path,
+                    }))),
                     _ => Err(EvalErr::Stuck(
                         "cannot take the address of a non-addressable variable".into(),
                     )),
@@ -300,9 +322,9 @@ impl<'a> EvalCtx<'a> {
                 self.read_place(&place)
             }
             ExprKind::Old(inner) => {
-                let old_state = self.old_state.ok_or_else(|| {
-                    EvalErr::Stuck("`old(…)` outside a two-state context".into())
-                })?;
+                let old_state = self
+                    .old_state
+                    .ok_or_else(|| EvalErr::Stuck("`old(…)` outside a two-state context".into()))?;
                 let mut sub = EvalCtx {
                     program: self.program,
                     state: old_state,
@@ -322,7 +344,9 @@ impl<'a> EvalCtx<'a> {
                 match value {
                     Value::Ptr(Some(p)) => Ok(Value::Bool(self.state.heap.is_valid(p.object))),
                     Value::Ptr(None) => Ok(Value::Bool(false)),
-                    other => Err(EvalErr::Stuck(format!("allocated() of non-pointer {other}"))),
+                    other => Err(EvalErr::Stuck(format!(
+                        "allocated() of non-pointer {other}"
+                    ))),
                 }
             }
             ExprKind::AllocatedArray(inner) => {
@@ -337,23 +361,21 @@ impl<'a> EvalCtx<'a> {
                         Ok(Value::Bool(ok))
                     }
                     Value::Ptr(None) => Ok(Value::Bool(false)),
-                    other => {
-                        Err(EvalErr::Stuck(format!("allocated_array() of non-pointer {other}")))
-                    }
+                    other => Err(EvalErr::Stuck(format!(
+                        "allocated_array() of non-pointer {other}"
+                    ))),
                 }
             }
             ExprKind::Call(name, args) => self.call(name, args),
             ExprKind::SeqLit(elems) => {
-                let values: Vec<Value> =
-                    elems.iter().map(|e| self.eval(e)).collect::<EvalResult<_>>()?;
+                let values: Vec<Value> = elems
+                    .iter()
+                    .map(|e| self.eval(e))
+                    .collect::<EvalResult<_>>()?;
                 Ok(Value::Seq(values))
             }
-            ExprKind::Forall { var, lo, hi, body } => {
-                self.quantify(var, lo, hi, body, true)
-            }
-            ExprKind::Exists { var, lo, hi, body } => {
-                self.quantify(var, lo, hi, body, false)
-            }
+            ExprKind::Forall { var, lo, hi, body } => self.quantify(var, lo, hi, body, true),
+            ExprKind::Exists { var, lo, hi, body } => self.quantify(var, lo, hi, body, false),
         }
     }
 
@@ -376,7 +398,9 @@ impl<'a> EvalCtx<'a> {
                 self.cursor = saved_cursor;
                 Err(EvalErr::Stuck("not a ghost collection".into()))
             }
-            ExprKind::Old(_) | ExprKind::Call(_, _) | ExprKind::SeqLit(_)
+            ExprKind::Old(_)
+            | ExprKind::Call(_, _)
+            | ExprKind::SeqLit(_)
             | ExprKind::Binary(_, _, _) => {
                 let value = self.eval(base)?;
                 if matches!(value, Value::Seq(_) | Value::Map(_)) {
@@ -427,7 +451,9 @@ impl<'a> EvalCtx<'a> {
             .as_int()
             .ok_or_else(|| EvalErr::Stuck("non-numeric quantifier bound".into()))?;
         if hi - lo > MAX_QUANT_RANGE {
-            return Err(EvalErr::Stuck("quantifier range too large to evaluate".into()));
+            return Err(EvalErr::Stuck(
+                "quantifier range too large to evaluate".into(),
+            ));
         }
         let mut i = lo;
         while i < hi {
@@ -564,11 +590,7 @@ impl<'a> EvalCtx<'a> {
         // Numeric operations.
         let (a, b) = match (lhs.as_int(), rhs.as_int()) {
             (Some(a), Some(b)) => (a, b),
-            _ => {
-                return Err(EvalErr::Stuck(format!(
-                    "`{op}` applied to {lhs} and {rhs}"
-                )))
-            }
+            _ => return Err(EvalErr::Stuck(format!("`{op}` applied to {lhs} and {rhs}"))),
         };
         if op.is_comparison() {
             let result = match op {
@@ -625,13 +647,17 @@ impl<'a> EvalCtx<'a> {
                     .unwrap_or_else(|| wrap_overflowed(op, a, b, ty));
                 Ok(Value::int(ty, wrapped))
             }
-            None => exact.map(Value::MathInt).ok_or_else(|| UbReason::MathOverflow.into()),
+            None => exact
+                .map(Value::MathInt)
+                .ok_or_else(|| UbReason::MathOverflow.into()),
         }
     }
 
     fn call(&mut self, name: &str, args: &[Expr]) -> EvalResult<Value> {
-        let values: Vec<Value> =
-            args.iter().map(|a| self.eval(a)).collect::<EvalResult<_>>()?;
+        let values: Vec<Value> = args
+            .iter()
+            .map(|a| self.eval(a))
+            .collect::<EvalResult<_>>()?;
         if let Some(result) = builtin(name, &values)? {
             return Ok(result);
         }
@@ -649,7 +675,8 @@ impl<'a> EvalCtx<'a> {
         }
         let saved_len = self.bound.len();
         for (param, value) in func.params.iter().zip(values) {
-            self.bound.push((param.name.clone(), value.coerce_to(&param.ty)));
+            self.bound
+                .push((param.name.clone(), value.coerce_to(&param.ty)));
         }
         self.depth += 1;
         let result = self.eval(&func.body);
@@ -667,7 +694,10 @@ pub fn normalize_key(value: Value) -> Value {
         Value::Seq(elems) => Value::Seq(elems.into_iter().map(normalize_key).collect()),
         Value::Set(elems) => Value::Set(elems.into_iter().map(normalize_key).collect()),
         Value::Map(entries) => Value::Map(
-            entries.into_iter().map(|(k, v)| (normalize_key(k), normalize_key(v))).collect(),
+            entries
+                .into_iter()
+                .map(|(k, v)| (normalize_key(k), normalize_key(v)))
+                .collect(),
         ),
         Value::Opt(Some(inner)) => Value::Opt(Some(Box::new(normalize_key(*inner)))),
         other => other,
@@ -714,17 +744,13 @@ pub fn builtin(name: &str, args: &[Value]) -> EvalResult<Option<Value>> {
             out.remove(&normalize_key(key.clone()));
             Value::Map(out)
         }
-        ("map_set" | "map_get" | "map_contains" | "map_remove", _) => {
-            return Err(bad("a map"))
-        }
+        ("map_set" | "map_get" | "map_contains" | "map_remove", _) => return Err(bad("a map")),
         ("some", [value]) => Value::Opt(Some(Box::new(value.clone()))),
         ("is_some", [Value::Opt(inner)]) => Value::Bool(inner.is_some()),
         ("is_none", [Value::Opt(inner)]) => Value::Bool(inner.is_none()),
         ("is_some" | "is_none", _) => return Err(bad("an option")),
         ("unwrap", [Value::Opt(Some(inner))]) => (**inner).clone(),
-        ("unwrap", [Value::Opt(None)]) => {
-            return Err(EvalErr::Ub(UbReason::GhostPartialOperation))
-        }
+        ("unwrap", [Value::Opt(None)]) => return Err(EvalErr::Ub(UbReason::GhostPartialOperation)),
         ("unwrap", _) => return Err(bad("an option")),
         ("update", [Value::Seq(elems), index, value]) => {
             let i = index.as_int().ok_or_else(|| bad("a numeric index"))?;
@@ -851,7 +877,9 @@ mod tests {
     #[test]
     fn builtin_set_and_map_ops() {
         let set = Value::Set(Default::default());
-        let set = builtin("set_add", &[set, Value::MathInt(3)]).unwrap().unwrap();
+        let set = builtin("set_add", &[set, Value::MathInt(3)])
+            .unwrap()
+            .unwrap();
         assert_eq!(
             builtin("set_contains", &[set.clone(), Value::int(IntType::U32, 3)]),
             Ok(Some(Value::Bool(true))),

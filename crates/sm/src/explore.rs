@@ -8,8 +8,20 @@
 //! refinement checker in `armada-verify` walks these state graphs, and
 //! strategy failure tests rely on exploration surfacing assertion failures,
 //! UB, and ownership violations.
+//!
+//! Exploration is parallel when [`Bounds::jobs`] > 1: a work-stealing
+//! frontier (shared queue, idle workers sleep on a condvar) with a sharded
+//! seen-set (`jobs * 4` mutex-protected hash sets keyed by state hash) so
+//! membership checks on distinct states rarely contend. The reachable set is
+//! a fixpoint, so any completion order yields the same result; terminal
+//! states are sorted before returning, making serial and parallel runs
+//! byte-identical whenever the exploration is not truncated.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 use crate::program::{Instr, Program};
 use crate::state::{initial_state, ProgState, Termination};
@@ -20,7 +32,12 @@ fn collect_expr_literals(expr: &armada_lang::ast::Expr, out: &mut Vec<i128>) {
     use armada_lang::ast::ExprKind::*;
     match &expr.kind {
         IntLit(value) => out.push(*value),
-        Unary(_, a) | AddrOf(a) | Deref(a) | Old(a) | Allocated(a) | AllocatedArray(a)
+        Unary(_, a)
+        | AddrOf(a)
+        | Deref(a)
+        | Old(a)
+        | Allocated(a)
+        | AllocatedArray(a)
         | Field(a, _) => collect_expr_literals(a, out),
         Binary(_, a, b) | Index(a, b) => {
             collect_expr_literals(a, out);
@@ -50,7 +67,11 @@ fn collect_instr_literals(instr: &Instr, out: &mut Vec<i128>) {
         Instr::Guard { cond, .. } | Instr::Assert(cond) | Instr::Assume(cond) => {
             collect_expr_literals(cond, out)
         }
-        Instr::Somehow { requires, modifies, ensures } => {
+        Instr::Somehow {
+            requires,
+            modifies,
+            ensures,
+        } => {
             for e in requires.iter().chain(modifies).chain(ensures) {
                 collect_expr_literals(e, out);
             }
@@ -91,6 +112,10 @@ pub struct Bounds {
     /// Store-buffer capacity per thread; writes stall when full, which both
     /// matches finite hardware buffers and bounds the state space.
     pub max_buffer: usize,
+    /// Worker threads for exploration and refinement checking. `1` (the
+    /// default) runs fully serial; results are identical for any value
+    /// (absent truncation) — parallelism only changes wall-clock time.
+    pub jobs: usize,
 }
 
 impl Bounds {
@@ -101,7 +126,14 @@ impl Bounds {
             max_states: 250_000,
             nondet_ints: vec![0, 1, 2],
             max_buffer: 2,
+            jobs: 1,
         }
+    }
+
+    /// The same bounds with `jobs` worker threads (0 is clamped to 1).
+    pub fn with_jobs(mut self, jobs: usize) -> Bounds {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// The nondet candidate pool: booleans, the configured integers, and
@@ -182,8 +214,28 @@ pub fn explore(program: &Program, bounds: &Bounds) -> Exploration {
     explore_from(program, initial, bounds)
 }
 
-/// Exhaustively explores from a given state.
+/// Exhaustively explores from a given state, with [`Bounds::jobs`] worker
+/// threads.
+///
+/// Serial and parallel runs return identical (sorted) results whenever the
+/// exploration completes without truncation; a truncated parallel run may
+/// cut the state space at a different point than a serial one.
 pub fn explore_from(program: &Program, initial: ProgState, bounds: &Bounds) -> Exploration {
+    let mut result = if bounds.jobs > 1 {
+        explore_parallel(program, initial, bounds)
+    } else {
+        explore_serial(program, initial, bounds)
+    };
+    // Canonical order: terminal classes are sets, not traces. Sorting makes
+    // the output independent of visit order and thus of the worker count.
+    result.exited.sort_unstable();
+    result.assert_failures.sort_unstable();
+    result.ub_states.sort_unstable();
+    result.stuck.sort_unstable();
+    result
+}
+
+fn explore_serial(program: &Program, initial: ProgState, bounds: &Bounds) -> Exploration {
     let pool = bounds.pool_for(program);
     let mut result = Exploration {
         visited: BTreeSet::new(),
@@ -230,6 +282,180 @@ pub fn explore_from(program: &Program, initial: ProgState, bounds: &Bounds) -> E
             result.visited.insert(next.clone());
             frontier.push_back(next);
         }
+    }
+    result
+}
+
+/// The shared frontier of the parallel exploration: a work queue plus the
+/// in-flight count, so workers can distinguish "momentarily empty" from
+/// "globally done" (queue empty AND nobody is expanding).
+struct Frontier {
+    queue: Mutex<(VecDeque<ProgState>, usize)>,
+    wake: Condvar,
+}
+
+impl Frontier {
+    /// Pops work, blocking while the queue is empty but expansions are in
+    /// flight. `None` means the exploration is complete.
+    fn claim(&self) -> Option<ProgState> {
+        let mut guard = self.queue.lock().expect("frontier poisoned");
+        loop {
+            if let Some(state) = guard.0.pop_front() {
+                guard.1 += 1;
+                return Some(state);
+            }
+            if guard.1 == 0 {
+                // Termination: wake every sleeping worker so they see it.
+                self.wake.notify_all();
+                return None;
+            }
+            guard = self.wake.wait(guard).expect("frontier poisoned");
+        }
+    }
+
+    fn publish(&self, state: ProgState) {
+        let mut guard = self.queue.lock().expect("frontier poisoned");
+        guard.0.push_back(state);
+        self.wake.notify_one();
+    }
+
+    fn finish_expansion(&self) {
+        let mut guard = self.queue.lock().expect("frontier poisoned");
+        guard.1 -= 1;
+        if guard.1 == 0 && guard.0.is_empty() {
+            self.wake.notify_all();
+        }
+    }
+}
+
+/// The sharded seen-set: `shards.len()` hash sets, each behind its own
+/// mutex, indexed by the state's hash. Inserts of distinct states land on
+/// distinct shards with high probability, so workers rarely contend.
+struct ShardedSeen {
+    shards: Vec<Mutex<HashSet<ProgState>>>,
+    population: AtomicUsize,
+}
+
+impl ShardedSeen {
+    fn new(shard_count: usize) -> ShardedSeen {
+        ShardedSeen {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(HashSet::new()))
+                .collect(),
+            population: AtomicUsize::new(0),
+        }
+    }
+
+    /// Inserts `state`, returning true if it was new.
+    fn insert(&self, state: &ProgState) -> bool {
+        let mut hasher = DefaultHasher::new();
+        state.hash(&mut hasher);
+        let shard = (hasher.finish() as usize) % self.shards.len();
+        let mut guard = self.shards[shard].lock().expect("seen shard poisoned");
+        if guard.insert(state.clone()) {
+            self.population.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn explore_parallel(program: &Program, initial: ProgState, bounds: &Bounds) -> Exploration {
+    let pool = bounds.pool_for(program);
+    let seen = ShardedSeen::new(bounds.jobs * 4);
+    let frontier = Frontier {
+        queue: Mutex::new((VecDeque::new(), 0)),
+        wake: Condvar::new(),
+    };
+    let truncated = AtomicBool::new(false);
+    seen.insert(&initial);
+    frontier.publish(initial);
+
+    // Each worker accumulates locally and the partial results are merged
+    // after the scope joins — no contention on the result vectors.
+    let partials: Vec<Mutex<Exploration>> = (0..bounds.jobs)
+        .map(|_| {
+            Mutex::new(Exploration {
+                visited: BTreeSet::new(),
+                exited: Vec::new(),
+                assert_failures: Vec::new(),
+                ub_states: Vec::new(),
+                stuck: Vec::new(),
+                truncated: false,
+                transitions: 0,
+            })
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for partial in &partials {
+            scope.spawn(|| {
+                let mut local = partial.lock().expect("partial poisoned");
+                while let Some(state) = frontier.claim() {
+                    match &state.termination {
+                        Termination::Exited => {
+                            local.exited.push(state);
+                            frontier.finish_expansion();
+                            continue;
+                        }
+                        Termination::AssertFailed(_) => {
+                            local.assert_failures.push(state);
+                            frontier.finish_expansion();
+                            continue;
+                        }
+                        Termination::UndefinedBehavior(_) => {
+                            local.ub_states.push(state);
+                            frontier.finish_expansion();
+                            continue;
+                        }
+                        Termination::Running => {}
+                    }
+                    let successors = enabled_steps(program, &state, &pool, bounds.max_buffer);
+                    if successors.is_empty() {
+                        local.stuck.push(state);
+                        frontier.finish_expansion();
+                        continue;
+                    }
+                    for (_, next) in successors {
+                        local.transitions += 1;
+                        if seen.population.load(Ordering::Relaxed) >= bounds.max_states {
+                            truncated.store(true, Ordering::Relaxed);
+                            continue;
+                        }
+                        if seen.insert(&next) {
+                            frontier.publish(next);
+                        }
+                    }
+                    frontier.finish_expansion();
+                }
+            });
+        }
+    });
+
+    let mut result = Exploration {
+        visited: BTreeSet::new(),
+        exited: Vec::new(),
+        assert_failures: Vec::new(),
+        ub_states: Vec::new(),
+        stuck: Vec::new(),
+        truncated: truncated.load(Ordering::Relaxed),
+        transitions: 0,
+    };
+    for partial in partials {
+        let mut local = partial.into_inner().expect("partial poisoned");
+        result.exited.append(&mut local.exited);
+        result.assert_failures.append(&mut local.assert_failures);
+        result.ub_states.append(&mut local.ub_states);
+        result.stuck.append(&mut local.stuck);
+        result.transitions += local.transitions;
+    }
+    // The sharded seen-set is exactly the serial `visited`: every state
+    // ever discovered, terminal or not.
+    for shard in seen.shards {
+        result
+            .visited
+            .extend(shard.into_inner().expect("seen shard poisoned"));
     }
     result
 }
@@ -348,7 +574,10 @@ mod tests {
             }"#,
         );
         let exploration = explore(&p, &Bounds::small());
-        assert!(!exploration.assert_failures.is_empty(), "racy assert must fail somewhere");
+        assert!(
+            !exploration.assert_failures.is_empty(),
+            "racy assert must fail somewhere"
+        );
         assert!(!exploration.exited.is_empty(), "and succeed somewhere else");
     }
 
@@ -380,15 +609,24 @@ mod tests {
             }"#,
         );
         let exploration = explore(&p, &Bounds::small());
-        assert!(exploration.assert_failures.is_empty(), "own writes are always visible");
+        assert!(
+            exploration.assert_failures.is_empty(),
+            "own writes are always visible"
+        );
         let logs: BTreeSet<_> = exploration
             .exited
             .iter()
             .map(|s| s.log.iter().map(|v| v.to_string()).collect::<Vec<_>>())
             .collect();
         // The worker may have read 0 (write still buffered) or 1 (drained).
-        assert!(logs.contains(&vec!["0".to_string()]), "buffered write invisible: {logs:?}");
-        assert!(logs.contains(&vec!["1".to_string()]), "drained write visible: {logs:?}");
+        assert!(
+            logs.contains(&vec!["0".to_string()]),
+            "buffered write invisible: {logs:?}"
+        );
+        assert!(
+            logs.contains(&vec!["1".to_string()]),
+            "drained write visible: {logs:?}"
+        );
     }
 
     #[test]
@@ -405,6 +643,33 @@ mod tests {
         let exploration = explore(&p, &Bounds::small());
         assert!(!exploration.ub_states.is_empty());
         assert!(exploration.exited.is_empty());
+    }
+
+    #[test]
+    fn parallel_exploration_matches_serial() {
+        // A racy program with several interleavings and terminal classes;
+        // every field of the result must agree between jobs=1 and jobs=4.
+        let p = program(
+            r#"level L {
+                var x: uint32;
+                void writer() { x := 1; }
+                void main() {
+                    var t: uint64 := create_thread writer();
+                    var got: uint32 := x;
+                    assert got == 1;
+                    join t;
+                }
+            }"#,
+        );
+        let serial = explore(&p, &Bounds::small());
+        let parallel = explore(&p, &Bounds::small().with_jobs(4));
+        assert_eq!(serial.visited, parallel.visited);
+        assert_eq!(serial.exited, parallel.exited);
+        assert_eq!(serial.assert_failures, parallel.assert_failures);
+        assert_eq!(serial.ub_states, parallel.ub_states);
+        assert_eq!(serial.stuck, parallel.stuck);
+        assert_eq!(serial.transitions, parallel.transitions);
+        assert_eq!(serial.truncated, parallel.truncated);
     }
 
     #[test]

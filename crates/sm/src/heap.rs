@@ -41,12 +41,18 @@ pub struct PtrVal {
 impl PtrVal {
     /// A pointer to the root of `object`.
     pub fn to_root(object: ObjectId) -> PtrVal {
-        PtrVal { object, path: Vec::new() }
+        PtrVal {
+            object,
+            path: Vec::new(),
+        }
     }
 
     /// The memory location this pointer designates.
     pub fn location(&self) -> Location {
-        Location { object: self.object, path: self.path.clone() }
+        Location {
+            object: self.object,
+            path: self.path.clone(),
+        }
     }
 }
 
@@ -143,9 +149,9 @@ impl MemNode {
         let mut node = self;
         for &seg in path {
             node = match node {
-                MemNode::Array(children) => {
-                    children.get_mut(seg as usize).ok_or(UbReason::OutOfBounds)?
-                }
+                MemNode::Array(children) => children
+                    .get_mut(seg as usize)
+                    .ok_or(UbReason::OutOfBounds)?,
                 MemNode::Struct(fields) => {
                     &mut fields.get_mut(seg as usize).ok_or(UbReason::OutOfBounds)?.1
                 }
@@ -158,9 +164,10 @@ impl MemNode {
     /// Resolves a struct field name to its child index at this node.
     pub fn field_index(&self, name: &str) -> Option<u32> {
         match self {
-            MemNode::Struct(fields) => {
-                fields.iter().position(|(field, _)| field == name).map(|i| i as u32)
-            }
+            MemNode::Struct(fields) => fields
+                .iter()
+                .position(|(field, _)| field == name)
+                .map(|i| i as u32),
             _ => None,
         }
     }
@@ -232,7 +239,11 @@ impl Heap {
     /// Allocates a new object and returns its id.
     pub fn alloc(&mut self, node: MemNode, kind: RootKind) -> ObjectId {
         let id = ObjectId(self.objects.len() as u32);
-        self.objects.push(HeapObject { node, status: AllocStatus::Valid, kind });
+        self.objects.push(HeapObject {
+            node,
+            status: AllocStatus::Valid,
+            kind,
+        });
         id
     }
 
@@ -266,7 +277,10 @@ impl Heap {
     ///
     /// Same conditions as [`Heap::read`].
     pub fn write(&mut self, loc: &Location, node: MemNode) -> Result<(), UbReason> {
-        let obj = self.objects.get_mut(loc.object.0 as usize).ok_or(UbReason::FreedAccess)?;
+        let obj = self
+            .objects
+            .get_mut(loc.object.0 as usize)
+            .ok_or(UbReason::FreedAccess)?;
         if obj.status == AllocStatus::Freed {
             return Err(UbReason::FreedAccess);
         }
@@ -287,8 +301,10 @@ impl Heap {
     /// [`UbReason::InvalidDealloc`] unless `ptr` is the root of a live
     /// `malloc` allocation or element 0 of a live `calloc` allocation.
     pub fn dealloc(&mut self, ptr: &PtrVal) -> Result<(), UbReason> {
-        let obj =
-            self.objects.get_mut(ptr.object.0 as usize).ok_or(UbReason::InvalidDealloc)?;
+        let obj = self
+            .objects
+            .get_mut(ptr.object.0 as usize)
+            .ok_or(UbReason::InvalidDealloc)?;
         if obj.status == AllocStatus::Freed {
             return Err(UbReason::FreedAccess);
         }
@@ -342,15 +358,20 @@ impl Heap {
         }
         let mut path = parent_path.to_vec();
         path.push(new_index as u32);
-        Ok(PtrVal { object: ptr.object, path })
+        Ok(PtrVal {
+            object: ptr.object,
+            path,
+        })
     }
 
     /// Pointer subtraction `p - q`, defined only for elements of the same
     /// array.
     pub fn ptr_diff(&self, p: &PtrVal, q: &PtrVal) -> Result<i128, UbReason> {
         self.check_same_array(p, q)?;
-        let (pi, qi) =
-            (*p.path.last().expect("checked") as i128, *q.path.last().expect("checked") as i128);
+        let (pi, qi) = (
+            *p.path.last().expect("checked") as i128,
+            *q.path.last().expect("checked") as i128,
+        );
         Ok(pi - qi)
     }
 
@@ -362,11 +383,7 @@ impl Heap {
 
     /// Pointer equality. Comparing against a pointer into freed memory is UB
     /// (§3.2.4); `null` compares fine with anything.
-    pub fn ptr_eq(
-        &self,
-        p: &Option<PtrVal>,
-        q: &Option<PtrVal>,
-    ) -> Result<bool, UbReason> {
+    pub fn ptr_eq(&self, p: &Option<PtrVal>, q: &Option<PtrVal>) -> Result<bool, UbReason> {
         for side in [p, q].into_iter().flatten() {
             if !self.is_valid(side.object) {
                 return Err(UbReason::FreedAccess);
@@ -416,7 +433,10 @@ mod tests {
     #[test]
     fn read_write_through_paths() {
         let (mut heap, id) = array_heap();
-        let loc = Location { object: id, path: vec![2] };
+        let loc = Location {
+            object: id,
+            path: vec![2],
+        };
         assert_eq!(heap.read(&loc).unwrap().as_leaf(), Some(&u32v(2)));
         heap.write_leaf(&loc, u32v(99)).unwrap();
         assert_eq!(heap.read(&loc).unwrap().as_leaf(), Some(&u32v(99)));
@@ -425,20 +445,27 @@ mod tests {
     #[test]
     fn out_of_bounds_path_is_ub() {
         let (heap, id) = array_heap();
-        let loc = Location { object: id, path: vec![9] };
+        let loc = Location {
+            object: id,
+            path: vec![9],
+        };
         assert_eq!(heap.read(&loc), Err(UbReason::OutOfBounds));
     }
 
     #[test]
     fn freed_access_is_ub() {
         let (mut heap, id) = array_heap();
-        heap.dealloc(&PtrVal { object: id, path: vec![0] }).unwrap();
-        let loc = Location { object: id, path: vec![1] };
+        heap.dealloc(&PtrVal {
+            object: id,
+            path: vec![0],
+        })
+        .unwrap();
+        let loc = Location {
+            object: id,
+            path: vec![1],
+        };
         assert_eq!(heap.read(&loc), Err(UbReason::FreedAccess));
-        assert_eq!(
-            heap.write_leaf(&loc, u32v(0)),
-            Err(UbReason::FreedAccess)
-        );
+        assert_eq!(heap.write_leaf(&loc, u32v(0)), Err(UbReason::FreedAccess));
     }
 
     #[test]
@@ -449,7 +476,10 @@ mod tests {
         // malloc: pointer to root required.
         assert!(heap.dealloc(&PtrVal::to_root(malloc_id)).is_ok());
         // double free is UB.
-        assert_eq!(heap.dealloc(&PtrVal::to_root(malloc_id)), Err(UbReason::FreedAccess));
+        assert_eq!(
+            heap.dealloc(&PtrVal::to_root(malloc_id)),
+            Err(UbReason::FreedAccess)
+        );
         // statics cannot be deallocated.
         assert_eq!(
             heap.dealloc(&PtrVal::to_root(static_id)),
@@ -460,7 +490,10 @@ mod tests {
     #[test]
     fn pointer_arithmetic_stays_in_array() {
         let (heap, id) = array_heap();
-        let base = PtrVal { object: id, path: vec![0] };
+        let base = PtrVal {
+            object: id,
+            path: vec![0],
+        };
         let third = heap.ptr_add(&base, 3).unwrap();
         assert_eq!(third.path, vec![3]);
         // one-past-the-end is representable…
@@ -477,12 +510,24 @@ mod tests {
         let (mut heap, a) = array_heap();
         let node = MemNode::Array((0..4).map(|_| MemNode::Leaf(u32v(0))).collect());
         let b = heap.alloc(node, RootKind::Calloc);
-        let pa = PtrVal { object: a, path: vec![1] };
-        let pb = PtrVal { object: b, path: vec![1] };
+        let pa = PtrVal {
+            object: a,
+            path: vec![1],
+        };
+        let pb = PtrVal {
+            object: b,
+            path: vec![1],
+        };
         assert_eq!(heap.ptr_order(&pa, &pb), Err(UbReason::CrossArrayPointerOp));
         assert_eq!(heap.ptr_diff(&pa, &pb), Err(UbReason::CrossArrayPointerOp));
         assert_eq!(
-            heap.ptr_order(&pa, &PtrVal { object: a, path: vec![3] }),
+            heap.ptr_order(
+                &pa,
+                &PtrVal {
+                    object: a,
+                    path: vec![3]
+                }
+            ),
             Ok(std::cmp::Ordering::Less)
         );
     }
@@ -490,7 +535,10 @@ mod tests {
     #[test]
     fn equality_with_freed_pointer_is_ub() {
         let (mut heap, id) = array_heap();
-        let p = PtrVal { object: id, path: vec![0] };
+        let p = PtrVal {
+            object: id,
+            path: vec![0],
+        };
         assert_eq!(heap.ptr_eq(&Some(p.clone()), &None), Ok(false));
         heap.dealloc(&p).unwrap();
         assert_eq!(heap.ptr_eq(&Some(p), &None), Err(UbReason::FreedAccess));
@@ -529,9 +577,18 @@ mod tests {
             ],
         );
         let mut heap = Heap::new();
-        let id = heap.alloc(MemNode::zero(&Type::Named("S".into()), &structs), RootKind::Malloc);
-        let pa = PtrVal { object: id, path: vec![0] };
-        let pb = PtrVal { object: id, path: vec![1] };
+        let id = heap.alloc(
+            MemNode::zero(&Type::Named("S".into()), &structs),
+            RootKind::Malloc,
+        );
+        let pa = PtrVal {
+            object: id,
+            path: vec![0],
+        };
+        let pb = PtrVal {
+            object: id,
+            path: vec![1],
+        };
         assert_eq!(heap.ptr_order(&pa, &pb), Err(UbReason::CrossArrayPointerOp));
     }
 }

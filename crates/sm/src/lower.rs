@@ -87,8 +87,11 @@ pub fn lower(typed: &TypedModule, level_name: &str) -> Result<Program, LowerErro
 
     // Routine indices are the order of method declarations.
     let methods: Vec<&MethodDecl> = level.methods().collect();
-    let routine_index: BTreeMap<String, u32> =
-        methods.iter().enumerate().map(|(i, m)| (m.name.clone(), i as u32)).collect();
+    let routine_index: BTreeMap<String, u32> = methods
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (m.name.clone(), i as u32))
+        .collect();
 
     for method in &methods {
         let routine = lower_method(method, &routine_index)?;
@@ -197,10 +200,12 @@ fn collect_addr_taken(body: &Block) -> Vec<String> {
                 }
                 expr(inner, names);
             }
-            ExprKind::Unary(_, a) | ExprKind::Deref(a) | ExprKind::Old(a)
-            | ExprKind::Allocated(a) | ExprKind::AllocatedArray(a) | ExprKind::Field(a, _) => {
-                expr(a, names)
-            }
+            ExprKind::Unary(_, a)
+            | ExprKind::Deref(a)
+            | ExprKind::Old(a)
+            | ExprKind::Allocated(a)
+            | ExprKind::AllocatedArray(a)
+            | ExprKind::Field(a, _) => expr(a, names),
             ExprKind::Binary(_, a, b) | ExprKind::Index(a, b) => {
                 expr(a, names);
                 expr(b, names);
@@ -247,14 +252,22 @@ fn collect_addr_taken(body: &Block) -> Vec<String> {
                     expr(a, names);
                 }
             }
-            StmtKind::If { cond, then_block, else_block } => {
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 expr(cond, names);
                 block(then_block, names);
                 if let Some(e) = else_block {
                     block(e, names);
                 }
             }
-            StmtKind::While { cond, invariants, body } => {
+            StmtKind::While {
+                cond,
+                invariants,
+                body,
+            } => {
                 expr(cond, names);
                 for i in invariants {
                     expr(i, names);
@@ -266,7 +279,11 @@ fn collect_addr_taken(body: &Block) -> Vec<String> {
             | StmtKind::Assume(e)
             | StmtKind::Dealloc(e)
             | StmtKind::Join(e) => expr(e, names),
-            StmtKind::Somehow { requires, modifies, ensures } => {
+            StmtKind::Somehow {
+                requires,
+                modifies,
+                ensures,
+            } => {
                 for e in requires.iter().chain(modifies).chain(ensures) {
                     expr(e, names);
                 }
@@ -311,17 +328,28 @@ impl MethodLowerer<'_> {
                  the lowered frame layout is flat, so rename one"
             )));
         }
-        self.locals.push(LocalDef { name: name.to_string(), ty, ghost, addr_taken: false });
+        self.locals.push(LocalDef {
+            name: name.to_string(),
+            ty,
+            ghost,
+            addr_taken: false,
+        });
         Ok(())
     }
 
     fn collect_locals(&mut self, method: &str, stmts: &[Stmt]) -> Result<(), LowerError> {
         for stmt in stmts {
             match &stmt.kind {
-                StmtKind::VarDecl { ghost, name, ty, .. } => {
+                StmtKind::VarDecl {
+                    ghost, name, ty, ..
+                } => {
                     self.declare_local(method, name, ty.clone(), *ghost)?;
                 }
-                StmtKind::If { then_block, else_block, .. } => {
+                StmtKind::If {
+                    then_block,
+                    else_block,
+                    ..
+                } => {
                     self.collect_locals(method, &then_block.stmts)?;
                     if let Some(els) = else_block {
                         self.collect_locals(method, &els.stmts)?;
@@ -363,10 +391,18 @@ impl MethodLowerer<'_> {
             StmtKind::Assign { lhs, rhs, sc } => self.lower_assign(lhs, rhs, *sc),
             StmtKind::CallStmt { method, args } => {
                 let routine = self.resolve_routine(method)?;
-                self.instrs.push(Instr::Call { routine, args: args.clone(), into: None });
+                self.instrs.push(Instr::Call {
+                    routine,
+                    args: args.clone(),
+                    into: None,
+                });
                 Ok(())
             }
-            StmtKind::If { cond, then_block, else_block } => {
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 let guard_at = self.instrs.len();
                 self.instrs.push(Instr::Noop); // placeholder for Guard
                 let then_pc = self.here();
@@ -378,30 +414,45 @@ impl MethodLowerer<'_> {
                         let else_pc = self.here();
                         self.lower_block(els)?;
                         let end = self.here();
-                        self.instrs[guard_at] =
-                            Instr::Guard { cond: cond.clone(), then_pc, else_pc };
+                        self.instrs[guard_at] = Instr::Guard {
+                            cond: cond.clone(),
+                            then_pc,
+                            else_pc,
+                        };
                         self.instrs[jump_at] = Instr::Jump(end);
                     }
                     None => {
                         let end = self.here();
-                        self.instrs[guard_at] =
-                            Instr::Guard { cond: cond.clone(), then_pc, else_pc: end };
+                        self.instrs[guard_at] = Instr::Guard {
+                            cond: cond.clone(),
+                            then_pc,
+                            else_pc: end,
+                        };
                     }
                 }
                 Ok(())
             }
-            StmtKind::While { cond, invariants: _, body } => {
+            StmtKind::While {
+                cond,
+                invariants: _,
+                body,
+            } => {
                 let head = self.here();
                 let guard_at = self.instrs.len();
                 self.instrs.push(Instr::Noop); // placeholder for Guard
                 let body_pc = self.here();
-                self.loop_stack
-                    .push(LoopCtx { break_sites: Vec::new(), continue_target: head });
+                self.loop_stack.push(LoopCtx {
+                    break_sites: Vec::new(),
+                    continue_target: head,
+                });
                 self.lower_block(body)?;
                 self.instrs.push(Instr::Jump(head));
                 let end = self.here();
-                self.instrs[guard_at] =
-                    Instr::Guard { cond: cond.clone(), then_pc: body_pc, else_pc: end };
+                self.instrs[guard_at] = Instr::Guard {
+                    cond: cond.clone(),
+                    then_pc: body_pc,
+                    else_pc: end,
+                };
                 let ctx = self.loop_stack.pop().expect("pushed above");
                 for site in ctx.break_sites {
                     self.instrs[site] = Instr::Jump(end);
@@ -428,7 +479,9 @@ impl MethodLowerer<'_> {
                 Ok(())
             }
             StmtKind::Return(value) => {
-                self.instrs.push(Instr::Ret { value: value.clone() });
+                self.instrs.push(Instr::Ret {
+                    value: value.clone(),
+                });
                 Ok(())
             }
             StmtKind::Assert(cond) => {
@@ -439,7 +492,11 @@ impl MethodLowerer<'_> {
                 self.instrs.push(Instr::Assume(cond.clone()));
                 Ok(())
             }
-            StmtKind::Somehow { requires, modifies, ensures } => {
+            StmtKind::Somehow {
+                requires,
+                modifies,
+                ensures,
+            } => {
                 self.instrs.push(Instr::Somehow {
                     requires: requires.clone(),
                     modifies: modifies.clone(),
@@ -516,7 +573,11 @@ impl MethodLowerer<'_> {
                     _ => unreachable!("checked all_exprs"),
                 })
                 .collect();
-            self.instrs.push(Instr::Assign { lhs: lhs.to_vec(), rhs: exprs, sc });
+            self.instrs.push(Instr::Assign {
+                lhs: lhs.to_vec(),
+                rhs: exprs,
+                sc,
+            });
             return Ok(());
         }
         if lhs.len() != 1 || rhs.len() != 1 {
@@ -527,7 +588,10 @@ impl MethodLowerer<'_> {
         let target = lhs[0].clone();
         match &rhs[0] {
             Rhs::Malloc { ty, .. } => {
-                self.instrs.push(Instr::Malloc { into: target, ty: ty.clone() });
+                self.instrs.push(Instr::Malloc {
+                    into: target,
+                    ty: ty.clone(),
+                });
             }
             Rhs::Calloc { ty, count, .. } => {
                 self.instrs.push(Instr::Calloc {
@@ -585,13 +649,18 @@ mod tests {
         )
         .unwrap();
         let main = &program.routines[program.main as usize];
-        let guards =
-            main.instrs.iter().filter(|i| matches!(i, Instr::Guard { .. })).count();
+        let guards = main
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Guard { .. }))
+            .count();
         assert_eq!(guards, 2, "one for while, one for if");
         // Every guard / jump target is in range.
         for instr in &main.instrs {
             match instr {
-                Instr::Guard { then_pc, else_pc, .. } => {
+                Instr::Guard {
+                    then_pc, else_pc, ..
+                } => {
                     assert!((*then_pc as usize) < main.instrs.len());
                     assert!((*else_pc as usize) <= main.instrs.len());
                 }
@@ -680,7 +749,11 @@ mod tests {
         )
         .unwrap();
         let main = &program.routines[program.main as usize];
-        let jumps = main.instrs.iter().filter(|i| matches!(i, Instr::Jump(_))).count();
+        let jumps = main
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Jump(_)))
+            .count();
         assert!(jumps >= 3, "loop back-edge, continue, break; got {jumps}");
     }
 

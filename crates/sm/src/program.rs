@@ -31,7 +31,10 @@ impl Pc {
 
     /// The next instruction in the same routine.
     pub fn next(self) -> Pc {
-        Pc { routine: self.routine, instr: self.instr + 1 }
+        Pc {
+            routine: self.routine,
+            instr: self.instr + 1,
+        }
     }
 }
 
@@ -187,20 +190,34 @@ impl Instr {
                 let op = if *sc { "::=" } else { ":=" };
                 format!(
                     "{} {op} {}",
-                    lhs.iter().map(expr_to_string).collect::<Vec<_>>().join(", "),
-                    rhs.iter().map(expr_to_string).collect::<Vec<_>>().join(", ")
+                    lhs.iter()
+                        .map(expr_to_string)
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    rhs.iter()
+                        .map(expr_to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )
             }
             Instr::Malloc { into, ty } => {
                 format!("{} := malloc({ty})", expr_to_string(into))
             }
             Instr::Calloc { into, ty, count } => {
-                format!("{} := calloc({ty}, {})", expr_to_string(into), expr_to_string(count))
+                format!(
+                    "{} := calloc({ty}, {})",
+                    expr_to_string(into),
+                    expr_to_string(count)
+                )
             }
             Instr::CreateThread { routine, .. } => format!("create_thread r{routine}"),
             Instr::Call { routine, .. } => format!("call r{routine}"),
             Instr::Ret { .. } => "return".to_string(),
-            Instr::Guard { cond, then_pc, else_pc } => {
+            Instr::Guard {
+                cond,
+                then_pc,
+                else_pc,
+            } => {
                 format!("if {} goto {then_pc} else {else_pc}", expr_to_string(cond))
             }
             Instr::Jump(target) => format!("goto {target}"),
@@ -267,22 +284,34 @@ pub struct Program {
 impl Program {
     /// Resolves a routine name to its index.
     pub fn routine_index(&self, name: &str) -> Option<u32> {
-        self.routines.iter().position(|r| r.name == name).map(|i| i as u32)
+        self.routines
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| i as u32)
     }
 
     /// Resolves a non-ghost global name to its index (= heap object id).
     pub fn global_index(&self, name: &str) -> Option<u32> {
-        self.globals.iter().position(|g| g.name == name).map(|i| i as u32)
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| i as u32)
     }
 
     /// Resolves a ghost global name to its slot.
     pub fn ghost_index(&self, name: &str) -> Option<u32> {
-        self.ghosts.iter().position(|g| g.name == name).map(|i| i as u32)
+        self.ghosts
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| i as u32)
     }
 
     /// The instruction at `pc`, if it exists.
     pub fn instr_at(&self, pc: Pc) -> Option<&Instr> {
-        self.routines.get(pc.routine as usize)?.instrs.get(pc.instr as usize)
+        self.routines
+            .get(pc.routine as usize)?
+            .instrs
+            .get(pc.instr as usize)
     }
 
     /// Renders the whole program as an instruction listing, used in

@@ -180,7 +180,11 @@ impl ProgState {
     /// Applies the oldest buffered write of `tid` to global memory.
     /// Returns `false` if the buffer was empty.
     pub fn drain_one(&mut self, tid: Tid) -> Result<bool, UbReason> {
-        let entry = match self.threads.get_mut(&tid).and_then(|t| t.buffer.pop_front()) {
+        let entry = match self
+            .threads
+            .get_mut(&tid)
+            .and_then(|t| t.buffer.pop_front())
+        {
             Some(entry) => entry,
             None => return Ok(false),
         };
@@ -205,7 +209,11 @@ impl fmt::Display for ProgState {
                 thread.status
             )?;
         }
-        writeln!(f, "  log: {:?}", self.log.iter().map(|v| v.to_string()).collect::<Vec<_>>())
+        writeln!(
+            f,
+            "  log: {:?}",
+            self.log.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        )
     }
 }
 
@@ -279,7 +287,10 @@ mod tests {
     fn tso_read_sees_own_buffer_newest_first() {
         let mut heap = Heap::new();
         let obj = heap.alloc(MemNode::Leaf(Value::int(IntType::U32, 0)), RootKind::Static);
-        let loc = Location { object: obj, path: vec![] };
+        let loc = Location {
+            object: obj,
+            path: vec![],
+        };
         let mut state = ProgState {
             threads: BTreeMap::new(),
             heap,
@@ -295,20 +306,38 @@ mod tests {
             atomic_depth: 0,
             status: ThreadStatus::Active,
         };
-        thread.buffer.push_back(BufferedWrite { loc: loc.clone(), value: Value::int(IntType::U32, 1) });
-        thread.buffer.push_back(BufferedWrite { loc: loc.clone(), value: Value::int(IntType::U32, 2) });
+        thread.buffer.push_back(BufferedWrite {
+            loc: loc.clone(),
+            value: Value::int(IntType::U32, 1),
+        });
+        thread.buffer.push_back(BufferedWrite {
+            loc: loc.clone(),
+            value: Value::int(IntType::U32, 2),
+        });
         state.threads.insert(1, thread);
 
         // Own view: newest buffered write.
-        assert_eq!(state.read_leaf(1, &loc).unwrap(), Value::int(IntType::U32, 2));
+        assert_eq!(
+            state.read_leaf(1, &loc).unwrap(),
+            Value::int(IntType::U32, 2)
+        );
         // Another thread: global memory.
-        assert_eq!(state.read_leaf(9, &loc).unwrap(), Value::int(IntType::U32, 0));
+        assert_eq!(
+            state.read_leaf(9, &loc).unwrap(),
+            Value::int(IntType::U32, 0)
+        );
 
         // Drain applies FIFO: after one drain, memory holds the *older* write.
         assert!(state.drain_one(1).unwrap());
-        assert_eq!(state.read_leaf(9, &loc).unwrap(), Value::int(IntType::U32, 1));
+        assert_eq!(
+            state.read_leaf(9, &loc).unwrap(),
+            Value::int(IntType::U32, 1)
+        );
         assert!(state.drain_one(1).unwrap());
-        assert_eq!(state.read_leaf(9, &loc).unwrap(), Value::int(IntType::U32, 2));
+        assert_eq!(
+            state.read_leaf(9, &loc).unwrap(),
+            Value::int(IntType::U32, 2)
+        );
         assert!(!state.drain_one(1).unwrap());
     }
 }

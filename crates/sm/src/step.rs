@@ -48,17 +48,28 @@ pub struct Step {
 impl Step {
     /// An instruction step with no nondeterminism.
     pub fn instr(tid: Tid) -> Step {
-        Step { tid, kind: StepKind::Instr { nondets: Vec::new() } }
+        Step {
+            tid,
+            kind: StepKind::Instr {
+                nondets: Vec::new(),
+            },
+        }
     }
 
     /// An instruction step with the given nondet values.
     pub fn instr_with(tid: Tid, nondets: Vec<Value>) -> Step {
-        Step { tid, kind: StepKind::Instr { nondets } }
+        Step {
+            tid,
+            kind: StepKind::Instr { nondets },
+        }
     }
 
     /// A store-buffer drain step.
     pub fn drain(tid: Tid) -> Step {
-        Step { tid, kind: StepKind::Drain }
+        Step {
+            tid,
+            kind: StepKind::Drain,
+        }
     }
 }
 
@@ -179,7 +190,11 @@ fn exec_instr(
             thread.pc = pc.next();
             Ok(new_state)
         }
-        Instr::Guard { cond, then_pc, else_pc } => {
+        Instr::Guard {
+            cond,
+            then_pc,
+            else_pc,
+        } => {
             let value = ctx.eval(cond).map_err(lift)?;
             let cond = value.as_bool().ok_or(ExecStop::Disabled)?;
             let target = if cond { *then_pc } else { *else_pc };
@@ -201,13 +216,18 @@ fn exec_instr(
             }
         }
         Instr::Print(args) => {
-            let values: Vec<Value> =
-                args.iter().map(|a| ctx.eval(a)).collect::<Result<_, _>>().map_err(lift)?;
+            let values: Vec<Value> = args
+                .iter()
+                .map(|a| ctx.eval(a))
+                .collect::<Result<_, _>>()
+                .map_err(lift)?;
             let mut new_state = state.clone();
             // Log entries are observations, not typed storage: normalize so
             // that a `uint32` 1 and a ghost 1 are the same event and levels
             // of different concreteness stay comparable under R.
-            new_state.log.extend(values.into_iter().map(crate::eval::normalize_key));
+            new_state
+                .log
+                .extend(values.into_iter().map(crate::eval::normalize_key));
             set_pc(&mut new_state, tid, pc.next());
             Ok(new_state)
         }
@@ -234,9 +254,7 @@ fn exec_instr(
                     Evaluated::Prim(value) => {
                         write_value(program, &mut new_state, tid, &place, value, *sc, max_buffer)?
                     }
-                    Evaluated::Composite(node) => {
-                        write_node(&mut new_state, tid, &place, node)?
-                    }
+                    Evaluated::Composite(node) => write_node(&mut new_state, tid, &place, node)?,
                 }
             }
             set_pc(&mut new_state, tid, pc.next());
@@ -271,7 +289,10 @@ fn exec_instr(
             let elem = MemNode::zero(ty, &program.structs);
             let node = MemNode::Array(vec![elem; count as usize]);
             let id = new_state.heap.alloc(node, RootKind::Calloc);
-            let ptr = Value::Ptr(Some(PtrVal { object: id, path: vec![0] }));
+            let ptr = Value::Ptr(Some(PtrVal {
+                object: id,
+                path: vec![0],
+            }));
             write_value(program, &mut new_state, tid, &place, ptr, false, max_buffer)?;
             set_pc(&mut new_state, tid, pc.next());
             Ok(new_state)
@@ -295,9 +316,16 @@ fn exec_instr(
             set_pc(&mut new_state, tid, pc.next());
             Ok(new_state)
         }
-        Instr::Call { routine, args, into: _ } => {
-            let values: Vec<Value> =
-                args.iter().map(|a| ctx.eval(a)).collect::<Result<_, _>>().map_err(lift)?;
+        Instr::Call {
+            routine,
+            args,
+            into: _,
+        } => {
+            let values: Vec<Value> = args
+                .iter()
+                .map(|a| ctx.eval(a))
+                .collect::<Result<_, _>>()
+                .map_err(lift)?;
             let mut new_state = state.clone();
             let mut frame =
                 build_frame(program, &mut new_state, *routine, &values).map_err(lift)?;
@@ -310,9 +338,7 @@ fn exec_instr(
         Instr::Ret { value } => {
             let routine = &program.routines[pc.routine as usize];
             let result = match (value, &routine.ret_ty) {
-                (Some(expr), Some(ret_ty)) => {
-                    Some(ctx.eval(expr).map_err(lift)?.coerce_to(ret_ty))
-                }
+                (Some(expr), Some(ret_ty)) => Some(ctx.eval(expr).map_err(lift)?.coerce_to(ret_ty)),
                 (Some(expr), None) => {
                     let _ = ctx.eval(expr).map_err(lift)?;
                     None
@@ -350,23 +376,35 @@ fn exec_instr(
                         let mut caller_ctx = EvalCtx::new(program, &new_state, tid, &[]);
                         let place = caller_ctx.eval_place(&into).map_err(lift)?;
                         write_value(
-                            program, &mut new_state, tid, &place, result, false, max_buffer,
+                            program,
+                            &mut new_state,
+                            tid,
+                            &place,
+                            result,
+                            false,
+                            max_buffer,
                         )?;
                     }
                     Ok(new_state)
                 }
             }
         }
-        Instr::CreateThread { into, routine, args } => {
-            let values: Vec<Value> =
-                args.iter().map(|a| ctx.eval(a)).collect::<Result<_, _>>().map_err(lift)?;
+        Instr::CreateThread {
+            into,
+            routine,
+            args,
+        } => {
+            let values: Vec<Value> = args
+                .iter()
+                .map(|a| ctx.eval(a))
+                .collect::<Result<_, _>>()
+                .map_err(lift)?;
             let into_place = match into {
                 Some(target) => Some(ctx.eval_place(target).map_err(lift)?),
                 None => None,
             };
             let mut new_state = state.clone();
-            let frame =
-                build_frame(program, &mut new_state, *routine, &values).map_err(lift)?;
+            let frame = build_frame(program, &mut new_state, *routine, &values).map_err(lift)?;
             let new_tid = new_state.next_tid;
             new_state.next_tid += 1;
             new_state.threads.insert(
@@ -411,9 +449,13 @@ fn exec_instr(
                 ))),
             }
         }
-        Instr::Somehow { requires, modifies, ensures } => {
-            exec_somehow(program, state, tid, requires, modifies, ensures, nondets, pc)
-        }
+        Instr::Somehow {
+            requires,
+            modifies,
+            ensures,
+        } => exec_somehow(
+            program, state, tid, requires, modifies, ensures, nondets, pc,
+        ),
     }
 }
 
@@ -452,8 +494,7 @@ fn exec_somehow(
             Some(solution) => {
                 // Deterministic targets like `log == old(log) + [n]` are
                 // computed directly rather than havocked.
-                let mut solve_ctx =
-                    EvalCtx::new(program, &new_state, tid, &[]).with_old(state);
+                let mut solve_ctx = EvalCtx::new(program, &new_state, tid, &[]).with_old(state);
                 match solve_ctx.eval(solution) {
                     Ok(value) => value,
                     Err(EvalErr::Ub(reason)) => {
@@ -572,7 +613,10 @@ fn write_value(
             Ok(())
         }
         PlaceBase::Heap(object) => {
-            let loc = Location { object: *object, path: place.path.clone() };
+            let loc = Location {
+                object: *object,
+                path: place.path.clone(),
+            };
             // Validate the destination and fetch its occupant for coercion.
             let occupant = state
                 .heap
@@ -597,9 +641,10 @@ fn write_value(
                 if thread.buffer.len() >= max_buffer {
                     return Err(ExecStop::Disabled);
                 }
-                thread
-                    .buffer
-                    .push_back(crate::state::BufferedWrite { loc, value: coerced });
+                thread.buffer.push_back(crate::state::BufferedWrite {
+                    loc,
+                    value: coerced,
+                });
             }
             Ok(())
         }
@@ -631,7 +676,10 @@ fn write_node(
             Ok(())
         }
         PlaceBase::Heap(object) => {
-            let loc = Location { object: *object, path: place.path.clone() };
+            let loc = Location {
+                object: *object,
+                path: place.path.clone(),
+            };
             state
                 .heap
                 .write(&loc, node)
@@ -661,12 +709,8 @@ fn coerce_like(occupant: &MemNode, value: Value) -> Option<Value> {
                 None
             }
         }
-        MemNode::Leaf(Value::Bool(_)) => {
-            matches!(value, Value::Bool(_)).then_some(value)
-        }
-        MemNode::Leaf(Value::Ptr(_)) => {
-            matches!(value, Value::Ptr(_)).then_some(value)
-        }
+        MemNode::Leaf(Value::Bool(_)) => matches!(value, Value::Bool(_)).then_some(value),
+        MemNode::Leaf(Value::Ptr(_)) => matches!(value, Value::Ptr(_)).then_some(value),
         _ => Some(value),
     }
 }
@@ -707,7 +751,11 @@ pub fn build_frame(
             locals.push(LocalCell::Val(node));
         }
     }
-    Ok(Frame { routine, locals, call_pc: None })
+    Ok(Frame {
+        routine,
+        locals,
+        call_pc: None,
+    })
 }
 
 /// The maximum number of nondet values `instr` can consume: its syntactic
@@ -722,7 +770,11 @@ pub fn max_nondet_sites(instr: &Instr) -> usize {
         Instr::Guard { cond, .. } | Instr::Assert(cond) | Instr::Assume(cond) => {
             count_nondet_sites(cond)
         }
-        Instr::Somehow { requires, modifies, ensures } => {
+        Instr::Somehow {
+            requires,
+            modifies,
+            ensures,
+        } => {
             let syntactic: usize = requires
                 .iter()
                 .chain(modifies.iter())
@@ -734,16 +786,12 @@ pub fn max_nondet_sites(instr: &Instr) -> usize {
                 .count();
             syntactic + unsolved
         }
-        Instr::Call { args, .. } | Instr::Print(args) => {
-            args.iter().map(count_nondet_sites).sum()
-        }
+        Instr::Call { args, .. } | Instr::Print(args) => args.iter().map(count_nondet_sites).sum(),
         Instr::CreateThread { args, into, .. } => {
             args.iter().map(count_nondet_sites).sum::<usize>()
                 + into.as_ref().map(count_nondet_sites).unwrap_or(0)
         }
-        Instr::Calloc { count, into, .. } => {
-            count_nondet_sites(count) + count_nondet_sites(into)
-        }
+        Instr::Calloc { count, into, .. } => count_nondet_sites(count) + count_nondet_sites(into),
         Instr::Malloc { into, .. } => count_nondet_sites(into),
         Instr::Dealloc(target) | Instr::Join(target) => count_nondet_sites(target),
         Instr::Ret { value } => value.as_ref().map(count_nondet_sites).unwrap_or(0),
@@ -788,7 +836,9 @@ pub fn enabled_steps(
             }
         } else {
             let mut tuple = Vec::with_capacity(sites);
-            enumerate_tuples(program, state, tid, pool, sites, &mut tuple, max_buffer, &mut out);
+            enumerate_tuples(
+                program, state, tid, pool, sites, &mut tuple, max_buffer, &mut out,
+            );
         }
     }
     out
@@ -814,7 +864,16 @@ fn enumerate_tuples(
     }
     for candidate in pool {
         tuple.push(candidate.clone());
-        enumerate_tuples(program, state, tid, pool, remaining - 1, tuple, max_buffer, out);
+        enumerate_tuples(
+            program,
+            state,
+            tid,
+            pool,
+            remaining - 1,
+            tuple,
+            max_buffer,
+            out,
+        );
         tuple.pop();
     }
 }

@@ -43,7 +43,10 @@ pub enum Value {
 impl Value {
     /// Creates a fixed-width integer, wrapping into range.
     pub fn int(ty: IntType, val: i128) -> Value {
-        Value::Int { ty, val: ty.wrap(val) }
+        Value::Int {
+            ty,
+            val: ty.wrap(val),
+        }
     }
 
     /// Creates the unsigned 64-bit value used for thread ids.
@@ -105,9 +108,7 @@ impl Value {
             (Value::Int { val, .. } | Value::MathInt(val), Type::Int(int_ty)) => {
                 Value::int(*int_ty, *val)
             }
-            (Value::Int { val, .. } | Value::MathInt(val), Type::MathInt) => {
-                Value::MathInt(*val)
-            }
+            (Value::Int { val, .. } | Value::MathInt(val), Type::MathInt) => Value::MathInt(*val),
             _ => self.clone(),
         }
     }
@@ -210,24 +211,45 @@ mod tests {
 
     #[test]
     fn int_constructor_wraps() {
-        assert_eq!(Value::int(IntType::U8, 300), Value::Int { ty: IntType::U8, val: 44 });
-        assert_eq!(Value::int(IntType::I8, 200), Value::Int { ty: IntType::I8, val: -56 });
+        assert_eq!(
+            Value::int(IntType::U8, 300),
+            Value::Int {
+                ty: IntType::U8,
+                val: 44
+            }
+        );
+        assert_eq!(
+            Value::int(IntType::I8, 200),
+            Value::Int {
+                ty: IntType::I8,
+                val: -56
+            }
+        );
     }
 
     #[test]
     fn zero_values() {
         assert_eq!(Value::zero_of(&Type::Bool), Some(Value::Bool(false)));
-        assert_eq!(Value::zero_of(&Type::ptr(Type::Bool)), Some(Value::Ptr(None)));
+        assert_eq!(
+            Value::zero_of(&Type::ptr(Type::Bool)),
+            Some(Value::Ptr(None))
+        );
         assert_eq!(Value::zero_of(&Type::array(Type::Bool, 3)), None);
     }
 
     #[test]
     fn coercion_wraps_to_target() {
         let wide = Value::MathInt(257);
-        assert_eq!(wide.coerce_to(&Type::Int(IntType::U8)), Value::int(IntType::U8, 1));
+        assert_eq!(
+            wide.coerce_to(&Type::Int(IntType::U8)),
+            Value::int(IntType::U8, 1)
+        );
         assert_eq!(wide.coerce_to(&Type::MathInt), Value::MathInt(257));
         // Non-numerics pass through unchanged.
-        assert_eq!(Value::Bool(true).coerce_to(&Type::Int(IntType::U8)), Value::Bool(true));
+        assert_eq!(
+            Value::Bool(true).coerce_to(&Type::Int(IntType::U8)),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -242,7 +264,10 @@ mod tests {
     #[test]
     fn display_is_readable() {
         assert_eq!(Value::int(IntType::U32, 7).to_string(), "7");
-        assert_eq!(Value::Seq(vec![Value::MathInt(1), Value::MathInt(2)]).to_string(), "[1, 2]");
+        assert_eq!(
+            Value::Seq(vec![Value::MathInt(1), Value::MathInt(2)]).to_string(),
+            "[1, 2]"
+        );
         assert_eq!(Value::Opt(None).to_string(), "none");
     }
 }

@@ -22,7 +22,11 @@ fn sole_termination(src: &str) -> Termination {
         .collect();
     terminations.sort();
     terminations.dedup();
-    assert_eq!(terminations.len(), 1, "expected a unique outcome: {terminations:?}");
+    assert_eq!(
+        terminations.len(),
+        1,
+        "expected a unique outcome: {terminations:?}"
+    );
     terminations.pop().expect("nonempty")
 }
 
@@ -56,7 +60,10 @@ fn oversized_shift_is_ub() {
             }
         }"#,
     );
-    assert_eq!(termination, Termination::UndefinedBehavior(UbReason::InvalidShift));
+    assert_eq!(
+        termination,
+        Termination::UndefinedBehavior(UbReason::InvalidShift)
+    );
 }
 
 #[test]
@@ -117,7 +124,10 @@ fn join_of_garbage_tid_is_ub() {
             }
         }"#,
     );
-    assert_eq!(termination, Termination::UndefinedBehavior(UbReason::InvalidJoin));
+    assert_eq!(
+        termination,
+        Termination::UndefinedBehavior(UbReason::InvalidJoin)
+    );
 }
 
 #[test]
@@ -149,7 +159,11 @@ fn blocked_assume_deadlocks_rather_than_crashes() {
     );
     assert!(exploration.exited.is_empty());
     assert!(exploration.ub_states.is_empty());
-    assert_eq!(exploration.stuck.len(), 1, "the enablement condition never fires");
+    assert_eq!(
+        exploration.stuck.len(),
+        1,
+        "the enablement condition never fires"
+    );
 }
 
 #[test]

@@ -1,23 +1,24 @@
-//! Property tests for the x86-TSO core: store-buffer laws, heap-model laws,
-//! and coherence of a thread's local view (§3.2.1).
+//! Seeded randomized tests for the x86-TSO core: store-buffer laws,
+//! heap-model laws, and coherence of a thread's local view (§3.2.1).
 
 use armada_lang::ast::{IntType, Type};
+use armada_runtime::prng::run_seeded_cases;
 use armada_sm::heap::{Location, MemNode, PtrVal, RootKind};
 use armada_sm::{Heap, UbReason, Value};
-use proptest::prelude::*;
 
 fn u64v(v: i128) -> Value {
     Value::int(IntType::U64, v)
 }
 
-proptest! {
-    /// FIFO drain: applying a buffer's writes oldest-first makes the newest
-    /// write to each location win — global memory converges to the thread's
-    /// local view.
-    #[test]
-    fn buffer_drain_converges_to_local_view(
-        writes in proptest::collection::vec((0u32..4, 0i128..100), 0..12)
-    ) {
+/// FIFO drain: applying a buffer's writes oldest-first makes the newest
+/// write to each location win — global memory converges to the thread's
+/// local view.
+#[test]
+fn buffer_drain_converges_to_local_view() {
+    run_seeded_cases(0x7503_0001, 256, |rng, case| {
+        let writes: Vec<(u32, i128)> = (0..rng.index(12))
+            .map(|_| (rng.range_u32(0, 4), rng.range_i128(0, 100)))
+            .collect();
         let mut heap = Heap::new();
         let node = MemNode::Array((0..4).map(|_| MemNode::Leaf(u64v(0))).collect());
         let object = heap.alloc(node, RootKind::Calloc);
@@ -29,82 +30,112 @@ proptest! {
         }
         // Drain in FIFO order.
         for &(slot, value) in &writes {
-            let loc = Location { object, path: vec![slot] };
+            let loc = Location {
+                object,
+                path: vec![slot],
+            };
             heap.write_leaf(&loc, u64v(value)).unwrap();
         }
         for slot in 0..4u32 {
-            let loc = Location { object, path: vec![slot] };
-            prop_assert_eq!(
+            let loc = Location {
+                object,
+                path: vec![slot],
+            };
+            assert_eq!(
                 heap.read(&loc).unwrap().as_leaf(),
-                Some(&u64v(view[slot as usize]))
+                Some(&u64v(view[slot as usize])),
+                "case {case}: writes={writes:?}"
             );
         }
-    }
+    });
+}
 
-    /// Pointer arithmetic within an array is associative with itself and
-    /// faithful to index arithmetic; stepping outside the array is UB.
-    #[test]
-    fn pointer_arithmetic_laws(len in 1usize..16, a in 0i128..16, b in -16i128..16) {
+/// Pointer arithmetic within an array is associative with itself and
+/// faithful to index arithmetic; stepping outside the array is UB.
+#[test]
+fn pointer_arithmetic_laws() {
+    run_seeded_cases(0x7503_0002, 256, |rng, case| {
+        let len = 1 + rng.index(15);
+        let a = rng.range_i128(0, 16);
+        let b = rng.range_i128(-16, 16);
         let mut heap = Heap::new();
         let node = MemNode::Array((0..len).map(|_| MemNode::Leaf(u64v(0))).collect());
         let object = heap.alloc(node, RootKind::Calloc);
-        let base = PtrVal { object, path: vec![0] };
+        let base = PtrVal {
+            object,
+            path: vec![0],
+        };
 
         let direct = heap.ptr_add(&base, a + b);
-        let stepped = heap
-            .ptr_add(&base, a)
-            .and_then(|mid| heap.ptr_add(&mid, b));
+        let stepped = heap.ptr_add(&base, a).and_then(|mid| heap.ptr_add(&mid, b));
         match (direct, stepped) {
-            (Ok(p), Ok(q)) => prop_assert_eq!(p, q),
+            (Ok(p), Ok(q)) => assert_eq!(p, q, "case {case}: len={len} a={a} b={b}"),
             // One route can fail where the other succeeds only by leaving
             // the array mid-way; both must agree when both are in bounds.
             (Err(_), _) | (_, Err(_)) => {
                 let total = a + b;
-                prop_assert!(
-                    total < 0 || total > len as i128
-                        || a < 0 || a > len as i128
-                        || a + b < 0
+                assert!(
+                    total < 0 || total > len as i128 || a < 0 || a > len as i128 || a + b < 0,
+                    "case {case}: len={len} a={a} b={b}"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Freed objects are permanently inaccessible, and double free is UB.
-    #[test]
-    fn freed_objects_stay_dead(accesses in proptest::collection::vec(0u32..4, 1..8)) {
+/// Freed objects are permanently inaccessible, and double free is UB.
+#[test]
+fn freed_objects_stay_dead() {
+    run_seeded_cases(0x7503_0003, 256, |rng, case| {
+        let accesses: Vec<u32> = (0..1 + rng.index(7)).map(|_| rng.range_u32(0, 4)).collect();
         let mut heap = Heap::new();
         let node = MemNode::Array((0..4).map(|_| MemNode::Leaf(u64v(9))).collect());
         let object = heap.alloc(node, RootKind::Calloc);
-        heap.dealloc(&PtrVal { object, path: vec![0] }).unwrap();
+        heap.dealloc(&PtrVal {
+            object,
+            path: vec![0],
+        })
+        .unwrap();
         for slot in accesses {
-            let loc = Location { object, path: vec![slot] };
-            prop_assert_eq!(heap.read(&loc), Err(UbReason::FreedAccess));
+            let loc = Location {
+                object,
+                path: vec![slot],
+            };
+            assert_eq!(heap.read(&loc), Err(UbReason::FreedAccess), "case {case}");
         }
-        prop_assert_eq!(
-            heap.dealloc(&PtrVal { object, path: vec![0] }),
-            Err(UbReason::FreedAccess)
+        assert_eq!(
+            heap.dealloc(&PtrVal {
+                object,
+                path: vec![0]
+            }),
+            Err(UbReason::FreedAccess),
+            "case {case}"
         );
-    }
+    });
+}
 
-    /// Zero layouts contain a leaf at every scalar position and respect
-    /// array lengths.
-    #[test]
-    fn zero_layout_shape(len in 0u64..20) {
+/// Zero layouts contain a leaf at every scalar position and respect array
+/// lengths.
+#[test]
+fn zero_layout_shape() {
+    run_seeded_cases(0x7503_0004, 64, |rng, case| {
+        let len = rng.below(20);
         let structs = std::collections::BTreeMap::new();
         let node = MemNode::zero(&Type::array(Type::Int(IntType::U32), len), &structs);
         match node {
             MemNode::Array(children) => {
-                prop_assert_eq!(children.len() as u64, len);
+                assert_eq!(children.len() as u64, len, "case {case}");
                 for child in children {
-                    prop_assert_eq!(
+                    assert_eq!(
                         child.as_leaf(),
-                        Some(&Value::int(IntType::U32, 0))
+                        Some(&Value::int(IntType::U32, 0)),
+                        "case {case}"
                     );
                 }
             }
-            other => prop_assert!(false, "expected array, got {other:?}"),
+            other => panic!("case {case}: expected array, got {other:?}"),
         }
-    }
+    });
 }
 
 #[test]

@@ -82,7 +82,10 @@ pub struct AlignOptions<'a> {
 
 impl Default for AlignOptions<'static> {
     fn default() -> Self {
-        AlignOptions { skip_high: &|_| false, skip_low: &|_| false }
+        AlignOptions {
+            skip_high: &|_| false,
+            skip_low: &|_| false,
+        }
     }
 }
 
@@ -112,19 +115,28 @@ pub fn diff_levels(
     // Methods must match by name (any order).
     for method in low.methods() {
         if high.method(&method.name).is_none() {
-            return Err(format!("method `{}` missing from level `{}`", method.name, high.name));
+            return Err(format!(
+                "method `{}` missing from level `{}`",
+                method.name, high.name
+            ));
         }
     }
     for method in high.methods() {
         if low.method(&method.name).is_none() {
-            return Err(format!("method `{}` missing from level `{}`", method.name, low.name));
+            return Err(format!(
+                "method `{}` missing from level `{}`",
+                method.name, low.name
+            ));
         }
     }
     for low_method in low.methods() {
         let high_method = high.method(&low_method.name).expect("checked above");
         match (&low_method.body, &high_method.body) {
             (Some(low_body), Some(high_body)) => {
-                let mut path = StmtPath { method: low_method.name.clone(), indices: vec![] };
+                let mut path = StmtPath {
+                    method: low_method.name.clone(),
+                    indices: vec![],
+                };
                 align_block(low_body, high_body, &mut path, options, &mut items)?;
             }
             (None, None) => {}
@@ -172,7 +184,10 @@ fn align_block(
         }
         if i < n && (options.skip_low)(&low.stmts[i]) {
             path.indices.push(i);
-            items.push(DiffItem::InsertedLow { path: path.clone(), stmt: low.stmts[i].clone() });
+            items.push(DiffItem::InsertedLow {
+                path: path.clone(),
+                stmt: low.stmts[i].clone(),
+            });
             path.indices.pop();
             i += 1;
             continue;
@@ -206,8 +221,16 @@ fn localize(
 ) -> Result<(), String> {
     match (&low.kind, &high.kind) {
         (
-            StmtKind::If { cond: lc, then_block: lt, else_block: le },
-            StmtKind::If { cond: hc, then_block: ht, else_block: he },
+            StmtKind::If {
+                cond: lc,
+                then_block: lt,
+                else_block: le,
+            },
+            StmtKind::If {
+                cond: hc,
+                then_block: ht,
+                else_block: he,
+            },
         ) => {
             if expr_to_string(lc) != expr_to_string(hc) {
                 items.push(DiffItem::ChangedGuard {
@@ -231,8 +254,12 @@ fn localize(
             Ok(())
         }
         (
-            StmtKind::While { cond: lc, body: lb, .. },
-            StmtKind::While { cond: hc, body: hb, .. },
+            StmtKind::While {
+                cond: lc, body: lb, ..
+            },
+            StmtKind::While {
+                cond: hc, body: hb, ..
+            },
         ) => {
             if expr_to_string(lc) != expr_to_string(hc) {
                 items.push(DiffItem::ChangedGuard {
@@ -245,12 +272,8 @@ fn localize(
         }
         (StmtKind::Block(lb), StmtKind::Block(hb))
         | (StmtKind::ExplicitYield(lb), StmtKind::ExplicitYield(hb))
-        | (StmtKind::Atomic(lb), StmtKind::Atomic(hb)) => {
-            align_block(lb, hb, path, options, items)
-        }
-        (StmtKind::Label(_, li), StmtKind::Label(_, hi)) => {
-            localize(li, hi, path, options, items)
-        }
+        | (StmtKind::Atomic(lb), StmtKind::Atomic(hb)) => align_block(lb, hb, path, options, items),
+        (StmtKind::Label(_, li), StmtKind::Label(_, hi)) => localize(li, hi, path, options, items),
         // A block wrapped in atomicity markers on the high side only: the
         // reduction / combining strategies handle these as whole-statement
         // changes.
@@ -323,7 +346,11 @@ fn keep_stmt(stmt: &mut Stmt, vars: &[String]) -> bool {
             });
             !lhs.is_empty()
         }
-        StmtKind::If { then_block, else_block, .. } => {
+        StmtKind::If {
+            then_block,
+            else_block,
+            ..
+        } => {
             erase_block(then_block, vars);
             if let Some(els) = else_block {
                 erase_block(els, vars);
@@ -400,7 +427,10 @@ mod tests {
             "#,
         );
         let skip = |s: &Stmt| matches!(s.kind, StmtKind::Assume(_));
-        let options = AlignOptions { skip_high: &skip, skip_low: &|_| false };
+        let options = AlignOptions {
+            skip_high: &skip,
+            skip_low: &|_| false,
+        };
         let items = diff_levels(&low, &high, &options).unwrap();
         assert_eq!(items.len(), 1);
         assert!(matches!(items[0], DiffItem::InsertedHigh { .. }));

@@ -35,7 +35,10 @@ use crate::common::{implies_expr, subst_var, StrategyCtx};
 pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
     let mut report = ctx.report();
     let skip = |s: &Stmt| matches!(s.kind, StmtKind::Assume(_));
-    let options = AlignOptions { skip_high: &skip, skip_low: &|_| false };
+    let options = AlignOptions {
+        skip_high: &skip,
+        skip_low: &|_| false,
+    };
     let items = match diff_levels(ctx.low, ctx.high, &options) {
         Ok(items) => items,
         Err(reason) => return ctx.structural_failure(reason),
@@ -115,7 +118,9 @@ pub fn check_invariants(ctx: &StrategyCtx<'_>, report: &mut StrategyReport) {
         let verdict = check_initially(ctx, &invariant.expr);
         report.obligations.push(DischargedObligation {
             obligation: ProofObligation::new(
-                ObligationKind::InvariantInitial { invariant: invariant.text.clone() },
+                ObligationKind::InvariantInitial {
+                    invariant: invariant.text.clone(),
+                },
                 vec!["assert Init(s) ==> Inv(s);".to_string()],
             ),
             verdict,
@@ -207,7 +212,7 @@ pub fn check_guarantees(ctx: &StrategyCtx<'_>, report: &mut StrategyReport) {
                 // current variables, post-state values substitute the
                 // assignment. old(x) ↦ x; x ↦ (x with lhs := rhs).
                 let two_state = rewrite_old(&rely.expr); // old(x) → old$x
-                // post-side substitution first (plain names):
+                                                         // post-side substitution first (plain names):
                 let post = subst_var(&two_state, &lhs_name, &rhs);
                 // then identify old$x with x (the pre-state is the current
                 // state):
@@ -265,15 +270,11 @@ fn model_check_rely(ctx: &StrategyCtx<'_>, rely: &Expr) -> Option<Verdict> {
         if visited.len() > ctx.sim.bounds.max_states {
             return Some(Verdict::Unknown("state space truncated".to_string()));
         }
-        for (step, next) in armada_sm::enabled_steps(
-            &ctx.low_prog,
-            &state,
-            &pool,
-            ctx.sim.bounds.max_buffer,
-        ) {
+        for (step, next) in
+            armada_sm::enabled_steps(&ctx.low_prog, &state, &pool, ctx.sim.bounds.max_buffer)
+        {
             transitions += 1;
-            let mut eval =
-                EvalCtx::new(&ctx.low_prog, &next, step.tid, &[]).with_old(&state);
+            let mut eval = EvalCtx::new(&ctx.low_prog, &next, step.tid, &[]).with_old(&state);
             match eval.eval(rely) {
                 Ok(armada_sm::Value::Bool(true)) => {}
                 Ok(armada_sm::Value::Bool(false)) => {
@@ -291,7 +292,9 @@ fn model_check_rely(ctx: &StrategyCtx<'_>, rely: &Expr) -> Option<Verdict> {
             }
         }
     }
-    Some(Verdict::Proved(ProofMethod::ModelChecked { states: transitions }))
+    Some(Verdict::Proved(ProofMethod::ModelChecked {
+        states: transitions,
+    }))
 }
 
 /// Collects `(description, target var, rhs)` for every single-target
@@ -312,7 +315,12 @@ fn assignments_to(block: &Block, vars: &[String]) -> Vec<(String, String, Expr)>
                 }
             }
         }
-        if let StmtKind::VarDecl { name, init: Some(Rhs::Expr(value)), .. } = &stmt.kind {
+        if let StmtKind::VarDecl {
+            name,
+            init: Some(Rhs::Expr(value)),
+            ..
+        } = &stmt.kind
+        {
             if vars.contains(name) && !value.is_nondet() {
                 out.push((
                     stmt_to_string(stmt).trim().to_string(),
@@ -329,7 +337,11 @@ fn walk(block: &Block, f: &mut impl FnMut(&Stmt)) {
     for stmt in &block.stmts {
         f(stmt);
         match &stmt.kind {
-            StmtKind::If { then_block, else_block, .. } => {
+            StmtKind::If {
+                then_block,
+                else_block,
+                ..
+            } => {
                 walk(then_block, f);
                 if let Some(els) = else_block {
                     walk(els, f);
@@ -337,9 +349,7 @@ fn walk(block: &Block, f: &mut impl FnMut(&Stmt)) {
             }
             StmtKind::While { body, .. } => walk(body, f),
             StmtKind::Label(_, inner) => f(inner),
-            StmtKind::ExplicitYield(b) | StmtKind::Atomic(b) | StmtKind::Block(b) => {
-                walk(b, f)
-            }
+            StmtKind::ExplicitYield(b) | StmtKind::Atomic(b) | StmtKind::Block(b) => walk(b, f),
             _ => {}
         }
     }
@@ -387,18 +397,15 @@ fn check_initially(ctx: &StrategyCtx<'_>, invariant: &Expr) -> Verdict {
 /// The low-level PC each inserted `assume` sits at, in insertion order:
 /// alignment maps every inserted Assume to the low PC of the instruction
 /// that follows it.
-fn aligned_assume_positions(
-    ctx: &StrategyCtx<'_>,
-) -> Result<Vec<armada_sm::Pc>, String> {
-    let skip_assume =
-        |i: &armada_sm::Instr| matches!(i, armada_sm::Instr::Assume(_));
-    let alignment = crate::common::align_instructions(
-        &ctx.low_prog,
-        &ctx.high_prog,
-        &skip_assume,
-        &|_| false,
-    )?;
-    Ok(alignment.inserted_high.iter().map(|(_, low_pc)| *low_pc).collect())
+fn aligned_assume_positions(ctx: &StrategyCtx<'_>) -> Result<Vec<armada_sm::Pc>, String> {
+    let skip_assume = |i: &armada_sm::Instr| matches!(i, armada_sm::Instr::Assume(_));
+    let alignment =
+        crate::common::align_instructions(&ctx.low_prog, &ctx.high_prog, &skip_assume, &|_| false)?;
+    Ok(alignment
+        .inserted_high
+        .iter()
+        .map(|(_, low_pc)| *low_pc)
+        .collect())
 }
 
 /// Positional fallback discharge: evaluate `cond` in every reachable state
@@ -437,7 +444,9 @@ fn model_check_positional(
                     return Some(Verdict::Refuted {
                         counterexample: format!(
                             "condition false for thread {tid} at {} in a reachable state",
-                            position.map(|p| p.to_string()).unwrap_or_else(|| "any pc".into())
+                            position
+                                .map(|p| p.to_string())
+                                .unwrap_or_else(|| "any pc".into())
                         ),
                     })
                 }
@@ -497,10 +506,10 @@ mod tests {
             "#,
         );
         assert!(report.success(), "{}", report.failure_summary());
-        assert!(report
-            .obligations
-            .iter()
-            .any(|o| matches!(o.obligation.kind, ObligationKind::EnablementJustified { .. })));
+        assert!(report.obligations.iter().any(|o| matches!(
+            o.obligation.kind,
+            ObligationKind::EnablementJustified { .. }
+        )));
     }
 
     #[test]
@@ -521,10 +530,10 @@ mod tests {
             "#,
         );
         assert!(report.success(), "{}", report.failure_summary());
-        assert!(report.obligations.iter().any(|o| matches!(
-            o.verdict,
-            Verdict::Proved(ProofMethod::ModelChecked { .. })
-        )));
+        assert!(report
+            .obligations
+            .iter()
+            .any(|o| matches!(o.verdict, Verdict::Proved(ProofMethod::ModelChecked { .. }))));
     }
 
     #[test]
@@ -542,7 +551,10 @@ mod tests {
             proof P { refinement Low High assume_intro }
             "#,
         );
-        assert!(!report.success(), "x == 2 violates the introduced condition");
+        assert!(
+            !report.success(),
+            "x == 2 violates the introduced condition"
+        );
     }
 
     #[test]

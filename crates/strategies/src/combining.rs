@@ -80,11 +80,16 @@ pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
             Ok(cert) => Verdict::Proved(ProofMethod::ModelChecked {
                 states: cert.product_nodes,
             }),
-            Err(ce) => Verdict::Refuted { counterexample: ce.description.clone() },
+            Err(ce) => Verdict::Refuted {
+                counterexample: ce.description.clone(),
+            },
         };
         report.obligations.push(DischargedObligation {
             obligation: ProofObligation::new(
-                ObligationKind::CombiningPath { path: trace.join("; "), high },
+                ObligationKind::CombiningPath {
+                    path: trace.join("; "),
+                    high,
+                },
                 vec![
                     format!("// block at {at}"),
                     "assert PathBehaviors(path) <= behaviors(HStatement);".to_string(),
@@ -121,7 +126,11 @@ fn extend_paths(stmts: &[Stmt], paths: &mut Vec<Vec<String>>) -> Result<(), Stri
                         .to_string(),
                 )
             }
-            StmtKind::If { cond, then_block, else_block } => {
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 let mut with_then = paths.clone();
                 for path in with_then.iter_mut() {
                     path.push(format!(

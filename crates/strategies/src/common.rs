@@ -4,7 +4,9 @@
 use armada_lang::ast::*;
 use armada_lang::typeck::{LevelInfo, TypedModule};
 use armada_proof::prover::{collect_vars, Hint, ProverCtx};
-use armada_proof::{DischargedObligation, ObligationKind, ProofObligation, StrategyReport, Verdict};
+use armada_proof::{
+    DischargedObligation, ObligationKind, ProofObligation, StrategyReport, Verdict,
+};
 use armada_sm::{lower, Program};
 use armada_verify::SimConfig;
 
@@ -135,7 +137,9 @@ impl<'a> StrategyCtx<'a> {
                 },
                 vec![],
             ),
-            verdict: Verdict::Refuted { counterexample: reason },
+            verdict: Verdict::Refuted {
+                counterexample: reason,
+            },
         });
         report
     }
@@ -162,7 +166,11 @@ fn collect_local_types(block: &Block, out: &mut Vec<(String, Type)>) {
     for stmt in &block.stmts {
         match &stmt.kind {
             StmtKind::VarDecl { name, ty, .. } => out.push((name.clone(), ty.clone())),
-            StmtKind::If { then_block, else_block, .. } => {
+            StmtKind::If {
+                then_block,
+                else_block,
+                ..
+            } => {
                 collect_local_types(then_block, out);
                 if let Some(els) = else_block {
                     collect_local_types(els, out);
@@ -171,7 +179,10 @@ fn collect_local_types(block: &Block, out: &mut Vec<(String, Type)>) {
             StmtKind::While { body, .. } => collect_local_types(body, out),
             StmtKind::Label(_, inner) => {
                 collect_local_types(
-                    &Block { stmts: vec![(**inner).clone()], span: inner.span },
+                    &Block {
+                        stmts: vec![(**inner).clone()],
+                        span: inner.span,
+                    },
                     out,
                 );
             }
@@ -205,8 +216,11 @@ pub fn make_ctx(
             let mut mentioned = Vec::new();
             collect_vars(&assumption, &mut mentioned);
             let touches = mentioned.iter().any(|m| {
-                relevant.contains(m) || relevant.contains(&format!("old${m}"))
-                    || m.strip_prefix("old$").map(|s| relevant.contains(&s.to_string())).unwrap_or(false)
+                relevant.contains(m)
+                    || relevant.contains(&format!("old${m}"))
+                    || m.strip_prefix("old$")
+                        .map(|s| relevant.contains(&s.to_string()))
+                        .unwrap_or(false)
             });
             if touches {
                 for name in mentioned {
@@ -228,7 +242,10 @@ pub fn make_ctx(
     let free_vars: Vec<(String, Type)> = scope
         .iter()
         .filter(|(name, _)| {
-            relevant.contains(name) || relevant.iter().any(|r| r.strip_prefix("old$") == Some(name))
+            relevant.contains(name)
+                || relevant
+                    .iter()
+                    .any(|r| r.strip_prefix("old$") == Some(name))
         })
         .cloned()
         .collect();
@@ -268,8 +285,7 @@ pub fn align_instructions(
     fn same_modulo_targets(a: &Instr, b: &Instr) -> bool {
         match (a, b) {
             (Instr::Guard { cond: ca, .. }, Instr::Guard { cond: cb, .. }) => {
-                armada_lang::pretty::expr_to_string(ca)
-                    == armada_lang::pretty::expr_to_string(cb)
+                armada_lang::pretty::expr_to_string(ca) == armada_lang::pretty::expr_to_string(cb)
             }
             (Instr::Jump(_), Instr::Jump(_)) => true,
             _ => a.describe() == b.describe(),
@@ -279,9 +295,7 @@ pub fn align_instructions(
         return Err("routine count differs".to_string());
     }
     let mut alignment = InstrAlignment::default();
-    for (ri, (low_routine, high_routine)) in
-        low.routines.iter().zip(&high.routines).enumerate()
-    {
+    for (ri, (low_routine, high_routine)) in low.routines.iter().zip(&high.routines).enumerate() {
         let mut li = 0usize;
         let mut hi = 0usize;
         while hi < high_routine.instrs.len() {
@@ -361,11 +375,16 @@ pub fn subst_var(expr: &Expr, name: &str, replacement: &Expr) -> Expr {
         }
         ExprKind::Call(f, args) => ExprKind::Call(
             f.clone(),
-            args.iter().map(|a| subst_var(a, name, replacement)).collect(),
+            args.iter()
+                .map(|a| subst_var(a, name, replacement))
+                .collect(),
         ),
-        ExprKind::SeqLit(elems) => {
-            ExprKind::SeqLit(elems.iter().map(|e| subst_var(e, name, replacement)).collect())
-        }
+        ExprKind::SeqLit(elems) => ExprKind::SeqLit(
+            elems
+                .iter()
+                .map(|e| subst_var(e, name, replacement))
+                .collect(),
+        ),
         ExprKind::Forall { var, lo, hi, body } if var != name => ExprKind::Forall {
             var: var.clone(),
             lo: Box::new(subst_var(lo, name, replacement)),
@@ -380,7 +399,10 @@ pub fn subst_var(expr: &Expr, name: &str, replacement: &Expr) -> Expr {
         },
         other => other.clone(),
     };
-    Expr { kind, span: expr.span }
+    Expr {
+        kind,
+        span: expr.span,
+    }
 }
 
 /// Substitutes `replacement` for every `$me` occurrence.
@@ -396,19 +418,24 @@ pub fn subst_me(expr: &Expr, replacement: &Expr) -> Expr {
         ExprKind::AddrOf(a) => ExprKind::AddrOf(Box::new(subst_me(a, replacement))),
         ExprKind::Deref(a) => ExprKind::Deref(Box::new(subst_me(a, replacement))),
         ExprKind::Field(a, f) => ExprKind::Field(Box::new(subst_me(a, replacement)), f.clone()),
-        ExprKind::Index(a, b) => {
-            ExprKind::Index(Box::new(subst_me(a, replacement)), Box::new(subst_me(b, replacement)))
-        }
+        ExprKind::Index(a, b) => ExprKind::Index(
+            Box::new(subst_me(a, replacement)),
+            Box::new(subst_me(b, replacement)),
+        ),
         ExprKind::Old(a) => ExprKind::Old(Box::new(subst_me(a, replacement))),
-        ExprKind::Call(f, args) => {
-            ExprKind::Call(f.clone(), args.iter().map(|a| subst_me(a, replacement)).collect())
-        }
+        ExprKind::Call(f, args) => ExprKind::Call(
+            f.clone(),
+            args.iter().map(|a| subst_me(a, replacement)).collect(),
+        ),
         ExprKind::SeqLit(elems) => {
             ExprKind::SeqLit(elems.iter().map(|e| subst_me(e, replacement)).collect())
         }
         other => other.clone(),
     };
-    Expr { kind, span: expr.span }
+    Expr {
+        kind,
+        span: expr.span,
+    }
 }
 
 /// Builds the boolean expression `a == b`.
@@ -425,9 +452,7 @@ pub fn implies_expr(a: Expr, b: Expr) -> Expr {
 pub fn and_exprs(exprs: Vec<Expr>) -> Expr {
     exprs
         .into_iter()
-        .reduce(|a, b| {
-            Expr::synthetic(ExprKind::Binary(BinOp::And, Box::new(a), Box::new(b)))
-        })
+        .reduce(|a, b| Expr::synthetic(ExprKind::Binary(BinOp::And, Box::new(a), Box::new(b))))
         .unwrap_or_else(|| Expr::synthetic(ExprKind::BoolLit(true)))
 }
 
@@ -467,7 +492,10 @@ mod tests {
     fn subst_me_replaces_meta_variable() {
         let expr = parse_expr("holder == $me").unwrap();
         let replaced = subst_me(&expr, &parse_expr("t1").unwrap());
-        assert_eq!(armada_lang::pretty::expr_to_string(&replaced), "(holder == t1)");
+        assert_eq!(
+            armada_lang::pretty::expr_to_string(&replaced),
+            "(holder == t1)"
+        );
     }
 
     #[test]

@@ -13,8 +13,14 @@ use armada_sm::{Instr, Program};
 /// Renders the program-specific state machine for `program`.
 pub fn state_machine_text(program: &Program) -> String {
     let mut out = String::new();
-    out.push_str(&format!("// ===== state machine for level {} =====\n", program.name));
-    out.push_str(&format!("module StateMachine_{} {{\n", sanitize(&program.name)));
+    out.push_str(&format!(
+        "// ===== state machine for level {} =====\n",
+        program.name
+    ));
+    out.push_str(&format!(
+        "module StateMachine_{} {{\n",
+        sanitize(&program.name)
+    ));
 
     // State datatype.
     out.push_str("  datatype GlobalStaticVars = GlobalStaticVars(\n");
@@ -42,7 +48,11 @@ pub fn state_machine_text(program: &Program) -> String {
     out.push_str("  datatype PC =\n");
     for (ri, routine) in program.routines.iter().enumerate() {
         for ii in 0..routine.instrs.len() {
-            out.push_str(&format!("    | PC_{}_{}  // r{ri}:{ii}\n", sanitize(&routine.name), ii));
+            out.push_str(&format!(
+                "    | PC_{}_{}  // r{ri}:{ii}\n",
+                sanitize(&routine.name),
+                ii
+            ));
         }
     }
 
@@ -107,11 +117,15 @@ pub fn state_machine_text(program: &Program) -> String {
 
 fn render_step_predicate(out: &mut String, routine: &str, ri: usize, ii: usize, instr: &Instr) {
     let name = format!("{}_{}", sanitize(routine), ii);
-    out.push_str(&format!("  predicate Step_{name}(s: TotalState, s': TotalState, tid: uint64)\n"));
+    out.push_str(&format!(
+        "  predicate Step_{name}(s: TotalState, s': TotalState, tid: uint64)\n"
+    ));
     out.push_str("  {\n");
     out.push_str(&format!("    && s.stop.Running?\n"));
     out.push_str(&format!("    && tid in s.threads\n"));
-    out.push_str(&format!("    && s.threads[tid].pc == PC_{name}  // r{ri}:{ii}\n"));
+    out.push_str(&format!(
+        "    && s.threads[tid].pc == PC_{name}  // r{ri}:{ii}\n"
+    ));
     out.push_str(&format!("    // {}\n", instr.describe()));
     match instr {
         Instr::Assign { sc, lhs, .. } => {
@@ -122,12 +136,18 @@ fn render_step_predicate(out: &mut String, routine: &str, ri: usize, ii: usize, 
                 ));
             }
         }
-        Instr::Guard { then_pc, else_pc, .. } => {
+        Instr::Guard {
+            then_pc, else_pc, ..
+        } => {
             out.push_str(&format!(
                 "    && (if guard(s, tid) then pc' == {then_pc} else pc' == {else_pc})\n"
             ));
         }
-        Instr::Somehow { requires, modifies, ensures } => {
+        Instr::Somehow {
+            requires,
+            modifies,
+            ensures,
+        } => {
             out.push_str(&format!(
                 "    && |requires| == {} && |modifies| == {} && |ensures| == {}\n",
                 requires.len(),
@@ -146,7 +166,9 @@ fn render_step_predicate(out: &mut String, routine: &str, ri: usize, ii: usize, 
 }
 
 fn sanitize(text: &str) -> String {
-    text.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+    text.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 /// Renders the shared prelude for a proof between two levels: both state
@@ -196,6 +218,9 @@ mod tests {
         assert!(text.contains("datatype PC ="));
         assert!(text.contains("NextState"));
         let sloc = armada_lang::count_sloc(&text);
-        assert!(sloc > instr_count * 5, "prelude should be substantial: {sloc}");
+        assert!(
+            sloc > instr_count * 5,
+            "prelude should be substantial: {sloc}"
+        );
     }
 }

@@ -37,7 +37,10 @@ pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
 
     // --- structural correspondence: identical modulo atomicity markers -----
     let skip = |s: &Stmt| matches!(s.kind, StmtKind::Yield);
-    let options = AlignOptions { skip_high: &skip, skip_low: &|_| false };
+    let options = AlignOptions {
+        skip_high: &skip,
+        skip_low: &|_| false,
+    };
     match diff_levels(ctx.low, ctx.high, &options) {
         // The aligner sees explicit_yield blocks transparently; any real
         // difference disqualifies the correspondence.
@@ -60,7 +63,10 @@ pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
         }
     }
     let markers = |i: &Instr| {
-        matches!(i, Instr::AtomicBegin { .. } | Instr::AtomicEnd | Instr::YieldPoint)
+        matches!(
+            i,
+            Instr::AtomicBegin { .. } | Instr::AtomicEnd | Instr::YieldPoint
+        )
     };
     let mapping = match crate::common::align_instructions(
         &ctx.low_prog,
@@ -100,10 +106,12 @@ pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
         let mut phase = Phase::Right;
         let mut segment_ok = true;
         for high_pc in &segment.pcs {
-            let Some(low_pc) = mapping.get(high_pc) else { continue };
-            let class = *mover_cache.entry(*low_pc).or_insert_with(|| {
-                classify(ctx, &exploration_states, *low_pc, &mut report)
-            });
+            let Some(low_pc) = mapping.get(high_pc) else {
+                continue;
+            };
+            let class = *mover_cache
+                .entry(*low_pc)
+                .or_insert_with(|| classify(ctx, &exploration_states, *low_pc, &mut report));
             let acceptable = match (phase, class) {
                 (Phase::Right, MoverClass::Both | MoverClass::Right) => true,
                 (Phase::Right, MoverClass::Left) => {
@@ -121,7 +129,9 @@ pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
                 segment_ok = false;
                 report.obligations.push(DischargedObligation {
                     obligation: ProofObligation::new(
-                        ObligationKind::PhaseDiscipline { at: format!("{low_pc}") },
+                        ObligationKind::PhaseDiscipline {
+                            at: format!("{low_pc}"),
+                        },
                         vec![format!(
                             "// segment {}: instruction `{}` is {:?} after the commit point",
                             segment.describe(),
@@ -145,7 +155,9 @@ pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
         if segment_ok {
             report.obligations.push(DischargedObligation {
                 obligation: ProofObligation::new(
-                    ObligationKind::PhaseDiscipline { at: segment.describe() },
+                    ObligationKind::PhaseDiscipline {
+                        at: segment.describe(),
+                    },
                     vec![
                         "// Cohen–Lamport: no transition from the second phase back to the first"
                             .to_string(),
@@ -253,14 +265,10 @@ fn commutes(
         a.termination == b.termination && a.log == b.log && a.termination.is_terminal()
     };
     match armada_sm::step::try_step(prog, state, second, max_buffer) {
-        Some(s_second) => {
-            match armada_sm::step::try_step(prog, &s_second, first, max_buffer) {
-                Some(s_swapped) => {
-                    s_swapped == *s_after_both || obs_eq(&s_swapped, s_after_both)
-                }
-                None => obs_eq(&s_second, s_after_both),
-            }
-        }
+        Some(s_second) => match armada_sm::step::try_step(prog, &s_second, first, max_buffer) {
+            Some(s_swapped) => s_swapped == *s_after_both || obs_eq(&s_swapped, s_after_both),
+            None => obs_eq(&s_second, s_after_both),
+        },
         None => false,
     }
 }
@@ -286,9 +294,7 @@ fn check_drain_discipline(
         for (tau, s_after_tau) in &steps {
             let sigma_steps = enabled_steps(&ctx.low_prog, s_after_tau, &pool, max_buffer);
             for (sigma, s_after_both) in &sigma_steps {
-                if !matches!(sigma.kind, armada_sm::StepKind::Drain)
-                    || sigma.tid == tau.tid
-                {
+                if !matches!(sigma.kind, armada_sm::StepKind::Drain) || sigma.tid == tau.tid {
                     continue;
                 }
                 checked += 1;
@@ -324,7 +330,9 @@ fn check_drain_discipline(
             },
             vec![format!("// {checked} drain/step pairs checked")],
         ),
-        verdict: Verdict::Proved(ProofMethod::ModelChecked { states: states.len() }),
+        verdict: Verdict::Proved(ProofMethod::ModelChecked {
+            states: states.len(),
+        }),
     });
     true
 }
@@ -332,7 +340,11 @@ fn check_drain_discipline(
 /// All reachable states of the bounded low-level instance.
 fn collect_states(ctx: &StrategyCtx<'_>) -> Vec<ProgState> {
     let exploration = armada_sm::explore(&ctx.low_prog, &ctx.sim.bounds);
-    exploration.visited.into_iter().filter(|s| !s.is_terminal()).collect()
+    exploration
+        .visited
+        .into_iter()
+        .filter(|s| !s.is_terminal())
+        .collect()
 }
 
 /// Classifies the instruction at `pc` by checking commutation against every
@@ -390,8 +402,7 @@ fn classify(
             }
             // Right-mover check: σ;τ executable ⇒ τ;σ same result.
             if right {
-                let tau_steps =
-                    enabled_steps(&ctx.low_prog, s_after_sigma, &pool, max_buffer);
+                let tau_steps = enabled_steps(&ctx.low_prog, s_after_sigma, &pool, max_buffer);
                 for (tau, s_after_both) in &tau_steps {
                     if tau.tid == sigma.tid {
                         continue;
@@ -410,15 +421,16 @@ fn classify(
         // Left-mover check: τ;σ executable ⇒ σ;τ same result.
         if left {
             for (tau, s_after_tau) in &steps {
-                let sigma_steps =
-                    enabled_steps(&ctx.low_prog, s_after_tau, &pool, max_buffer);
+                let sigma_steps = enabled_steps(&ctx.low_prog, s_after_tau, &pool, max_buffer);
                 for (sigma, s_after_both) in &sigma_steps {
                     if sigma.tid == tau.tid {
                         continue;
                     }
                     let at_pc = s_after_tau
                         .thread(sigma.tid)
-                        .map(|t| t.pc == pc && matches!(sigma.kind, armada_sm::StepKind::Instr { .. }))
+                        .map(|t| {
+                            t.pc == pc && matches!(sigma.kind, armada_sm::StepKind::Instr { .. })
+                        })
                         .unwrap_or(false);
                     if !at_pc {
                         continue;
@@ -454,7 +466,9 @@ fn classify(
                  checked on {checked_pairs} reachable pairs; class = {class:?}"
             )],
         ),
-        verdict: Verdict::Proved(ProofMethod::ModelChecked { states: states.len() }),
+        verdict: Verdict::Proved(ProofMethod::ModelChecked {
+            states: states.len(),
+        }),
     });
     class
 }
@@ -520,8 +534,11 @@ mod tests {
         );
         let report = run_recipe(&src);
         assert!(report.success(), "{}", report.failure_summary());
-        let labels: Vec<&str> =
-            report.obligations.iter().map(|o| o.obligation.kind.label()).collect();
+        let labels: Vec<&str> = report
+            .obligations
+            .iter()
+            .map(|o| o.obligation.kind.label())
+            .collect();
         assert!(labels.contains(&"commutativity"));
         assert!(labels.contains(&"phase-discipline"));
     }

@@ -38,7 +38,12 @@ pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
     if ctx.recipe.tso_vars.is_empty() {
         return ctx.structural_failure("tso_elim requires at least one variable".to_string());
     }
-    let vars: Vec<&str> = ctx.recipe.tso_vars.iter().map(|(v, _)| v.as_str()).collect();
+    let vars: Vec<&str> = ctx
+        .recipe
+        .tso_vars
+        .iter()
+        .map(|(v, _)| v.as_str())
+        .collect();
 
     // --- structural correspondence -----------------------------------------
     let items = match diff_levels(ctx.low, ctx.high, &AlignOptions::default()) {
@@ -82,11 +87,7 @@ pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
         let t2 = Expr::synthetic(ExprKind::Var("t2$".to_string()));
         let own1 = subst_me(&ownership.expr, &t1);
         let own2 = subst_me(&ownership.expr, &t2);
-        let both = Expr::synthetic(ExprKind::Binary(
-            BinOp::And,
-            Box::new(own1),
-            Box::new(own2),
-        ));
+        let both = Expr::synthetic(ExprKind::Binary(BinOp::And, Box::new(own1), Box::new(own2)));
         let goal = implies_expr(
             both,
             Expr::synthetic(ExprKind::Binary(BinOp::Eq, Box::new(t1), Box::new(t2))),
@@ -105,9 +106,7 @@ pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
                     var: var.clone(),
                     ownership: ownership.text.clone(),
                 },
-                vec![
-                    "assert owns(t1, s) && owns(t2, s) ==> t1 == t2;".to_string(),
-                ],
+                vec!["assert owns(t1, s) && owns(t2, s) ==> t1 == t2;".to_string()],
             ),
             verdict,
         });
@@ -123,11 +122,22 @@ pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
 fn is_sc_flip(low: &Stmt, high: &Stmt, vars: &[&str]) -> bool {
     match (&low.kind, &high.kind) {
         (
-            StmtKind::Assign { lhs: ll, rhs: lr, sc: false },
-            StmtKind::Assign { lhs: hl, rhs: hr, sc: true },
+            StmtKind::Assign {
+                lhs: ll,
+                rhs: lr,
+                sc: false,
+            },
+            StmtKind::Assign {
+                lhs: hl,
+                rhs: hr,
+                sc: true,
+            },
         ) => {
             let same = ll.len() == hl.len()
-                && ll.iter().zip(hl).all(|(a, b)| expr_to_string(a) == expr_to_string(b))
+                && ll
+                    .iter()
+                    .zip(hl)
+                    .all(|(a, b)| expr_to_string(a) == expr_to_string(b))
                 && lr.len() == hr.len()
                 && lr
                     .iter()
@@ -153,7 +163,11 @@ fn buffered_write_to(block: &Block, vars: &[&str]) -> Option<String> {
                     }
                 }
             }
-            StmtKind::If { then_block, else_block, .. } => {
+            StmtKind::If {
+                then_block,
+                else_block,
+                ..
+            } => {
                 if let Some(found) = buffered_write_to(then_block, vars) {
                     return Some(found);
                 }
@@ -196,7 +210,9 @@ fn check_discipline(ctx: &StrategyCtx<'_>, report: &mut StrategyReport) {
     let initial = match initial_state(&ctx.low_prog) {
         Ok(state) => state,
         Err(err) => {
-            report.obligations.push(unknown_discipline(ctx, format!("initial state: {err}")));
+            report
+                .obligations
+                .push(unknown_discipline(ctx, format!("initial state: {err}")));
             return;
         }
     };
@@ -222,7 +238,9 @@ fn check_discipline(ctx: &StrategyCtx<'_>, report: &mut StrategyReport) {
             if thread.status != armada_sm::state::ThreadStatus::Active {
                 continue;
             }
-            let Some(instr) = ctx.low_prog.instr_at(thread.pc) else { continue };
+            let Some(instr) = ctx.low_prog.instr_at(thread.pc) else {
+                continue;
+            };
             let routine = &ctx.low_prog.routines[thread.pc.routine as usize];
             let effects = instr_effects(&ctx.low_prog, routine, instr);
             for (var, ownership) in &ctx.recipe.tso_vars {
@@ -253,8 +271,7 @@ fn check_discipline(ctx: &StrategyCtx<'_>, report: &mut StrategyReport) {
             }
         }
         // Transitions: release discipline + frontier extension.
-        for (_step, next) in
-            enabled_steps(&ctx.low_prog, &state, &pool, ctx.sim.bounds.max_buffer)
+        for (_step, next) in enabled_steps(&ctx.low_prog, &state, &pool, ctx.sim.bounds.max_buffer)
         {
             for (var, ownership) in &ctx.recipe.tso_vars {
                 for (&tid, thread) in &state.threads {
@@ -305,7 +322,9 @@ fn check_discipline(ctx: &StrategyCtx<'_>, report: &mut StrategyReport) {
                 },
                 vec![format!("// {access_checks} accesses checked")],
             ),
-            verdict: Verdict::Proved(ProofMethod::ModelChecked { states: visited.len() }),
+            verdict: Verdict::Proved(ProofMethod::ModelChecked {
+                states: visited.len(),
+            }),
         });
         report.obligations.push(DischargedObligation {
             obligation: ProofObligation::new(
@@ -315,7 +334,9 @@ fn check_discipline(ctx: &StrategyCtx<'_>, report: &mut StrategyReport) {
                 },
                 vec![format!("// {release_checks} releases checked")],
             ),
-            verdict: Verdict::Proved(ProofMethod::ModelChecked { states: visited.len() }),
+            verdict: Verdict::Proved(ProofMethod::ModelChecked {
+                states: visited.len(),
+            }),
         });
     }
 }
@@ -410,8 +431,11 @@ mod tests {
             }}"#
         ));
         assert!(report.success(), "{}", report.failure_summary());
-        let kinds: Vec<&str> =
-            report.obligations.iter().map(|o| o.obligation.kind.label()).collect();
+        let kinds: Vec<&str> = report
+            .obligations
+            .iter()
+            .map(|o| o.obligation.kind.label())
+            .collect();
         assert!(kinds.contains(&"ownership-exclusive"));
         assert!(kinds.contains(&"ownership-on-access"));
         assert!(kinds.contains(&"buffer-empty-on-release"));

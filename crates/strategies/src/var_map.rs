@@ -27,7 +27,11 @@ pub fn run(ctx: &StrategyCtx<'_>, intro: bool) -> StrategyReport {
     let mut report = ctx.report();
     // For introduction, the *high* level has extra variables; for hiding,
     // the *low* level does.
-    let (extended, base) = if intro { (ctx.high, ctx.low) } else { (ctx.low, ctx.high) };
+    let (extended, base) = if intro {
+        (ctx.high, ctx.low)
+    } else {
+        (ctx.low, ctx.high)
+    };
     let vars = inferred_vars(ctx.recipe, extended, base);
     if vars.is_empty() {
         return ctx.structural_failure(format!(
@@ -78,10 +82,7 @@ pub fn run(ctx: &StrategyCtx<'_>, intro: bool) -> StrategyReport {
         }
     };
     report.obligations.push(DischargedObligation {
-        obligation: ProofObligation::new(
-            ObligationKind::VariableMapping { vars: vars_text },
-            body,
-        ),
+        obligation: ProofObligation::new(ObligationKind::VariableMapping { vars: vars_text }, body),
         verdict,
     });
     report
@@ -104,11 +105,7 @@ fn inferred_vars(recipe: &Recipe, extended: &Level, base: &Level) -> Vec<String>
 /// Finds a statement that *reads* `var` in a way erasure cannot remove:
 /// any mention outside the right-hand side of an assignment to an erased
 /// variable (`all_vars`). Ghost self-updates are thus permitted.
-fn find_read(
-    block: &armada_lang::ast::Block,
-    var: &str,
-    all_vars: &[String],
-) -> Option<String> {
+fn find_read(block: &armada_lang::ast::Block, var: &str, all_vars: &[String]) -> Option<String> {
     fn erased_base(target: &armada_lang::ast::Expr, all_vars: &[String]) -> bool {
         match &target.kind {
             armada_lang::ast::ExprKind::Var(n) => all_vars.contains(n),
@@ -117,8 +114,7 @@ fn find_read(
             _ => false,
         }
     }
-    let erased_target =
-        |target: &armada_lang::ast::Expr| erased_base(target, all_vars);
+    let erased_target = |target: &armada_lang::ast::Expr| erased_base(target, all_vars);
     for stmt in &block.stmts {
         match &stmt.kind {
             StmtKind::Assign { lhs, rhs, .. } => {
@@ -128,9 +124,7 @@ fn find_read(
                     }
                     if let armada_lang::ast::Rhs::Expr(expr) = value {
                         if mentions(expr, var) {
-                            return Some(
-                                armada_lang::pretty::stmt_to_string(stmt).trim().into(),
-                            );
+                            return Some(armada_lang::pretty::stmt_to_string(stmt).trim().into());
                         }
                     }
                     if mentions(target, var) {
@@ -146,7 +140,11 @@ fn find_read(
                 }
             }
             StmtKind::VarDecl { .. } => {}
-            StmtKind::If { cond, then_block, else_block } => {
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 if mentions(cond, var) {
                     return Some(armada_lang::pretty::stmt_to_string(stmt).trim().into());
                 }
@@ -269,7 +267,10 @@ mod tests {
             proof P { refinement Low High var_intro }
             "#,
         );
-        assert!(!report.success(), "concrete state may not read the introduced variable");
+        assert!(
+            !report.success(),
+            "concrete state may not read the introduced variable"
+        );
     }
 
     #[test]

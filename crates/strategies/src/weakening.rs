@@ -33,9 +33,8 @@ pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
         Err(reason) => return ctx.structural_failure(reason),
     };
     if !globals_match(ctx) {
-        return ctx.structural_failure(
-            "weakening requires identical variable declarations".to_string(),
-        );
+        return ctx
+            .structural_failure("weakening requires identical variable declarations".to_string());
     }
     // Pre-pass: adjacent statement *swaps* justified by region reasoning
     // (§4.1.1 / §6.2 — the Pointers program). Two consecutive changed pairs
@@ -46,8 +45,16 @@ pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
     while index + 1 < items.len() {
         let swap = match (&items[index], &items[index + 1]) {
             (
-                DiffItem::ChangedStmt { path: pa, low: la, high: ha },
-                DiffItem::ChangedStmt { path: pb, low: lb, high: hb },
+                DiffItem::ChangedStmt {
+                    path: pa,
+                    low: la,
+                    high: ha,
+                },
+                DiffItem::ChangedStmt {
+                    path: pb,
+                    low: lb,
+                    high: hb,
+                },
             ) if pa.method == pb.method
                 && crate::align::fingerprint(la) == crate::align::fingerprint(hb)
                 && crate::align::fingerprint(lb) == crate::align::fingerprint(ha) =>
@@ -57,7 +64,9 @@ pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
             _ => None,
         };
         if let Some((path, first, second)) = swap {
-            report.obligations.push(swap_obligation(ctx, &path, &first, &second));
+            report
+                .obligations
+                .push(swap_obligation(ctx, &path, &first, &second));
             items.drain(index..index + 2);
         } else {
             index += 1;
@@ -66,18 +75,20 @@ pub fn run(ctx: &StrategyCtx<'_>) -> StrategyReport {
     for item in items {
         match item {
             DiffItem::ChangedGuard { path, low, high } => {
-                report.obligations.push(guard_obligation(ctx, &path, &low, &high));
+                report
+                    .obligations
+                    .push(guard_obligation(ctx, &path, &low, &high));
             }
             DiffItem::ChangedStmt { path, low, high } => {
-                report.obligations.push(stmt_obligation(ctx, &path, &low, &high));
+                report
+                    .obligations
+                    .push(stmt_obligation(ctx, &path, &low, &high));
             }
             DiffItem::InsertedHigh { path, stmt } | DiffItem::InsertedLow { path, stmt } => {
                 report.obligations.push(DischargedObligation {
                     obligation: ProofObligation::new(
                         ObligationKind::StructuralCorrespondence {
-                            description: format!(
-                                "no insertions allowed under weakening at {path}"
-                            ),
+                            description: format!("no insertions allowed under weakening at {path}"),
                         },
                         vec![],
                     ),
@@ -136,11 +147,13 @@ fn swap_obligation(
             }
         }
         _ => Verdict::Unknown(
-            "reordered statements must both be stores through pointer variables"
-                .to_string(),
+            "reordered statements must both be stores through pointer variables".to_string(),
         ),
     };
-    DischargedObligation { obligation: ProofObligation::new(kind, body), verdict }
+    DischargedObligation {
+        obligation: ProofObligation::new(kind, body),
+        verdict,
+    }
 }
 
 /// For `*p := e` (with a deref-free RHS), the base pointer variable `p`.
@@ -184,10 +197,16 @@ fn expr_reads_shared(expr: &Expr) -> bool {
 }
 
 fn globals_match(ctx: &StrategyCtx<'_>) -> bool {
-    let low: Vec<String> =
-        ctx.low.globals().map(|g| format!("{} {}: {}", g.ghost, g.name, g.ty)).collect();
-    let high: Vec<String> =
-        ctx.high.globals().map(|g| format!("{} {}: {}", g.ghost, g.name, g.ty)).collect();
+    let low: Vec<String> = ctx
+        .low
+        .globals()
+        .map(|g| format!("{} {}: {}", g.ghost, g.name, g.ty))
+        .collect();
+    let high: Vec<String> = ctx
+        .high
+        .globals()
+        .map(|g| format!("{} {}: {}", g.ghost, g.name, g.ty))
+        .collect();
     low == high
 }
 
@@ -197,8 +216,12 @@ fn globals_match(ctx: &StrategyCtx<'_>) -> bool {
 /// statement of the same straight-line region executes under it.
 fn dominating_assumes(ctx: &StrategyCtx<'_>, path: &StmtPath) -> Vec<Expr> {
     let mut found = Vec::new();
-    let Some(method) = ctx.low.method(&path.method) else { return found };
-    let Some(body) = &method.body else { return found };
+    let Some(method) = ctx.low.method(&path.method) else {
+        return found;
+    };
+    let Some(body) = &method.body else {
+        return found;
+    };
     let mut block = body;
     for (depth, &index) in path.indices.iter().enumerate() {
         for stmt in block.stmts.iter().take(index) {
@@ -209,9 +232,15 @@ fn dominating_assumes(ctx: &StrategyCtx<'_>, path: &StmtPath) -> Vec<Expr> {
         if depth + 1 == path.indices.len() {
             break;
         }
-        let Some(stmt) = block.stmts.get(index) else { break };
+        let Some(stmt) = block.stmts.get(index) else {
+            break;
+        };
         block = match &stmt.kind {
-            StmtKind::If { then_block, else_block, .. } => {
+            StmtKind::If {
+                then_block,
+                else_block,
+                ..
+            } => {
                 // We cannot tell which branch the nested index refers to;
                 // use the branch whose length admits the next index.
                 let next = path.indices[depth + 1];
@@ -289,7 +318,10 @@ fn stmt_obligation(
         high: stmt_to_string(high).trim().to_string(),
     };
     let (verdict, body) = weakening_verdict(ctx, path, low, high);
-    DischargedObligation { obligation: ProofObligation::new(kind, body), verdict }
+    DischargedObligation {
+        obligation: ProofObligation::new(kind, body),
+        verdict,
+    }
 }
 
 fn weakening_verdict(
@@ -300,16 +332,23 @@ fn weakening_verdict(
 ) -> (Verdict, Vec<String>) {
     match (&low.kind, &high.kind) {
         (
-            StmtKind::Assign { lhs: ll, rhs: lr, sc: lsc },
-            StmtKind::Assign { lhs: hl, rhs: hr, sc: hsc },
+            StmtKind::Assign {
+                lhs: ll,
+                rhs: lr,
+                sc: lsc,
+            },
+            StmtKind::Assign {
+                lhs: hl,
+                rhs: hr,
+                sc: hsc,
+            },
         ) => {
             if lsc != hsc {
                 return (
                     Verdict::Refuted {
-                        counterexample:
-                            "store-buffer semantics changed; that is TSO elimination, \
+                        counterexample: "store-buffer semantics changed; that is TSO elimination, \
                              not weakening"
-                                .to_string(),
+                            .to_string(),
                     },
                     vec![],
                 );
@@ -334,8 +373,7 @@ fn weakening_verdict(
                     _ => {
                         return (
                             Verdict::Refuted {
-                                counterexample:
-                                    "allocation RHSs cannot be weakened".to_string(),
+                                counterexample: "allocation RHSs cannot be weakened".to_string(),
                             },
                             vec![],
                         )
@@ -349,7 +387,8 @@ fn weakening_verdict(
                     continue;
                 }
                 let goal = eq_expr(lv.clone(), hv.clone());
-                let prover_ctx = ctx.prover_ctx_with(&path.method, &goal, dominating_assumes(ctx, path));
+                let prover_ctx =
+                    ctx.prover_ctx_with(&path.method, &goal, dominating_assumes(ctx, path));
                 body.push(format!(
                     "assert {} == {};",
                     expr_to_string(lv),
@@ -360,11 +399,24 @@ fn weakening_verdict(
                     other => return (other, body),
                 }
             }
-            (Verdict::Proved(ProofMethod::BoundedExhaustive { assignments: 0 }), body)
+            (
+                Verdict::Proved(ProofMethod::BoundedExhaustive { assignments: 0 }),
+                body,
+            )
         }
         (
-            StmtKind::VarDecl { name: ln, ty: lt, init: Some(armada_lang::ast::Rhs::Expr(lv)), .. },
-            StmtKind::VarDecl { name: hn, ty: ht, init: Some(armada_lang::ast::Rhs::Expr(hv)), .. },
+            StmtKind::VarDecl {
+                name: ln,
+                ty: lt,
+                init: Some(armada_lang::ast::Rhs::Expr(lv)),
+                ..
+            },
+            StmtKind::VarDecl {
+                name: hn,
+                ty: ht,
+                init: Some(armada_lang::ast::Rhs::Expr(hv)),
+                ..
+            },
         ) if ln == hn && lt == ht => {
             if hv.is_nondet() {
                 return (
@@ -373,10 +425,15 @@ fn weakening_verdict(
                 );
             }
             let goal = eq_expr(lv.clone(), hv.clone());
-            let prover_ctx = ctx.prover_ctx_with(&path.method, &goal, dominating_assumes(ctx, path));
+            let prover_ctx =
+                ctx.prover_ctx_with(&path.method, &goal, dominating_assumes(ctx, path));
             (
                 check_valid(&goal, &prover_ctx),
-                vec![format!("assert {} == {};", expr_to_string(lv), expr_to_string(hv))],
+                vec![format!(
+                    "assert {} == {};",
+                    expr_to_string(lv),
+                    expr_to_string(hv)
+                )],
             )
         }
         (StmtKind::Print(la), StmtKind::Print(ha)) => {
@@ -384,7 +441,9 @@ fn weakening_verdict(
             // (under the dominating path conditions).
             if la.len() != ha.len() {
                 return (
-                    Verdict::Refuted { counterexample: "print arity differs".to_string() },
+                    Verdict::Refuted {
+                        counterexample: "print arity differs".to_string(),
+                    },
                     vec![],
                 );
             }
@@ -410,30 +469,51 @@ fn weakening_verdict(
                     other => return (other, body),
                 }
             }
-            (Verdict::Proved(ProofMethod::BoundedExhaustive { assignments: 0 }), body)
+            (
+                Verdict::Proved(ProofMethod::BoundedExhaustive { assignments: 0 }),
+                body,
+            )
         }
         (StmtKind::Assume(lc), StmtKind::Assume(hc)) => {
             // Weaker enablement admits more behaviors.
             let goal = implies_expr(lc.clone(), hc.clone());
-            let prover_ctx = ctx.prover_ctx_with(&path.method, &goal, dominating_assumes(ctx, path));
+            let prover_ctx =
+                ctx.prover_ctx_with(&path.method, &goal, dominating_assumes(ctx, path));
             (
                 check_valid(&goal, &prover_ctx),
-                vec![format!("assert {} ==> {};", expr_to_string(lc), expr_to_string(hc))],
+                vec![format!(
+                    "assert {} ==> {};",
+                    expr_to_string(lc),
+                    expr_to_string(hc)
+                )],
             )
         }
         (StmtKind::Assert(lc), StmtKind::Assert(hc)) => {
             // Assertion failure is observable through R, so the conditions
             // must be equivalent.
             let goal = eq_expr(lc.clone(), hc.clone());
-            let prover_ctx = ctx.prover_ctx_with(&path.method, &goal, dominating_assumes(ctx, path));
+            let prover_ctx =
+                ctx.prover_ctx_with(&path.method, &goal, dominating_assumes(ctx, path));
             (
                 check_valid(&goal, &prover_ctx),
-                vec![format!("assert {} <==> {};", expr_to_string(lc), expr_to_string(hc))],
+                vec![format!(
+                    "assert {} <==> {};",
+                    expr_to_string(lc),
+                    expr_to_string(hc)
+                )],
             )
         }
         (
-            StmtKind::Somehow { requires: lreq, modifies: lmod, ensures: lens },
-            StmtKind::Somehow { requires: hreq, modifies: hmod, ensures: hens },
+            StmtKind::Somehow {
+                requires: lreq,
+                modifies: lmod,
+                ensures: lens,
+            },
+            StmtKind::Somehow {
+                requires: hreq,
+                modifies: hmod,
+                ensures: hens,
+            },
         ) => {
             // The high frame must cover the low frame.
             let lmod_texts: Vec<String> = lmod.iter().map(expr_to_string).collect();
@@ -449,8 +529,7 @@ fn weakening_verdict(
             }
             let mut body = Vec::new();
             // UB superset: the high precondition may not be stronger.
-            let req_goal =
-                implies_expr(and_exprs(hreq.clone()), and_exprs(lreq.clone()));
+            let req_goal = implies_expr(and_exprs(hreq.clone()), and_exprs(lreq.clone()));
             body.push("assert HRequires ==> LRequires;".to_string());
             let prover_ctx = ctx.prover_ctx(&path.method, &req_goal);
             if let failed @ (Verdict::Refuted { .. } | Verdict::Unknown(_)) =
@@ -464,38 +543,45 @@ fn weakening_verdict(
                 let mut assumptions = lens.clone();
                 assumptions.extend(lreq.clone());
                 let goal = implies_expr(and_exprs(assumptions), hcond.clone());
-                body.push(format!(
-                    "assert LEnsures ==> {};",
-                    expr_to_string(hcond)
-                ));
-                let prover_ctx = ctx.prover_ctx_with(&path.method, &goal, dominating_assumes(ctx, path));
+                body.push(format!("assert LEnsures ==> {};", expr_to_string(hcond)));
+                let prover_ctx =
+                    ctx.prover_ctx_with(&path.method, &goal, dominating_assumes(ctx, path));
                 if let failed @ (Verdict::Refuted { .. } | Verdict::Unknown(_)) =
                     check_valid(&goal, &prover_ctx)
                 {
                     return (failed, body);
                 }
             }
-            (Verdict::Proved(ProofMethod::BoundedExhaustive { assignments: 0 }), body)
+            (
+                Verdict::Proved(ProofMethod::BoundedExhaustive { assignments: 0 }),
+                body,
+            )
         }
         // A concrete statement may be weakened to a `somehow` whose frame
         // covers its writes; used when abstracting implementation steps into
         // specification steps.
-        (StmtKind::Assign { lhs, .. }, StmtKind::Somehow { modifies, requires, .. })
-            if requires.is_empty() =>
-        {
+        (
+            StmtKind::Assign { lhs, .. },
+            StmtKind::Somehow {
+                modifies, requires, ..
+            },
+        ) if requires.is_empty() => {
             let modified: Vec<String> = modifies.iter().map(expr_to_string).collect();
-            let covered = lhs.iter().all(|target| modified.contains(&expr_to_string(target)));
+            let covered = lhs
+                .iter()
+                .all(|target| modified.contains(&expr_to_string(target)));
             if covered {
                 (
                     Verdict::Proved(ProofMethod::Structural),
-                    vec!["assign is within the somehow frame; ensures checked semantically"
-                        .to_string()],
+                    vec![
+                        "assign is within the somehow frame; ensures checked semantically"
+                            .to_string(),
+                    ],
                 )
             } else {
                 (
                     Verdict::Refuted {
-                        counterexample: "assignment target outside the somehow frame"
-                            .to_string(),
+                        counterexample: "assignment target outside the somehow frame".to_string(),
                     },
                     vec![],
                 )
@@ -554,7 +640,10 @@ mod tests {
             .obligations
             .iter()
             .any(|o| matches!(o.obligation.kind, ObligationKind::NondetWitness { .. })));
-        assert!(report.generated_sloc() > 100, "prelude + lemmas are substantial");
+        assert!(
+            report.generated_sloc() > 100,
+            "prelude + lemmas are substantial"
+        );
     }
 
     #[test]
@@ -645,7 +734,10 @@ mod tests {
         let without = run_on(&format!(
             "{src_base} proof P {{ refinement A B weakening }}"
         ));
-        assert!(without.success(), "engine evaluates the ghost function body directly");
+        assert!(
+            without.success(),
+            "engine evaluates the ghost function body directly"
+        );
         // With a deliberately unprovable variant, the lemma hint is the only
         // way through.
         let report = run_on(

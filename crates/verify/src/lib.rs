@@ -20,18 +20,35 @@
 //! Combined with the per-strategy obligations of `armada-strategies`, and
 //! composed across adjacent levels by transitivity ([`RefinementChain`]),
 //! this regenerates the paper's end-to-end guarantee on bounded instances.
+//!
+//! ## Parallel search
+//!
+//! With [`Bounds::jobs`] > 1 the product search runs multi-core, and the
+//! result is **byte-identical** to the serial run. The search is a
+//! wave-synchronized BFS: each wave's product nodes are expanded by a pool
+//! of workers pulling from a shared cursor (expansion — low-step
+//! enumeration plus match-set computation against the memoized high-level
+//! graph — is the hot path), then a serial, deterministic *commit* phase
+//! interns match sets, applies antichain subsumption, and admits successor
+//! nodes in a fixed order. Counterexample selection is deterministic by
+//! construction: all failures surface in the first failing wave (so the
+//! trace is shortest possible), and the lexicographically-least trace wins
+//! regardless of which worker found it first.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use armada_proof::RefinementRelation;
 use armada_sm::{
-    enabled_steps, initial_state, Bounds, ProgState, Program, Step, StepKind,
+    enabled_steps, initial_state, Bounds, ProgState, Program, Step, StepKind, Termination, Value,
 };
 
 /// Configuration for the simulation search.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Bounds for both programs' step enumeration.
+    /// Bounds for both programs' step enumeration (including
+    /// [`Bounds::jobs`], the checker's worker-thread count).
     pub bounds: Bounds,
     /// Maximum high-level steps allowed to match one low-level step.
     pub max_match: usize,
@@ -41,7 +58,19 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { bounds: Bounds::small(), max_match: 4, max_nodes: 200_000 }
+        SimConfig {
+            bounds: Bounds::small(),
+            max_match: 4,
+            max_nodes: 200_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The same configuration with `jobs` worker threads (0 clamps to 1).
+    pub fn with_jobs(mut self, jobs: usize) -> SimConfig {
+        self.bounds.jobs = jobs.max(1);
+        self
     }
 }
 
@@ -98,8 +127,225 @@ fn describe_step(program: &Program, state: &ProgState, step: &Step) -> String {
     }
 }
 
+/// Observables of a low-level state: the event log and termination status.
+/// Every supported refinement relation is a function of these alone, which
+/// is what makes match-set expansion memoizable per (match-set, observables)
+/// pair.
+type Obs = (Vec<Value>, Termination);
+
+/// A computed match set: the interned high-state ids related to a low state.
+type MatchSet = Arc<BTreeSet<u32>>;
+
+/// Memoized high-level state graph — interned states, successor lists and
+/// stutter closures — shared across workers behind one mutex.
+///
+/// The numeric ids depend on interning order and so can differ between runs
+/// when jobs > 1, but they are injective handles used only for set
+/// membership and dedup; every *output* derived from them (certs,
+/// counterexamples) is id-independent.
+struct HighGraph<'a> {
+    program: &'a Program,
+    pool: Vec<Value>,
+    max_buffer: usize,
+    max_match: usize,
+    intern: HashMap<ProgState, u32>,
+    states: Vec<Arc<ProgState>>,
+    successors: Vec<Option<Vec<u32>>>,
+    closures: Vec<Option<Arc<Vec<(u32, Arc<ProgState>)>>>>,
+}
+
+impl<'a> HighGraph<'a> {
+    fn new(program: &'a Program, pool: Vec<Value>, max_buffer: usize, max_match: usize) -> Self {
+        HighGraph {
+            program,
+            pool,
+            max_buffer,
+            max_match,
+            intern: HashMap::new(),
+            states: Vec::new(),
+            successors: Vec::new(),
+            closures: Vec::new(),
+        }
+    }
+
+    fn intern_state(&mut self, state: ProgState) -> u32 {
+        if let Some(&id) = self.intern.get(&state) {
+            return id;
+        }
+        let id = self.states.len() as u32;
+        self.intern.insert(state.clone(), id);
+        self.states.push(Arc::new(state));
+        self.successors.push(None);
+        self.closures.push(None);
+        id
+    }
+
+    fn successors_of(&mut self, id: u32) -> Vec<u32> {
+        if let Some(cached) = &self.successors[id as usize] {
+            return cached.clone();
+        }
+        let state = Arc::clone(&self.states[id as usize]);
+        let ids: Vec<u32> = enabled_steps(self.program, &state, &self.pool, self.max_buffer)
+            .into_iter()
+            .map(|(_, s)| self.intern_state(s))
+            .collect();
+        self.successors[id as usize] = Some(ids.clone());
+        ids
+    }
+
+    /// The stutter closure of an interned high state: all states reachable
+    /// within `max_match` steps, paired with their ids.
+    fn closure_of(&mut self, id: u32) -> Arc<Vec<(u32, Arc<ProgState>)>> {
+        if let Some(cached) = &self.closures[id as usize] {
+            return Arc::clone(cached);
+        }
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
+        let mut frontier = VecDeque::new();
+        seen.insert(id);
+        frontier.push_back((id, 0usize));
+        while let Some((current, depth)) = frontier.pop_front() {
+            if depth >= self.max_match {
+                continue;
+            }
+            for next in self.successors_of(current) {
+                if seen.insert(next) {
+                    frontier.push_back((next, depth + 1));
+                }
+            }
+        }
+        let result = Arc::new(
+            seen.into_iter()
+                .map(|h| (h, Arc::clone(&self.states[h as usize])))
+                .collect::<Vec<_>>(),
+        );
+        self.closures[id as usize] = Some(Arc::clone(&result));
+        result
+    }
+}
+
+/// All high states reachable (within the stutter budget) from any current
+/// match that relate to the new low state; `None` if there are none — a
+/// refinement failure.
+fn expand_matches(
+    parent_matches: &BTreeSet<u32>,
+    low_next: &ProgState,
+    relation: &(dyn RefinementRelation + Sync),
+    high: &Mutex<HighGraph<'_>>,
+) -> Option<MatchSet> {
+    let mut new_matches: BTreeSet<u32> = BTreeSet::new();
+    for &high_id in parent_matches {
+        let closure = high.lock().expect("high graph").closure_of(high_id);
+        for (candidate, candidate_state) in closure.iter() {
+            if new_matches.contains(candidate) {
+                continue;
+            }
+            if relation.relates(low_next, candidate_state) {
+                new_matches.insert(*candidate);
+            }
+        }
+    }
+    if new_matches.is_empty() {
+        None
+    } else {
+        Some(Arc::new(new_matches))
+    }
+}
+
+/// One product node of the subset construction.
+struct Node {
+    low: ProgState,
+    /// Interned id of `matches` — the expand-cache key component. Assigned
+    /// serially during commit, so it is deterministic.
+    set_id: u32,
+    matches: MatchSet,
+    /// Parent node index and the low-step description that reached us.
+    parent: Option<(usize, String)>,
+}
+
+/// One expanded successor of a wave node, produced by a worker.
+struct SuccOut {
+    desc: String,
+    next: ProgState,
+    matches: Option<MatchSet>,
+}
+
+/// Expands every node of the current wave: enumerates its low steps and
+/// computes each successor's match set. With jobs > 1 the wave is split
+/// across scoped worker threads via a shared cursor (work-stealing at node
+/// granularity); results land in per-slot `OnceLock`s so the commit phase
+/// sees them in wave order regardless of completion order.
+#[allow(clippy::too_many_arguments)]
+fn expand_wave(
+    wave: &[usize],
+    nodes: &[Node],
+    low: &Program,
+    pool: &[Value],
+    max_buffer: usize,
+    jobs: usize,
+    relation: &(dyn RefinementRelation + Sync),
+    high: &Mutex<HighGraph<'_>>,
+    cache: &Mutex<HashMap<(u32, Obs), Option<MatchSet>>>,
+) -> Vec<Vec<SuccOut>> {
+    let expand_one = |node: &Node| -> Vec<SuccOut> {
+        if node.low.is_terminal() {
+            return Vec::new();
+        }
+        enabled_steps(low, &node.low, pool, max_buffer)
+            .into_iter()
+            .map(|(step, low_next)| {
+                let desc = describe_step(low, &node.low, &step);
+                let obs: Obs = (low_next.log.clone(), low_next.termination.clone());
+                let key = (node.set_id, obs);
+                let cached = cache.lock().expect("expand cache").get(&key).cloned();
+                let matches = match cached {
+                    Some(hit) => hit,
+                    None => {
+                        let computed = expand_matches(&node.matches, &low_next, relation, high);
+                        cache
+                            .lock()
+                            .expect("expand cache")
+                            .insert(key, computed.clone());
+                        computed
+                    }
+                };
+                SuccOut {
+                    desc,
+                    next: low_next,
+                    matches,
+                }
+            })
+            .collect()
+    };
+
+    if jobs <= 1 || wave.len() <= 1 {
+        return wave.iter().map(|&i| expand_one(&nodes[i])).collect();
+    }
+    let slots: Vec<OnceLock<Vec<SuccOut>>> = (0..wave.len()).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(wave.len()) {
+            scope.spawn(|| loop {
+                let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                if slot >= wave.len() {
+                    break;
+                }
+                let out = expand_one(&nodes[wave[slot]]);
+                slots[slot]
+                    .set(out)
+                    .ok()
+                    .expect("each slot is claimed once");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot was filled"))
+        .collect()
+}
+
 /// Checks that `low` refines `high` under `relation`, over all bounded
-/// behaviors.
+/// behaviors. Runs on `config.bounds.jobs` worker threads; the result is
+/// byte-identical for any job count (see the module docs).
 ///
 /// # Errors
 ///
@@ -110,11 +356,11 @@ fn describe_step(program: &Program, state: &ProgState, step: &Step) -> String {
 pub fn check_refinement(
     low: &Program,
     high: &Program,
-    relation: &dyn RefinementRelation,
+    relation: &(dyn RefinementRelation + Sync),
     config: &SimConfig,
 ) -> Result<RefinementCert, Box<Counterexample>> {
+    let jobs = config.bounds.jobs.max(1);
     let pool = config.bounds.pool_for(low);
-    let high_pool = config.bounds.pool_for(high);
     let low_init = initial_state(low).map_err(|e| {
         Box::new(Counterexample {
             description: format!("low initial state: {e}"),
@@ -132,82 +378,19 @@ pub fn check_refinement(
 
     // High states are interned so match sets are integer sets; successor
     // lists and stutter closures are memoized per interned state.
-    let mut intern: BTreeMap<ProgState, u32> = BTreeMap::new();
-    let mut states: Vec<ProgState> = Vec::new();
-    let mut successors: Vec<Option<Vec<u32>>> = Vec::new();
-    let mut closures: Vec<Option<Vec<u32>>> = Vec::new();
-
-    fn intern_state(
-        state: ProgState,
-        intern: &mut BTreeMap<ProgState, u32>,
-        states: &mut Vec<ProgState>,
-        successors: &mut Vec<Option<Vec<u32>>>,
-        closures: &mut Vec<Option<Vec<u32>>>,
-    ) -> u32 {
-        if let Some(&id) = intern.get(&state) {
-            return id;
-        }
-        let id = states.len() as u32;
-        intern.insert(state.clone(), id);
-        states.push(state);
-        successors.push(None);
-        closures.push(None);
-        id
-    }
-
-    // The stutter closure of an interned high state (ids reachable within
-    // max_match steps).
-    let closure_of = |id: u32,
-                          intern: &mut BTreeMap<ProgState, u32>,
-                          states: &mut Vec<ProgState>,
-                          successors: &mut Vec<Option<Vec<u32>>>,
-                          closures: &mut Vec<Option<Vec<u32>>>|
-     -> Vec<u32> {
-        if let Some(cached) = &closures[id as usize] {
-            return cached.clone();
-        }
-        let mut seen: BTreeSet<u32> = BTreeSet::new();
-        let mut frontier = VecDeque::new();
-        seen.insert(id);
-        frontier.push_back((id, 0usize));
-        while let Some((current, depth)) = frontier.pop_front() {
-            if depth >= config.max_match {
-                continue;
-            }
-            if successors[current as usize].is_none() {
-                let next_states: Vec<ProgState> = enabled_steps(
-                    high,
-                    &states[current as usize],
-                    &high_pool,
-                    config.bounds.max_buffer,
-                )
-                .into_iter()
-                .map(|(_, s)| s)
-                .collect();
-                let ids: Vec<u32> = next_states
-                    .into_iter()
-                    .map(|s| intern_state(s, intern, states, successors, closures))
-                    .collect();
-                successors[current as usize] = Some(ids);
-            }
-            for next in successors[current as usize].clone().expect("just set") {
-                if seen.insert(next) {
-                    frontier.push_back((next, depth + 1));
-                }
-            }
-        }
-        let result: Vec<u32> = seen.into_iter().collect();
-        closures[id as usize] = Some(result.clone());
-        result
-    };
-
-    let high_root =
-        intern_state(high_init, &mut intern, &mut states, &mut successors, &mut closures);
-    let init_matches: BTreeSet<u32> =
-        closure_of(high_root, &mut intern, &mut states, &mut successors, &mut closures)
-            .into_iter()
-            .filter(|&h| relation.relates(&low_init, &states[h as usize]))
-            .collect();
+    let mut high_graph = HighGraph::new(
+        high,
+        config.bounds.pool_for(high),
+        config.bounds.max_buffer,
+        config.max_match,
+    );
+    let high_root = high_graph.intern_state(high_init);
+    let init_matches: BTreeSet<u32> = high_graph
+        .closure_of(high_root)
+        .iter()
+        .filter(|(_, s)| relation.relates(&low_init, s))
+        .map(|(h, _)| *h)
+        .collect();
     if init_matches.is_empty() {
         return Err(Box::new(Counterexample {
             description: "initial states are not related by R".to_string(),
@@ -215,47 +398,37 @@ pub fn check_refinement(
             state: low_init,
         }));
     }
+    let high_graph = Mutex::new(high_graph);
 
-    // Product search. Parent pointers give counterexample traces; antichain
-    // subsumption prunes nodes whose match set is a superset of a processed
-    // one (fewer matches is the strictly harder obligation).
-    //
-    // Match sets are interned, and — because every supported refinement
-    // relation is a function of a state's *observables* (event log and
-    // termination status) — the expansion of a match set against a low
-    // successor is memoized per (match-set, observables) pair. Stuttering
-    // low steps (no log change) therefore hit the cache almost always.
-    type NodeId = usize;
-    type Obs = (Vec<armada_sm::Value>, armada_sm::Termination);
-    let mut set_intern: BTreeMap<BTreeSet<u32>, u32> = BTreeMap::new();
-    let mut sets: Vec<BTreeSet<u32>> = Vec::new();
-    let intern_set = |set: BTreeSet<u32>, set_intern: &mut BTreeMap<BTreeSet<u32>, u32>, sets: &mut Vec<BTreeSet<u32>>| -> u32 {
-        if let Some(&id) = set_intern.get(&set) {
-            return id;
-        }
-        let id = sets.len() as u32;
-        set_intern.insert(set.clone(), id);
-        sets.push(set);
-        id
-    };
-    let mut expand_cache: BTreeMap<(u32, Obs), Option<u32>> = BTreeMap::new();
+    // Product search, wave by wave. Parent pointers give counterexample
+    // traces; antichain subsumption prunes nodes whose match set is a
+    // superset of an admitted one (fewer matches is the strictly harder
+    // obligation). Match sets are interned, and — because every supported
+    // refinement relation is a function of a state's *observables* — the
+    // expansion of a match set against a low successor is memoized per
+    // (match-set, observables) pair. Stuttering low steps (no log change)
+    // therefore hit the cache almost always.
+    let expand_cache: Mutex<HashMap<(u32, Obs), Option<MatchSet>>> = Mutex::new(HashMap::new());
+    let mut set_intern: HashMap<Arc<BTreeSet<u32>>, u32> = HashMap::new();
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut seen_low: HashMap<ProgState, Vec<MatchSet>> = HashMap::new();
 
-    let mut nodes: Vec<(ProgState, u32)> = Vec::new();
-    let mut seen_low: BTreeMap<ProgState, Vec<u32>> = BTreeMap::new();
-    let mut parents: Vec<Option<(NodeId, String)>> = Vec::new();
-    let mut frontier: VecDeque<NodeId> = VecDeque::new();
-
-    let init_set_id = intern_set(init_matches, &mut set_intern, &mut sets);
-    seen_low.insert(low_init.clone(), vec![init_set_id]);
-    nodes.push((low_init, init_set_id));
-    parents.push(None);
-    frontier.push_back(0);
+    let init_matches = Arc::new(init_matches);
+    set_intern.insert(Arc::clone(&init_matches), 0);
+    seen_low.insert(low_init.clone(), vec![Arc::clone(&init_matches)]);
+    nodes.push(Node {
+        low: low_init,
+        set_id: 0,
+        matches: init_matches,
+        parent: None,
+    });
 
     let mut low_transitions = 0usize;
+    let mut wave: Vec<usize> = vec![0];
 
-    let trace_of = |parents: &Vec<Option<(NodeId, String)>>, mut node: NodeId| {
+    let trace_of = |nodes: &[Node], mut node: usize| {
         let mut trace = Vec::new();
-        while let Some((parent, step)) = &parents[node] {
+        while let Some((parent, step)) = &nodes[node].parent {
             trace.push(step.clone());
             node = *parent;
         }
@@ -263,90 +436,97 @@ pub fn check_refinement(
         trace
     };
 
-    while let Some(node_id) = frontier.pop_front() {
-        let (low_state, match_set_id) = nodes[node_id].clone();
-        if low_state.is_terminal() {
-            continue;
-        }
-        for (step, low_next) in
-            enabled_steps(low, &low_state, &pool, config.bounds.max_buffer)
-        {
-            low_transitions += 1;
-            let obs: Obs = (low_next.log.clone(), low_next.termination.clone());
-            let cache_key = (match_set_id, obs);
-            let new_set_id = match expand_cache.get(&cache_key) {
-                Some(cached) => *cached,
-                None => {
-                    // New match set: all states reachable (within the
-                    // stutter budget) from any current match that relate to
-                    // the new low state.
-                    let mut new_matches: BTreeSet<u32> = BTreeSet::new();
-                    for &high_id in sets[match_set_id as usize].clone().iter() {
-                        for candidate in closure_of(
-                            high_id,
-                            &mut intern,
-                            &mut states,
-                            &mut successors,
-                            &mut closures,
-                        ) {
-                            if new_matches.contains(&candidate) {
-                                continue;
-                            }
-                            if relation.relates(&low_next, &states[candidate as usize]) {
-                                new_matches.insert(candidate);
-                            }
-                        }
-                    }
-                    let result = if new_matches.is_empty() {
-                        None
-                    } else {
-                        Some(intern_set(new_matches, &mut set_intern, &mut sets))
-                    };
-                    expand_cache.insert(cache_key, result);
-                    result
+    while !wave.is_empty() {
+        // Parallel phase: expand every wave node.
+        let expanded = expand_wave(
+            &wave,
+            &nodes,
+            low,
+            &pool,
+            config.bounds.max_buffer,
+            jobs,
+            relation,
+            &high_graph,
+            &expand_cache,
+        );
+
+        // Serial commit phase: scan successors in wave order, collecting
+        // refinement failures and admitting new nodes deterministically.
+        let mut failures: Vec<(Vec<String>, String, ProgState)> = Vec::new();
+        let mut budget_failure: Option<Box<Counterexample>> = None;
+        let mut next_wave: Vec<usize> = Vec::new();
+        for (slot, successors) in expanded.into_iter().enumerate() {
+            let node_id = wave[slot];
+            for succ in successors {
+                low_transitions += 1;
+                let Some(new_matches) = succ.matches else {
+                    let mut trace = trace_of(&nodes, node_id);
+                    trace.push(succ.desc.clone());
+                    failures.push((trace, succ.desc, succ.next));
+                    continue;
+                };
+                if budget_failure.is_some() {
+                    continue;
                 }
-            };
-            let Some(new_set_id) = new_set_id else {
-                let mut trace = trace_of(&parents, node_id);
-                trace.push(describe_step(low, &low_state, &step));
-                return Err(Box::new(Counterexample {
-                    description: format!(
-                        "no high-level behavior matches after `{}`",
-                        describe_step(low, &low_state, &step)
-                    ),
-                    trace,
-                    state: low_next,
-                }));
-            };
-            let subsumed = seen_low
-                .get(&low_next)
-                .map(|ids| {
-                    ids.iter().any(|&m| {
-                        m == new_set_id
-                            || sets[m as usize].is_subset(&sets[new_set_id as usize])
-                    })
-                })
-                .unwrap_or(false);
-            if subsumed {
-                continue;
+                let subsumed = seen_low
+                    .get(&succ.next)
+                    .map(|sets| sets.iter().any(|m| m.is_subset(&new_matches)))
+                    .unwrap_or(false);
+                if subsumed {
+                    continue;
+                }
+                if nodes.len() >= config.max_nodes {
+                    budget_failure = Some(Box::new(Counterexample {
+                        description: format!(
+                            "search budget exceeded ({} product nodes); refinement NOT verified",
+                            config.max_nodes
+                        ),
+                        trace: trace_of(&nodes, node_id),
+                        state: succ.next,
+                    }));
+                    continue;
+                }
+                let set_id = match set_intern.get(&new_matches) {
+                    Some(&id) => id,
+                    None => {
+                        let id = set_intern.len() as u32;
+                        set_intern.insert(Arc::clone(&new_matches), id);
+                        id
+                    }
+                };
+                seen_low
+                    .entry(succ.next.clone())
+                    .or_default()
+                    .push(Arc::clone(&new_matches));
+                let id = nodes.len();
+                nodes.push(Node {
+                    low: succ.next,
+                    set_id,
+                    matches: new_matches,
+                    parent: Some((node_id, succ.desc)),
+                });
+                next_wave.push(id);
             }
-            if nodes.len() >= config.max_nodes {
-                let trace = trace_of(&parents, node_id);
-                return Err(Box::new(Counterexample {
-                    description: format!(
-                        "search budget exceeded ({} product nodes); refinement NOT verified",
-                        config.max_nodes
-                    ),
-                    trace,
-                    state: low_next,
-                }));
-            }
-            let id = nodes.len();
-            seen_low.entry(low_next.clone()).or_default().push(new_set_id);
-            parents.push(Some((node_id, describe_step(low, &nodes[node_id].0, &step))));
-            nodes.push((low_next, new_set_id));
-            frontier.push_back(id);
         }
+
+        // Deterministic counterexample selection: every failure surfaces in
+        // the first failing wave (all traces are the same, minimal length);
+        // the lexicographically-least trace wins, so parallel and serial
+        // runs report the identical counterexample. Refinement failures
+        // take precedence over a budget failure within the same wave.
+        if !failures.is_empty() {
+            failures.sort_by(|a, b| (&a.0, &a.2).cmp(&(&b.0, &b.2)));
+            let (trace, desc, state) = failures.into_iter().next().expect("nonempty");
+            return Err(Box::new(Counterexample {
+                description: format!("no high-level behavior matches after `{desc}`"),
+                trace,
+                state,
+            }));
+        }
+        if let Some(budget) = budget_failure {
+            return Err(budget);
+        }
+        wave = next_wave;
     }
 
     Ok(RefinementCert {
@@ -413,7 +593,10 @@ mod tests {
     fn programs(src: &str, low: &str, high: &str) -> (Program, Program) {
         let module = parse_module(src).expect("parse");
         let typed = check_module(&module).expect("typecheck");
-        (lower(&typed, low).expect("lower low"), lower(&typed, high).expect("lower high"))
+        (
+            lower(&typed, low).expect("lower low"),
+            lower(&typed, high).expect("lower high"),
+        )
     }
 
     #[test]
@@ -427,8 +610,7 @@ mod tests {
             "B",
         );
         let relation = StandardRelation::log_prefix();
-        let cert =
-            check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap();
+        let cert = check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap();
         assert!(cert.product_nodes >= 1);
     }
 
@@ -471,8 +653,7 @@ mod tests {
             "B",
         );
         let relation = StandardRelation::log_prefix();
-        let err =
-            check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap_err();
+        let err = check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap_err();
         assert!(err.description.contains("no high-level behavior"));
         assert!(!err.trace.is_empty());
         assert!(err.to_string().contains("counterexample"));
@@ -546,6 +727,51 @@ mod tests {
         );
         let relation = StandardRelation::log_prefix();
         check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn parallel_check_matches_serial() {
+        // Success: certificates (node and transition counts included) must
+        // be identical for any job count.
+        let (low, high) = programs(
+            r#"
+            level Impl {
+                void worker(v: uint32) { print(v); }
+                void main() {
+                    var a: uint64 := create_thread worker(1);
+                    var b: uint64 := create_thread worker(2);
+                    join a;
+                    join b;
+                }
+            }
+            level Spec {
+                void main() {
+                    if (*) { print(1); print(2); } else { print(2); print(1); }
+                }
+            }
+            "#,
+            "Impl",
+            "Spec",
+        );
+        let relation = StandardRelation::log_prefix();
+        let serial = check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap();
+        let parallel =
+            check_refinement(&low, &high, &relation, &SimConfig::default().with_jobs(4)).unwrap();
+        assert_eq!(serial, parallel);
+
+        // Failure: the reported counterexample must render byte-identically.
+        let (low, high) = programs(
+            r#"
+            level A { void main() { if (*) { print(1); } else { print(3); } } }
+            level B { void main() { print(2); } }
+            "#,
+            "A",
+            "B",
+        );
+        let serial = check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap_err();
+        let parallel = check_refinement(&low, &high, &relation, &SimConfig::default().with_jobs(4))
+            .unwrap_err();
+        assert_eq!(serial.to_string(), parallel.to_string());
     }
 
     #[test]

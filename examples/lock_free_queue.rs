@@ -37,8 +37,9 @@ fn main() {
     println!("\nMini Figure 12 ({ops} ops/trial, {trials} trials):");
     let mut baseline = None;
     for variant in armada_bench::FIGURE12_VARIANTS {
-        let samples: Vec<f64> =
-            (0..trials).map(|_| armada_bench::figure12_trial(variant, ops)).collect();
+        let samples: Vec<f64> = (0..trials)
+            .map(|_| armada_bench::figure12_trial(variant, ops))
+            .collect();
         let stats = Stats::of(&samples);
         let base = *baseline.get_or_insert(stats.mean);
         println!(

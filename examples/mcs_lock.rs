@@ -41,8 +41,7 @@ fn main() {
     // 2. The verified model: exhaustively check mutual exclusion of the
     //    ticket-lock implementation level (every interleaving, every
     //    store-buffer schedule).
-    let pipeline =
-        armada::Pipeline::from_source(armada_cases::mcs_lock::MODEL).expect("front end");
+    let pipeline = armada::Pipeline::from_source(armada_cases::mcs_lock::MODEL).expect("front end");
     let program = lower(pipeline.typed(), "Implementation").expect("lower");
     let exploration = explore(&program, &Bounds::small());
     assert!(exploration.clean(), "no UB, no crashes, not truncated");

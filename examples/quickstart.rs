@@ -42,7 +42,9 @@ proof ImplementationRefinesSpecification {
 
 fn main() {
     let pipeline = Pipeline::from_source(SOURCE).expect("front end");
-    pipeline.check_core().expect("implementation is core Armada");
+    pipeline
+        .check_core()
+        .expect("implementation is core Armada");
 
     let report = pipeline.run().expect("pipeline");
     print!("{report}");
@@ -55,7 +57,11 @@ fn main() {
     println!(
         "\n✓ {} — {} obligations, {} SLOC of generated proof",
         report.chain_claim().expect("chain"),
-        report.strategy_reports.iter().map(|r| r.obligations.len()).sum::<usize>(),
+        report
+            .strategy_reports
+            .iter()
+            .map(|r| r.obligations.len())
+            .sum::<usize>(),
         report.generated_sloc()
     );
 }

@@ -41,7 +41,10 @@ fn outcomes(source: &str) -> BTreeSet<String> {
     let typed = check_module(&module).expect("typecheck");
     let program = lower(&typed, "SB").expect("lower");
     let exploration = explore(&program, &Bounds::small());
-    assert!(exploration.clean(), "no UB, no assertion failures, not truncated");
+    assert!(
+        exploration.clean(),
+        "no UB, no assertion failures, not truncated"
+    );
     exploration
         .exited
         .iter()

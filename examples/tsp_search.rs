@@ -25,7 +25,13 @@ fn main() {
     let outcomes: std::collections::BTreeSet<String> = exploration
         .exited
         .iter()
-        .map(|s| s.log.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(","))
+        .map(|s| {
+            s.log
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
         .collect();
     println!("\nObservable outcomes of the implementation across ALL interleavings:");
     for outcome in &outcomes {
@@ -41,8 +47,8 @@ fn main() {
     // 3. The paper-scale Figure-2 program goes through the front end and the
     //    C backend.
     let module = armada_lang::parse_module(tsp::PAPER).expect("parse");
-    let c_code = armada_backend::emit_c(module.level("Implementation").expect("level"))
-        .expect("C emission");
+    let c_code =
+        armada_backend::emit_c(module.level("Implementation").expect("level")).expect("C emission");
     println!(
         "\nPaper-scale Figure-2 program emits {} lines of ClightTSO-flavored C.",
         c_code.lines().count()

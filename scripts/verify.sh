@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Pre-PR gate for the Armada reproduction. Fully offline by design: the
+# workspace has zero crates.io dependencies (see DESIGN.md, "Dependencies").
+#
+#   scripts/verify.sh          # release build + tier-1 tests + fmt check
+#   scripts/verify.sh --full   # additionally: full-workspace tests and a
+#                              # quick pass over every bench target
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+if [[ "${1:-}" == "--full" ]]; then
+    echo "==> cargo test --workspace -q"
+    cargo test --workspace -q --offline
+    echo "==> quick benches"
+    ARMADA_BENCH_QUICK=1 cargo bench -p armada-bench --offline
+    cargo run --release --offline -p armada-bench --bin parallel_speedup -- --quick
+fi
+
+echo "verify.sh: all checks passed"

@@ -39,9 +39,11 @@ fn conservative_mode_is_strictly_more_fenced() {
 fn c_backend_handles_every_paper_scale_implementation() {
     for case in armada_cases::all_cases() {
         let module = parse_module(case.paper_source).expect("parse");
-        let level = module.level("Implementation").expect("Implementation level");
-        let c_code = emit_c(level)
-            .unwrap_or_else(|err| panic!("{}: C emission failed: {err}", case.name));
+        let level = module
+            .level("Implementation")
+            .expect("Implementation level");
+        let c_code =
+            emit_c(level).unwrap_or_else(|err| panic!("{}: C emission failed: {err}", case.name));
         assert!(
             c_code.contains("#include \"armada_runtime.h\""),
             "{}: runtime shim missing",

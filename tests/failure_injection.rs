@@ -7,7 +7,10 @@
 use armada::Pipeline;
 
 fn run(source: &str) -> armada::PipelineReport {
-    Pipeline::from_source(source).expect("front end").run().expect("pipeline")
+    Pipeline::from_source(source)
+        .expect("front end")
+        .run()
+        .expect("pipeline")
 }
 
 #[test]

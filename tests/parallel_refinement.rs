@@ -1,0 +1,44 @@
+//! Serial/parallel equivalence of the whole verification pipeline on the
+//! Queue case study: the `jobs` knob may only change wall-clock time, never
+//! results. Certificates (including node and transition counts) and
+//! counterexample renderings must be byte-identical between `jobs = 1` and
+//! `jobs = 4`.
+
+use armada::verify::SimConfig;
+use armada::{Pipeline, PipelineReport};
+
+fn run(source: &str, jobs: usize) -> PipelineReport {
+    Pipeline::from_source(source)
+        .expect("front end")
+        .with_sim_config(SimConfig::default().with_jobs(jobs))
+        .run()
+        .expect("pipeline infrastructure")
+}
+
+#[test]
+fn queue_pipeline_parallel_matches_serial() {
+    let serial = run(armada_cases::queue::MODEL, 1);
+    let parallel = run(armada_cases::queue::MODEL, 4);
+    assert!(serial.verified(), "{}", serial.failure_summary());
+    assert!(parallel.verified(), "{}", parallel.failure_summary());
+    assert_eq!(serial.refinements, parallel.refinements);
+    assert_eq!(serial.chain_claim(), parallel.chain_claim());
+    assert_eq!(serial.generated_sloc(), parallel.generated_sloc());
+}
+
+#[test]
+fn torn_publication_counterexample_is_identical_across_jobs() {
+    // Publishing write_index before the element is the classic torn-
+    // publication bug; both job counts must catch it with the same trace.
+    let broken = armada_cases::queue::MODEL.replace(
+        "            elements[w % 2] := 7;\n            write_index := w + 1;",
+        "            write_index := w + 1;\n            elements[w % 2] := 7;",
+    );
+    assert_ne!(broken, armada_cases::queue::MODEL, "mutant must apply");
+    let serial = run(&broken, 1);
+    let parallel = run(&broken, 4);
+    assert!(!serial.verified(), "mutant must not verify");
+    assert!(!parallel.verified(), "mutant must not verify");
+    assert_eq!(serial.refinements, parallel.refinements);
+    assert_eq!(serial.failure_summary(), parallel.failure_summary());
+}

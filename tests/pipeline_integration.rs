@@ -18,12 +18,19 @@ fn every_case_study_model_verifies() {
             report.failure_summary()
         );
         let chain = report.chain_claim().expect("chain composes");
-        assert!(chain.starts_with("Implementation ⊑ "), "{}: {chain}", case.name);
+        assert!(
+            chain.starts_with("Implementation ⊑ "),
+            "{}: {chain}",
+            case.name
+        );
         // Effort shape: recipes are small, generated proofs large (the
         // paper's central claim).
         let effort = pipeline.effort(&report);
-        let recipe_sloc: usize =
-            effort.recipes.iter().map(|r| r.recipe_sloc + r.customization_sloc).sum();
+        let recipe_sloc: usize = effort
+            .recipes
+            .iter()
+            .map(|r| r.recipe_sloc + r.customization_sloc)
+            .sum();
         let generated = effort.total_generated();
         assert!(
             generated > 10 * recipe_sloc.max(1),
@@ -46,8 +53,11 @@ fn running_example_matches_the_papers_figures() {
     let (_, report) = tsp::case().verify_model().unwrap();
     assert!(report.verified(), "{}", report.failure_summary());
     // Figure 4's strategy then Figure 6's strategy.
-    let strategies: Vec<String> =
-        report.strategy_reports.iter().map(|r| r.strategy.to_string()).collect();
+    let strategies: Vec<String> = report
+        .strategy_reports
+        .iter()
+        .map(|r| r.strategy.to_string())
+        .collect();
     assert_eq!(strategies, vec!["nondet_weakening", "tso_elim"]);
     // The TSO-elimination recipe generated the three ownership obligations
     // of §4.2.3.
@@ -56,8 +66,15 @@ fn running_example_matches_the_papers_figures() {
         .iter()
         .map(|o| o.obligation.kind.label())
         .collect();
-    for expected in ["ownership-exclusive", "ownership-on-access", "buffer-empty-on-release"] {
-        assert!(labels.contains(&expected), "missing {expected} in {labels:?}");
+    for expected in [
+        "ownership-exclusive",
+        "ownership-on-access",
+        "buffer-empty-on-release",
+    ] {
+        assert!(
+            labels.contains(&expected),
+            "missing {expected} in {labels:?}"
+        );
     }
 }
 

@@ -1,8 +1,9 @@
-//! Cross-crate property tests over the core invariants (§3.2, §4.1).
+//! Cross-crate seeded randomized tests over the core invariants (§3.2,
+//! §4.1), driven by the in-repo SplitMix64 PRNG.
 
 use armada_lang::{check_module, parse_module};
+use armada_runtime::prng::run_seeded_cases;
 use armada_sm::{enabled_steps, initial_state, lower, next_state, Bounds};
-use proptest::prelude::*;
 
 /// A small concurrent program with buffered writes, fences, and branching,
 /// used as the random-walk substrate.
@@ -33,38 +34,40 @@ fn substrate() -> armada_sm::Program {
     lower(&typed, "L").expect("lower")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// NextState is a deterministic total function of (state, step): §4.1's
-    /// nondeterminism encapsulation. Random scheduling choices replayed
-    /// twice give identical states.
-    #[test]
-    fn next_state_is_deterministic(choices in proptest::collection::vec(0usize..64, 1..40)) {
-        let program = substrate();
-        let bounds = Bounds::small();
-        let pool = bounds.pool();
+/// NextState is a deterministic total function of (state, step): §4.1's
+/// nondeterminism encapsulation. Random scheduling choices replayed twice
+/// give identical states.
+#[test]
+fn next_state_is_deterministic() {
+    let program = substrate();
+    let bounds = Bounds::small();
+    let pool = bounds.pool();
+    run_seeded_cases(0x3e3a_0001, 64, |rng, case| {
+        let walk_len = 1 + rng.index(39);
         let mut state = initial_state(&program).expect("initial");
-        for &choice in &choices {
+        for _ in 0..walk_len {
             let steps = enabled_steps(&program, &state, &pool, bounds.max_buffer);
             if steps.is_empty() {
                 break;
             }
-            let (step, successor) = &steps[choice % steps.len()];
+            let (step, successor) = &steps[rng.index(steps.len())];
             let replay_a = next_state(&program, &state, step);
             let replay_b = next_state(&program, &state, step);
-            prop_assert_eq!(&replay_a, &replay_b);
-            prop_assert_eq!(&replay_a, successor);
+            assert_eq!(&replay_a, &replay_b, "case {case}");
+            assert_eq!(&replay_a, successor, "case {case}");
             state = successor.clone();
         }
-    }
+    });
+}
 
-    /// A disabled or malformed step leaves the state unchanged (totality).
-    #[test]
-    fn next_state_is_total(tid in 0u64..6, drain in proptest::bool::ANY) {
-        let program = substrate();
+/// A disabled or malformed step leaves the state unchanged (totality).
+#[test]
+fn next_state_is_total() {
+    let program = substrate();
+    run_seeded_cases(0x3e3a_0002, 64, |rng, case| {
+        let tid = rng.below(6);
         let state = initial_state(&program).expect("initial");
-        let step = if drain {
+        let step = if rng.bool() {
             armada_sm::Step::drain(tid)
         } else {
             armada_sm::Step::instr_with(tid, vec![])
@@ -73,60 +76,60 @@ proptest! {
         // it is the unchanged state.
         let next = next_state(&program, &state, &step);
         if state.thread(tid).is_none() {
-            prop_assert_eq!(next, state);
+            assert_eq!(next, state, "case {case}: tid={tid}");
         }
-    }
+    });
+}
 
-    /// Store buffers preserve per-thread FIFO order: after any schedule, the
-    /// buffered writes of each thread drain in issue order, so a thread's
-    /// own final writes win.
-    #[test]
-    fn exploration_invariants_hold_on_random_schedules(
-        choices in proptest::collection::vec(0usize..64, 1..60)
-    ) {
-        let program = substrate();
-        let bounds = Bounds::small();
-        let pool = bounds.pool();
+/// Store buffers preserve per-thread FIFO order: after any schedule, the
+/// buffered writes of each thread drain in issue order, so a thread's own
+/// final writes win.
+#[test]
+fn exploration_invariants_hold_on_random_schedules() {
+    let program = substrate();
+    let bounds = Bounds::small();
+    let pool = bounds.pool();
+    run_seeded_cases(0x3e3a_0003, 64, |rng, case| {
+        let walk_len = 1 + rng.index(59);
         let mut state = initial_state(&program).expect("initial");
-        for &choice in &choices {
+        for _ in 0..walk_len {
             let steps = enabled_steps(&program, &state, &pool, bounds.max_buffer);
             if steps.is_empty() {
                 break;
             }
-            state = steps[choice % steps.len()].1.clone();
+            state = steps[rng.index(steps.len())].1.clone();
             // Invariant: buffers never exceed the bound.
             for thread in state.threads.values() {
-                prop_assert!(thread.buffer.len() <= bounds.max_buffer);
+                assert!(thread.buffer.len() <= bounds.max_buffer, "case {case}");
             }
             // Invariant: terminal states have no enabled steps.
             if state.is_terminal() {
-                prop_assert!(enabled_steps(&program, &state, &pool, bounds.max_buffer)
-                    .is_empty());
+                assert!(
+                    enabled_steps(&program, &state, &pool, bounds.max_buffer).is_empty(),
+                    "case {case}"
+                );
                 break;
             }
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The pretty printer is a fixpoint through the parser for arbitrary
-    /// case-study sources (print ∘ parse ∘ print = print).
-    #[test]
-    fn pretty_print_round_trips_case_sources(index in 0usize..5) {
-        let sources = [
-            armada_cases::tsp::MODEL,
-            armada_cases::barrier::MODEL,
-            armada_cases::pointers::MODEL,
-            armada_cases::mcs_lock::MODEL,
-            armada_cases::queue::MODEL,
-        ];
-        let source = sources[index];
+/// The pretty printer is a fixpoint through the parser for arbitrary
+/// case-study sources (print ∘ parse ∘ print = print).
+#[test]
+fn pretty_print_round_trips_case_sources() {
+    let sources = [
+        armada_cases::tsp::MODEL,
+        armada_cases::barrier::MODEL,
+        armada_cases::pointers::MODEL,
+        armada_cases::mcs_lock::MODEL,
+        armada_cases::queue::MODEL,
+    ];
+    for (index, source) in sources.iter().enumerate() {
         let module = parse_module(source).expect("parse");
         let printed = armada_lang::pretty::module_to_string(&module);
         let reparsed = parse_module(&printed).expect("reparse");
         let reprinted = armada_lang::pretty::module_to_string(&reparsed);
-        prop_assert_eq!(printed, reprinted);
+        assert_eq!(printed, reprinted, "case source {index}");
     }
 }
