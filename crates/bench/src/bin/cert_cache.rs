@@ -1,0 +1,76 @@
+//! Certificate-cache effectiveness: cold-vs-warm pipeline wall time and
+//! hit rates over the model-scale case studies.
+//!
+//! The crash-safe cert store exists for *resumability*, but the same
+//! mechanism is a cache: a rerun over an unchanged module skips every
+//! semantic check. This bench quantifies that — for each case study it
+//! runs the full pipeline against an empty store (all misses, checks run)
+//! and again against the populated store (all hits, checks skipped),
+//! asserting both runs agree and reporting the speedup.
+//!
+//!     cargo run --release -p armada-bench --bin cert_cache [-- --quick]
+
+use std::time::Instant;
+
+use armada::verify::store::CertStore;
+use armada::Pipeline;
+use armada_cases::all_cases;
+
+fn main() {
+    let quick =
+        std::env::args().any(|a| a == "--quick") || std::env::var("ARMADA_BENCH_QUICK").is_ok();
+    let root = std::env::temp_dir().join("armada_bench_cert_cache");
+    let store = CertStore::open(&root);
+
+    println!("Certificate-cache effectiveness (cold store vs. warm store)");
+    println!(
+        "{:<10} {:>9} {:>9} {:>8} {:>8} {:>9}",
+        "case", "cold (s)", "warm (s)", "hits", "misses", "speedup"
+    );
+    println!("{}", "-".repeat(58));
+
+    let cases = all_cases();
+    let cases = if quick { &cases[..1] } else { &cases[..] };
+    let mut failures = 0;
+    for case in cases {
+        store.clear().expect("clear cert store");
+        let run = |label: &str| {
+            let pipeline = Pipeline::from_source(case.model_source)
+                .unwrap_or_else(|e| panic!("{}: front end: {e}", case.name))
+                .with_cert_store(CertStore::open(&root));
+            let start = Instant::now();
+            let report = pipeline
+                .run()
+                .unwrap_or_else(|e| panic!("{}: {label} run: {e}", case.name));
+            (start.elapsed().as_secs_f64(), report)
+        };
+        let (cold_secs, cold) = run("cold");
+        let (warm_secs, warm) = run("warm");
+        if format!("{:?}", warm.chain) != format!("{:?}", cold.chain)
+            || warm.verified() != cold.verified()
+        {
+            println!("{:<10} cached run DIVERGED from cold run", case.name);
+            failures += 1;
+            continue;
+        }
+        if warm.cache_hits() == 0 && cold.cache_misses() > 0 {
+            println!("{:<10} warm run had no cache hits", case.name);
+            failures += 1;
+            continue;
+        }
+        println!(
+            "{:<10} {:>9.3} {:>9.3} {:>8} {:>8} {:>8.1}x",
+            case.name,
+            cold_secs,
+            warm_secs,
+            warm.cache_hits(),
+            cold.cache_misses(),
+            cold_secs / warm_secs.max(1e-9)
+        );
+    }
+    let _ = store.clear();
+    if failures > 0 {
+        eprintln!("cert_cache: {failures} case(s) diverged");
+        std::process::exit(1);
+    }
+}

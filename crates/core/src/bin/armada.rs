@@ -3,7 +3,7 @@
 //! the paper's tool driver (§5).
 //!
 //! ```text
-//! armada verify <file.arm> [--jobs N]
+//! armada verify <file.arm> [--jobs N] [--deadline SECS] [--cert-cache[=DIR]]
 //!                               run the full pipeline (strategies + bounded
 //!                               refinement model checking, on N threads)
 //! armada check <file.arm>       front end + core-subset check only
@@ -16,34 +16,87 @@
 //!
 //! `--jobs N` (default 1) parallelizes the refinement search and the
 //! per-recipe pipeline work; results are byte-identical for any N.
+//! `--deadline SECS` bounds wall-clock time per semantic check (graceful
+//! budget-exhausted outcomes, not hangs). `--cert-cache` persists and
+//! reuses refinement certificates (default root `target/armada-certs/`).
+//! `--fault-seed N` injects deterministic faults for robustness testing.
+//!
+//! `verify`/`effort` exit codes classify the worst per-recipe outcome:
+//! 0 verified, 1 refuted, 2 usage/IO error, 3 budget exhausted or skipped,
+//! 4 crashed (isolated worker panic).
 
+use armada::verify::store::CertStore;
 use armada::verify::SimConfig;
-use armada::Pipeline;
+use armada::{FaultPlan, Pipeline, RecipeStatus};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: armada <verify|check|effort|emit-c|emit-rust> <file.arm> [--jobs N] [--conservative]"
+        "usage: armada <verify|check|effort|emit-c|emit-rust> <file.arm> \
+         [--jobs N] [--deadline SECS] [--cert-cache[=DIR]] [--fault-seed N] [--conservative]"
     );
     ExitCode::from(2)
 }
 
-/// Extracts `--jobs N` (or `--jobs=N`) from the argument list.
-fn jobs_flag(args: &[String]) -> Result<usize, String> {
+/// Extracts `--flag VALUE` (or `--flag=VALUE`) from the argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    let prefix = format!("{flag}=");
     for (i, arg) in args.iter().enumerate() {
-        if let Some(value) = arg.strip_prefix("--jobs=") {
-            return value
-                .parse()
-                .map_err(|_| format!("invalid --jobs value `{value}`"));
+        if let Some(value) = arg.strip_prefix(&prefix) {
+            return Ok(Some(value));
         }
-        if arg == "--jobs" {
-            let value = args.get(i + 1).ok_or("--jobs requires a value")?;
-            return value
-                .parse()
-                .map_err(|_| format!("invalid --jobs value `{value}`"));
+        if arg == flag {
+            let value = args.get(i + 1).ok_or(format!("{flag} requires a value"))?;
+            return Ok(Some(value));
         }
     }
-    Ok(1)
+    Ok(None)
+}
+
+/// Extracts `--jobs N` (or `--jobs=N`) from the argument list.
+fn jobs_flag(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--jobs")? {
+        Some(value) => value
+            .parse()
+            .map_err(|_| format!("invalid --jobs value `{value}`")),
+        None => Ok(1),
+    }
+}
+
+/// Extracts `--deadline SECS` (fractional seconds allowed).
+fn deadline_flag(args: &[String]) -> Result<Option<Duration>, String> {
+    match flag_value(args, "--deadline")? {
+        Some(value) => match value.parse::<f64>() {
+            Ok(secs) if secs > 0.0 && secs.is_finite() => Ok(Some(Duration::from_secs_f64(secs))),
+            _ => Err(format!("invalid --deadline value `{value}`")),
+        },
+        None => Ok(None),
+    }
+}
+
+/// Extracts `--cert-cache` (default root) or `--cert-cache=DIR`.
+fn cert_cache_flag(args: &[String]) -> Option<CertStore> {
+    for arg in args {
+        if let Some(dir) = arg.strip_prefix("--cert-cache=") {
+            return Some(CertStore::open(dir));
+        }
+        if arg == "--cert-cache" {
+            return Some(CertStore::open(CertStore::default_root()));
+        }
+    }
+    None
+}
+
+/// Extracts `--fault-seed N` (robustness testing only).
+fn fault_seed_flag(args: &[String]) -> Result<Option<u64>, String> {
+    match flag_value(args, "--fault-seed")? {
+        Some(value) => value
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid --fault-seed value `{value}`")),
+        None => Ok(None),
+    }
 }
 
 fn main() -> ExitCode {
@@ -59,6 +112,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let deadline = match deadline_flag(&args) {
+        Ok(deadline) => deadline,
+        Err(err) => {
+            eprintln!("armada: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let fault_seed = match fault_seed_flag(&args) {
+        Ok(seed) => seed,
+        Err(err) => {
+            eprintln!("armada: {err}");
+            return ExitCode::from(2);
+        }
+    };
     let source = match std::fs::read_to_string(path) {
         Ok(source) => source,
         Err(err) => {
@@ -66,12 +133,39 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let mut sim = SimConfig::default().with_jobs(jobs);
+    if let Some(budget) = deadline {
+        sim.bounds = sim.bounds.with_deadline(budget);
+    }
     let pipeline = match Pipeline::from_source(&source) {
-        Ok(pipeline) => pipeline.with_sim_config(SimConfig::default().with_jobs(jobs)),
+        Ok(pipeline) => pipeline.with_sim_config(sim),
         Err(err) => {
             eprintln!("armada: {err}");
             return ExitCode::FAILURE;
         }
+    };
+    let pipeline = match cert_cache_flag(&args) {
+        Some(store) => pipeline.with_cert_store(store),
+        None => pipeline,
+    };
+    let pipeline = match fault_seed {
+        Some(seed) => {
+            let plan = FaultPlan::seeded(
+                seed,
+                pipeline
+                    .typed()
+                    .module
+                    .recipes
+                    .iter()
+                    .map(|r| r.name.as_str())
+                    .collect::<Vec<_>>(),
+            );
+            if !plan.is_empty() {
+                eprint!("armada: fault plan (seed {seed}):\n{}", plan.describe());
+            }
+            pipeline.with_fault_plan(plan)
+        }
+        None => pipeline,
     };
 
     match command {
@@ -108,7 +202,14 @@ fn main() -> ExitCode {
             if report.verified() {
                 ExitCode::SUCCESS
             } else {
-                ExitCode::FAILURE
+                // Classify the worst outcome so scripts can distinguish a
+                // real refutation (1) from an inconclusive run (3) or an
+                // isolated crash (4).
+                match report.worst_status() {
+                    RecipeStatus::Crashed => ExitCode::from(4),
+                    RecipeStatus::Skipped | RecipeStatus::BudgetExhausted => ExitCode::from(3),
+                    _ => ExitCode::FAILURE,
+                }
             }
         }
         "emit-c" | "emit-rust" => {

@@ -1,0 +1,115 @@
+//! Structured pipeline errors.
+//!
+//! `Pipeline::from_source` and `Pipeline::run` used to fail with bare
+//! `String`s, which threw away exactly the context a caller (or a service
+//! wrapping many runs) needs to act: *which* recipe failed, and *where* in
+//! the source. [`PipelineError`] keeps the front end's [`LangError`] intact
+//! (span and stage included) and tags every per-recipe infrastructure
+//! failure with the recipe's name and declaration span.
+//!
+//! These are *infrastructure* errors — the module could not be processed at
+//! all. Proof failures, refuted refinements, exhausted budgets, and isolated
+//! worker crashes are not errors: they are per-recipe outcomes inside the
+//! [`crate::PipelineReport`].
+
+use std::fmt;
+
+use armada_lang::span::Span;
+use armada_lang::LangError;
+
+/// Why the pipeline could not process a module.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Lexing, parsing, resolution, or type checking failed. The inner
+    /// error carries the stage and source span.
+    FrontEnd(LangError),
+    /// A recipe could not even be attempted: it references an unknown
+    /// level, a level that fails to lower, or a strategy precondition the
+    /// engine cannot set up.
+    Recipe {
+        /// The failing recipe's name.
+        recipe: String,
+        /// The recipe's declaration span in the module source.
+        span: Span,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl PipelineError {
+    /// The source span most relevant to the failure.
+    pub fn span(&self) -> Span {
+        match self {
+            PipelineError::FrontEnd(e) => e.span(),
+            PipelineError::Recipe { span, .. } => *span,
+        }
+    }
+
+    /// The failing recipe's name, when the failure is recipe-scoped.
+    pub fn recipe(&self) -> Option<&str> {
+        match self {
+            PipelineError::FrontEnd(_) => None,
+            PipelineError::Recipe { recipe, .. } => Some(recipe),
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::FrontEnd(e) => write!(f, "{e}"),
+            PipelineError::Recipe {
+                recipe,
+                span,
+                message,
+            } => {
+                write!(f, "recipe `{recipe}` (at {span}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<LangError> for PipelineError {
+    fn from(e: LangError) -> Self {
+        PipelineError::FrontEnd(e)
+    }
+}
+
+/// Legacy bridge: lets `?` keep working in callers that still collect
+/// errors as strings (the rendered message is unchanged from the stringly
+/// era for front-end failures).
+impl From<PipelineError> for String {
+    fn from(e: PipelineError) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn front_end_errors_keep_stage_and_span() {
+        let lang = LangError::parse(Span::new(0, 1, 3, 9), "expected `;`");
+        let err = PipelineError::from(lang.clone());
+        assert_eq!(err.to_string(), lang.to_string());
+        assert_eq!(err.span(), lang.span());
+        assert_eq!(err.recipe(), None);
+    }
+
+    #[test]
+    fn recipe_errors_name_the_recipe() {
+        let err = PipelineError::Recipe {
+            recipe: "P2".into(),
+            span: Span::new(5, 9, 12, 1),
+            message: "unknown level `Mid`".into(),
+        };
+        assert!(err.to_string().contains("P2"));
+        assert!(err.to_string().contains("unknown level `Mid`"));
+        assert_eq!(err.recipe(), Some("P2"));
+        let as_string: String = err.into();
+        assert!(as_string.contains("unknown level"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Deterministic fault injection for the verification pipeline.
+//!
+//! The fault-tolerance guarantees of [`crate::Pipeline::run`] — a panicking
+//! strategy is isolated to its recipe, an exhausted budget degrades into a
+//! reported partial result, an interrupted run leaves a resumable cert
+//! store — are only trustworthy if they are *tested*, and testing them
+//! requires making workers fail on purpose, at chosen points, reproducibly.
+//! A [`FaultPlan`] is that test harness: a declarative set of injection
+//! points the pipeline consults as it runs.
+//!
+//! Two ways to build one:
+//!
+//! * the explicit builders ([`FaultPlan::panic_in_strategy`] and friends)
+//!   pin specific faults to specific recipes — integration tests use these
+//!   to assert one exact partial report;
+//! * [`FaultPlan::seeded`] derives the injection set from a SplitMix64
+//!   stream, for randomized robustness sweeps (`scripts/verify.sh` runs one
+//!   seed as a smoke test). Each recipe's fate is a pure function of
+//!   `(seed, recipe name)` — never of execution order — so the same seed
+//!   produces the same faults at any `--jobs` count.
+//!
+//! Fault plans are test-only in intent: nothing in the pipeline constructs
+//! one unless a caller passes it in (the CLI gates it behind the
+//! deliberately test-scented `--fault-seed`).
+
+use std::collections::BTreeSet;
+
+use armada_runtime::hash::fnv1a_64;
+use armada_runtime::SplitMix64;
+
+/// Declarative injection points for one pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Recipes whose strategy stage panics on entry.
+    strategy_panics: BTreeSet<String>,
+    /// Recipes whose semantic-check stage panics on entry.
+    check_panics: BTreeSet<String>,
+    /// Recipes whose semantic check runs with a 1-node budget, forcing the
+    /// graceful budget-exhaustion path.
+    budget_exhaustions: BTreeSet<String>,
+    /// Abort the run before any recipe at index ≥ this (a simulated
+    /// mid-run kill: later recipes are reported as skipped, and whatever
+    /// earlier recipes persisted stays on disk).
+    abort_at: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Injects a panic at the start of `recipe`'s strategy stage.
+    pub fn panic_in_strategy(mut self, recipe: &str) -> FaultPlan {
+        self.strategy_panics.insert(recipe.to_string());
+        self
+    }
+
+    /// Injects a panic at the start of `recipe`'s semantic check.
+    pub fn panic_in_check(mut self, recipe: &str) -> FaultPlan {
+        self.check_panics.insert(recipe.to_string());
+        self
+    }
+
+    /// Forces `recipe`'s semantic check to exhaust its node budget
+    /// immediately (the budget is clamped to one product node).
+    pub fn exhaust_budget(mut self, recipe: &str) -> FaultPlan {
+        self.budget_exhaustions.insert(recipe.to_string());
+        self
+    }
+
+    /// Aborts the run before recipe index `index` (0-based, recipe
+    /// declaration order): a simulated kill. Recipes at earlier indices
+    /// complete normally; later ones are reported as skipped.
+    pub fn abort_at(mut self, index: usize) -> FaultPlan {
+        self.abort_at = Some(index);
+        self
+    }
+
+    /// Derives a plan from `seed` over the given recipe names. Each recipe
+    /// independently draws from a stream seeded by `(seed, name)`: with
+    /// probability 5/8 it is left alone, else one of the three fault kinds
+    /// is injected. Order-independent by construction, so jobs=1 and
+    /// jobs=N runs inject identically.
+    pub fn seeded<'a>(seed: u64, recipes: impl IntoIterator<Item = &'a str>) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for name in recipes {
+            let mut rng = SplitMix64::new(seed ^ fnv1a_64(name.as_bytes()));
+            match rng.below(8) {
+                5 => plan.strategy_panics.insert(name.to_string()),
+                6 => plan.budget_exhaustions.insert(name.to_string()),
+                7 => plan.check_panics.insert(name.to_string()),
+                _ => false,
+            };
+        }
+        plan
+    }
+
+    /// True if `recipe`'s strategy stage should panic.
+    pub fn strategy_panics(&self, recipe: &str) -> bool {
+        self.strategy_panics.contains(recipe)
+    }
+
+    /// True if `recipe`'s semantic check should panic.
+    pub fn check_panics(&self, recipe: &str) -> bool {
+        self.check_panics.contains(recipe)
+    }
+
+    /// True if `recipe`'s semantic check should run with an exhausted
+    /// budget.
+    pub fn exhausts_budget(&self, recipe: &str) -> bool {
+        self.budget_exhaustions.contains(recipe)
+    }
+
+    /// True if the run should skip the recipe at `index` (simulated kill).
+    pub fn skips(&self, index: usize) -> bool {
+        self.abort_at.is_some_and(|at| index >= at)
+    }
+
+    /// True if the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::new()
+    }
+
+    /// One line per injection, for logging the plan alongside a report.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for name in &self.strategy_panics {
+            out.push_str(&format!("panic in strategy of `{name}`\n"));
+        }
+        for name in &self.check_panics {
+            out.push_str(&format!("panic in semantic check of `{name}`\n"));
+        }
+        for name in &self.budget_exhaustions {
+            out.push_str(&format!("budget exhaustion in `{name}`\n"));
+        }
+        if let Some(at) = self.abort_at {
+            out.push_str(&format!("abort before recipe index {at}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_register_their_injection_points() {
+        let plan = FaultPlan::new()
+            .panic_in_strategy("P1")
+            .panic_in_check("P2")
+            .exhaust_budget("P3")
+            .abort_at(2);
+        assert!(plan.strategy_panics("P1"));
+        assert!(!plan.strategy_panics("P2"));
+        assert!(plan.check_panics("P2"));
+        assert!(plan.exhausts_budget("P3"));
+        assert!(!plan.skips(1));
+        assert!(plan.skips(2));
+        assert!(plan.skips(99));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+        assert_eq!(plan.describe().lines().count(), 4);
+    }
+
+    #[test]
+    fn seeded_plans_are_order_independent() {
+        let forward = FaultPlan::seeded(42, ["A", "B", "C", "D"]);
+        let backward = FaultPlan::seeded(42, ["D", "C", "B", "A"]);
+        assert_eq!(forward, backward);
+        // Distinct seeds eventually disagree.
+        let other = FaultPlan::seeded(43, ["A", "B", "C", "D"]);
+        let another = FaultPlan::seeded(44, ["A", "B", "C", "D"]);
+        assert!(
+            forward != other || forward != another,
+            "two fresh seeds both matching seed 42 is vanishingly unlikely"
+        );
+    }
+
+    #[test]
+    fn seeded_plans_inject_all_fault_kinds_across_seeds() {
+        let names: Vec<String> = (0..64).map(|i| format!("R{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let plan = FaultPlan::seeded(7, refs.iter().copied());
+        let strategies = refs.iter().filter(|n| plan.strategy_panics(n)).count();
+        let checks = refs.iter().filter(|n| plan.check_panics(n)).count();
+        let budgets = refs.iter().filter(|n| plan.exhausts_budget(n)).count();
+        let clean = refs
+            .iter()
+            .filter(|n| {
+                !plan.strategy_panics(n) && !plan.check_panics(n) && !plan.exhausts_budget(n)
+            })
+            .count();
+        assert!(strategies > 0 && checks > 0 && budgets > 0 && clean > 0);
+        assert_eq!(strategies + checks + budgets + clean, 64);
+    }
+}

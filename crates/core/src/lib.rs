@@ -22,6 +22,30 @@
 //! recipe SLOC, customization SLOC, generated proof SLOC) are available via
 //! [`EffortReport`].
 //!
+//! # Fault tolerance
+//!
+//! The tool's value is that it composes many per-level-pair proofs into one
+//! refinement chain, so a single failing link must degrade into a precise
+//! partial result, never a lost run:
+//!
+//! * **Panic isolation.** Each recipe's strategy and semantic check run
+//!   under `catch_unwind`; a panicking worker marks *that recipe* crashed
+//!   in the [`PipelineReport`]'s per-recipe [`RecipeReport`] outcomes while
+//!   every other recipe completes, identically at any job count.
+//! * **Budget degradation.** Node budgets ([`SimConfig::max_nodes`]) and
+//!   wall-clock deadlines ([`sm::Bounds::deadline`]) are enforced
+//!   cooperatively at wave boundaries; exhaustion yields a reported
+//!   budget-exhausted outcome, not a hang, and the pipeline continues with
+//!   the remaining recipes.
+//! * **Crash-safe resumability.** With [`Pipeline::with_cert_store`], each
+//!   verified pair's certificate is persisted content-addressed (atomic
+//!   rename + checksum, see [`verify::store`]); an interrupted run's
+//!   completed certs are reused on rerun, and a corrupted record silently
+//!   falls back to recomputation.
+//! * **Deterministic fault injection.** [`FaultPlan`] drives all of the
+//!   above in tests: injected panics, forced budget exhaustion, and
+//!   simulated mid-run kills, reproducible from a seed.
+//!
 //! # Example
 //!
 //! ```
@@ -44,7 +68,11 @@
 //! assert_eq!(report.chain_claim().unwrap(), "Impl ⊑ Spec");
 //! ```
 
+pub mod error;
+pub mod fault;
+
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -56,12 +84,37 @@ pub use armada_sm as sm;
 pub use armada_strategies as strategies;
 pub use armada_verify as verify;
 
+pub use error::PipelineError;
+pub use fault::FaultPlan;
+
+use armada_lang::ast::Recipe;
 use armada_lang::typeck::TypedModule;
 use armada_lang::{check_module, count_sloc, parse_module};
 use armada_proof::relation::StandardRelation;
 use armada_proof::StrategyReport;
 use armada_sm::lower;
+use armada_verify::store::{CertKey, CertStore};
 use armada_verify::{check_refinement, RefinementCert, RefinementChain, SimConfig};
+
+/// What one recipe contributed to the report: a crashed or skipped recipe
+/// contributes only its outcome row.
+struct RecipeRun {
+    strategy_report: Option<StrategyReport>,
+    refinement: Option<Result<RefinementCert, String>>,
+    chain_cert: Option<RefinementCert>,
+    outcome: RecipeReport,
+}
+
+/// Renders a caught panic payload for an outcome row.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A configured verification pipeline for one Armada module.
 #[derive(Debug)]
@@ -73,27 +126,155 @@ pub struct Pipeline {
     /// strategies (on by default; heavy case studies may disable it for the
     /// strategy-only effort accounting).
     pub semantic_check: bool,
+    /// Persist/reuse refinement certificates, when configured.
+    cert_store: Option<CertStore>,
+    /// Deterministic fault injection (empty by default; tests only).
+    fault: FaultPlan,
+}
+
+/// Outcome class of one recipe in a [`PipelineReport`]. One run produces
+/// one status per recipe; a failing recipe never poisons its siblings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecipeStatus {
+    /// Strategy obligations proved and (if run) the semantic check produced
+    /// a certificate.
+    Verified,
+    /// A proof obligation failed or the checker found a real
+    /// counterexample: the refinement claim is refuted on this instance.
+    Refuted,
+    /// The semantic check ran out of node budget or wall-clock deadline:
+    /// the claim is unknown, reported with the frontier where the search
+    /// stopped.
+    BudgetExhausted,
+    /// A worker panicked inside this recipe's strategy or semantic check;
+    /// the panic was isolated to this recipe.
+    Crashed,
+    /// Never ran: the pipeline aborted before reaching this recipe.
+    Skipped,
+}
+
+impl RecipeStatus {
+    /// Lower-case human label (also the CLI's vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            RecipeStatus::Verified => "verified",
+            RecipeStatus::Refuted => "refuted",
+            RecipeStatus::BudgetExhausted => "budget exhausted",
+            RecipeStatus::Crashed => "crashed",
+            RecipeStatus::Skipped => "skipped",
+        }
+    }
+}
+
+/// How a recipe's certificate was obtained, when a cert store is
+/// configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// No cert store configured (or the semantic check did not run).
+    Disabled,
+    /// A checksum-valid stored certificate was reused; the check was
+    /// skipped.
+    Hit,
+    /// No usable stored certificate; the check ran (and its result was
+    /// persisted on success).
+    Miss,
+}
+
+/// One recipe's outcome row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecipeReport {
+    /// Recipe name.
+    pub recipe: String,
+    /// The lower (more concrete) level.
+    pub low: String,
+    /// The higher (more abstract) level.
+    pub high: String,
+    /// Outcome class.
+    pub status: RecipeStatus,
+    /// Human-readable detail: certificate statistics, the failure's first
+    /// lines, or the isolated panic message.
+    pub detail: String,
+    /// Cert-store disposition for this recipe.
+    pub cache: CacheDisposition,
+}
+
+impl fmt::Display for RecipeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "recipe {}: {}", self.recipe, self.status.label())?;
+        match self.cache {
+            CacheDisposition::Hit => write!(f, " (cert cache hit)")?,
+            CacheDisposition::Miss => write!(f, " (cert cache miss)")?,
+            CacheDisposition::Disabled => {}
+        }
+        let first_line = self.detail.lines().next().unwrap_or("");
+        if !first_line.is_empty() {
+            write!(f, " — {first_line}")?;
+        }
+        Ok(())
+    }
 }
 
 /// Everything `Pipeline::run` produces.
 #[derive(Debug, Clone)]
 pub struct PipelineReport {
     /// Per-recipe strategy reports (obligations + verdicts + generated
-    /// proof text).
+    /// proof text), for every recipe whose strategy actually ran.
     pub strategy_reports: Vec<StrategyReport>,
     /// Per-recipe bounded refinement results (empty when `semantic_check`
-    /// is off).
+    /// is off); a crashed or skipped recipe contributes no entry.
     pub refinements: Vec<Result<RefinementCert, String>>,
+    /// One outcome row per recipe, in declaration order — present for
+    /// every recipe, including crashed and skipped ones.
+    pub outcomes: Vec<RecipeReport>,
     /// The transitively composed chain, when every pair verified.
     pub chain: Option<RefinementChain>,
 }
 
 impl PipelineReport {
     /// True when every obligation of every recipe was proved and (if run)
-    /// every semantic check passed.
+    /// every semantic check passed — i.e. every recipe's outcome is
+    /// [`RecipeStatus::Verified`].
     pub fn verified(&self) -> bool {
         self.strategy_reports.iter().all(|r| r.success())
             && self.refinements.iter().all(|r| r.is_ok())
+            && self
+                .outcomes
+                .iter()
+                .all(|o| o.status == RecipeStatus::Verified)
+    }
+
+    /// The most severe outcome class across recipes (`Verified` when all
+    /// verified). Severity: crashed > skipped > budget-exhausted > refuted.
+    pub fn worst_status(&self) -> RecipeStatus {
+        let severity = |status: RecipeStatus| match status {
+            RecipeStatus::Crashed => 4,
+            RecipeStatus::Skipped => 3,
+            RecipeStatus::BudgetExhausted => 2,
+            RecipeStatus::Refuted => 1,
+            RecipeStatus::Verified => 0,
+        };
+        self.outcomes
+            .iter()
+            .map(|o| o.status)
+            .max_by_key(|&s| severity(s))
+            .unwrap_or(RecipeStatus::Verified)
+    }
+
+    /// Recipes whose certificate came from the cert store.
+    pub fn cache_hits(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.cache == CacheDisposition::Hit)
+            .count()
+    }
+
+    /// Recipes whose semantic check ran because no stored certificate was
+    /// usable.
+    pub fn cache_misses(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.cache == CacheDisposition::Miss)
+            .count()
     }
 
     /// The end-to-end refinement claim, e.g. `Implementation ⊑ Spec`.
@@ -126,6 +307,21 @@ impl PipelineReport {
                 out.push_str(&format!("semantic check {index}: {reason}\n"));
             }
         }
+        // Crashed and skipped recipes have no strategy report or refinement
+        // entry; their outcome row is the only record of what happened.
+        for outcome in &self.outcomes {
+            if matches!(
+                outcome.status,
+                RecipeStatus::Crashed | RecipeStatus::Skipped
+            ) {
+                out.push_str(&format!(
+                    "recipe {}: {}: {}\n",
+                    outcome.recipe,
+                    outcome.status.label(),
+                    outcome.detail
+                ));
+            }
+        }
         out
     }
 }
@@ -134,6 +330,9 @@ impl fmt::Display for PipelineReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for report in &self.strategy_reports {
             write!(f, "{report}")?;
+        }
+        for outcome in &self.outcomes {
+            writeln!(f, "{outcome}")?;
         }
         match (&self.chain, self.verified()) {
             (Some(chain), true) => writeln!(f, "VERIFIED: {}", chain.claim()),
@@ -147,15 +346,17 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Returns the front end's first diagnostic.
-    pub fn from_source(source: &str) -> Result<Pipeline, String> {
-        let module = parse_module(source).map_err(|e| e.to_string())?;
-        let typed = check_module(&module).map_err(|e| e.to_string())?;
+    /// Returns the front end's first diagnostic, span included.
+    pub fn from_source(source: &str) -> Result<Pipeline, PipelineError> {
+        let module = parse_module(source)?;
+        let typed = check_module(&module)?;
         Ok(Pipeline {
             source: source.to_string(),
             typed,
             sim: SimConfig::default(),
             semantic_check: true,
+            cert_store: None,
+            fault: FaultPlan::default(),
         })
     }
 
@@ -163,6 +364,19 @@ impl Pipeline {
     /// checks.
     pub fn with_sim_config(mut self, sim: SimConfig) -> Pipeline {
         self.sim = sim;
+        self
+    }
+
+    /// Persists refinement certificates to `store` and reuses
+    /// checksum-valid entries on subsequent runs (see [`verify::store`]).
+    pub fn with_cert_store(mut self, store: CertStore) -> Pipeline {
+        self.cert_store = Some(store);
+        self
+    }
+
+    /// Injects the given faults while running (robustness tests only).
+    pub fn with_fault_plan(mut self, fault: FaultPlan) -> Pipeline {
+        self.fault = fault;
         self
     }
 
@@ -224,6 +438,191 @@ impl Pipeline {
         armada_lang::core_check::check_core(level, info).map_err(|e| e.to_string())
     }
 
+    /// Runs one recipe end to end: strategy stage, then (when enabled) the
+    /// cert-store lookup and bounded semantic check. Both stages run under
+    /// `catch_unwind`, so a panicking worker yields a `Crashed` outcome for
+    /// this recipe instead of unwinding through the pool.
+    fn run_recipe(
+        &self,
+        index: usize,
+        recipe: &Recipe,
+        relation: &StandardRelation,
+    ) -> Result<RecipeRun, PipelineError> {
+        let outcome =
+            |status: RecipeStatus, detail: String, cache: CacheDisposition| RecipeReport {
+                recipe: recipe.name.clone(),
+                low: recipe.low.clone(),
+                high: recipe.high.clone(),
+                status,
+                detail,
+                cache,
+            };
+        let recipe_err = |message: String| PipelineError::Recipe {
+            recipe: recipe.name.clone(),
+            span: recipe.span,
+            message,
+        };
+        if self.fault.skips(index) {
+            return Ok(RecipeRun {
+                strategy_report: None,
+                refinement: None,
+                chain_cert: None,
+                outcome: outcome(
+                    RecipeStatus::Skipped,
+                    "not run: pipeline aborted before this recipe (fault plan)".to_string(),
+                    CacheDisposition::Disabled,
+                ),
+            });
+        }
+
+        // Stage 1: the strategy, panic-isolated.
+        let strategy = catch_unwind(AssertUnwindSafe(|| {
+            if self.fault.strategy_panics(&recipe.name) {
+                panic!("injected fault: strategy panic in recipe `{}`", recipe.name);
+            }
+            armada_strategies::run_recipe(&self.typed, recipe, self.sim.clone())
+        }));
+        let report = match strategy {
+            Err(payload) => {
+                return Ok(RecipeRun {
+                    strategy_report: None,
+                    refinement: None,
+                    chain_cert: None,
+                    outcome: outcome(
+                        RecipeStatus::Crashed,
+                        format!("panic in strategy stage: {}", panic_text(&*payload)),
+                        CacheDisposition::Disabled,
+                    ),
+                });
+            }
+            Ok(Err(message)) => return Err(recipe_err(message)),
+            Ok(Ok(report)) => report,
+        };
+        let strategy_ok = report.success();
+
+        if !self.semantic_check {
+            let (status, detail, chain_cert) = if strategy_ok {
+                (
+                    RecipeStatus::Verified,
+                    format!(
+                        "{} obligations proved (semantic check off)",
+                        report.obligations.len()
+                    ),
+                    // Placeholder cert so the chain still composes in
+                    // strategy-only mode.
+                    Some(RefinementCert {
+                        low: recipe.low.clone(),
+                        high: recipe.high.clone(),
+                        product_nodes: 0,
+                        low_transitions: 0,
+                    }),
+                )
+            } else {
+                (RecipeStatus::Refuted, report.failure_summary(), None)
+            };
+            return Ok(RecipeRun {
+                strategy_report: Some(report),
+                refinement: None,
+                chain_cert,
+                outcome: outcome(status, detail, CacheDisposition::Disabled),
+            });
+        }
+
+        // Stage 2: the bounded semantic check, behind the cert store.
+        let low = lower(&self.typed, &recipe.low).map_err(|e| recipe_err(e.to_string()))?;
+        let high = lower(&self.typed, &recipe.high).map_err(|e| recipe_err(e.to_string()))?;
+        let mut sim = self.sim.clone();
+        if self.fault.exhausts_budget(&recipe.name) {
+            // Clamp the budget so exhaustion is certain on any nontrivial
+            // product (one node is never enough to finish a check).
+            sim.max_nodes = 1;
+        }
+        let key = CertKey::compute(&self.source, &recipe.low, &recipe.high, &sim);
+        if let Some(store) = &self.cert_store {
+            if let Some(cert) = store.load(&key, &recipe.low, &recipe.high) {
+                let detail = format!(
+                    "{} product nodes, {} low transitions (from cert store)",
+                    cert.product_nodes, cert.low_transitions
+                );
+                let status = if strategy_ok {
+                    RecipeStatus::Verified
+                } else {
+                    RecipeStatus::Refuted
+                };
+                return Ok(RecipeRun {
+                    strategy_report: Some(report),
+                    refinement: Some(Ok(cert.clone())),
+                    chain_cert: Some(cert),
+                    outcome: outcome(status, detail, CacheDisposition::Hit),
+                });
+            }
+        }
+        let checked = catch_unwind(AssertUnwindSafe(|| {
+            if self.fault.check_panics(&recipe.name) {
+                panic!(
+                    "injected fault: semantic-check panic in recipe `{}`",
+                    recipe.name
+                );
+            }
+            check_refinement(&low, &high, relation, &sim)
+        }));
+        let cache = if self.cert_store.is_some() {
+            CacheDisposition::Miss
+        } else {
+            CacheDisposition::Disabled
+        };
+        let (status, detail, refinement, chain_cert) = match checked {
+            Err(payload) => {
+                return Ok(RecipeRun {
+                    strategy_report: Some(report),
+                    refinement: None,
+                    chain_cert: None,
+                    outcome: outcome(
+                        RecipeStatus::Crashed,
+                        format!("panic in semantic check: {}", panic_text(&*payload)),
+                        cache,
+                    ),
+                });
+            }
+            Ok(Ok(cert)) => {
+                if let Some(store) = &self.cert_store {
+                    // Best-effort persistence: a full disk or unwritable
+                    // store must not fail the verification itself.
+                    let _ = store.save(&key, &cert);
+                }
+                let detail = format!(
+                    "{} product nodes, {} low transitions",
+                    cert.product_nodes, cert.low_transitions
+                );
+                let status = if strategy_ok {
+                    RecipeStatus::Verified
+                } else {
+                    RecipeStatus::Refuted
+                };
+                (status, detail, Some(Ok(cert.clone())), Some(cert))
+            }
+            Ok(Err(ce)) => {
+                let status = if ce.kind.is_budget() {
+                    RecipeStatus::BudgetExhausted
+                } else {
+                    RecipeStatus::Refuted
+                };
+                (
+                    status,
+                    ce.description.clone(),
+                    Some(Err(ce.to_string())),
+                    None,
+                )
+            }
+        };
+        Ok(RecipeRun {
+            strategy_report: Some(report),
+            refinement,
+            chain_cert,
+            outcome: outcome(status, detail, cache),
+        })
+    }
+
     /// Runs the whole pipeline.
     ///
     /// With `jobs > 1` in the sim config's bounds, the per-recipe work —
@@ -233,33 +632,45 @@ impl Pipeline {
     /// infrastructure error in recipe order wins, so the output is
     /// identical to a serial run.
     ///
+    /// Proof failures, refuted refinements, exhausted budgets, and panics
+    /// isolated to one recipe are *not* errors: they are per-recipe
+    /// outcomes inside the [`PipelineReport`].
+    ///
     /// # Errors
     ///
-    /// Returns a message for *infrastructure* failures (unknown levels,
-    /// lowering errors); proof failures are reported inside the
-    /// [`PipelineReport`].
-    pub fn run(&self) -> Result<PipelineReport, String> {
-        type RecipeOutcome =
-            Result<(StrategyReport, Option<Result<RefinementCert, String>>), String>;
+    /// Returns a [`PipelineError`] for *infrastructure* failures (unknown
+    /// levels, lowering errors), naming the failing recipe and its span.
+    pub fn run(&self) -> Result<PipelineReport, PipelineError> {
         let relation = StandardRelation::new(self.typed.module.relation());
         let recipes = &self.typed.module.recipes;
-        let run_one = |recipe: &_| -> RecipeOutcome {
-            let report = armada_strategies::run_recipe(&self.typed, recipe, self.sim.clone())?;
-            if !self.semantic_check {
-                return Ok((report, None));
-            }
-            let low = lower(&self.typed, &recipe.low).map_err(|e| e.to_string())?;
-            let high = lower(&self.typed, &recipe.high).map_err(|e| e.to_string())?;
-            let refinement = match check_refinement(&low, &high, &relation, &self.sim) {
-                Ok(cert) => Ok(cert),
-                Err(ce) => Err(ce.to_string()),
-            };
-            Ok((report, Some(refinement)))
+        // A panic that escapes `run_recipe` (i.e. outside the two
+        // per-stage `catch_unwind`s — pool bookkeeping, lowering, the cert
+        // store) is still confined to its recipe here, so one bad worker
+        // can never poison the whole run.
+        let run_one = |index: usize, recipe: &Recipe| -> Result<RecipeRun, PipelineError> {
+            catch_unwind(AssertUnwindSafe(|| {
+                self.run_recipe(index, recipe, &relation)
+            }))
+            .unwrap_or_else(|payload| {
+                Ok(RecipeRun {
+                    strategy_report: None,
+                    refinement: None,
+                    chain_cert: None,
+                    outcome: RecipeReport {
+                        recipe: recipe.name.clone(),
+                        low: recipe.low.clone(),
+                        high: recipe.high.clone(),
+                        status: RecipeStatus::Crashed,
+                        detail: format!("panic outside isolated stages: {}", panic_text(&*payload)),
+                        cache: CacheDisposition::Disabled,
+                    },
+                })
+            })
         };
 
         let jobs = self.sim.bounds.jobs.max(1);
-        let outcomes: Vec<RecipeOutcome> = if jobs > 1 && recipes.len() > 1 {
-            let slots: Vec<OnceLock<RecipeOutcome>> =
+        let runs: Vec<Result<RecipeRun, PipelineError>> = if jobs > 1 && recipes.len() > 1 {
+            let slots: Vec<OnceLock<Result<RecipeRun, PipelineError>>> =
                 (0..recipes.len()).map(|_| OnceLock::new()).collect();
             let cursor = AtomicUsize::new(0);
             std::thread::scope(|scope| {
@@ -269,11 +680,8 @@ impl Pipeline {
                         if index >= recipes.len() {
                             break;
                         }
-                        let outcome = run_one(&recipes[index]);
-                        slots[index]
-                            .set(outcome)
-                            .ok()
-                            .expect("each slot claimed once");
+                        let run = run_one(index, &recipes[index]);
+                        slots[index].set(run).ok().expect("each slot claimed once");
                     });
                 }
             });
@@ -282,30 +690,31 @@ impl Pipeline {
                 .map(|s| s.into_inner().expect("every slot filled"))
                 .collect()
         } else {
-            recipes.iter().map(run_one).collect()
+            recipes
+                .iter()
+                .enumerate()
+                .map(|(index, recipe)| run_one(index, recipe))
+                .collect()
         };
 
         let mut strategy_reports = Vec::new();
         let mut refinements = Vec::new();
+        let mut outcomes = Vec::new();
         let mut certs = Vec::new();
-        for (recipe, outcome) in recipes.iter().zip(outcomes) {
-            let (report, refinement) = outcome?;
-            let strategy_ok = report.success();
-            strategy_reports.push(report);
-            match refinement {
-                Some(Ok(cert)) => {
-                    certs.push(cert.clone());
-                    refinements.push(Ok(cert));
-                }
-                Some(Err(reason)) => refinements.push(Err(reason)),
-                None if strategy_ok => certs.push(RefinementCert {
-                    low: recipe.low.clone(),
-                    high: recipe.high.clone(),
-                    product_nodes: 0,
-                    low_transitions: 0,
-                }),
-                None => {}
+        for run in runs {
+            // First infrastructure error in recipe order wins — identical
+            // to a serial run regardless of which worker hit it first.
+            let run = run?;
+            if let Some(report) = run.strategy_report {
+                strategy_reports.push(report);
             }
+            if let Some(refinement) = run.refinement {
+                refinements.push(refinement);
+            }
+            if let Some(cert) = run.chain_cert {
+                certs.push(cert);
+            }
+            outcomes.push(run.outcome);
         }
         // Order certificates along the chain and compose.
         let chain = match self.level_chain() {
@@ -328,6 +737,7 @@ impl Pipeline {
         Ok(PipelineReport {
             strategy_reports,
             refinements,
+            outcomes,
             chain,
         })
     }
@@ -377,21 +787,26 @@ impl EffortReport {
             .module
             .recipes
             .iter()
-            .zip(&report.strategy_reports)
-            .map(|(recipe, strategy_report)| {
+            .map(|recipe| {
                 let total = count_sloc(recipe.span.text(source));
                 let customization: usize = recipe
                     .lemmas
                     .iter()
                     .map(|lemma| count_sloc(lemma.span.text(source)))
                     .sum();
+                // Match by name: a crashed or skipped recipe has no
+                // strategy report, so positional zipping would misattribute.
+                let strategy_report = report
+                    .strategy_reports
+                    .iter()
+                    .find(|r| r.recipe == recipe.name);
                 RecipeEffort {
                     name: recipe.name.clone(),
                     strategy: recipe.strategy.keyword().to_string(),
                     recipe_sloc: total.saturating_sub(customization),
                     customization_sloc: customization,
-                    generated_sloc: strategy_report.generated_sloc(),
-                    obligations: strategy_report.obligations.len(),
+                    generated_sloc: strategy_report.map_or(0, |r| r.generated_sloc()),
+                    obligations: strategy_report.map_or(0, |r| r.obligations.len()),
                 }
             })
             .collect();

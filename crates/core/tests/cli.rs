@@ -38,6 +38,70 @@ fn check_and_emit_subcommands_work() {
     assert!(stdout.contains("uint32_t count;"));
 }
 
+/// Every shipped spec must verify: `specs/` is the CLI's public face, and
+/// a spec that rots into NOT VERIFIED is a regression even if no unit test
+/// mentions it.
+#[test]
+fn specs_smoke() {
+    let specs_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(specs_dir).expect("read specs/") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|ext| ext != "arm") {
+            continue;
+        }
+        let rel = format!("specs/{}", path.file_name().unwrap().to_str().unwrap());
+        let output = armada(&["verify", &rel, "--jobs", "2"]);
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            output.status.success() && stdout.contains("VERIFIED:"),
+            "{rel} did not verify\nstdout: {stdout}\nstderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        checked += 1;
+    }
+    assert!(checked >= 4, "expected at least 4 specs, found {checked}");
+}
+
+/// `--fault-seed` exercises the outcome-class exit codes: an injected
+/// worker panic exits 4, an injected budget exhaustion exits 3, and both
+/// report the outcome without losing the run.
+#[test]
+fn fault_injection_exit_codes_classify_outcomes() {
+    // Seeds chosen empirically for specs/counter.arm's recipe name; the
+    // fate is a pure function of (seed, name) so this is stable.
+    let output = armada(&["verify", "specs/counter.arm", "--fault-seed", "5"]);
+    assert_eq!(output.status.code(), Some(4));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("crashed"), "stdout: {stdout}");
+    assert!(stdout.contains("injected fault"), "stdout: {stdout}");
+
+    let output = armada(&["verify", "specs/counter.arm", "--fault-seed", "8"]);
+    assert_eq!(output.status.code(), Some(3));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("budget exhausted"), "stdout: {stdout}");
+}
+
+/// `--cert-cache`: the second run reuses the first run's certificate and
+/// says so.
+#[test]
+fn cert_cache_flag_round_trips() {
+    let dir = std::env::temp_dir().join("armada_cli_cert_cache_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = format!("--cert-cache={}", dir.display());
+
+    let output = armada(&["verify", "specs/tracepoint.arm", &cache]);
+    assert!(output.status.success());
+    let first = String::from_utf8_lossy(&output.stdout).into_owned();
+    assert!(first.contains("cert cache miss"), "stdout: {first}");
+
+    let output = armada(&["verify", "specs/tracepoint.arm", &cache]);
+    assert!(output.status.success());
+    let second = String::from_utf8_lossy(&output.stdout).into_owned();
+    assert!(second.contains("cert cache hit"), "stdout: {second}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn bad_usage_and_missing_files_fail_cleanly() {
     let output = armada(&["frobnicate", "specs/counter.arm"]);

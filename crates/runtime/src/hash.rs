@@ -1,0 +1,123 @@
+//! Deterministic content hashing: FNV-1a over 64 bits.
+//!
+//! The hermetic-build policy (DESIGN.md) rules out crates.io hashers, and
+//! `std::hash::DefaultHasher` makes no cross-release stability promise, so
+//! persistent artifacts — the crash-safe certificate store in
+//! `armada-verify::store` keys files and checksums their contents with this
+//! module — need an in-repo hash whose outputs are stable forever. FNV-1a
+//! is the classic fit: tiny, endianness-free (it consumes bytes), and
+//! well-distributed for the short structured strings we feed it. It is
+//! **not** cryptographic; the store uses it to detect corruption and torn
+//! writes, not tampering.
+
+/// The FNV-1a 64-bit offset basis.
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64-bit hasher.
+///
+/// Feed it bytes, strings, and integers; `finish` yields the digest. The
+/// integer writers are length-prefixed-free but type-tagged by convention:
+/// callers must feed fields in a fixed order (hash concatenation is not
+/// injective, so a self-describing record format — as in the cert store —
+/// should separate fields with explicit delimiters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64 {
+            state: OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Fnv64 {
+        for &byte in bytes {
+            self.state ^= byte as u64;
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a string's UTF-8 bytes followed by a NUL separator, so
+    /// adjacent string fields cannot alias each other's boundaries.
+    pub fn write_str(&mut self, s: &str) -> &mut Fnv64 {
+        self.write(s.as_bytes()).write(&[0])
+    }
+
+    /// Absorbs a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) -> &mut Fnv64 {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Absorbs a `usize` (widened to `u64` so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) -> &mut Fnv64 {
+        self.write_u64(v as u64)
+    }
+
+    /// Absorbs an `i128` as little-endian bytes.
+    pub fn write_i128(&mut self, v: i128) -> &mut Fnv64 {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte slice.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference digests from the canonical FNV-1a definition.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo").write(b"bar");
+        assert_eq!(h.finish(), fnv1a_64(b"foobar"));
+    }
+
+    #[test]
+    fn string_separator_prevents_boundary_aliasing() {
+        let mut ab_c = Fnv64::new();
+        ab_c.write_str("ab").write_str("c");
+        let mut a_bc = Fnv64::new();
+        a_bc.write_str("a").write_str("bc");
+        assert_ne!(ab_c.finish(), a_bc.finish());
+    }
+
+    #[test]
+    fn integer_writers_are_width_stable() {
+        let mut a = Fnv64::new();
+        a.write_usize(7);
+        let mut b = Fnv64::new();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -21,17 +21,21 @@
 //!   confidence intervals over repeated trials, as in Figure 12);
 //! * [`prng`] — the deterministic SplitMix64 generator behind the seeded
 //!   randomized test suites (the hermetic, in-repo replacement for
-//!   `rand`/`proptest`).
+//!   `rand`/`proptest`);
+//! * [`hash`] — stable FNV-1a content hashing for persistent artifacts
+//!   (certificate-store keys and checksums).
 
 pub mod barrier;
 pub mod generated;
 pub mod generated_conservative;
+pub mod hash;
 pub mod mcs;
 pub mod measure;
 pub mod prng;
 pub mod spsc;
 
 pub use barrier::FlagBarrier;
+pub use hash::{fnv1a_64, Fnv64};
 pub use mcs::McsMutex;
 pub use measure::{queue_throughput_ops_per_sec, Stats};
 pub use prng::{run_seeded_cases, SplitMix64};

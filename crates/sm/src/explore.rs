@@ -116,6 +116,12 @@ pub struct Bounds {
     /// default) runs fully serial; results are identical for any value
     /// (absent truncation) — parallelism only changes wall-clock time.
     pub jobs: usize,
+    /// Wall-clock deadline for graceful degradation. `None` (the default)
+    /// never expires. Checked *cooperatively* — at wave boundaries in the
+    /// refinement checker, between expansions in exploration — so an
+    /// expired deadline yields a truncated-but-reported partial result, not
+    /// a hang and not a mid-wave nondeterministic cut.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Bounds {
@@ -127,6 +133,7 @@ impl Bounds {
             nondet_ints: vec![0, 1, 2],
             max_buffer: 2,
             jobs: 1,
+            deadline: None,
         }
     }
 
@@ -134,6 +141,18 @@ impl Bounds {
     pub fn with_jobs(mut self, jobs: usize) -> Bounds {
         self.jobs = jobs.max(1);
         self
+    }
+
+    /// The same bounds with a wall-clock deadline `budget` from now.
+    pub fn with_deadline(mut self, budget: std::time::Duration) -> Bounds {
+        self.deadline = Some(std::time::Instant::now() + budget);
+        self
+    }
+
+    /// True once the wall-clock deadline (if any) has passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline
+            .is_some_and(|deadline| std::time::Instant::now() >= deadline)
     }
 
     /// The nondet candidate pool: booleans, the configured integers, and
@@ -250,6 +269,10 @@ fn explore_serial(program: &Program, initial: ProgState, bounds: &Bounds) -> Exp
     result.visited.insert(initial.clone());
     frontier.push_back(initial);
     while let Some(state) = frontier.pop_front() {
+        if bounds.deadline_expired() {
+            result.truncated = true;
+            return result;
+        }
         match &state.termination {
             Termination::Exited => {
                 result.exited.push(state);
@@ -393,6 +416,11 @@ fn explore_parallel(program: &Program, initial: ProgState, bounds: &Bounds) -> E
             scope.spawn(|| {
                 let mut local = partial.lock().expect("partial poisoned");
                 while let Some(state) = frontier.claim() {
+                    if bounds.deadline_expired() {
+                        truncated.store(true, Ordering::Relaxed);
+                        frontier.finish_expansion();
+                        continue;
+                    }
                     match &state.termination {
                         Termination::Exited => {
                             local.exited.push(state);

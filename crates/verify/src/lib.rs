@@ -35,7 +35,10 @@
 //! trace is shortest possible), and the lexicographically-least trace wins
 //! regardless of which worker found it first.
 
+pub mod store;
+
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -87,9 +90,36 @@ pub struct RefinementCert {
     pub low_transitions: usize,
 }
 
+/// Why a refinement check failed: a genuine counterexample, or a search
+/// budget ran out before the bounded state space was covered. Callers use
+/// this to classify outcomes (refuted vs. budget-exhausted) without parsing
+/// description strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CexKind {
+    /// A real unmatched low-level behavior: refinement is *refuted* on this
+    /// bounded instance.
+    Refinement,
+    /// The `max_nodes` product-node budget was exhausted: refinement is
+    /// *unknown*, reported with the frontier trace where the search stopped.
+    Budget,
+    /// The wall-clock deadline ([`Bounds::deadline`]) expired at a wave
+    /// boundary: refinement is *unknown*.
+    Deadline,
+}
+
+impl CexKind {
+    /// True for the budget-exhaustion classes (node budget or deadline),
+    /// where the check degraded gracefully rather than refuting.
+    pub fn is_budget(self) -> bool {
+        matches!(self, CexKind::Budget | CexKind::Deadline)
+    }
+}
+
 /// A failing low-level behavior with no matching high-level behavior.
 #[derive(Debug, Clone)]
 pub struct Counterexample {
+    /// Failure class (refuted vs. budget/deadline exhaustion).
+    pub kind: CexKind,
     /// Human-readable failure description.
     pub description: String,
     /// The low-level step trace (instruction descriptions) to the failure.
@@ -234,7 +264,13 @@ fn expand_matches(
 ) -> Option<MatchSet> {
     let mut new_matches: BTreeSet<u32> = BTreeSet::new();
     for &high_id in parent_matches {
-        let closure = high.lock().expect("high graph").closure_of(high_id);
+        // Poison-tolerant: a panic caught in one wave slot must not cascade
+        // into poison panics in the others (that would make which slot
+        // "fails first" depend on worker scheduling).
+        let closure = high
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .closure_of(high_id);
         for (candidate, candidate_state) in closure.iter() {
             if new_matches.contains(candidate) {
                 continue;
@@ -286,6 +322,12 @@ fn expand_wave(
     high: &Mutex<HighGraph<'_>>,
     cache: &Mutex<HashMap<(u32, Obs), Option<MatchSet>>>,
 ) -> Vec<Vec<SuccOut>> {
+    // Each expansion runs under `catch_unwind` so a panicking worker (a bug
+    // in a refinement relation, step enumeration, …) cannot kill the pool:
+    // every other slot still completes, and the panic is re-raised from the
+    // lowest wave slot that failed — the same slot at any job count — so
+    // callers that isolate panics (the pipeline wraps `check_refinement` in
+    // its own `catch_unwind`) observe a deterministic failure.
     let expand_one = |node: &Node| -> Vec<SuccOut> {
         if node.low.is_terminal() {
             return Vec::new();
@@ -296,14 +338,18 @@ fn expand_wave(
                 let desc = describe_step(low, &node.low, &step);
                 let obs: Obs = (low_next.log.clone(), low_next.termination.clone());
                 let key = (node.set_id, obs);
-                let cached = cache.lock().expect("expand cache").get(&key).cloned();
+                let cached = cache
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .get(&key)
+                    .cloned();
                 let matches = match cached {
                     Some(hit) => hit,
                     None => {
                         let computed = expand_matches(&node.matches, &low_next, relation, high);
                         cache
                             .lock()
-                            .expect("expand cache")
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
                             .insert(key, computed.clone());
                         computed
                     }
@@ -317,10 +363,41 @@ fn expand_wave(
             .collect()
     };
 
+    // A raw panic payload (`Box<dyn Any + Send>`) is not `Sync`, so it
+    // cannot sit in a shared `OnceLock` slot; the `Mutex` wrapper restores
+    // `Sync` without copying the payload.
+    type PanicPayload = Mutex<Box<dyn std::any::Any + Send>>;
+    type SlotResult = Result<Vec<SuccOut>, PanicPayload>;
+    let drain = |slots: Vec<SlotResult>| -> Vec<Vec<SuccOut>> {
+        let mut first_panic = None;
+        let mut out = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot {
+                Ok(successors) => out.push(successors),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            let payload = payload.into_inner().unwrap_or_else(|p| p.into_inner());
+            std::panic::resume_unwind(payload);
+        }
+        out
+    };
+
     if jobs <= 1 || wave.len() <= 1 {
-        return wave.iter().map(|&i| expand_one(&nodes[i])).collect();
+        return drain(
+            wave.iter()
+                .map(|&i| {
+                    catch_unwind(AssertUnwindSafe(|| expand_one(&nodes[i]))).map_err(Mutex::new)
+                })
+                .collect(),
+        );
     }
-    let slots: Vec<OnceLock<Vec<SuccOut>>> = (0..wave.len()).map(|_| OnceLock::new()).collect();
+    let slots: Vec<OnceLock<SlotResult>> = (0..wave.len()).map(|_| OnceLock::new()).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..jobs.min(wave.len()) {
@@ -329,7 +406,8 @@ fn expand_wave(
                 if slot >= wave.len() {
                     break;
                 }
-                let out = expand_one(&nodes[wave[slot]]);
+                let out = catch_unwind(AssertUnwindSafe(|| expand_one(&nodes[wave[slot]])))
+                    .map_err(Mutex::new);
                 slots[slot]
                     .set(out)
                     .ok()
@@ -337,10 +415,12 @@ fn expand_wave(
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot was filled"))
-        .collect()
+    drain(
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every slot was filled"))
+            .collect(),
+    )
 }
 
 /// Checks that `low` refines `high` under `relation`, over all bounded
@@ -363,6 +443,7 @@ pub fn check_refinement(
     let pool = config.bounds.pool_for(low);
     let low_init = initial_state(low).map_err(|e| {
         Box::new(Counterexample {
+            kind: CexKind::Refinement,
             description: format!("low initial state: {e}"),
             trace: vec![],
             state: initial_state(high).expect("high init"),
@@ -370,6 +451,7 @@ pub fn check_refinement(
     })?;
     let high_init = initial_state(high).map_err(|e| {
         Box::new(Counterexample {
+            kind: CexKind::Refinement,
             description: format!("high initial state: {e}"),
             trace: vec![],
             state: low_init.clone(),
@@ -393,6 +475,7 @@ pub fn check_refinement(
         .collect();
     if init_matches.is_empty() {
         return Err(Box::new(Counterexample {
+            kind: CexKind::Refinement,
             description: "initial states are not related by R".to_string(),
             trace: vec![],
             state: low_init,
@@ -437,6 +520,24 @@ pub fn check_refinement(
     };
 
     while !wave.is_empty() {
+        // Cooperative deadline: checked only at wave boundaries, so the
+        // check degrades gracefully (a trace of the first-admitted frontier
+        // node, deterministic for the wave it fires in) instead of hanging
+        // or cutting a wave at a scheduling-dependent point.
+        if config.bounds.deadline_expired() {
+            let node_id = wave[0];
+            return Err(Box::new(Counterexample {
+                kind: CexKind::Deadline,
+                description: format!(
+                    "wall-clock deadline exceeded ({} product nodes explored); \
+                     refinement NOT verified",
+                    nodes.len()
+                ),
+                trace: trace_of(&nodes, node_id),
+                state: nodes[node_id].low.clone(),
+            }));
+        }
+
         // Parallel phase: expand every wave node.
         let expanded = expand_wave(
             &wave,
@@ -477,6 +578,7 @@ pub fn check_refinement(
                 }
                 if nodes.len() >= config.max_nodes {
                     budget_failure = Some(Box::new(Counterexample {
+                        kind: CexKind::Budget,
                         description: format!(
                             "search budget exceeded ({} product nodes); refinement NOT verified",
                             config.max_nodes
@@ -518,6 +620,7 @@ pub fn check_refinement(
             failures.sort_by(|a, b| (&a.0, &a.2).cmp(&(&b.0, &b.2)));
             let (trace, desc, state) = failures.into_iter().next().expect("nonempty");
             return Err(Box::new(Counterexample {
+                kind: CexKind::Refinement,
                 description: format!("no high-level behavior matches after `{desc}`"),
                 trace,
                 state,
@@ -772,6 +875,127 @@ mod tests {
         let parallel = check_refinement(&low, &high, &relation, &SimConfig::default().with_jobs(4))
             .unwrap_err();
         assert_eq!(serial.to_string(), parallel.to_string());
+    }
+
+    #[test]
+    fn refinement_failure_beats_budget_failure_in_same_wave() {
+        // The node budget is tuned so the commit loop sees both a real
+        // counterexample (low prints 2, high can only print 1 or 3) and
+        // budget exhaustion while scanning the same wave; the real
+        // counterexample must win, identically at every job count.
+        let (low, high) = programs(
+            r#"
+            level A { void main() { if (*) { print(1); } else { print(2); } } }
+            level B { void main() { if (*) { print(1); } else { print(3); } } }
+            "#,
+            "A",
+            "B",
+        );
+        let relation = StandardRelation::log_prefix();
+        let mut expected: Option<String> = None;
+        for jobs in [1, 2, 4] {
+            let mut config = SimConfig::default().with_jobs(jobs);
+            config.max_nodes = 3;
+            let err = check_refinement(&low, &high, &relation, &config).unwrap_err();
+            assert_eq!(
+                err.kind,
+                CexKind::Refinement,
+                "jobs={jobs}: a real counterexample must beat budget failure: {}",
+                err.description
+            );
+            let rendered = err.to_string();
+            match &expected {
+                None => expected = Some(rendered),
+                Some(first) => assert_eq!(first, &rendered, "jobs={jobs}"),
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_node_budget_is_classified_as_budget() {
+        let (low, high) = programs(
+            r#"
+            level A { var x: uint32; void main() { x := 1; x := 2; print(x); } }
+            level B { var x: uint32; void main() { x := 1; x := 2; print(x); } }
+            "#,
+            "A",
+            "B",
+        );
+        let relation = StandardRelation::log_prefix();
+        let mut config = SimConfig::default();
+        config.max_nodes = 1;
+        let err = check_refinement(&low, &high, &relation, &config).unwrap_err();
+        assert_eq!(err.kind, CexKind::Budget);
+        assert!(err.kind.is_budget());
+        assert!(err.description.contains("search budget exceeded"));
+    }
+
+    #[test]
+    fn expired_deadline_degrades_gracefully() {
+        let (low, high) = programs(
+            r#"
+            level A { var x: uint32; void main() { x := 1; print(x); } }
+            level B { var x: uint32; void main() { x := 1; print(x); } }
+            "#,
+            "A",
+            "B",
+        );
+        let relation = StandardRelation::log_prefix();
+        let mut config = SimConfig::default();
+        config.bounds = config.bounds.with_deadline(std::time::Duration::ZERO);
+        let err = check_refinement(&low, &high, &relation, &config).unwrap_err();
+        assert_eq!(err.kind, CexKind::Deadline);
+        assert!(err.kind.is_budget());
+        assert!(err.description.contains("deadline exceeded"));
+    }
+
+    /// A relation that panics when it sees a particular printed value, to
+    /// exercise the worker pool's panic drain.
+    struct PanickyRelation;
+
+    impl armada_proof::relation::RefinementRelation for PanickyRelation {
+        fn relates(&self, low: &ProgState, _high: &ProgState) -> bool {
+            if low.log.iter().any(|entry| entry.to_string() == "2") {
+                panic!("relation cannot handle the value 2");
+            }
+            true
+        }
+
+        fn describe(&self) -> String {
+            "panicky test relation".to_string()
+        }
+    }
+
+    #[test]
+    fn worker_panic_drains_deterministically_across_job_counts() {
+        // Both branches produce successors; evaluating the relation on the
+        // `print(2)` branch panics inside a worker. The pool must drain
+        // remaining slots and re-raise the lowest-slot panic, so serial and
+        // parallel runs surface the identical payload.
+        let (low, high) = programs(
+            r#"
+            level A { void main() { if (*) { print(1); } else { print(2); } } }
+            level B { void main() { if (*) { print(1); } else { print(2); } } }
+            "#,
+            "A",
+            "B",
+        );
+        let mut messages = Vec::new();
+        for jobs in [1, 4] {
+            let config = SimConfig::default().with_jobs(jobs);
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                check_refinement(&low, &high, &PanickyRelation, &config)
+            }))
+            .expect_err("the panicking relation must propagate");
+            let text = caught
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| caught.downcast_ref::<String>().cloned())
+                .expect("string payload");
+            messages.push(text);
+        }
+        assert_eq!(messages[0], "relation cannot handle the value 2");
+        assert_eq!(messages[0], messages[1]);
     }
 
     #[test]

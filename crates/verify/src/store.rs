@@ -1,0 +1,326 @@
+//! Crash-safe, content-addressed persistence of [`RefinementCert`]s.
+//!
+//! Re-verifying a level pair whose program text and bounds have not changed
+//! is pure waste, so the pipeline can persist each successful certificate
+//! under `target/armada-certs/` and reuse it on the next run (the ROADMAP's
+//! cert-cache item). Because a cache that silently serves stale or mangled
+//! entries would *unsoundly* skip verification, the store is built around
+//! one invariant — **a load either returns exactly what a completed save
+//! wrote, or nothing** — and the pipeline treats "nothing" as a plain cache
+//! miss and recomputes. Foundational VeriFast (PAPERS.md) takes the same
+//! posture: cached verification results are only trustworthy if they are
+//! re-validated cheaply on load.
+//!
+//! Mechanics:
+//!
+//! * **Content addressing.** [`CertKey::compute`] hashes the whole module
+//!   source, the level pair, and every result-affecting bound (`jobs` and
+//!   the wall-clock deadline are deliberately excluded — they change
+//!   wall-clock behavior, never results). Any edit to the program or the
+//!   bounds changes the key, so stale certs are simply never addressed.
+//! * **Atomic writes.** [`CertStore::save`] writes a temp file in the same
+//!   directory and `rename`s it into place, so a crash mid-write leaves
+//!   either the old entry or a stray `.tmp` — never a half-written `.cert`
+//!   at the addressed path.
+//! * **Checksummed records.** The record embeds an FNV-1a checksum of its
+//!   payload; [`CertStore::load`] re-verifies it, re-parses every field,
+//!   and cross-checks the level names against the requested pair. Any
+//!   mismatch — torn write, flipped byte, truncation, hand-editing — makes
+//!   the load return `None`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use armada_runtime::hash::Fnv64;
+
+use crate::{RefinementCert, SimConfig};
+
+/// Version tag embedded in both the key derivation and the file header;
+/// bump it when the record format or the certificate semantics change, and
+/// every old entry becomes unaddressable garbage instead of a parse hazard.
+const FORMAT_VERSION: u32 = 1;
+
+/// Magic first line of a certificate record.
+const MAGIC: &str = "armada-cert v1";
+
+/// Content address of one certificate: a stable hash of everything that
+/// determines the check's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CertKey(u64);
+
+impl CertKey {
+    /// Derives the key for checking `low ⊑ high` within `module_source`
+    /// under `config`.
+    pub fn compute(module_source: &str, low: &str, high: &str, config: &SimConfig) -> CertKey {
+        let mut h = Fnv64::new();
+        h.write_u64(FORMAT_VERSION as u64);
+        h.write_str(module_source);
+        h.write_str(low);
+        h.write_str(high);
+        h.write_usize(config.max_match);
+        h.write_usize(config.max_nodes);
+        h.write_usize(config.bounds.max_steps);
+        h.write_usize(config.bounds.max_states);
+        h.write_usize(config.bounds.max_buffer);
+        h.write_usize(config.bounds.nondet_ints.len());
+        for &candidate in &config.bounds.nondet_ints {
+            h.write_i128(candidate);
+        }
+        CertKey(h.finish())
+    }
+
+    /// The key as the 16-hex-digit file stem.
+    pub fn as_hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// A directory of checksummed certificate records, one file per key.
+#[derive(Debug, Clone)]
+pub struct CertStore {
+    root: PathBuf,
+}
+
+impl CertStore {
+    /// A store rooted at `root`. No IO happens until the first save (loads
+    /// from a nonexistent directory are just misses).
+    pub fn open(root: impl Into<PathBuf>) -> CertStore {
+        CertStore { root: root.into() }
+    }
+
+    /// The conventional location, `target/armada-certs/`.
+    pub fn default_root() -> PathBuf {
+        PathBuf::from("target/armada-certs")
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The file a key addresses (whether or not it exists yet).
+    pub fn path_for(&self, key: &CertKey) -> PathBuf {
+        self.root.join(format!("{}.cert", key.as_hex()))
+    }
+
+    /// Persists `cert` under `key`: serialize, write to a same-directory
+    /// temp file, checksum embedded, then atomically rename into place.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO error; callers may treat saving as
+    /// best-effort (a failed save only costs a future recomputation).
+    pub fn save(&self, key: &CertKey, cert: &RefinementCert) -> io::Result<()> {
+        if !level_name_fits(&cert.low) || !level_name_fits(&cert.high) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "level names must be single-line and non-empty",
+            ));
+        }
+        fs::create_dir_all(&self.root)?;
+        let record = serialize(cert);
+        let target = self.path_for(key);
+        // Same-directory temp path: rename is atomic only within a
+        // filesystem. The name is key-deterministic; concurrent writers of
+        // the same key write identical bytes, so the race is benign.
+        let temp = self.root.join(format!("{}.tmp", key.as_hex()));
+        fs::write(&temp, record)?;
+        fs::rename(&temp, &target)
+    }
+
+    /// Loads the certificate stored under `key`, if and only if a complete,
+    /// checksum-valid record for exactly the pair `low ⊑ high` is present.
+    /// Every failure mode — absent file, torn or corrupted record, version
+    /// skew, a record for a different pair — is a silent `None`, which
+    /// callers treat as a cache miss.
+    pub fn load(&self, key: &CertKey, low: &str, high: &str) -> Option<RefinementCert> {
+        let text = fs::read_to_string(self.path_for(key)).ok()?;
+        let cert = deserialize(&text)?;
+        if cert.low == low && cert.high == high {
+            Some(cert)
+        } else {
+            None
+        }
+    }
+
+    /// Removes every record in the store (missing directory is fine).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first IO error encountered while deleting.
+    pub fn clear(&self) -> io::Result<()> {
+        match fs::remove_dir_all(&self.root) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Level names are identifiers, but the record format is line-based, so
+/// defend the serialization against anything that could smuggle a line
+/// break or an empty field into the record.
+fn level_name_fits(name: &str) -> bool {
+    !name.is_empty() && !name.chars().any(|c| c.is_control())
+}
+
+/// The payload lines of a record (everything the checksum covers).
+fn payload(cert: &RefinementCert) -> String {
+    format!(
+        "{MAGIC}\nlow {}\nhigh {}\nproduct_nodes {}\nlow_transitions {}\n",
+        cert.low, cert.high, cert.product_nodes, cert.low_transitions
+    )
+}
+
+fn serialize(cert: &RefinementCert) -> String {
+    let payload = payload(cert);
+    let checksum = armada_runtime::hash::fnv1a_64(payload.as_bytes());
+    format!("{payload}checksum {checksum:016x}\n")
+}
+
+fn deserialize(text: &str) -> Option<RefinementCert> {
+    // The checksum line is last; everything before it is the payload the
+    // checksum covers. Re-hash first so *any* payload damage — even damage
+    // that would still parse — is rejected.
+    let rest = text.strip_suffix('\n')?;
+    let (payload_text, checksum_line) = rest.rsplit_once('\n')?;
+    let payload_text = format!("{payload_text}\n");
+    let stored = checksum_line.strip_prefix("checksum ")?;
+    let stored = u64::from_str_radix(stored, 16).ok()?;
+    if stored != armada_runtime::hash::fnv1a_64(payload_text.as_bytes()) {
+        return None;
+    }
+    let mut lines = payload_text.lines();
+    if lines.next()? != MAGIC {
+        return None;
+    }
+    let low = lines.next()?.strip_prefix("low ")?.to_string();
+    let high = lines.next()?.strip_prefix("high ")?.to_string();
+    let product_nodes = lines.next()?.strip_prefix("product_nodes ")?.parse().ok()?;
+    let low_transitions = lines
+        .next()?
+        .strip_prefix("low_transitions ")?
+        .parse()
+        .ok()?;
+    if lines.next().is_some() {
+        return None;
+    }
+    Some(RefinementCert {
+        low,
+        high,
+        product_nodes,
+        low_transitions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_store(test: &str) -> CertStore {
+        let root =
+            std::env::temp_dir().join(format!("armada-cert-store-{}-{test}", std::process::id()));
+        let store = CertStore::open(root);
+        store.clear().expect("clean scratch dir");
+        store
+    }
+
+    fn sample_cert() -> RefinementCert {
+        RefinementCert {
+            low: "Impl".into(),
+            high: "Spec".into(),
+            product_nodes: 123,
+            low_transitions: 456,
+        }
+    }
+
+    #[test]
+    fn round_trips_and_misses_cleanly() {
+        let store = scratch_store("round_trip");
+        let key = CertKey::compute("module text", "Impl", "Spec", &SimConfig::default());
+        assert_eq!(store.load(&key, "Impl", "Spec"), None, "empty store");
+        let cert = sample_cert();
+        store.save(&key, &cert).expect("save");
+        assert_eq!(store.load(&key, "Impl", "Spec"), Some(cert));
+        // A record for the right key but the wrong pair is a miss.
+        assert_eq!(store.load(&key, "Impl", "Other"), None);
+        store.clear().expect("clear");
+        assert_eq!(store.load(&key, "Impl", "Spec"), None, "cleared store");
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let store = scratch_store("byte_flips");
+        let key = CertKey::compute("module text", "Impl", "Spec", &SimConfig::default());
+        store.save(&key, &sample_cert()).expect("save");
+        let pristine = std::fs::read(store.path_for(&key)).expect("read record");
+        for index in 0..pristine.len() {
+            let mut corrupt = pristine.clone();
+            corrupt[index] ^= 0x04; // keep it printable-ish; any flip must do
+            std::fs::write(store.path_for(&key), &corrupt).expect("write corrupt");
+            assert_eq!(
+                store.load(&key, "Impl", "Spec"),
+                None,
+                "flip at byte {index} must be rejected"
+            );
+        }
+        std::fs::write(store.path_for(&key), &pristine).expect("restore");
+        assert!(store.load(&key, "Impl", "Spec").is_some());
+    }
+
+    #[test]
+    fn truncated_and_garbage_records_are_misses() {
+        let store = scratch_store("garbage");
+        let key = CertKey::compute("m", "A", "B", &SimConfig::default());
+        let cert = RefinementCert {
+            low: "A".into(),
+            high: "B".into(),
+            product_nodes: 1,
+            low_transitions: 1,
+        };
+        store.save(&key, &cert).expect("save");
+        let full = std::fs::read_to_string(store.path_for(&key)).expect("read");
+        for cut in 0..full.len() {
+            std::fs::write(store.path_for(&key), &full[..cut]).expect("truncate");
+            assert_eq!(store.load(&key, "A", "B"), None, "truncated at {cut}");
+        }
+        std::fs::write(store.path_for(&key), "total garbage\n").expect("garbage");
+        assert_eq!(store.load(&key, "A", "B"), None);
+    }
+
+    #[test]
+    fn keys_separate_programs_pairs_and_bounds() {
+        let config = SimConfig::default();
+        let base = CertKey::compute("src", "A", "B", &config);
+        assert_ne!(base, CertKey::compute("src2", "A", "B", &config));
+        assert_ne!(base, CertKey::compute("src", "A", "C", &config));
+        assert_ne!(base, CertKey::compute("src", "B", "A", &config));
+        let mut tighter = SimConfig::default();
+        tighter.max_nodes = 7;
+        assert_ne!(base, CertKey::compute("src", "A", "B", &tighter));
+        // jobs and deadline must NOT affect the key: they never change
+        // results, and sharing certs across them is the point.
+        let parallel = SimConfig::default().with_jobs(8);
+        assert_eq!(base, CertKey::compute("src", "A", "B", &parallel));
+        let mut deadlined = SimConfig::default();
+        deadlined.bounds = deadlined
+            .bounds
+            .with_deadline(std::time::Duration::from_secs(3600));
+        assert_eq!(base, CertKey::compute("src", "A", "B", &deadlined));
+    }
+
+    #[test]
+    fn save_rejects_unserializable_level_names() {
+        let store = scratch_store("bad_names");
+        let key = CertKey::compute("m", "A", "B", &SimConfig::default());
+        let cert = RefinementCert {
+            low: "A\nB".into(),
+            high: "C".into(),
+            product_nodes: 0,
+            low_transitions: 0,
+        };
+        assert!(store.save(&key, &cert).is_err());
+        assert_eq!(store.load(&key, "A\nB", "C"), None);
+    }
+}

@@ -23,6 +23,44 @@ if [[ "${1:-}" == "--full" ]]; then
     echo "==> quick benches"
     ARMADA_BENCH_QUICK=1 cargo bench -p armada-bench --offline
     cargo run --release --offline -p armada-bench --bin parallel_speedup -- --quick
+
+    # The root-package build above does not cover dependency-crate bins.
+    cargo build --release --offline -p armada --bin armada
+    ARMADA_BIN=target/release/armada
+    SMOKE_DIR=$(mktemp -d)
+    trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+    echo "==> fault-injection smoke (seeded plan, jobs=1 vs jobs=4)"
+    # Seed 5 injects a worker panic into counter.arm's recipe; the partial
+    # report (one crashed recipe, run not lost) must be byte-identical at
+    # any job count. The injected crash exits 4 by design.
+    "$ARMADA_BIN" verify specs/counter.arm --fault-seed 5 --jobs 1 \
+        >"$SMOKE_DIR/fault_j1.out" && rc=0 || rc=$?
+    [[ "$rc" -eq 4 ]] || { echo "expected exit 4 from injected crash, got $rc"; exit 1; }
+    grep -q "crashed" "$SMOKE_DIR/fault_j1.out" || { echo "missing crashed outcome"; exit 1; }
+    "$ARMADA_BIN" verify specs/counter.arm --fault-seed 5 --jobs 4 \
+        >"$SMOKE_DIR/fault_j4.out" || true
+    diff "$SMOKE_DIR/fault_j1.out" "$SMOKE_DIR/fault_j4.out" \
+        || { echo "fault report differs between jobs=1 and jobs=4"; exit 1; }
+
+    echo "==> cert-cache round trip"
+    CACHE_DIR="$SMOKE_DIR/certs"
+    "$ARMADA_BIN" verify specs/counter.arm --cert-cache="$CACHE_DIR" \
+        >"$SMOKE_DIR/cache_first.out"
+    grep -q "cert cache miss" "$SMOKE_DIR/cache_first.out" \
+        || { echo "first cached run should miss"; exit 1; }
+    "$ARMADA_BIN" verify specs/counter.arm --cert-cache="$CACHE_DIR" \
+        >"$SMOKE_DIR/cache_second.out"
+    grep -q "cert cache hit" "$SMOKE_DIR/cache_second.out" \
+        || { echo "second cached run should hit"; exit 1; }
+    # Modulo the hit/miss annotation, the two runs must agree exactly
+    # (same certs, same chain).
+    sed 's/ (cert cache \(hit\|miss\))//; s/ (from cert store)//' \
+        "$SMOKE_DIR/cache_first.out" >"$SMOKE_DIR/cache_first.norm"
+    sed 's/ (cert cache \(hit\|miss\))//; s/ (from cert store)//' \
+        "$SMOKE_DIR/cache_second.out" >"$SMOKE_DIR/cache_second.norm"
+    diff "$SMOKE_DIR/cache_first.norm" "$SMOKE_DIR/cache_second.norm" \
+        || { echo "cached rerun changed the report"; exit 1; }
 fi
 
 echo "verify.sh: all checks passed"
