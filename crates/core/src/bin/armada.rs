@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! armada verify <file.arm> [--jobs N] [--deadline SECS] [--cert-cache[=DIR]]
+//!                          [--no-reduction]
 //!                               run the full pipeline (strategies + bounded
 //!                               refinement model checking, on N threads)
 //! armada check <file.arm>       front end + core-subset check only
@@ -18,7 +19,11 @@
 //! per-recipe pipeline work; results are byte-identical for any N.
 //! `--deadline SECS` bounds wall-clock time per semantic check (graceful
 //! budget-exhausted outcomes, not hangs). `--cert-cache` persists and
-//! reuses refinement certificates (default root `target/armada-certs/`).
+//! reuses refinement certificates (default root `target/armada-certs/`;
+//! the `ARMADA_CERT_CACHE` environment variable enables the same cache
+//! without a flag). `--no-reduction` disables local-step fusion in the
+//! state-space engine — verdicts and counterexamples are identical either
+//! way; the flag exists for timing comparisons and debugging.
 //! `--fault-seed N` injects deterministic faults for robustness testing.
 //!
 //! `verify`/`effort` exit codes classify the worst per-recipe outcome:
@@ -34,7 +39,8 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: armada <verify|check|effort|emit-c|emit-rust> <file.arm> \
-         [--jobs N] [--deadline SECS] [--cert-cache[=DIR]] [--fault-seed N] [--conservative]"
+         [--jobs N] [--deadline SECS] [--cert-cache[=DIR]] [--no-reduction] \
+         [--fault-seed N] [--conservative]"
     );
     ExitCode::from(2)
 }
@@ -136,6 +142,9 @@ fn main() -> ExitCode {
     let mut sim = SimConfig::default().with_jobs(jobs);
     if let Some(budget) = deadline {
         sim.bounds = sim.bounds.with_deadline(budget);
+    }
+    if args.iter().any(|a| a == "--no-reduction") {
+        sim.bounds.reduction = false;
     }
     let pipeline = match Pipeline::from_source(&source) {
         Ok(pipeline) => pipeline.with_sim_config(sim),

@@ -37,11 +37,12 @@
 //!   cooperatively at wave boundaries; exhaustion yields a reported
 //!   budget-exhausted outcome, not a hang, and the pipeline continues with
 //!   the remaining recipes.
-//! * **Crash-safe resumability.** With [`Pipeline::with_cert_store`], each
-//!   verified pair's certificate is persisted content-addressed (atomic
-//!   rename + checksum, see [`verify::store`]); an interrupted run's
-//!   completed certs are reused on rerun, and a corrupted record silently
-//!   falls back to recomputation.
+//! * **Crash-safe resumability.** With [`Pipeline::with_cert_store`] (or
+//!   the `ARMADA_CERT_CACHE` environment variable when no store was
+//!   configured programmatically), each verified pair's certificate is
+//!   persisted content-addressed (atomic rename + checksum, see
+//!   [`verify::store`]); an interrupted run's completed certs are reused on
+//!   rerun, and a corrupted record silently falls back to recomputation.
 //! * **Deterministic fault injection.** [`FaultPlan`] drives all of the
 //!   above in tests: injected panics, forced budget exhaustion, and
 //!   simulated mid-run kills, reproducible from a seed.
@@ -374,6 +375,22 @@ impl Pipeline {
         self
     }
 
+    /// The cert store this run will use: the explicitly configured one, or
+    /// — when none was configured — the `ARMADA_CERT_CACHE` environment
+    /// variable (a directory path; an empty value selects the conventional
+    /// `target/armada-certs/`). Returns `None` when caching is off.
+    fn resolved_cert_store(&self) -> Option<CertStore> {
+        if let Some(store) = &self.cert_store {
+            return Some(store.clone());
+        }
+        let dir = std::env::var_os("ARMADA_CERT_CACHE")?;
+        if dir.is_empty() {
+            Some(CertStore::open(CertStore::default_root()))
+        } else {
+            Some(CertStore::open(std::path::PathBuf::from(dir)))
+        }
+    }
+
     /// Injects the given faults while running (robustness tests only).
     pub fn with_fault_plan(mut self, fault: FaultPlan) -> Pipeline {
         self.fault = fault;
@@ -447,6 +464,7 @@ impl Pipeline {
         index: usize,
         recipe: &Recipe,
         relation: &StandardRelation,
+        cert_store: Option<&CertStore>,
     ) -> Result<RecipeRun, PipelineError> {
         let outcome =
             |status: RecipeStatus, detail: String, cache: CacheDisposition| RecipeReport {
@@ -538,7 +556,7 @@ impl Pipeline {
             sim.max_nodes = 1;
         }
         let key = CertKey::compute(&self.source, &recipe.low, &recipe.high, &sim);
-        if let Some(store) = &self.cert_store {
+        if let Some(store) = cert_store {
             if let Some(cert) = store.load(&key, &recipe.low, &recipe.high) {
                 let detail = format!(
                     "{} product nodes, {} low transitions (from cert store)",
@@ -566,7 +584,7 @@ impl Pipeline {
             }
             check_refinement(&low, &high, relation, &sim)
         }));
-        let cache = if self.cert_store.is_some() {
+        let cache = if cert_store.is_some() {
             CacheDisposition::Miss
         } else {
             CacheDisposition::Disabled
@@ -585,7 +603,7 @@ impl Pipeline {
                 });
             }
             Ok(Ok(cert)) => {
-                if let Some(store) = &self.cert_store {
+                if let Some(store) = cert_store {
                     // Best-effort persistence: a full disk or unwritable
                     // store must not fail the verification itself.
                     let _ = store.save(&key, &cert);
@@ -643,13 +661,16 @@ impl Pipeline {
     pub fn run(&self) -> Result<PipelineReport, PipelineError> {
         let relation = StandardRelation::new(self.typed.module.relation());
         let recipes = &self.typed.module.recipes;
+        // Resolved once per run: either the configured store or the
+        // `ARMADA_CERT_CACHE` environment fallback.
+        let cert_store = self.resolved_cert_store();
         // A panic that escapes `run_recipe` (i.e. outside the two
         // per-stage `catch_unwind`s — pool bookkeeping, lowering, the cert
         // store) is still confined to its recipe here, so one bad worker
         // can never poison the whole run.
         let run_one = |index: usize, recipe: &Recipe| -> Result<RecipeRun, PipelineError> {
             catch_unwind(AssertUnwindSafe(|| {
-                self.run_recipe(index, recipe, &relation)
+                self.run_recipe(index, recipe, &relation, cert_store.as_ref())
             }))
             .unwrap_or_else(|payload| {
                 Ok(RecipeRun {

@@ -1,0 +1,352 @@
+//! Hash-consed state arena: dense ids + cached fingerprints for `ProgState`.
+//!
+//! Both hot engines — [`crate::explore`] and the refinement checker in
+//! `armada-verify` — used to carry whole [`ProgState`] trees in their
+//! frontiers and key their seen-sets on full states, which re-hashes and
+//! deep-compares a thread-map/frame-stack/heap forest on every probe. A
+//! [`StateArena`] interns each distinct state exactly once, hands out a
+//! dense [`StateId`] (`u32`), and caches a 64-bit FNV-1a fingerprint per
+//! state so that:
+//!
+//! - seen-set probes are an integer bucket lookup (full structural equality
+//!   runs only on the rare fingerprint collision inside one bucket);
+//! - frontiers, parent links, and traces carry 4-byte ids instead of
+//!   cloned states;
+//! - every interned state is stored behind an [`Arc`], so handing a state
+//!   to a result set (terminal classes, counterexamples) is a refcount
+//!   bump, not a deep clone.
+//!
+//! Ids are assigned in interning order, so an engine that interns states
+//! in a deterministic order (the wave-commit order in `explore` and
+//! `check_refinement`) gets deterministic ids for free — `jobs=1 ≡ jobs=N`
+//! comparisons can compare arenas structurally.
+//!
+//! Fingerprints are computed by feeding the state's derived [`Hash`]
+//! implementation into [`FpHasher`], an in-repo word-at-a-time
+//! rotate-xor-multiply hasher (hermetic-build policy: no crates.io
+//! hashers). Fingerprinting runs once per *generated edge* in the hot
+//! engines, so it is built for speed: one multiply per hashed word, not
+//! one per byte like FNV. Collisions cost only a structural equality check
+//! inside the bucket — never correctness. Fingerprints are stable within a
+//! process run, which is all the engines need; nothing persists them.
+
+use crate::state::ProgState;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::Arc;
+
+/// A dense handle to an interned [`ProgState`] inside one [`StateArena`].
+///
+/// Ids are only meaningful relative to the arena that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Word-at-a-time fingerprint hasher: `state = (state <<< 5 ^ word) * K`
+/// per 64-bit word, with the odd multiplier from splitmix64's increment.
+/// Derived `Hash` impls on state types mostly emit fixed-width integer
+/// writes, so each field costs one rotate-xor-multiply — roughly an order
+/// of magnitude fewer operations than a byte-serial FNV over the same
+/// state. Not cryptographic and not collision-free, and doesn't need to
+/// be: arena buckets re-check structural equality on every fingerprint
+/// hit.
+#[derive(Default)]
+pub struct FpHasher(u64);
+
+const FP_K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FpHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(FP_K);
+    }
+}
+
+impl Hasher for FpHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so short inputs still spread across all 64 bits.
+        let mut v = self.0;
+        v ^= v >> 32;
+        v = v.wrapping_mul(FP_K);
+        v ^= v >> 29;
+        v
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Length tag so "ab" + "" and "a" + "b" diverge.
+            self.mix(u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_i128(&mut self, v: i128) {
+        self.mix(v as u64);
+        self.mix((v >> 64) as u64);
+    }
+}
+
+/// Pass-through hasher for the fingerprint-keyed bucket map: the key *is*
+/// already a 64-bit hash, so re-hashing it (std's SipHash default) would
+/// only burn cycles on the hottest probe path.
+#[derive(Default)]
+pub struct FpIdentityHasher(u64);
+
+impl Hasher for FpIdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("fingerprint keys hash via write_u64");
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// A fingerprint bucket: the common case is exactly one id per
+/// fingerprint, held inline so no per-state allocation happens; genuine
+/// 64-bit collisions overflow into `rest` (empty `Vec`s don't allocate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Bucket {
+    first: u32,
+    rest: Vec<u32>,
+}
+
+impl Bucket {
+    fn ids(&self) -> impl Iterator<Item = u32> + '_ {
+        std::iter::once(self.first).chain(self.rest.iter().copied())
+    }
+}
+
+/// An arena of hash-consed program states.
+#[derive(Debug, Clone, Default)]
+pub struct StateArena {
+    /// Interned states, indexed by [`StateId`]; insertion order is the
+    /// caller's interning order.
+    states: Vec<Arc<ProgState>>,
+    /// Cached fingerprint per state, same indexing.
+    fps: Vec<u64>,
+    /// Fingerprint → ids carrying it.
+    buckets: HashMap<u64, Bucket, BuildHasherDefault<FpIdentityHasher>>,
+}
+
+impl StateArena {
+    /// An empty arena.
+    pub fn new() -> StateArena {
+        StateArena::default()
+    }
+
+    /// Number of distinct interned states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The 64-bit fingerprint of a state (whether interned or not).
+    pub fn fingerprint(state: &ProgState) -> u64 {
+        let mut h = FpHasher::default();
+        state.hash(&mut h);
+        h.finish()
+    }
+
+    /// Interns a state, returning its id and whether it was fresh.
+    pub fn intern(&mut self, state: ProgState) -> (StateId, bool) {
+        let fp = StateArena::fingerprint(&state);
+        self.intern_with_fp(fp, state)
+    }
+
+    /// Interns a state whose fingerprint the caller already computed
+    /// (e.g. in a parallel expansion phase, off the commit path).
+    pub fn intern_with_fp(&mut self, fp: u64, state: ProgState) -> (StateId, bool) {
+        if let Some(id) = self.lookup_with_fp(fp, &state) {
+            return (id, false);
+        }
+        let id = u32::try_from(self.states.len()).expect("state arena overflow (> u32::MAX ids)");
+        self.states.push(Arc::new(state));
+        self.fps.push(fp);
+        self.buckets
+            .entry(fp)
+            .and_modify(|b| b.rest.push(id))
+            .or_insert(Bucket {
+                first: id,
+                rest: Vec::new(),
+            });
+        (StateId(id), true)
+    }
+
+    /// Looks up a state already interned, by precomputed fingerprint.
+    /// Structural equality runs only on ids sharing the fingerprint.
+    pub fn lookup_with_fp(&self, fp: u64, state: &ProgState) -> Option<StateId> {
+        let bucket = self.buckets.get(&fp)?;
+        bucket
+            .ids()
+            .find(|&id| *self.states[id as usize] == *state)
+            .map(StateId)
+    }
+
+    /// Looks up a state already interned.
+    pub fn lookup(&self, state: &ProgState) -> Option<StateId> {
+        self.lookup_with_fp(StateArena::fingerprint(state), state)
+    }
+
+    /// The state behind an id.
+    pub fn get(&self, id: StateId) -> &ProgState {
+        &self.states[id.index()]
+    }
+
+    /// A shared handle to the state behind an id (refcount bump, no clone).
+    pub fn get_arc(&self, id: StateId) -> Arc<ProgState> {
+        Arc::clone(&self.states[id.index()])
+    }
+
+    /// The cached fingerprint of an interned state.
+    pub fn fp_of(&self, id: StateId) -> u64 {
+        self.fps[id.index()]
+    }
+
+    /// All interned states in id (interning) order.
+    pub fn iter(&self) -> impl Iterator<Item = &ProgState> {
+        self.states.iter().map(|arc| arc.as_ref())
+    }
+}
+
+/// Arenas compare by interned content *and order*: two deterministic
+/// engines agree iff they interned the same states in the same order.
+impl PartialEq for StateArena {
+    fn eq(&self, other: &StateArena) -> bool {
+        self.fps == other.fps
+            && self.states.len() == other.states.len()
+            && self.states.iter().zip(&other.states).all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for StateArena {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_lang::{check_module, parse_module};
+
+    fn tiny_states() -> Vec<ProgState> {
+        let module =
+            parse_module("level L { var x: uint32; void main() { x := 1; x := 2; print(x); } }")
+                .unwrap();
+        let typed = check_module(&module).unwrap();
+        let program = crate::lower(&typed, "L").unwrap();
+        let exploration = crate::explore(&program, &crate::Bounds::small());
+        exploration.arena.iter().cloned().collect()
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let states = tiny_states();
+        assert!(states.len() >= 3, "expected a few distinct states");
+        let mut arena = StateArena::new();
+        let mut ids = Vec::new();
+        for state in &states {
+            let (id, fresh) = arena.intern(state.clone());
+            assert!(fresh);
+            ids.push(id);
+        }
+        // Re-interning yields the same ids, marked stale.
+        for (state, &expect) in states.iter().zip(&ids) {
+            let (id, fresh) = arena.intern(state.clone());
+            assert!(!fresh);
+            assert_eq!(id, expect);
+        }
+        assert_eq!(arena.len(), states.len());
+        // Ids are dense and ordered by interning.
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(arena.get(*id), &states[i]);
+        }
+    }
+
+    #[test]
+    fn fingerprints_cached_and_consistent() {
+        let states = tiny_states();
+        let mut arena = StateArena::new();
+        for state in &states {
+            let fp = StateArena::fingerprint(state);
+            let (id, _) = arena.intern(state.clone());
+            assert_eq!(arena.fp_of(id), fp);
+            assert_eq!(arena.lookup_with_fp(fp, state), Some(id));
+            assert_eq!(arena.lookup(state), Some(id));
+        }
+    }
+
+    #[test]
+    fn collision_buckets_fall_back_to_equality() {
+        // Force two distinct states into one bucket by lying about the
+        // fingerprint: structural equality must still keep them apart.
+        let states = tiny_states();
+        let (a, b) = (&states[0], &states[1]);
+        assert_ne!(a, b);
+        let mut arena = StateArena::new();
+        let (ia, fresh_a) = arena.intern_with_fp(42, a.clone());
+        let (ib, fresh_b) = arena.intern_with_fp(42, b.clone());
+        assert!(fresh_a && fresh_b);
+        assert_ne!(ia, ib);
+        assert_eq!(arena.lookup_with_fp(42, a), Some(ia));
+        assert_eq!(arena.lookup_with_fp(42, b), Some(ib));
+        assert_eq!(arena.get(ia), a);
+        assert_eq!(arena.get(ib), b);
+    }
+
+    #[test]
+    fn arena_equality_is_order_sensitive() {
+        let states = tiny_states();
+        let mut fwd = StateArena::new();
+        let mut rev = StateArena::new();
+        for state in &states {
+            fwd.intern(state.clone());
+        }
+        for state in states.iter().rev() {
+            rev.intern(state.clone());
+        }
+        let mut fwd2 = StateArena::new();
+        for state in &states {
+            fwd2.intern(state.clone());
+        }
+        assert_eq!(fwd, fwd2);
+        assert_ne!(fwd, rev);
+    }
+}

@@ -9,24 +9,32 @@
 //! strategy failure tests rely on exploration surfacing assertion failures,
 //! UB, and ownership violations.
 //!
-//! Exploration is parallel when [`Bounds::jobs`] > 1: a work-stealing
-//! frontier (shared queue, idle workers sleep on a condvar) with a sharded
-//! seen-set (`jobs * 4` mutex-protected hash sets keyed by state hash) so
-//! membership checks on distinct states rarely contend. The reachable set is
-//! a fixpoint, so any completion order yields the same result; terminal
-//! states are sorted before returning, making serial and parallel runs
-//! byte-identical whenever the exploration is not truncated.
+//! The engine is a wave-synchronized BFS over a [`StateArena`]: states are
+//! hash-consed to dense ids with cached 64-bit fingerprints, so seen-set
+//! probes are integer bucket lookups and the frontier carries 4-byte ids,
+//! not cloned state trees. Each wave is *expanded* (successor enumeration —
+//! in parallel across [`Bounds::jobs`] workers, into per-state slots) and
+//! then *committed* serially in wave order (interning, dedup, `max_states`
+//! accounting). Because the commit order is the wave order regardless of
+//! how many workers expanded it, results — including truncation points —
+//! are byte-identical for any job count.
+//!
+//! With [`Bounds::reduction`] on (the default), expansion fuses maximal
+//! runs of thread-local steps into single macro-transitions (see
+//! [`crate::reduce`]), shrinking the interleaving space while preserving
+//! observable terminal classes: exited logs, assertion failures, UB, and
+//! stuckness.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeSet, HashSet, VecDeque};
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::OnceLock;
 
+use crate::arena::{StateArena, StateId};
 use crate::program::{Instr, Program};
+use crate::reduce::Reducer;
 use crate::state::{initial_state, ProgState, Termination};
 use crate::step::{enabled_steps, try_step, Step, StepKind};
 use crate::value::Value;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 fn collect_expr_literals(expr: &armada_lang::ast::Expr, out: &mut Vec<i128>) {
     use armada_lang::ast::ExprKind::*;
@@ -113,15 +121,20 @@ pub struct Bounds {
     /// matches finite hardware buffers and bounds the state space.
     pub max_buffer: usize,
     /// Worker threads for exploration and refinement checking. `1` (the
-    /// default) runs fully serial; results are identical for any value
-    /// (absent truncation) — parallelism only changes wall-clock time.
+    /// default) runs fully serial; results are identical for any value —
+    /// parallelism only changes wall-clock time.
     pub jobs: usize,
     /// Wall-clock deadline for graceful degradation. `None` (the default)
-    /// never expires. Checked *cooperatively* — at wave boundaries in the
-    /// refinement checker, between expansions in exploration — so an
-    /// expired deadline yields a truncated-but-reported partial result, not
-    /// a hang and not a mid-wave nondeterministic cut.
+    /// never expires. Checked *cooperatively* — at wave boundaries in both
+    /// engines — so an expired deadline yields a truncated-but-reported
+    /// partial result, not a hang and not a mid-wave nondeterministic cut.
     pub deadline: Option<std::time::Instant>,
+    /// Local-step reduction (see [`crate::reduce`]): fuse maximal runs of
+    /// thread-local steps into macro-transitions. On by default; turn off
+    /// (`--no-reduction` on the CLI) to enumerate every interleaving of
+    /// invisible local steps too — required by strategies that inspect
+    /// *all* reachable intermediate states rather than observables.
+    pub reduction: bool,
 }
 
 impl Bounds {
@@ -134,6 +147,7 @@ impl Bounds {
             max_buffer: 2,
             jobs: 1,
             deadline: None,
+            reduction: true,
         }
     }
 
@@ -146,6 +160,12 @@ impl Bounds {
     /// The same bounds with a wall-clock deadline `budget` from now.
     pub fn with_deadline(mut self, budget: std::time::Duration) -> Bounds {
         self.deadline = Some(std::time::Instant::now() + budget);
+        self
+    }
+
+    /// The same bounds with local-step reduction on or off.
+    pub fn with_reduction(mut self, reduction: bool) -> Bounds {
+        self.reduction = reduction;
         self
     }
 
@@ -197,21 +217,30 @@ impl Default for Bounds {
 /// The result of an exhaustive exploration.
 #[derive(Debug, Clone)]
 pub struct Exploration {
-    /// Every distinct state visited.
-    pub visited: BTreeSet<ProgState>,
-    /// Distinct terminal states, by kind.
-    pub exited: Vec<ProgState>,
+    /// Every distinct state visited, interned in deterministic discovery
+    /// (wave-commit) order. The arena *is* the seen-set: probe it with
+    /// [`StateArena::lookup`], iterate it with [`StateArena::iter`].
+    pub arena: StateArena,
+    /// Distinct terminal states, by kind, sorted (shared handles into the
+    /// arena — cheap to clone).
+    pub exited: Vec<Arc<ProgState>>,
     /// States terminated by assertion failure.
-    pub assert_failures: Vec<ProgState>,
+    pub assert_failures: Vec<Arc<ProgState>>,
     /// States terminated by undefined behavior.
-    pub ub_states: Vec<ProgState>,
+    pub ub_states: Vec<Arc<ProgState>>,
     /// States with no enabled steps that are not terminal (deadlocks under
     /// the bounds, e.g. a join that can never fire).
-    pub stuck: Vec<ProgState>,
-    /// Whether the exploration hit `max_states` and stopped early.
+    pub stuck: Vec<Arc<ProgState>>,
+    /// Whether the exploration hit `max_states` (or a deadline) and
+    /// stopped early.
     pub truncated: bool,
-    /// Total transitions taken.
+    /// Total transition *edges* scanned (macro-transitions when reduction
+    /// is on).
     pub transitions: usize,
+    /// Total micro-steps those edges represent; equals `transitions` when
+    /// reduction is off. `micro_steps / transitions` is the reduction
+    /// ratio.
+    pub micro_steps: usize,
 }
 
 impl Exploration {
@@ -219,6 +248,21 @@ impl Exploration {
     /// completed without truncation.
     pub fn clean(&self) -> bool {
         self.assert_failures.is_empty() && self.ub_states.is_empty() && !self.truncated
+    }
+
+    /// Number of distinct states visited.
+    pub fn visited_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Micro-steps per explored edge: 1.0 with reduction off, higher when
+    /// fusion is collapsing local runs.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.transitions == 0 {
+            1.0
+        } else {
+            self.micro_steps as f64 / self.transitions as f64
+        }
     }
 }
 
@@ -233,18 +277,101 @@ pub fn explore(program: &Program, bounds: &Bounds) -> Exploration {
     explore_from(program, initial, bounds)
 }
 
+/// One state's expansion, computed (possibly in parallel) against a frozen
+/// arena and committed serially in wave order.
+enum Expansion {
+    /// The state is terminal; classify it by its own termination.
+    Terminal,
+    /// The state is running but has no enabled steps.
+    Stuck,
+    /// Successor edges, in deterministic enumeration order.
+    Edges(Vec<Edge>),
+}
+
+/// One successor edge out of an expanded state.
+struct Edge {
+    /// Precomputed fingerprint of `state` (hashing happens off the serial
+    /// commit path).
+    fp: u64,
+    /// Micro-steps the edge represents (> 1 for fused macro-transitions).
+    micro: usize,
+    /// The successor state.
+    state: ProgState,
+}
+
 /// Exhaustively explores from a given state, with [`Bounds::jobs`] worker
 /// threads.
 ///
-/// Serial and parallel runs return identical (sorted) results whenever the
-/// exploration completes without truncation; a truncated parallel run may
-/// cut the state space at a different point than a serial one.
+/// Serial and parallel runs return byte-identical results — including the
+/// truncation point when `max_states` is hit: truncation is decided during
+/// the serial wave-order commit, which is the same for any worker count.
 pub fn explore_from(program: &Program, initial: ProgState, bounds: &Bounds) -> Exploration {
-    let mut result = if bounds.jobs > 1 {
-        explore_parallel(program, initial, bounds)
-    } else {
-        explore_serial(program, initial, bounds)
+    let pool = bounds.pool_for(program);
+    let reducer = Reducer::new(program);
+    let mut result = Exploration {
+        arena: StateArena::new(),
+        exited: Vec::new(),
+        assert_failures: Vec::new(),
+        ub_states: Vec::new(),
+        stuck: Vec::new(),
+        truncated: false,
+        transitions: 0,
+        micro_steps: 0,
     };
+    let (root, _) = result.arena.intern(initial);
+    let mut wave: Vec<StateId> = vec![root];
+
+    while !wave.is_empty() && !result.truncated {
+        if bounds.deadline_expired() {
+            result.truncated = true;
+            break;
+        }
+        // Expansion phase: successor enumeration per wave state, each into
+        // its own slot, so worker scheduling cannot reorder anything.
+        let expansions = expand_wave(&reducer, &result.arena, &wave, &pool, bounds);
+        // Commit phase: serial, in wave order. Interning order — and thus
+        // state ids and the truncation point — is deterministic.
+        let mut next_wave: Vec<StateId> = Vec::new();
+        for (slot, expansion) in expansions.into_iter().enumerate() {
+            let id = wave[slot];
+            match expansion {
+                Expansion::Terminal => {
+                    let state = result.arena.get_arc(id);
+                    match &state.termination {
+                        Termination::Exited => result.exited.push(state),
+                        Termination::AssertFailed(_) => result.assert_failures.push(state),
+                        Termination::UndefinedBehavior(_) => result.ub_states.push(state),
+                        Termination::Running => unreachable!("terminal expansion of running state"),
+                    }
+                }
+                Expansion::Stuck => result.stuck.push(result.arena.get_arc(id)),
+                Expansion::Edges(edges) => {
+                    for edge in edges {
+                        result.transitions += 1;
+                        result.micro_steps += edge.micro;
+                        if result.arena.lookup_with_fp(edge.fp, &edge.state).is_some() {
+                            continue;
+                        }
+                        if result.truncated {
+                            // Past the cut: keep counting the wave's edges
+                            // (they were already expanded) but admit no
+                            // more states.
+                            continue;
+                        }
+                        if result.arena.len() >= bounds.max_states {
+                            result.truncated = true;
+                            continue;
+                        }
+                        let (next_id, fresh) = result.arena.intern_with_fp(edge.fp, edge.state);
+                        debug_assert!(fresh, "lookup missed an interned state");
+                        next_wave.push(next_id);
+                    }
+                }
+            }
+        }
+        wave = next_wave;
+    }
+
     // Canonical order: terminal classes are sets, not traces. Sorting makes
     // the output independent of visit order and thus of the worker count.
     result.exited.sort_unstable();
@@ -254,238 +381,60 @@ pub fn explore_from(program: &Program, initial: ProgState, bounds: &Bounds) -> E
     result
 }
 
-fn explore_serial(program: &Program, initial: ProgState, bounds: &Bounds) -> Exploration {
-    let pool = bounds.pool_for(program);
-    let mut result = Exploration {
-        visited: BTreeSet::new(),
-        exited: Vec::new(),
-        assert_failures: Vec::new(),
-        ub_states: Vec::new(),
-        stuck: Vec::new(),
-        truncated: false,
-        transitions: 0,
-    };
-    let mut frontier = VecDeque::new();
-    result.visited.insert(initial.clone());
-    frontier.push_back(initial);
-    while let Some(state) = frontier.pop_front() {
-        if bounds.deadline_expired() {
-            result.truncated = true;
-            return result;
+/// Expands every state of `wave` (in parallel when [`Bounds::jobs`] > 1),
+/// returning one [`Expansion`] per wave slot, in wave order.
+fn expand_wave(
+    reducer: &Reducer,
+    arena: &StateArena,
+    wave: &[StateId],
+    pool: &[Value],
+    bounds: &Bounds,
+) -> Vec<Expansion> {
+    let expand_one = |id: StateId| -> Expansion {
+        let state = arena.get(id);
+        if state.is_terminal() {
+            return Expansion::Terminal;
         }
-        match &state.termination {
-            Termination::Exited => {
-                result.exited.push(state);
-                continue;
-            }
-            Termination::AssertFailed(_) => {
-                result.assert_failures.push(state);
-                continue;
-            }
-            Termination::UndefinedBehavior(_) => {
-                result.ub_states.push(state);
-                continue;
-            }
-            Termination::Running => {}
+        // The lean enumeration: no per-edge `Step` vectors or intermediate
+        // state clones — exploration only needs micro counts and endpoints.
+        let edges = reducer.successors(state, pool, bounds.max_buffer, bounds.reduction);
+        if edges.is_empty() {
+            return Expansion::Stuck;
         }
-        let successors = enabled_steps(program, &state, &pool, bounds.max_buffer);
-        if successors.is_empty() {
-            result.stuck.push(state);
-            continue;
-        }
-        for (_, next) in successors {
-            result.transitions += 1;
-            if result.visited.contains(&next) {
-                continue;
-            }
-            if result.visited.len() >= bounds.max_states {
-                result.truncated = true;
-                return result;
-            }
-            result.visited.insert(next.clone());
-            frontier.push_back(next);
-        }
-    }
-    result
-}
-
-/// The shared frontier of the parallel exploration: a work queue plus the
-/// in-flight count, so workers can distinguish "momentarily empty" from
-/// "globally done" (queue empty AND nobody is expanding).
-struct Frontier {
-    queue: Mutex<(VecDeque<ProgState>, usize)>,
-    wake: Condvar,
-}
-
-impl Frontier {
-    /// Pops work, blocking while the queue is empty but expansions are in
-    /// flight. `None` means the exploration is complete.
-    fn claim(&self) -> Option<ProgState> {
-        let mut guard = self.queue.lock().expect("frontier poisoned");
-        loop {
-            if let Some(state) = guard.0.pop_front() {
-                guard.1 += 1;
-                return Some(state);
-            }
-            if guard.1 == 0 {
-                // Termination: wake every sleeping worker so they see it.
-                self.wake.notify_all();
-                return None;
-            }
-            guard = self.wake.wait(guard).expect("frontier poisoned");
-        }
-    }
-
-    fn publish(&self, state: ProgState) {
-        let mut guard = self.queue.lock().expect("frontier poisoned");
-        guard.0.push_back(state);
-        self.wake.notify_one();
-    }
-
-    fn finish_expansion(&self) {
-        let mut guard = self.queue.lock().expect("frontier poisoned");
-        guard.1 -= 1;
-        if guard.1 == 0 && guard.0.is_empty() {
-            self.wake.notify_all();
-        }
-    }
-}
-
-/// The sharded seen-set: `shards.len()` hash sets, each behind its own
-/// mutex, indexed by the state's hash. Inserts of distinct states land on
-/// distinct shards with high probability, so workers rarely contend.
-struct ShardedSeen {
-    shards: Vec<Mutex<HashSet<ProgState>>>,
-    population: AtomicUsize,
-}
-
-impl ShardedSeen {
-    fn new(shard_count: usize) -> ShardedSeen {
-        ShardedSeen {
-            shards: (0..shard_count)
-                .map(|_| Mutex::new(HashSet::new()))
+        Expansion::Edges(
+            edges
+                .into_iter()
+                .map(|(micro, next)| Edge {
+                    fp: StateArena::fingerprint(&next),
+                    micro,
+                    state: next,
+                })
                 .collect(),
-            population: AtomicUsize::new(0),
-        }
-    }
-
-    /// Inserts `state`, returning true if it was new.
-    fn insert(&self, state: &ProgState) -> bool {
-        let mut hasher = DefaultHasher::new();
-        state.hash(&mut hasher);
-        let shard = (hasher.finish() as usize) % self.shards.len();
-        let mut guard = self.shards[shard].lock().expect("seen shard poisoned");
-        if guard.insert(state.clone()) {
-            self.population.fetch_add(1, Ordering::Relaxed);
-            true
-        } else {
-            false
-        }
-    }
-}
-
-fn explore_parallel(program: &Program, initial: ProgState, bounds: &Bounds) -> Exploration {
-    let pool = bounds.pool_for(program);
-    let seen = ShardedSeen::new(bounds.jobs * 4);
-    let frontier = Frontier {
-        queue: Mutex::new((VecDeque::new(), 0)),
-        wake: Condvar::new(),
+        )
     };
-    let truncated = AtomicBool::new(false);
-    seen.insert(&initial);
-    frontier.publish(initial);
 
-    // Each worker accumulates locally and the partial results are merged
-    // after the scope joins — no contention on the result vectors.
-    let partials: Vec<Mutex<Exploration>> = (0..bounds.jobs)
-        .map(|_| {
-            Mutex::new(Exploration {
-                visited: BTreeSet::new(),
-                exited: Vec::new(),
-                assert_failures: Vec::new(),
-                ub_states: Vec::new(),
-                stuck: Vec::new(),
-                truncated: false,
-                transitions: 0,
-            })
-        })
-        .collect();
-
+    let workers = bounds.jobs.min(wave.len()).max(1);
+    if workers == 1 {
+        return wave.iter().map(|&id| expand_one(id)).collect();
+    }
+    let slots: Vec<OnceLock<Expansion>> = (0..wave.len()).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for partial in &partials {
-            scope.spawn(|| {
-                let mut local = partial.lock().expect("partial poisoned");
-                while let Some(state) = frontier.claim() {
-                    if bounds.deadline_expired() {
-                        truncated.store(true, Ordering::Relaxed);
-                        frontier.finish_expansion();
-                        continue;
-                    }
-                    match &state.termination {
-                        Termination::Exited => {
-                            local.exited.push(state);
-                            frontier.finish_expansion();
-                            continue;
-                        }
-                        Termination::AssertFailed(_) => {
-                            local.assert_failures.push(state);
-                            frontier.finish_expansion();
-                            continue;
-                        }
-                        Termination::UndefinedBehavior(_) => {
-                            local.ub_states.push(state);
-                            frontier.finish_expansion();
-                            continue;
-                        }
-                        Termination::Running => {}
-                    }
-                    let successors = enabled_steps(program, &state, &pool, bounds.max_buffer);
-                    if successors.is_empty() {
-                        local.stuck.push(state);
-                        frontier.finish_expansion();
-                        continue;
-                    }
-                    for (_, next) in successors {
-                        local.transitions += 1;
-                        if seen.population.load(Ordering::Relaxed) >= bounds.max_states {
-                            truncated.store(true, Ordering::Relaxed);
-                            continue;
-                        }
-                        if seen.insert(&next) {
-                            frontier.publish(next);
-                        }
-                    }
-                    frontier.finish_expansion();
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                if slot >= wave.len() {
+                    break;
                 }
+                let expansion = expand_one(wave[slot]);
+                let _ = slots[slot].set(expansion);
             });
         }
     });
-
-    let mut result = Exploration {
-        visited: BTreeSet::new(),
-        exited: Vec::new(),
-        assert_failures: Vec::new(),
-        ub_states: Vec::new(),
-        stuck: Vec::new(),
-        truncated: truncated.load(Ordering::Relaxed),
-        transitions: 0,
-    };
-    for partial in partials {
-        let mut local = partial.into_inner().expect("partial poisoned");
-        result.exited.append(&mut local.exited);
-        result.assert_failures.append(&mut local.assert_failures);
-        result.ub_states.append(&mut local.ub_states);
-        result.stuck.append(&mut local.stuck);
-        result.transitions += local.transitions;
-    }
-    // The sharded seen-set is exactly the serial `visited`: every state
-    // ever discovered, terminal or not.
-    for shard in seen.shards {
-        result
-            .visited
-            .extend(shard.into_inner().expect("seen shard poisoned"));
-    }
-    result
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("expansion slot unfilled"))
+        .collect()
 }
 
 /// Runs `program` to completion under a deterministic scheduler: the
@@ -541,6 +490,7 @@ mod tests {
     use super::*;
     use crate::lower::lower;
     use armada_lang::{check_module, parse_module};
+    use std::collections::BTreeSet;
 
     fn program(src: &str) -> Program {
         let module = parse_module(src).expect("parse");
@@ -673,31 +623,92 @@ mod tests {
         assert!(exploration.exited.is_empty());
     }
 
+    const RACY: &str = r#"level L {
+        var x: uint32;
+        void writer() { x := 1; }
+        void main() {
+            var t: uint64 := create_thread writer();
+            var got: uint32 := x;
+            assert got == 1;
+            join t;
+        }
+    }"#;
+
     #[test]
     fn parallel_exploration_matches_serial() {
         // A racy program with several interleavings and terminal classes;
         // every field of the result must agree between jobs=1 and jobs=4.
-        let p = program(
-            r#"level L {
-                var x: uint32;
-                void writer() { x := 1; }
-                void main() {
-                    var t: uint64 := create_thread writer();
-                    var got: uint32 := x;
-                    assert got == 1;
-                    join t;
-                }
-            }"#,
+        let p = program(RACY);
+        for reduction in [true, false] {
+            let bounds = Bounds::small().with_reduction(reduction);
+            let serial = explore(&p, &bounds);
+            let parallel = explore(&p, &bounds.clone().with_jobs(4));
+            assert_eq!(serial.arena, parallel.arena);
+            assert_eq!(serial.exited, parallel.exited);
+            assert_eq!(serial.assert_failures, parallel.assert_failures);
+            assert_eq!(serial.ub_states, parallel.ub_states);
+            assert_eq!(serial.stuck, parallel.stuck);
+            assert_eq!(serial.transitions, parallel.transitions);
+            assert_eq!(serial.micro_steps, parallel.micro_steps);
+            assert_eq!(serial.truncated, parallel.truncated);
+        }
+    }
+
+    #[test]
+    fn truncation_is_identical_across_job_counts() {
+        // Truncation used to diverge: serial returned mid-successor-loop
+        // while parallel kept draining the frontier. The wave engine
+        // commits in wave order for any worker count, so the cut — and
+        // every count — is deterministic. Check several tiny budgets.
+        let p = program(RACY);
+        for max_states in [1, 2, 3, 5, 8, 13] {
+            let mut bounds = Bounds::small();
+            bounds.max_states = max_states;
+            let serial = explore(&p, &bounds);
+            let parallel = explore(&p, &bounds.clone().with_jobs(4));
+            assert!(serial.truncated, "max_states={max_states} must truncate");
+            assert_eq!(serial.arena, parallel.arena, "max_states={max_states}");
+            assert!(serial.arena.len() <= max_states);
+            assert_eq!(
+                serial.transitions, parallel.transitions,
+                "max_states={max_states}"
+            );
+            assert_eq!(serial.exited, parallel.exited);
+            assert_eq!(serial.assert_failures, parallel.assert_failures);
+            assert_eq!(serial.stuck, parallel.stuck);
+            assert_eq!(serial.truncated, parallel.truncated);
+        }
+    }
+
+    #[test]
+    fn reduction_preserves_terminal_classes() {
+        let p = program(RACY);
+        let with = explore(&p, &Bounds::small().with_reduction(true));
+        let without = explore(&p, &Bounds::small().with_reduction(false));
+        let logs = |e: &Exploration| -> BTreeSet<Vec<String>> {
+            e.exited
+                .iter()
+                .map(|s| s.log.iter().map(|v| v.to_string()).collect())
+                .collect()
+        };
+        let assert_pcs = |e: &Exploration| -> BTreeSet<String> {
+            e.assert_failures
+                .iter()
+                .map(|s| format!("{:?}", s.termination))
+                .collect()
+        };
+        assert_eq!(logs(&with), logs(&without));
+        assert_eq!(assert_pcs(&with), assert_pcs(&without));
+        assert_eq!(with.ub_states.is_empty(), without.ub_states.is_empty());
+        assert_eq!(with.stuck.is_empty(), without.stuck.is_empty());
+        // Reduction must actually shrink the explored graph here: the racy
+        // program has local steps (thread-local reads of `got`).
+        assert!(
+            with.arena.len() <= without.arena.len(),
+            "reduction should not grow the space"
         );
-        let serial = explore(&p, &Bounds::small());
-        let parallel = explore(&p, &Bounds::small().with_jobs(4));
-        assert_eq!(serial.visited, parallel.visited);
-        assert_eq!(serial.exited, parallel.exited);
-        assert_eq!(serial.assert_failures, parallel.assert_failures);
-        assert_eq!(serial.ub_states, parallel.ub_states);
-        assert_eq!(serial.stuck, parallel.stuck);
-        assert_eq!(serial.transitions, parallel.transitions);
-        assert_eq!(serial.truncated, parallel.truncated);
+        assert_eq!(without.micro_steps, without.transitions);
+        assert!(with.micro_steps >= with.transitions);
     }
 
     #[test]

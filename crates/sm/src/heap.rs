@@ -15,6 +15,7 @@
 use armada_lang::ast::Type;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::value::{UbReason, Value};
 
@@ -217,7 +218,11 @@ pub struct HeapObject {
 /// the semantics deterministic given a step sequence.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Heap {
-    objects: Vec<HeapObject>,
+    /// Objects are individually `Arc`-shared so cloning a state for one
+    /// step shares every object the step does not write (copy-on-write via
+    /// [`Arc::make_mut`]): a heap clone is one `Vec` allocation plus a
+    /// refcount bump per object instead of a deep tree copy.
+    objects: Vec<Arc<HeapObject>>,
 }
 
 impl Heap {
@@ -239,17 +244,17 @@ impl Heap {
     /// Allocates a new object and returns its id.
     pub fn alloc(&mut self, node: MemNode, kind: RootKind) -> ObjectId {
         let id = ObjectId(self.objects.len() as u32);
-        self.objects.push(HeapObject {
+        self.objects.push(Arc::new(HeapObject {
             node,
             status: AllocStatus::Valid,
             kind,
-        });
+        }));
         id
     }
 
     /// The object with the given id, if it exists.
     pub fn object(&self, id: ObjectId) -> Option<&HeapObject> {
-        self.objects.get(id.0 as usize)
+        self.objects.get(id.0 as usize).map(Arc::as_ref)
     }
 
     /// True if the object exists and is live.
@@ -284,7 +289,11 @@ impl Heap {
         if obj.status == AllocStatus::Freed {
             return Err(UbReason::FreedAccess);
         }
-        *obj.node.descend_mut(&loc.path)? = node;
+        // Validate the path against the shared object first: make_mut
+        // unshares (deep-copies) the object, so don't pay that on a write
+        // that turns out to be out of bounds.
+        obj.node.descend(&loc.path)?;
+        *Arc::make_mut(obj).node.descend_mut(&loc.path)? = node;
         Ok(())
     }
 
@@ -316,7 +325,7 @@ impl Heap {
         if !root_ok {
             return Err(UbReason::InvalidDealloc);
         }
-        obj.status = AllocStatus::Freed;
+        Arc::make_mut(obj).status = AllocStatus::Freed;
         Ok(())
     }
 
@@ -324,7 +333,7 @@ impl Heap {
     /// locals at frame exit.
     pub fn free_static(&mut self, id: ObjectId) {
         if let Some(obj) = self.objects.get_mut(id.0 as usize) {
-            obj.status = AllocStatus::Freed;
+            Arc::make_mut(obj).status = AllocStatus::Freed;
         }
     }
 

@@ -33,20 +33,24 @@
 //! assert_eq!(final_state.log.len(), 1);
 //! ```
 
+pub mod arena;
 pub mod effects;
 pub mod eval;
 pub mod explore;
 pub mod heap;
 pub mod lower;
 pub mod program;
+pub mod reduce;
 pub mod state;
 pub mod step;
 pub mod value;
 
+pub use arena::{StateArena, StateId};
 pub use explore::{explore, run_to_completion, Bounds, Exploration};
 pub use heap::{Heap, Location, MemNode, ObjectId, PtrVal};
 pub use lower::{lower, LowerError};
 pub use program::{Instr, Pc, Program, Routine};
+pub use reduce::{macro_steps, MacroStep, Reducer};
 pub use state::{initial_state, ProgState, Termination, ThreadState, Tid};
 pub use step::{enabled_steps, next_state, Step, StepKind};
 pub use value::{UbReason, Value};

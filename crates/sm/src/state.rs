@@ -3,6 +3,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 use crate::heap::{Heap, Location, MemNode, ObjectId, RootKind};
 use crate::program::{Pc, Program};
@@ -86,8 +87,11 @@ pub struct BufferedWrite {
 pub struct ThreadState {
     /// Current program counter (top frame).
     pub pc: Pc,
-    /// Call stack, bottom first.
-    pub frames: Vec<Frame>,
+    /// Call stack, bottom first. Frames are individually `Arc`-shared so a
+    /// state clone shares every frame the step does not write (steps that
+    /// only move the pc — jumps, guards, prints — copy no locals at all);
+    /// mutate through [`ThreadState::top_frame_mut`] / [`Arc::make_mut`].
+    pub frames: Vec<Arc<Frame>>,
     /// x86-TSO store buffer, oldest write first.
     pub buffer: VecDeque<BufferedWrite>,
     /// Nesting depth of `atomic` / `explicit_yield` regions.
@@ -103,16 +107,17 @@ impl ThreadState {
     ///
     /// Panics on an exited thread (no frames).
     pub fn top_frame(&self) -> &Frame {
-        self.frames.last().expect("active thread has a frame")
+        &**self.frames.last().expect("active thread has a frame")
     }
 
-    /// The top frame, mutably.
+    /// The top frame, mutably (copy-on-write: unshares the frame if other
+    /// states still hold it).
     ///
     /// # Panics
     ///
     /// Panics on an exited thread (no frames).
     pub fn top_frame_mut(&mut self) -> &mut Frame {
-        self.frames.last_mut().expect("active thread has a frame")
+        Arc::make_mut(self.frames.last_mut().expect("active thread has a frame"))
     }
 }
 
@@ -262,7 +267,7 @@ pub fn initial_state(program: &Program) -> Result<ProgState, String> {
         MAIN_TID,
         ThreadState {
             pc: Pc::new(main, 0),
-            frames: vec![frame],
+            frames: vec![Arc::new(frame)],
             buffer: VecDeque::new(),
             atomic_depth: 0,
             status: ThreadStatus::Active,

@@ -18,6 +18,7 @@ use crate::state::{
     Frame, LocalCell, ProgState, Termination, ThreadState, ThreadStatus, Tid, MAIN_TID,
 };
 use crate::value::{UbReason, Value};
+use std::sync::Arc;
 
 /// Upper bound on `calloc` lengths the model executes.
 const MAX_CALLOC: i128 = 100_000;
@@ -102,10 +103,29 @@ pub fn try_step(
     step: &Step,
     max_buffer: usize,
 ) -> Option<ProgState> {
+    try_step_with_blocker(
+        program,
+        state,
+        step,
+        max_buffer,
+        atomic_blocker(program, state),
+    )
+}
+
+/// [`try_step`] with the state's [`atomic_blocker`] precomputed — the
+/// blocker is a property of the state alone, and enumeration calls
+/// `try_step` once per candidate, so recomputing the thread scan per
+/// candidate is pure waste on the hottest path.
+pub(crate) fn try_step_with_blocker(
+    program: &Program,
+    state: &ProgState,
+    step: &Step,
+    max_buffer: usize,
+    blocker: Option<Tid>,
+) -> Option<ProgState> {
     if state.is_terminal() {
         return None;
     }
-    let blocker = atomic_blocker(program, state);
     if let Some(blocker) = blocker {
         if blocker != step.tid {
             return None;
@@ -126,8 +146,8 @@ pub fn try_step(
             if thread.status != ThreadStatus::Active {
                 return None;
             }
-            let instr = program.instr_at(thread.pc)?.clone();
-            match exec_instr(program, state, step.tid, &instr, nondets, max_buffer) {
+            let instr = program.instr_at(thread.pc)?;
+            match exec_instr(program, state, step.tid, instr, nondets, max_buffer) {
                 Ok(new_state) => Some(new_state),
                 Err(ExecStop::Disabled) => None,
                 Err(ExecStop::Terminal(term)) => {
@@ -331,7 +351,7 @@ fn exec_instr(
                 build_frame(program, &mut new_state, *routine, &values).map_err(lift)?;
             frame.call_pc = Some(pc);
             let thread = new_state.threads.get_mut(&tid).expect("active");
-            thread.frames.push(frame);
+            thread.frames.push(Arc::new(frame));
             thread.pc = Pc::new(*routine, 0);
             Ok(new_state)
         }
@@ -411,7 +431,7 @@ fn exec_instr(
                 new_tid,
                 ThreadState {
                     pc: Pc::new(*routine, 0),
-                    frames: vec![frame],
+                    frames: vec![Arc::new(frame)],
                     buffer: Default::default(),
                     atomic_depth: 0,
                     status: ThreadStatus::Active,
@@ -591,7 +611,7 @@ fn write_value(
     match &place.base {
         PlaceBase::Local(slot) => {
             let thread = state.threads.get_mut(&tid).expect("active thread");
-            let frame = thread.frames.last_mut().expect("frame");
+            let frame = thread.top_frame_mut();
             let node = match &mut frame.locals[*slot] {
                 LocalCell::Val(node) => node,
                 LocalCell::Obj(_) => unreachable!("Obj cells resolve to heap places"),
@@ -664,7 +684,7 @@ fn write_node(
     match &place.base {
         PlaceBase::Local(slot) => {
             let thread = state.threads.get_mut(&tid).expect("active thread");
-            let frame = thread.frames.last_mut().expect("frame");
+            let frame = thread.top_frame_mut();
             let cell = match &mut frame.locals[*slot] {
                 LocalCell::Val(existing) => existing,
                 LocalCell::Obj(_) => unreachable!("Obj cells resolve to heap places"),
@@ -811,13 +831,12 @@ pub fn enabled_steps(
     if state.is_terminal() {
         return out;
     }
-    let tids: Vec<Tid> = state.threads.keys().copied().collect();
-    for tid in tids {
-        let thread = &state.threads[&tid];
+    let blocker = atomic_blocker(program, state);
+    for (&tid, thread) in &state.threads {
         // Drain step.
         if !thread.buffer.is_empty() {
             let step = Step::drain(tid);
-            if let Some(next) = try_step(program, state, &step, max_buffer) {
+            if let Some(next) = try_step_with_blocker(program, state, &step, max_buffer, blocker) {
                 out.push((step, next));
             }
         }
@@ -831,13 +850,13 @@ pub fn enabled_steps(
         let sites = max_nondet_sites(instr);
         if sites == 0 {
             let step = Step::instr(tid);
-            if let Some(next) = try_step(program, state, &step, max_buffer) {
+            if let Some(next) = try_step_with_blocker(program, state, &step, max_buffer, blocker) {
                 out.push((step, next));
             }
         } else {
             let mut tuple = Vec::with_capacity(sites);
             enumerate_tuples(
-                program, state, tid, pool, sites, &mut tuple, max_buffer, &mut out,
+                program, state, tid, pool, sites, &mut tuple, max_buffer, blocker, &mut out,
             );
         }
     }
@@ -853,11 +872,12 @@ fn enumerate_tuples(
     remaining: usize,
     tuple: &mut Vec<Value>,
     max_buffer: usize,
+    blocker: Option<Tid>,
     out: &mut Vec<(Step, ProgState)>,
 ) {
     if remaining == 0 {
         let step = Step::instr_with(tid, tuple.clone());
-        if let Some(next) = try_step(program, state, &step, max_buffer) {
+        if let Some(next) = try_step_with_blocker(program, state, &step, max_buffer, blocker) {
             out.push((step, next));
         }
         return;
@@ -872,6 +892,7 @@ fn enumerate_tuples(
             remaining - 1,
             tuple,
             max_buffer,
+            blocker,
             out,
         );
         tuple.pop();

@@ -419,12 +419,15 @@ fn model_check_positional(
     cond: &Expr,
     position: Option<armada_sm::Pc>,
 ) -> Option<Verdict> {
-    let exploration = explore(&ctx.low_prog, &ctx.sim.bounds);
+    // The discharge quantifies over *every* reachable state, including the
+    // intermediate ones local-step reduction would fuse away — explore the
+    // full unreduced space.
+    let exploration = explore(&ctx.low_prog, &ctx.sim.bounds.clone().with_reduction(false));
     if exploration.truncated {
         return Some(Verdict::Unknown("state space truncated".to_string()));
     }
     let mut states = 0usize;
-    for state in &exploration.visited {
+    for state in exploration.arena.iter() {
         if state.is_terminal() {
             continue;
         }

@@ -339,11 +339,15 @@ fn check_drain_discipline(
 
 /// All reachable states of the bounded low-level instance.
 fn collect_states(ctx: &StrategyCtx<'_>) -> Vec<ProgState> {
-    let exploration = armada_sm::explore(&ctx.low_prog, &ctx.sim.bounds);
+    // Mover checks quantify over every reachable state; local-step
+    // reduction prunes intermediate states, so it must be off here.
+    let bounds = ctx.sim.bounds.clone().with_reduction(false);
+    let exploration = armada_sm::explore(&ctx.low_prog, &bounds);
     exploration
-        .visited
-        .into_iter()
+        .arena
+        .iter()
         .filter(|s| !s.is_terminal())
+        .cloned()
         .collect()
 }
 

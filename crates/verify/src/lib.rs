@@ -21,37 +21,64 @@
 //! composed across adjacent levels by transitivity ([`RefinementChain`]),
 //! this regenerates the paper's end-to-end guarantee on bounded instances.
 //!
+//! ## The engine
+//!
+//! States on both sides are hash-consed into [`StateArena`]s: dense ids,
+//! cached 64-bit fingerprints, `Arc`-shared state trees. Product nodes
+//! carry `Arc`s and fingerprints, so seen-set probes are integer bucket
+//! lookups and no state is deep-cloned on the search path.
+//!
+//! With [`Bounds::reduction`] on (the default), low-side successor
+//! enumeration fuses maximal runs of thread-local steps into single
+//! macro-transitions (see `armada_sm::reduce`). Fused steps are invisible —
+//! the log and termination are unchanged — so a fused edge's match set is a
+//! superset of its parent's and can never fail by itself; the search is
+//! organized in *micro-depth* buckets (a macro edge of k micro-steps lands
+//! k deeper), so failures still surface at their minimal micro trace length
+//! and counterexample traces (which spell out every fused micro-step)
+//! remain the shortest possible. The high side is never reduced: its step
+//! counting feeds the `max_match` stutter budget.
+//!
 //! ## Parallel search
 //!
 //! With [`Bounds::jobs`] > 1 the product search runs multi-core, and the
-//! result is **byte-identical** to the serial run. The search is a
-//! wave-synchronized BFS: each wave's product nodes are expanded by a pool
+//! result is **byte-identical** to the serial run. The search processes one
+//! depth bucket ("wave") at a time: the wave's nodes are expanded by a pool
 //! of workers pulling from a shared cursor (expansion — low-step
 //! enumeration plus match-set computation against the memoized high-level
-//! graph — is the hot path), then a serial, deterministic *commit* phase
-//! interns match sets, applies antichain subsumption, and admits successor
-//! nodes in a fixed order. Counterexample selection is deterministic by
-//! construction: all failures surface in the first failing wave (so the
-//! trace is shortest possible), and the lexicographically-least trace wins
-//! regardless of which worker found it first.
+//! graph — is the hot path). Commit is split in two: a **shard-parallel
+//! subsumption phase** partitions the wave's successors by low-state
+//! fingerprint across `jobs * 4` antichain shards — each shard scans its
+//! successors in global wave order, so decisions match the serial scan
+//! exactly (a state's antichain entries all live in its own shard) — then a
+//! cheap serial merge assigns match-set ids and node ids, applies the
+//! `max_nodes` budget, and admits successors in the same global order.
+//! Counterexample selection is deterministic by construction: all failures
+//! surface in the first failing wave (so the trace is the minimal
+//! micro-length), and the lexicographically-least trace wins regardless of
+//! which worker found it first.
 
 pub mod store;
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::hash::BuildHasherDefault;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use armada_proof::RefinementRelation;
+use armada_sm::arena::FpIdentityHasher;
 use armada_sm::{
-    enabled_steps, initial_state, Bounds, ProgState, Program, Step, StepKind, Termination, Value,
+    initial_state, Bounds, ProgState, Program, Reducer, StateArena, StateId, Step, StepKind,
+    Termination, Value,
 };
 
 /// Configuration for the simulation search.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Bounds for both programs' step enumeration (including
-    /// [`Bounds::jobs`], the checker's worker-thread count).
+    /// [`Bounds::jobs`], the checker's worker-thread count, and
+    /// [`Bounds::reduction`], the low-side local-step fusion switch).
     pub bounds: Bounds,
     /// Maximum high-level steps allowed to match one low-level step.
     pub max_match: usize,
@@ -75,6 +102,12 @@ impl SimConfig {
         self.bounds.jobs = jobs.max(1);
         self
     }
+
+    /// The same configuration with local-step reduction on or off.
+    pub fn with_reduction(mut self, reduction: bool) -> SimConfig {
+        self.bounds.reduction = reduction;
+        self
+    }
 }
 
 /// Evidence that the bounded refinement check succeeded.
@@ -86,7 +119,8 @@ pub struct RefinementCert {
     pub high: String,
     /// Product nodes explored.
     pub product_nodes: usize,
-    /// Low-level transitions checked.
+    /// Low-level micro-transitions checked (fused macro edges count their
+    /// full micro length).
     pub low_transitions: usize,
 }
 
@@ -123,6 +157,8 @@ pub struct Counterexample {
     /// Human-readable failure description.
     pub description: String,
     /// The low-level step trace (instruction descriptions) to the failure.
+    /// Fused macro edges are spelled out micro-step by micro-step, so the
+    /// trace is identical with reduction on or off.
     pub trace: Vec<String>,
     /// The unmatched low-level state.
     pub state: ProgState,
@@ -166,8 +202,9 @@ type Obs = (Vec<Value>, Termination);
 /// A computed match set: the interned high-state ids related to a low state.
 type MatchSet = Arc<BTreeSet<u32>>;
 
-/// Memoized high-level state graph — interned states, successor lists and
-/// stutter closures — shared across workers behind one mutex.
+/// Memoized high-level state graph — an interned [`StateArena`] plus
+/// successor lists and stutter closures — shared across workers behind one
+/// mutex.
 ///
 /// The numeric ids depend on interning order and so can differ between runs
 /// when jobs > 1, but they are injective handles used only for set
@@ -178,8 +215,7 @@ struct HighGraph<'a> {
     pool: Vec<Value>,
     max_buffer: usize,
     max_match: usize,
-    intern: HashMap<ProgState, u32>,
-    states: Vec<Arc<ProgState>>,
+    arena: StateArena,
     successors: Vec<Option<Vec<u32>>>,
     closures: Vec<Option<Arc<Vec<(u32, Arc<ProgState>)>>>>,
 }
@@ -191,34 +227,34 @@ impl<'a> HighGraph<'a> {
             pool,
             max_buffer,
             max_match,
-            intern: HashMap::new(),
-            states: Vec::new(),
+            arena: StateArena::new(),
             successors: Vec::new(),
             closures: Vec::new(),
         }
     }
 
     fn intern_state(&mut self, state: ProgState) -> u32 {
-        if let Some(&id) = self.intern.get(&state) {
-            return id;
+        let (id, fresh) = self.arena.intern(state);
+        if fresh {
+            self.successors.push(None);
+            self.closures.push(None);
         }
-        let id = self.states.len() as u32;
-        self.intern.insert(state.clone(), id);
-        self.states.push(Arc::new(state));
-        self.successors.push(None);
-        self.closures.push(None);
-        id
+        id.0
     }
 
     fn successors_of(&mut self, id: u32) -> Vec<u32> {
         if let Some(cached) = &self.successors[id as usize] {
             return cached.clone();
         }
-        let state = Arc::clone(&self.states[id as usize]);
-        let ids: Vec<u32> = enabled_steps(self.program, &state, &self.pool, self.max_buffer)
-            .into_iter()
-            .map(|(_, s)| self.intern_state(s))
-            .collect();
+        // The high side is never fused: `closure_of` counts *individual*
+        // high steps against the `max_match` stutter budget, and a macro
+        // edge would smuggle several steps past it.
+        let state = self.arena.get_arc(StateId(id));
+        let ids: Vec<u32> =
+            armada_sm::enabled_steps(self.program, &state, &self.pool, self.max_buffer)
+                .into_iter()
+                .map(|(_, s)| self.intern_state(s))
+                .collect();
         self.successors[id as usize] = Some(ids.clone());
         ids
     }
@@ -245,7 +281,7 @@ impl<'a> HighGraph<'a> {
         }
         let result = Arc::new(
             seen.into_iter()
-                .map(|h| (h, Arc::clone(&self.states[h as usize])))
+                .map(|h| (h, self.arena.get_arc(StateId(h))))
                 .collect::<Vec<_>>(),
         );
         self.closures[id as usize] = Some(Arc::clone(&result));
@@ -289,39 +325,50 @@ fn expand_matches(
 
 /// One product node of the subset construction.
 struct Node {
-    low: ProgState,
+    low: Arc<ProgState>,
     /// Interned id of `matches` — the expand-cache key component. Assigned
     /// serially during commit, so it is deterministic.
     set_id: u32,
     matches: MatchSet,
-    /// Parent node index and the low-step description that reached us.
-    parent: Option<(usize, String)>,
+    /// Micro-depth: total micro-steps from the initial node. Waves are
+    /// processed in micro-depth order so failure traces are minimal-length
+    /// with or without fusion.
+    depth: usize,
+    /// Parent node index and the (possibly fused) low-step descriptions
+    /// that reached us, in execution order.
+    parent: Option<(usize, Vec<String>)>,
 }
 
 /// One expanded successor of a wave node, produced by a worker.
 struct SuccOut {
-    desc: String,
-    next: ProgState,
+    /// Per-micro-step descriptions of the (possibly fused) edge.
+    descs: Vec<String>,
+    /// Precomputed fingerprint of `next`, for the sharded seen-set.
+    fp: u64,
+    /// The successor low state.
+    next: Arc<ProgState>,
     matches: Option<MatchSet>,
 }
 
-/// Expands every node of the current wave: enumerates its low steps and
-/// computes each successor's match set. With jobs > 1 the wave is split
-/// across scoped worker threads via a shared cursor (work-stealing at node
-/// granularity); results land in per-slot `OnceLock`s so the commit phase
-/// sees them in wave order regardless of completion order.
+/// Expands every node of the current wave: enumerates its (possibly fused)
+/// low edges and computes each successor's match set. With jobs > 1 the
+/// wave is split across scoped worker threads via a shared cursor
+/// (work-stealing at node granularity); results land in per-slot
+/// `OnceLock`s so the commit phase sees them in wave order regardless of
+/// completion order.
 #[allow(clippy::too_many_arguments)]
 fn expand_wave(
     wave: &[usize],
     nodes: &[Node],
     low: &Program,
+    reducer: &Reducer,
     pool: &[Value],
-    max_buffer: usize,
-    jobs: usize,
+    bounds: &Bounds,
     relation: &(dyn RefinementRelation + Sync),
     high: &Mutex<HighGraph<'_>>,
     cache: &Mutex<HashMap<(u32, Obs), Option<MatchSet>>>,
 ) -> Vec<Vec<SuccOut>> {
+    let jobs = bounds.jobs.max(1);
     // Each expansion runs under `catch_unwind` so a panicking worker (a bug
     // in a refinement relation, step enumeration, …) cannot kill the pool:
     // every other slot still completes, and the panic is re-raised from the
@@ -332,10 +379,18 @@ fn expand_wave(
         if node.low.is_terminal() {
             return Vec::new();
         }
-        enabled_steps(low, &node.low, pool, max_buffer)
+        reducer
+            .macro_steps(&node.low, pool, bounds.max_buffer, bounds.reduction)
             .into_iter()
-            .map(|(step, low_next)| {
-                let desc = describe_step(low, &node.low, &step);
+            .map(|(macro_step, low_next)| {
+                let mut descs = Vec::with_capacity(macro_step.steps.len());
+                let mut pre: &ProgState = &node.low;
+                for (i, step) in macro_step.steps.iter().enumerate() {
+                    descs.push(describe_step(low, pre, step));
+                    if i < macro_step.mids.len() {
+                        pre = &macro_step.mids[i];
+                    }
+                }
                 let obs: Obs = (low_next.log.clone(), low_next.termination.clone());
                 let key = (node.set_id, obs);
                 let cached = cache
@@ -355,8 +410,9 @@ fn expand_wave(
                     }
                 };
                 SuccOut {
-                    desc,
-                    next: low_next,
+                    descs,
+                    fp: StateArena::fingerprint(&low_next),
+                    next: Arc::new(low_next),
                     matches,
                 }
             })
@@ -423,6 +479,109 @@ fn expand_wave(
     )
 }
 
+/// The antichain seen-set, sharded by low-state fingerprint. Each shard
+/// maps a fingerprint bucket to the low states carrying it and, per state,
+/// the admitted match sets (an append-only antichain front: a new set is
+/// subsumed if some admitted set is its subset).
+///
+/// A given low state always lands in one specific shard, so the shard count
+/// cannot change any subsumption decision — it only controls how much of
+/// the commit scan runs in parallel.
+struct LowSeen {
+    shards: Vec<Mutex<SeenShard>>,
+}
+
+type SeenShard =
+    HashMap<u64, Vec<(Arc<ProgState>, Vec<MatchSet>)>, BuildHasherDefault<FpIdentityHasher>>;
+
+impl LowSeen {
+    fn new(shard_count: usize) -> LowSeen {
+        LowSeen {
+            shards: (0..shard_count.max(1))
+                .map(|_| Mutex::new(SeenShard::default()))
+                .collect(),
+        }
+    }
+
+    fn shard_of(&self, fp: u64) -> usize {
+        (fp % self.shards.len() as u64) as usize
+    }
+
+    /// Admits a state's match set unconditionally (used for the root).
+    fn admit(&self, fp: u64, state: Arc<ProgState>, matches: MatchSet) {
+        let mut shard = self.shards[self.shard_of(fp)]
+            .lock()
+            .expect("seen shard poisoned");
+        shard.entry(fp).or_default().push((state, vec![matches]));
+    }
+}
+
+/// Phase-A output for one wave: `true` at a successor's flat index means an
+/// admitted match set subsumes it (skip admission).
+fn sharded_subsumption(flat: &[(usize, SuccOut)], seen: &LowSeen, jobs: usize) -> Vec<bool> {
+    let shard_count = seen.shards.len();
+    let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+    for (i, (_, succ)) in flat.iter().enumerate() {
+        if succ.matches.is_some() {
+            per_shard[seen.shard_of(succ.fp)].push(i);
+        }
+    }
+    let subsumed_lists: Vec<Mutex<Vec<usize>>> =
+        (0..shard_count).map(|_| Mutex::new(Vec::new())).collect();
+    let run_shard = |shard_idx: usize| {
+        if per_shard[shard_idx].is_empty() {
+            return;
+        }
+        let mut shard = seen.shards[shard_idx].lock().expect("seen shard poisoned");
+        let mut subsumed = subsumed_lists[shard_idx]
+            .lock()
+            .expect("subsumed list poisoned");
+        // Global wave order restricted to this shard: every decision about
+        // a state depends only on entries for that same state, which all
+        // live here — so the outcome is identical to one serial scan.
+        for &i in &per_shard[shard_idx] {
+            let (_, succ) = &flat[i];
+            let matches = succ.matches.as_ref().expect("filtered above");
+            let bucket = shard.entry(succ.fp).or_default();
+            match bucket.iter_mut().find(|(s, _)| **s == *succ.next) {
+                Some((_, sets)) => {
+                    if sets.iter().any(|admitted| admitted.is_subset(matches)) {
+                        subsumed.push(i);
+                    } else {
+                        sets.push(Arc::clone(matches));
+                    }
+                }
+                None => bucket.push((Arc::clone(&succ.next), vec![Arc::clone(matches)])),
+            }
+        }
+    };
+    if jobs <= 1 {
+        for shard_idx in 0..shard_count {
+            run_shard(shard_idx);
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(shard_count) {
+                scope.spawn(|| loop {
+                    let shard_idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if shard_idx >= shard_count {
+                        break;
+                    }
+                    run_shard(shard_idx);
+                });
+            }
+        });
+    }
+    let mut out = vec![false; flat.len()];
+    for list in subsumed_lists {
+        for i in list.into_inner().expect("subsumed list poisoned") {
+            out[i] = true;
+        }
+    }
+    out
+}
+
 /// Checks that `low` refines `high` under `relation`, over all bounded
 /// behaviors. Runs on `config.bounds.jobs` worker threads; the result is
 /// byte-identical for any job count (see the module docs).
@@ -483,43 +642,54 @@ pub fn check_refinement(
     }
     let high_graph = Mutex::new(high_graph);
 
-    // Product search, wave by wave. Parent pointers give counterexample
-    // traces; antichain subsumption prunes nodes whose match set is a
-    // superset of an admitted one (fewer matches is the strictly harder
-    // obligation). Match sets are interned, and — because every supported
-    // refinement relation is a function of a state's *observables* — the
-    // expansion of a match set against a low successor is memoized per
-    // (match-set, observables) pair. Stuttering low steps (no log change)
-    // therefore hit the cache almost always.
+    // Product search, one micro-depth bucket at a time. Parent pointers
+    // give counterexample traces; antichain subsumption prunes nodes whose
+    // match set is a superset of an admitted one (fewer matches is the
+    // strictly harder obligation). Match sets are interned, and — because
+    // every supported refinement relation is a function of a state's
+    // *observables* — the expansion of a match set against a low successor
+    // is memoized per (match-set, observables) pair. Stuttering low steps
+    // (no log change) therefore hit the cache almost always.
     let expand_cache: Mutex<HashMap<(u32, Obs), Option<MatchSet>>> = Mutex::new(HashMap::new());
+    let reducer = Reducer::new(low);
     let mut set_intern: HashMap<Arc<BTreeSet<u32>>, u32> = HashMap::new();
     let mut nodes: Vec<Node> = Vec::new();
-    let mut seen_low: HashMap<ProgState, Vec<MatchSet>> = HashMap::new();
+    let seen_low = LowSeen::new(jobs * 4);
 
+    let low_init = Arc::new(low_init);
     let init_matches = Arc::new(init_matches);
     set_intern.insert(Arc::clone(&init_matches), 0);
-    seen_low.insert(low_init.clone(), vec![Arc::clone(&init_matches)]);
+    seen_low.admit(
+        StateArena::fingerprint(&low_init),
+        Arc::clone(&low_init),
+        Arc::clone(&init_matches),
+    );
     nodes.push(Node {
         low: low_init,
         set_id: 0,
         matches: init_matches,
+        depth: 0,
         parent: None,
     });
 
     let mut low_transitions = 0usize;
-    let mut wave: Vec<usize> = vec![0];
+    // Pending node ids, bucketed by micro-depth; the next wave is always
+    // the shallowest bucket, so failures surface at minimal trace length
+    // whether or not edges are fused.
+    let mut pending: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    pending.insert(0, vec![0]);
 
     let trace_of = |nodes: &[Node], mut node: usize| {
-        let mut trace = Vec::new();
-        while let Some((parent, step)) = &nodes[node].parent {
-            trace.push(step.clone());
+        let mut rev: Vec<String> = Vec::new();
+        while let Some((parent, descs)) = &nodes[node].parent {
+            rev.extend(descs.iter().rev().cloned());
             node = *parent;
         }
-        trace.reverse();
-        trace
+        rev.reverse();
+        rev
     };
 
-    while !wave.is_empty() {
+    while let Some((_depth, wave)) = pending.pop_first() {
         // Cooperative deadline: checked only at wave boundaries, so the
         // check degrades gracefully (a trace of the first-admitted frontier
         // node, deterministic for the wave it fires in) instead of hanging
@@ -534,7 +704,7 @@ pub fn check_refinement(
                     nodes.len()
                 ),
                 trace: trace_of(&nodes, node_id),
-                state: nodes[node_id].low.clone(),
+                state: (*nodes[node_id].low).clone(),
             }));
         }
 
@@ -543,79 +713,87 @@ pub fn check_refinement(
             &wave,
             &nodes,
             low,
+            &reducer,
             &pool,
-            config.bounds.max_buffer,
-            jobs,
+            &config.bounds,
             relation,
             &high_graph,
             &expand_cache,
         );
 
-        // Serial commit phase: scan successors in wave order, collecting
-        // refinement failures and admitting new nodes deterministically.
-        let mut failures: Vec<(Vec<String>, String, ProgState)> = Vec::new();
-        let mut budget_failure: Option<Box<Counterexample>> = None;
-        let mut next_wave: Vec<usize> = Vec::new();
+        // Flatten to global wave order: (parent node id, successor).
+        let mut flat: Vec<(usize, SuccOut)> = Vec::new();
         for (slot, successors) in expanded.into_iter().enumerate() {
             let node_id = wave[slot];
             for succ in successors {
-                low_transitions += 1;
-                let Some(new_matches) = succ.matches else {
-                    let mut trace = trace_of(&nodes, node_id);
-                    trace.push(succ.desc.clone());
-                    failures.push((trace, succ.desc, succ.next));
-                    continue;
-                };
-                if budget_failure.is_some() {
-                    continue;
-                }
-                let subsumed = seen_low
-                    .get(&succ.next)
-                    .map(|sets| sets.iter().any(|m| m.is_subset(&new_matches)))
-                    .unwrap_or(false);
-                if subsumed {
-                    continue;
-                }
-                if nodes.len() >= config.max_nodes {
-                    budget_failure = Some(Box::new(Counterexample {
-                        kind: CexKind::Budget,
-                        description: format!(
-                            "search budget exceeded ({} product nodes); refinement NOT verified",
-                            config.max_nodes
-                        ),
-                        trace: trace_of(&nodes, node_id),
-                        state: succ.next,
-                    }));
-                    continue;
-                }
-                let set_id = match set_intern.get(&new_matches) {
-                    Some(&id) => id,
-                    None => {
-                        let id = set_intern.len() as u32;
-                        set_intern.insert(Arc::clone(&new_matches), id);
-                        id
-                    }
-                };
-                seen_low
-                    .entry(succ.next.clone())
-                    .or_default()
-                    .push(Arc::clone(&new_matches));
-                let id = nodes.len();
-                nodes.push(Node {
-                    low: succ.next,
-                    set_id,
-                    matches: new_matches,
-                    parent: Some((node_id, succ.desc)),
-                });
-                next_wave.push(id);
+                flat.push((node_id, succ));
             }
         }
 
+        // Commit phase A (shard-parallel): antichain subsumption per
+        // low-state fingerprint shard, decisions identical to a serial
+        // scan (see `LowSeen`).
+        let subsumed = sharded_subsumption(&flat, &seen_low, jobs);
+
+        // Commit phase B (serial merge): collect refinement failures,
+        // apply the node budget, and admit successors in global wave
+        // order — set ids, node ids, and the budget cut point are all
+        // deterministic.
+        let mut failures: Vec<(Vec<String>, String, Arc<ProgState>)> = Vec::new();
+        let mut budget_failure: Option<Box<Counterexample>> = None;
+        for (i, (node_id, succ)) in flat.into_iter().enumerate() {
+            low_transitions += succ.descs.len();
+            let Some(new_matches) = succ.matches else {
+                let mut trace = trace_of(&nodes, node_id);
+                trace.extend(succ.descs.iter().cloned());
+                let desc = succ.descs.last().cloned().unwrap_or_default();
+                failures.push((trace, desc, succ.next));
+                continue;
+            };
+            if budget_failure.is_some() {
+                continue;
+            }
+            if subsumed[i] {
+                continue;
+            }
+            if nodes.len() >= config.max_nodes {
+                budget_failure = Some(Box::new(Counterexample {
+                    kind: CexKind::Budget,
+                    description: format!(
+                        "search budget exceeded ({} product nodes); refinement NOT verified",
+                        config.max_nodes
+                    ),
+                    trace: trace_of(&nodes, node_id),
+                    state: (*succ.next).clone(),
+                }));
+                continue;
+            }
+            let set_id = match set_intern.get(&new_matches) {
+                Some(&id) => id,
+                None => {
+                    let id = set_intern.len() as u32;
+                    set_intern.insert(Arc::clone(&new_matches), id);
+                    id
+                }
+            };
+            let id = nodes.len();
+            let depth = nodes[node_id].depth + succ.descs.len();
+            nodes.push(Node {
+                low: succ.next,
+                set_id,
+                matches: new_matches,
+                depth,
+                parent: Some((node_id, succ.descs)),
+            });
+            pending.entry(depth).or_default().push(id);
+        }
+
         // Deterministic counterexample selection: every failure surfaces in
-        // the first failing wave (all traces are the same, minimal length);
-        // the lexicographically-least trace wins, so parallel and serial
-        // runs report the identical counterexample. Refinement failures
-        // take precedence over a budget failure within the same wave.
+        // the first failing wave (all traces end at the same, minimal
+        // micro-depth); the lexicographically-least trace wins, so parallel
+        // and serial runs report the identical counterexample. Refinement
+        // failures take precedence over a budget failure within the same
+        // wave.
         if !failures.is_empty() {
             failures.sort_by(|a, b| (&a.0, &a.2).cmp(&(&b.0, &b.2)));
             let (trace, desc, state) = failures.into_iter().next().expect("nonempty");
@@ -623,13 +801,12 @@ pub fn check_refinement(
                 kind: CexKind::Refinement,
                 description: format!("no high-level behavior matches after `{desc}`"),
                 trace,
-                state,
+                state: (*state).clone(),
             }));
         }
         if let Some(budget) = budget_failure {
             return Err(budget);
         }
-        wave = next_wave;
     }
 
     Ok(RefinementCert {
@@ -835,7 +1012,7 @@ mod tests {
     #[test]
     fn parallel_check_matches_serial() {
         // Success: certificates (node and transition counts included) must
-        // be identical for any job count.
+        // be identical for any job count, with reduction on and off.
         let (low, high) = programs(
             r#"
             level Impl {
@@ -857,10 +1034,13 @@ mod tests {
             "Spec",
         );
         let relation = StandardRelation::log_prefix();
-        let serial = check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap();
-        let parallel =
-            check_refinement(&low, &high, &relation, &SimConfig::default().with_jobs(4)).unwrap();
-        assert_eq!(serial, parallel);
+        for reduction in [true, false] {
+            let config = SimConfig::default().with_reduction(reduction);
+            let serial = check_refinement(&low, &high, &relation, &config).unwrap();
+            let parallel =
+                check_refinement(&low, &high, &relation, &config.clone().with_jobs(4)).unwrap();
+            assert_eq!(serial, parallel, "reduction={reduction}");
+        }
 
         // Failure: the reported counterexample must render byte-identically.
         let (low, high) = programs(
@@ -875,6 +1055,43 @@ mod tests {
         let parallel = check_refinement(&low, &high, &relation, &SimConfig::default().with_jobs(4))
             .unwrap_err();
         assert_eq!(serial.to_string(), parallel.to_string());
+    }
+
+    #[test]
+    fn counterexample_trace_is_stable_under_reduction() {
+        // The failing program has fusable local steps before the visible
+        // divergence; micro-depth waves plus per-micro-step trace
+        // reconstruction must yield the identical counterexample with
+        // fusion on and off, at every job count.
+        let (low, high) = programs(
+            r#"
+            level A {
+                void main() {
+                    var i: uint32 := 0;
+                    i := i + 1;
+                    print(i);
+                }
+            }
+            level B { void main() { print(7); } }
+            "#,
+            "A",
+            "B",
+        );
+        let relation = StandardRelation::log_prefix();
+        let mut rendered: Vec<String> = Vec::new();
+        for reduction in [true, false] {
+            for jobs in [1, 4] {
+                let config = SimConfig::default()
+                    .with_reduction(reduction)
+                    .with_jobs(jobs);
+                let err = check_refinement(&low, &high, &relation, &config).unwrap_err();
+                assert_eq!(err.kind, CexKind::Refinement);
+                rendered.push(err.to_string());
+            }
+        }
+        for other in &rendered[1..] {
+            assert_eq!(&rendered[0], other);
+        }
     }
 
     #[test]

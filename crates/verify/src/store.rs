@@ -67,6 +67,9 @@ impl CertKey {
         for &candidate in &config.bounds.nondet_ints {
             h.write_i128(candidate);
         }
+        // Reduction changes the cert's node/transition counts (never the
+        // verdict), so a cached cert is only exact for the same setting.
+        h.write_u64(config.bounds.reduction as u64);
         CertKey(h.finish())
     }
 
@@ -299,6 +302,9 @@ mod tests {
         let mut tighter = SimConfig::default();
         tighter.max_nodes = 7;
         assert_ne!(base, CertKey::compute("src", "A", "B", &tighter));
+        // Reduction changes the cert's counters, so it is part of the key.
+        let unreduced = SimConfig::default().with_reduction(false);
+        assert_ne!(base, CertKey::compute("src", "A", "B", &unreduced));
         // jobs and deadline must NOT affect the key: they never change
         // results, and sharing certs across them is the point.
         let parallel = SimConfig::default().with_jobs(8);

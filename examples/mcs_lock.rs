@@ -47,7 +47,7 @@ fn main() {
     assert!(exploration.clean(), "no UB, no crashes, not truncated");
     println!(
         "model checking: {} states explored, {} transitions, {} clean exits ✓",
-        exploration.visited.len(),
+        exploration.visited_len(),
         exploration.transitions,
         exploration.exited.len()
     );

@@ -61,6 +61,25 @@ if [[ "${1:-}" == "--full" ]]; then
         "$SMOKE_DIR/cache_second.out" >"$SMOKE_DIR/cache_second.norm"
     diff "$SMOKE_DIR/cache_first.norm" "$SMOKE_DIR/cache_second.norm" \
         || { echo "cached rerun changed the report"; exit 1; }
+
+    echo "==> reduction on/off differential smoke"
+    # Local-step reduction must be invisible in verdicts and reports:
+    # for every spec, `verify` with and without --no-reduction must agree
+    # on the exit code, and the reduced run must agree with itself across
+    # jobs=1 and jobs=4 byte-for-byte.
+    for spec in specs/*.arm; do
+        "$ARMADA_BIN" verify "$spec" >"$SMOKE_DIR/red_on.out" && rc_on=0 || rc_on=$?
+        "$ARMADA_BIN" verify "$spec" --no-reduction >"$SMOKE_DIR/red_off.out" \
+            && rc_off=0 || rc_off=$?
+        [[ "$rc_on" -eq "$rc_off" ]] \
+            || { echo "$spec: reduction changed the exit code ($rc_on vs $rc_off)"; exit 1; }
+        "$ARMADA_BIN" verify "$spec" --jobs 4 >"$SMOKE_DIR/red_on_j4.out" || true
+        diff "$SMOKE_DIR/red_on.out" "$SMOKE_DIR/red_on_j4.out" \
+            || { echo "$spec: report differs between jobs=1 and jobs=4"; exit 1; }
+    done
+
+    echo "==> state_engine bench smoke"
+    cargo run --release --offline -p armada-bench --bin state_engine -- --quick
 fi
 
 echo "verify.sh: all checks passed"

@@ -1,0 +1,163 @@
+//! Reduction soundness over the whole corpus: local-step fusion
+//! (`Bounds::reduction`, on by default) may shrink the explored state space
+//! and reorder invisible thread-local steps, but it must never change
+//! anything *observable*:
+//!
+//! * exploration reaches the identical multiset of observable terminal
+//!   classes — exited logs, assertion failures, UB, stuck states — with
+//!   reduction on and off;
+//! * every pipeline verdict (verified / refuted / budget) is unchanged;
+//! * within one reduction setting, `jobs = 1` and `jobs = 4` are
+//!   byte-identical, including counterexample renderings.
+//!
+//! Subjects: every module in `specs/*.arm` plus the queue and MCS-lock case
+//! studies, at every level of each module.
+
+use std::collections::BTreeMap;
+
+use armada::sm::{explore, lower, Bounds};
+use armada::verify::SimConfig;
+use armada::{Pipeline, PipelineReport};
+
+/// `(name, source)` for every corpus module.
+fn corpus() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for file in ["counter", "spinlock", "handoff", "tracepoint"] {
+        let path = format!("specs/{file}.arm");
+        let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        out.push((path, source));
+    }
+    out.push(("cases/queue".into(), armada_cases::queue::MODEL.to_string()));
+    out.push((
+        "cases/mcs_lock".into(),
+        armada_cases::mcs_lock::MODEL.to_string(),
+    ));
+    out
+}
+
+/// The observable projection of an exploration: terminal classes as *sets*
+/// of rendered (log, termination) pairs — everything reduction promises to
+/// preserve, nothing it doesn't. (Multiplicity is not preserved: two
+/// distinct deadlock configurations differing only in thread-local state
+/// project to the same observable, and reduction may legally collapse
+/// them.)
+fn observable_summary(e: &armada::sm::Exploration) -> BTreeMap<String, Vec<String>> {
+    let project = |states: &[std::sync::Arc<armada::sm::ProgState>]| {
+        let mut rows: Vec<String> = states
+            .iter()
+            .map(|s| {
+                let log: Vec<String> = s.log.iter().map(|v| v.to_string()).collect();
+                format!("log=[{}] term={:?}", log.join(","), s.termination)
+            })
+            .collect();
+        rows.sort();
+        rows.dedup();
+        rows
+    };
+    let mut out = BTreeMap::new();
+    out.insert("exited".to_string(), project(&e.exited));
+    out.insert("assert_failures".to_string(), project(&e.assert_failures));
+    out.insert("ub".to_string(), project(&e.ub_states));
+    out.insert("stuck".to_string(), project(&e.stuck));
+    out
+}
+
+#[test]
+fn exploration_preserves_observable_terminals_at_every_level() {
+    for (name, source) in corpus() {
+        let pipeline = Pipeline::from_source(&source).expect("front end");
+        for level in &pipeline.typed().module.levels {
+            let program = lower(pipeline.typed(), &level.name).expect("lower");
+            let with = explore(&program, &Bounds::small().with_reduction(true));
+            let without = explore(&program, &Bounds::small().with_reduction(false));
+            assert!(
+                !with.truncated && !without.truncated,
+                "{name}/{}: corpus subjects must fit the bounds",
+                level.name
+            );
+            assert_eq!(
+                observable_summary(&with),
+                observable_summary(&without),
+                "{name}/{}: reduction changed the observable terminal classes",
+                level.name
+            );
+            assert!(
+                with.arena.len() <= without.arena.len(),
+                "{name}/{}: reduction must never grow the state space",
+                level.name
+            );
+            // Reduction on, parallel vs serial: byte-identical state space.
+            let par = explore(&program, &Bounds::small().with_reduction(true).with_jobs(4));
+            assert_eq!(with.arena, par.arena, "{name}/{}", level.name);
+            assert_eq!(with.transitions, par.transitions, "{name}/{}", level.name);
+            assert_eq!(with.micro_steps, par.micro_steps, "{name}/{}", level.name);
+        }
+    }
+}
+
+fn run(source: &str, reduction: bool, jobs: usize) -> PipelineReport {
+    Pipeline::from_source(source)
+        .expect("front end")
+        .with_sim_config(
+            SimConfig::default()
+                .with_reduction(reduction)
+                .with_jobs(jobs),
+        )
+        .run()
+        .expect("pipeline infrastructure")
+}
+
+#[test]
+fn pipeline_verdicts_are_reduction_invariant() {
+    for (name, source) in corpus() {
+        let mut verdicts: Vec<(bool, String)> = Vec::new();
+        for reduction in [true, false] {
+            let serial = run(&source, reduction, 1);
+            let parallel = run(&source, reduction, 4);
+            // Within one reduction setting, jobs must be invisible —
+            // certificates (node/transition counts included) and failure
+            // text byte-identical.
+            assert_eq!(
+                serial.refinements, parallel.refinements,
+                "{name} reduction={reduction}: jobs changed results"
+            );
+            assert_eq!(
+                serial.failure_summary(),
+                parallel.failure_summary(),
+                "{name} reduction={reduction}"
+            );
+            verdicts.push((serial.verified(), serial.failure_summary()));
+        }
+        // Across reduction settings, the verdict must agree (certificate
+        // node counts legitimately differ: the reduced product is smaller).
+        let (on_ok, on_fail) = &verdicts[0];
+        let (off_ok, off_fail) = &verdicts[1];
+        assert_eq!(
+            on_ok, off_ok,
+            "{name}: reduction changed the verdict (on: {on_fail}, off: {off_fail})"
+        );
+    }
+}
+
+#[test]
+fn refuted_mutant_is_refuted_identically_across_jobs_with_reduction_on() {
+    // The classic torn-publication mutant of the queue case study: publish
+    // `write_index` before the element. It must be refuted with reduction
+    // on and off, and with reduction on the counterexample rendering must
+    // be byte-identical across job counts.
+    let broken = armada_cases::queue::MODEL.replace(
+        "            elements[w % 2] := 7;\n            write_index := w + 1;",
+        "            write_index := w + 1;\n            elements[w % 2] := 7;",
+    );
+    assert_ne!(broken, armada_cases::queue::MODEL, "mutant must apply");
+    for reduction in [true, false] {
+        let serial = run(&broken, reduction, 1);
+        let parallel = run(&broken, reduction, 4);
+        assert!(
+            !serial.verified(),
+            "reduction={reduction}: mutant must not verify"
+        );
+        assert_eq!(serial.refinements, parallel.refinements);
+        assert_eq!(serial.failure_summary(), parallel.failure_summary());
+    }
+}
