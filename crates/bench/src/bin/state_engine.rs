@@ -15,11 +15,14 @@
 //! cargo run --release -p armada-bench --bin state_engine [-- --quick] [-- --jobs N]
 //! ```
 //!
-//! Writes `results/BENCH_state_engine.json` (and prints the rows).
+//! Writes `results/BENCH_state_engine.json` and top-level
+//! `BENCH_state_engine.json` (stable `{"name","config","samples","summary"}`
+//! schema), and prints the rows.
 
 use armada::sm::{explore, lower, Bounds};
 use armada_bench::harness::bench;
 use armada_bench::json::Json;
+use armada_bench::report;
 
 struct Subject {
     name: &'static str,
@@ -135,8 +138,17 @@ fn main() {
         ]));
     }
 
-    let doc = Json::obj(vec![("rows", Json::Arr(rows))]);
-    std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/BENCH_state_engine.json", format!("{doc}\n")).expect("write results");
-    println!("wrote results/BENCH_state_engine.json");
+    // Both reduction settings are measured per row; symmetry stays at the
+    // engine default (on) in every run, so the off/on timings differ only
+    // by reduction.
+    let config = Json::obj(vec![
+        ("jobs", Json::int(jobs)),
+        ("samples", Json::int(samples)),
+        ("quick", Json::Bool(quick)),
+        ("reduction", Json::str("off+on")),
+        ("symmetry", Json::Bool(Bounds::small().symmetry)),
+    ]);
+    let summary = Json::obj(vec![("subjects", Json::int(rows.len()))]);
+    let doc = report::report("state_engine", config, rows, summary);
+    report::write("state_engine", &doc);
 }

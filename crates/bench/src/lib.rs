@@ -26,6 +26,7 @@
 
 pub mod harness;
 pub mod json;
+pub mod report;
 
 use armada_runtime::generated::Implementation as GeneratedHwTso;
 use armada_runtime::generated_conservative::Implementation as GeneratedConservative;

@@ -1,0 +1,65 @@
+//! Benchmark report emission with a stable, tool-friendly schema.
+//!
+//! Every bench writes one document shaped as
+//!
+//! ```json
+//! {"name": "...", "config": {...}, "samples": [...], "summary": {...}}
+//! ```
+//!
+//! to *two* places: `results/BENCH_<name>.json` (the historical location,
+//! kept for EXPERIMENTS.md references) and a top-level `BENCH_<name>.json`
+//! so trajectory tooling that globs `BENCH_*.json` at the repository root
+//! finds the artifacts without knowing about `results/`.
+//!
+//! `config` records every knob that shapes the numbers — job count, trial
+//! count, and the reduction/symmetry engine flags — so two artifacts are
+//! comparable only when their `config` blocks match.
+
+use crate::json::Json;
+
+/// Builds the stable four-field report document.
+pub fn report(name: &str, config: Json, samples: Vec<Json>, summary: Json) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(name)),
+        ("config", config),
+        ("samples", Json::Arr(samples)),
+        ("summary", summary),
+    ])
+}
+
+/// Writes `doc` to `results/BENCH_<name>.json` and `BENCH_<name>.json`.
+///
+/// # Panics
+///
+/// Panics if either write fails — a bench that cannot record its results
+/// has failed.
+pub fn write(name: &str, doc: &Json) {
+    let rendered = format!("{doc}\n");
+    std::fs::create_dir_all("results").expect("results dir");
+    for path in [
+        format!("results/BENCH_{name}.json"),
+        format!("BENCH_{name}.json"),
+    ] {
+        std::fs::write(&path, &rendered).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_has_the_stable_four_field_shape() {
+        let doc = report(
+            "demo",
+            Json::obj(vec![("jobs", Json::int(2))]),
+            vec![Json::obj(vec![("subject", Json::str("s"))])],
+            Json::obj(vec![("ok", Json::Bool(true))]),
+        );
+        let rendered = doc.to_string();
+        assert!(rendered.starts_with("{\"name\":\"demo\",\"config\":"));
+        assert!(rendered.contains("\"samples\":[{"));
+        assert!(rendered.contains("\"summary\":{"));
+    }
+}

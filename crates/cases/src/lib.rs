@@ -27,6 +27,7 @@ pub mod barrier;
 pub mod mcs_lock;
 pub mod pointers;
 pub mod queue;
+pub mod symmetric;
 pub mod tsp;
 
 use armada::{EffortReport, Pipeline, PipelineReport};

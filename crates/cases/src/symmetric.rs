@@ -1,0 +1,215 @@
+//! Symmetric-thread benchmark subjects for the symmetry-reduction engine.
+//!
+//! Each subject spawns `k ∈ {2, 3}` *interchangeable* workers — same
+//! routine, same (empty) argument list — so the reachable state space is
+//! closed under permuting the worker tids, and canonical state interning
+//! (`armada_sm::canon`) should collapse it by a factor approaching `k!`.
+//! All three shapes are deliberately tid-opaque: no `$me`, and every
+//! thread handle is either joined through a dedicated local slot (barrier,
+//! spinlock) or fire-and-forget (queue — exercising dead-handle erasure).
+//! The queue subject also `malloc`s one cell per producer and leaks it, so
+//! different allocation interleavings reach heap-isomorphic states and the
+//! DFS object renumbering gets real work.
+//!
+//! These are *exploration* subjects (a single `Implementation` level, no
+//! refinement chain): the symmetry bench and the soundness suite drive
+//! them through `armada_sm::explore` directly.
+
+/// One symmetric-thread subject.
+#[derive(Debug, Clone)]
+pub struct SymmetricSubject {
+    /// Display name, `shape/k<threads>` style (e.g. `barrier/k3`).
+    pub name: String,
+    /// Number of symmetric worker threads spawned (excluding main).
+    pub threads: usize,
+    /// Single-level Armada source.
+    pub source: String,
+}
+
+fn spawn_block(routine: &str, k: usize, join: bool) -> String {
+    let mut out = String::new();
+    for i in 1..=k {
+        out.push_str(&format!(
+            "        var t{i}: uint64 := create_thread {routine}();\n"
+        ));
+    }
+    if join {
+        for i in 1..=k {
+            out.push_str(&format!("        join t{i};\n"));
+        }
+    }
+    out
+}
+
+/// A symmetric sense-free barrier: every worker atomically bumps `arrived`
+/// and spins until all `k` have arrived; main waits the same way and
+/// prints the final count. Spawns are fire-and-forget — a joined handle
+/// pins each state to one specific tid binding and forfeits the `k!`
+/// collapse, whereas dead handles are erased by the canonicalizer.
+fn barrier(k: usize) -> String {
+    format!(
+        r#"level Implementation {{
+    var arrived: uint32;
+
+    void worker() {{
+        atomic {{ arrived := arrived + 1; }}
+        var s: uint32 := 0;
+        while (s < {k}) {{
+            s := arrived;
+        }}
+    }}
+
+    void main() {{
+{spawns}        var r: uint32 := 0;
+        while (r < {k}) {{
+            r := arrived;
+        }}
+        print(r);
+    }}
+}}
+"#,
+        spawns = spawn_block("worker", k, false),
+    )
+}
+
+/// A test-and-set spinlock guarding a shared counter; the lock word is
+/// ghost (sequentially consistent), mirroring the corpus idiom but without
+/// `$me` so the subject stays tid-opaque. Fire-and-forget spawns; main
+/// spins until every worker's fenced increment is visible.
+fn spinlock(k: usize) -> String {
+    format!(
+        r#"level Implementation {{
+    var count: uint32;
+    ghost var lck: int := 0;
+
+    void worker() {{
+        var got: uint32 := 0;
+        while (got == 0) {{
+            atomic {{
+                if (lck == 0) {{
+                    lck := 1;
+                    got := 1;
+                }}
+            }}
+        }}
+        var c: uint32 := count;
+        c := c + 1;
+        count := c;
+        fence;
+        atomic {{ lck := 0; }}
+    }}
+
+    void main() {{
+{spawns}        var r: uint32 := 0;
+        while (r < {k}) {{
+            r := count;
+        }}
+        print(r);
+    }}
+}}
+"#,
+        spawns = spawn_block("worker", k, false),
+    )
+}
+
+/// `k` fire-and-forget producers each allocate a cell, publish into it, and
+/// atomically bump `filled`; main spins until all slots are filled. The
+/// handles are never joined (dead-handle erasure) and the cells leak
+/// (heap renumbering across allocation orders).
+fn queue(k: usize) -> String {
+    format!(
+        r#"level Implementation {{
+    var filled: uint32;
+
+    void producer() {{
+        var cell: ptr<uint32> := malloc(uint32);
+        *cell := 7;
+        atomic {{ filled := filled + 1; }}
+    }}
+
+    void main() {{
+{spawns}        var f: uint32 := 0;
+        while (f < {k}) {{
+            f := filled;
+        }}
+        print(f);
+    }}
+}}
+"#,
+        spawns = spawn_block("producer", k, false),
+    )
+}
+
+/// All six subjects: barrier, spinlock, queue × k ∈ {2, 3}.
+pub fn subjects() -> Vec<SymmetricSubject> {
+    let mut out = Vec::new();
+    for (shape, gen) in [
+        ("barrier", barrier as fn(usize) -> String),
+        ("spinlock", spinlock),
+        ("queue", queue),
+    ] {
+        for k in [2usize, 3] {
+            out.push(SymmetricSubject {
+                name: format!("{shape}/k{k}"),
+                threads: k,
+                source: gen(k),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_sm::{explore, lower, Bounds, Canonicalizer};
+
+    fn program(source: &str) -> armada_sm::Program {
+        let pipeline = armada::Pipeline::from_source(source).expect("front end");
+        lower(pipeline.typed(), "Implementation").expect("lower")
+    }
+
+    #[test]
+    fn every_subject_passes_the_symmetry_gate() {
+        let subjects = subjects();
+        assert_eq!(subjects.len(), 6);
+        for subject in &subjects {
+            let prog = program(&subject.source);
+            let canon = Canonicalizer::new(&prog);
+            assert!(
+                canon.thread_symmetry_enabled(),
+                "{}: gate must accept a tid-opaque subject",
+                subject.name
+            );
+            assert!(
+                canon.heap_symmetry_enabled(),
+                "{}: no subject prints pointers",
+                subject.name
+            );
+        }
+    }
+
+    #[test]
+    fn two_thread_subjects_collapse_under_symmetry() {
+        // Reduction off: the unreduced state space is closed under tid
+        // permutation, so canonical interning is a true quotient and the
+        // arena must strictly shrink. (With fusion on the reduced space is
+        // not permutation-closed and the representative count can wobble
+        // either way; the bench measures that configuration.)
+        for subject in subjects().into_iter().filter(|s| s.threads == 2) {
+            let prog = program(&subject.source);
+            let bounds = Bounds::small().with_reduction(false);
+            let off = explore(&prog, &bounds.clone().with_symmetry(false));
+            let on = explore(&prog, &bounds.with_symmetry(true));
+            assert!(!off.truncated && !on.truncated, "{}", subject.name);
+            assert!(
+                on.arena.len() < off.arena.len(),
+                "{}: expected canonical interning to collapse states \
+                 ({} on vs {} off)",
+                subject.name,
+                on.arena.len(),
+                off.arena.len()
+            );
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! armada verify <file.arm> [--jobs N] [--deadline SECS] [--cert-cache[=DIR]]
-//!                          [--no-reduction]
+//!                          [--no-reduction] [--no-symmetry]
 //!                               run the full pipeline (strategies + bounded
 //!                               refinement model checking, on N threads)
 //! armada check <file.arm>       front end + core-subset check only
@@ -22,8 +22,10 @@
 //! reuses refinement certificates (default root `target/armada-certs/`;
 //! the `ARMADA_CERT_CACHE` environment variable enables the same cache
 //! without a flag). `--no-reduction` disables local-step fusion in the
-//! state-space engine — verdicts and counterexamples are identical either
-//! way; the flag exists for timing comparisons and debugging.
+//! state-space engine and `--no-symmetry` disables canonical state
+//! interning under thread/heap symmetry — verdicts and counterexamples
+//! are identical either way; the flags exist for timing comparisons and
+//! debugging.
 //! `--fault-seed N` injects deterministic faults for robustness testing.
 //!
 //! `verify`/`effort` exit codes classify the worst per-recipe outcome:
@@ -40,7 +42,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: armada <verify|check|effort|emit-c|emit-rust> <file.arm> \
          [--jobs N] [--deadline SECS] [--cert-cache[=DIR]] [--no-reduction] \
-         [--fault-seed N] [--conservative]"
+         [--no-symmetry] [--fault-seed N] [--conservative]"
     );
     ExitCode::from(2)
 }
@@ -145,6 +147,9 @@ fn main() -> ExitCode {
     }
     if args.iter().any(|a| a == "--no-reduction") {
         sim.bounds.reduction = false;
+    }
+    if args.iter().any(|a| a == "--no-symmetry") {
+        sim.bounds.symmetry = false;
     }
     let pipeline = match Pipeline::from_source(&source) {
         Ok(pipeline) => pipeline.with_sim_config(sim),

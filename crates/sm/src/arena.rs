@@ -21,6 +21,13 @@
 //! `check_refinement`) gets deterministic ids for free — `jobs=1 ≡ jobs=N`
 //! comparisons can compare arenas structurally.
 //!
+//! The arena stores exactly what callers pass it: under symmetry reduction
+//! (`crate::canon`, on by default) the engines canonicalize each state
+//! *before* fingerprinting and interning, so the stored representative
+//! **is** the canonical state and every symmetric copy of it maps to the
+//! same id. The arena itself needs no symmetry awareness — equality and
+//! fingerprints over canonical forms do the collapsing.
+//!
 //! Fingerprints are computed by feeding the state's derived [`Hash`]
 //! implementation into [`FpHasher`], an in-repo word-at-a-time
 //! rotate-xor-multiply hasher (hermetic-build policy: no crates.io

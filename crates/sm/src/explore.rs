@@ -23,7 +23,12 @@
 //! runs of thread-local steps into single macro-transitions (see
 //! [`crate::reduce`]), shrinking the interleaving space while preserving
 //! observable terminal classes: exited logs, assertion failures, UB, and
-//! stuckness.
+//! stuckness. With [`Bounds::symmetry`] on (also the default), every
+//! generated state is replaced by its canonical representative (see
+//! [`crate::canon`]) before fingerprinting, so states differing only by a
+//! permutation of symmetric thread ids or heap allocation order intern as
+//! one. The two reductions compose multiplicatively and both preserve the
+//! same observables.
 
 use std::sync::OnceLock;
 
@@ -135,6 +140,12 @@ pub struct Bounds {
     /// invisible local steps too — required by strategies that inspect
     /// *all* reachable intermediate states rather than observables.
     pub reduction: bool,
+    /// Symmetry reduction (see [`crate::canon`]): intern the canonical
+    /// representative of each state, collapsing states that differ only by
+    /// a permutation of symmetric thread ids or heap allocation order. On
+    /// by default (`--no-symmetry` on the CLI turns it off); a no-op for
+    /// programs that fail the invisibility gates.
+    pub symmetry: bool,
 }
 
 impl Bounds {
@@ -148,6 +159,7 @@ impl Bounds {
             jobs: 1,
             deadline: None,
             reduction: true,
+            symmetry: true,
         }
     }
 
@@ -166,6 +178,12 @@ impl Bounds {
     /// The same bounds with local-step reduction on or off.
     pub fn with_reduction(mut self, reduction: bool) -> Bounds {
         self.reduction = reduction;
+        self
+    }
+
+    /// The same bounds with symmetry reduction on or off.
+    pub fn with_symmetry(mut self, symmetry: bool) -> Bounds {
+        self.symmetry = symmetry;
         self
     }
 
@@ -308,6 +326,8 @@ struct Edge {
 pub fn explore_from(program: &Program, initial: ProgState, bounds: &Bounds) -> Exploration {
     let pool = bounds.pool_for(program);
     let reducer = Reducer::new(program);
+    let canon = crate::canon::Canonicalizer::new(program);
+    let canon = (bounds.symmetry && canon.enabled()).then_some(&canon);
     let mut result = Exploration {
         arena: StateArena::new(),
         exited: Vec::new(),
@@ -317,6 +337,10 @@ pub fn explore_from(program: &Program, initial: ProgState, bounds: &Bounds) -> E
         truncated: false,
         transitions: 0,
         micro_steps: 0,
+    };
+    let initial = match canon {
+        Some(canon) => canon.canonicalize(initial).0,
+        None => initial,
     };
     let (root, _) = result.arena.intern(initial);
     let mut wave: Vec<StateId> = vec![root];
@@ -328,7 +352,7 @@ pub fn explore_from(program: &Program, initial: ProgState, bounds: &Bounds) -> E
         }
         // Expansion phase: successor enumeration per wave state, each into
         // its own slot, so worker scheduling cannot reorder anything.
-        let expansions = expand_wave(&reducer, &result.arena, &wave, &pool, bounds);
+        let expansions = expand_wave(&reducer, canon, &result.arena, &wave, &pool, bounds);
         // Commit phase: serial, in wave order. Interning order — and thus
         // state ids and the truncation point — is deterministic.
         let mut next_wave: Vec<StateId> = Vec::new();
@@ -385,6 +409,7 @@ pub fn explore_from(program: &Program, initial: ProgState, bounds: &Bounds) -> E
 /// returning one [`Expansion`] per wave slot, in wave order.
 fn expand_wave(
     reducer: &Reducer,
+    canon: Option<&crate::canon::Canonicalizer>,
     arena: &StateArena,
     wave: &[StateId],
     pool: &[Value],
@@ -404,10 +429,18 @@ fn expand_wave(
         Expansion::Edges(
             edges
                 .into_iter()
-                .map(|(micro, next)| Edge {
-                    fp: StateArena::fingerprint(&next),
-                    micro,
-                    state: next,
+                .map(|(micro, next)| {
+                    // Canonicalize before fingerprinting so the arena
+                    // interns (and hashes) only canonical representatives.
+                    let next = match canon {
+                        Some(canon) => canon.canonicalize(next).0,
+                        None => next,
+                    };
+                    Edge {
+                        fp: StateArena::fingerprint(&next),
+                        micro,
+                        state: next,
+                    }
                 })
                 .collect(),
         )

@@ -329,6 +329,20 @@ impl Heap {
         Ok(())
     }
 
+    /// Consumes the heap into its object list, in id order. Paired with
+    /// [`Heap::from_objects`] by symmetry canonicalization, which permutes
+    /// dynamic object ids (see `crate::canon`).
+    pub fn into_objects(self) -> Vec<Arc<HeapObject>> {
+        self.objects
+    }
+
+    /// Rebuilds a heap from an object list; the index of each entry becomes
+    /// its [`ObjectId`]. The caller is responsible for having rewritten any
+    /// pointers consistently with the new numbering.
+    pub fn from_objects(objects: Vec<Arc<HeapObject>>) -> Heap {
+        Heap { objects }
+    }
+
     /// Marks an object freed without dealloc rules; used for address-taken
     /// locals at frame exit.
     pub fn free_static(&mut self, id: ObjectId) {

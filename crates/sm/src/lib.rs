@@ -34,6 +34,7 @@
 //! ```
 
 pub mod arena;
+pub mod canon;
 pub mod effects;
 pub mod eval;
 pub mod explore;
@@ -46,6 +47,7 @@ pub mod step;
 pub mod value;
 
 pub use arena::{StateArena, StateId};
+pub use canon::Canonicalizer;
 pub use explore::{explore, run_to_completion, Bounds, Exploration};
 pub use heap::{Heap, Location, MemNode, ObjectId, PtrVal};
 pub use lower::{lower, LowerError};

@@ -51,6 +51,12 @@
 //! exited logs, assertion-failure and UB terminations, stuckness, and
 //! reachability of every observable event sequence. The exact set of
 //! intermediate (and even terminal) states may shrink: that is the point.
+//!
+//! Reduction composes freely with symmetry canonicalization
+//! (`crate::canon`): reduction prunes *edges* out of a state, symmetry
+//! merges equivalent *endpoint states* after the edge is taken. Each
+//! preserves observables on its own, so the engines apply both by default
+//! and the gains multiply.
 
 use crate::effects::instr_effects;
 use crate::program::{Instr, Program};

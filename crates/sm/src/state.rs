@@ -134,7 +134,11 @@ pub struct ProgState {
     pub log: Vec<Value>,
     /// Termination status.
     pub termination: Termination,
-    /// Next tid `create_thread` will hand out.
+    /// Next tid `create_thread` will hand out. Because threads are never
+    /// removed and tids are handed out sequentially from 2, reachable
+    /// states always satisfy `next_tid == threads.len() + 1` with
+    /// contiguous tids `1..=threads.len()` — symmetry canonicalization
+    /// (`crate::canon`) relies on this to renumber threads safely.
     pub next_tid: Tid,
 }
 

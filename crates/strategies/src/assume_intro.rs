@@ -420,9 +420,17 @@ fn model_check_positional(
     position: Option<armada_sm::Pc>,
 ) -> Option<Verdict> {
     // The discharge quantifies over *every* reachable state, including the
-    // intermediate ones local-step reduction would fuse away — explore the
-    // full unreduced space.
-    let exploration = explore(&ctx.low_prog, &ctx.sim.bounds.clone().with_reduction(false));
+    // intermediate ones local-step reduction would fuse away, in original
+    // tid/object-id coordinates — explore the full unreduced,
+    // uncanonicalized space.
+    let exploration = explore(
+        &ctx.low_prog,
+        &ctx.sim
+            .bounds
+            .clone()
+            .with_reduction(false)
+            .with_symmetry(false),
+    );
     if exploration.truncated {
         return Some(Verdict::Unknown("state space truncated".to_string()));
     }

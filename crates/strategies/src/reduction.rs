@@ -340,8 +340,14 @@ fn check_drain_discipline(
 /// All reachable states of the bounded low-level instance.
 fn collect_states(ctx: &StrategyCtx<'_>) -> Vec<ProgState> {
     // Mover checks quantify over every reachable state; local-step
-    // reduction prunes intermediate states, so it must be off here.
-    let bounds = ctx.sim.bounds.clone().with_reduction(false);
+    // reduction prunes intermediate states and symmetry canonicalization
+    // renames tids/object ids, so both must be off here.
+    let bounds = ctx
+        .sim
+        .bounds
+        .clone()
+        .with_reduction(false)
+        .with_symmetry(false);
     let exploration = armada_sm::explore(&ctx.low_prog, &bounds);
     exploration
         .arena

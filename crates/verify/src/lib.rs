@@ -69,8 +69,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 use armada_proof::RefinementRelation;
 use armada_sm::arena::FpIdentityHasher;
 use armada_sm::{
-    initial_state, Bounds, ProgState, Program, Reducer, StateArena, StateId, Step, StepKind,
-    Termination, Value,
+    initial_state, Bounds, Canonicalizer, ProgState, Program, Reducer, StateArena, StateId, Step,
+    StepKind, Termination, Tid, Value,
 };
 
 /// Configuration for the simulation search.
@@ -106,6 +106,12 @@ impl SimConfig {
     /// The same configuration with local-step reduction on or off.
     pub fn with_reduction(mut self, reduction: bool) -> SimConfig {
         self.bounds.reduction = reduction;
+        self
+    }
+
+    /// The same configuration with symmetry reduction on or off.
+    pub fn with_symmetry(mut self, symmetry: bool) -> SimConfig {
+        self.bounds.symmetry = symmetry;
         self
     }
 }
@@ -158,9 +164,17 @@ pub struct Counterexample {
     pub description: String,
     /// The low-level step trace (instruction descriptions) to the failure.
     /// Fused macro edges are spelled out micro-step by micro-step, so the
-    /// trace is identical with reduction on or off.
+    /// trace is identical with reduction on or off. With symmetry on,
+    /// thread ids are translated back through the inverse renaming, so the
+    /// rendered tids are the ones an uncanonicalized run would use.
     pub trace: Vec<String>,
-    /// The unmatched low-level state.
+    /// The machine-readable step sequence behind `trace`, in *original*
+    /// (pre-canonicalization) tids: replaying it from the low program's
+    /// initial state via `armada_sm::explore::replay` reproduces the
+    /// failing behavior's log and termination.
+    pub steps: Vec<Step>,
+    /// The unmatched low-level state (the canonical representative when
+    /// symmetry is on).
     pub state: ProgState,
 }
 
@@ -174,9 +188,12 @@ impl std::fmt::Display for Counterexample {
     }
 }
 
-fn describe_step(program: &Program, state: &ProgState, step: &Step) -> String {
+/// Renders one step. `display_tid` is the tid to *print* — under symmetry
+/// it is the original tid recovered through the node's inverse renaming,
+/// while `step.tid` addresses the canonical state the step executes in.
+fn describe_step(program: &Program, state: &ProgState, step: &Step, display_tid: Tid) -> String {
     match &step.kind {
-        StepKind::Drain => format!("t{} drains one buffered write", step.tid),
+        StepKind::Drain => format!("t{display_tid} drains one buffered write"),
         StepKind::Instr { nondets } => {
             let instr = state
                 .thread(step.tid)
@@ -184,12 +201,47 @@ fn describe_step(program: &Program, state: &ProgState, step: &Step) -> String {
                 .map(|i| i.describe())
                 .unwrap_or_else(|| "<no instruction>".to_string());
             if nondets.is_empty() {
-                format!("t{}: {instr}", step.tid)
+                format!("t{display_tid}: {instr}")
             } else {
                 let values: Vec<String> = nondets.iter().map(|v| v.to_string()).collect();
-                format!("t{}: {instr}  [nondet {}]", step.tid, values.join(", "))
+                format!("t{display_tid}: {instr}  [nondet {}]", values.join(", "))
             }
         }
+    }
+}
+
+/// Composes a parent's canonical→original tid map with the inverse renaming
+/// of one more canonicalization step, producing the successor's map.
+/// Fresh tids (beyond the parent map) are identity — `create_thread` hands
+/// out the same numeric tid in the original and canonical runs, because
+/// renaming preserves the thread count. `None` encodes the identity map.
+fn compose_orig(
+    parent: Option<&Arc<Vec<Tid>>>,
+    inverse: Option<Vec<Tid>>,
+    thread_count: usize,
+) -> Option<Arc<Vec<Tid>>> {
+    if parent.is_none() && inverse.is_none() {
+        return None;
+    }
+    let mut map = Vec::with_capacity(thread_count);
+    for canonical in 1..=thread_count as Tid {
+        let pre = match &inverse {
+            Some(inv) => inv
+                .get(canonical as usize - 1)
+                .copied()
+                .unwrap_or(canonical),
+            None => canonical,
+        };
+        let original = match parent {
+            Some(p) => p.get(pre as usize - 1).copied().unwrap_or(pre),
+            None => pre,
+        };
+        map.push(original);
+    }
+    if map.iter().enumerate().all(|(i, &t)| t == i as Tid + 1) {
+        None
+    } else {
+        Some(Arc::new(map))
     }
 }
 
@@ -337,15 +389,27 @@ struct Node {
     /// Parent node index and the (possibly fused) low-step descriptions
     /// that reached us, in execution order.
     parent: Option<(usize, Vec<String>)>,
+    /// The machine-readable steps behind `parent`'s descriptions, already
+    /// translated to original (pre-canonicalization) tids.
+    edge_steps: Vec<Step>,
+    /// Canonical→original tid map for `low` (index = canonical tid − 1);
+    /// `None` is the identity. Composed along the path so every recorded
+    /// step can name the tid an uncanonicalized run would use.
+    orig: Option<Arc<Vec<Tid>>>,
 }
 
 /// One expanded successor of a wave node, produced by a worker.
 struct SuccOut {
     /// Per-micro-step descriptions of the (possibly fused) edge.
     descs: Vec<String>,
+    /// The steps behind `descs`, translated to original tids.
+    steps: Vec<Step>,
+    /// Canonical→original tid map for `next` (see `Node::orig`).
+    orig: Option<Arc<Vec<Tid>>>,
     /// Precomputed fingerprint of `next`, for the sharded seen-set.
     fp: u64,
-    /// The successor low state.
+    /// The successor low state (canonical representative when symmetry is
+    /// on).
     next: Arc<ProgState>,
     matches: Option<MatchSet>,
 }
@@ -361,6 +425,7 @@ fn expand_wave(
     wave: &[usize],
     nodes: &[Node],
     low: &Program,
+    canon: Option<&Canonicalizer>,
     reducer: &Reducer,
     pool: &[Value],
     bounds: &Bounds,
@@ -383,14 +448,33 @@ fn expand_wave(
             .macro_steps(&node.low, pool, bounds.max_buffer, bounds.reduction)
             .into_iter()
             .map(|(macro_step, low_next)| {
+                // Steps execute in the (canonical) parent's coordinates;
+                // descriptions and the recorded step sequence use original
+                // tids so counterexamples replay against the uncanonicalized
+                // program. Every step of a macro edge runs a thread that
+                // already exists in the parent, so the parent's map covers it.
+                let display = |tid: Tid| match &node.orig {
+                    Some(map) => map.get(tid as usize - 1).copied().unwrap_or(tid),
+                    None => tid,
+                };
                 let mut descs = Vec::with_capacity(macro_step.steps.len());
+                let mut steps = Vec::with_capacity(macro_step.steps.len());
                 let mut pre: &ProgState = &node.low;
                 for (i, step) in macro_step.steps.iter().enumerate() {
-                    descs.push(describe_step(low, pre, step));
+                    descs.push(describe_step(low, pre, step, display(step.tid)));
+                    steps.push(Step {
+                        tid: display(step.tid),
+                        kind: step.kind.clone(),
+                    });
                     if i < macro_step.mids.len() {
                         pre = &macro_step.mids[i];
                     }
                 }
+                let (low_next, inverse) = match canon {
+                    Some(canon) => canon.canonicalize(low_next),
+                    None => (low_next, None),
+                };
+                let orig = compose_orig(node.orig.as_ref(), inverse, low_next.threads.len());
                 let obs: Obs = (low_next.log.clone(), low_next.termination.clone());
                 let key = (node.set_id, obs);
                 let cached = cache
@@ -411,6 +495,8 @@ fn expand_wave(
                 };
                 SuccOut {
                     descs,
+                    steps,
+                    orig,
                     fp: StateArena::fingerprint(&low_next),
                     next: Arc::new(low_next),
                     matches,
@@ -605,6 +691,7 @@ pub fn check_refinement(
             kind: CexKind::Refinement,
             description: format!("low initial state: {e}"),
             trace: vec![],
+            steps: vec![],
             state: initial_state(high).expect("high init"),
         })
     })?;
@@ -613,9 +700,22 @@ pub fn check_refinement(
             kind: CexKind::Refinement,
             description: format!("high initial state: {e}"),
             trace: vec![],
+            steps: vec![],
             state: low_init.clone(),
         })
     })?;
+    // Symmetry reduction on the low side only: the product search stores
+    // canonical representatives, and every recorded step is translated back
+    // through the composed inverse renaming so counterexamples replay
+    // against the original program. The high side is never canonicalized —
+    // match sets are computed from observables, which renaming preserves.
+    let canonicalizer = Canonicalizer::new(low);
+    let canon = (config.bounds.symmetry && canonicalizer.enabled()).then_some(&canonicalizer);
+    let (low_init, init_inverse) = match canon {
+        Some(canon) => canon.canonicalize(low_init),
+        None => (low_init, None),
+    };
+    let root_orig = compose_orig(None, init_inverse, low_init.threads.len());
 
     // High states are interned so match sets are integer sets; successor
     // lists and stutter closures are memoized per interned state.
@@ -637,6 +737,7 @@ pub fn check_refinement(
             kind: CexKind::Refinement,
             description: "initial states are not related by R".to_string(),
             trace: vec![],
+            steps: vec![],
             state: low_init,
         }));
     }
@@ -670,6 +771,8 @@ pub fn check_refinement(
         matches: init_matches,
         depth: 0,
         parent: None,
+        edge_steps: vec![],
+        orig: root_orig,
     });
 
     let mut low_transitions = 0usize;
@@ -683,6 +786,15 @@ pub fn check_refinement(
         let mut rev: Vec<String> = Vec::new();
         while let Some((parent, descs)) = &nodes[node].parent {
             rev.extend(descs.iter().rev().cloned());
+            node = *parent;
+        }
+        rev.reverse();
+        rev
+    };
+    let steps_of = |nodes: &[Node], mut node: usize| {
+        let mut rev: Vec<Step> = Vec::new();
+        while let Some((parent, _)) = &nodes[node].parent {
+            rev.extend(nodes[node].edge_steps.iter().rev().cloned());
             node = *parent;
         }
         rev.reverse();
@@ -704,6 +816,7 @@ pub fn check_refinement(
                     nodes.len()
                 ),
                 trace: trace_of(&nodes, node_id),
+                steps: steps_of(&nodes, node_id),
                 state: (*nodes[node_id].low).clone(),
             }));
         }
@@ -713,6 +826,7 @@ pub fn check_refinement(
             &wave,
             &nodes,
             low,
+            canon,
             &reducer,
             &pool,
             &config.bounds,
@@ -739,15 +853,17 @@ pub fn check_refinement(
         // apply the node budget, and admit successors in global wave
         // order — set ids, node ids, and the budget cut point are all
         // deterministic.
-        let mut failures: Vec<(Vec<String>, String, Arc<ProgState>)> = Vec::new();
+        let mut failures: Vec<(Vec<String>, String, Arc<ProgState>, Vec<Step>)> = Vec::new();
         let mut budget_failure: Option<Box<Counterexample>> = None;
         for (i, (node_id, succ)) in flat.into_iter().enumerate() {
             low_transitions += succ.descs.len();
             let Some(new_matches) = succ.matches else {
                 let mut trace = trace_of(&nodes, node_id);
                 trace.extend(succ.descs.iter().cloned());
+                let mut steps = steps_of(&nodes, node_id);
+                steps.extend(succ.steps.iter().cloned());
                 let desc = succ.descs.last().cloned().unwrap_or_default();
-                failures.push((trace, desc, succ.next));
+                failures.push((trace, desc, succ.next, steps));
                 continue;
             };
             if budget_failure.is_some() {
@@ -764,6 +880,7 @@ pub fn check_refinement(
                         config.max_nodes
                     ),
                     trace: trace_of(&nodes, node_id),
+                    steps: steps_of(&nodes, node_id),
                     state: (*succ.next).clone(),
                 }));
                 continue;
@@ -784,6 +901,8 @@ pub fn check_refinement(
                 matches: new_matches,
                 depth,
                 parent: Some((node_id, succ.descs)),
+                edge_steps: succ.steps,
+                orig: succ.orig,
             });
             pending.entry(depth).or_default().push(id);
         }
@@ -796,11 +915,12 @@ pub fn check_refinement(
         // wave.
         if !failures.is_empty() {
             failures.sort_by(|a, b| (&a.0, &a.2).cmp(&(&b.0, &b.2)));
-            let (trace, desc, state) = failures.into_iter().next().expect("nonempty");
+            let (trace, desc, state, steps) = failures.into_iter().next().expect("nonempty");
             return Err(Box::new(Counterexample {
                 kind: CexKind::Refinement,
                 description: format!("no high-level behavior matches after `{desc}`"),
                 trace,
+                steps,
                 state: (*state).clone(),
             }));
         }

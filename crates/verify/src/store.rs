@@ -67,9 +67,11 @@ impl CertKey {
         for &candidate in &config.bounds.nondet_ints {
             h.write_i128(candidate);
         }
-        // Reduction changes the cert's node/transition counts (never the
-        // verdict), so a cached cert is only exact for the same setting.
+        // Reduction and symmetry change the cert's node/transition counts
+        // (never the verdict), so a cached cert is only exact for the same
+        // settings.
         h.write_u64(config.bounds.reduction as u64);
+        h.write_u64(config.bounds.symmetry as u64);
         CertKey(h.finish())
     }
 
@@ -305,6 +307,9 @@ mod tests {
         // Reduction changes the cert's counters, so it is part of the key.
         let unreduced = SimConfig::default().with_reduction(false);
         assert_ne!(base, CertKey::compute("src", "A", "B", &unreduced));
+        // So does symmetry reduction.
+        let unsymmetric = SimConfig::default().with_symmetry(false);
+        assert_ne!(base, CertKey::compute("src", "A", "B", &unsymmetric));
         // jobs and deadline must NOT affect the key: they never change
         // results, and sharing certs across them is the point.
         let parallel = SimConfig::default().with_jobs(8);

@@ -78,8 +78,41 @@ if [[ "${1:-}" == "--full" ]]; then
             || { echo "$spec: report differs between jobs=1 and jobs=4"; exit 1; }
     done
 
-    echo "==> state_engine bench smoke"
+    echo "==> symmetry on/off differential smoke"
+    # Canonical state interning must be invisible in verdicts: for every
+    # spec, `verify` with and without --no-symmetry must agree on the exit
+    # code, and the symmetric run must agree with itself across jobs=1 and
+    # jobs=4 byte-for-byte.
+    for spec in specs/*.arm; do
+        "$ARMADA_BIN" verify "$spec" >"$SMOKE_DIR/sym_on.out" && rc_on=0 || rc_on=$?
+        "$ARMADA_BIN" verify "$spec" --no-symmetry >"$SMOKE_DIR/sym_off.out" \
+            && rc_off=0 || rc_off=$?
+        [[ "$rc_on" -eq "$rc_off" ]] \
+            || { echo "$spec: symmetry changed the exit code ($rc_on vs $rc_off)"; exit 1; }
+        "$ARMADA_BIN" verify "$spec" --jobs 4 >"$SMOKE_DIR/sym_on_j4.out" || true
+        diff "$SMOKE_DIR/sym_on.out" "$SMOKE_DIR/sym_on_j4.out" \
+            || { echo "$spec: report differs between jobs=1 and jobs=4"; exit 1; }
+    done
+
+    echo "==> seeded fault fuzz loop (multi-level spec)"
+    # Eight deterministic fault seeds over the deepest spec: every run must
+    # terminate with a controlled exit code (verified, refuted, or isolated
+    # crash — never a hang or an uncontrolled abort) and, rerun with the
+    # same seed, must reproduce its report byte-for-byte.
+    for seed in 1 2 3 4 5 6 7 8; do
+        "$ARMADA_BIN" verify specs/handoff.arm --fault-seed "$seed" \
+            >"$SMOKE_DIR/fuzz_$seed.out" && rc=0 || rc=$?
+        [[ "$rc" -le 4 ]] \
+            || { echo "seed $seed: uncontrolled exit code $rc"; exit 1; }
+        "$ARMADA_BIN" verify specs/handoff.arm --fault-seed "$seed" \
+            >"$SMOKE_DIR/fuzz_${seed}_again.out" || true
+        diff "$SMOKE_DIR/fuzz_$seed.out" "$SMOKE_DIR/fuzz_${seed}_again.out" \
+            || { echo "seed $seed: fault injection is not deterministic"; exit 1; }
+    done
+
+    echo "==> state_engine + symmetry bench smoke"
     cargo run --release --offline -p armada-bench --bin state_engine -- --quick
+    cargo run --release --offline -p armada-bench --bin symmetry -- --quick
 fi
 
 echo "verify.sh: all checks passed"

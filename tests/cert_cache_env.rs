@@ -1,0 +1,54 @@
+//! The `ARMADA_CERT_CACHE` environment fallback, end to end: a pipeline
+//! with *no* explicitly configured cert store must persist certificates
+//! under the directory the variable names, and a second identical run must
+//! come back entirely from the cache.
+//!
+//! This lives in its own integration-test binary on purpose: environment
+//! variables are process-global, and every `Pipeline::run` in this process
+//! would see the variable while it is set. Keeping the file to this single
+//! test (plus its teardown) makes the mutation safe under the parallel
+//! test runner.
+
+use armada::verify::SimConfig;
+use armada::Pipeline;
+
+const SOURCE: &str = r#"
+    level Impl {
+        var x: uint32;
+        void main() { x := 2; print(x); }
+    }
+    level Spec {
+        var x: uint32;
+        void main() { x := *; print(x); }
+    }
+    proof P { refinement Impl Spec nondet_weakening }
+"#;
+
+#[test]
+fn env_configured_cache_hits_on_second_run() {
+    let root = std::env::temp_dir().join("armada_cert_cache_env_test");
+    let _ = std::fs::remove_dir_all(&root);
+    std::env::set_var("ARMADA_CERT_CACHE", &root);
+
+    let run = || {
+        Pipeline::from_source(SOURCE)
+            .expect("front end")
+            .with_sim_config(SimConfig::default().with_jobs(1))
+            .run()
+            .expect("pipeline")
+    };
+    let first = run();
+    assert_eq!(first.cache_hits(), 0, "cold cache cannot hit");
+    assert_eq!(first.cache_misses(), 1, "the one recipe must be checked");
+    assert!(
+        root.is_dir(),
+        "the env-named directory must be created and populated"
+    );
+
+    let second = run();
+    assert_eq!(second.cache_hits(), 1, "second run must load the cert");
+    assert_eq!(second.cache_misses(), 0);
+
+    std::env::remove_var("ARMADA_CERT_CACHE");
+    let _ = std::fs::remove_dir_all(&root);
+}

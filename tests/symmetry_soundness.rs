@@ -1,0 +1,251 @@
+//! Symmetry-reduction soundness over the whole corpus: canonical state
+//! interning (`Bounds::symmetry`, on by default) may rename thread ids and
+//! heap object ids and collapse permutation-equivalent states, but it must
+//! never change anything *observable*:
+//!
+//! * exploration reaches the identical set of observable terminal classes
+//!   — exited logs, assertion failures, UB, stuck states — with symmetry
+//!   on and off, in every combination with local-step reduction;
+//! * every pipeline verdict (verified / refuted / budget) is unchanged;
+//! * within one symmetry setting, `jobs = 1` and `jobs = 4` are
+//!   byte-identical, including counterexample renderings;
+//! * a tid-observing program (printing a thread handle, or using `$me`)
+//!   trips the invisibility gate, so naive full canonicalization is never
+//!   applied where renaming would be visible;
+//! * a counterexample found *with* symmetry on replays step-for-step
+//!   through the unreduced, uncanonicalized stepper — the recorded steps
+//!   name original tids, not canonical ones.
+//!
+//! Subjects: every module in `specs/*.arm`, the queue and MCS-lock case
+//! studies, and the six symmetric-thread subjects, at every level.
+
+use std::collections::BTreeMap;
+
+use armada::sm::{explore, lower, Bounds, Canonicalizer};
+use armada::verify::{check_refinement, SimConfig};
+use armada::{Pipeline, PipelineReport};
+use armada_proof::relation::StandardRelation;
+
+/// `(name, source)` for every corpus module, including the symmetric
+/// subjects the symmetry engine explicitly targets.
+fn corpus() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for file in ["counter", "spinlock", "handoff", "tracepoint"] {
+        let path = format!("specs/{file}.arm");
+        let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        out.push((path, source));
+    }
+    out.push(("cases/queue".into(), armada_cases::queue::MODEL.to_string()));
+    out.push((
+        "cases/mcs_lock".into(),
+        armada_cases::mcs_lock::MODEL.to_string(),
+    ));
+    for subject in armada_cases::symmetric::subjects() {
+        out.push((format!("symmetric/{}", subject.name), subject.source));
+    }
+    out
+}
+
+/// The observable projection of an exploration: terminal classes as *sets*
+/// of rendered (log, termination) pairs — everything canonicalization
+/// promises to preserve, nothing it doesn't. (State and transition counts
+/// are not preserved: that is the whole point of the quotient.)
+fn observable_summary(e: &armada::sm::Exploration) -> BTreeMap<String, Vec<String>> {
+    let project = |states: &[std::sync::Arc<armada::sm::ProgState>]| {
+        let mut rows: Vec<String> = states
+            .iter()
+            .map(|s| {
+                let log: Vec<String> = s.log.iter().map(|v| v.to_string()).collect();
+                format!("log=[{}] term={:?}", log.join(","), s.termination)
+            })
+            .collect();
+        rows.sort();
+        rows.dedup();
+        rows
+    };
+    let mut out = BTreeMap::new();
+    out.insert("exited".to_string(), project(&e.exited));
+    out.insert("assert_failures".to_string(), project(&e.assert_failures));
+    out.insert("ub".to_string(), project(&e.ub_states));
+    out.insert("stuck".to_string(), project(&e.stuck));
+    out
+}
+
+#[test]
+fn exploration_preserves_observable_terminals_at_every_level() {
+    for (name, source) in corpus() {
+        let pipeline = Pipeline::from_source(&source).expect("front end");
+        for level in &pipeline.typed().module.levels {
+            let program = lower(pipeline.typed(), &level.name).expect("lower");
+            // Full symmetry × reduction cross-product: canonicalization
+            // must be invisible regardless of what fusion does around it.
+            for reduction in [true, false] {
+                let bounds = Bounds::small().with_reduction(reduction);
+                let on = explore(&program, &bounds.clone().with_symmetry(true));
+                let off = explore(&program, &bounds.clone().with_symmetry(false));
+                assert!(
+                    !on.truncated && !off.truncated,
+                    "{name}/{}: corpus subjects must fit the bounds",
+                    level.name
+                );
+                assert_eq!(
+                    observable_summary(&on),
+                    observable_summary(&off),
+                    "{name}/{} reduction={reduction}: symmetry changed the \
+                     observable terminal classes",
+                    level.name
+                );
+                // Symmetry on, parallel vs serial: byte-identical arena.
+                let par = explore(&program, &bounds.clone().with_symmetry(true).with_jobs(4));
+                assert_eq!(on.arena, par.arena, "{name}/{}", level.name);
+                assert_eq!(on.transitions, par.transitions, "{name}/{}", level.name);
+                assert_eq!(on.micro_steps, par.micro_steps, "{name}/{}", level.name);
+            }
+        }
+    }
+}
+
+fn run(source: &str, symmetry: bool, reduction: bool, jobs: usize) -> PipelineReport {
+    Pipeline::from_source(source)
+        .expect("front end")
+        .with_sim_config(
+            SimConfig::default()
+                .with_symmetry(symmetry)
+                .with_reduction(reduction)
+                .with_jobs(jobs),
+        )
+        .run()
+        .expect("pipeline infrastructure")
+}
+
+#[test]
+fn pipeline_verdicts_are_symmetry_invariant() {
+    for (name, source) in corpus() {
+        let mut verdicts: Vec<(bool, String)> = Vec::new();
+        for symmetry in [true, false] {
+            for reduction in [true, false] {
+                let serial = run(&source, symmetry, reduction, 1);
+                let parallel = run(&source, symmetry, reduction, 4);
+                // Within one flag setting, jobs must be invisible —
+                // certificates and failure text byte-identical.
+                assert_eq!(
+                    serial.refinements, parallel.refinements,
+                    "{name} symmetry={symmetry} reduction={reduction}: \
+                     jobs changed results"
+                );
+                assert_eq!(
+                    serial.failure_summary(),
+                    parallel.failure_summary(),
+                    "{name} symmetry={symmetry} reduction={reduction}"
+                );
+                verdicts.push((serial.verified(), serial.failure_summary()));
+            }
+        }
+        // Across the symmetry × reduction cross-product, the verdict must
+        // agree (certificate node counts legitimately differ: the
+        // canonical product is smaller).
+        let (first_ok, first_fail) = &verdicts[0];
+        for (ok, fail) in &verdicts[1..] {
+            assert_eq!(
+                first_ok, ok,
+                "{name}: flags changed the verdict ({first_fail} vs {fail})"
+            );
+        }
+    }
+}
+
+#[test]
+fn tid_observing_mutants_disable_thread_canonicalization() {
+    // Mutant 1: print a thread handle. The handle occurrence outside
+    // create/join positions must trip the gate — renaming a printed value
+    // would be observable.
+    let base = &armada_cases::symmetric::subjects()[4]; // queue/k2
+    assert_eq!(base.name, "queue/k2");
+    let mutant = base
+        .source
+        .replace("print(f);", "print(t1);\n        print(f);");
+    assert_ne!(mutant, base.source, "mutant must apply");
+    let pipeline = Pipeline::from_source(&mutant).expect("front end");
+    let program = lower(pipeline.typed(), "Implementation").expect("lower");
+    assert!(
+        !Canonicalizer::new(&program).thread_symmetry_enabled(),
+        "printing a handle must disable thread canonicalization"
+    );
+    // Mutant 2: `$me` (the spinlock spec observes its own tid).
+    let me_source = std::fs::read_to_string("specs/spinlock.arm").expect("read spec");
+    let me_pipeline = Pipeline::from_source(&me_source).expect("front end");
+    let me_program = lower(me_pipeline.typed(), "Implementation").expect("lower");
+    assert!(
+        !Canonicalizer::new(&me_program).thread_symmetry_enabled(),
+        "$me must disable thread canonicalization"
+    );
+    // With the gate tripped, symmetry on and off must agree observably —
+    // the flag degrades to a no-op for the thread dimension.
+    for source in [mutant, me_source] {
+        let prog = {
+            let p = Pipeline::from_source(&source).expect("front end");
+            lower(p.typed(), "Implementation").expect("lower")
+        };
+        let on = explore(&prog, &Bounds::small().with_symmetry(true));
+        let off = explore(&prog, &Bounds::small().with_symmetry(false));
+        assert_eq!(observable_summary(&on), observable_summary(&off));
+    }
+}
+
+#[test]
+fn counterexample_steps_replay_through_original_tids() {
+    // A deliberately refuted refinement with two interchangeable low-level
+    // workers: the low side prints 7 twice, the high side only once, so
+    // the checker must surface a counterexample — found while exploring
+    // *canonical* states. Its recorded steps must nevertheless replay
+    // against the original program via the unreduced stepper, because they
+    // were translated back through the inverse renaming.
+    let source = r#"
+        level Low {
+            var done: uint32;
+            void w() { print(7); atomic { done := done + 1; } }
+            void main() {
+                var t1: uint64 := create_thread w();
+                var t2: uint64 := create_thread w();
+                var d: uint32 := 0;
+                while (d < 2) { d := done; }
+            }
+        }
+        level High {
+            void main() { print(7); }
+        }
+    "#;
+    let pipeline = Pipeline::from_source(source).expect("front end");
+    let low = lower(pipeline.typed(), "Low").expect("lower low");
+    let high = lower(pipeline.typed(), "High").expect("lower high");
+    assert!(
+        Canonicalizer::new(&low).thread_symmetry_enabled(),
+        "the low level must be tid-opaque so canonicalization engages"
+    );
+    let relation = StandardRelation::log_prefix();
+    for reduction in [true, false] {
+        let config = SimConfig::default()
+            .with_symmetry(true)
+            .with_reduction(reduction)
+            .with_jobs(1);
+        let err = check_refinement(&low, &high, &relation, &config)
+            .expect_err("two prints cannot refine one print");
+        assert!(!err.steps.is_empty(), "refutation must carry steps");
+        assert_eq!(
+            err.steps.len(),
+            err.trace.len(),
+            "one rendered line per recorded step"
+        );
+        let states = armada::sm::explore::replay(&low, &err.steps, config.bounds.max_buffer)
+            .expect("counterexample steps must be executable on the original program");
+        let last = states.last().expect("nonempty replay");
+        assert_eq!(
+            last.log, err.state.log,
+            "reduction={reduction}: replayed log must match the reported state"
+        );
+        assert_eq!(
+            last.termination, err.state.termination,
+            "reduction={reduction}: replayed termination must match"
+        );
+    }
+}
