@@ -13,6 +13,10 @@
 //!                               implementation level
 //! armada emit-rust <file.arm> [--conservative]
 //!                               emit Rust for the implementation level
+//! armada fuzz <file.arm>... [--seeds N] [--jobs M] [--events LIST]
+//!                           [--out FILE]
+//!                               deterministic fault-fuzzing campaign over
+//!                               the given subjects (see `armada::fuzz`)
 //! ```
 //!
 //! `--jobs N` (default 1) parallelizes the refinement search and the
@@ -31,10 +35,21 @@
 //! `verify`/`effort` exit codes classify the worst per-recipe outcome:
 //! 0 verified, 1 refuted, 2 usage/IO error, 3 budget exhausted or skipped,
 //! 4 crashed (isolated worker panic).
+//!
+//! `fuzz` sweeps each subject over seeds 0..N (default 8), derives a
+//! deterministic fault plan per `(seed, recipe)`, runs cold and warm
+//! against a scratch cert store at jobs ∈ {1, M}, and checks the campaign
+//! invariants (taxonomy, no-hang, no-corrupt-cert-served,
+//! verdict-invariance, determinism). `--events fate:recipe,...` replays an
+//! explicit plan — the reproducer format emitted for shrunk violations.
+//! Exit 0 when no invariant tripped, 1 otherwise. The campaign report JSON
+//! goes to `--out FILE` when given, else stdout; it is byte-identical
+//! across reruns of the same command line.
 
+use armada::fuzz;
 use armada::verify::store::CertStore;
 use armada::verify::SimConfig;
-use armada::{FaultPlan, Pipeline, RecipeStatus};
+use armada::{FaultPlan, Pipeline};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -42,7 +57,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: armada <verify|check|effort|emit-c|emit-rust> <file.arm> \
          [--jobs N] [--deadline SECS] [--cert-cache[=DIR]] [--no-reduction] \
-         [--no-symmetry] [--fault-seed N] [--conservative]"
+         [--no-symmetry] [--fault-seed N] [--conservative]\n       \
+         armada fuzz <file.arm>... [--seeds N] [--jobs M] [--events LIST] \
+         [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -113,6 +130,9 @@ fn main() -> ExitCode {
         (Some(command), Some(path)) => (command.as_str(), path.as_str()),
         _ => return usage(),
     };
+    if command == "fuzz" {
+        return fuzz_command(&args[1..]);
+    }
     let jobs = match jobs_flag(&args) {
         Ok(jobs) => jobs,
         Err(err) => {
@@ -219,11 +239,7 @@ fn main() -> ExitCode {
                 // Classify the worst outcome so scripts can distinguish a
                 // real refutation (1) from an inconclusive run (3) or an
                 // isolated crash (4).
-                match report.worst_status() {
-                    RecipeStatus::Crashed => ExitCode::from(4),
-                    RecipeStatus::Skipped | RecipeStatus::BudgetExhausted => ExitCode::from(3),
-                    _ => ExitCode::FAILURE,
-                }
+                ExitCode::from(report.worst_status().exit_code())
             }
         }
         "emit-c" | "emit-rust" => {
@@ -266,6 +282,111 @@ fn main() -> ExitCode {
             }
         }
         _ => usage(),
+    }
+}
+
+/// The `armada fuzz` subcommand: a deterministic fault-fuzzing campaign
+/// over one or more subject files (see [`armada::fuzz`] for the
+/// invariants). Exit 0 when clean, 1 on any invariant violation, 2 on
+/// usage errors.
+fn fuzz_command(args: &[String]) -> ExitCode {
+    let fail = |err: String| {
+        eprintln!("armada: {err}");
+        ExitCode::from(2)
+    };
+    let seeds: Vec<u64> = match flag_value(args, "--seeds") {
+        Ok(Some(value)) => match value.parse::<u64>() {
+            Ok(n) if n > 0 => (0..n).collect(),
+            _ => return fail(format!("invalid --seeds value `{value}`")),
+        },
+        Ok(None) => (0..8).collect(),
+        Err(err) => return fail(err),
+    };
+    let jobs = match jobs_flag(args) {
+        // The grid always includes jobs=1, so the determinism invariant
+        // compares every higher job count against the serial render.
+        Ok(max) if max > 1 => vec![1, max],
+        Ok(_) => vec![1],
+        Err(err) => return fail(err),
+    };
+    let plan_override = match flag_value(args, "--events") {
+        Ok(Some(spec)) => match fuzz::parse_events(spec) {
+            Ok(events) if !events.is_empty() => Some(events),
+            Ok(_) => return fail("--events lists no events".to_string()),
+            Err(err) => return fail(err),
+        },
+        Ok(None) => None,
+        Err(err) => return fail(err),
+    };
+    let out = match flag_value(args, "--out") {
+        Ok(out) => out.map(|s| s.to_string()),
+        Err(err) => return fail(err),
+    };
+    // Positional arguments are subject files; skip flags and their values.
+    let value_flags = ["--seeds", "--jobs", "--events", "--out"];
+    let mut subjects = Vec::new();
+    let mut skip_next = false;
+    for arg in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if value_flags.contains(&arg.as_str()) {
+            skip_next = true;
+            continue;
+        }
+        if arg.starts_with("--") {
+            continue;
+        }
+        match fuzz::FuzzSubject::from_path(arg) {
+            Ok(subject) => subjects.push(subject),
+            Err(err) => return fail(err),
+        }
+    }
+    if subjects.is_empty() {
+        return usage();
+    }
+    let config = fuzz::FuzzConfig {
+        seeds,
+        jobs,
+        plan_override,
+        ..fuzz::FuzzConfig::default()
+    };
+    let report = fuzz::run_campaign(&subjects, &config);
+    eprintln!(
+        "armada fuzz: {} subjects × {} seeds × jobs {:?}: {} runs, {} checks, \
+         {} faults injected, {} violations",
+        report.subjects.len(),
+        report.seeds.len(),
+        report.jobs,
+        report.runs,
+        report.checks,
+        report.total_injected(),
+        report.violations.len()
+    );
+    for violation in &report.violations {
+        eprintln!(
+            "armada fuzz: VIOLATION [{}] {} seed {}: {}\n  replay: {}",
+            violation.invariant.label(),
+            violation.subject,
+            violation.seed,
+            violation.detail.lines().next().unwrap_or(""),
+            violation.replay
+        );
+    }
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            if let Err(err) = std::fs::write(&path, &json) {
+                return fail(format!("cannot write `{path}`: {err}"));
+            }
+        }
+        None => print!("{json}"),
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

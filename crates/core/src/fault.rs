@@ -3,41 +3,150 @@
 //! The fault-tolerance guarantees of [`crate::Pipeline::run`] — a panicking
 //! strategy is isolated to its recipe, an exhausted budget degrades into a
 //! reported partial result, an interrupted run leaves a resumable cert
-//! store — are only trustworthy if they are *tested*, and testing them
-//! requires making workers fail on purpose, at chosen points, reproducibly.
-//! A [`FaultPlan`] is that test harness: a declarative set of injection
+//! store, a mangled cert record is a cache miss and never a served lie —
+//! are only trustworthy if they are *tested*, and testing them requires
+//! making workers fail on purpose, at chosen points, reproducibly. A
+//! [`FaultPlan`] is that test harness: a declarative set of injection
 //! points the pipeline consults as it runs.
 //!
-//! Two ways to build one:
+//! Three ways to build one:
 //!
 //! * the explicit builders ([`FaultPlan::panic_in_strategy`] and friends)
 //!   pin specific faults to specific recipes — integration tests use these
 //!   to assert one exact partial report;
 //! * [`FaultPlan::seeded`] derives the injection set from a SplitMix64
-//!   stream, for randomized robustness sweeps (`scripts/verify.sh` runs one
-//!   seed as a smoke test). Each recipe's fate is a pure function of
-//!   `(seed, recipe name)` — never of execution order — so the same seed
-//!   produces the same faults at any `--jobs` count.
+//!   stream over the full [`FaultFate`] taxonomy, for randomized robustness
+//!   sweeps (`armada fuzz` runs a campaign of them). Each recipe's fate is
+//!   a pure function of `(seed, recipe name)` — never of execution order —
+//!   so the same seed produces the same faults at any `--jobs` count;
+//! * [`FaultPlan::from_events`] rebuilds a plan from an explicit event
+//!   list — the reproducer format `armada fuzz` emits after shrinking a
+//!   failing plan to a minimal fault sequence.
 //!
 //! Fault plans are test-only in intent: nothing in the pipeline constructs
 //! one unless a caller passes it in (the CLI gates it behind the
-//! deliberately test-scented `--fault-seed`).
+//! deliberately test-scented `--fault-seed` / `fuzz --events`).
 
 use std::collections::BTreeSet;
 
 use armada_runtime::hash::fnv1a_64;
 use armada_runtime::SplitMix64;
 
+/// One kind of injectable fault, attached to a recipe by a [`FaultEvent`].
+///
+/// Fates split into two classes the fuzzer's invariants depend on:
+///
+/// * **recoverable** fates damage infrastructure the pipeline is designed
+///   to see through — torn/bit-flipped cert writes, corrupt cert reads,
+///   slow-relation stalls, delayed cooperative cancels. A run under only
+///   recoverable faults must produce the *byte-identical* final verdict of
+///   a fault-free run (the damage costs recomputation, never correctness);
+/// * **degrading** fates (panics, forced budget exhaustion, worker-slot
+///   aborts, deadline jitter) legitimately change the affected recipe's
+///   outcome — into one of the documented degraded statuses, deterministic
+///   at any job count, never a hang or a lost run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultFate {
+    /// Panic on entry to the recipe's strategy stage.
+    StrategyPanic,
+    /// Panic on entry to the recipe's semantic check.
+    CheckPanic,
+    /// Clamp the semantic check to a 1-node budget (forced exhaustion).
+    BudgetExhaustion,
+    /// The recipe's cert-store saves land truncated at half length.
+    TornCertWrite,
+    /// The recipe's cert-store saves land with one payload digit flipped —
+    /// the record still parses; only checksum re-validation can reject it.
+    BitFlipCertWrite,
+    /// The recipe's cert-store loads read one flipped payload digit (the
+    /// on-disk record is untouched).
+    CorruptCertRead,
+    /// Sleep at every wave boundary of the recipe's semantic check (a slow
+    /// refinement relation / stalled worker).
+    WaveStall,
+    /// Suppress the cooperative deadline check for the check's first waves
+    /// (a delayed cancel).
+    CancelDelay,
+    /// Panic in one worker slot of the check's wave pool (an aborted
+    /// worker), drained deterministically at any job count.
+    WorkerAbort,
+    /// Tighten the recipe's wall-clock deadline to zero (adverse jitter):
+    /// the check must degrade into a deadline outcome, never hang.
+    DeadlineJitter,
+}
+
+/// Every fate, in declaration order (stable for reports and iteration).
+pub const ALL_FATES: [FaultFate; 10] = [
+    FaultFate::StrategyPanic,
+    FaultFate::CheckPanic,
+    FaultFate::BudgetExhaustion,
+    FaultFate::TornCertWrite,
+    FaultFate::BitFlipCertWrite,
+    FaultFate::CorruptCertRead,
+    FaultFate::WaveStall,
+    FaultFate::CancelDelay,
+    FaultFate::WorkerAbort,
+    FaultFate::DeadlineJitter,
+];
+
+impl FaultFate {
+    /// Stable machine-readable label (the reproducer vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultFate::StrategyPanic => "strategy_panic",
+            FaultFate::CheckPanic => "check_panic",
+            FaultFate::BudgetExhaustion => "budget_exhaustion",
+            FaultFate::TornCertWrite => "torn_cert_write",
+            FaultFate::BitFlipCertWrite => "bitflip_cert_write",
+            FaultFate::CorruptCertRead => "corrupt_cert_read",
+            FaultFate::WaveStall => "wave_stall",
+            FaultFate::CancelDelay => "cancel_delay",
+            FaultFate::WorkerAbort => "worker_abort",
+            FaultFate::DeadlineJitter => "deadline_jitter",
+        }
+    }
+
+    /// Parses a [`FaultFate::label`].
+    pub fn parse(label: &str) -> Option<FaultFate> {
+        ALL_FATES.into_iter().find(|fate| fate.label() == label)
+    }
+
+    /// True for fates the pipeline must absorb without any change to the
+    /// final verdict (see the type-level docs).
+    pub fn is_recoverable(self) -> bool {
+        matches!(
+            self,
+            FaultFate::TornCertWrite
+                | FaultFate::BitFlipCertWrite
+                | FaultFate::CorruptCertRead
+                | FaultFate::WaveStall
+                | FaultFate::CancelDelay
+        )
+    }
+}
+
+/// One injection point: `fate` applied to `recipe`. A [`FaultPlan`] is a
+/// set of these (plus the optional mid-run kill, which is not per-recipe);
+/// shrinking removes events one at a time.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultEvent {
+    /// The injected fault kind.
+    pub fate: FaultFate,
+    /// The recipe it is pinned to.
+    pub recipe: String,
+}
+
+impl std::fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.fate.label(), self.recipe)
+    }
+}
+
 /// Declarative injection points for one pipeline run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
-    /// Recipes whose strategy stage panics on entry.
-    strategy_panics: BTreeSet<String>,
-    /// Recipes whose semantic-check stage panics on entry.
-    check_panics: BTreeSet<String>,
-    /// Recipes whose semantic check runs with a 1-node budget, forcing the
-    /// graceful budget-exhaustion path.
-    budget_exhaustions: BTreeSet<String>,
+    /// The per-recipe fault events, kept sorted and deduplicated.
+    events: BTreeSet<FaultEvent>,
     /// Abort the run before any recipe at index ≥ this (a simulated
     /// mid-run kill: later recipes are reported as skipped, and whatever
     /// earlier recipes persisted stays on disk).
@@ -50,23 +159,29 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// Injects a panic at the start of `recipe`'s strategy stage.
-    pub fn panic_in_strategy(mut self, recipe: &str) -> FaultPlan {
-        self.strategy_panics.insert(recipe.to_string());
+    /// Adds `fate` for `recipe`.
+    pub fn with_fate(mut self, fate: FaultFate, recipe: &str) -> FaultPlan {
+        self.events.insert(FaultEvent {
+            fate,
+            recipe: recipe.to_string(),
+        });
         self
     }
 
+    /// Injects a panic at the start of `recipe`'s strategy stage.
+    pub fn panic_in_strategy(self, recipe: &str) -> FaultPlan {
+        self.with_fate(FaultFate::StrategyPanic, recipe)
+    }
+
     /// Injects a panic at the start of `recipe`'s semantic check.
-    pub fn panic_in_check(mut self, recipe: &str) -> FaultPlan {
-        self.check_panics.insert(recipe.to_string());
-        self
+    pub fn panic_in_check(self, recipe: &str) -> FaultPlan {
+        self.with_fate(FaultFate::CheckPanic, recipe)
     }
 
     /// Forces `recipe`'s semantic check to exhaust its node budget
     /// immediately (the budget is clamped to one product node).
-    pub fn exhaust_budget(mut self, recipe: &str) -> FaultPlan {
-        self.budget_exhaustions.insert(recipe.to_string());
-        self
+    pub fn exhaust_budget(self, recipe: &str) -> FaultPlan {
+        self.with_fate(FaultFate::BudgetExhaustion, recipe)
     }
 
     /// Aborts the run before recipe index `index` (0-based, recipe
@@ -77,39 +192,60 @@ impl FaultPlan {
         self
     }
 
+    /// Rebuilds a plan from an explicit event list (the reproducer format).
+    pub fn from_events(events: impl IntoIterator<Item = FaultEvent>) -> FaultPlan {
+        FaultPlan {
+            events: events.into_iter().collect(),
+            abort_at: None,
+        }
+    }
+
+    /// The plan's per-recipe events, sorted (fate order, then recipe).
+    /// The mid-run kill (`abort_at`) is not an event; shrinking never
+    /// encounters it because [`FaultPlan::seeded`] never injects it.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.events.iter().cloned().collect()
+    }
+
     /// Derives a plan from `seed` over the given recipe names. Each recipe
     /// independently draws from a stream seeded by `(seed, name)`: with
-    /// probability 5/8 it is left alone, else one of the three fault kinds
-    /// is injected. Order-independent by construction, so jobs=1 and
-    /// jobs=N runs inject identically.
+    /// probability 6/16 it is left alone, else one of the ten
+    /// [`FaultFate`]s is injected uniformly. Order-independent by
+    /// construction, so jobs=1 and jobs=N runs inject identically.
     pub fn seeded<'a>(seed: u64, recipes: impl IntoIterator<Item = &'a str>) -> FaultPlan {
         let mut plan = FaultPlan::new();
         for name in recipes {
             let mut rng = SplitMix64::new(seed ^ fnv1a_64(name.as_bytes()));
-            match rng.below(8) {
-                5 => plan.strategy_panics.insert(name.to_string()),
-                6 => plan.budget_exhaustions.insert(name.to_string()),
-                7 => plan.check_panics.insert(name.to_string()),
-                _ => false,
-            };
+            let draw = rng.below(16) as usize;
+            if let Some(&fate) = ALL_FATES.get(draw.wrapping_sub(6)) {
+                plan = plan.with_fate(fate, name);
+            }
         }
         plan
     }
 
+    /// True if `recipe` has `fate` injected.
+    pub fn has(&self, fate: FaultFate, recipe: &str) -> bool {
+        // BTreeSet::contains needs an owned-keyed probe; the set is tiny.
+        self.events
+            .iter()
+            .any(|e| e.fate == fate && e.recipe == recipe)
+    }
+
     /// True if `recipe`'s strategy stage should panic.
     pub fn strategy_panics(&self, recipe: &str) -> bool {
-        self.strategy_panics.contains(recipe)
+        self.has(FaultFate::StrategyPanic, recipe)
     }
 
     /// True if `recipe`'s semantic check should panic.
     pub fn check_panics(&self, recipe: &str) -> bool {
-        self.check_panics.contains(recipe)
+        self.has(FaultFate::CheckPanic, recipe)
     }
 
     /// True if `recipe`'s semantic check should run with an exhausted
     /// budget.
     pub fn exhausts_budget(&self, recipe: &str) -> bool {
-        self.budget_exhaustions.contains(recipe)
+        self.has(FaultFate::BudgetExhaustion, recipe)
     }
 
     /// True if the run should skip the recipe at `index` (simulated kill).
@@ -119,20 +255,38 @@ impl FaultPlan {
 
     /// True if the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
-        *self == FaultPlan::new()
+        self.events.is_empty() && self.abort_at.is_none()
+    }
+
+    /// True if every injected fault is recoverable (see [`FaultFate`]):
+    /// the run's final verdict must then be byte-identical to a fault-free
+    /// run's.
+    pub fn is_recoverable_only(&self) -> bool {
+        self.abort_at.is_none() && self.events.iter().all(|e| e.fate.is_recoverable())
+    }
+
+    /// How many events inject `fate`.
+    pub fn count_of(&self, fate: FaultFate) -> usize {
+        self.events.iter().filter(|e| e.fate == fate).count()
     }
 
     /// One line per injection, for logging the plan alongside a report.
     pub fn describe(&self) -> String {
         let mut out = String::new();
-        for name in &self.strategy_panics {
-            out.push_str(&format!("panic in strategy of `{name}`\n"));
-        }
-        for name in &self.check_panics {
-            out.push_str(&format!("panic in semantic check of `{name}`\n"));
-        }
-        for name in &self.budget_exhaustions {
-            out.push_str(&format!("budget exhaustion in `{name}`\n"));
+        for event in &self.events {
+            let what = match event.fate {
+                FaultFate::StrategyPanic => "panic in strategy of",
+                FaultFate::CheckPanic => "panic in semantic check of",
+                FaultFate::BudgetExhaustion => "budget exhaustion in",
+                FaultFate::TornCertWrite => "torn cert writes in",
+                FaultFate::BitFlipCertWrite => "bit-flipped cert writes in",
+                FaultFate::CorruptCertRead => "corrupt cert reads in",
+                FaultFate::WaveStall => "wave-boundary stalls in",
+                FaultFate::CancelDelay => "delayed cooperative cancel in",
+                FaultFate::WorkerAbort => "worker-slot abort in",
+                FaultFate::DeadlineJitter => "deadline jitter in",
+            };
+            out.push_str(&format!("{what} `{}`\n", event.recipe));
         }
         if let Some(at) = self.abort_at {
             out.push_str(&format!("abort before recipe index {at}\n"));
@@ -165,6 +319,40 @@ mod tests {
     }
 
     #[test]
+    fn events_round_trip_through_from_events() {
+        let plan = FaultPlan::new()
+            .with_fate(FaultFate::TornCertWrite, "P1")
+            .with_fate(FaultFate::WorkerAbort, "P2")
+            .with_fate(FaultFate::WaveStall, "P1");
+        let events = plan.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(FaultPlan::from_events(events), plan);
+        // Rendered labels parse back.
+        for event in plan.events() {
+            assert_eq!(FaultFate::parse(event.fate.label()), Some(event.fate));
+        }
+        assert_eq!(FaultFate::parse("no_such_fate"), None);
+    }
+
+    #[test]
+    fn recoverability_classes_partition_the_taxonomy() {
+        let recoverable: Vec<FaultFate> = ALL_FATES
+            .into_iter()
+            .filter(|f| f.is_recoverable())
+            .collect();
+        assert_eq!(recoverable.len(), 5);
+        assert!(FaultPlan::new()
+            .with_fate(FaultFate::BitFlipCertWrite, "P")
+            .with_fate(FaultFate::CancelDelay, "P")
+            .is_recoverable_only());
+        assert!(!FaultPlan::new()
+            .with_fate(FaultFate::BitFlipCertWrite, "P")
+            .with_fate(FaultFate::DeadlineJitter, "P")
+            .is_recoverable_only());
+        assert!(!FaultPlan::new().abort_at(0).is_recoverable_only());
+    }
+
+    #[test]
     fn seeded_plans_are_order_independent() {
         let forward = FaultPlan::seeded(42, ["A", "B", "C", "D"]);
         let backward = FaultPlan::seeded(42, ["D", "C", "B", "A"]);
@@ -179,20 +367,30 @@ mod tests {
     }
 
     #[test]
-    fn seeded_plans_inject_all_fault_kinds_across_seeds() {
+    fn seeded_plans_cover_the_full_taxonomy_across_seeds() {
         let names: Vec<String> = (0..64).map(|i| format!("R{i}")).collect();
         let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-        let plan = FaultPlan::seeded(7, refs.iter().copied());
-        let strategies = refs.iter().filter(|n| plan.strategy_panics(n)).count();
-        let checks = refs.iter().filter(|n| plan.check_panics(n)).count();
-        let budgets = refs.iter().filter(|n| plan.exhausts_budget(n)).count();
-        let clean = refs
-            .iter()
-            .filter(|n| {
-                !plan.strategy_panics(n) && !plan.check_panics(n) && !plan.exhausts_budget(n)
-            })
-            .count();
-        assert!(strategies > 0 && checks > 0 && budgets > 0 && clean > 0);
-        assert_eq!(strategies + checks + budgets + clean, 64);
+        let mut counts = [0usize; ALL_FATES.len()];
+        let mut clean = 0usize;
+        let mut drawn = 0usize;
+        for seed in 0..32u64 {
+            let plan = FaultPlan::seeded(seed, refs.iter().copied());
+            for (i, fate) in ALL_FATES.into_iter().enumerate() {
+                counts[i] += plan.count_of(fate);
+            }
+            clean += refs.len() - plan.events().len();
+            drawn += refs.len();
+        }
+        for (i, fate) in ALL_FATES.into_iter().enumerate() {
+            assert!(counts[i] > 0, "fate {} never drawn", fate.label());
+        }
+        assert!(clean > 0, "some recipes must stay clean");
+        assert_eq!(clean + counts.iter().sum::<usize>(), drawn);
+        // Roughly 6/16 of draws stay clean (±10 points at this volume).
+        let clean_rate = clean as f64 / drawn as f64;
+        assert!(
+            (0.275..=0.475).contains(&clean_rate),
+            "clean rate {clean_rate} far from 6/16"
+        );
     }
 }

@@ -1,0 +1,837 @@
+//! Deterministic fault-fuzzing campaigns over the verification pipeline.
+//!
+//! A campaign sweeps a corpus of subjects (Armada source files) over a
+//! seed grid. Each `(subject, seed)` cell derives a [`FaultPlan`] from the
+//! seed (see [`FaultPlan::seeded`]), runs the pipeline cold and warm
+//! (against a fresh certificate store, then against the store the cold run
+//! populated) at every configured job count, and checks the campaign
+//! invariants:
+//!
+//! * **taxonomy** — every run lands inside the documented outcome space:
+//!   no escaped panic, no infrastructure error on a well-formed subject,
+//!   and a worst-status exit code in the 0–4 vocabulary;
+//! * **no-hang** — every run finishes inside the hang budget (faults may
+//!   slow a run down, never wedge it);
+//! * **no-corrupt-cert-served** — whenever the store reports a cache hit,
+//!   the served certificate is identical to the fault-free baseline's
+//!   certificate for that level pair (a mangled record must be a miss,
+//!   never a lie);
+//! * **verdict-invariance** — when every injected fault is recoverable
+//!   (see [`FaultFate::is_recoverable`]), the report is byte-identical to
+//!   the fault-free baseline after erasing cache-disposition annotations;
+//! * **determinism** — for one `(subject, seed)` cell, renders are
+//!   byte-identical across job counts (cold vs cold, warm vs warm).
+//!
+//! When an invariant trips, the campaign greedily shrinks the plan — retry
+//! the cell with each event removed, keep removals that preserve the
+//! violation, repeat to fixpoint — and records a minimal event list plus a
+//! ready-to-run `armada fuzz … --events …` reproducer line.
+//!
+//! Everything is a pure function of `(subjects, config)`: the campaign
+//! report (see [`CampaignReport::to_json`]) contains no timestamps, paths,
+//! or durations, so reruns are byte-identical — the determinism gate
+//! `scripts/verify.sh` relies on.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::fault::{FaultEvent, FaultFate, FaultPlan, ALL_FATES};
+use crate::verify::store::{CertStore, StoreShim};
+use crate::verify::SimConfig;
+use crate::{CacheDisposition, Pipeline};
+
+/// One fuzzing subject: a named Armada module source.
+#[derive(Debug, Clone)]
+pub struct FuzzSubject {
+    /// Display name, used in reports and reproducer lines (conventionally
+    /// the source path for file subjects).
+    pub name: String,
+    /// Full module source.
+    pub source: String,
+}
+
+impl FuzzSubject {
+    /// A subject from an in-memory source.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> FuzzSubject {
+        FuzzSubject {
+            name: name.into(),
+            source: source.into(),
+        }
+    }
+
+    /// Reads a subject from an `.arm` file; the path becomes the name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unreadable path.
+    pub fn from_path(path: &str) -> Result<FuzzSubject, String> {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        Ok(FuzzSubject::new(path, source))
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// The seed grid; each seed derives one fault plan per subject.
+    pub seeds: Vec<u64>,
+    /// Job counts to run each cell at (deduplicated in order).
+    pub jobs: Vec<usize>,
+    /// Wall-clock ceiling per pipeline run; exceeding it is a `no-hang`
+    /// violation.
+    pub hang_budget: Duration,
+    /// Root directory for per-run scratch cert stores (never reported).
+    pub scratch_root: PathBuf,
+    /// Test-only mutant: disable the store's checksum re-validation on
+    /// load, to prove the `no-corrupt-cert-served` invariant has teeth.
+    pub mutant_unchecked_loads: bool,
+    /// When set, every cell uses exactly this plan instead of a seeded one
+    /// (the reproducer path: `armada fuzz … --events …`).
+    pub plan_override: Option<Vec<FaultEvent>>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seeds: (0..8).collect(),
+            jobs: vec![1],
+            hang_budget: Duration::from_secs(30),
+            scratch_root: std::env::temp_dir().join(format!("armada-fuzz-{}", std::process::id())),
+            mutant_unchecked_loads: false,
+            plan_override: None,
+        }
+    }
+}
+
+/// The campaign invariants (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// Outcome stayed inside the documented taxonomy.
+    Taxonomy,
+    /// The run finished inside the hang budget.
+    NoHang,
+    /// A cache hit served a certificate differing from the baseline's.
+    CorruptCertServed,
+    /// Recoverable faults changed the final verdict.
+    VerdictInvariance,
+    /// Renders differed across job counts.
+    Determinism,
+}
+
+impl Invariant {
+    /// Stable machine-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Invariant::Taxonomy => "taxonomy",
+            Invariant::NoHang => "no_hang",
+            Invariant::CorruptCertServed => "corrupt_cert_served",
+            Invariant::VerdictInvariance => "verdict_invariance",
+            Invariant::Determinism => "determinism",
+        }
+    }
+}
+
+/// One invariant violation, with its shrunk reproducer.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant tripped.
+    pub invariant: Invariant,
+    /// Subject name.
+    pub subject: String,
+    /// The seed whose plan tripped it (0 under a plan override).
+    pub seed: u64,
+    /// Human-readable specifics.
+    pub detail: String,
+    /// The full plan that tripped the invariant.
+    pub plan: Vec<FaultEvent>,
+    /// The greedily shrunk minimal plan that still trips it.
+    pub shrunk: Vec<FaultEvent>,
+    /// A ready-to-run CLI reproducer line.
+    pub replay: String,
+}
+
+/// The whole campaign's result.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Subject names, in sweep order.
+    pub subjects: Vec<String>,
+    /// The seed grid.
+    pub seeds: Vec<u64>,
+    /// The job-count grid.
+    pub jobs: Vec<usize>,
+    /// Pipeline executions performed (baselines + cold + warm + shrinking).
+    pub runs: usize,
+    /// Invariant evaluations performed.
+    pub checks: usize,
+    /// Faults injected per fate label, in [`ALL_FATES`] order.
+    pub injected: Vec<(&'static str, usize)>,
+    /// Violations found (empty on a healthy pipeline).
+    pub violations: Vec<Violation>,
+}
+
+impl CampaignReport {
+    /// True when no invariant tripped.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// True when every fate in the taxonomy was injected at least once.
+    pub fn all_fates_injected(&self) -> bool {
+        self.injected.iter().all(|&(_, count)| count > 0)
+    }
+
+    /// Total faults injected across all fates.
+    pub fn total_injected(&self) -> usize {
+        self.injected.iter().map(|&(_, count)| count).sum()
+    }
+
+    /// Deterministic machine-readable rendering: same `(subjects, config)`
+    /// → byte-identical JSON (no timestamps, durations, or paths).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"subjects\": [{}],\n",
+            self.subjects
+                .iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!(
+            "  \"seeds\": [{}],\n",
+            self.seeds
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!(
+            "  \"jobs\": [{}],\n",
+            self.jobs
+                .iter()
+                .map(|j| j.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!("  \"runs\": {},\n", self.runs));
+        out.push_str(&format!("  \"checks\": {},\n", self.checks));
+        out.push_str("  \"injected\": {\n");
+        for (i, (label, count)) in self.injected.iter().enumerate() {
+            let comma = if i + 1 < self.injected.len() { "," } else { "" };
+            out.push_str(&format!("    \"{label}\": {count}{comma}\n"));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"violations\": [");
+        for (i, violation) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!(
+                "      \"invariant\": \"{}\",\n",
+                violation.invariant.label()
+            ));
+            out.push_str(&format!(
+                "      \"subject\": \"{}\",\n",
+                json_escape(&violation.subject)
+            ));
+            out.push_str(&format!("      \"seed\": {},\n", violation.seed));
+            out.push_str(&format!(
+                "      \"detail\": \"{}\",\n",
+                json_escape(&violation.detail)
+            ));
+            out.push_str(&format!(
+                "      \"plan\": [{}],\n",
+                render_events_json(&violation.plan)
+            ));
+            out.push_str(&format!(
+                "      \"shrunk\": [{}],\n",
+                render_events_json(&violation.shrunk)
+            ));
+            out.push_str(&format!(
+                "      \"replay\": \"{}\"\n",
+                json_escape(&violation.replay)
+            ));
+            out.push_str("    }");
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn render_events_json(events: &[FaultEvent]) -> String {
+    events
+        .iter()
+        .map(|e| format!("\"{}\"", json_escape(&e.to_string())))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a comma-separated `fate:recipe` event list (the `--events` CLI
+/// argument and the reproducer vocabulary).
+///
+/// # Errors
+///
+/// Returns a message naming the malformed entry.
+pub fn parse_events(spec: &str) -> Result<Vec<FaultEvent>, String> {
+    let mut events = Vec::new();
+    for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+        let entry = entry.trim();
+        let (label, recipe) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("malformed event `{entry}` (want fate:recipe)"))?;
+        let fate = FaultFate::parse(label)
+            .ok_or_else(|| format!("unknown fault fate `{label}` in `{entry}`"))?;
+        events.push(FaultEvent {
+            fate,
+            recipe: recipe.to_string(),
+        });
+    }
+    Ok(events)
+}
+
+/// What one pipeline execution produced, as the invariant checks see it.
+struct RunResult {
+    /// The report's rendering (empty when the run errored).
+    render: String,
+    /// Infrastructure error or escaped-panic text, if any.
+    error: Option<String>,
+    /// Worst-status exit code (0–4), when a report was produced.
+    exit_code: Option<u8>,
+    /// `(low, high, product_nodes, low_transitions)` for every certificate
+    /// the store served as a cache hit.
+    served_hits: Vec<(String, String, usize, usize)>,
+    /// Same, for every certificate in the report regardless of source.
+    certs: Vec<(String, String, usize, usize)>,
+    /// Wall-clock duration (checked against the hang budget; never
+    /// reported).
+    elapsed: Duration,
+}
+
+/// Runs the pipeline once for `subject` under `plan`, against a scratch
+/// cert store rooted at `store_dir`.
+fn run_once(
+    subject: &FuzzSubject,
+    plan: &FaultPlan,
+    jobs: usize,
+    store_dir: &Path,
+    mutant_unchecked_loads: bool,
+) -> RunResult {
+    let start = Instant::now();
+    let source = subject.source.clone();
+    let plan = plan.clone();
+    let store = CertStore::open(store_dir).with_faults(StoreShim {
+        unchecked_loads: mutant_unchecked_loads,
+        ..StoreShim::default()
+    });
+    let outcome = catch_unwind(AssertUnwindSafe(move || {
+        let pipeline = Pipeline::from_source(&source)
+            .map_err(|e| e.to_string())?
+            .with_sim_config(SimConfig::default().with_jobs(jobs))
+            .with_cert_store(store)
+            .with_fault_plan(plan);
+        pipeline.run().map_err(|e| e.to_string())
+    }));
+    let elapsed = start.elapsed();
+    match outcome {
+        Err(payload) => {
+            let text = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            RunResult {
+                render: String::new(),
+                error: Some(format!("panic escaped the pipeline: {text}")),
+                exit_code: None,
+                served_hits: Vec::new(),
+                certs: Vec::new(),
+                elapsed,
+            }
+        }
+        Ok(Err(message)) => RunResult {
+            render: String::new(),
+            error: Some(message),
+            exit_code: None,
+            served_hits: Vec::new(),
+            certs: Vec::new(),
+            elapsed,
+        },
+        Ok(Ok(report)) => {
+            let certs: Vec<(String, String, usize, usize)> = report
+                .refinements
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .map(|c| {
+                    (
+                        c.low.clone(),
+                        c.high.clone(),
+                        c.product_nodes,
+                        c.low_transitions,
+                    )
+                })
+                .collect();
+            let served_hits = report
+                .outcomes
+                .iter()
+                .filter(|o| o.cache == CacheDisposition::Hit)
+                .filter_map(|o| {
+                    certs
+                        .iter()
+                        .find(|(low, high, _, _)| *low == o.low && *high == o.high)
+                        .cloned()
+                })
+                .collect();
+            let exit_code = if report.verified() {
+                0
+            } else {
+                report.worst_status().exit_code()
+            };
+            RunResult {
+                render: report.to_string(),
+                error: None,
+                exit_code: Some(exit_code),
+                served_hits,
+                certs,
+                elapsed,
+            }
+        }
+    }
+}
+
+/// Erases cache-disposition annotations, so a cold (miss) and warm (hit)
+/// run of the same verdict normalize identically — the equality
+/// `verdict-invariance` asserts against the baseline.
+fn normalize_render(render: &str) -> String {
+    render
+        .replace(" (cert cache hit)", "")
+        .replace(" (cert cache miss)", "")
+        .replace(" (from cert store)", "")
+}
+
+/// The fault-free reference for one subject.
+struct Baseline {
+    /// Normalized render of a clean jobs=1 run.
+    render_norm: String,
+    /// `(low, high)` → `(product_nodes, low_transitions)`.
+    certs: BTreeMap<(String, String), (usize, usize)>,
+    /// Baseline infrastructure failure, if any (the subject is unusable).
+    error: Option<String>,
+}
+
+fn compute_baseline(subject: &FuzzSubject, scratch: &Path) -> (Baseline, usize) {
+    let dir = scratch.join("baseline");
+    let result = run_once(subject, &FaultPlan::new(), 1, &dir, false);
+    let _ = std::fs::remove_dir_all(&dir);
+    let baseline = Baseline {
+        render_norm: normalize_render(&result.render),
+        certs: result
+            .certs
+            .iter()
+            .map(|(low, high, nodes, transitions)| {
+                ((low.clone(), high.clone()), (*nodes, *transitions))
+            })
+            .collect(),
+        error: result.error,
+    };
+    (baseline, 1)
+}
+
+/// One `(subject, plan)` cell: cold + warm runs at every job count, then
+/// the invariant checks. Returns `(violations, runs, checks)`.
+fn run_cell(
+    subject: &FuzzSubject,
+    plan: &FaultPlan,
+    config: &FuzzConfig,
+    baseline: &Baseline,
+    scratch: &Path,
+) -> (Vec<(Invariant, String)>, usize, usize) {
+    let mut violations: Vec<(Invariant, String)> = Vec::new();
+    let mut runs = 0usize;
+    let mut checks = 0usize;
+    let mut colds: Vec<(usize, RunResult)> = Vec::new();
+    let mut warms: Vec<(usize, RunResult)> = Vec::new();
+
+    let mut jobs_grid: Vec<usize> = Vec::new();
+    for &j in &config.jobs {
+        let j = j.max(1);
+        if !jobs_grid.contains(&j) {
+            jobs_grid.push(j);
+        }
+    }
+
+    for &jobs in &jobs_grid {
+        // A fresh store per job count, so cold/warm pairs are comparable
+        // across the grid.
+        let dir = scratch.join(format!("j{jobs}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = run_once(subject, plan, jobs, &dir, config.mutant_unchecked_loads);
+        let warm = run_once(subject, plan, jobs, &dir, config.mutant_unchecked_loads);
+        let _ = std::fs::remove_dir_all(&dir);
+        runs += 2;
+
+        for (phase, result) in [("cold", &cold), ("warm", &warm)] {
+            // Taxonomy: no escaped panic, no infra error, exit code 0–4.
+            checks += 1;
+            if let Some(error) = &result.error {
+                violations.push((
+                    Invariant::Taxonomy,
+                    format!("{phase} jobs={jobs}: run left the outcome taxonomy: {error}"),
+                ));
+            } else if result.exit_code.is_none_or(|code| code > 4) {
+                violations.push((
+                    Invariant::Taxonomy,
+                    format!(
+                        "{phase} jobs={jobs}: exit code {:?} outside 0-4",
+                        result.exit_code
+                    ),
+                ));
+            }
+            // No-hang: the run finished inside the budget.
+            checks += 1;
+            if result.elapsed > config.hang_budget {
+                violations.push((
+                    Invariant::NoHang,
+                    format!(
+                        "{phase} jobs={jobs}: run took {:?}, budget {:?}",
+                        result.elapsed, config.hang_budget
+                    ),
+                ));
+            }
+            // No-corrupt-cert-served: every hit matches the baseline cert.
+            checks += 1;
+            for (low, high, nodes, transitions) in &result.served_hits {
+                match baseline.certs.get(&(low.clone(), high.clone())) {
+                    Some(&(base_nodes, base_transitions))
+                        if base_nodes == *nodes && base_transitions == *transitions => {}
+                    Some(&(base_nodes, base_transitions)) => violations.push((
+                        Invariant::CorruptCertServed,
+                        format!(
+                            "{phase} jobs={jobs}: hit for {low}⊑{high} served \
+                             ({nodes}, {transitions}), baseline ({base_nodes}, {base_transitions})"
+                        ),
+                    )),
+                    None => violations.push((
+                        Invariant::CorruptCertServed,
+                        format!(
+                            "{phase} jobs={jobs}: hit for {low}⊑{high} has no baseline certificate"
+                        ),
+                    )),
+                }
+            }
+            // Verdict-invariance: recoverable faults leave the normalized
+            // render byte-identical to the baseline.
+            if plan.is_recoverable_only() && baseline.error.is_none() && result.error.is_none() {
+                checks += 1;
+                let norm = normalize_render(&result.render);
+                if norm != baseline.render_norm {
+                    violations.push((
+                        Invariant::VerdictInvariance,
+                        format!(
+                            "{phase} jobs={jobs}: recoverable faults changed the verdict:\n\
+                             --- baseline ---\n{}--- faulted ---\n{norm}",
+                            baseline.render_norm
+                        ),
+                    ));
+                }
+            }
+        }
+        colds.push((jobs, cold));
+        warms.push((jobs, warm));
+    }
+
+    // Determinism: renders byte-identical across job counts.
+    for (phase, results) in [("cold", &colds), ("warm", &warms)] {
+        checks += 1;
+        if let Some((first_jobs, first)) = results.first() {
+            for (jobs, result) in &results[1..] {
+                if result.render != first.render || result.error != first.error {
+                    violations.push((
+                        Invariant::Determinism,
+                        format!(
+                            "{phase}: render differs between jobs={first_jobs} and jobs={jobs}"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    (violations, runs, checks)
+}
+
+/// Greedy delta-debugging: drop events one at a time, keeping removals
+/// that preserve a violation of `invariant`, to fixpoint. Returns the
+/// minimal plan and the number of pipeline runs spent shrinking.
+fn shrink(
+    subject: &FuzzSubject,
+    events: &[FaultEvent],
+    invariant: Invariant,
+    config: &FuzzConfig,
+    baseline: &Baseline,
+    scratch: &Path,
+) -> (Vec<FaultEvent>, usize, usize) {
+    let mut current: Vec<FaultEvent> = events.to_vec();
+    let mut runs = 0usize;
+    let mut checks = 0usize;
+    let still_violates = |trial: &[FaultEvent], runs: &mut usize, checks: &mut usize| -> bool {
+        let plan = FaultPlan::from_events(trial.iter().cloned());
+        let (violations, r, c) = run_cell(subject, &plan, config, baseline, scratch);
+        *runs += r;
+        *checks += c;
+        violations.iter().any(|(inv, _)| *inv == invariant)
+    };
+    let mut progress = true;
+    while progress && !current.is_empty() {
+        progress = false;
+        for i in 0..current.len() {
+            let mut trial = current.clone();
+            trial.remove(i);
+            if still_violates(&trial, &mut runs, &mut checks) {
+                current = trial;
+                progress = true;
+                break;
+            }
+        }
+    }
+    (current, runs, checks)
+}
+
+/// Silences the default panic hook's report (message + backtrace) for
+/// panics whose payload marks them as injected faults — a campaign
+/// deliberately triggers hundreds of them, and each is caught and turned
+/// into an outcome row. Genuine panics keep the full default report.
+/// Installed once per process, never uninstalled (the filter is inert
+/// outside campaigns).
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("injected fault"))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains("injected fault"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs the whole campaign (see the module docs).
+pub fn run_campaign(subjects: &[FuzzSubject], config: &FuzzConfig) -> CampaignReport {
+    quiet_injected_panics();
+    let mut injected: Vec<(&'static str, usize)> =
+        ALL_FATES.iter().map(|f| (f.label(), 0)).collect();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut runs = 0usize;
+    let mut checks = 0usize;
+    let max_jobs = config.jobs.iter().copied().max().unwrap_or(1);
+
+    for (subject_index, subject) in subjects.iter().enumerate() {
+        let scratch = config.scratch_root.join(format!("s{subject_index}"));
+        let (baseline, baseline_runs) = compute_baseline(subject, &scratch);
+        runs += baseline_runs;
+        if let Some(error) = &baseline.error {
+            violations.push(Violation {
+                invariant: Invariant::Taxonomy,
+                subject: subject.name.clone(),
+                seed: 0,
+                detail: format!("fault-free baseline failed: {error}"),
+                plan: Vec::new(),
+                shrunk: Vec::new(),
+                replay: format!("armada verify {}", subject.name),
+            });
+            continue;
+        }
+        let recipe_names: Vec<String> = {
+            // The baseline succeeded, so the source parses.
+            let pipeline = Pipeline::from_source(&subject.source).expect("baseline parsed");
+            pipeline
+                .typed()
+                .module
+                .recipes
+                .iter()
+                .map(|r| r.name.clone())
+                .collect()
+        };
+        for &seed in &config.seeds {
+            let plan = match &config.plan_override {
+                Some(events) => FaultPlan::from_events(events.iter().cloned()),
+                None => FaultPlan::seeded(seed, recipe_names.iter().map(|n| n.as_str())),
+            };
+            for entry in injected.iter_mut() {
+                entry.1 += plan
+                    .events()
+                    .iter()
+                    .filter(|e| e.fate.label() == entry.0)
+                    .count();
+            }
+            let cell_scratch = scratch.join(format!("seed{seed}"));
+            let (cell_violations, cell_runs, cell_checks) =
+                run_cell(subject, &plan, config, &baseline, &cell_scratch);
+            runs += cell_runs;
+            checks += cell_checks;
+            for (invariant, detail) in cell_violations {
+                let (shrunk, shrink_runs, shrink_checks) = shrink(
+                    subject,
+                    &plan.events(),
+                    invariant,
+                    config,
+                    &baseline,
+                    &cell_scratch,
+                );
+                runs += shrink_runs;
+                checks += shrink_checks;
+                let events_spec = shrunk
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                violations.push(Violation {
+                    invariant,
+                    subject: subject.name.clone(),
+                    seed,
+                    detail,
+                    plan: plan.events(),
+                    shrunk,
+                    replay: format!(
+                        "armada fuzz {} --seeds 1 --jobs {max_jobs} --events {events_spec}",
+                        subject.name
+                    ),
+                });
+            }
+            let _ = std::fs::remove_dir_all(&cell_scratch);
+        }
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    let _ = std::fs::remove_dir_all(&config.scratch_root);
+    CampaignReport {
+        subjects: subjects.iter().map(|s| s.name.clone()).collect(),
+        seeds: config.seeds.clone(),
+        jobs: config.jobs.clone(),
+        runs,
+        checks,
+        injected,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = r#"
+        level Impl {
+            var x: uint32;
+            void main() { x := 2; print(x); }
+        }
+        level Spec {
+            var x: uint32;
+            void main() { x := *; print(x); }
+        }
+        proof P { refinement Impl Spec nondet_weakening }
+    "#;
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("armada-fuzz-unit-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn event_specs_round_trip() {
+        let events = parse_events("torn_cert_write:P1, worker_abort:P2").unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].fate, FaultFate::TornCertWrite);
+        assert_eq!(events[1].recipe, "P2");
+        assert!(parse_events("bogus:P").is_err());
+        assert!(parse_events("no_separator").is_err());
+        assert!(parse_events("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn tiny_campaign_is_clean_and_deterministic() {
+        let subjects = [FuzzSubject::new("tiny", TINY)];
+        let config = FuzzConfig {
+            seeds: (0..4).collect(),
+            jobs: vec![1, 2],
+            scratch_root: scratch("clean"),
+            ..FuzzConfig::default()
+        };
+        let first = run_campaign(&subjects, &config);
+        assert!(
+            first.ok(),
+            "violations: {:?}",
+            first
+                .violations
+                .iter()
+                .map(|v| &v.detail)
+                .collect::<Vec<_>>()
+        );
+        assert!(first.runs > 0 && first.checks > 0);
+        let second = run_campaign(&subjects, &config);
+        assert_eq!(first.to_json(), second.to_json());
+    }
+
+    #[test]
+    fn mutant_store_trips_the_corrupt_cert_invariant() {
+        let subjects = [FuzzSubject::new("tiny", TINY)];
+        let config = FuzzConfig {
+            seeds: vec![0],
+            jobs: vec![1],
+            scratch_root: scratch("mutant"),
+            mutant_unchecked_loads: true,
+            plan_override: Some(vec![FaultEvent {
+                fate: FaultFate::BitFlipCertWrite,
+                recipe: "P".to_string(),
+            }]),
+            ..FuzzConfig::default()
+        };
+        let report = run_campaign(&subjects, &config);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.invariant == Invariant::CorruptCertServed),
+            "mutant not caught: {:?}",
+            report
+                .violations
+                .iter()
+                .map(|v| (v.invariant, &v.detail))
+                .collect::<Vec<_>>()
+        );
+        let caught = report
+            .violations
+            .iter()
+            .find(|v| v.invariant == Invariant::CorruptCertServed)
+            .unwrap();
+        assert!(caught.shrunk.len() <= 3, "shrunk: {:?}", caught.shrunk);
+        assert!(caught.replay.contains("--events"));
+    }
+}

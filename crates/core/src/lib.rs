@@ -44,8 +44,12 @@
 //!   [`verify::store`]); an interrupted run's completed certs are reused on
 //!   rerun, and a corrupted record silently falls back to recomputation.
 //! * **Deterministic fault injection.** [`FaultPlan`] drives all of the
-//!   above in tests: injected panics, forced budget exhaustion, and
-//!   simulated mid-run kills, reproducible from a seed.
+//!   above in tests: injected panics, forced budget exhaustion, simulated
+//!   mid-run kills, torn/bit-flipped cert writes, corrupt cert reads,
+//!   wave-boundary stalls, delayed cancels, worker-slot aborts, and
+//!   deadline jitter — all reproducible from a seed (see
+//!   [`fault::FaultFate`]). The [`fuzz`] module sweeps seed grids over
+//!   these faults and checks campaign-level invariants.
 //!
 //! # Example
 //!
@@ -71,6 +75,7 @@
 
 pub mod error;
 pub mod fault;
+pub mod fuzz;
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -86,7 +91,7 @@ pub use armada_strategies as strategies;
 pub use armada_verify as verify;
 
 pub use error::PipelineError;
-pub use fault::FaultPlan;
+pub use fault::{FaultFate, FaultPlan};
 
 use armada_lang::ast::Recipe;
 use armada_lang::typeck::TypedModule;
@@ -94,7 +99,7 @@ use armada_lang::{check_module, count_sloc, parse_module};
 use armada_proof::relation::StandardRelation;
 use armada_proof::StrategyReport;
 use armada_sm::lower;
-use armada_verify::store::{CertKey, CertStore};
+use armada_verify::store::{CertKey, CertStore, ReadFault, WriteFault};
 use armada_verify::{check_refinement, RefinementCert, RefinementChain, SimConfig};
 
 /// What one recipe contributed to the report: a crashed or skipped recipe
@@ -163,6 +168,19 @@ impl RecipeStatus {
             RecipeStatus::BudgetExhausted => "budget exhausted",
             RecipeStatus::Crashed => "crashed",
             RecipeStatus::Skipped => "skipped",
+        }
+    }
+
+    /// The CLI exit code for a run whose worst outcome is this status:
+    /// 0 verified, 1 refuted, 3 budget exhausted or skipped, 4 crashed
+    /// (2 is reserved for usage/IO errors). The fuzzer's taxonomy
+    /// invariant pins every run to this 0–4 vocabulary.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            RecipeStatus::Verified => 0,
+            RecipeStatus::Refuted => 1,
+            RecipeStatus::BudgetExhausted | RecipeStatus::Skipped => 3,
+            RecipeStatus::Crashed => 4,
         }
     }
 }
@@ -555,6 +573,40 @@ impl Pipeline {
             // product (one node is never enough to finish a check).
             sim.max_nodes = 1;
         }
+        // Recoverable check faults: `CheckFaults` is not part of the cert
+        // key (stalls and cancel delays never change the verdict), so a
+        // stalled run and a clean run share certificates.
+        if self.fault.has(FaultFate::WaveStall, &recipe.name) {
+            sim.faults.wave_stall_micros = 200;
+        }
+        if self.fault.has(FaultFate::CancelDelay, &recipe.name) {
+            sim.faults.cancel_delay_waves = 3;
+        }
+        if self.fault.has(FaultFate::WorkerAbort, &recipe.name) {
+            sim.faults.abort_slot = Some((0, 0));
+        }
+        if self.fault.has(FaultFate::DeadlineJitter, &recipe.name) {
+            // Adverse jitter: the deadline collapses to zero, so the check
+            // must degrade into a budget outcome at the first wave
+            // boundary instead of hanging.
+            sim.bounds = sim.bounds.with_deadline(std::time::Duration::ZERO);
+        }
+        // Cert-store corruption faults are scoped to this recipe through a
+        // shimmed clone of the store; sibling recipes keep clean IO.
+        let store_view = cert_store.map(|store| {
+            let mut shim = store.shim();
+            if self.fault.has(FaultFate::TornCertWrite, &recipe.name) {
+                shim.write = Some(WriteFault::Torn);
+            }
+            if self.fault.has(FaultFate::BitFlipCertWrite, &recipe.name) {
+                shim.write = Some(WriteFault::BitFlip);
+            }
+            if self.fault.has(FaultFate::CorruptCertRead, &recipe.name) {
+                shim.read = Some(ReadFault::Corrupt);
+            }
+            store.clone().with_faults(shim)
+        });
+        let cert_store = store_view.as_ref();
         let key = CertKey::compute(&self.source, &recipe.low, &recipe.high, &sim);
         if let Some(store) = cert_store {
             if let Some(cert) = store.load(&key, &recipe.low, &recipe.high) {

@@ -73,6 +73,37 @@ use armada_sm::{
     StepKind, Termination, Tid, Value,
 };
 
+/// Deterministic in-search fault injection (fuzzing only; the default
+/// injects nothing). These model workers going *slow or dead* inside one
+/// semantic check — a stalled refinement relation, a delayed cooperative
+/// cancel, an aborted pool slot — so the checker's graceful-degradation
+/// paths can be exercised reproducibly. None of them may ever change a
+/// verdict relative to a fault-free run except by surfacing the documented
+/// degraded outcomes (deadline expiry, a drained panic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckFaults {
+    /// Microseconds slept at every wave boundary: a slow relation or a
+    /// stalled worker. Results are unchanged; only wall-clock time grows
+    /// (and a configured deadline may consequently expire).
+    pub wave_stall_micros: u64,
+    /// Suppress the cooperative deadline check for the first N waves (a
+    /// delayed cancel). Invisible unless a deadline would have fired in the
+    /// suppressed window, in which case expiry surfaces N waves late — but
+    /// still at a wave boundary, still deterministically.
+    pub cancel_delay_waves: usize,
+    /// Panic while expanding `(wave, slot)` — an aborted worker slot. The
+    /// pool's panic drain re-raises it from the lowest failing slot, so the
+    /// failure is identical at any job count.
+    pub abort_slot: Option<(usize, usize)>,
+}
+
+impl CheckFaults {
+    /// True if this configuration injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == CheckFaults::default()
+    }
+}
+
 /// Configuration for the simulation search.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -84,6 +115,10 @@ pub struct SimConfig {
     pub max_match: usize,
     /// Maximum product nodes to explore.
     pub max_nodes: usize,
+    /// Deterministic in-search fault injection (fuzzing only). Excluded
+    /// from [`store::CertKey`]: faults never change what a *successful*
+    /// check certifies.
+    pub faults: CheckFaults,
 }
 
 impl Default for SimConfig {
@@ -92,6 +127,7 @@ impl Default for SimConfig {
             bounds: Bounds::small(),
             max_match: 4,
             max_nodes: 200_000,
+            faults: CheckFaults::default(),
         }
     }
 }
@@ -112,6 +148,13 @@ impl SimConfig {
     /// The same configuration with symmetry reduction on or off.
     pub fn with_symmetry(mut self, symmetry: bool) -> SimConfig {
         self.bounds.symmetry = symmetry;
+        self
+    }
+
+    /// The same configuration with the given in-search faults (fuzzing
+    /// only).
+    pub fn with_faults(mut self, faults: CheckFaults) -> SimConfig {
+        self.faults = faults;
         self
     }
 }
@@ -432,8 +475,17 @@ fn expand_wave(
     relation: &(dyn RefinementRelation + Sync),
     high: &Mutex<HighGraph<'_>>,
     cache: &Mutex<HashMap<(u32, Obs), Option<MatchSet>>>,
+    abort_slot: Option<usize>,
 ) -> Vec<Vec<SuccOut>> {
     let jobs = bounds.jobs.max(1);
+    // Injected worker-slot abort (fuzzing): the panic rides the exact same
+    // drain path as an organic worker panic, so it must surface identically
+    // at any job count.
+    let abort_if_injected = |slot: usize| {
+        if abort_slot == Some(slot) {
+            panic!("injected fault: worker slot {slot} aborted");
+        }
+    };
     // Each expansion runs under `catch_unwind` so a panicking worker (a bug
     // in a refinement relation, step enumeration, …) cannot kill the pool:
     // every other slot still completes, and the panic is re-raised from the
@@ -533,8 +585,13 @@ fn expand_wave(
     if jobs <= 1 || wave.len() <= 1 {
         return drain(
             wave.iter()
-                .map(|&i| {
-                    catch_unwind(AssertUnwindSafe(|| expand_one(&nodes[i]))).map_err(Mutex::new)
+                .enumerate()
+                .map(|(slot, &i)| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        abort_if_injected(slot);
+                        expand_one(&nodes[i])
+                    }))
+                    .map_err(Mutex::new)
                 })
                 .collect(),
         );
@@ -548,8 +605,11 @@ fn expand_wave(
                 if slot >= wave.len() {
                     break;
                 }
-                let out = catch_unwind(AssertUnwindSafe(|| expand_one(&nodes[wave[slot]])))
-                    .map_err(Mutex::new);
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    abort_if_injected(slot);
+                    expand_one(&nodes[wave[slot]])
+                }))
+                .map_err(Mutex::new);
                 slots[slot]
                     .set(out)
                     .ok()
@@ -801,12 +861,23 @@ pub fn check_refinement(
         rev
     };
 
+    let mut wave_index = 0usize;
     while let Some((_depth, wave)) = pending.pop_first() {
+        // Injected slow-relation stall (fuzzing): burns wall-clock time at
+        // the boundary, exactly where a slow relation or a descheduled
+        // worker would; results must be unchanged.
+        if config.faults.wave_stall_micros > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(
+                config.faults.wave_stall_micros,
+            ));
+        }
         // Cooperative deadline: checked only at wave boundaries, so the
         // check degrades gracefully (a trace of the first-admitted frontier
         // node, deterministic for the wave it fires in) instead of hanging
-        // or cutting a wave at a scheduling-dependent point.
-        if config.bounds.deadline_expired() {
+        // or cutting a wave at a scheduling-dependent point. An injected
+        // cancel delay (fuzzing) suppresses the check for the first N
+        // waves; expiry then surfaces late but still deterministically.
+        if wave_index >= config.faults.cancel_delay_waves && config.bounds.deadline_expired() {
             let node_id = wave[0];
             return Err(Box::new(Counterexample {
                 kind: CexKind::Deadline,
@@ -822,6 +893,12 @@ pub fn check_refinement(
         }
 
         // Parallel phase: expand every wave node.
+        let abort_slot = config
+            .faults
+            .abort_slot
+            .filter(|&(wave_at, _)| wave_at == wave_index)
+            .map(|(_, slot)| slot);
+        wave_index += 1;
         let expanded = expand_wave(
             &wave,
             &nodes,
@@ -833,6 +910,7 @@ pub fn check_refinement(
             relation,
             &high_graph,
             &expand_cache,
+            abort_slot,
         );
 
         // Flatten to global wave order: (parent node id, successor).
@@ -1333,6 +1411,107 @@ mod tests {
         }
         assert_eq!(messages[0], "relation cannot handle the value 2");
         assert_eq!(messages[0], messages[1]);
+    }
+
+    #[test]
+    fn injected_stall_and_cancel_delay_are_invisible_in_results() {
+        let (low, high) = programs(
+            r#"
+            level Impl {
+                void worker(v: uint32) { print(v); }
+                void main() {
+                    var a: uint64 := create_thread worker(1);
+                    var b: uint64 := create_thread worker(2);
+                    join a;
+                    join b;
+                }
+            }
+            level Spec {
+                void main() {
+                    if (*) { print(1); print(2); } else { print(2); print(1); }
+                }
+            }
+            "#,
+            "Impl",
+            "Spec",
+        );
+        let relation = StandardRelation::log_prefix();
+        let clean = check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap();
+        for jobs in [1, 4] {
+            let faulted = SimConfig::default()
+                .with_jobs(jobs)
+                .with_faults(CheckFaults {
+                    wave_stall_micros: 50,
+                    cancel_delay_waves: 2,
+                    abort_slot: None,
+                });
+            let cert = check_refinement(&low, &high, &relation, &faulted).unwrap();
+            assert_eq!(cert, clean, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn injected_worker_abort_drains_identically_across_job_counts() {
+        let (low, high) = programs(
+            r#"
+            level A { void main() { if (*) { print(1); } else { print(2); } } }
+            level B { void main() { if (*) { print(1); } else { print(2); } } }
+            "#,
+            "A",
+            "B",
+        );
+        let relation = StandardRelation::log_prefix();
+        let mut messages = Vec::new();
+        for jobs in [1, 4] {
+            let config = SimConfig::default()
+                .with_jobs(jobs)
+                .with_faults(CheckFaults {
+                    abort_slot: Some((1, 0)),
+                    ..CheckFaults::default()
+                });
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                check_refinement(&low, &high, &relation, &config)
+            }))
+            .expect_err("the injected abort must propagate");
+            let text = caught
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| caught.downcast_ref::<String>().cloned())
+                .expect("string payload");
+            messages.push(text);
+        }
+        assert_eq!(messages[0], "injected fault: worker slot 0 aborted");
+        assert_eq!(messages[0], messages[1]);
+        // An abort aimed at a wave the search never reaches is a no-op.
+        let config = SimConfig::default().with_faults(CheckFaults {
+            abort_slot: Some((10_000, 0)),
+            ..CheckFaults::default()
+        });
+        check_refinement(&low, &high, &relation, &config).unwrap();
+    }
+
+    #[test]
+    fn delayed_cancel_still_expires_at_a_wave_boundary() {
+        let (low, high) = programs(
+            r#"
+            level A { var x: uint32; void main() { x := 1; x := 2; print(x); } }
+            level B { var x: uint32; void main() { x := 1; x := 2; print(x); } }
+            "#,
+            "A",
+            "B",
+        );
+        let relation = StandardRelation::log_prefix();
+        // Reduction off so every micro step is its own wave: the search has
+        // strictly more waves than the suppression window.
+        let mut config = SimConfig::default()
+            .with_reduction(false)
+            .with_faults(CheckFaults {
+                cancel_delay_waves: 2,
+                ..CheckFaults::default()
+            });
+        config.bounds = config.bounds.with_deadline(std::time::Duration::ZERO);
+        let err = check_refinement(&low, &high, &relation, &config).unwrap_err();
+        assert_eq!(err.kind, CexKind::Deadline, "{}", err.description);
     }
 
     #[test]

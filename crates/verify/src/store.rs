@@ -36,6 +36,68 @@ use armada_runtime::hash::Fnv64;
 
 use crate::{RefinementCert, SimConfig};
 
+/// Deterministic damage applied to a record as it is persisted, for fuzzing
+/// the loader's validation invariant (see [`StoreShim`]). Our writer is
+/// atomic by construction, so these model the *environment* — a torn sector,
+/// latent bit rot — landing damage at the addressed path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The record is truncated at half its length before it lands.
+    Torn,
+    /// One payload digit is flipped before the record lands. The damaged
+    /// record still *parses* — only the checksum re-validation can reject
+    /// it, which is exactly the defense being fuzzed.
+    BitFlip,
+}
+
+/// Deterministic damage applied to the bytes a load reads, before parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// One payload digit is flipped in the bytes handed to the parser (a
+    /// bad sector surfacing on read; the on-disk record is untouched).
+    Corrupt,
+}
+
+/// Fault-shim configuration for one store handle. The default injects
+/// nothing; fuzzing wraps a store via [`CertStore::with_faults`] to damage
+/// its IO deterministically and then asserts the store's load invariant — a
+/// load returns exactly what a completed save wrote, or nothing — still
+/// holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreShim {
+    /// Damage applied by every `save`.
+    pub write: Option<WriteFault>,
+    /// Damage applied to the bytes read by every `load`.
+    pub read: Option<ReadFault>,
+    /// **Mutant hook, test-only:** skip checksum re-validation on load.
+    /// Exists so the fuzzer's no-corrupt-cert-served invariant can be
+    /// demonstrated to catch a store that stopped validating
+    /// (`tests/fault_fuzz.rs`, mutant refutation); nothing in the tool ever
+    /// sets it.
+    pub unchecked_loads: bool,
+}
+
+/// Flips the first digit of the `product_nodes` payload line (xor 0x01
+/// keeps a digit a digit), producing a record that parses but cannot
+/// re-validate. Falls back to flipping the middle byte if the line is
+/// absent (pre-damaged input).
+fn flip_payload_digit(bytes: &mut [u8]) {
+    const NEEDLE: &[u8] = b"product_nodes ";
+    let at = bytes
+        .windows(NEEDLE.len())
+        .position(|w| w == NEEDLE)
+        .map(|p| p + NEEDLE.len());
+    match at {
+        Some(at) if at < bytes.len() && bytes[at].is_ascii_digit() => bytes[at] ^= 0x01,
+        _ => {
+            if !bytes.is_empty() {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x01;
+            }
+        }
+    }
+}
+
 /// Version tag embedded in both the key derivation and the file header;
 /// bump it when the record format or the certificate semantics change, and
 /// every old entry becomes unaddressable garbage instead of a parse hazard.
@@ -85,13 +147,29 @@ impl CertKey {
 #[derive(Debug, Clone)]
 pub struct CertStore {
     root: PathBuf,
+    shim: StoreShim,
 }
 
 impl CertStore {
     /// A store rooted at `root`. No IO happens until the first save (loads
     /// from a nonexistent directory are just misses).
     pub fn open(root: impl Into<PathBuf>) -> CertStore {
-        CertStore { root: root.into() }
+        CertStore {
+            root: root.into(),
+            shim: StoreShim::default(),
+        }
+    }
+
+    /// The same store with `shim`'s deterministic IO faults applied to
+    /// every save and load (fuzzing only).
+    pub fn with_faults(mut self, shim: StoreShim) -> CertStore {
+        self.shim = shim;
+        self
+    }
+
+    /// This handle's fault-shim configuration (default: injects nothing).
+    pub fn shim(&self) -> StoreShim {
+        self.shim
     }
 
     /// The conventional location, `target/armada-certs/`.
@@ -124,7 +202,12 @@ impl CertStore {
             ));
         }
         fs::create_dir_all(&self.root)?;
-        let record = serialize(cert);
+        let mut record = serialize(cert).into_bytes();
+        match self.shim.write {
+            Some(WriteFault::Torn) => record.truncate(record.len() / 2),
+            Some(WriteFault::BitFlip) => flip_payload_digit(&mut record),
+            None => {}
+        }
         let target = self.path_for(key);
         // Same-directory temp path: rename is atomic only within a
         // filesystem. The name is key-deterministic; concurrent writers of
@@ -140,13 +223,51 @@ impl CertStore {
     /// skew, a record for a different pair — is a silent `None`, which
     /// callers treat as a cache miss.
     pub fn load(&self, key: &CertKey, low: &str, high: &str) -> Option<RefinementCert> {
-        let text = fs::read_to_string(self.path_for(key)).ok()?;
-        let cert = deserialize(&text)?;
+        let mut bytes = fs::read(self.path_for(key)).ok()?;
+        if let Some(ReadFault::Corrupt) = self.shim.read {
+            flip_payload_digit(&mut bytes);
+        }
+        let text = String::from_utf8(bytes).ok()?;
+        let cert = deserialize(&text, !self.shim.unchecked_loads)?;
         if cert.low == low && cert.high == high {
             Some(cert)
         } else {
             None
         }
+    }
+
+    /// Strict re-validation sweep over every record in the store, ignoring
+    /// this handle's shim: `(valid, rejected)` record counts. Fuzzing uses
+    /// it to audit what a fault campaign left on disk (a rejected record is
+    /// merely a future cache miss, never an invariant violation).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO error from the directory walk (a missing
+    /// root is an empty store, not an error).
+    pub fn audit(&self) -> io::Result<(usize, usize)> {
+        let entries = match fs::read_dir(&self.root) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((0, 0)),
+            Err(e) => return Err(e),
+        };
+        let (mut valid, mut rejected) = (0, 0);
+        for entry in entries {
+            let path = entry?.path();
+            if path.extension().is_none_or(|ext| ext != "cert") {
+                continue;
+            }
+            let ok = fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| deserialize(&text, true))
+                .is_some();
+            if ok {
+                valid += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        Ok((valid, rejected))
     }
 
     /// Removes every record in the store (missing directory is fine).
@@ -184,7 +305,9 @@ fn serialize(cert: &RefinementCert) -> String {
     format!("{payload}checksum {checksum:016x}\n")
 }
 
-fn deserialize(text: &str) -> Option<RefinementCert> {
+/// Parses a record. `validate_checksum` is always true in production; only
+/// the [`StoreShim::unchecked_loads`] mutant hook clears it.
+fn deserialize(text: &str, validate_checksum: bool) -> Option<RefinementCert> {
     // The checksum line is last; everything before it is the payload the
     // checksum covers. Re-hash first so *any* payload damage — even damage
     // that would still parse — is rejected.
@@ -193,7 +316,7 @@ fn deserialize(text: &str) -> Option<RefinementCert> {
     let payload_text = format!("{payload_text}\n");
     let stored = checksum_line.strip_prefix("checksum ")?;
     let stored = u64::from_str_radix(stored, 16).ok()?;
-    if stored != armada_runtime::hash::fnv1a_64(payload_text.as_bytes()) {
+    if validate_checksum && stored != armada_runtime::hash::fnv1a_64(payload_text.as_bytes()) {
         return None;
     }
     let mut lines = payload_text.lines();
@@ -319,6 +442,78 @@ mod tests {
             .bounds
             .with_deadline(std::time::Duration::from_secs(3600));
         assert_eq!(base, CertKey::compute("src", "A", "B", &deadlined));
+    }
+
+    #[test]
+    fn shimmed_writes_and_reads_are_rejected_by_validation() {
+        let store = scratch_store("shim_faults");
+        let key = CertKey::compute("module text", "Impl", "Spec", &SimConfig::default());
+        let cert = sample_cert();
+
+        // A torn write lands a truncated record: the strict loader misses.
+        let torn = store.clone().with_faults(StoreShim {
+            write: Some(WriteFault::Torn),
+            ..StoreShim::default()
+        });
+        torn.save(&key, &cert).expect("torn save");
+        assert_eq!(store.load(&key, "Impl", "Spec"), None, "torn record");
+        assert_eq!(store.audit().expect("audit"), (0, 1));
+
+        // A bit-flipped write lands a record that still parses — only the
+        // checksum rejects it.
+        let flipped = store.clone().with_faults(StoreShim {
+            write: Some(WriteFault::BitFlip),
+            ..StoreShim::default()
+        });
+        flipped.save(&key, &cert).expect("flipped save");
+        let text = std::fs::read_to_string(store.path_for(&key)).expect("read");
+        assert!(
+            deserialize(&text, false).is_some(),
+            "bit-flipped record must still parse (the checksum is the only defense)"
+        );
+        assert_eq!(store.load(&key, "Impl", "Spec"), None, "flipped record");
+
+        // A clean save with a corrupting reader: the disk record is fine,
+        // but this handle's loads miss; a pristine handle still hits.
+        store.save(&key, &cert).expect("clean save");
+        let bad_reader = store.clone().with_faults(StoreShim {
+            read: Some(ReadFault::Corrupt),
+            ..StoreShim::default()
+        });
+        assert_eq!(bad_reader.load(&key, "Impl", "Spec"), None);
+        assert_eq!(store.load(&key, "Impl", "Spec"), Some(cert));
+        assert_eq!(store.audit().expect("audit"), (1, 0));
+    }
+
+    #[test]
+    fn unchecked_loads_mutant_serves_corrupt_certs() {
+        // The mutant hook disables the checksum defense: a bit-flipped
+        // record is then *served*, with silently different statistics —
+        // the exact unsoundness the fuzzer's invariant exists to catch.
+        let store = scratch_store("unchecked_mutant");
+        let key = CertKey::compute("module text", "Impl", "Spec", &SimConfig::default());
+        let cert = sample_cert();
+        store
+            .clone()
+            .with_faults(StoreShim {
+                write: Some(WriteFault::BitFlip),
+                ..StoreShim::default()
+            })
+            .save(&key, &cert)
+            .expect("flipped save");
+        let mutant = store.clone().with_faults(StoreShim {
+            unchecked_loads: true,
+            ..StoreShim::default()
+        });
+        let served = mutant
+            .load(&key, "Impl", "Spec")
+            .expect("mutant serves the damaged record");
+        assert_ne!(served, cert, "the served cert is corrupt");
+        assert_eq!(
+            store.load(&key, "Impl", "Spec"),
+            None,
+            "strict load rejects"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use armada::verify::SimConfig;
 use armada::Pipeline;
+use armada_cases::all_cases;
 
 const SOURCE: &str = r#"
     level Impl {
@@ -48,6 +49,29 @@ fn env_configured_cache_hits_on_second_run() {
     let second = run();
     assert_eq!(second.cache_hits(), 1, "second run must load the cert");
     assert_eq!(second.cache_misses(), 0);
+
+    // The case-study suites go through `CaseStudy::verify_model`, which
+    // uses the plain `Pipeline::run` — so they inherit the same env
+    // fallback: with the variable set, a repeated local `cargo test` run
+    // skips already-verified level pairs. Assert that wiring end to end on
+    // the cheapest Table-1 model (still inside this single test fn: the
+    // variable is process-global).
+    let pointers = all_cases()
+        .into_iter()
+        .find(|case| case.name == "Pointers")
+        .expect("Table-1 registry has Pointers");
+    let (_, cold) = pointers.verify_model().expect("model pipeline");
+    assert!(cold.verified());
+    assert_eq!(cold.cache_hits(), 0, "first model run is all misses");
+    assert!(cold.cache_misses() > 0, "model checks must hit the store");
+    let (_, warm) = pointers.verify_model().expect("model pipeline");
+    assert!(warm.verified());
+    assert_eq!(
+        warm.cache_hits(),
+        cold.cache_misses(),
+        "second model run must reuse every cert the first one persisted"
+    );
+    assert_eq!(warm.cache_misses(), 0);
 
     std::env::remove_var("ARMADA_CERT_CACHE");
     let _ = std::fs::remove_dir_all(&root);
