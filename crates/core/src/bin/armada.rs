@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! armada verify <file.arm> [--jobs N] [--deadline SECS] [--cert-cache[=DIR]]
-//!                          [--no-reduction] [--no-symmetry]
+//!                          [--no-reduction] [--no-symmetry] [--telemetry]
 //!                               run the full pipeline (strategies + bounded
 //!                               refinement model checking, on N threads)
 //! armada check <file.arm>       front end + core-subset check only
@@ -29,7 +29,9 @@
 //! state-space engine and `--no-symmetry` disables canonical state
 //! interning under thread/heap symmetry — verdicts and counterexamples
 //! are identical either way; the flags exist for timing comparisons and
-//! debugging.
+//! debugging. `--telemetry` prints per-stage pipeline histograms (ingress /
+//! explore / subsume / commit latency and occupancy) to **stderr** after
+//! the run; stdout — the byte-identity surface — is unchanged.
 //! `--fault-seed N` injects deterministic faults for robustness testing.
 //!
 //! `verify`/`effort` exit codes classify the worst per-recipe outcome:
@@ -57,7 +59,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: armada <verify|check|effort|emit-c|emit-rust> <file.arm> \
          [--jobs N] [--deadline SECS] [--cert-cache[=DIR]] [--no-reduction] \
-         [--no-symmetry] [--fault-seed N] [--conservative]\n       \
+         [--no-symmetry] [--telemetry] [--fault-seed N] [--conservative]\n       \
          armada fuzz <file.arm>... [--seeds N] [--jobs M] [--events LIST] \
          [--out FILE]"
     );
@@ -171,8 +173,9 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--no-symmetry") {
         sim.bounds.symmetry = false;
     }
+    let telemetry = args.iter().any(|a| a == "--telemetry");
     let pipeline = match Pipeline::from_source(&source) {
-        Ok(pipeline) => pipeline.with_sim_config(sim),
+        Ok(pipeline) => pipeline.with_sim_config(sim).with_telemetry(telemetry),
         Err(err) => {
             eprintln!("armada: {err}");
             return ExitCode::FAILURE;
@@ -233,6 +236,23 @@ fn main() -> ExitCode {
             };
             print!("{report}");
             println!("{}", pipeline.effort(&report));
+            if telemetry {
+                // Telemetry values are wall-clock: stderr only, so stdout
+                // stays byte-identical with or without the flag.
+                let mut merged = armada_runtime::StageTelemetry::new();
+                for outcome in &report.outcomes {
+                    if let Some(tel) = &outcome.telemetry {
+                        merged.merge(tel);
+                    }
+                }
+                if merged.is_empty() {
+                    eprintln!(
+                        "armada: telemetry: no semantic check ran (cache hits or strategy-only)"
+                    );
+                } else {
+                    eprint!("armada: pipeline telemetry\n{}", merged.render());
+                }
+            }
             if report.verified() {
                 ExitCode::SUCCESS
             } else {
@@ -313,7 +333,7 @@ fn fuzz_command(args: &[String]) -> ExitCode {
         Ok(Some(spec)) => match fuzz::parse_events(spec) {
             Ok(events) if !events.is_empty() => Some(events),
             Ok(_) => return fail("--events lists no events".to_string()),
-            Err(err) => return fail(err),
+            Err(err) => return fail(err.to_string()),
         },
         Ok(None) => None,
         Err(err) => return fail(err),

@@ -34,6 +34,17 @@ pub enum PipelineError {
         /// What went wrong.
         message: String,
     },
+    /// A fault-event specification (`armada fuzz --events`) is invalid: a
+    /// token is malformed, names an unknown fate, or repeats an earlier
+    /// token. Repeats are rejected rather than deduplicated because a
+    /// [`crate::fault::FaultPlan`] stores an event *set* — silently
+    /// dropping the repeat would misreport what a reproducer injects.
+    Events {
+        /// The offending `fate:recipe` token, verbatim.
+        token: String,
+        /// What is wrong with it.
+        message: String,
+    },
 }
 
 impl PipelineError {
@@ -42,6 +53,9 @@ impl PipelineError {
         match self {
             PipelineError::FrontEnd(e) => e.span(),
             PipelineError::Recipe { span, .. } => *span,
+            // Event specs come from the command line, not the module
+            // source; there is no meaningful span.
+            PipelineError::Events { .. } => Span::default(),
         }
     }
 
@@ -50,6 +64,7 @@ impl PipelineError {
         match self {
             PipelineError::FrontEnd(_) => None,
             PipelineError::Recipe { recipe, .. } => Some(recipe),
+            PipelineError::Events { .. } => None,
         }
     }
 }
@@ -64,6 +79,9 @@ impl fmt::Display for PipelineError {
                 message,
             } => {
                 write!(f, "recipe `{recipe}` (at {span}): {message}")
+            }
+            PipelineError::Events { token, message } => {
+                write!(f, "invalid fault event `{token}`: {message}")
             }
         }
     }

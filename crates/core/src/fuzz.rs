@@ -40,7 +40,7 @@ use std::time::{Duration, Instant};
 use crate::fault::{FaultEvent, FaultFate, FaultPlan, ALL_FATES};
 use crate::verify::store::{CertStore, StoreShim};
 use crate::verify::SimConfig;
-use crate::{CacheDisposition, Pipeline};
+use crate::{CacheDisposition, Pipeline, PipelineError};
 
 /// One fuzzing subject: a named Armada module source.
 #[derive(Debug, Clone)]
@@ -293,20 +293,35 @@ fn json_escape(text: &str) -> String {
 ///
 /// # Errors
 ///
-/// Returns a message naming the malformed entry.
-pub fn parse_events(spec: &str) -> Result<Vec<FaultEvent>, String> {
-    let mut events = Vec::new();
+/// Returns [`PipelineError::Events`] naming the offending token when an
+/// entry is malformed, names an unknown fate, or repeats an earlier
+/// token. Repeats are an error rather than a no-op because a
+/// [`FaultPlan`] stores an event *set*: a silently deduplicated repeat
+/// would make a reproducer line claim more injections than it performs.
+pub fn parse_events(spec: &str) -> Result<Vec<FaultEvent>, PipelineError> {
+    let bad = |token: &str, message: String| PipelineError::Events {
+        token: token.to_string(),
+        message,
+    };
+    let mut events: Vec<FaultEvent> = Vec::new();
     for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
         let entry = entry.trim();
         let (label, recipe) = entry
             .split_once(':')
-            .ok_or_else(|| format!("malformed event `{entry}` (want fate:recipe)"))?;
+            .ok_or_else(|| bad(entry, "want fate:recipe".to_string()))?;
         let fate = FaultFate::parse(label)
-            .ok_or_else(|| format!("unknown fault fate `{label}` in `{entry}`"))?;
-        events.push(FaultEvent {
+            .ok_or_else(|| bad(entry, format!("unknown fault fate `{label}`")))?;
+        let event = FaultEvent {
             fate,
             recipe: recipe.to_string(),
-        });
+        };
+        if events.contains(&event) {
+            return Err(bad(
+                entry,
+                "duplicate event (a fault plan is a set; the repeat would be dropped)".to_string(),
+            ));
+        }
+        events.push(event);
     }
     Ok(events)
 }
@@ -770,9 +785,40 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].fate, FaultFate::TornCertWrite);
         assert_eq!(events[1].recipe, "P2");
-        assert!(parse_events("bogus:P").is_err());
         assert!(parse_events("no_separator").is_err());
         assert!(parse_events("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn event_specs_reject_unknown_fates_naming_the_token() {
+        let err = parse_events("bogus:P").unwrap_err();
+        match &err {
+            PipelineError::Events { token, message } => {
+                assert_eq!(token, "bogus:P");
+                assert!(message.contains("unknown fault fate `bogus`"), "{message}");
+            }
+            other => panic!("expected Events error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("bogus:P"));
+    }
+
+    #[test]
+    fn event_specs_reject_duplicate_tokens() {
+        // A FaultPlan stores a set: without rejection the second token
+        // would silently vanish and the reproducer line would lie about
+        // how many faults it injects.
+        let err = parse_events("worker_abort:P1,torn_cert_write:P2,worker_abort:P1").unwrap_err();
+        match &err {
+            PipelineError::Events { token, .. } => assert_eq!(token, "worker_abort:P1"),
+            other => panic!("expected Events error, got {other:?}"),
+        }
+        // Same fate on different recipes is not a duplicate.
+        assert_eq!(
+            parse_events("worker_abort:P1,worker_abort:P2")
+                .unwrap()
+                .len(),
+            2
+        );
     }
 
     #[test]

@@ -98,9 +98,12 @@ use armada_lang::typeck::TypedModule;
 use armada_lang::{check_module, count_sloc, parse_module};
 use armada_proof::relation::StandardRelation;
 use armada_proof::StrategyReport;
+use armada_runtime::StageTelemetry;
 use armada_sm::lower;
 use armada_verify::store::{CertKey, CertStore, ReadFault, WriteFault};
-use armada_verify::{check_refinement, RefinementCert, RefinementChain, SimConfig};
+use armada_verify::{
+    check_refinement, check_refinement_with_telemetry, RefinementCert, RefinementChain, SimConfig,
+};
 
 /// What one recipe contributed to the report: a crashed or skipped recipe
 /// contributes only its outcome row.
@@ -136,6 +139,9 @@ pub struct Pipeline {
     cert_store: Option<CertStore>,
     /// Deterministic fault injection (empty by default; tests only).
     fault: FaultPlan,
+    /// Collect per-stage pipeline histograms during semantic checks (off
+    /// by default; diagnostics only — never changes results).
+    telemetry: bool,
 }
 
 /// Outcome class of one recipe in a [`PipelineReport`]. One run produces
@@ -215,6 +221,13 @@ pub struct RecipeReport {
     pub detail: String,
     /// Cert-store disposition for this recipe.
     pub cache: CacheDisposition,
+    /// Per-stage pipeline histograms from this recipe's semantic check,
+    /// when telemetry was requested and the check actually ran (a cache
+    /// hit or a strategy-only run records nothing). The values are
+    /// wall-clock and nondeterministic, so they are deliberately excluded
+    /// from `Display` (the CLI renders them to stderr) and never hashed
+    /// into a [`CertKey`].
+    pub telemetry: Option<StageTelemetry>,
 }
 
 impl fmt::Display for RecipeReport {
@@ -376,7 +389,17 @@ impl Pipeline {
             semantic_check: true,
             cert_store: None,
             fault: FaultPlan::default(),
+            telemetry: false,
         })
+    }
+
+    /// Collects per-stage latency/occupancy histograms during each
+    /// recipe's semantic check (see [`RecipeReport::telemetry`]). Purely
+    /// diagnostic: verdicts, certificates, and the report's rendering are
+    /// byte-identical with telemetry on or off.
+    pub fn with_telemetry(mut self, telemetry: bool) -> Pipeline {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Overrides the bounds used by model-checked discharges and semantic
@@ -492,6 +515,7 @@ impl Pipeline {
                 status,
                 detail,
                 cache,
+                telemetry: None,
             };
         let recipe_err = |message: String| PipelineError::Recipe {
             recipe: recipe.name.clone(),
@@ -634,12 +658,21 @@ impl Pipeline {
                     recipe.name
                 );
             }
-            check_refinement(&low, &high, relation, &sim)
+            if self.telemetry {
+                let (result, tel) = check_refinement_with_telemetry(&low, &high, relation, &sim);
+                (result, Some(tel))
+            } else {
+                (check_refinement(&low, &high, relation, &sim), None)
+            }
         }));
         let cache = if cert_store.is_some() {
             CacheDisposition::Miss
         } else {
             CacheDisposition::Disabled
+        };
+        let (checked, telemetry) = match checked {
+            Ok((result, tel)) => (Ok(result), tel),
+            Err(payload) => (Err(payload), None),
         };
         let (status, detail, refinement, chain_cert) = match checked {
             Err(payload) => {
@@ -685,11 +718,13 @@ impl Pipeline {
                 )
             }
         };
+        let mut outcome = outcome(status, detail, cache);
+        outcome.telemetry = telemetry;
         Ok(RecipeRun {
             strategy_report: Some(report),
             refinement,
             chain_cert,
-            outcome: outcome(status, detail, cache),
+            outcome,
         })
     }
 
@@ -736,6 +771,7 @@ impl Pipeline {
                         status: RecipeStatus::Crashed,
                         detail: format!("panic outside isolated stages: {}", panic_text(&*payload)),
                         cache: CacheDisposition::Disabled,
+                        telemetry: None,
                     },
                 })
             })

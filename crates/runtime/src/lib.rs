@@ -23,7 +23,12 @@
 //!   randomized test suites (the hermetic, in-repo replacement for
 //!   `rand`/`proptest`);
 //! * [`hash`] — stable FNV-1a content hashing for persistent artifacts
-//!   (certificate-store keys and checksums).
+//!   (certificate-store keys and checksums);
+//! * [`ring`] — generic cache-line-padded SPSC rings with bounded-spin
+//!   backoff, the frontier-handoff primitive of the engine's stage
+//!   pipeline (ingress → explore → subsume → commit);
+//! * [`telemetry`] — per-stage latency/occupancy histograms with
+//!   power-of-two buckets, cheap enough to leave on in the hot path.
 
 pub mod barrier;
 pub mod generated;
@@ -32,14 +37,18 @@ pub mod hash;
 pub mod mcs;
 pub mod measure;
 pub mod prng;
+pub mod ring;
 pub mod spsc;
+pub mod telemetry;
 
 pub use barrier::FlagBarrier;
 pub use hash::{fnv1a_64, Fnv64};
 pub use mcs::McsMutex;
 pub use measure::{queue_throughput_ops_per_sec, Stats};
 pub use prng::{run_seeded_cases, SplitMix64};
+pub use ring::Backoff;
 pub use spsc::{spsc_queue, Bitmask, Consumer, HwTso, Modulo, Producer, SeqCstConservative};
+pub use telemetry::{Histogram, Stage, StageTelemetry};
 
 /// The checked-in source of [`generated`], compared against the backend's
 /// emitter output by an integration test.

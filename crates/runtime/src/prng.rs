@@ -60,6 +60,21 @@ impl SplitMix64 {
         self.below(bound as u64) as usize
     }
 
+    /// A uniform `u128` in `[0, span)` by the same debiased multiply-shift
+    /// scheme as [`SplitMix64::below`], widened to 128×128→256 bits via
+    /// 64-bit limbs.
+    fn below_u128(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let raw = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            let (high, low) = mul_u128_wide(raw, span);
+            if low >= threshold {
+                return high;
+            }
+        }
+    }
+
     /// A uniform value in the half-open range `[lo, hi)`.
     ///
     /// # Panics
@@ -67,15 +82,13 @@ impl SplitMix64 {
     /// Panics if `lo >= hi`.
     pub fn range_i128(&mut self, lo: i128, hi: i128) -> i128 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        let span = (hi - lo) as u128;
-        if span <= u64::MAX as u128 {
-            lo + self.below(span as u64) as i128
+        let span = hi.wrapping_sub(lo) as u128;
+        let draw = if span <= u64::MAX as u128 {
+            self.below(span as u64) as u128
         } else {
-            // Wide ranges: two draws, rejection-free because tests only use
-            // spans well under 2^127.
-            let raw = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
-            lo + (raw % span) as i128
-        }
+            self.below_u128(span)
+        };
+        lo.wrapping_add(draw as i128)
     }
 
     /// A uniform `u32` in `[lo, hi)`.
@@ -117,6 +130,23 @@ impl SplitMix64 {
             })
             .collect()
     }
+}
+
+/// Full 128×128→256-bit multiply via four 64-bit limb products. Returns
+/// the `(high, low)` 128-bit halves of the product — the widening step
+/// behind [`SplitMix64::range_i128`]'s debiased wide-span draw.
+fn mul_u128_wide(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = u64::MAX as u128;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+    let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+    let low = (mid << 64) | (ll & MASK);
+    let high = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (high, low)
 }
 
 /// Runs `cases` seeded test cases: each gets an independent generator
@@ -174,6 +204,48 @@ mod tests {
             let v = rng.range_i128(-100, 100);
             assert!((-100..100).contains(&v));
         }
+    }
+
+    #[test]
+    fn mul_u128_wide_matches_schoolbook_cases() {
+        assert_eq!(mul_u128_wide(0, u128::MAX), (0, 0));
+        assert_eq!(mul_u128_wide(1, u128::MAX), (0, u128::MAX));
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1.
+        assert_eq!(mul_u128_wide(u128::MAX, u128::MAX), (u128::MAX - 1, 1));
+        // Cross-check against the native 128-bit product when it fits.
+        assert_eq!(
+            mul_u128_wide(0xDEAD_BEEF, 0x1234_5678_9ABC_DEF0),
+            (0, 0xDEAD_BEEFu128 * 0x1234_5678_9ABC_DEF0)
+        );
+    }
+
+    #[test]
+    fn wide_range_i128_is_unbiased_across_the_wraparound_third() {
+        // Span 3·2^126 (too wide for the one-draw path). The old
+        // `raw % span` scheme folded the top quarter of the 2^128 raw
+        // space back onto the first third of the range, giving
+        // P(draw in lowest third) = 1/2 instead of 1/3. With rejection
+        // the observed frequency must sit near 1/3 — over 4000 draws the
+        // biased scheme would land near 0.5, ~22 standard deviations away
+        // from this window.
+        let lo = i128::MIN; // -2^127
+        let hi = 1i128 << 126;
+        let third_bound = lo + (1i128 << 126);
+        let mut rng = SplitMix64::new(20260808);
+        let draws = 4000;
+        let mut in_lowest_third = 0usize;
+        for _ in 0..draws {
+            let v = rng.range_i128(lo, hi);
+            assert!((lo..hi).contains(&v));
+            if v < third_bound {
+                in_lowest_third += 1;
+            }
+        }
+        let freq = in_lowest_third as f64 / draws as f64;
+        assert!(
+            (0.28..=0.39).contains(&freq),
+            "lowest-third frequency {freq} should be ≈ 1/3"
+        );
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! Low-overhead pipeline telemetry: per-stage latency and occupancy
+//! histograms with power-of-two buckets.
+//!
+//! The recording hot path is branch-light by construction: a sample
+//! lands in bucket `bit_width(value)` (bucket 0 holds exactly the value
+//! 0; bucket `b ≥ 1` holds `[2^(b-1), 2^b)`), which is one
+//! `leading_zeros` plus an array increment — no floating point, no
+//! locks, no allocation. Each pipeline worker records into its own
+//! [`StageTelemetry`] and the coordinator [`StageTelemetry::merge`]s
+//! them after the run, so the hot path never touches shared state.
+//!
+//! Histogram *values* are wall-clock and therefore nondeterministic;
+//! callers must keep them out of any byte-identity surface (the CLI
+//! renders telemetry to stderr, and reports exclude it from `Display`).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Number of power-of-two buckets: bucket 63 absorbs every value with
+/// 63 or more significant bits.
+pub const BUCKETS: usize = 64;
+
+/// A fixed-size power-of-two histogram over `u64` samples.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for `value`: 0 for 0, otherwise `floor(log2) + 1`,
+    /// clamped into the table.
+    fn bucket_of(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self` (worker → coordinator aggregation).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`q` in `[0, 1]`); 0 on an empty histogram. Power-of-two buckets
+    /// make this exact to within 2x, which is all a latency profile
+    /// needs.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if bucket == 0 {
+                    0
+                } else {
+                    1u64 << (bucket - 1) << 1
+                };
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(lower_bound, count)` pairs, for
+    /// report serialization.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (if b == 0 { 0 } else { 1u64 << (b - 1) }, n))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Histogram {{ count: {}, mean: {:.1}, max: {} }}",
+            self.count,
+            self.mean(),
+            self.max
+        )
+    }
+}
+
+/// The four pinned pipeline roles, in wave order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    Ingress,
+    Explore,
+    Subsume,
+    Commit,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 4] = [
+        Stage::Ingress,
+        Stage::Explore,
+        Stage::Subsume,
+        Stage::Commit,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Ingress => "ingress",
+            Stage::Explore => "explore",
+            Stage::Subsume => "subsume",
+            Stage::Commit => "commit",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Ingress => 0,
+            Stage::Explore => 1,
+            Stage::Subsume => 2,
+            Stage::Commit => 3,
+        }
+    }
+}
+
+/// Per-stage latency (nanoseconds per batch) and occupancy (items per
+/// batch) histograms for one pipeline participant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageTelemetry {
+    latency: [Histogram; 4],
+    occupancy: [Histogram; 4],
+}
+
+impl StageTelemetry {
+    pub fn new() -> StageTelemetry {
+        StageTelemetry::default()
+    }
+
+    /// Records one batch worked by `stage`: how long it took and how
+    /// many items it covered.
+    pub fn record_batch(&mut self, stage: Stage, elapsed: Duration, items: usize) {
+        let i = stage.index();
+        self.latency[i].record(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+        self.occupancy[i].record(items as u64);
+    }
+
+    /// Records an item count for `stage` without a latency sample — for
+    /// stages whose time is folded into a neighbor (the state-space
+    /// engine's subsume stage runs fused inside commit, so only its
+    /// occupancy is observable separately).
+    pub fn record_items(&mut self, stage: Stage, items: usize) {
+        self.occupancy[stage.index()].record(items as u64);
+    }
+
+    pub fn merge(&mut self, other: &StageTelemetry) {
+        for i in 0..4 {
+            self.latency[i].merge(&other.latency[i]);
+            self.occupancy[i].merge(&other.occupancy[i]);
+        }
+    }
+
+    pub fn latency(&self, stage: Stage) -> &Histogram {
+        &self.latency[stage.index()]
+    }
+
+    pub fn occupancy(&self, stage: Stage) -> &Histogram {
+        &self.occupancy[stage.index()]
+    }
+
+    pub fn is_empty(&self) -> bool {
+        Stage::ALL
+            .iter()
+            .all(|s| self.latency(*s).count() == 0 && self.occupancy(*s).count() == 0)
+    }
+
+    /// Human-readable per-stage table. Values are wall-clock — render
+    /// only to diagnostics channels (stderr), never into byte-identity
+    /// report surfaces.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("stage     batches   mean_ns     p50_ns≤    p99_ns≤    mean_items\n");
+        for stage in Stage::ALL {
+            let lat = self.latency(stage);
+            let occ = self.occupancy(stage);
+            out.push_str(&format!(
+                "{:<9} {:>7}  {:>9.0}  {:>9}  {:>9}  {:>11.1}\n",
+                stage.label(),
+                lat.count(),
+                lat.mean(),
+                lat.quantile_bound(0.50),
+                lat.quantile_bound(0.99),
+                occ.mean(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_merge_and_summary_statistics_agree() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [0u64, 1, 3, 7, 100] {
+            a.record(v);
+        }
+        for v in [2u64, 200, 9000] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 8);
+        assert_eq!(merged.max(), 9000);
+        let direct_sum: u64 = [0u64, 1, 3, 7, 100, 2, 200, 9000].iter().sum();
+        assert!((merged.mean() - direct_sum as f64 / 8.0).abs() < 1e-9);
+        // p50 of 8 samples is the 4th smallest (3) → bucket [2,4) → bound 4.
+        assert_eq!(merged.quantile_bound(0.5), 4);
+        assert_eq!(merged.quantile_bound(1.0), 16384);
+    }
+
+    #[test]
+    fn quantiles_on_empty_histograms_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_bound(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn nonzero_buckets_report_lower_bounds() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(6);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (4, 2)]);
+    }
+
+    #[test]
+    fn stage_telemetry_merges_per_stage() {
+        let mut worker = StageTelemetry::new();
+        worker.record_batch(Stage::Explore, Duration::from_nanos(500), 8);
+        worker.record_batch(Stage::Explore, Duration::from_nanos(900), 16);
+        let mut coord = StageTelemetry::new();
+        coord.record_batch(Stage::Commit, Duration::from_nanos(100), 24);
+        coord.merge(&worker);
+        assert_eq!(coord.latency(Stage::Explore).count(), 2);
+        assert_eq!(coord.latency(Stage::Commit).count(), 1);
+        assert_eq!(coord.latency(Stage::Ingress).count(), 0);
+        assert!((coord.occupancy(Stage::Explore).mean() - 12.0).abs() < 1e-9);
+        assert!(!coord.is_empty());
+        assert!(StageTelemetry::new().is_empty());
+    }
+
+    #[test]
+    fn render_lists_all_four_stages_in_wave_order() {
+        let mut t = StageTelemetry::new();
+        t.record_batch(Stage::Ingress, Duration::from_nanos(64), 4);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 5, "header plus one row per stage");
+        assert!(lines[1].starts_with("ingress"));
+        assert!(lines[2].starts_with("explore"));
+        assert!(lines[3].starts_with("subsume"));
+        assert!(lines[4].starts_with("commit"));
+    }
+}

@@ -12,12 +12,19 @@
 //! The engine is a wave-synchronized BFS over a [`StateArena`]: states are
 //! hash-consed to dense ids with cached 64-bit fingerprints, so seen-set
 //! probes are integer bucket lookups and the frontier carries 4-byte ids,
-//! not cloned state trees. Each wave is *expanded* (successor enumeration —
-//! in parallel across [`Bounds::jobs`] workers, into per-state slots) and
-//! then *committed* serially in wave order (interning, dedup, `max_states`
-//! accounting). Because the commit order is the wave order regardless of
-//! how many workers expanded it, results — including truncation points —
-//! are byte-identical for any job count.
+//! not cloned state trees. Within a wave the engine runs a pinned-role
+//! *stage pipeline* — ingress → explore → subsume → commit — over
+//! lock-free SPSC rings ([`armada_runtime::ring`]): the coordinator
+//! ingresses wave slot `s` to explore worker `s % jobs`, workers enumerate
+//! successors and hand them back through their out-ring, and the
+//! coordinator commits expansions serially *in wave-slot order* (arena
+//! dedup — the subsume stage — then interning and `max_states`
+//! accounting). Because each worker receives its slots in ascending order
+//! and SPSC rings are FIFO, popping out-ring `s % jobs` for slot `s`
+//! reconstructs the exact serial commit order with no reorder buffer, so
+//! results — including truncation points — are byte-identical for any job
+//! count. With `jobs = 1` the same stages run inline on one thread, no
+//! rings involved.
 //!
 //! With [`Bounds::reduction`] on (the default), expansion fuses maximal
 //! runs of thread-local steps into single macro-transitions (see
@@ -30,16 +37,16 @@
 //! one. The two reductions compose multiplicatively and both preserve the
 //! same observables.
 
-use std::sync::OnceLock;
-
 use crate::arena::{StateArena, StateId};
 use crate::program::{Instr, Program};
 use crate::reduce::Reducer;
 use crate::state::{initial_state, ProgState, Termination};
 use crate::step::{enabled_steps, try_step, Step, StepKind};
 use crate::value::Value;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use armada_runtime::ring::{ring, Backoff};
+use armada_runtime::telemetry::{Stage, StageTelemetry};
 use std::sync::Arc;
+use std::time::Instant;
 
 fn collect_expr_literals(expr: &armada_lang::ast::Expr, out: &mut Vec<i128>) {
     use armada_lang::ast::ExprKind::*;
@@ -130,9 +137,11 @@ pub struct Bounds {
     /// parallelism only changes wall-clock time.
     pub jobs: usize,
     /// Wall-clock deadline for graceful degradation. `None` (the default)
-    /// never expires. Checked *cooperatively* — at wave boundaries in both
-    /// engines — so an expired deadline yields a truncated-but-reported
-    /// partial result, not a hang and not a mid-wave nondeterministic cut.
+    /// never expires. Checked *cooperatively* — at wave boundaries and,
+    /// inside the commit stage, every [`DEADLINE_CHECK_EDGES`] processed
+    /// edges — so an expired deadline yields a truncated-but-reported
+    /// partial result with bounded overshoot even on a single wide wave,
+    /// not a hang.
     pub deadline: Option<std::time::Instant>,
     /// Local-step reduction (see [`crate::reduce`]): fuse maximal runs of
     /// thread-local steps into macro-transitions. On by default; turn off
@@ -295,6 +304,18 @@ pub fn explore(program: &Program, bounds: &Bounds) -> Exploration {
     explore_from(program, initial, bounds)
 }
 
+/// [`explore`], additionally returning the per-stage pipeline telemetry
+/// (latency/occupancy histograms for ingress/explore/subsume/commit).
+///
+/// Telemetry values are wall-clock and therefore nondeterministic; the
+/// [`Exploration`] itself is byte-identical with and without telemetry.
+pub fn explore_with_telemetry(program: &Program, bounds: &Bounds) -> (Exploration, StageTelemetry) {
+    let initial = initial_state(program).expect("initial state");
+    let mut telemetry = StageTelemetry::new();
+    let exploration = explore_from_impl(program, initial, bounds, true, &mut telemetry);
+    (exploration, telemetry)
+}
+
 /// One state's expansion, computed (possibly in parallel) against a frozen
 /// arena and committed serially in wave order.
 enum Expansion {
@@ -317,6 +338,41 @@ struct Edge {
     state: ProgState,
 }
 
+/// Deadline re-check interval during the commit stage, in processed edges.
+/// A wave wider than this no longer overshoots `--deadline` by its full
+/// width: expiry is observed at the next multiple-of-K commit index, the
+/// cut is taken there, and the rest of the wave is discarded uncommitted.
+const DEADLINE_CHECK_EDGES: usize = 1024;
+
+/// Capacity of each pipeline ring (jobs in, expansions out, per worker).
+/// Bounds the number of in-flight expansions — and thus both memory and
+/// deadline overshoot — while keeping workers fed across commit stalls.
+const RING_CAPACITY: usize = 64;
+
+/// Telemetry samples one slot in this many (power of two; slot 0 is always
+/// sampled, so even a tiny run records something). Slots here run in a few
+/// microseconds, so timestamping each one costs several percent of the
+/// whole exploration; 1-in-32 sampling keeps the histograms statistically
+/// representative while holding `--telemetry` overhead under the noise
+/// floor (`scripts/verify.sh --full` gates it at 2% of states/sec).
+const TELEMETRY_SAMPLE: usize = 32;
+
+/// Counter-based 1-in-[`TELEMETRY_SAMPLE`] sampler: returns a start
+/// timestamp when this slot should be measured. Advances on every call,
+/// so sampling depends only on slot position — never on the clock — and
+/// cannot perturb the exploration result.
+fn sample_slot(record: bool, counter: &mut usize) -> Option<Instant> {
+    let sampled = record && (*counter & (TELEMETRY_SAMPLE - 1)) == 0;
+    *counter = counter.wrapping_add(1);
+    sampled.then(Instant::now)
+}
+
+/// A unit of work for an explore worker: one wave slot to expand.
+enum Job {
+    Expand(usize, Arc<ProgState>),
+    Shutdown,
+}
+
 /// Exhaustively explores from a given state, with [`Bounds::jobs`] worker
 /// threads.
 ///
@@ -324,6 +380,111 @@ struct Edge {
 /// truncation point when `max_states` is hit: truncation is decided during
 /// the serial wave-order commit, which is the same for any worker count.
 pub fn explore_from(program: &Program, initial: ProgState, bounds: &Bounds) -> Exploration {
+    let mut telemetry = StageTelemetry::new();
+    explore_from_impl(program, initial, bounds, false, &mut telemetry)
+}
+
+/// [`explore_from`] with per-stage telemetry collection.
+pub fn explore_from_with_telemetry(
+    program: &Program,
+    initial: ProgState,
+    bounds: &Bounds,
+) -> (Exploration, StageTelemetry) {
+    let mut telemetry = StageTelemetry::new();
+    let exploration = explore_from_impl(program, initial, bounds, true, &mut telemetry);
+    (exploration, telemetry)
+}
+
+/// Mutable commit-stage bookkeeping threaded through [`commit_slot`].
+#[derive(Default)]
+struct CommitState {
+    /// Edges processed since the last deadline re-check.
+    edges_since_check: usize,
+    /// Set when the deadline expired mid-wave: the engine stops expanding
+    /// and committing further slots (unlike a `max_states` cut, which
+    /// keeps counting the already-expanded wave).
+    deadline_cut: bool,
+    /// 1-in-[`TELEMETRY_SAMPLE`] slot sampler for commit-stage telemetry.
+    tel_sampler: usize,
+}
+
+/// Commits one slot's expansion: classify terminals, dedup successor
+/// edges against the arena (the subsume stage), intern fresh states, and
+/// enforce `max_states` and the deadline. Strictly serial; called in
+/// ascending wave-slot order regardless of the worker count, which is the
+/// whole determinism argument.
+#[allow(clippy::too_many_arguments)]
+fn commit_slot(
+    result: &mut Exploration,
+    next_wave: &mut Vec<StateId>,
+    bounds: &Bounds,
+    id: StateId,
+    expansion: Expansion,
+    cs: &mut CommitState,
+    record: bool,
+    tel: &mut StageTelemetry,
+) {
+    match expansion {
+        Expansion::Terminal => {
+            let state = result.arena.get_arc(id);
+            match &state.termination {
+                Termination::Exited => result.exited.push(state),
+                Termination::AssertFailed(_) => result.assert_failures.push(state),
+                Termination::UndefinedBehavior(_) => result.ub_states.push(state),
+                Termination::Running => unreachable!("terminal expansion of running state"),
+            }
+        }
+        Expansion::Stuck => result.stuck.push(result.arena.get_arc(id)),
+        Expansion::Edges(edges) => {
+            let started = sample_slot(record, &mut cs.tel_sampler);
+            let total = edges.len();
+            let mut subsumed = 0usize;
+            for edge in edges {
+                result.transitions += 1;
+                result.micro_steps += edge.micro;
+                cs.edges_since_check += 1;
+                if cs.edges_since_check >= DEADLINE_CHECK_EDGES {
+                    cs.edges_since_check = 0;
+                    if !result.truncated && bounds.deadline_expired() {
+                        result.truncated = true;
+                        cs.deadline_cut = true;
+                    }
+                }
+                if result.arena.lookup_with_fp(edge.fp, &edge.state).is_some() {
+                    subsumed += 1;
+                    continue;
+                }
+                if result.truncated {
+                    // Past a budget cut: keep counting the wave's edges
+                    // (they were already expanded) but admit no more
+                    // states.
+                    continue;
+                }
+                if result.arena.len() >= bounds.max_states {
+                    result.truncated = true;
+                    continue;
+                }
+                let (next_id, fresh) = result.arena.intern_with_fp(edge.fp, edge.state);
+                debug_assert!(fresh, "lookup missed an interned state");
+                next_wave.push(next_id);
+            }
+            if let Some(started) = started {
+                tel.record_batch(Stage::Commit, started.elapsed(), total);
+                tel.record_items(Stage::Subsume, subsumed);
+            }
+        }
+    }
+}
+
+/// The engine behind [`explore_from`]: a four-stage pipeline over SPSC
+/// rings when `jobs > 1`, the same stages inline when `jobs == 1`.
+fn explore_from_impl(
+    program: &Program,
+    initial: ProgState,
+    bounds: &Bounds,
+    record: bool,
+    tel: &mut StageTelemetry,
+) -> Exploration {
     let pool = bounds.pool_for(program);
     let reducer = Reducer::new(program);
     let canon = crate::canon::Canonicalizer::new(program);
@@ -345,84 +506,16 @@ pub fn explore_from(program: &Program, initial: ProgState, bounds: &Bounds) -> E
     let (root, _) = result.arena.intern(initial);
     let mut wave: Vec<StateId> = vec![root];
 
-    while !wave.is_empty() && !result.truncated {
-        if bounds.deadline_expired() {
-            result.truncated = true;
-            break;
-        }
-        // Expansion phase: successor enumeration per wave state, each into
-        // its own slot, so worker scheduling cannot reorder anything.
-        let expansions = expand_wave(&reducer, canon, &result.arena, &wave, &pool, bounds);
-        // Commit phase: serial, in wave order. Interning order — and thus
-        // state ids and the truncation point — is deterministic.
-        let mut next_wave: Vec<StateId> = Vec::new();
-        for (slot, expansion) in expansions.into_iter().enumerate() {
-            let id = wave[slot];
-            match expansion {
-                Expansion::Terminal => {
-                    let state = result.arena.get_arc(id);
-                    match &state.termination {
-                        Termination::Exited => result.exited.push(state),
-                        Termination::AssertFailed(_) => result.assert_failures.push(state),
-                        Termination::UndefinedBehavior(_) => result.ub_states.push(state),
-                        Termination::Running => unreachable!("terminal expansion of running state"),
-                    }
-                }
-                Expansion::Stuck => result.stuck.push(result.arena.get_arc(id)),
-                Expansion::Edges(edges) => {
-                    for edge in edges {
-                        result.transitions += 1;
-                        result.micro_steps += edge.micro;
-                        if result.arena.lookup_with_fp(edge.fp, &edge.state).is_some() {
-                            continue;
-                        }
-                        if result.truncated {
-                            // Past the cut: keep counting the wave's edges
-                            // (they were already expanded) but admit no
-                            // more states.
-                            continue;
-                        }
-                        if result.arena.len() >= bounds.max_states {
-                            result.truncated = true;
-                            continue;
-                        }
-                        let (next_id, fresh) = result.arena.intern_with_fp(edge.fp, edge.state);
-                        debug_assert!(fresh, "lookup missed an interned state");
-                        next_wave.push(next_id);
-                    }
-                }
-            }
-        }
-        wave = next_wave;
-    }
-
-    // Canonical order: terminal classes are sets, not traces. Sorting makes
-    // the output independent of visit order and thus of the worker count.
-    result.exited.sort_unstable();
-    result.assert_failures.sort_unstable();
-    result.ub_states.sort_unstable();
-    result.stuck.sort_unstable();
-    result
-}
-
-/// Expands every state of `wave` (in parallel when [`Bounds::jobs`] > 1),
-/// returning one [`Expansion`] per wave slot, in wave order.
-fn expand_wave(
-    reducer: &Reducer,
-    canon: Option<&crate::canon::Canonicalizer>,
-    arena: &StateArena,
-    wave: &[StateId],
-    pool: &[Value],
-    bounds: &Bounds,
-) -> Vec<Expansion> {
-    let expand_one = |id: StateId| -> Expansion {
-        let state = arena.get(id);
+    // The explore stage: successor enumeration for one state. The lean
+    // enumeration — no per-edge `Step` vectors or intermediate state
+    // clones — exploration only needs micro counts and endpoints. Reads
+    // nothing but the state itself, so workers never touch the arena and
+    // the commit stage can intern concurrently with expansion.
+    let expand_state = |state: &ProgState| -> Expansion {
         if state.is_terminal() {
             return Expansion::Terminal;
         }
-        // The lean enumeration: no per-edge `Step` vectors or intermediate
-        // state clones — exploration only needs micro counts and endpoints.
-        let edges = reducer.successors(state, pool, bounds.max_buffer, bounds.reduction);
+        let edges = reducer.successors(state, &pool, bounds.max_buffer, bounds.reduction);
         if edges.is_empty() {
             return Expansion::Stuck;
         }
@@ -446,28 +539,175 @@ fn expand_wave(
         )
     };
 
-    let workers = bounds.jobs.min(wave.len()).max(1);
+    let workers = bounds.jobs.max(1);
     if workers == 1 {
-        return wave.iter().map(|&id| expand_one(id)).collect();
-    }
-    let slots: Vec<OnceLock<Expansion>> = (0..wave.len()).map(|_| OnceLock::new()).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let slot = cursor.fetch_add(1, Ordering::Relaxed);
-                if slot >= wave.len() {
+        // Inline pipeline: ingress/explore/subsume/commit run as phases of
+        // one loop iteration per slot, in slot order — the reference
+        // semantics every parallel run must reproduce.
+        let mut explore_sampler = 0usize;
+        while !wave.is_empty() && !result.truncated {
+            if bounds.deadline_expired() {
+                result.truncated = true;
+                break;
+            }
+            let mut next_wave: Vec<StateId> = Vec::new();
+            let mut cs = CommitState::default();
+            let wave_started = record.then(Instant::now);
+            for &id in &wave {
+                if cs.deadline_cut {
                     break;
                 }
-                let expansion = expand_one(wave[slot]);
-                let _ = slots[slot].set(expansion);
-            });
+                let started = sample_slot(record, &mut explore_sampler);
+                let expansion = expand_state(result.arena.get(id));
+                if let Some(started) = started {
+                    let n = match &expansion {
+                        Expansion::Edges(edges) => edges.len(),
+                        _ => 0,
+                    };
+                    tel.record_batch(Stage::Explore, started.elapsed(), n);
+                }
+                commit_slot(
+                    &mut result,
+                    &mut next_wave,
+                    bounds,
+                    id,
+                    expansion,
+                    &mut cs,
+                    record,
+                    tel,
+                );
+            }
+            if let Some(started) = wave_started {
+                // Ingress batches time a whole wave's coordination
+                // (dispatch through final commit): the wave wall-time
+                // curve against wave width.
+                tel.record_batch(Stage::Ingress, started.elapsed(), wave.len());
+            }
+            wave = next_wave;
         }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("expansion slot unfilled"))
-        .collect()
+    } else {
+        // Pinned-role pipeline: this thread is ingress + subsume + commit;
+        // `workers` explore threads each own one in-ring and one out-ring.
+        // Slot `s` always goes to worker `s % workers`, and each SPSC ring
+        // is FIFO, so popping out-ring `s % workers` when committing slot
+        // `s` yields exactly slot `s` — serial wave order, no reordering.
+        std::thread::scope(|scope| {
+            let expand = &expand_state;
+            let mut in_txs = Vec::with_capacity(workers);
+            let mut out_rxs = Vec::with_capacity(workers);
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (in_tx, mut in_rx) = ring::<Job>(RING_CAPACITY);
+                let (mut out_tx, out_rx) = ring::<(usize, Expansion)>(RING_CAPACITY);
+                in_txs.push(in_tx);
+                out_rxs.push(out_rx);
+                handles.push(scope.spawn(move || {
+                    let mut worker_tel = StageTelemetry::new();
+                    let mut sampler = 0usize;
+                    loop {
+                        match in_rx.pop() {
+                            Job::Shutdown => break,
+                            Job::Expand(slot, state) => {
+                                let started = sample_slot(record, &mut sampler);
+                                let expansion = expand(&state);
+                                if let Some(started) = started {
+                                    let n = match &expansion {
+                                        Expansion::Edges(edges) => edges.len(),
+                                        _ => 0,
+                                    };
+                                    worker_tel.record_batch(Stage::Explore, started.elapsed(), n);
+                                }
+                                out_tx.push((slot, expansion));
+                            }
+                        }
+                    }
+                    worker_tel
+                }));
+            }
+
+            while !wave.is_empty() && !result.truncated {
+                if bounds.deadline_expired() {
+                    result.truncated = true;
+                    break;
+                }
+                let mut next_wave: Vec<StateId> = Vec::new();
+                let mut cs = CommitState::default();
+                let mut next_ingress = 0usize;
+                let mut next_commit = 0usize;
+                let mut backoff = Backoff::new();
+                let ingress_started = record.then(Instant::now);
+                while next_commit < wave.len() {
+                    if cs.deadline_cut {
+                        // Drain in-flight expansions uncommitted and
+                        // uncounted: the run is over, only ring hygiene
+                        // remains (workers must not block on full rings).
+                        while next_commit < next_ingress {
+                            if out_rxs[next_commit % workers].try_pop().is_some() {
+                                next_commit += 1;
+                            } else {
+                                backoff.snooze();
+                            }
+                        }
+                        break;
+                    }
+                    // Ingress: feed workers round-robin while rings accept.
+                    while next_ingress < wave.len() {
+                        let worker = next_ingress % workers;
+                        let state = result.arena.get_arc(wave[next_ingress]);
+                        match in_txs[worker].try_push(Job::Expand(next_ingress, state)) {
+                            Ok(()) => {
+                                next_ingress += 1;
+                                backoff.reset();
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    // Commit: strictly the next slot in wave order.
+                    if next_commit < next_ingress {
+                        if let Some((slot, expansion)) = out_rxs[next_commit % workers].try_pop() {
+                            debug_assert_eq!(slot, next_commit, "out-ring order broken");
+                            commit_slot(
+                                &mut result,
+                                &mut next_wave,
+                                bounds,
+                                wave[next_commit],
+                                expansion,
+                                &mut cs,
+                                record,
+                                tel,
+                            );
+                            next_commit += 1;
+                            backoff.reset();
+                            continue;
+                        }
+                    }
+                    backoff.snooze();
+                }
+                if let Some(started) = ingress_started {
+                    tel.record_batch(Stage::Ingress, started.elapsed(), wave.len());
+                }
+                wave = next_wave;
+            }
+
+            for in_tx in &mut in_txs {
+                in_tx.push(Job::Shutdown);
+            }
+            for handle in handles {
+                let worker_tel = handle.join().expect("explore worker panicked");
+                if record {
+                    tel.merge(&worker_tel);
+                }
+            }
+        });
+    }
+
+    // Canonical order: terminal classes are sets, not traces. Sorting makes
+    // the output independent of visit order and thus of the worker count.
+    result.exited.sort_unstable();
+    result.assert_failures.sort_unstable();
+    result.ub_states.sort_unstable();
+    result.stuck.sort_unstable();
+    result
 }
 
 /// Runs `program` to completion under a deterministic scheduler: the
@@ -710,6 +950,62 @@ mod tests {
             assert_eq!(serial.assert_failures, parallel.assert_failures);
             assert_eq!(serial.stuck, parallel.stuck);
             assert_eq!(serial.truncated, parallel.truncated);
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_serial_at_many_job_counts() {
+        // The ring pipeline must reproduce the inline engine exactly at
+        // any worker count, including counts above the wave width.
+        let p = program(RACY);
+        let serial = explore(&p, &Bounds::small());
+        for jobs in [2, 3, 8] {
+            let parallel = explore(&p, &Bounds::small().with_jobs(jobs));
+            assert_eq!(serial.arena, parallel.arena, "jobs={jobs}");
+            assert_eq!(serial.exited, parallel.exited, "jobs={jobs}");
+            assert_eq!(serial.transitions, parallel.transitions, "jobs={jobs}");
+            assert_eq!(serial.micro_steps, parallel.micro_steps, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn telemetry_does_not_change_the_exploration() {
+        let p = program(RACY);
+        for jobs in [1, 4] {
+            let bounds = Bounds::small().with_jobs(jobs);
+            let plain = explore(&p, &bounds);
+            let (instrumented, telemetry) = explore_with_telemetry(&p, &bounds);
+            assert_eq!(plain.arena, instrumented.arena, "jobs={jobs}");
+            assert_eq!(plain.exited, instrumented.exited, "jobs={jobs}");
+            assert_eq!(plain.transitions, instrumented.transitions, "jobs={jobs}");
+            assert_eq!(plain.truncated, instrumented.truncated, "jobs={jobs}");
+            assert!(
+                !telemetry.is_empty(),
+                "jobs={jobs}: instrumented run must record batches"
+            );
+            assert!(
+                telemetry
+                    .latency(armada_runtime::telemetry::Stage::Explore)
+                    .count()
+                    > 0,
+                "jobs={jobs}: explore stage must have latency samples"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_truncates_identically_across_job_counts() {
+        // A zero deadline expires at the first wave boundary: every job
+        // count reports just the interned root, truncated, zero edges.
+        let p = program(RACY);
+        for jobs in [1, 2, 8] {
+            let bounds = Bounds::small()
+                .with_jobs(jobs)
+                .with_deadline(std::time::Duration::ZERO);
+            let e = explore(&p, &bounds);
+            assert!(e.truncated, "jobs={jobs}");
+            assert_eq!(e.arena.len(), 1, "jobs={jobs}");
+            assert_eq!(e.transitions, 0, "jobs={jobs}");
         }
     }
 

@@ -48,7 +48,7 @@ pub mod value;
 
 pub use arena::{StateArena, StateId};
 pub use canon::Canonicalizer;
-pub use explore::{explore, run_to_completion, Bounds, Exploration};
+pub use explore::{explore, explore_with_telemetry, run_to_completion, Bounds, Exploration};
 pub use heap::{Heap, Location, MemNode, ObjectId, PtrVal};
 pub use lower::{lower, LowerError};
 pub use program::{Instr, Pc, Program, Routine};

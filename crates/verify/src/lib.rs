@@ -42,11 +42,16 @@
 //! ## Parallel search
 //!
 //! With [`Bounds::jobs`] > 1 the product search runs multi-core, and the
-//! result is **byte-identical** to the serial run. The search processes one
-//! depth bucket ("wave") at a time: the wave's nodes are expanded by a pool
-//! of workers pulling from a shared cursor (expansion — low-step
-//! enumeration plus match-set computation against the memoized high-level
-//! graph — is the hot path). Commit is split in two: a **shard-parallel
+//! result is **byte-identical** to the serial run. The engine is a
+//! pinned-role stage pipeline (ingress → explore → subsume → commit): the
+//! coordinator thread feeds wave slots round-robin to `jobs` persistent
+//! explore workers over lock-free SPSC rings (`armada_runtime::ring`) and
+//! collects results strictly in slot order — slot `s` always travels
+//! worker `s % jobs`'s rings, and rings are FIFO, so wave order
+//! reconstructs with no reorder buffer. Expansion (low-step enumeration
+//! plus match-set computation against the memoized high-level graph) is
+//! the hot path and the only concurrent stage. Commit is split in two: a
+//! **shard-parallel
 //! subsumption phase** partitions the wave's successors by low-state
 //! fingerprint across `jobs * 4` antichain shards — each shard scans its
 //! successors in global wave order, so decisions match the serial scan
@@ -64,9 +69,12 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::hash::BuildHasherDefault;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use armada_proof::RefinementRelation;
+use armada_runtime::ring::{ring, Backoff};
+use armada_runtime::telemetry::{Stage, StageTelemetry};
 use armada_sm::arena::FpIdentityHasher;
 use armada_sm::{
     initial_state, Bounds, Canonicalizer, ProgState, Program, Reducer, StateArena, StateId, Step,
@@ -457,172 +465,147 @@ struct SuccOut {
     matches: Option<MatchSet>,
 }
 
-/// Expands every node of the current wave: enumerates its (possibly fused)
-/// low edges and computes each successor's match set. With jobs > 1 the
-/// wave is split across scoped worker threads via a shared cursor
-/// (work-stealing at node granularity); results land in per-slot
-/// `OnceLock`s so the commit phase sees them in wave order regardless of
-/// completion order.
-#[allow(clippy::too_many_arguments)]
-fn expand_wave(
-    wave: &[usize],
-    nodes: &[Node],
-    low: &Program,
-    canon: Option<&Canonicalizer>,
-    reducer: &Reducer,
-    pool: &[Value],
-    bounds: &Bounds,
-    relation: &(dyn RefinementRelation + Sync),
-    high: &Mutex<HighGraph<'_>>,
-    cache: &Mutex<HashMap<(u32, Obs), Option<MatchSet>>>,
-    abort_slot: Option<usize>,
-) -> Vec<Vec<SuccOut>> {
-    let jobs = bounds.jobs.max(1);
-    // Injected worker-slot abort (fuzzing): the panic rides the exact same
-    // drain path as an organic worker panic, so it must surface identically
-    // at any job count.
-    let abort_if_injected = |slot: usize| {
-        if abort_slot == Some(slot) {
-            panic!("injected fault: worker slot {slot} aborted");
-        }
-    };
-    // Each expansion runs under `catch_unwind` so a panicking worker (a bug
-    // in a refinement relation, step enumeration, …) cannot kill the pool:
-    // every other slot still completes, and the panic is re-raised from the
-    // lowest wave slot that failed — the same slot at any job count — so
-    // callers that isolate panics (the pipeline wraps `check_refinement` in
-    // its own `catch_unwind`) observe a deterministic failure.
-    let expand_one = |node: &Node| -> Vec<SuccOut> {
-        if node.low.is_terminal() {
-            return Vec::new();
-        }
-        reducer
-            .macro_steps(&node.low, pool, bounds.max_buffer, bounds.reduction)
-            .into_iter()
-            .map(|(macro_step, low_next)| {
-                // Steps execute in the (canonical) parent's coordinates;
-                // descriptions and the recorded step sequence use original
-                // tids so counterexamples replay against the uncanonicalized
-                // program. Every step of a macro edge runs a thread that
-                // already exists in the parent, so the parent's map covers it.
-                let display = |tid: Tid| match &node.orig {
-                    Some(map) => map.get(tid as usize - 1).copied().unwrap_or(tid),
-                    None => tid,
-                };
-                let mut descs = Vec::with_capacity(macro_step.steps.len());
-                let mut steps = Vec::with_capacity(macro_step.steps.len());
-                let mut pre: &ProgState = &node.low;
-                for (i, step) in macro_step.steps.iter().enumerate() {
-                    descs.push(describe_step(low, pre, step, display(step.tid)));
-                    steps.push(Step {
-                        tid: display(step.tid),
-                        kind: step.kind.clone(),
-                    });
-                    if i < macro_step.mids.len() {
-                        pre = &macro_step.mids[i];
-                    }
-                }
-                let (low_next, inverse) = match canon {
-                    Some(canon) => canon.canonicalize(low_next),
-                    None => (low_next, None),
-                };
-                let orig = compose_orig(node.orig.as_ref(), inverse, low_next.threads.len());
-                let obs: Obs = (low_next.log.clone(), low_next.termination.clone());
-                let key = (node.set_id, obs);
-                let cached = cache
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner())
-                    .get(&key)
-                    .cloned();
-                let matches = match cached {
-                    Some(hit) => hit,
-                    None => {
-                        let computed = expand_matches(&node.matches, &low_next, relation, high);
-                        cache
-                            .lock()
-                            .unwrap_or_else(|poisoned| poisoned.into_inner())
-                            .insert(key, computed.clone());
-                        computed
-                    }
-                };
-                SuccOut {
-                    descs,
-                    steps,
-                    orig,
-                    fp: StateArena::fingerprint(&low_next),
-                    next: Arc::new(low_next),
-                    matches,
-                }
-            })
-            .collect()
-    };
+/// Shared read-only context for expanding product nodes; everything a
+/// pipeline explore worker needs besides the node itself.
+struct ExpandCtx<'e, 'p> {
+    low: &'p Program,
+    canon: Option<&'e Canonicalizer>,
+    reducer: &'e Reducer<'p>,
+    pool: &'e [Value],
+    bounds: &'e Bounds,
+    relation: &'e (dyn RefinementRelation + Sync),
+    high: &'e Mutex<HighGraph<'p>>,
+    cache: &'e Mutex<HashMap<(u32, Obs), Option<MatchSet>>>,
+}
 
-    // A raw panic payload (`Box<dyn Any + Send>`) is not `Sync`, so it
-    // cannot sit in a shared `OnceLock` slot; the `Mutex` wrapper restores
-    // `Sync` without copying the payload.
-    type PanicPayload = Mutex<Box<dyn std::any::Any + Send>>;
-    type SlotResult = Result<Vec<SuccOut>, PanicPayload>;
-    let drain = |slots: Vec<SlotResult>| -> Vec<Vec<SuccOut>> {
-        let mut first_panic = None;
-        let mut out = Vec::with_capacity(slots.len());
-        for slot in slots {
-            match slot {
-                Ok(successors) => out.push(successors),
-                Err(payload) => {
-                    if first_panic.is_none() {
-                        first_panic = Some(payload);
-                    }
+/// Expands one product node: enumerates its (possibly fused) low edges and
+/// computes each successor's match set. Reads only the node's own fields
+/// and the shared [`ExpandCtx`], so pipeline workers never touch the
+/// growing `nodes` vector.
+fn expand_node(
+    ctx: &ExpandCtx<'_, '_>,
+    low_state: &Arc<ProgState>,
+    set_id: u32,
+    matches: &BTreeSet<u32>,
+    orig: &Option<Arc<Vec<Tid>>>,
+) -> Vec<SuccOut> {
+    if low_state.is_terminal() {
+        return Vec::new();
+    }
+    ctx.reducer
+        .macro_steps(
+            low_state,
+            ctx.pool,
+            ctx.bounds.max_buffer,
+            ctx.bounds.reduction,
+        )
+        .into_iter()
+        .map(|(macro_step, low_next)| {
+            // Steps execute in the (canonical) parent's coordinates;
+            // descriptions and the recorded step sequence use original
+            // tids so counterexamples replay against the uncanonicalized
+            // program. Every step of a macro edge runs a thread that
+            // already exists in the parent, so the parent's map covers it.
+            let display = |tid: Tid| match orig {
+                Some(map) => map.get(tid as usize - 1).copied().unwrap_or(tid),
+                None => tid,
+            };
+            let mut descs = Vec::with_capacity(macro_step.steps.len());
+            let mut steps = Vec::with_capacity(macro_step.steps.len());
+            let mut pre: &ProgState = low_state;
+            for (i, step) in macro_step.steps.iter().enumerate() {
+                descs.push(describe_step(ctx.low, pre, step, display(step.tid)));
+                steps.push(Step {
+                    tid: display(step.tid),
+                    kind: step.kind.clone(),
+                });
+                if i < macro_step.mids.len() {
+                    pre = &macro_step.mids[i];
+                }
+            }
+            let (low_next, inverse) = match ctx.canon {
+                Some(canon) => canon.canonicalize(low_next),
+                None => (low_next, None),
+            };
+            let orig = compose_orig(orig.as_ref(), inverse, low_next.threads.len());
+            let obs: Obs = (low_next.log.clone(), low_next.termination.clone());
+            let key = (set_id, obs);
+            let cached = ctx
+                .cache
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .get(&key)
+                .cloned();
+            let matches = match cached {
+                Some(hit) => hit,
+                None => {
+                    let computed = expand_matches(matches, &low_next, ctx.relation, ctx.high);
+                    ctx.cache
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .insert(key, computed.clone());
+                    computed
+                }
+            };
+            SuccOut {
+                descs,
+                steps,
+                orig,
+                fp: StateArena::fingerprint(&low_next),
+                next: Arc::new(low_next),
+                matches,
+            }
+        })
+        .collect()
+}
+
+/// A raw panic payload (`Box<dyn Any + Send>`) is not `Sync`; the `Mutex`
+/// wrapper restores `Sync` without copying the payload, so it can travel
+/// through shared slots and rings.
+type PanicPayload = Mutex<Box<dyn std::any::Any + Send>>;
+type SlotResult = Result<Vec<SuccOut>, PanicPayload>;
+
+/// Collapses per-slot results into wave order, or surfaces the panic of
+/// the *lowest* failing slot — the same slot at any job count — so callers
+/// that isolate panics (the pipeline wraps `check_refinement` in its own
+/// `catch_unwind`) observe a deterministic failure.
+fn drain_slots(slots: Vec<SlotResult>) -> Result<Vec<Vec<SuccOut>>, PanicPayload> {
+    let mut first_panic = None;
+    let mut out = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot {
+            Ok(successors) => out.push(successors),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
                 }
             }
         }
-        if let Some(payload) = first_panic {
-            let payload = payload.into_inner().unwrap_or_else(|p| p.into_inner());
-            std::panic::resume_unwind(payload);
-        }
-        out
-    };
-
-    if jobs <= 1 || wave.len() <= 1 {
-        return drain(
-            wave.iter()
-                .enumerate()
-                .map(|(slot, &i)| {
-                    catch_unwind(AssertUnwindSafe(|| {
-                        abort_if_injected(slot);
-                        expand_one(&nodes[i])
-                    }))
-                    .map_err(Mutex::new)
-                })
-                .collect(),
-        );
     }
-    let slots: Vec<OnceLock<SlotResult>> = (0..wave.len()).map(|_| OnceLock::new()).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(wave.len()) {
-            scope.spawn(|| loop {
-                let slot = cursor.fetch_add(1, Ordering::Relaxed);
-                if slot >= wave.len() {
-                    break;
-                }
-                let out = catch_unwind(AssertUnwindSafe(|| {
-                    abort_if_injected(slot);
-                    expand_one(&nodes[wave[slot]])
-                }))
-                .map_err(Mutex::new);
-                slots[slot]
-                    .set(out)
-                    .ok()
-                    .expect("each slot is claimed once");
-            });
-        }
-    });
-    drain(
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every slot was filled"))
-            .collect(),
-    )
+    match first_panic {
+        Some(payload) => Err(payload),
+        None => Ok(out),
+    }
+}
+
+/// One unit of work for a pipeline explore worker: a wave slot plus the
+/// owned (`Arc`-shared) pieces of its product node, so workers never
+/// borrow the coordinator's growing `nodes` vector.
+struct VerifyJob {
+    slot: usize,
+    low: Arc<ProgState>,
+    set_id: u32,
+    matches: MatchSet,
+    orig: Option<Arc<Vec<Tid>>>,
+    /// Injected worker-slot abort (fuzzing): the panic rides the exact
+    /// same drain path as an organic worker panic, so it must surface
+    /// identically at any job count.
+    abort: bool,
+}
+
+enum VerifyMsg {
+    Expand(Box<VerifyJob>),
+    Shutdown,
 }
 
 /// The antichain seen-set, sharded by low-state fingerprint. Each shard
@@ -728,6 +711,11 @@ fn sharded_subsumption(flat: &[(usize, SuccOut)], seen: &LowSeen, jobs: usize) -
     out
 }
 
+/// Capacity of each pipeline ring (jobs in, slot results out, per
+/// worker); bounds in-flight expansions without starving workers across
+/// commit stalls.
+const RING_CAPACITY: usize = 64;
+
 /// Checks that `low` refines `high` under `relation`, over all bounded
 /// behaviors. Runs on `config.bounds.jobs` worker threads; the result is
 /// byte-identical for any job count (see the module docs).
@@ -743,6 +731,36 @@ pub fn check_refinement(
     high: &Program,
     relation: &(dyn RefinementRelation + Sync),
     config: &SimConfig,
+) -> Result<RefinementCert, Box<Counterexample>> {
+    let mut tel = StageTelemetry::new();
+    check_refinement_impl(low, high, relation, config, false, &mut tel)
+}
+
+/// [`check_refinement`], additionally returning the per-stage pipeline
+/// telemetry (ingress/explore/subsume/commit latency and occupancy
+/// histograms).
+///
+/// Telemetry values are wall-clock and therefore nondeterministic; the
+/// verification result itself is byte-identical with and without
+/// telemetry, and the telemetry flag does not enter [`store::CertKey`].
+pub fn check_refinement_with_telemetry(
+    low: &Program,
+    high: &Program,
+    relation: &(dyn RefinementRelation + Sync),
+    config: &SimConfig,
+) -> (Result<RefinementCert, Box<Counterexample>>, StageTelemetry) {
+    let mut tel = StageTelemetry::new();
+    let result = check_refinement_impl(low, high, relation, config, true, &mut tel);
+    (result, tel)
+}
+
+fn check_refinement_impl(
+    low: &Program,
+    high: &Program,
+    relation: &(dyn RefinementRelation + Sync),
+    config: &SimConfig,
+    record: bool,
+    tel: &mut StageTelemetry,
 ) -> Result<RefinementCert, Box<Counterexample>> {
     let jobs = config.bounds.jobs.max(1);
     let pool = config.bounds.pool_for(low);
@@ -835,12 +853,221 @@ pub fn check_refinement(
         orig: root_orig,
     });
 
-    let mut low_transitions = 0usize;
     // Pending node ids, bucketed by micro-depth; the next wave is always
     // the shallowest bucket, so failures surface at minimal trace length
     // whether or not edges are fused.
     let mut pending: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     pending.insert(0, vec![0]);
+
+    let ctx = ExpandCtx {
+        low,
+        canon,
+        reducer: &reducer,
+        pool: &pool,
+        bounds: &config.bounds,
+        relation,
+        high: &high_graph,
+        cache: &expand_cache,
+    };
+
+    let outcome = if jobs <= 1 {
+        // Inline pipeline: the same stages on one thread, no rings.
+        let mut exp_tel = StageTelemetry::new();
+        let mut expander = |wave: &[usize], nodes: &[Node], abort_slot: Option<usize>| {
+            let mut slots: Vec<SlotResult> = Vec::with_capacity(wave.len());
+            for (slot, &i) in wave.iter().enumerate() {
+                let node = &nodes[i];
+                let started = record.then(Instant::now);
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    if abort_slot == Some(slot) {
+                        panic!("injected fault: worker slot {slot} aborted");
+                    }
+                    expand_node(&ctx, &node.low, node.set_id, &node.matches, &node.orig)
+                }))
+                .map_err(Mutex::new);
+                if let Some(started) = started {
+                    let n = out.as_ref().map(|v| v.len()).unwrap_or(0);
+                    exp_tel.record_batch(Stage::Explore, started.elapsed(), n);
+                }
+                slots.push(out);
+            }
+            drain_slots(slots)
+        };
+        let outcome = run_search(
+            low,
+            high,
+            config,
+            jobs,
+            &mut nodes,
+            &mut set_intern,
+            &seen_low,
+            &mut pending,
+            &mut expander,
+            record,
+            tel,
+        );
+        drop(expander);
+        if record {
+            tel.merge(&exp_tel);
+        }
+        outcome
+    } else {
+        // Pinned-role pipeline: this thread is ingress + subsume + commit;
+        // `jobs` explore workers each own one in-ring and one out-ring for
+        // the whole search. Wave slot `s` always goes to worker
+        // `s % jobs`, and SPSC rings are FIFO, so popping out-ring
+        // `s % jobs` when collecting slot `s` reconstructs wave order with
+        // no reorder buffer. Worker panics are caught inside the worker
+        // and travel the rings as values, so the pool survives any wave
+        // and the lowest failing slot is re-raised deterministically.
+        std::thread::scope(|scope| {
+            let ctx_ref = &ctx;
+            let mut in_txs = Vec::with_capacity(jobs);
+            let mut out_rxs = Vec::with_capacity(jobs);
+            let mut handles = Vec::with_capacity(jobs);
+            for _ in 0..jobs {
+                let (in_tx, mut in_rx) = ring::<VerifyMsg>(RING_CAPACITY);
+                let (mut out_tx, out_rx) = ring::<(usize, SlotResult)>(RING_CAPACITY);
+                in_txs.push(in_tx);
+                out_rxs.push(out_rx);
+                handles.push(scope.spawn(move || {
+                    let mut worker_tel = StageTelemetry::new();
+                    loop {
+                        match in_rx.pop() {
+                            VerifyMsg::Shutdown => break,
+                            VerifyMsg::Expand(job) => {
+                                let started = record.then(Instant::now);
+                                let out = catch_unwind(AssertUnwindSafe(|| {
+                                    if job.abort {
+                                        panic!("injected fault: worker slot {} aborted", job.slot);
+                                    }
+                                    expand_node(
+                                        ctx_ref,
+                                        &job.low,
+                                        job.set_id,
+                                        &job.matches,
+                                        &job.orig,
+                                    )
+                                }))
+                                .map_err(Mutex::new);
+                                if let Some(started) = started {
+                                    let n = out.as_ref().map(|v| v.len()).unwrap_or(0);
+                                    worker_tel.record_batch(Stage::Explore, started.elapsed(), n);
+                                }
+                                out_tx.push((job.slot, out));
+                            }
+                        }
+                    }
+                    worker_tel
+                }));
+            }
+            let mut expander = |wave: &[usize], nodes: &[Node], abort_slot: Option<usize>| {
+                let mut slots: Vec<SlotResult> = Vec::with_capacity(wave.len());
+                let mut next_ingress = 0usize;
+                let mut backoff = Backoff::new();
+                while slots.len() < wave.len() {
+                    // Ingress: feed workers round-robin while rings accept.
+                    while next_ingress < wave.len() {
+                        let worker = next_ingress % jobs;
+                        let node = &nodes[wave[next_ingress]];
+                        let job = Box::new(VerifyJob {
+                            slot: next_ingress,
+                            low: Arc::clone(&node.low),
+                            set_id: node.set_id,
+                            matches: Arc::clone(&node.matches),
+                            orig: node.orig.clone(),
+                            abort: abort_slot == Some(next_ingress),
+                        });
+                        match in_txs[worker].try_push(VerifyMsg::Expand(job)) {
+                            Ok(()) => {
+                                next_ingress += 1;
+                                backoff.reset();
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    // Collect: strictly the next slot in wave order.
+                    let next_collect = slots.len();
+                    if next_collect < next_ingress {
+                        if let Some((slot, out)) = out_rxs[next_collect % jobs].try_pop() {
+                            debug_assert_eq!(slot, next_collect, "out-ring order broken");
+                            slots.push(out);
+                            backoff.reset();
+                            continue;
+                        }
+                    }
+                    backoff.snooze();
+                }
+                drain_slots(slots)
+            };
+            let outcome = run_search(
+                low,
+                high,
+                config,
+                jobs,
+                &mut nodes,
+                &mut set_intern,
+                &seen_low,
+                &mut pending,
+                &mut expander,
+                record,
+                tel,
+            );
+            for in_tx in &mut in_txs {
+                in_tx.push(VerifyMsg::Shutdown);
+            }
+            for handle in handles {
+                let worker_tel = handle.join().expect("verify worker exited cleanly");
+                if record {
+                    tel.merge(&worker_tel);
+                }
+            }
+            outcome
+        })
+    };
+
+    match outcome {
+        SearchOutcome::Done(result) => result,
+        SearchOutcome::Panicked(payload) => {
+            // Re-raised outside the worker scope: the pool has already
+            // shut down cleanly, so the panic cannot strand a thread.
+            let payload = payload.into_inner().unwrap_or_else(|p| p.into_inner());
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The search loop's terminal state: a verdict, or a worker panic to
+/// re-raise once the pipeline has shut down.
+enum SearchOutcome {
+    Done(Result<RefinementCert, Box<Counterexample>>),
+    Panicked(PanicPayload),
+}
+
+/// The wave loop of the product search, generic over how a wave is
+/// expanded (inline, or dispatched to the pipeline's explore workers).
+/// Everything order-sensitive — subsumption, match-set interning, node
+/// admission, budget cuts, counterexample selection — happens here, on
+/// one thread, in global wave order.
+#[allow(clippy::too_many_arguments)]
+fn run_search(
+    low: &Program,
+    high: &Program,
+    config: &SimConfig,
+    jobs: usize,
+    nodes: &mut Vec<Node>,
+    set_intern: &mut HashMap<Arc<BTreeSet<u32>>, u32>,
+    seen_low: &LowSeen,
+    pending: &mut BTreeMap<usize, Vec<usize>>,
+    expander: &mut dyn FnMut(
+        &[usize],
+        &[Node],
+        Option<usize>,
+    ) -> Result<Vec<Vec<SuccOut>>, PanicPayload>,
+    record: bool,
+    tel: &mut StageTelemetry,
+) -> SearchOutcome {
+    let mut low_transitions = 0usize;
 
     let trace_of = |nodes: &[Node], mut node: usize| {
         let mut rev: Vec<String> = Vec::new();
@@ -863,6 +1090,7 @@ pub fn check_refinement(
 
     let mut wave_index = 0usize;
     while let Some((_depth, wave)) = pending.pop_first() {
+        let wave_started = record.then(Instant::now);
         // Injected slow-relation stall (fuzzing): burns wall-clock time at
         // the boundary, exactly where a slow relation or a descheduled
         // worker would; results must be unchanged.
@@ -879,39 +1107,30 @@ pub fn check_refinement(
         // waves; expiry then surfaces late but still deterministically.
         if wave_index >= config.faults.cancel_delay_waves && config.bounds.deadline_expired() {
             let node_id = wave[0];
-            return Err(Box::new(Counterexample {
+            return SearchOutcome::Done(Err(Box::new(Counterexample {
                 kind: CexKind::Deadline,
                 description: format!(
                     "wall-clock deadline exceeded ({} product nodes explored); \
                      refinement NOT verified",
                     nodes.len()
                 ),
-                trace: trace_of(&nodes, node_id),
-                steps: steps_of(&nodes, node_id),
+                trace: trace_of(nodes, node_id),
+                steps: steps_of(nodes, node_id),
                 state: (*nodes[node_id].low).clone(),
-            }));
+            })));
         }
 
-        // Parallel phase: expand every wave node.
+        // Explore phase: expand every wave node through the pipeline.
         let abort_slot = config
             .faults
             .abort_slot
             .filter(|&(wave_at, _)| wave_at == wave_index)
             .map(|(_, slot)| slot);
         wave_index += 1;
-        let expanded = expand_wave(
-            &wave,
-            &nodes,
-            low,
-            canon,
-            &reducer,
-            &pool,
-            &config.bounds,
-            relation,
-            &high_graph,
-            &expand_cache,
-            abort_slot,
-        );
+        let expanded = match expander(&wave, nodes, abort_slot) {
+            Ok(expanded) => expanded,
+            Err(payload) => return SearchOutcome::Panicked(payload),
+        };
 
         // Flatten to global wave order: (parent node id, successor).
         let mut flat: Vec<(usize, SuccOut)> = Vec::new();
@@ -925,20 +1144,26 @@ pub fn check_refinement(
         // Commit phase A (shard-parallel): antichain subsumption per
         // low-state fingerprint shard, decisions identical to a serial
         // scan (see `LowSeen`).
-        let subsumed = sharded_subsumption(&flat, &seen_low, jobs);
+        let subsume_started = record.then(Instant::now);
+        let subsumed = sharded_subsumption(&flat, seen_low, jobs);
+        if let Some(started) = subsume_started {
+            tel.record_batch(Stage::Subsume, started.elapsed(), flat.len());
+        }
 
         // Commit phase B (serial merge): collect refinement failures,
         // apply the node budget, and admit successors in global wave
         // order — set ids, node ids, and the budget cut point are all
         // deterministic.
+        let commit_started = record.then(Instant::now);
+        let nodes_before = nodes.len();
         let mut failures: Vec<(Vec<String>, String, Arc<ProgState>, Vec<Step>)> = Vec::new();
         let mut budget_failure: Option<Box<Counterexample>> = None;
         for (i, (node_id, succ)) in flat.into_iter().enumerate() {
             low_transitions += succ.descs.len();
             let Some(new_matches) = succ.matches else {
-                let mut trace = trace_of(&nodes, node_id);
+                let mut trace = trace_of(nodes, node_id);
                 trace.extend(succ.descs.iter().cloned());
-                let mut steps = steps_of(&nodes, node_id);
+                let mut steps = steps_of(nodes, node_id);
                 steps.extend(succ.steps.iter().cloned());
                 let desc = succ.descs.last().cloned().unwrap_or_default();
                 failures.push((trace, desc, succ.next, steps));
@@ -957,8 +1182,8 @@ pub fn check_refinement(
                         "search budget exceeded ({} product nodes); refinement NOT verified",
                         config.max_nodes
                     ),
-                    trace: trace_of(&nodes, node_id),
-                    steps: steps_of(&nodes, node_id),
+                    trace: trace_of(nodes, node_id),
+                    steps: steps_of(nodes, node_id),
                     state: (*succ.next).clone(),
                 }));
                 continue;
@@ -984,6 +1209,12 @@ pub fn check_refinement(
             });
             pending.entry(depth).or_default().push(id);
         }
+        if let Some(started) = commit_started {
+            tel.record_batch(Stage::Commit, started.elapsed(), nodes.len() - nodes_before);
+        }
+        if let Some(started) = wave_started {
+            tel.record_batch(Stage::Ingress, started.elapsed(), wave.len());
+        }
 
         // Deterministic counterexample selection: every failure surfaces in
         // the first failing wave (all traces end at the same, minimal
@@ -994,25 +1225,25 @@ pub fn check_refinement(
         if !failures.is_empty() {
             failures.sort_by(|a, b| (&a.0, &a.2).cmp(&(&b.0, &b.2)));
             let (trace, desc, state, steps) = failures.into_iter().next().expect("nonempty");
-            return Err(Box::new(Counterexample {
+            return SearchOutcome::Done(Err(Box::new(Counterexample {
                 kind: CexKind::Refinement,
                 description: format!("no high-level behavior matches after `{desc}`"),
                 trace,
                 steps,
                 state: (*state).clone(),
-            }));
+            })));
         }
         if let Some(budget) = budget_failure {
-            return Err(budget);
+            return SearchOutcome::Done(Err(budget));
         }
     }
 
-    Ok(RefinementCert {
+    SearchOutcome::Done(Ok(RefinementCert {
         low: low.name.clone(),
         high: high.name.clone(),
         product_nodes: nodes.len(),
         low_transitions,
-    })
+    }))
 }
 
 /// A transitively composed refinement result across a series of levels

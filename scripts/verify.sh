@@ -113,10 +113,34 @@ if [[ "${1:-}" == "--full" ]]; then
     diff "$SMOKE_DIR/fuzz_report.json" "$SMOKE_DIR/fuzz_report_again.json" \
         || { echo "fuzz campaign report is not deterministic"; exit 1; }
 
-    echo "==> state_engine + symmetry + fuzz_campaign bench smoke"
+    echo "==> stage-pipeline gate (jobs=1 vs jobs=4, telemetry invisible)"
+    # The pinned-role ring pipeline must render byte-identically at any
+    # job count, and --telemetry must change stderr only: for every spec,
+    # compare stdout across jobs {1,4} × telemetry {off,on}, and check
+    # the telemetry run actually printed histograms to stderr.
+    for spec in specs/*.arm; do
+        "$ARMADA_BIN" verify "$spec" --jobs 1 \
+            >"$SMOKE_DIR/pipe_j1.out" 2>/dev/null || true
+        "$ARMADA_BIN" verify "$spec" --jobs 4 \
+            >"$SMOKE_DIR/pipe_j4.out" 2>/dev/null || true
+        diff "$SMOKE_DIR/pipe_j1.out" "$SMOKE_DIR/pipe_j4.out" \
+            || { echo "$spec: report differs between jobs=1 and jobs=4"; exit 1; }
+        "$ARMADA_BIN" verify "$spec" --jobs 4 --telemetry \
+            >"$SMOKE_DIR/pipe_tel.out" 2>"$SMOKE_DIR/pipe_tel.err" || true
+        diff "$SMOKE_DIR/pipe_j1.out" "$SMOKE_DIR/pipe_tel.out" \
+            || { echo "$spec: --telemetry changed stdout"; exit 1; }
+        grep -q "pipeline telemetry" "$SMOKE_DIR/pipe_tel.err" \
+            || { echo "$spec: --telemetry printed no histograms"; exit 1; }
+    done
+
+    echo "==> telemetry overhead gate (<2% of states/sec)"
+    cargo run --release --offline --example telemetry_gate
+
+    echo "==> state_engine + symmetry + fuzz_campaign + pipeline bench smoke"
     cargo run --release --offline -p armada-bench --bin state_engine -- --quick
     cargo run --release --offline -p armada-bench --bin symmetry -- --quick
     cargo run --release --offline -p armada-bench --bin fuzz_campaign -- --quick
+    cargo run --release --offline -p armada-bench --bin pipeline_scaling -- --quick
 fi
 
 echo "verify.sh: all checks passed"

@@ -215,6 +215,60 @@ fn corrupted_cert_falls_back_to_recomputation() {
 }
 
 #[test]
+fn deadline_overshoot_is_bounded_even_mid_wave() {
+    use std::time::{Duration, Instant};
+
+    // Three threads of nondeterministic TSO writes: the frontier widens
+    // into waves of thousands of states, and the full space takes far
+    // longer than the deadline to exhaust. The engine used to check the
+    // deadline only at wave boundaries, so one wide wave could overshoot
+    // the budget by its whole processing time; the commit stage now
+    // re-checks every `DEADLINE_CHECK_EDGES` committed edges, so the
+    // overshoot is bounded by a constant amount of work regardless of
+    // wave width.
+    const WIDE: &str = r#"level L {
+        var a: uint32;
+        var b: uint32;
+        var c: uint32;
+        void w1() { a := *; a := *; }
+        void w2() { b := *; b := *; }
+        void w3() { c := *; c := *; }
+        void main() {
+            var t1: uint64 := create_thread w1();
+            var t2: uint64 := create_thread w2();
+            var t3: uint64 := create_thread w3();
+            join t1;
+            join t2;
+            join t3;
+        }
+    }"#;
+    let module = armada::lang::parse_module(WIDE).expect("parse");
+    let typed = armada::lang::check_module(&module).expect("check");
+    let program = armada::sm::lower(&typed, "L").expect("lower");
+
+    let deadline = Duration::from_millis(50);
+    let bounds = armada::sm::Bounds::small().with_deadline(deadline);
+    let started = Instant::now();
+    let exploration = armada::sm::explore(&program, &bounds);
+    let elapsed = started.elapsed();
+    assert!(
+        exploration.truncated,
+        "the deadline must cut this exploration short \
+         ({} states reached)",
+        exploration.arena.len()
+    );
+    // Generous margin for a loaded CI machine: the point is that the
+    // overshoot no longer scales with wave width (the full space takes
+    // many times this long to exhaust).
+    let margin = Duration::from_secs(2);
+    assert!(
+        elapsed < deadline + margin,
+        "deadline {deadline:?} overshot to {elapsed:?} (bound {:?})",
+        deadline + margin
+    );
+}
+
+#[test]
 fn structured_errors_keep_front_end_diagnostics() {
     // A type error is a structured `PipelineError` with a span, not a bare
     // string; its rendering still matches the front end's own diagnostic.

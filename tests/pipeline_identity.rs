@@ -1,0 +1,177 @@
+//! Byte-identity suite for the stage-pipeline engine: the verification
+//! report rendered at jobs=1 must be byte-identical at any job count, with
+//! telemetry on or off — including runs truncated by a wall-clock deadline
+//! or the node budget — and a fault-fuzzing grid must stay clean against
+//! the pipeline (its determinism invariant re-checks the same property
+//! under injected faults).
+
+use std::time::Duration;
+
+use armada::fuzz::{run_campaign, FuzzConfig, FuzzSubject};
+use armada::verify::SimConfig;
+use armada::{Pipeline, RecipeStatus};
+
+const TWO_STEP: &str = r#"
+    level Impl {
+        var x: uint32;
+        void main() { x := 2; print(x); }
+    }
+    level Mid {
+        var x: uint32;
+        void main() { x := *; print(x); }
+    }
+    level Spec {
+        var x: uint32;
+        ghost var g: int;
+        void main() { x := *; g := 1; print(x); }
+    }
+    proof P1 { refinement Impl Mid nondet_weakening }
+    proof P2 { refinement Mid Spec var_intro }
+"#;
+
+/// Runs the pipeline and renders the report (the byte-identity surface:
+/// exactly what `armada verify` prints to stdout, minus effort lines).
+fn render(jobs: usize, telemetry: bool, mutate: impl Fn(&mut SimConfig)) -> String {
+    let mut sim = SimConfig::default().with_jobs(jobs);
+    mutate(&mut sim);
+    Pipeline::from_source(TWO_STEP)
+        .expect("front end")
+        .with_sim_config(sim)
+        .with_telemetry(telemetry)
+        .run()
+        .expect("pipeline runs")
+        .to_string()
+}
+
+#[test]
+fn verified_renders_are_identical_across_jobs_and_telemetry() {
+    let baseline = render(1, false, |_| {});
+    assert!(baseline.contains("VERIFIED"), "{baseline}");
+    for jobs in [1, 2, 8] {
+        for telemetry in [false, true] {
+            assert_eq!(
+                render(jobs, telemetry, |_| {}),
+                baseline,
+                "jobs={jobs} telemetry={telemetry}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deadline_truncated_renders_are_identical_across_jobs_and_telemetry() {
+    // A zero deadline expires at the first wave boundary — the one
+    // deadline cut that is wall-clock-independent, hence renderable
+    // byte-identically at every job count.
+    let cut = |sim: &mut SimConfig| {
+        sim.bounds = sim.bounds.clone().with_deadline(Duration::ZERO);
+    };
+    let baseline = render(1, false, cut);
+    assert!(baseline.contains("NOT VERIFIED"), "{baseline}");
+    assert!(baseline.contains("deadline"), "{baseline}");
+    for jobs in [2, 8] {
+        for telemetry in [false, true] {
+            assert_eq!(
+                render(jobs, telemetry, cut),
+                baseline,
+                "jobs={jobs} telemetry={telemetry}"
+            );
+        }
+    }
+}
+
+#[test]
+fn budget_truncated_renders_are_identical_across_jobs_and_telemetry() {
+    let cut = |sim: &mut SimConfig| sim.max_nodes = 3;
+    let baseline = render(1, false, cut);
+    assert!(baseline.contains("budget"), "{baseline}");
+    for jobs in [2, 8] {
+        for telemetry in [false, true] {
+            assert_eq!(
+                render(jobs, telemetry, cut),
+                baseline,
+                "jobs={jobs} telemetry={telemetry}"
+            );
+        }
+    }
+}
+
+#[test]
+fn telemetry_is_recorded_only_when_requested() {
+    let on = Pipeline::from_source(TWO_STEP)
+        .expect("front end")
+        .with_telemetry(true)
+        .run()
+        .expect("runs");
+    assert!(
+        on.outcomes
+            .iter()
+            .all(|o| o.telemetry.as_ref().is_some_and(|t| !t.is_empty())),
+        "every checked recipe must carry non-empty histograms"
+    );
+    assert_eq!(on.worst_status(), RecipeStatus::Verified);
+
+    let off = Pipeline::from_source(TWO_STEP)
+        .expect("front end")
+        .run()
+        .expect("runs");
+    assert!(off.outcomes.iter().all(|o| o.telemetry.is_none()));
+    // Rows never render their telemetry: the display surface is identical.
+    for (row_on, row_off) in on.outcomes.iter().zip(off.outcomes.iter()) {
+        assert_eq!(row_on.to_string(), row_off.to_string());
+    }
+}
+
+#[test]
+fn fuzz_grid_stays_clean_against_the_pipeline() {
+    // A seeded grid at jobs {1, 4}: the campaign's determinism invariant
+    // re-verifies cross-job byte-identity under every injected fate the
+    // seeds produce, cold and warm.
+    let subjects = [FuzzSubject::new("two_step", TWO_STEP)];
+    let config = FuzzConfig {
+        seeds: (0..4).collect(),
+        jobs: vec![1, 4],
+        scratch_root: std::env::temp_dir()
+            .join(format!("armada-pipeline-identity-{}", std::process::id())),
+        ..FuzzConfig::default()
+    };
+    let report = run_campaign(&subjects, &config);
+    assert!(
+        report.ok(),
+        "violations: {:?}",
+        report
+            .violations
+            .iter()
+            .map(|v| (&v.invariant, &v.detail))
+            .collect::<Vec<_>>()
+    );
+    assert!(report.total_injected() > 0, "grid injected nothing");
+}
+
+#[test]
+fn explicit_stall_and_abort_plan_stays_clean_against_the_pipeline() {
+    // The two fates that exercise the ring pipeline hardest: a wave stall
+    // (backpressure at the boundary) and an aborted worker slot (panic
+    // travelling the rings as a value).
+    let subjects = [FuzzSubject::new("two_step", TWO_STEP)];
+    let config = FuzzConfig {
+        seeds: vec![0],
+        jobs: vec![1, 4],
+        scratch_root: std::env::temp_dir()
+            .join(format!("armada-pipeline-abort-{}", std::process::id())),
+        plan_override: Some(
+            armada::fuzz::parse_events("wave_stall:P1,worker_abort:P2").expect("valid events"),
+        ),
+        ..FuzzConfig::default()
+    };
+    let report = run_campaign(&subjects, &config);
+    assert!(
+        report.ok(),
+        "violations: {:?}",
+        report
+            .violations
+            .iter()
+            .map(|v| (&v.invariant, &v.detail))
+            .collect::<Vec<_>>()
+    );
+}
