@@ -14,9 +14,23 @@
 //! armada emit-rust <file.arm> [--conservative]
 //!                               emit Rust for the implementation level
 //! armada fuzz <file.arm>... [--seeds N] [--jobs M] [--events LIST]
-//!                           [--out FILE]
+//!                           [--out FILE] [--mutate-bounds]
 //!                               deterministic fault-fuzzing campaign over
 //!                               the given subjects (see `armada::fuzz`)
+//! armada fuzz --serve <file.arm>... [--seeds N] [--jobs M]
+//!                           [--server-events LIST] [--out FILE]
+//!                               daemon-level campaign: each cell boots an
+//!                               `armada serve` instance and drives it
+//!                               through killed workers, corrupted tier-2
+//!                               entries, accept jitter, and same-key storms
+//! armada serve [--addr HOST:PORT] [--addr-file FILE] [--workers N]
+//!              [--queue-depth N] [--mem-cap N] [--cert-cache[=DIR]]
+//!              [--deadline SECS] [--telemetry]
+//!                               run the verification daemon until a client
+//!                               sends `--shutdown`
+//! armada client <addr> [<file.arm>] [--deadline SECS] [--jobs N]
+//!               [--stats] [--shutdown]
+//!                               send one request to a running daemon
 //! ```
 //!
 //! `--jobs N` (default 1) parallelizes the refinement search and the
@@ -46,10 +60,25 @@
 //! explicit plan — the reproducer format emitted for shrunk violations.
 //! Exit 0 when no invariant tripped, 1 otherwise. The campaign report JSON
 //! goes to `--out FILE` when given, else stdout; it is byte-identical
-//! across reruns of the same command line.
+//! across reruns of the same command line. `--mutate-bounds` additionally
+//! mutates the verification bounds (nondeterminism grid, store-buffer
+//! size, node cap) per seed, recomputing the baseline like-for-like.
+//!
+//! `serve` binds a TCP daemon speaking a length-prefixed JSON protocol
+//! (see `armada::proto`): concurrent verify requests share an in-memory
+//! certificate tier (`--mem-cap` entries, LRU) in front of the crash-safe
+//! disk store, identical in-flight requests coalesce onto one underlying
+//! verification, every request carries a cooperative deadline, and a full
+//! admission queue sheds with a structured `overloaded` response rather
+//! than queueing unboundedly. `client` exit codes extend the verify
+//! taxonomy: a result carries its own 0–4 code, `deadline`/`overloaded`
+//! are inconclusive (3), protocol errors are usage errors (2).
 
 use armada::fuzz;
+use armada::proto::{Request, Response, VerifyRequest};
+use armada::serve::{client_request, ServeConfig, Server};
 use armada::verify::store::CertStore;
+use armada::verify::tier::{MemTier, TieredStore};
 use armada::verify::SimConfig;
 use armada::{FaultPlan, Pipeline};
 use std::process::ExitCode;
@@ -60,8 +89,13 @@ fn usage() -> ExitCode {
         "usage: armada <verify|check|effort|emit-c|emit-rust> <file.arm> \
          [--jobs N] [--deadline SECS] [--cert-cache[=DIR]] [--no-reduction] \
          [--no-symmetry] [--telemetry] [--fault-seed N] [--conservative]\n       \
-         armada fuzz <file.arm>... [--seeds N] [--jobs M] [--events LIST] \
-         [--out FILE]"
+         armada fuzz [--serve] <file.arm>... [--seeds N] [--jobs M] \
+         [--events LIST] [--server-events LIST] [--mutate-bounds] [--out FILE]\n       \
+         armada serve [--addr HOST:PORT] [--addr-file FILE] [--workers N] \
+         [--queue-depth N] [--mem-cap N] [--cert-cache[=DIR]] [--deadline SECS] \
+         [--telemetry]\n       \
+         armada client <addr> [<file.arm>] [--deadline SECS] [--jobs N] \
+         [--stats] [--shutdown]"
     );
     ExitCode::from(2)
 }
@@ -128,6 +162,11 @@ fn fault_seed_flag(args: &[String]) -> Result<Option<u64>, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("serve") => return serve_command(&args[1..]),
+        Some("client") => return client_command(&args[1..]),
+        _ => {}
+    }
     let (command, path) = match (args.first(), args.get(1)) {
         (Some(command), Some(path)) => (command.as_str(), path.as_str()),
         _ => return usage(),
@@ -252,6 +291,13 @@ fn main() -> ExitCode {
                 } else {
                     eprint!("armada: pipeline telemetry\n{}", merged.render());
                 }
+                if report.corrupt_loads > 0 {
+                    eprintln!(
+                        "armada: warning: cert cache rejected {} corrupt record(s); \
+                         verdicts were recomputed from scratch",
+                        report.corrupt_loads
+                    );
+                }
             }
             if report.verified() {
                 ExitCode::SUCCESS
@@ -329,6 +375,8 @@ fn fuzz_command(args: &[String]) -> ExitCode {
         Ok(_) => vec![1],
         Err(err) => return fail(err),
     };
+    let serve = args.iter().any(|a| a == "--serve");
+    let mutate_bounds = args.iter().any(|a| a == "--mutate-bounds");
     let plan_override = match flag_value(args, "--events") {
         Ok(Some(spec)) => match fuzz::parse_events(spec) {
             Ok(events) if !events.is_empty() => Some(events),
@@ -338,12 +386,32 @@ fn fuzz_command(args: &[String]) -> ExitCode {
         Ok(None) => None,
         Err(err) => return fail(err),
     };
+    let server_plan_override = match flag_value(args, "--server-events") {
+        Ok(Some(spec)) => match fuzz::parse_server_events(spec) {
+            Ok(events) if !events.is_empty() => Some(events),
+            Ok(_) => return fail("--server-events lists no events".to_string()),
+            Err(err) => return fail(err.to_string()),
+        },
+        Ok(None) => None,
+        Err(err) => return fail(err),
+    };
+    if serve && plan_override.is_some() {
+        return fail(
+            "--events is a pipeline-campaign flag; use --server-events with --serve".to_string(),
+        );
+    }
+    if serve && mutate_bounds {
+        return fail("--mutate-bounds applies to pipeline campaigns only".to_string());
+    }
+    if !serve && server_plan_override.is_some() {
+        return fail("--server-events requires --serve".to_string());
+    }
     let out = match flag_value(args, "--out") {
         Ok(out) => out.map(|s| s.to_string()),
         Err(err) => return fail(err),
     };
     // Positional arguments are subject files; skip flags and their values.
-    let value_flags = ["--seeds", "--jobs", "--events", "--out"];
+    let value_flags = ["--seeds", "--jobs", "--events", "--server-events", "--out"];
     let mut subjects = Vec::new();
     let mut skip_next = false;
     for arg in args {
@@ -366,16 +434,28 @@ fn fuzz_command(args: &[String]) -> ExitCode {
     if subjects.is_empty() {
         return usage();
     }
-    let config = fuzz::FuzzConfig {
-        seeds,
-        jobs,
-        plan_override,
-        ..fuzz::FuzzConfig::default()
+    let report = if serve {
+        let config = fuzz::ServeFuzzConfig {
+            seeds,
+            jobs,
+            plan_override: server_plan_override,
+            ..fuzz::ServeFuzzConfig::default()
+        };
+        fuzz::run_serve_campaign(&subjects, &config)
+    } else {
+        let config = fuzz::FuzzConfig {
+            seeds,
+            jobs,
+            plan_override,
+            mutate_bounds,
+            ..fuzz::FuzzConfig::default()
+        };
+        fuzz::run_campaign(&subjects, &config)
     };
-    let report = fuzz::run_campaign(&subjects, &config);
     eprintln!(
-        "armada fuzz: {} subjects × {} seeds × jobs {:?}: {} runs, {} checks, \
+        "armada fuzz ({}): {} subjects × {} seeds × jobs {:?}: {} runs, {} checks, \
          {} faults injected, {} violations",
+        report.mode,
         report.subjects.len(),
         report.seeds.len(),
         report.jobs,
@@ -408,6 +488,174 @@ fn fuzz_command(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Parses an optional positive-integer flag with a default.
+fn usize_flag(args: &[String], flag: &str, default: usize) -> Result<usize, String> {
+    match flag_value(args, flag)? {
+        Some(value) => match value.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!("invalid {flag} value `{value}`")),
+        },
+        None => Ok(default),
+    }
+}
+
+/// The `armada serve` subcommand: run the verification daemon until a
+/// client asks it to shut down. The bound address goes to stderr (and to
+/// `--addr-file` when given, for scripts racing the ephemeral-port bind).
+fn serve_command(args: &[String]) -> ExitCode {
+    let fail = |err: String| {
+        eprintln!("armada: {err}");
+        ExitCode::from(2)
+    };
+    let addr = match flag_value(args, "--addr") {
+        Ok(addr) => addr.unwrap_or("127.0.0.1:0").to_string(),
+        Err(err) => return fail(err),
+    };
+    let addr_file = match flag_value(args, "--addr-file") {
+        Ok(path) => path.map(|s| s.to_string()),
+        Err(err) => return fail(err),
+    };
+    let workers = match usize_flag(args, "--workers", 2) {
+        Ok(n) => n,
+        Err(err) => return fail(err),
+    };
+    let queue_depth = match usize_flag(args, "--queue-depth", 8) {
+        Ok(n) => n,
+        Err(err) => return fail(err),
+    };
+    let mem_cap = match flag_value(args, "--mem-cap") {
+        Ok(Some(value)) => match value.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return fail(format!("invalid --mem-cap value `{value}`")),
+        },
+        Ok(None) => 64,
+        Err(err) => return fail(err),
+    };
+    let deadline = match deadline_flag(args) {
+        Ok(deadline) => deadline,
+        Err(err) => return fail(err),
+    };
+    let disk = cert_cache_flag(args).unwrap_or_else(|| CertStore::open(CertStore::default_root()));
+    let mut store = TieredStore::disk(disk);
+    if mem_cap > 0 {
+        store = store.with_mem(MemTier::with_capacity(mem_cap));
+    }
+    let mut config = ServeConfig::new(store);
+    config.addr = addr;
+    config.workers = workers;
+    config.queue_depth = queue_depth;
+    config.telemetry = args.iter().any(|a| a == "--telemetry");
+    if let Some(deadline) = deadline {
+        config.default_deadline = deadline;
+    }
+    let handle = match Server::start(config) {
+        Ok(handle) => handle,
+        Err(err) => return fail(format!("cannot start daemon: {err}")),
+    };
+    let bound = handle.addr();
+    eprintln!("armada serve: listening on {bound}");
+    if let Some(path) = addr_file {
+        if let Err(err) = std::fs::write(&path, format!("{bound}\n")) {
+            return fail(format!("cannot write `{path}`: {err}"));
+        }
+    }
+    handle.join();
+    eprintln!("armada serve: shut down");
+    ExitCode::SUCCESS
+}
+
+/// The `armada client` subcommand: one request against a running daemon.
+/// Verify responses adopt the pipeline's 0–4 exit taxonomy; `deadline` and
+/// `overloaded` map to 3 (inconclusive), protocol errors to 2.
+fn client_command(args: &[String]) -> ExitCode {
+    let fail = |err: String| {
+        eprintln!("armada: {err}");
+        ExitCode::from(2)
+    };
+    let value_flags = ["--deadline", "--jobs"];
+    let mut positional = Vec::new();
+    let mut skip_next = false;
+    for arg in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if value_flags.contains(&arg.as_str()) {
+            skip_next = true;
+            continue;
+        }
+        if arg.starts_with("--") {
+            continue;
+        }
+        positional.push(arg.as_str());
+    }
+    let Some(addr) = positional.first() else {
+        return usage();
+    };
+    let deadline = match deadline_flag(args) {
+        Ok(deadline) => deadline,
+        Err(err) => return fail(err),
+    };
+    // The daemon guarantees a structured answer within deadline + grace;
+    // pad generously so a client timeout means the daemon truly hung.
+    let timeout = deadline.unwrap_or(Duration::from_secs(30)) + Duration::from_secs(30);
+    let request = if args.iter().any(|a| a == "--shutdown") {
+        Request::Shutdown
+    } else if args.iter().any(|a| a == "--stats") {
+        Request::Stats
+    } else {
+        let Some(path) = positional.get(1) else {
+            return fail("client needs a <file.arm> (or --stats / --shutdown)".to_string());
+        };
+        let source = match std::fs::read_to_string(path) {
+            Ok(source) => source,
+            Err(err) => return fail(format!("cannot read `{path}`: {err}")),
+        };
+        let jobs = match jobs_flag(args) {
+            Ok(jobs) => jobs,
+            Err(err) => return fail(err),
+        };
+        Request::Verify(VerifyRequest {
+            source: Some(source),
+            path: None,
+            name: Some((*path).to_string()),
+            deadline_ms: deadline.map(|d| d.as_millis() as u64),
+            jobs: Some(jobs),
+        })
+    };
+    let response = match client_request(addr, &request, timeout) {
+        Ok(response) => response,
+        Err(err) => return fail(err),
+    };
+    let code = response.exit_code();
+    match response {
+        Response::Result {
+            render, coalesced, ..
+        } => {
+            print!("{render}");
+            if coalesced {
+                eprintln!("armada client: response coalesced with an in-flight request");
+            }
+        }
+        Response::Deadline { deadline_ms } => {
+            eprintln!("armada client: daemon gave up after the {deadline_ms}ms deadline");
+        }
+        Response::Overloaded { retry_after_ms } => {
+            eprintln!("armada client: daemon overloaded; retry after {retry_after_ms}ms");
+        }
+        Response::Error { message } => {
+            eprintln!("armada client: daemon error: {message}");
+        }
+        Response::Ok => eprintln!("armada client: ok"),
+        Response::Stats { counters } => {
+            for (name, value) in counters {
+                println!("{name} {value}");
+            }
+        }
+    }
+    ExitCode::from(code)
 }
 
 /// The implementation level: first in the recipe chain, or the first level

@@ -295,6 +295,177 @@ impl FaultPlan {
     }
 }
 
+/// One kind of injectable *server-level* fault, for `armada fuzz --serve`.
+///
+/// These are deliberately a separate taxonomy from [`FaultFate`]: the
+/// pipeline's ten fates are pinned by the in-process fuzzer's coverage
+/// invariants, while these four attack the daemon around the pipeline —
+/// its workers, its shared tier-2 cache, its admission path, and its
+/// coalescing map. Like the pipeline fates they split into classes:
+///
+/// * **recoverable** — the daemon must absorb the fault and still deliver
+///   the fault-free verdict: a killed worker is retried with backoff
+///   ([`WorkerKill`](ServerFate::WorkerKill)), a corrupted tier-2 record
+///   is audited and recomputed ([`Tier2Corrupt`](ServerFate::Tier2Corrupt)),
+///   a same-key storm coalesces into one run
+///   ([`SameKeyStorm`](ServerFate::SameKeyStorm));
+/// * **degrading** — [`AcceptJitter`](ServerFate::AcceptJitter) collapses
+///   the request's deadline on the accept path; the contract is a
+///   *structured* deadline response within deadline+grace, never a hang or
+///   a dropped connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ServerFate {
+    /// Kill (panic) the worker thread's first attempt at this request; the
+    /// daemon's bounded retry-with-backoff must recover it.
+    WorkerKill,
+    /// Corrupt this request's view of the tier-2 (disk) cert store: reads
+    /// see one flipped payload digit. Checksum validation must reject the
+    /// record, audit it, and recompute.
+    Tier2Corrupt,
+    /// Collapse the request's deadline to zero on the accept path (adverse
+    /// scheduling jitter between accept and admission).
+    AcceptJitter,
+    /// Turn this request into a same-key storm: the fuzz driver fires a
+    /// burst of concurrent identical requests, which must coalesce into a
+    /// single underlying verification with byte-identical responses.
+    SameKeyStorm,
+}
+
+/// Every server fate, in declaration order.
+pub const ALL_SERVER_FATES: [ServerFate; 4] = [
+    ServerFate::WorkerKill,
+    ServerFate::Tier2Corrupt,
+    ServerFate::AcceptJitter,
+    ServerFate::SameKeyStorm,
+];
+
+impl ServerFate {
+    /// Stable machine-readable label (the `--server-events` vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerFate::WorkerKill => "worker_kill",
+            ServerFate::Tier2Corrupt => "tier2_corrupt",
+            ServerFate::AcceptJitter => "accept_jitter",
+            ServerFate::SameKeyStorm => "same_key_storm",
+        }
+    }
+
+    /// Parses a [`ServerFate::label`].
+    pub fn parse(label: &str) -> Option<ServerFate> {
+        ALL_SERVER_FATES
+            .into_iter()
+            .find(|fate| fate.label() == label)
+    }
+
+    /// True for fates the daemon must absorb without any change to the
+    /// delivered verdict (see the type-level docs).
+    pub fn is_recoverable(self) -> bool {
+        !matches!(self, ServerFate::AcceptJitter)
+    }
+}
+
+/// One server-level injection point: `fate` applied to the request with
+/// admission ordinal `ordinal` (the daemon numbers verify requests in
+/// admission order, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ServerEvent {
+    /// The injected fault kind.
+    pub fate: ServerFate,
+    /// The 0-based verify-request ordinal it is pinned to.
+    pub ordinal: usize,
+}
+
+impl std::fmt::Display for ServerEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.fate.label(), self.ordinal)
+    }
+}
+
+/// Declarative server-level injection points for one daemon's lifetime.
+///
+/// Ordinals are assigned at admission, so a plan is only deterministic when
+/// the driver controls request order — the fuzzer injects fates exclusively
+/// on the ordinals of its *sequential* phase (one request in flight at a
+/// time) and drives storms as a driver-side behavior, never as an ordinal
+/// the concurrent phase could race over.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerPlan {
+    events: BTreeSet<ServerEvent>,
+}
+
+impl ServerPlan {
+    /// A plan that injects nothing.
+    pub fn new() -> ServerPlan {
+        ServerPlan::default()
+    }
+
+    /// Adds `fate` for the request with admission ordinal `ordinal`.
+    pub fn with_fate(mut self, fate: ServerFate, ordinal: usize) -> ServerPlan {
+        self.events.insert(ServerEvent { fate, ordinal });
+        self
+    }
+
+    /// Rebuilds a plan from an explicit event list (the reproducer format).
+    pub fn from_events(events: impl IntoIterator<Item = ServerEvent>) -> ServerPlan {
+        ServerPlan {
+            events: events.into_iter().collect(),
+        }
+    }
+
+    /// The plan's events, sorted (fate order, then ordinal).
+    pub fn events(&self) -> Vec<ServerEvent> {
+        self.events.iter().copied().collect()
+    }
+
+    /// Derives a plan from `seed` over the fuzzer's sequential-phase
+    /// ordinals `0..ordinals`. Each ordinal independently draws from a
+    /// stream seeded by `(seed, ordinal)`: with probability 4/8 it is left
+    /// alone, else one of the four [`ServerFate`]s is injected uniformly.
+    /// Order-independent by construction (same property as
+    /// [`FaultPlan::seeded`]).
+    pub fn seeded(seed: u64, ordinals: usize) -> ServerPlan {
+        let mut plan = ServerPlan::new();
+        for ordinal in 0..ordinals {
+            let mut rng = SplitMix64::new(seed ^ fnv1a_64(&(ordinal as u64).to_le_bytes()));
+            let draw = rng.below(8) as usize;
+            if let Some(&fate) = ALL_SERVER_FATES.get(draw.wrapping_sub(4)) {
+                plan = plan.with_fate(fate, ordinal);
+            }
+        }
+        plan
+    }
+
+    /// True if the request at `ordinal` has `fate` injected.
+    pub fn has(&self, fate: ServerFate, ordinal: usize) -> bool {
+        self.events.contains(&ServerEvent { fate, ordinal })
+    }
+
+    /// True if the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events inject `fate`.
+    pub fn count_of(&self, fate: ServerFate) -> usize {
+        self.events.iter().filter(|e| e.fate == fate).count()
+    }
+
+    /// One line per injection, for logging the plan alongside a report.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            let what = match event.fate {
+                ServerFate::WorkerKill => "kill worker on request",
+                ServerFate::Tier2Corrupt => "corrupt tier-2 reads of request",
+                ServerFate::AcceptJitter => "deadline jitter on accept of request",
+                ServerFate::SameKeyStorm => "same-key storm at request",
+            };
+            out.push_str(&format!("{what} #{}\n", event.ordinal));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,5 +563,42 @@ mod tests {
             (0.275..=0.475).contains(&clean_rate),
             "clean rate {clean_rate} far from 6/16"
         );
+    }
+
+    #[test]
+    fn server_plans_register_parse_and_cover_their_taxonomy() {
+        let plan = ServerPlan::new()
+            .with_fate(ServerFate::WorkerKill, 0)
+            .with_fate(ServerFate::Tier2Corrupt, 1);
+        assert!(plan.has(ServerFate::WorkerKill, 0));
+        assert!(!plan.has(ServerFate::WorkerKill, 1));
+        assert_eq!(ServerPlan::from_events(plan.events()), plan);
+        assert_eq!(plan.describe().lines().count(), 2);
+        for fate in ALL_SERVER_FATES {
+            assert_eq!(ServerFate::parse(fate.label()), Some(fate));
+        }
+        assert_eq!(ServerFate::parse("no_such_fate"), None);
+        // Recoverable split: only accept jitter legitimately degrades.
+        let recoverable: Vec<ServerFate> = ALL_SERVER_FATES
+            .into_iter()
+            .filter(|f| f.is_recoverable())
+            .collect();
+        assert_eq!(recoverable.len(), 3);
+
+        // Seeded plans are deterministic and sweep the whole taxonomy.
+        let mut counts = [0usize; ALL_SERVER_FATES.len()];
+        let mut clean = 0usize;
+        for seed in 0..64u64 {
+            let plan = ServerPlan::seeded(seed, 3);
+            assert_eq!(plan, ServerPlan::seeded(seed, 3));
+            for (i, fate) in ALL_SERVER_FATES.into_iter().enumerate() {
+                counts[i] += plan.count_of(fate);
+            }
+            clean += 3 - plan.events().len();
+        }
+        for (i, fate) in ALL_SERVER_FATES.into_iter().enumerate() {
+            assert!(counts[i] > 0, "server fate {} never drawn", fate.label());
+        }
+        assert!(clean > 0, "some ordinals must stay clean");
     }
 }

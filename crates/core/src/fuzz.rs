@@ -35,10 +35,20 @@
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::time::{Duration, Instant};
 
-use crate::fault::{FaultEvent, FaultFate, FaultPlan, ALL_FATES};
+use armada_runtime::hash::fnv1a_64;
+use armada_runtime::SplitMix64;
+
+use crate::fault::{
+    FaultEvent, FaultFate, FaultPlan, ServerEvent, ServerFate, ServerPlan, ALL_FATES,
+    ALL_SERVER_FATES,
+};
+use crate::proto::{Request, Response, VerifyRequest};
+use crate::serve::{client_request, Gate, ServeConfig, Server};
 use crate::verify::store::{CertStore, StoreShim};
+use crate::verify::tier::{MemTier, TieredStore};
 use crate::verify::SimConfig;
 use crate::{CacheDisposition, Pipeline, PipelineError};
 
@@ -91,6 +101,13 @@ pub struct FuzzConfig {
     /// When set, every cell uses exactly this plan instead of a seeded one
     /// (the reproducer path: `armada fuzz … --events …`).
     pub plan_override: Option<Vec<FaultEvent>>,
+    /// Mutate the verification *bounds* per seed as well as the faults:
+    /// each seed deterministically picks a nondeterminism grid, a
+    /// store-buffer size, and a node cap (see [`mutated_sim`]). The
+    /// baseline is recomputed per seed under the same bounds, so the
+    /// invariants compare like with like; reports stay byte-identical
+    /// across reruns because the mutation is a pure function of the seed.
+    pub mutate_bounds: bool,
 }
 
 impl Default for FuzzConfig {
@@ -102,8 +119,28 @@ impl Default for FuzzConfig {
             scratch_root: std::env::temp_dir().join(format!("armada-fuzz-{}", std::process::id())),
             mutant_unchecked_loads: false,
             plan_override: None,
+            mutate_bounds: false,
         }
     }
+}
+
+/// The bounds a given seed mutates to (`--mutate-bounds`): a deterministic
+/// pick of nondeterminism grid, store-buffer capacity, and product-node
+/// cap. Seed 0's pick is the default configuration, so the mutated sweep
+/// always includes the canonical bounds.
+pub fn mutated_sim(seed: u64) -> SimConfig {
+    const NONDET_GRIDS: [&[i128]; 3] = [&[0, 1, 2], &[0, 1], &[0, 1, 2, 5]];
+    const BUFFERS: [usize; 2] = [2, 1];
+    const NODE_CAPS: [usize; 3] = [200_000, 50_000, 5_000];
+    let mut rng = SplitMix64::new(seed ^ fnv1a_64(b"bounds-mutation"));
+    let mut sim = SimConfig::default();
+    if seed == 0 {
+        return sim;
+    }
+    sim.bounds.nondet_ints = NONDET_GRIDS[rng.below(NONDET_GRIDS.len() as u64) as usize].to_vec();
+    sim.bounds.max_buffer = BUFFERS[rng.below(BUFFERS.len() as u64) as usize];
+    sim.max_nodes = NODE_CAPS[rng.below(NODE_CAPS.len() as u64) as usize];
+    sim
 }
 
 /// The campaign invariants (see the module docs).
@@ -119,6 +156,13 @@ pub enum Invariant {
     VerdictInvariance,
     /// Renders differed across job counts.
     Determinism,
+    /// A serve request went unanswered past its deadline plus the daemon's
+    /// grace window (`armada fuzz --serve` only).
+    DeadlineOverrun,
+    /// A coalesced waiter observed a response differing from the leader's
+    /// — or the herd cost more than one underlying verification (`armada
+    /// fuzz --serve` only).
+    CoalesceDivergence,
 }
 
 impl Invariant {
@@ -130,6 +174,8 @@ impl Invariant {
             Invariant::CorruptCertServed => "corrupt_cert_served",
             Invariant::VerdictInvariance => "verdict_invariance",
             Invariant::Determinism => "determinism",
+            Invariant::DeadlineOverrun => "deadline_overrun",
+            Invariant::CoalesceDivergence => "coalesce_divergence",
         }
     }
 }
@@ -149,6 +195,11 @@ pub struct Violation {
     pub plan: Vec<FaultEvent>,
     /// The greedily shrunk minimal plan that still trips it.
     pub shrunk: Vec<FaultEvent>,
+    /// Serve campaigns: the full server-level plan that tripped the
+    /// invariant (empty for pipeline campaigns).
+    pub server_plan: Vec<ServerEvent>,
+    /// Serve campaigns: the shrunk minimal server-level plan.
+    pub server_shrunk: Vec<ServerEvent>,
     /// A ready-to-run CLI reproducer line.
     pub replay: String,
 }
@@ -162,14 +213,21 @@ pub struct CampaignReport {
     pub seeds: Vec<u64>,
     /// The job-count grid.
     pub jobs: Vec<usize>,
-    /// Pipeline executions performed (baselines + cold + warm + shrinking).
+    /// Pipeline executions performed (baselines + cold + warm + shrinking;
+    /// for serve campaigns, daemon requests sent).
     pub runs: usize,
     /// Invariant evaluations performed.
     pub checks: usize,
-    /// Faults injected per fate label, in [`ALL_FATES`] order.
+    /// Faults injected per fate label — [`ALL_FATES`] order for pipeline
+    /// campaigns, [`ALL_SERVER_FATES`] order for serve campaigns.
     pub injected: Vec<(&'static str, usize)>,
     /// Violations found (empty on a healthy pipeline).
     pub violations: Vec<Violation>,
+    /// `"pipeline"` for in-process campaigns, `"serve"` for daemon
+    /// campaigns.
+    pub mode: &'static str,
+    /// Whether the campaign mutated bounds per seed.
+    pub mutate_bounds: bool,
 }
 
 impl CampaignReport {
@@ -216,6 +274,8 @@ impl CampaignReport {
                 .collect::<Vec<_>>()
                 .join(", ")
         ));
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        out.push_str(&format!("  \"mutate_bounds\": {},\n", self.mutate_bounds));
         out.push_str(&format!("  \"runs\": {},\n", self.runs));
         out.push_str(&format!("  \"checks\": {},\n", self.checks));
         out.push_str("  \"injected\": {\n");
@@ -243,14 +303,19 @@ impl CampaignReport {
                 "      \"detail\": \"{}\",\n",
                 json_escape(&violation.detail)
             ));
-            out.push_str(&format!(
-                "      \"plan\": [{}],\n",
-                render_events_json(&violation.plan)
-            ));
-            out.push_str(&format!(
-                "      \"shrunk\": [{}],\n",
-                render_events_json(&violation.shrunk)
-            ));
+            let (plan, shrunk) = if violation.server_plan.is_empty() {
+                (
+                    render_events_json(&violation.plan),
+                    render_events_json(&violation.shrunk),
+                )
+            } else {
+                (
+                    render_server_events_json(&violation.server_plan),
+                    render_server_events_json(&violation.server_shrunk),
+                )
+            };
+            out.push_str(&format!("      \"plan\": [{plan}],\n"));
+            out.push_str(&format!("      \"shrunk\": [{shrunk}],\n"));
             out.push_str(&format!(
                 "      \"replay\": \"{}\"\n",
                 json_escape(&violation.replay)
@@ -266,6 +331,14 @@ impl CampaignReport {
 }
 
 fn render_events_json(events: &[FaultEvent]) -> String {
+    events
+        .iter()
+        .map(|e| format!("\"{}\"", json_escape(&e.to_string())))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn render_server_events_json(events: &[ServerEvent]) -> String {
     events
         .iter()
         .map(|e| format!("\"{}\"", json_escape(&e.to_string())))
@@ -352,10 +425,12 @@ fn run_once(
     jobs: usize,
     store_dir: &Path,
     mutant_unchecked_loads: bool,
+    sim: &SimConfig,
 ) -> RunResult {
     let start = Instant::now();
     let source = subject.source.clone();
     let plan = plan.clone();
+    let sim = sim.clone().with_jobs(jobs);
     let store = CertStore::open(store_dir).with_faults(StoreShim {
         unchecked_loads: mutant_unchecked_loads,
         ..StoreShim::default()
@@ -363,7 +438,7 @@ fn run_once(
     let outcome = catch_unwind(AssertUnwindSafe(move || {
         let pipeline = Pipeline::from_source(&source)
             .map_err(|e| e.to_string())?
-            .with_sim_config(SimConfig::default().with_jobs(jobs))
+            .with_sim_config(sim)
             .with_cert_store(store)
             .with_fault_plan(plan);
         pipeline.run().map_err(|e| e.to_string())
@@ -455,9 +530,9 @@ struct Baseline {
     error: Option<String>,
 }
 
-fn compute_baseline(subject: &FuzzSubject, scratch: &Path) -> (Baseline, usize) {
+fn compute_baseline(subject: &FuzzSubject, scratch: &Path, sim: &SimConfig) -> (Baseline, usize) {
     let dir = scratch.join("baseline");
-    let result = run_once(subject, &FaultPlan::new(), 1, &dir, false);
+    let result = run_once(subject, &FaultPlan::new(), 1, &dir, false, sim);
     let _ = std::fs::remove_dir_all(&dir);
     let baseline = Baseline {
         render_norm: normalize_render(&result.render),
@@ -481,6 +556,7 @@ fn run_cell(
     config: &FuzzConfig,
     baseline: &Baseline,
     scratch: &Path,
+    sim: &SimConfig,
 ) -> (Vec<(Invariant, String)>, usize, usize) {
     let mut violations: Vec<(Invariant, String)> = Vec::new();
     let mut runs = 0usize;
@@ -501,8 +577,22 @@ fn run_cell(
         // across the grid.
         let dir = scratch.join(format!("j{jobs}"));
         let _ = std::fs::remove_dir_all(&dir);
-        let cold = run_once(subject, plan, jobs, &dir, config.mutant_unchecked_loads);
-        let warm = run_once(subject, plan, jobs, &dir, config.mutant_unchecked_loads);
+        let cold = run_once(
+            subject,
+            plan,
+            jobs,
+            &dir,
+            config.mutant_unchecked_loads,
+            sim,
+        );
+        let warm = run_once(
+            subject,
+            plan,
+            jobs,
+            &dir,
+            config.mutant_unchecked_loads,
+            sim,
+        );
         let _ = std::fs::remove_dir_all(&dir);
         runs += 2;
 
@@ -605,13 +695,14 @@ fn shrink(
     config: &FuzzConfig,
     baseline: &Baseline,
     scratch: &Path,
+    sim: &SimConfig,
 ) -> (Vec<FaultEvent>, usize, usize) {
     let mut current: Vec<FaultEvent> = events.to_vec();
     let mut runs = 0usize;
     let mut checks = 0usize;
     let still_violates = |trial: &[FaultEvent], runs: &mut usize, checks: &mut usize| -> bool {
         let plan = FaultPlan::from_events(trial.iter().cloned());
-        let (violations, r, c) = run_cell(subject, &plan, config, baseline, scratch);
+        let (violations, r, c) = run_cell(subject, &plan, config, baseline, scratch, sim);
         *runs += r;
         *checks += c;
         violations.iter().any(|(inv, _)| *inv == invariant)
@@ -672,7 +763,7 @@ pub fn run_campaign(subjects: &[FuzzSubject], config: &FuzzConfig) -> CampaignRe
 
     for (subject_index, subject) in subjects.iter().enumerate() {
         let scratch = config.scratch_root.join(format!("s{subject_index}"));
-        let (baseline, baseline_runs) = compute_baseline(subject, &scratch);
+        let (baseline, baseline_runs) = compute_baseline(subject, &scratch, &SimConfig::default());
         runs += baseline_runs;
         if let Some(error) = &baseline.error {
             violations.push(Violation {
@@ -682,6 +773,8 @@ pub fn run_campaign(subjects: &[FuzzSubject], config: &FuzzConfig) -> CampaignRe
                 detail: format!("fault-free baseline failed: {error}"),
                 plan: Vec::new(),
                 shrunk: Vec::new(),
+                server_plan: Vec::new(),
+                server_shrunk: Vec::new(),
                 replay: format!("armada verify {}", subject.name),
             });
             continue;
@@ -710,8 +803,39 @@ pub fn run_campaign(subjects: &[FuzzSubject], config: &FuzzConfig) -> CampaignRe
                     .count();
             }
             let cell_scratch = scratch.join(format!("seed{seed}"));
+            // Mutated bounds change verdicts legitimately (a tighter node
+            // cap is a real budget-exhaustion), so each mutated seed gets
+            // its own like-for-like baseline.
+            let sim = if config.mutate_bounds {
+                mutated_sim(seed)
+            } else {
+                SimConfig::default()
+            };
+            let cell_baseline;
+            let baseline = if config.mutate_bounds && seed != 0 {
+                let (b, baseline_runs) = compute_baseline(subject, &cell_scratch, &sim);
+                runs += baseline_runs;
+                cell_baseline = b;
+                if let Some(error) = &cell_baseline.error {
+                    violations.push(Violation {
+                        invariant: Invariant::Taxonomy,
+                        subject: subject.name.clone(),
+                        seed,
+                        detail: format!("mutated-bounds baseline failed: {error}"),
+                        plan: Vec::new(),
+                        shrunk: Vec::new(),
+                        server_plan: Vec::new(),
+                        server_shrunk: Vec::new(),
+                        replay: format!("armada verify {}", subject.name),
+                    });
+                    continue;
+                }
+                &cell_baseline
+            } else {
+                &baseline
+            };
             let (cell_violations, cell_runs, cell_checks) =
-                run_cell(subject, &plan, config, &baseline, &cell_scratch);
+                run_cell(subject, &plan, config, baseline, &cell_scratch, &sim);
             runs += cell_runs;
             checks += cell_checks;
             for (invariant, detail) in cell_violations {
@@ -720,8 +844,9 @@ pub fn run_campaign(subjects: &[FuzzSubject], config: &FuzzConfig) -> CampaignRe
                     &plan.events(),
                     invariant,
                     config,
-                    &baseline,
+                    baseline,
                     &cell_scratch,
+                    &sim,
                 );
                 runs += shrink_runs;
                 checks += shrink_checks;
@@ -730,6 +855,22 @@ pub fn run_campaign(subjects: &[FuzzSubject], config: &FuzzConfig) -> CampaignRe
                     .map(|e| e.to_string())
                     .collect::<Vec<_>>()
                     .join(",");
+                // An explicit event plan replays on any seed; mutated
+                // bounds are a function of the seed, so the replay must
+                // sweep up to the failing one to reproduce them.
+                let replay = if config.mutate_bounds {
+                    format!(
+                        "armada fuzz {} --seeds {} --jobs {max_jobs} --mutate-bounds \
+                         --events {events_spec}",
+                        subject.name,
+                        seed + 1
+                    )
+                } else {
+                    format!(
+                        "armada fuzz {} --seeds 1 --jobs {max_jobs} --events {events_spec}",
+                        subject.name
+                    )
+                };
                 violations.push(Violation {
                     invariant,
                     subject: subject.name.clone(),
@@ -737,10 +878,9 @@ pub fn run_campaign(subjects: &[FuzzSubject], config: &FuzzConfig) -> CampaignRe
                     detail,
                     plan: plan.events(),
                     shrunk,
-                    replay: format!(
-                        "armada fuzz {} --seeds 1 --jobs {max_jobs} --events {events_spec}",
-                        subject.name
-                    ),
+                    server_plan: Vec::new(),
+                    server_shrunk: Vec::new(),
+                    replay,
                 });
             }
             let _ = std::fs::remove_dir_all(&cell_scratch);
@@ -756,6 +896,530 @@ pub fn run_campaign(subjects: &[FuzzSubject], config: &FuzzConfig) -> CampaignRe
         checks,
         injected,
         violations,
+        mode: "pipeline",
+        mutate_bounds: config.mutate_bounds,
+    }
+}
+
+/// Parses a comma-separated `fate:ordinal` server-event list (the
+/// `--server-events` CLI argument and the serve-campaign reproducer
+/// vocabulary).
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Events`] naming the offending token when an
+/// entry is malformed, names an unknown server fate, has a non-numeric
+/// ordinal, or repeats an earlier token (a [`ServerPlan`] is a set; see
+/// [`parse_events`] for the rationale).
+pub fn parse_server_events(spec: &str) -> Result<Vec<ServerEvent>, PipelineError> {
+    let bad = |token: &str, message: String| PipelineError::Events {
+        token: token.to_string(),
+        message,
+    };
+    let mut events: Vec<ServerEvent> = Vec::new();
+    for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+        let entry = entry.trim();
+        let (label, ordinal) = entry
+            .split_once(':')
+            .ok_or_else(|| bad(entry, "want fate:ordinal".to_string()))?;
+        let fate = ServerFate::parse(label)
+            .ok_or_else(|| bad(entry, format!("unknown server fate `{label}`")))?;
+        let ordinal: usize = ordinal
+            .parse()
+            .map_err(|_| bad(entry, format!("ordinal `{ordinal}` is not a number")))?;
+        let event = ServerEvent { fate, ordinal };
+        if events.contains(&event) {
+            return Err(bad(
+                entry,
+                "duplicate event (a server plan is a set; the repeat would be dropped)".to_string(),
+            ));
+        }
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Parameters for a daemon-level campaign (`armada fuzz --serve`).
+#[derive(Debug, Clone)]
+pub struct ServeFuzzConfig {
+    /// The seed grid; each seed derives one [`ServerPlan`] per subject.
+    pub seeds: Vec<u64>,
+    /// Job counts each request is sent at (deduplicated in order).
+    pub jobs: Vec<usize>,
+    /// Deadline attached to every fuzz request.
+    pub request_deadline: Duration,
+    /// Grace window the daemon is configured with.
+    pub grace: Duration,
+    /// Extra slack past `deadline + grace` before a slow answer counts as
+    /// a `deadline_overrun` violation (absorbs scheduler noise; never
+    /// reported).
+    pub overrun_slack: Duration,
+    /// Concurrent clients in a same-key storm.
+    pub storm_width: usize,
+    /// Root directory for per-cell scratch cert stores (never reported).
+    pub scratch_root: PathBuf,
+    /// When set, every cell uses exactly this plan instead of a seeded one
+    /// (the reproducer path: `armada fuzz --serve … --server-events …`).
+    pub plan_override: Option<Vec<ServerEvent>>,
+}
+
+impl Default for ServeFuzzConfig {
+    fn default() -> ServeFuzzConfig {
+        ServeFuzzConfig {
+            seeds: (0..8).collect(),
+            jobs: vec![1],
+            request_deadline: Duration::from_secs(20),
+            grace: Duration::from_secs(5),
+            overrun_slack: Duration::from_secs(5),
+            storm_width: 4,
+            scratch_root: std::env::temp_dir()
+                .join(format!("armada-serve-fuzz-{}", std::process::id())),
+            plan_override: None,
+        }
+    }
+}
+
+/// Admission ordinals a seeded server plan can pin fates on. The
+/// sequential phase sends exactly this many requests one at a time, so
+/// admission order — and therefore which request each fate lands on — is
+/// deterministic. Storm requests are admitted concurrently (racy
+/// ordinals ≥ `SEQ_ORDINALS`) and deliberately carry no fates.
+const SEQ_ORDINALS: usize = 3;
+
+/// What one daemon cell produced.
+struct ServeCell {
+    violations: Vec<(Invariant, String)>,
+    runs: usize,
+    checks: usize,
+    /// Renders from the sequential phase, `None` where the request was
+    /// jittered or failed (used for the cross-jobs determinism check).
+    seq_renders: Vec<Option<String>>,
+}
+
+/// One `(subject, plan, jobs)` daemon cell: boot a fresh daemon over a
+/// fresh tiered store, drive the sequential phase (cold at ordinal 0,
+/// warm after), then — when the plan calls for it — a same-key storm
+/// behind the worker gate, then a clean shutdown.
+fn run_serve_cell(
+    subject: &FuzzSubject,
+    plan: &ServerPlan,
+    jobs: usize,
+    config: &ServeFuzzConfig,
+    baseline: &Baseline,
+) -> ServeCell {
+    static CELL_SEQ: AtomicUsize = AtomicUsize::new(0);
+    let cell_id = CELL_SEQ.fetch_add(1, AtomicOrdering::SeqCst);
+    let store_dir = config.scratch_root.join(format!("serve{cell_id}"));
+    let mut cell = ServeCell {
+        violations: Vec::new(),
+        runs: 0,
+        checks: 0,
+        seq_renders: Vec::new(),
+    };
+
+    let store = TieredStore::disk(CertStore::open(&store_dir)).with_mem(MemTier::with_capacity(32));
+    let gate = Gate::open();
+    let mut serve_config = ServeConfig::new(store);
+    serve_config.default_deadline = config.request_deadline;
+    serve_config.grace = config.grace;
+    serve_config.plan = plan.clone();
+    serve_config.gate = Some(gate.clone());
+    let handle = match Server::start(serve_config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            cell.violations
+                .push((Invariant::Taxonomy, format!("daemon failed to start: {e}")));
+            return cell;
+        }
+    };
+    let addr = handle.addr().to_string();
+    // The client-side timeout sits well past the daemon's no-hang
+    // guarantee: hitting it means the guarantee broke, which the
+    // deadline-overrun check below turns into a violation.
+    let timeout = config.request_deadline + config.grace + Duration::from_secs(10);
+    let ceiling = config.request_deadline + config.grace + config.overrun_slack;
+    let verify_request = || {
+        Request::Verify(VerifyRequest {
+            source: Some(subject.source.clone()),
+            path: None,
+            name: Some(subject.name.clone()),
+            deadline_ms: Some(config.request_deadline.as_millis() as u64),
+            jobs: Some(jobs),
+        })
+    };
+
+    for ordinal in 0..SEQ_ORDINALS {
+        let start = Instant::now();
+        let response = client_request(&addr, &verify_request(), timeout);
+        let elapsed = start.elapsed();
+        cell.runs += 1;
+        let jittered = plan.has(ServerFate::AcceptJitter, ordinal);
+        cell.checks += 1;
+        if elapsed > ceiling {
+            cell.violations.push((
+                Invariant::DeadlineOverrun,
+                format!(
+                    "request {ordinal} answered after {}ms (ceiling {}ms)",
+                    elapsed.as_millis(),
+                    ceiling.as_millis()
+                ),
+            ));
+        }
+        cell.checks += 1;
+        match response {
+            Err(message) => {
+                cell.violations.push((
+                    Invariant::Taxonomy,
+                    format!("request {ordinal} failed: {message}"),
+                ));
+                cell.seq_renders.push(None);
+            }
+            Ok(Response::Result {
+                exit_code, render, ..
+            }) => {
+                if exit_code > 4 {
+                    cell.violations.push((
+                        Invariant::Taxonomy,
+                        format!(
+                            "request {ordinal} exit code {exit_code} is outside the 0-4 taxonomy"
+                        ),
+                    ));
+                }
+                if jittered {
+                    // A collapsed deadline legitimately degrades the
+                    // verdict; the render is excluded from invariance and
+                    // determinism comparisons.
+                    cell.seq_renders.push(None);
+                } else {
+                    cell.checks += 1;
+                    if normalize_render(&render) != baseline.render_norm {
+                        cell.violations.push((
+                            Invariant::VerdictInvariance,
+                            format!(
+                                "request {ordinal} verdict diverged from the fault-free \
+                                 baseline under recoverable faults"
+                            ),
+                        ));
+                    }
+                    cell.seq_renders.push(Some(render));
+                }
+            }
+            Ok(Response::Deadline { .. }) => {
+                if !jittered {
+                    cell.violations.push((
+                        Invariant::Taxonomy,
+                        format!("request {ordinal} hit its deadline without injected jitter"),
+                    ));
+                }
+                cell.seq_renders.push(None);
+            }
+            Ok(other) => {
+                cell.violations.push((
+                    Invariant::Taxonomy,
+                    format!(
+                        "request {ordinal} got an unexpected response kind (exit {})",
+                        other.exit_code()
+                    ),
+                ));
+                cell.seq_renders.push(None);
+            }
+        }
+    }
+
+    if plan.count_of(ServerFate::SameKeyStorm) > 0 {
+        let width = config.storm_width;
+        // Close the gate so the storm's leader blocks mid-verification and
+        // the herd piles up behind its in-flight entry.
+        gate.hold();
+        let waiters_before = handle.stats().waiters();
+        let verifications_before = handle.stats().verifications();
+        let results: Vec<Result<Response, String>> = std::thread::scope(|scope| {
+            let clients: Vec<_> = (0..width)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let request = verify_request();
+                    scope.spawn(move || client_request(&addr, &request, timeout))
+                })
+                .collect();
+            // Release only once every member is registered as a waiter, so
+            // coalescing (not timing luck) is what the checks exercise. The
+            // cap keeps a broken daemon from wedging the campaign.
+            let pile_up_by = Instant::now() + Duration::from_secs(10);
+            while handle.stats().waiters() < waiters_before + width as u64
+                && Instant::now() < pile_up_by
+            {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            gate.release();
+            clients
+                .into_iter()
+                .map(|c| {
+                    c.join()
+                        .unwrap_or_else(|_| Err("storm client panicked".to_string()))
+                })
+                .collect()
+        });
+        cell.runs += width;
+        cell.checks += 1;
+        let mut rows: Vec<(u8, bool, String, bool)> = Vec::new();
+        let mut broken = false;
+        for (member, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(Response::Result {
+                    exit_code,
+                    verified,
+                    render,
+                    coalesced,
+                }) => rows.push((exit_code, verified, render, coalesced)),
+                Ok(other) => {
+                    broken = true;
+                    cell.violations.push((
+                        Invariant::CoalesceDivergence,
+                        format!(
+                            "storm member {member} got a non-result response (exit {})",
+                            other.exit_code()
+                        ),
+                    ));
+                }
+                Err(message) => {
+                    broken = true;
+                    cell.violations.push((
+                        Invariant::CoalesceDivergence,
+                        format!("storm member {member} failed: {message}"),
+                    ));
+                }
+            }
+        }
+        if !broken {
+            let delta = handle.stats().verifications() - verifications_before;
+            if delta != 1 {
+                cell.violations.push((
+                    Invariant::CoalesceDivergence,
+                    format!("same-key storm cost {delta} verifications (want exactly 1)"),
+                ));
+            }
+            let leaders = rows.iter().filter(|r| !r.3).count();
+            if leaders != 1 {
+                cell.violations.push((
+                    Invariant::CoalesceDivergence,
+                    format!("storm produced {leaders} leaders (want exactly 1)"),
+                ));
+            }
+            let first = &rows[0];
+            if rows
+                .iter()
+                .any(|r| (r.0, r.1, &r.2) != (first.0, first.1, &first.2))
+            {
+                cell.violations.push((
+                    Invariant::CoalesceDivergence,
+                    "storm members observed differing responses".to_string(),
+                ));
+            }
+            cell.checks += 1;
+            if normalize_render(&first.2) != baseline.render_norm {
+                cell.violations.push((
+                    Invariant::CoalesceDivergence,
+                    "coalesced verdict diverged from a cold run".to_string(),
+                ));
+            }
+        }
+    }
+
+    cell.checks += 1;
+    if let Err(message) = handle.shutdown() {
+        cell.violations.push((
+            Invariant::Taxonomy,
+            format!("clean shutdown failed: {message}"),
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+    cell
+}
+
+/// Greedy shrink over a server plan (the daemon analogue of [`shrink`]).
+fn shrink_serve(
+    subject: &FuzzSubject,
+    events: &[ServerEvent],
+    invariant: Invariant,
+    jobs: usize,
+    config: &ServeFuzzConfig,
+    baseline: &Baseline,
+) -> (Vec<ServerEvent>, usize, usize) {
+    let mut current: Vec<ServerEvent> = events.to_vec();
+    let mut runs = 0usize;
+    let mut checks = 0usize;
+    let still_violates = |trial: &[ServerEvent], runs: &mut usize, checks: &mut usize| -> bool {
+        let plan = ServerPlan::from_events(trial.iter().copied());
+        let cell = run_serve_cell(subject, &plan, jobs, config, baseline);
+        *runs += cell.runs;
+        *checks += cell.checks;
+        cell.violations.iter().any(|(inv, _)| *inv == invariant)
+    };
+    let mut progress = true;
+    while progress && !current.is_empty() {
+        progress = false;
+        for i in 0..current.len() {
+            let mut trial = current.clone();
+            trial.remove(i);
+            if still_violates(&trial, &mut runs, &mut checks) {
+                current = trial;
+                progress = true;
+                break;
+            }
+        }
+    }
+    (current, runs, checks)
+}
+
+/// Runs a daemon-level campaign: per `(subject, seed, jobs)` cell, boot a
+/// fresh `armada serve` daemon, drive it through the seeded [`ServerPlan`]
+/// (killed workers, corrupted tier-2 entries under live readers, accept
+/// jitter, same-key storms), and check the pipeline invariants that
+/// transfer plus the two daemon-specific ones: `deadline_overrun` (every
+/// request is answered within deadline + grace) and `coalesce_divergence`
+/// (a herd costs one verification and every member sees the leader's
+/// bytes). Violations shrink and get `armada fuzz --serve …
+/// --server-events …` reproducer lines. The report is as deterministic as
+/// the pipeline campaign's: same `(subjects, config)` → byte-identical
+/// JSON.
+pub fn run_serve_campaign(subjects: &[FuzzSubject], config: &ServeFuzzConfig) -> CampaignReport {
+    quiet_injected_panics();
+    let mut injected: Vec<(&'static str, usize)> =
+        ALL_SERVER_FATES.iter().map(|f| (f.label(), 0)).collect();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut runs = 0usize;
+    let mut checks = 0usize;
+    let mut jobs_grid: Vec<usize> = Vec::new();
+    for &jobs in &config.jobs {
+        if !jobs_grid.contains(&jobs) {
+            jobs_grid.push(jobs);
+        }
+    }
+    if jobs_grid.is_empty() {
+        jobs_grid.push(1);
+    }
+
+    for (subject_index, subject) in subjects.iter().enumerate() {
+        let scratch = config.scratch_root.join(format!("s{subject_index}"));
+        let (baseline, baseline_runs) = compute_baseline(subject, &scratch, &SimConfig::default());
+        runs += baseline_runs;
+        if let Some(error) = &baseline.error {
+            violations.push(Violation {
+                invariant: Invariant::Taxonomy,
+                subject: subject.name.clone(),
+                seed: 0,
+                detail: format!("fault-free baseline failed: {error}"),
+                plan: Vec::new(),
+                shrunk: Vec::new(),
+                server_plan: Vec::new(),
+                server_shrunk: Vec::new(),
+                replay: format!("armada verify {}", subject.name),
+            });
+            continue;
+        }
+        for &seed in &config.seeds {
+            let plan = match &config.plan_override {
+                Some(events) => ServerPlan::from_events(events.iter().copied()),
+                None => ServerPlan::seeded(seed, SEQ_ORDINALS),
+            };
+            for entry in injected.iter_mut() {
+                entry.1 += plan
+                    .events()
+                    .iter()
+                    .filter(|e| e.fate.label() == entry.0)
+                    .count();
+            }
+            let mut renders_by_jobs: Vec<(usize, Vec<Option<String>>)> = Vec::new();
+            for &jobs in &jobs_grid {
+                let cell = run_serve_cell(subject, &plan, jobs, config, &baseline);
+                runs += cell.runs;
+                checks += cell.checks;
+                for (invariant, detail) in cell.violations {
+                    let (shrunk, shrink_runs, shrink_checks) =
+                        shrink_serve(subject, &plan.events(), invariant, jobs, config, &baseline);
+                    runs += shrink_runs;
+                    checks += shrink_checks;
+                    let events_spec = shrunk
+                        .iter()
+                        .map(|e| e.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let replay = if events_spec.is_empty() {
+                        format!(
+                            "armada fuzz --serve {} --seeds 1 --jobs {jobs}",
+                            subject.name
+                        )
+                    } else {
+                        format!(
+                            "armada fuzz --serve {} --seeds 1 --jobs {jobs} \
+                             --server-events {events_spec}",
+                            subject.name
+                        )
+                    };
+                    violations.push(Violation {
+                        invariant,
+                        subject: subject.name.clone(),
+                        seed,
+                        detail,
+                        plan: Vec::new(),
+                        shrunk: Vec::new(),
+                        server_plan: plan.events(),
+                        server_shrunk: shrunk,
+                        replay,
+                    });
+                }
+                renders_by_jobs.push((jobs, cell.seq_renders));
+            }
+            // Cross-jobs determinism: sequential renders must agree
+            // wherever both job counts produced one.
+            if let Some((first_jobs, first_renders)) = renders_by_jobs.first() {
+                for (other_jobs, other_renders) in renders_by_jobs.iter().skip(1) {
+                    checks += 1;
+                    let diverged = first_renders
+                        .iter()
+                        .zip(other_renders.iter())
+                        .any(|(a, b)| matches!((a, b), (Some(a), Some(b)) if a != b));
+                    if diverged {
+                        violations.push(Violation {
+                            invariant: Invariant::Determinism,
+                            subject: subject.name.clone(),
+                            seed,
+                            detail: format!(
+                                "daemon renders differ between jobs={first_jobs} and \
+                                 jobs={other_jobs}"
+                            ),
+                            plan: Vec::new(),
+                            shrunk: Vec::new(),
+                            server_plan: plan.events(),
+                            server_shrunk: plan.events(),
+                            replay: format!(
+                                "armada fuzz --serve {} --seeds {} --jobs {}",
+                                subject.name,
+                                seed + 1,
+                                jobs_grid
+                                    .iter()
+                                    .map(|j| j.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(",")
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    let _ = std::fs::remove_dir_all(&config.scratch_root);
+    CampaignReport {
+        subjects: subjects.iter().map(|s| s.name.clone()).collect(),
+        seeds: config.seeds.clone(),
+        jobs: jobs_grid,
+        runs,
+        checks,
+        injected,
+        violations,
+        mode: "serve",
+        mutate_bounds: false,
     }
 }
 
@@ -819,6 +1483,61 @@ mod tests {
                 .len(),
             2
         );
+    }
+
+    #[test]
+    fn server_event_specs_round_trip_and_reject_bad_tokens() {
+        let events = parse_server_events("worker_kill:0, same_key_storm:2").unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].fate, ServerFate::WorkerKill);
+        assert_eq!(events[1].ordinal, 2);
+        let spec = events
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        assert_eq!(parse_server_events(&spec).unwrap(), events);
+        for bad in [
+            "dance:0",
+            "worker_kill",
+            "worker_kill:zero",
+            "worker_kill:0,worker_kill:0",
+        ] {
+            assert!(
+                matches!(parse_server_events(bad), Err(PipelineError::Events { .. })),
+                "`{bad}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_serve_campaign_covers_every_server_fate_and_stays_clean() {
+        let subjects = [FuzzSubject::new("tiny", TINY)];
+        let config = ServeFuzzConfig {
+            seeds: vec![0],
+            jobs: vec![1],
+            storm_width: 3,
+            scratch_root: scratch("serve-campaign"),
+            plan_override: Some(
+                parse_server_events(
+                    "worker_kill:0,tier2_corrupt:1,accept_jitter:2,same_key_storm:0",
+                )
+                .unwrap(),
+            ),
+            ..ServeFuzzConfig::default()
+        };
+        let report = run_serve_campaign(&subjects, &config);
+        assert_eq!(report.mode, "serve");
+        assert!(
+            report.ok(),
+            "serve campaign tripped invariants: {}",
+            report.to_json()
+        );
+        assert!(report.all_fates_injected(), "{:?}", report.injected);
+        // Byte-identical rerun: the report is a pure function of
+        // (subjects, config).
+        let again = run_serve_campaign(&subjects, &config);
+        assert_eq!(report.to_json(), again.to_json());
     }
 
     #[test]

@@ -76,6 +76,8 @@
 pub mod error;
 pub mod fault;
 pub mod fuzz;
+pub mod proto;
+pub mod serve;
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -101,6 +103,7 @@ use armada_proof::StrategyReport;
 use armada_runtime::StageTelemetry;
 use armada_sm::lower;
 use armada_verify::store::{CertKey, CertStore, ReadFault, WriteFault};
+use armada_verify::tier::TieredStore;
 use armada_verify::{
     check_refinement, check_refinement_with_telemetry, RefinementCert, RefinementChain, SimConfig,
 };
@@ -135,8 +138,11 @@ pub struct Pipeline {
     /// strategies (on by default; heavy case studies may disable it for the
     /// strategy-only effort accounting).
     pub semantic_check: bool,
-    /// Persist/reuse refinement certificates, when configured.
-    cert_store: Option<CertStore>,
+    /// Persist/reuse refinement certificates, when configured. A plain
+    /// disk store (`with_cert_store`) and a memory→disk hierarchy
+    /// (`with_tiered_store`, the serve daemon's configuration) are the
+    /// same thing here: a [`TieredStore`] with zero or one memory tiers.
+    cert_store: Option<TieredStore>,
     /// Deterministic fault injection (empty by default; tests only).
     fault: FaultPlan,
     /// Collect per-stage pipeline histograms during semantic checks (off
@@ -260,6 +266,12 @@ pub struct PipelineReport {
     pub outcomes: Vec<RecipeReport>,
     /// The transitively composed chain, when every pair verified.
     pub chain: Option<RefinementChain>,
+    /// Cert-store records that were present but failed validation during
+    /// this run (and were silently recomputed). Zero when no store was
+    /// configured. Diagnostic only — excluded from `Display`, surfaced by
+    /// the CLI as a one-line stderr warning under `--telemetry` so tier-2
+    /// corruption is observable instead of invisible.
+    pub corrupt_loads: u64,
 }
 
 impl PipelineReport {
@@ -412,6 +424,14 @@ impl Pipeline {
     /// Persists refinement certificates to `store` and reuses
     /// checksum-valid entries on subsequent runs (see [`verify::store`]).
     pub fn with_cert_store(mut self, store: CertStore) -> Pipeline {
+        self.cert_store = Some(TieredStore::disk(store));
+        self
+    }
+
+    /// Uses a full cache hierarchy — typically a shared in-memory tier in
+    /// front of a disk store (see [`verify::tier`]); the serve daemon
+    /// passes one hierarchy to every request's pipeline.
+    pub fn with_tiered_store(mut self, store: TieredStore) -> Pipeline {
         self.cert_store = Some(store);
         self
     }
@@ -420,15 +440,19 @@ impl Pipeline {
     /// — when none was configured — the `ARMADA_CERT_CACHE` environment
     /// variable (a directory path; an empty value selects the conventional
     /// `target/armada-certs/`). Returns `None` when caching is off.
-    fn resolved_cert_store(&self) -> Option<CertStore> {
+    fn resolved_cert_store(&self) -> Option<TieredStore> {
         if let Some(store) = &self.cert_store {
             return Some(store.clone());
         }
         let dir = std::env::var_os("ARMADA_CERT_CACHE")?;
         if dir.is_empty() {
-            Some(CertStore::open(CertStore::default_root()))
+            Some(TieredStore::disk(
+                CertStore::open(CertStore::default_root()),
+            ))
         } else {
-            Some(CertStore::open(std::path::PathBuf::from(dir)))
+            Some(TieredStore::disk(CertStore::open(
+                std::path::PathBuf::from(dir),
+            )))
         }
     }
 
@@ -505,7 +529,7 @@ impl Pipeline {
         index: usize,
         recipe: &Recipe,
         relation: &StandardRelation,
-        cert_store: Option<&CertStore>,
+        cert_store: Option<&TieredStore>,
     ) -> Result<RecipeRun, PipelineError> {
         let outcome =
             |status: RecipeStatus, detail: String, cache: CacheDisposition| RecipeReport {
@@ -751,6 +775,9 @@ impl Pipeline {
         // Resolved once per run: either the configured store or the
         // `ARMADA_CERT_CACHE` environment fallback.
         let cert_store = self.resolved_cert_store();
+        // Audit baseline: the store handle may be shared across runs (the
+        // serve daemon reuses one hierarchy), so report the delta.
+        let corrupt_before = cert_store.as_ref().map_or(0, |s| s.corrupt_loads());
         // A panic that escapes `run_recipe` (i.e. outside the two
         // per-stage `catch_unwind`s — pool bookkeeping, lowering, the cert
         // store) is still confined to its recipe here, so one bad worker
@@ -843,11 +870,15 @@ impl Pipeline {
             }
             Err(_) => None,
         };
+        let corrupt_loads = cert_store
+            .as_ref()
+            .map_or(0, |s| s.corrupt_loads().saturating_sub(corrupt_before));
         Ok(PipelineReport {
             strategy_reports,
             refinements,
             outcomes,
             chain,
+            corrupt_loads,
         })
     }
 

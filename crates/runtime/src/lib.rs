@@ -48,7 +48,7 @@ pub use measure::{queue_throughput_ops_per_sec, Stats};
 pub use prng::{run_seeded_cases, SplitMix64};
 pub use ring::Backoff;
 pub use spsc::{spsc_queue, Bitmask, Consumer, HwTso, Modulo, Producer, SeqCstConservative};
-pub use telemetry::{Histogram, Stage, StageTelemetry};
+pub use telemetry::{CounterSet, Histogram, Stage, StageTelemetry};
 
 /// The checked-in source of [`generated`], compared against the backend's
 /// emitter output by an integration test.

@@ -240,9 +240,96 @@ impl StageTelemetry {
     }
 }
 
+/// A named set of monotonic event counters — the telemetry layer's
+/// companion to [`StageTelemetry`] for things that are *counted* rather
+/// than *timed* (cache hits, evictions, shed requests). Counters are
+/// identified by a static label, kept in sorted order, and render
+/// deterministically: the same sequence of `add` calls always produces the
+/// same table, so counter output can sit on diagnostic channels without
+/// perturbing byte-identity gates (values themselves may of course depend
+/// on wall-clock behavior — render only to stderr, like histograms).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl CounterSet {
+    pub fn new() -> CounterSet {
+        CounterSet::default()
+    }
+
+    /// Adds `delta` to the counter named `label`, creating it at zero
+    /// first if this is its first mention.
+    pub fn add(&mut self, label: &'static str, delta: u64) {
+        match self.counters.binary_search_by(|(l, _)| l.cmp(&label)) {
+            Ok(i) => self.counters[i].1 += delta,
+            Err(i) => self.counters.insert(i, (label, delta)),
+        }
+    }
+
+    /// Current value of `label` (absent counters read zero).
+    pub fn get(&self, label: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Folds another set into this one, summing shared labels.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for &(label, value) in &other.counters {
+            self.add(label, value);
+        }
+    }
+
+    /// The counters in label order.
+    pub fn entries(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// One `label value` line per counter, label-sorted.
+    pub fn render(&self) -> String {
+        let width = self
+            .counters
+            .iter()
+            .map(|(l, _)| l.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (label, value) in &self.counters {
+            out.push_str(&format!("{label:<width$}  {value}\n"));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counter_sets_accumulate_merge_and_render_sorted() {
+        let mut a = CounterSet::new();
+        a.add("hits", 2);
+        a.add("evictions", 1);
+        a.add("hits", 3);
+        assert_eq!(a.get("hits"), 5);
+        assert_eq!(a.get("absent"), 0);
+        let mut b = CounterSet::new();
+        b.add("hits", 1);
+        b.add("misses", 7);
+        a.merge(&b);
+        assert_eq!(a.get("hits"), 6);
+        let labels: Vec<&str> = a.entries().iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, vec!["evictions", "hits", "misses"]);
+        let render = a.render();
+        assert!(render.contains("misses"));
+        assert_eq!(render.lines().count(), 3);
+    }
 
     #[test]
     fn buckets_are_powers_of_two() {

@@ -64,6 +64,7 @@
 //! which worker found it first.
 
 pub mod store;
+pub mod tier;
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::hash::BuildHasherDefault;

@@ -31,6 +31,8 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use armada_runtime::hash::Fnv64;
 
@@ -148,6 +150,12 @@ impl CertKey {
 pub struct CertStore {
     root: PathBuf,
     shim: StoreShim,
+    /// Records that were *present* but failed validation on load (torn,
+    /// bit-flipped, version-skewed, or addressed to the wrong pair). The
+    /// counter is shared across clones of this handle — including the
+    /// per-recipe fault-shimmed views the pipeline makes — so tier-2
+    /// corruption is auditable instead of silently recomputed away.
+    rejected_loads: Arc<AtomicU64>,
 }
 
 impl CertStore {
@@ -157,6 +165,7 @@ impl CertStore {
         CertStore {
             root: root.into(),
             shim: StoreShim::default(),
+            rejected_loads: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -227,13 +236,31 @@ impl CertStore {
         if let Some(ReadFault::Corrupt) = self.shim.read {
             flip_payload_digit(&mut bytes);
         }
-        let text = String::from_utf8(bytes).ok()?;
-        let cert = deserialize(&text, !self.shim.unchecked_loads)?;
+        // From here on a record *exists*: any rejection below is audited as
+        // a corrupt load (the recompute is silent for results, not for the
+        // operator — `--telemetry` surfaces the counter).
+        let reject = || {
+            self.rejected_loads.fetch_add(1, Ordering::Relaxed);
+            None
+        };
+        let Ok(text) = String::from_utf8(bytes) else {
+            return reject();
+        };
+        let Some(cert) = deserialize(&text, !self.shim.unchecked_loads) else {
+            return reject();
+        };
         if cert.low == low && cert.high == high {
             Some(cert)
         } else {
-            None
+            reject()
         }
+    }
+
+    /// How many loads found a record that failed validation (and were
+    /// therefore answered as misses, forcing recomputation). Shared across
+    /// clones of this handle.
+    pub fn corrupt_loads(&self) -> u64 {
+        self.rejected_loads.load(Ordering::Relaxed)
     }
 
     /// Strict re-validation sweep over every record in the store, ignoring
@@ -299,7 +326,7 @@ fn payload(cert: &RefinementCert) -> String {
     )
 }
 
-fn serialize(cert: &RefinementCert) -> String {
+pub(crate) fn serialize(cert: &RefinementCert) -> String {
     let payload = payload(cert);
     let checksum = armada_runtime::hash::fnv1a_64(payload.as_bytes());
     format!("{payload}checksum {checksum:016x}\n")
@@ -307,7 +334,7 @@ fn serialize(cert: &RefinementCert) -> String {
 
 /// Parses a record. `validate_checksum` is always true in production; only
 /// the [`StoreShim::unchecked_loads`] mutant hook clears it.
-fn deserialize(text: &str, validate_checksum: bool) -> Option<RefinementCert> {
+pub(crate) fn deserialize(text: &str, validate_checksum: bool) -> Option<RefinementCert> {
     // The checksum line is last; everything before it is the payload the
     // checksum covers. Re-hash first so *any* payload damage — even damage
     // that would still parse — is rejected.
@@ -514,6 +541,34 @@ mod tests {
             None,
             "strict load rejects"
         );
+    }
+
+    #[test]
+    fn corrupt_loads_are_audited_and_shared_across_clones() {
+        let store = scratch_store("audit_counter");
+        let key = CertKey::compute("module text", "Impl", "Spec", &SimConfig::default());
+        let cert = sample_cert();
+        assert_eq!(store.corrupt_loads(), 0);
+        // Absent records are plain misses, not corruption.
+        assert_eq!(store.load(&key, "Impl", "Spec"), None);
+        assert_eq!(store.corrupt_loads(), 0);
+        // A clean hit is not corruption either.
+        store.save(&key, &cert).expect("save");
+        assert!(store.load(&key, "Impl", "Spec").is_some());
+        assert_eq!(store.corrupt_loads(), 0);
+        // A shimmed corrupt read is audited — on the clone *and* on the
+        // original handle (the counter is shared).
+        let bad_reader = store.clone().with_faults(StoreShim {
+            read: Some(ReadFault::Corrupt),
+            ..StoreShim::default()
+        });
+        assert_eq!(bad_reader.load(&key, "Impl", "Spec"), None);
+        assert_eq!(bad_reader.corrupt_loads(), 1);
+        assert_eq!(store.corrupt_loads(), 1);
+        // On-disk damage is audited too.
+        std::fs::write(store.path_for(&key), "total garbage\n").expect("write");
+        assert_eq!(store.load(&key, "Impl", "Spec"), None);
+        assert_eq!(store.corrupt_loads(), 2);
     }
 
     #[test]

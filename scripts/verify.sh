@@ -113,6 +113,83 @@ if [[ "${1:-}" == "--full" ]]; then
     diff "$SMOKE_DIR/fuzz_report.json" "$SMOKE_DIR/fuzz_report_again.json" \
         || { echo "fuzz campaign report is not deterministic"; exit 1; }
 
+    echo "==> armada serve smoke gate (cold+warm+coalesced, clean shutdown)"
+    # Boot the daemon on an ephemeral port, drive it through a cold
+    # request, a warm (cache-hit) request, and an 8-client same-key storm,
+    # then shut it down cleanly. The client preserves the verify exit
+    # taxonomy (0 verified; deadline/overload map to 3; protocol errors
+    # to 2), and all storm reports must agree modulo cache-disposition
+    # annotations.
+    SERVE_CACHE="$SMOKE_DIR/serve-certs"
+    "$ARMADA_BIN" serve --addr 127.0.0.1:0 --addr-file "$SMOKE_DIR/serve.addr" \
+        --cert-cache="$SERVE_CACHE" 2>"$SMOKE_DIR/serve.log" &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$SMOKE_DIR/serve.addr" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$SMOKE_DIR/serve.addr" ]] \
+        || { echo "daemon never published its address"; exit 1; }
+    SERVE_ADDR=$(cat "$SMOKE_DIR/serve.addr")
+    "$ARMADA_BIN" client "$SERVE_ADDR" specs/counter.arm \
+        >"$SMOKE_DIR/serve_cold.out" && rc=0 || rc=$?
+    [[ "$rc" -eq 0 ]] || { echo "cold serve request exited $rc"; exit 1; }
+    grep -q "cert cache miss" "$SMOKE_DIR/serve_cold.out" \
+        || { echo "cold serve request should miss the cache"; exit 1; }
+    "$ARMADA_BIN" client "$SERVE_ADDR" specs/counter.arm \
+        >"$SMOKE_DIR/serve_warm.out" && rc=0 || rc=$?
+    [[ "$rc" -eq 0 ]] || { echo "warm serve request exited $rc"; exit 1; }
+    grep -q "cert cache hit" "$SMOKE_DIR/serve_warm.out" \
+        || { echo "warm serve request should hit the cache"; exit 1; }
+    STORM_PIDS=()
+    for i in $(seq 1 8); do
+        "$ARMADA_BIN" client "$SERVE_ADDR" specs/spinlock.arm \
+            >"$SMOKE_DIR/serve_storm_$i.out" &
+        STORM_PIDS+=($!)
+    done
+    for pid in "${STORM_PIDS[@]}"; do
+        wait "$pid" || { echo "storm client $pid failed"; exit 1; }
+    done
+    for i in $(seq 1 8); do
+        sed 's/ (cert cache \(hit\|miss\))//; s/ (from cert store)//' \
+            "$SMOKE_DIR/serve_storm_$i.out" >"$SMOKE_DIR/serve_storm_$i.norm"
+    done
+    for i in $(seq 2 8); do
+        diff "$SMOKE_DIR/serve_storm_1.norm" "$SMOKE_DIR/serve_storm_$i.norm" \
+            || { echo "storm member $i observed a divergent verdict"; exit 1; }
+    done
+    "$ARMADA_BIN" client "$SERVE_ADDR" --stats >"$SMOKE_DIR/serve_stats.out" \
+        || { echo "stats request failed"; exit 1; }
+    grep -q "serve.requests 10" "$SMOKE_DIR/serve_stats.out" \
+        || { echo "daemon miscounted its requests:"; \
+             cat "$SMOKE_DIR/serve_stats.out"; exit 1; }
+    "$ARMADA_BIN" client "$SERVE_ADDR" /nonexistent.arm >/dev/null 2>&1 && rc=0 || rc=$?
+    [[ "$rc" -eq 2 ]] \
+        || { echo "unreadable client subject should exit 2, got $rc"; exit 1; }
+    "$ARMADA_BIN" client "$SERVE_ADDR" --shutdown >/dev/null 2>&1 \
+        || { echo "shutdown request failed"; exit 1; }
+    wait "$SERVE_PID" || { echo "daemon exited uncleanly"; exit 1; }
+    grep -q "armada serve: shut down" "$SMOKE_DIR/serve.log" \
+        || { echo "daemon never logged its shutdown"; exit 1; }
+
+    echo "==> armada fuzz --serve smoke gate (8 seeds, server fates, jobs {1,4})"
+    # The daemon-level campaign: per (subject, seed, jobs) cell a fresh
+    # daemon runs through killed workers, corrupted tier-2 entries under
+    # live readers, accept jitter, and same-key storms; zero violations
+    # means no hang past deadline+grace, no divergent coalesced verdict,
+    # no corrupt cert served, and structured shedding throughout. The
+    # report must be byte-identical across reruns.
+    "$ARMADA_BIN" fuzz --serve specs/counter.arm specs/spinlock.arm \
+        --seeds 8 --jobs 4 --out "$SMOKE_DIR/serve_fuzz.json" \
+        || { echo "armada fuzz --serve found invariant violations:"; \
+             cat "$SMOKE_DIR/serve_fuzz.json"; exit 1; }
+    grep -q '"violations": \[\]' "$SMOKE_DIR/serve_fuzz.json" \
+        || { echo "non-empty violations in serve fuzz report"; exit 1; }
+    "$ARMADA_BIN" fuzz --serve specs/counter.arm specs/spinlock.arm \
+        --seeds 8 --jobs 4 --out "$SMOKE_DIR/serve_fuzz_again.json" 2>/dev/null || true
+    diff "$SMOKE_DIR/serve_fuzz.json" "$SMOKE_DIR/serve_fuzz_again.json" \
+        || { echo "serve fuzz campaign report is not deterministic"; exit 1; }
+
     echo "==> stage-pipeline gate (jobs=1 vs jobs=4, telemetry invisible)"
     # The pinned-role ring pipeline must render byte-identically at any
     # job count, and --telemetry must change stderr only: for every spec,
