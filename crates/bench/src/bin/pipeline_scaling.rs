@@ -8,7 +8,9 @@
 //! - the `--telemetry` overhead as a median of paired back-to-back ratios
 //!   (load drift on a shared box poisons unpaired comparisons; pairing and
 //!   order-alternation are the same discipline `examples/telemetry_gate.rs`
-//!   uses to enforce the <2% budget);
+//!   uses to enforce the <2% budget). The overhead is clamped at zero — a
+//!   negative measurement is physically impossible, so its magnitude is
+//!   reported separately as `noise_floor`;
 //! - speedup versus the jobs=1 inline pipeline.
 //!
 //! Every run asserts the interned state count against a reference
@@ -117,17 +119,24 @@ fn main() {
             serial_secs = plain;
         }
         let states_per_sec = states as f64 / plain;
-        let overhead = median_ratio - 1.0;
+        // A median ratio below 1.0 means the instrumented run measured
+        // *faster* than the plain one — impossible as a real effect, so it
+        // is run-to-run noise. Clamp the overhead at zero and report the
+        // magnitude separately as `noise_floor`: the smallest overhead
+        // this host could have distinguished from nothing.
+        let overhead = (median_ratio - 1.0).max(0.0);
+        let noise_floor = (1.0 - median_ratio).max(0.0);
         let speedup = serial_secs / plain;
         best_speedup = best_speedup.max(speedup);
         worst_overhead = worst_overhead.max(overhead);
         println!(
             "  jobs={jobs}: {:.1} ms, {:.0} states/sec, speedup {:.2}x, \
-             telemetry overhead {:+.1}%",
+             telemetry overhead {:+.1}% (noise floor {:.1}%)",
             plain * 1e3,
             states_per_sec,
             speedup,
             overhead * 1e2,
+            noise_floor * 1e2,
         );
         rows.push(Json::obj(vec![
             ("jobs", Json::int(jobs)),
@@ -135,6 +144,7 @@ fn main() {
             ("states_per_sec", Json::Num(states_per_sec)),
             ("mean_ms_telemetry", Json::Num(with_tel * 1e3)),
             ("telemetry_overhead", Json::Num(overhead)),
+            ("noise_floor", Json::Num(noise_floor)),
             ("speedup_vs_serial", Json::Num(speedup)),
         ]));
     }

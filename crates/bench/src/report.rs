@@ -18,7 +18,21 @@
 use crate::json::Json;
 
 /// Builds the stable four-field report document.
+///
+/// The host's `available_parallelism` is recorded into every `config`
+/// block automatically (unless the bench already set it): scaling numbers
+/// are only interpretable against the core count they ran on.
 pub fn report(name: &str, config: Json, samples: Vec<Json>, summary: Json) -> Json {
+    let config = match config {
+        Json::Obj(mut pairs) => {
+            if !pairs.iter().any(|(k, _)| k == "available_parallelism") {
+                let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+                pairs.push(("available_parallelism".to_string(), Json::int(cores)));
+            }
+            Json::Obj(pairs)
+        }
+        other => other,
+    };
     Json::obj(vec![
         ("name", Json::str(name)),
         ("config", config),
@@ -61,5 +75,8 @@ mod tests {
         assert!(rendered.starts_with("{\"name\":\"demo\",\"config\":"));
         assert!(rendered.contains("\"samples\":[{"));
         assert!(rendered.contains("\"summary\":{"));
+        // Injected into every config block so scaling numbers carry the
+        // core count they were measured on.
+        assert!(rendered.contains("\"available_parallelism\":"));
     }
 }

@@ -140,20 +140,31 @@ fn queue(k: usize) -> String {
     )
 }
 
+/// One subject of the given shape (`barrier`, `spinlock`, or `queue`) at
+/// an arbitrary thread count `k ≥ 1`. The standard grid ([`subjects`])
+/// stops at `k = 3`; the spill bench drives barrier and queue at `k ≥ 4`,
+/// where the state count grows factorially and the arena footprint
+/// outruns small memory caps. Returns `None` for an unknown shape.
+pub fn subject(shape: &str, k: usize) -> Option<SymmetricSubject> {
+    let gen = match shape {
+        "barrier" => barrier as fn(usize) -> String,
+        "spinlock" => spinlock,
+        "queue" => queue,
+        _ => return None,
+    };
+    Some(SymmetricSubject {
+        name: format!("{shape}/k{k}"),
+        threads: k,
+        source: gen(k),
+    })
+}
+
 /// All six subjects: barrier, spinlock, queue × k ∈ {2, 3}.
 pub fn subjects() -> Vec<SymmetricSubject> {
     let mut out = Vec::new();
-    for (shape, gen) in [
-        ("barrier", barrier as fn(usize) -> String),
-        ("spinlock", spinlock),
-        ("queue", queue),
-    ] {
+    for shape in ["barrier", "spinlock", "queue"] {
         for k in [2usize, 3] {
-            out.push(SymmetricSubject {
-                name: format!("{shape}/k{k}"),
-                threads: k,
-                source: gen(k),
-            });
+            out.push(subject(shape, k).expect("known shape"));
         }
     }
     out

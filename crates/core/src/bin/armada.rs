@@ -5,6 +5,8 @@
 //! ```text
 //! armada verify <file.arm> [--jobs N] [--deadline SECS] [--cert-cache[=DIR]]
 //!                          [--no-reduction] [--no-symmetry] [--telemetry]
+//!                          [--mem-cap SIZE] [--spill-dir DIR]
+//!                          [--checkpoint[=DIR]] [--resume]
 //!                               run the full pipeline (strategies + bounded
 //!                               refinement model checking, on N threads)
 //! armada check <file.arm>       front end + core-subset check only
@@ -25,7 +27,8 @@
 //!                               entries, accept jitter, and same-key storms
 //! armada serve [--addr HOST:PORT] [--addr-file FILE] [--workers N]
 //!              [--queue-depth N] [--mem-cap N] [--cert-cache[=DIR]]
-//!              [--deadline SECS] [--telemetry]
+//!              [--deadline SECS] [--telemetry] [--spill-mem-cap SIZE]
+//!              [--spill-dir DIR] [--checkpoint[=DIR]]
 //!                               run the verification daemon until a client
 //!                               sends `--shutdown`
 //! armada client <addr> [<file.arm>] [--deadline SECS] [--jobs N]
@@ -47,6 +50,18 @@
 //! explore / subsume / commit latency and occupancy) to **stderr** after
 //! the run; stdout — the byte-identity surface — is unchanged.
 //! `--fault-seed N` injects deterministic faults for robustness testing.
+//!
+//! `--mem-cap SIZE` (K/M/G suffixes) bounds each semantic check's state
+//! arenas: past the cap, cold pages spill to `--spill-dir` (default
+//! `target/armada-spill`) behind checksums and fault back on demand —
+//! verdicts are byte-identical to an all-resident run, and `--telemetry`
+//! reports the hit/miss/evict counters. `--checkpoint[=DIR]` (default
+//! `target/armada-checkpoints`) persists each check's frontier crash-safely
+//! at every wave boundary; `--resume` continues an interrupted run from its
+//! last completed wave (a missing, torn, or mismatched checkpoint falls
+//! back to a cold start). A resumed run may raise `--deadline` or budget
+//! caps; anything that changes what a check *means* (the module, bounds,
+//! reduction/symmetry) starts cold.
 //!
 //! `verify`/`effort` exit codes classify the worst per-recipe outcome:
 //! 0 verified, 1 refuted, 2 usage/IO error, 3 budget exhausted or skipped,
@@ -88,12 +103,14 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: armada <verify|check|effort|emit-c|emit-rust> <file.arm> \
          [--jobs N] [--deadline SECS] [--cert-cache[=DIR]] [--no-reduction] \
-         [--no-symmetry] [--telemetry] [--fault-seed N] [--conservative]\n       \
+         [--no-symmetry] [--telemetry] [--fault-seed N] [--conservative] \
+         [--mem-cap SIZE] [--spill-dir DIR] [--checkpoint[=DIR]] [--resume]\n       \
          armada fuzz [--serve] <file.arm>... [--seeds N] [--jobs M] \
          [--events LIST] [--server-events LIST] [--mutate-bounds] [--out FILE]\n       \
          armada serve [--addr HOST:PORT] [--addr-file FILE] [--workers N] \
          [--queue-depth N] [--mem-cap N] [--cert-cache[=DIR]] [--deadline SECS] \
-         [--telemetry]\n       \
+         [--telemetry] [--spill-mem-cap SIZE] [--spill-dir DIR] \
+         [--checkpoint[=DIR]]\n       \
          armada client <addr> [<file.arm>] [--deadline SECS] [--jobs N] \
          [--stats] [--shutdown]"
     );
@@ -147,6 +164,61 @@ fn cert_cache_flag(args: &[String]) -> Option<CertStore> {
         }
     }
     None
+}
+
+/// Parses a byte size with an optional K/M/G suffix (binary units).
+fn parse_mem_size(value: &str) -> Result<u64, String> {
+    let bad = || format!("invalid size `{value}` (want BYTES with an optional K/M/G suffix)");
+    let v = value.trim();
+    let (digits, shift) = match v.chars().next_back() {
+        Some('K') | Some('k') => (&v[..v.len() - 1], 10),
+        Some('M') | Some('m') => (&v[..v.len() - 1], 20),
+        Some('G') | Some('g') => (&v[..v.len() - 1], 30),
+        _ => (v, 0),
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    if n == 0 {
+        return Err(bad());
+    }
+    n.checked_mul(1u64 << shift).ok_or_else(bad)
+}
+
+/// Extracts `--mem-cap SIZE` + `--spill-dir DIR` into a spill spec.
+fn spill_flag(args: &[String]) -> Result<Option<armada::sm::SpillSpec>, String> {
+    let cap = match flag_value(args, "--mem-cap")? {
+        Some(value) => parse_mem_size(value)?,
+        None => {
+            if flag_value(args, "--spill-dir")?.is_some() {
+                return Err("--spill-dir requires --mem-cap".to_string());
+            }
+            return Ok(None);
+        }
+    };
+    let dir = flag_value(args, "--spill-dir")?
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/armada-spill"));
+    Ok(Some(armada::sm::SpillSpec::new(cap, dir)))
+}
+
+/// Extracts `--checkpoint` (default root) or `--checkpoint=DIR`, plus
+/// `--resume`.
+fn checkpoint_flag(args: &[String]) -> Result<Option<armada::sm::CheckpointSpec>, String> {
+    let mut dir = None;
+    for arg in args {
+        if let Some(value) = arg.strip_prefix("--checkpoint=") {
+            dir = Some(std::path::PathBuf::from(value));
+        } else if arg == "--checkpoint" {
+            dir = Some(std::path::PathBuf::from("target/armada-checkpoints"));
+        }
+    }
+    let resume = args.iter().any(|a| a == "--resume");
+    match dir {
+        Some(dir) => Ok(Some(
+            armada::sm::CheckpointSpec::new(dir).with_resume(resume),
+        )),
+        None if resume => Err("--resume requires --checkpoint".to_string()),
+        None => Ok(None),
+    }
 }
 
 /// Extracts `--fault-seed N` (robustness testing only).
@@ -211,6 +283,22 @@ fn main() -> ExitCode {
     }
     if args.iter().any(|a| a == "--no-symmetry") {
         sim.bounds.symmetry = false;
+    }
+    match spill_flag(&args) {
+        Ok(Some(spec)) => sim.bounds = sim.bounds.with_spill(spec),
+        Ok(None) => {}
+        Err(err) => {
+            eprintln!("armada: {err}");
+            return ExitCode::from(2);
+        }
+    }
+    match checkpoint_flag(&args) {
+        Ok(Some(spec)) => sim.bounds = sim.bounds.with_checkpoint(spec),
+        Ok(None) => {}
+        Err(err) => {
+            eprintln!("armada: {err}");
+            return ExitCode::from(2);
+        }
     }
     let telemetry = args.iter().any(|a| a == "--telemetry");
     let pipeline = match Pipeline::from_source(&source) {
@@ -537,6 +625,32 @@ fn serve_command(args: &[String]) -> ExitCode {
         Ok(deadline) => deadline,
         Err(err) => return fail(err),
     };
+    // `--mem-cap` above bounds the cert *cache* tier (entries);
+    // `--spill-mem-cap` bounds each verification's state arenas (bytes),
+    // paging cold shards to disk past it.
+    let spill = match flag_value(args, "--spill-mem-cap") {
+        Ok(Some(value)) => match parse_mem_size(value) {
+            Ok(cap) => {
+                let dir = match flag_value(args, "--spill-dir") {
+                    Ok(dir) => dir
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| std::path::PathBuf::from("target/armada-spill")),
+                    Err(err) => return fail(err),
+                };
+                Some(armada::sm::SpillSpec::new(cap, dir))
+            }
+            Err(err) => return fail(err),
+        },
+        Ok(None) => None,
+        Err(err) => return fail(err),
+    };
+    // Serve checkpoints always resume: a request retried after a deadline
+    // or daemon restart continues from its own wave boundary (the daemon
+    // scopes the dir per request key).
+    let checkpoint = match checkpoint_flag(args) {
+        Ok(spec) => spec.map(|s| s.with_resume(true)),
+        Err(err) => return fail(err),
+    };
     let disk = cert_cache_flag(args).unwrap_or_else(|| CertStore::open(CertStore::default_root()));
     let mut store = TieredStore::disk(disk);
     if mem_cap > 0 {
@@ -547,6 +661,12 @@ fn serve_command(args: &[String]) -> ExitCode {
     config.workers = workers;
     config.queue_depth = queue_depth;
     config.telemetry = args.iter().any(|a| a == "--telemetry");
+    if let Some(spec) = spill {
+        config.sim.bounds = config.sim.bounds.with_spill(spec);
+    }
+    if let Some(spec) = checkpoint {
+        config.sim.bounds = config.sim.bounds.with_checkpoint(spec);
+    }
     if let Some(deadline) = deadline {
         config.default_deadline = deadline;
     }

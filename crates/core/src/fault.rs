@@ -73,10 +73,19 @@ pub enum FaultFate {
     /// Tighten the recipe's wall-clock deadline to zero (adverse jitter):
     /// the check must degrade into a deadline outcome, never hang.
     DeadlineJitter,
+    /// The recipe runs checkpointed and its checkpoint manifest lands torn
+    /// at half length (a kill mid-save). Resume must detect the tear and
+    /// fall back to a cold start — never resume from a half-written wave.
+    TornCheckpointWrite,
+    /// The recipe runs spilled under a tiny memory cap and the first cold
+    /// spill-page fault reads flipped bytes (a bad sector). The checksum
+    /// must reject the page and the re-read serve the true bytes — a
+    /// corrupt page is never decoded into states.
+    CorruptSpillRead,
 }
 
 /// Every fate, in declaration order (stable for reports and iteration).
-pub const ALL_FATES: [FaultFate; 10] = [
+pub const ALL_FATES: [FaultFate; 12] = [
     FaultFate::StrategyPanic,
     FaultFate::CheckPanic,
     FaultFate::BudgetExhaustion,
@@ -87,6 +96,8 @@ pub const ALL_FATES: [FaultFate; 10] = [
     FaultFate::CancelDelay,
     FaultFate::WorkerAbort,
     FaultFate::DeadlineJitter,
+    FaultFate::TornCheckpointWrite,
+    FaultFate::CorruptSpillRead,
 ];
 
 impl FaultFate {
@@ -103,6 +114,8 @@ impl FaultFate {
             FaultFate::CancelDelay => "cancel_delay",
             FaultFate::WorkerAbort => "worker_abort",
             FaultFate::DeadlineJitter => "deadline_jitter",
+            FaultFate::TornCheckpointWrite => "torn_checkpoint_write",
+            FaultFate::CorruptSpillRead => "corrupt_spill_read",
         }
     }
 
@@ -121,6 +134,8 @@ impl FaultFate {
                 | FaultFate::CorruptCertRead
                 | FaultFate::WaveStall
                 | FaultFate::CancelDelay
+                | FaultFate::TornCheckpointWrite
+                | FaultFate::CorruptSpillRead
         )
     }
 }
@@ -209,14 +224,14 @@ impl FaultPlan {
 
     /// Derives a plan from `seed` over the given recipe names. Each recipe
     /// independently draws from a stream seeded by `(seed, name)`: with
-    /// probability 6/16 it is left alone, else one of the ten
+    /// probability 6/18 it is left alone, else one of the twelve
     /// [`FaultFate`]s is injected uniformly. Order-independent by
     /// construction, so jobs=1 and jobs=N runs inject identically.
     pub fn seeded<'a>(seed: u64, recipes: impl IntoIterator<Item = &'a str>) -> FaultPlan {
         let mut plan = FaultPlan::new();
         for name in recipes {
             let mut rng = SplitMix64::new(seed ^ fnv1a_64(name.as_bytes()));
-            let draw = rng.below(16) as usize;
+            let draw = rng.below(18) as usize;
             if let Some(&fate) = ALL_FATES.get(draw.wrapping_sub(6)) {
                 plan = plan.with_fate(fate, name);
             }
@@ -285,6 +300,8 @@ impl FaultPlan {
                 FaultFate::CancelDelay => "delayed cooperative cancel in",
                 FaultFate::WorkerAbort => "worker-slot abort in",
                 FaultFate::DeadlineJitter => "deadline jitter in",
+                FaultFate::TornCheckpointWrite => "torn checkpoint writes in",
+                FaultFate::CorruptSpillRead => "corrupt spill-page reads in",
             };
             out.push_str(&format!("{what} `{}`\n", event.recipe));
         }
@@ -298,7 +315,7 @@ impl FaultPlan {
 /// One kind of injectable *server-level* fault, for `armada fuzz --serve`.
 ///
 /// These are deliberately a separate taxonomy from [`FaultFate`]: the
-/// pipeline's ten fates are pinned by the in-process fuzzer's coverage
+/// pipeline's twelve fates are pinned by the in-process fuzzer's coverage
 /// invariants, while these four attack the daemon around the pipeline —
 /// its workers, its shared tier-2 cache, its admission path, and its
 /// coalescing map. Like the pipeline fates they split into classes:
@@ -511,7 +528,7 @@ mod tests {
             .into_iter()
             .filter(|f| f.is_recoverable())
             .collect();
-        assert_eq!(recoverable.len(), 5);
+        assert_eq!(recoverable.len(), 7);
         assert!(FaultPlan::new()
             .with_fate(FaultFate::BitFlipCertWrite, "P")
             .with_fate(FaultFate::CancelDelay, "P")
@@ -557,11 +574,11 @@ mod tests {
         }
         assert!(clean > 0, "some recipes must stay clean");
         assert_eq!(clean + counts.iter().sum::<usize>(), drawn);
-        // Roughly 6/16 of draws stay clean (±10 points at this volume).
+        // Roughly 6/18 of draws stay clean (±10 points at this volume).
         let clean_rate = clean as f64 / drawn as f64;
         assert!(
-            (0.275..=0.475).contains(&clean_rate),
-            "clean rate {clean_rate} far from 6/16"
+            (0.233..=0.433).contains(&clean_rate),
+            "clean rate {clean_rate} far from 6/18"
         );
     }
 

@@ -1565,6 +1565,41 @@ mod tests {
     }
 
     #[test]
+    fn spill_and_checkpoint_fates_recover_byte_identically() {
+        // The two storage fates are recoverable: a torn checkpoint manifest
+        // must fall back to a cold start, and a corrupt spill-page read
+        // must be checksum-rejected and re-read — never decoded into
+        // states. Either failure would change the verdict (or panic), so a
+        // clean campaign with verdict-invariance checked is the assertion
+        // that a corrupt page is never served and a torn checkpoint never
+        // resumed.
+        let subjects = [FuzzSubject::new("tiny", TINY)];
+        let config = FuzzConfig {
+            seeds: vec![0],
+            jobs: vec![1, 2],
+            scratch_root: scratch("spill-ck"),
+            plan_override: Some(
+                parse_events("torn_checkpoint_write:P,corrupt_spill_read:P").unwrap(),
+            ),
+            ..FuzzConfig::default()
+        };
+        let report = run_campaign(&subjects, &config);
+        assert!(
+            report.ok(),
+            "violations: {:?}",
+            report
+                .violations
+                .iter()
+                .map(|v| (v.invariant, &v.detail))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.total_injected(), 2);
+        // Both fates must be recoverable, or the campaign above would have
+        // skipped the verdict-invariance comparison entirely.
+        assert!(FaultPlan::from_events(config.plan_override.unwrap()).is_recoverable_only());
+    }
+
+    #[test]
     fn mutant_store_trips_the_corrupt_cert_invariant() {
         let subjects = [FuzzSubject::new("tiny", TINY)];
         let config = FuzzConfig {

@@ -43,13 +43,20 @@
 //!   persisted content-addressed (atomic rename + checksum, see
 //!   [`verify::store`]); an interrupted run's completed certs are reused on
 //!   rerun, and a corrupted record silently falls back to recomputation.
+//! * **Spill and resume.** Each semantic check can run its state arenas
+//!   under a memory cap ([`sm::SpillSpec`]), paging cold shards to disk
+//!   behind checksums, and can checkpoint its frontier at wave boundaries
+//!   ([`sm::CheckpointSpec`]) so an interrupted check resumes instead of
+//!   restarting; both knobs change how a check runs, never what it
+//!   concludes.
 //! * **Deterministic fault injection.** [`FaultPlan`] drives all of the
 //!   above in tests: injected panics, forced budget exhaustion, simulated
 //!   mid-run kills, torn/bit-flipped cert writes, corrupt cert reads,
-//!   wave-boundary stalls, delayed cancels, worker-slot aborts, and
-//!   deadline jitter — all reproducible from a seed (see
-//!   [`fault::FaultFate`]). The [`fuzz`] module sweeps seed grids over
-//!   these faults and checks campaign-level invariants.
+//!   wave-boundary stalls, delayed cancels, worker-slot aborts, deadline
+//!   jitter, torn checkpoint writes, and corrupt spill-page reads — all
+//!   reproducible from a seed (see [`fault::FaultFate`]). The [`fuzz`]
+//!   module sweeps seed grids over these faults and checks campaign-level
+//!   invariants.
 //!
 //! # Example
 //!
@@ -616,6 +623,15 @@ impl Pipeline {
         let low = lower(&self.typed, &recipe.low).map_err(|e| recipe_err(e.to_string()))?;
         let high = lower(&self.typed, &recipe.high).map_err(|e| recipe_err(e.to_string()))?;
         let mut sim = self.sim.clone();
+        // A configured checkpoint dir is a *base*: recipes run concurrently,
+        // so each one checkpoints into its own content-named subdirectory
+        // (stable across runs, which is what makes `--resume` find it).
+        if let Some(spec) = &mut sim.bounds.checkpoint {
+            spec.dir = spec.dir.join(format!(
+                "ck-{:016x}",
+                armada_runtime::hash::fnv1a_64(recipe.name.as_bytes())
+            ));
+        }
         if self.fault.exhausts_budget(&recipe.name) {
             // Clamp the budget so exhaustion is certain on any nontrivial
             // product (one node is never enough to finish a check).
@@ -638,6 +654,38 @@ impl Pipeline {
             // must degrade into a budget outcome at the first wave
             // boundary instead of hanging.
             sim.bounds = sim.bounds.with_deadline(std::time::Duration::ZERO);
+        }
+        if self.fault.has(FaultFate::TornCheckpointWrite, &recipe.name) {
+            // A kill mid-save: the checkpoint manifest on disk is a torn
+            // fragment. Resume must reject it and fall back to a cold
+            // start — verdict byte-identical to a run that never
+            // checkpointed. The torn bytes are rewritten every run, so the
+            // fate is deterministic even across reruns of the same seed.
+            let dir = std::env::temp_dir().join(format!(
+                "armada-fault-ck-{}-{:016x}",
+                std::process::id(),
+                armada_runtime::hash::fnv1a_64(recipe.name.as_bytes())
+            ));
+            let _ = std::fs::create_dir_all(&dir);
+            let _ = std::fs::write(dir.join("manifest.bin"), [0x17, 0x2a, 0x03]);
+            sim.bounds = sim
+                .bounds
+                .with_checkpoint(sm::CheckpointSpec::new(dir).with_resume(true));
+        }
+        if self.fault.has(FaultFate::CorruptSpillRead, &recipe.name) {
+            // A bad sector under the spill dir: the first cold-page fault
+            // reads flipped bytes. The page checksum must reject them and
+            // the re-read serve the true bytes — a corrupt page is never
+            // decoded into states, so the verdict cannot change.
+            let dir = std::env::temp_dir().join(format!(
+                "armada-fault-spill-{}-{:016x}",
+                std::process::id(),
+                armada_runtime::hash::fnv1a_64(recipe.name.as_bytes())
+            ));
+            let mut spec = sm::SpillSpec::new(1, dir);
+            spec.page_states = 2;
+            spec.corrupt_first_read = true;
+            sim.bounds = sim.bounds.with_spill(spec);
         }
         // Cert-store corruption faults are scoped to this recipe through a
         // shimmed clone of the store; sibling recipes keep clean IO.

@@ -494,6 +494,16 @@ fn handle_verify(
     } else {
         CertKey::compute(&source, "", "", &sim).as_hex()
     };
+    // Checkpoints are per-verification state: scope the configured base
+    // dir by the coalescing key, so concurrent requests for different
+    // modules never share (or tear) each other's manifests while a retry
+    // of the same request resumes its own.
+    if let Some(spec) = &mut sim.bounds.checkpoint {
+        spec.dir = spec.dir.join(format!(
+            "rq-{:016x}",
+            armada_runtime::hash::fnv1a_64(coalesce_key.as_bytes())
+        ));
+    }
 
     let admission = {
         let (tx, rx) = mpsc::channel();

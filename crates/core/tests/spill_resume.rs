@@ -1,0 +1,114 @@
+//! Pipeline-level identity gates for the spill pager and wave-boundary
+//! checkpoints: a memory-capped run and a killed-then-resumed run must
+//! both render byte-identically to a plain uninterrupted run, at any job
+//! count. These are the end-to-end versions of the engine-level gates in
+//! `armada-sm` and `armada-verify` — they additionally cross the
+//! per-recipe checkpoint-scoping and report-assembly layers.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use armada::sm::{CheckpointSpec, SpillSpec};
+use armada::verify::SimConfig;
+use armada::{Pipeline, RecipeStatus};
+
+fn subject() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/counter.arm");
+    std::fs::read_to_string(path).expect("read specs/counter.arm")
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("armada-spill-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(source: &str, sim: SimConfig) -> String {
+    let pipeline = Pipeline::from_source(source)
+        .expect("subject parses")
+        .with_sim_config(sim);
+    pipeline.run().expect("no infrastructure error").to_string()
+}
+
+#[test]
+fn spilled_pipeline_render_matches_resident_at_many_job_counts() {
+    let source = subject();
+    let plain = run(&source, SimConfig::default());
+    for jobs in [1usize, 4] {
+        let dir = tmp(&format!("spill-{jobs}"));
+        let mut sim = SimConfig::default().with_jobs(jobs);
+        // A 1-byte cap forces every sealed page out: the whole search runs
+        // through the pager's evict/fault path.
+        sim.bounds = sim.bounds.with_spill(SpillSpec::new(1, dir.clone()));
+        let spilled = run(&source, sim);
+        assert_eq!(plain, spilled, "jobs={jobs}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn deadline_killed_pipeline_resumes_to_identical_report() {
+    let source = subject();
+    let plain = run(&source, SimConfig::default());
+    for jobs in [1usize, 4] {
+        let dir = tmp(&format!("ck-{jobs}"));
+
+        // Kill: a zero deadline cuts the check at its first wave boundary,
+        // leaving a checkpoint behind.
+        let mut cut_sim = SimConfig::default().with_jobs(jobs);
+        cut_sim.bounds = cut_sim
+            .bounds
+            .with_deadline(Duration::ZERO)
+            .with_checkpoint(CheckpointSpec::new(dir.clone()));
+        let pipeline = Pipeline::from_source(&source)
+            .expect("subject parses")
+            .with_sim_config(cut_sim);
+        let cut = pipeline.run().expect("no infrastructure error");
+        assert_eq!(
+            cut.worst_status(),
+            RecipeStatus::BudgetExhausted,
+            "jobs={jobs}: the zero deadline must cut the check"
+        );
+
+        // Resume: same module and bounds, deadline lifted.
+        let mut resume_sim = SimConfig::default().with_jobs(jobs);
+        resume_sim.bounds = resume_sim
+            .bounds
+            .with_checkpoint(CheckpointSpec::new(dir.clone()).with_resume(true));
+        let resumed = run(&source, resume_sim);
+        assert_eq!(plain, resumed, "jobs={jobs}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn spill_checkpoint_and_resume_compose() {
+    // Both knobs at once: cut a memory-capped run, resume it memory-capped.
+    let source = subject();
+    let plain = run(&source, SimConfig::default());
+    let ck = tmp("both-ck");
+    let spill = tmp("both-spill");
+
+    let mut cut_sim = SimConfig::default();
+    cut_sim.bounds = cut_sim
+        .bounds
+        .with_deadline(Duration::ZERO)
+        .with_spill(SpillSpec::new(1, spill.clone()))
+        .with_checkpoint(CheckpointSpec::new(ck.clone()));
+    let pipeline = Pipeline::from_source(&source)
+        .expect("subject parses")
+        .with_sim_config(cut_sim);
+    let cut = pipeline.run().expect("no infrastructure error");
+    assert_eq!(cut.worst_status(), RecipeStatus::BudgetExhausted);
+
+    let mut resume_sim = SimConfig::default();
+    resume_sim.bounds = resume_sim
+        .bounds
+        .with_spill(SpillSpec::new(1, spill.clone()))
+        .with_checkpoint(CheckpointSpec::new(ck.clone()).with_resume(true));
+    let resumed = run(&source, resume_sim);
+    assert_eq!(plain, resumed);
+    let _ = std::fs::remove_dir_all(&ck);
+    let _ = std::fs::remove_dir_all(&spill);
+}

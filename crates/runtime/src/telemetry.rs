@@ -168,11 +168,14 @@ impl Stage {
 }
 
 /// Per-stage latency (nanoseconds per batch) and occupancy (items per
-/// batch) histograms for one pipeline participant.
+/// batch) histograms for one pipeline participant, plus a [`CounterSet`]
+/// of monotonic event counters (spill pager hits/misses/evictions, ...)
+/// that merge and render alongside the histograms.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StageTelemetry {
     latency: [Histogram; 4],
     occupancy: [Histogram; 4],
+    counters: CounterSet,
 }
 
 impl StageTelemetry {
@@ -201,6 +204,7 @@ impl StageTelemetry {
             self.latency[i].merge(&other.latency[i]);
             self.occupancy[i].merge(&other.occupancy[i]);
         }
+        self.counters.merge(&other.counters);
     }
 
     pub fn latency(&self, stage: Stage) -> &Histogram {
@@ -211,10 +215,22 @@ impl StageTelemetry {
         &self.occupancy[stage.index()]
     }
 
+    /// The event counters recorded alongside the stage histograms.
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// The event counters, mutably — spill pagers and caches drain their
+    /// tallies here so they ride the same merge/render plumbing.
+    pub fn counters_mut(&mut self) -> &mut CounterSet {
+        &mut self.counters
+    }
+
     pub fn is_empty(&self) -> bool {
         Stage::ALL
             .iter()
             .all(|s| self.latency(*s).count() == 0 && self.occupancy(*s).count() == 0)
+            && self.counters.is_empty()
     }
 
     /// Human-readable per-stage table. Values are wall-clock — render
@@ -235,6 +251,9 @@ impl StageTelemetry {
                 lat.quantile_bound(0.99),
                 occ.mean(),
             ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&self.counters.render());
         }
         out
     }
@@ -395,6 +414,24 @@ mod tests {
         assert!((coord.occupancy(Stage::Explore).mean() - 12.0).abs() < 1e-9);
         assert!(!coord.is_empty());
         assert!(StageTelemetry::new().is_empty());
+    }
+
+    #[test]
+    fn stage_telemetry_carries_counters_through_merge_and_render() {
+        let mut worker = StageTelemetry::new();
+        worker.counters_mut().add("spill.misses", 3);
+        let mut coord = StageTelemetry::new();
+        coord.counters_mut().add("spill.misses", 1);
+        coord.counters_mut().add("spill.hits", 9);
+        coord.merge(&worker);
+        assert_eq!(coord.counters().get("spill.misses"), 4);
+        assert_eq!(coord.counters().get("spill.hits"), 9);
+        // Counters alone make the telemetry non-empty and show in render.
+        let mut only = StageTelemetry::new();
+        assert!(only.is_empty());
+        only.counters_mut().add("spill.evictions", 2);
+        assert!(!only.is_empty());
+        assert!(only.render().contains("spill.evictions"));
     }
 
     #[test]

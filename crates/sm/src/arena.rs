@@ -37,6 +37,7 @@
 //! inside the bucket — never correctness. Fingerprints are stable within a
 //! process run, which is all the engines need; nothing persists them.
 
+use crate::pager::{Pager, SpillSpec};
 use crate::state::ProgState;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
@@ -160,15 +161,48 @@ impl Bucket {
 }
 
 /// An arena of hash-consed program states.
-#[derive(Debug, Clone, Default)]
+///
+/// # Spill mode
+///
+/// [`StateArena::enable_spill`] swaps the resident `Vec` of states for a
+/// disk-backed [`Pager`] governed by a byte budget. Fingerprints and
+/// buckets — 8 bytes + bucket entry per state — always stay resident, so
+/// dedup *probes* stay an integer lookup; only the rare fingerprint *hit*
+/// needs the state bytes for the equality check, and may fault a cold
+/// page. In spill mode the faulting accessors (`get_arc_mut`,
+/// `lookup_with_fp_mut`) must be used anywhere an evicted state could be
+/// touched; the `&self` accessors panic on an evicted state rather than
+/// silently guess. Both engines access the arena only from the
+/// coordinator thread, so the `&mut` requirement costs nothing.
+#[derive(Debug, Default)]
 pub struct StateArena {
     /// Interned states, indexed by [`StateId`]; insertion order is the
-    /// caller's interning order.
+    /// caller's interning order. Empty in spill mode.
     states: Vec<Arc<ProgState>>,
-    /// Cached fingerprint per state, same indexing.
+    /// Disk-backed store replacing `states` when spill is enabled.
+    pager: Option<Pager>,
+    /// Cached fingerprint per state, same indexing. Always resident.
     fps: Vec<u64>,
     /// Fingerprint → ids carrying it.
     buckets: HashMap<u64, Bucket, BuildHasherDefault<FpIdentityHasher>>,
+}
+
+impl Clone for StateArena {
+    /// Clones the resident image. Spill mode is a run-scoped property of
+    /// one engine invocation; cloning a spilled arena would alias its
+    /// backing files, so it is not supported.
+    fn clone(&self) -> StateArena {
+        assert!(
+            self.pager.is_none(),
+            "cannot clone a spilled arena (backing files are run-scoped)"
+        );
+        StateArena {
+            states: self.states.clone(),
+            pager: None,
+            fps: self.fps.clone(),
+            buckets: self.buckets.clone(),
+        }
+    }
 }
 
 impl StateArena {
@@ -177,14 +211,43 @@ impl StateArena {
         StateArena::default()
     }
 
+    /// Switches this arena to disk-backed storage under `spec`'s budget.
+    /// Must be called before anything is interned.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the spill directory cannot be created.
+    pub fn enable_spill(&mut self, spec: SpillSpec) -> std::io::Result<()> {
+        assert!(self.is_empty(), "spill must be enabled on an empty arena");
+        self.pager = Some(Pager::new(spec)?);
+        Ok(())
+    }
+
+    /// True if this arena pages state bytes to disk.
+    pub fn spill_enabled(&self) -> bool {
+        self.pager.is_some()
+    }
+
+    /// The spill pager's event counters (`(label, value)` pairs), if
+    /// spill is enabled — drained into stage telemetry by the engines.
+    pub fn spill_counters(&self) -> Option<Vec<(&'static str, u64)>> {
+        self.pager.as_ref().map(|p| p.counters())
+    }
+
+    /// Total encoded bytes the arena's states occupy on disk (spill mode
+    /// only) — the footprint axis of the spill bench.
+    pub fn spill_total_bytes(&self) -> Option<u64> {
+        self.pager.as_ref().map(|p| p.total_bytes())
+    }
+
     /// Number of distinct interned states.
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.fps.len()
     }
 
     /// Whether nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.fps.is_empty()
     }
 
     /// The 64-bit fingerprint of a state (whether interned or not).
@@ -203,11 +266,14 @@ impl StateArena {
     /// Interns a state whose fingerprint the caller already computed
     /// (e.g. in a parallel expansion phase, off the commit path).
     pub fn intern_with_fp(&mut self, fp: u64, state: ProgState) -> (StateId, bool) {
-        if let Some(id) = self.lookup_with_fp(fp, &state) {
+        if let Some(id) = self.lookup_with_fp_mut(fp, &state) {
             return (id, false);
         }
-        let id = u32::try_from(self.states.len()).expect("state arena overflow (> u32::MAX ids)");
-        self.states.push(Arc::new(state));
+        let id = u32::try_from(self.len()).expect("state arena overflow (> u32::MAX ids)");
+        match &mut self.pager {
+            Some(pager) => pager.push(Arc::new(state)),
+            None => self.states.push(Arc::new(state)),
+        }
         self.fps.push(fp);
         self.buckets
             .entry(fp)
@@ -221,12 +287,40 @@ impl StateArena {
 
     /// Looks up a state already interned, by precomputed fingerprint.
     /// Structural equality runs only on ids sharing the fingerprint.
+    ///
+    /// # Panics
+    ///
+    /// In spill mode, panics if a candidate state is evicted — use
+    /// [`StateArena::lookup_with_fp_mut`] on paths that may touch cold
+    /// pages.
     pub fn lookup_with_fp(&self, fp: u64, state: &ProgState) -> Option<StateId> {
         let bucket = self.buckets.get(&fp)?;
         bucket
             .ids()
-            .find(|&id| *self.states[id as usize] == *state)
+            .find(|&id| *self.resident(id as usize) == *state)
             .map(StateId)
+    }
+
+    /// [`StateArena::lookup_with_fp`], faulting evicted candidates in
+    /// from disk for the equality check (exact dedup is kept even past
+    /// RAM: a fingerprint hit costs at most one page fault, never
+    /// correctness).
+    pub fn lookup_with_fp_mut(&mut self, fp: u64, state: &ProgState) -> Option<StateId> {
+        let Some(bucket) = self.buckets.get(&fp) else {
+            return None;
+        };
+        match &mut self.pager {
+            None => bucket
+                .ids()
+                .find(|&id| *self.states[id as usize] == *state)
+                .map(StateId),
+            Some(pager) => {
+                let ids: Vec<u32> = bucket.ids().collect();
+                ids.into_iter()
+                    .find(|&id| *pager.get(id as usize) == *state)
+                    .map(StateId)
+            }
+        }
     }
 
     /// Looks up a state already interned.
@@ -234,14 +328,43 @@ impl StateArena {
         self.lookup_with_fp(StateArena::fingerprint(state), state)
     }
 
+    /// Resident access by raw index, for the `&self` accessors.
+    fn resident(&self, index: usize) -> &ProgState {
+        match &self.pager {
+            None => &self.states[index],
+            Some(_) => {
+                panic!("state {index} may be evicted; use a faulting (&mut) accessor in spill mode")
+            }
+        }
+    }
+
     /// The state behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics in spill mode (the state may be evicted); use
+    /// [`StateArena::get_arc_mut`] there.
     pub fn get(&self, id: StateId) -> &ProgState {
-        &self.states[id.index()]
+        self.resident(id.index())
     }
 
     /// A shared handle to the state behind an id (refcount bump, no clone).
+    ///
+    /// # Panics
+    ///
+    /// Panics in spill mode; use [`StateArena::get_arc_mut`] there.
     pub fn get_arc(&self, id: StateId) -> Arc<ProgState> {
+        self.resident(id.index());
         Arc::clone(&self.states[id.index()])
+    }
+
+    /// A shared handle to the state behind an id, faulting its page in
+    /// from disk if evicted.
+    pub fn get_arc_mut(&mut self, id: StateId) -> Arc<ProgState> {
+        match &mut self.pager {
+            None => Arc::clone(&self.states[id.index()]),
+            Some(pager) => pager.get(id.index()),
+        }
     }
 
     /// The cached fingerprint of an interned state.
@@ -250,17 +373,35 @@ impl StateArena {
     }
 
     /// All interned states in id (interning) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in spill mode; iterate ids and use
+    /// [`StateArena::get_arc_mut`] instead.
     pub fn iter(&self) -> impl Iterator<Item = &ProgState> {
+        assert!(
+            self.pager.is_none(),
+            "cannot iterate a spilled arena by reference; fault states by id instead"
+        );
         self.states.iter().map(|arc| arc.as_ref())
     }
 }
 
 /// Arenas compare by interned content *and order*: two deterministic
 /// engines agree iff they interned the same states in the same order.
+/// If either side spills, the comparison uses the resident fingerprint
+/// sequence (64 bits per state, same interning order) — the states
+/// themselves live on disk, and the identity gates additionally compare
+/// rendered output.
 impl PartialEq for StateArena {
     fn eq(&self, other: &StateArena) -> bool {
-        self.fps == other.fps
-            && self.states.len() == other.states.len()
+        if self.fps != other.fps {
+            return false;
+        }
+        if self.pager.is_some() || other.pager.is_some() {
+            return self.len() == other.len();
+        }
+        self.states.len() == other.states.len()
             && self.states.iter().zip(&other.states).all(|(a, b)| a == b)
     }
 }
@@ -336,6 +477,37 @@ mod tests {
         assert_eq!(arena.lookup_with_fp(42, b), Some(ib));
         assert_eq!(arena.get(ia), a);
         assert_eq!(arena.get(ib), b);
+    }
+
+    #[test]
+    fn spilled_arena_interns_dedups_and_faults_like_a_resident_one() {
+        let states = tiny_states();
+        let dir = std::env::temp_dir().join(format!("armada-arena-spill-{}", std::process::id()));
+        let mut spec = crate::pager::SpillSpec::new(64, dir.clone());
+        spec.page_states = 2;
+        let mut spilled = StateArena::new();
+        spilled.enable_spill(spec).unwrap();
+        let mut resident = StateArena::new();
+        for state in &states {
+            let (a, fresh_a) = spilled.intern(state.clone());
+            let (b, fresh_b) = resident.intern(state.clone());
+            assert_eq!(a, b);
+            assert_eq!(fresh_a, fresh_b);
+        }
+        // Dedup still works across evicted pages (exact, via page fault).
+        for (state, i) in states.iter().zip(0u32..) {
+            let (id, fresh) = spilled.intern(state.clone());
+            assert!(!fresh);
+            assert_eq!(id, StateId(i));
+            assert_eq!(spilled.get_arc_mut(id).as_ref(), state);
+            assert_eq!(spilled.fp_of(id), resident.fp_of(id));
+        }
+        assert_eq!(spilled, resident);
+        let counters = spilled.spill_counters().unwrap();
+        let get = |label: &str| counters.iter().find(|(l, _)| *l == label).unwrap().1;
+        assert!(get("spill.evictions") > 0, "64-byte cap must evict");
+        assert!(get("spill.misses") > 0, "dedup probes must fault");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

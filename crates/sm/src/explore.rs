@@ -38,6 +38,7 @@
 //! same observables.
 
 use crate::arena::{StateArena, StateId};
+use crate::checkpoint::{ExploreCheckpoint, TerminalIds};
 use crate::program::{Instr, Program};
 use crate::reduce::Reducer;
 use crate::state::{initial_state, ProgState, Termination};
@@ -155,6 +156,22 @@ pub struct Bounds {
     /// by default (`--no-symmetry` on the CLI turns it off); a no-op for
     /// programs that fail the invisibility gates.
     pub symmetry: bool,
+    /// Disk spilling for the state arena (`--mem-cap` on the CLI): cold
+    /// state pages evict to disk under the spec's byte budget and fault
+    /// back on demand. `None` (the default) keeps everything resident.
+    /// Results are byte-identical with and without spilling.
+    pub spill: Option<crate::pager::SpillSpec>,
+    /// Wave-boundary checkpointing (`--checkpoint`/`--resume` on the
+    /// CLI): the frontier, seen set, and progress counters persist
+    /// crash-safely at every wave boundary, and a fresh run with
+    /// `resume` set continues from them instead of starting cold. A
+    /// resumed run is byte-identical to an uninterrupted one.
+    pub checkpoint: Option<crate::checkpoint::CheckpointSpec>,
+    /// Waves narrower than this run inline on the coordinator even when
+    /// `jobs > 1`: tiny frontiers lose more to ring handoff than they
+    /// gain from parallelism, and the inline path is the reference
+    /// semantics, so the fallback cannot change results.
+    pub small_wave_serial: usize,
 }
 
 impl Bounds {
@@ -169,6 +186,9 @@ impl Bounds {
             deadline: None,
             reduction: true,
             symmetry: true,
+            spill: None,
+            checkpoint: None,
+            small_wave_serial: SMALL_WAVE_SERIAL,
         }
     }
 
@@ -194,6 +214,30 @@ impl Bounds {
     pub fn with_symmetry(mut self, symmetry: bool) -> Bounds {
         self.symmetry = symmetry;
         self
+    }
+
+    /// The same bounds with arena spilling under `spec`'s byte budget.
+    pub fn with_spill(mut self, spec: crate::pager::SpillSpec) -> Bounds {
+        self.spill = Some(spec);
+        self
+    }
+
+    /// The same bounds with wave-boundary checkpointing under `spec`.
+    pub fn with_checkpoint(mut self, spec: crate::checkpoint::CheckpointSpec) -> Bounds {
+        self.checkpoint = Some(spec);
+        self
+    }
+
+    /// A semantic guard over the fields that determine the explored
+    /// graph for `program` — jobs, deadline, budgets, spill, and
+    /// checkpoint knobs are all excluded, so a resumed run may raise its
+    /// budget or change its worker count and still match.
+    pub fn semantic_guard(&self, program: &Program) -> u64 {
+        let key = format!(
+            "{}|{:?}|{}|{}|{}",
+            program.name, self.nondet_ints, self.max_buffer, self.reduction, self.symmetry
+        );
+        crate::codec::fnv1a_64(key.as_bytes())
     }
 
     /// True once the wall-clock deadline (if any) has passed.
@@ -349,6 +393,19 @@ const DEADLINE_CHECK_EDGES: usize = 1024;
 /// deadline overshoot — while keeping workers fed across commit stalls.
 const RING_CAPACITY: usize = 64;
 
+/// Wave slots per ring handoff. One push/pop per slot made the handoff
+/// cost visible on small subjects (`BENCH_pipeline.json` showed jobs>1
+/// *slower* than serial at 0.73–0.80×); batching amortizes it 16-fold.
+/// Batch `b` goes to worker `b % jobs` and SPSC rings are FIFO, so
+/// committing batches in index order still reconstructs the exact serial
+/// slot order.
+const EXPAND_BATCH: usize = 16;
+
+/// Default [`Bounds::small_wave_serial`]: waves narrower than this run
+/// inline even when `jobs > 1` (three batches — below that, handoff
+/// latency dominates any parallel win).
+const SMALL_WAVE_SERIAL: usize = 3 * EXPAND_BATCH;
+
 /// Telemetry samples one slot in this many (power of two; slot 0 is always
 /// sampled, so even a tiny run records something). Slots here run in a few
 /// microseconds, so timestamping each one costs several percent of the
@@ -367,9 +424,10 @@ fn sample_slot(record: bool, counter: &mut usize) -> Option<Instant> {
     sampled.then(Instant::now)
 }
 
-/// A unit of work for an explore worker: one wave slot to expand.
+/// A unit of work for an explore worker: a batch of consecutive wave
+/// slots starting at the carried index.
 enum Job {
-    Expand(usize, Arc<ProgState>),
+    Expand(usize, Vec<Arc<ProgState>>),
     Shutdown,
 }
 
@@ -423,18 +481,32 @@ fn commit_slot(
     cs: &mut CommitState,
     record: bool,
     tel: &mut StageTelemetry,
+    terminals: &mut TerminalIds,
 ) {
     match expansion {
         Expansion::Terminal => {
-            let state = result.arena.get_arc(id);
+            let state = result.arena.get_arc_mut(id);
             match &state.termination {
-                Termination::Exited => result.exited.push(state),
-                Termination::AssertFailed(_) => result.assert_failures.push(state),
-                Termination::UndefinedBehavior(_) => result.ub_states.push(state),
+                Termination::Exited => {
+                    terminals.exited.push(id.0);
+                    result.exited.push(state);
+                }
+                Termination::AssertFailed(_) => {
+                    terminals.assert_failures.push(id.0);
+                    result.assert_failures.push(state);
+                }
+                Termination::UndefinedBehavior(_) => {
+                    terminals.ub_states.push(id.0);
+                    result.ub_states.push(state);
+                }
                 Termination::Running => unreachable!("terminal expansion of running state"),
             }
         }
-        Expansion::Stuck => result.stuck.push(result.arena.get_arc(id)),
+        Expansion::Stuck => {
+            terminals.stuck.push(id.0);
+            let state = result.arena.get_arc_mut(id);
+            result.stuck.push(state);
+        }
         Expansion::Edges(edges) => {
             let started = sample_slot(record, &mut cs.tel_sampler);
             let total = edges.len();
@@ -450,7 +522,11 @@ fn commit_slot(
                         cs.deadline_cut = true;
                     }
                 }
-                if result.arena.lookup_with_fp(edge.fp, &edge.state).is_some() {
+                if result
+                    .arena
+                    .lookup_with_fp_mut(edge.fp, &edge.state)
+                    .is_some()
+                {
                     subsumed += 1;
                     continue;
                 }
@@ -476,8 +552,46 @@ fn commit_slot(
     }
 }
 
+/// Runs one wave's slots inline on the coordinator: ingress → explore →
+/// subsume → commit as phases of one loop iteration per slot, in slot
+/// order — the reference semantics every parallel run must reproduce.
+#[allow(clippy::too_many_arguments)]
+fn run_wave_inline(
+    result: &mut Exploration,
+    wave: &[StateId],
+    next_wave: &mut Vec<StateId>,
+    bounds: &Bounds,
+    cs: &mut CommitState,
+    expand: &dyn Fn(&ProgState) -> Expansion,
+    sampler: &mut usize,
+    record: bool,
+    tel: &mut StageTelemetry,
+    terminals: &mut TerminalIds,
+) {
+    for &id in wave {
+        if cs.deadline_cut {
+            break;
+        }
+        let state = result.arena.get_arc_mut(id);
+        let started = sample_slot(record, sampler);
+        let expansion = expand(&state);
+        if let Some(started) = started {
+            let n = match &expansion {
+                Expansion::Edges(edges) => edges.len(),
+                _ => 0,
+            };
+            tel.record_batch(Stage::Explore, started.elapsed(), n);
+        }
+        commit_slot(
+            result, next_wave, bounds, id, expansion, cs, record, tel, terminals,
+        );
+    }
+}
+
 /// The engine behind [`explore_from`]: a four-stage pipeline over SPSC
-/// rings when `jobs > 1`, the same stages inline when `jobs == 1`.
+/// rings when `jobs > 1`, the same stages inline when `jobs == 1` (and
+/// for waves below [`Bounds::small_wave_serial`], where handoff would
+/// cost more than it buys).
 fn explore_from_impl(
     program: &Program,
     initial: ProgState,
@@ -499,12 +613,60 @@ fn explore_from_impl(
         transitions: 0,
         micro_steps: 0,
     };
-    let initial = match canon {
-        Some(canon) => canon.canonicalize(initial).0,
-        None => initial,
-    };
-    let (root, _) = result.arena.intern(initial);
-    let mut wave: Vec<StateId> = vec![root];
+    if let Some(spec) = &bounds.spill {
+        result
+            .arena
+            .enable_spill(spec.clone())
+            .unwrap_or_else(|err| panic!("spill: creating {}: {err}", spec.dir.display()));
+    }
+    let mut terminals = TerminalIds::default();
+    let mut checkpoint = bounds.checkpoint.as_ref().map(|spec| {
+        ExploreCheckpoint::new(spec.dir.clone(), bounds.semantic_guard(program))
+            .unwrap_or_else(|err| panic!("checkpoint: creating {}: {err}", spec.dir.display()))
+    });
+
+    // Resume, if asked and a compatible checkpoint exists: rebuild the
+    // arena by re-interning the saved prefix in order (ids are interning
+    // order, so they land where they were), then continue the wave loop
+    // from the saved frontier. Any defect in the checkpoint falls back to
+    // a cold start.
+    let mut wave: Vec<StateId> = Vec::new();
+    let resume_ok = bounds.checkpoint.as_ref().is_some_and(|s| s.resume)
+        && checkpoint
+            .as_mut()
+            .and_then(|ck| ck.try_resume())
+            .map(|data| {
+                for (i, (fp, state)) in data.states.into_iter().enumerate() {
+                    let (id, fresh) = result.arena.intern_with_fp(fp, state);
+                    assert!(
+                        fresh && id.index() == i,
+                        "checkpoint states must re-intern densely"
+                    );
+                }
+                wave = data.wave.into_iter().map(StateId).collect();
+                result.transitions = data.transitions as usize;
+                result.micro_steps = data.micro_steps as usize;
+                terminals = data.terminals;
+                for (ids, list) in [
+                    (&terminals.exited, &mut result.exited),
+                    (&terminals.assert_failures, &mut result.assert_failures),
+                    (&terminals.ub_states, &mut result.ub_states),
+                    (&terminals.stuck, &mut result.stuck),
+                ] {
+                    for &id in ids {
+                        list.push(result.arena.get_arc_mut(StateId(id)));
+                    }
+                }
+            })
+            .is_some();
+    if !resume_ok {
+        let initial = match canon {
+            Some(canon) => canon.canonicalize(initial).0,
+            None => initial,
+        };
+        let (root, _) = result.arena.intern(initial);
+        wave = vec![root];
+    }
 
     // The explore stage: successor enumeration for one state. The lean
     // enumeration — no per-edge `Step` vectors or intermediate state
@@ -540,12 +702,21 @@ fn explore_from_impl(
     };
 
     let workers = bounds.jobs.max(1);
+    let mut explore_sampler = 0usize;
     if workers == 1 {
         // Inline pipeline: ingress/explore/subsume/commit run as phases of
         // one loop iteration per slot, in slot order — the reference
         // semantics every parallel run must reproduce.
-        let mut explore_sampler = 0usize;
         while !wave.is_empty() && !result.truncated {
+            if let Some(ck) = checkpoint.as_mut() {
+                ck.save(
+                    &mut result.arena,
+                    &wave,
+                    result.transitions,
+                    result.micro_steps,
+                    &terminals,
+                );
+            }
             if bounds.deadline_expired() {
                 result.truncated = true;
                 break;
@@ -553,30 +724,18 @@ fn explore_from_impl(
             let mut next_wave: Vec<StateId> = Vec::new();
             let mut cs = CommitState::default();
             let wave_started = record.then(Instant::now);
-            for &id in &wave {
-                if cs.deadline_cut {
-                    break;
-                }
-                let started = sample_slot(record, &mut explore_sampler);
-                let expansion = expand_state(result.arena.get(id));
-                if let Some(started) = started {
-                    let n = match &expansion {
-                        Expansion::Edges(edges) => edges.len(),
-                        _ => 0,
-                    };
-                    tel.record_batch(Stage::Explore, started.elapsed(), n);
-                }
-                commit_slot(
-                    &mut result,
-                    &mut next_wave,
-                    bounds,
-                    id,
-                    expansion,
-                    &mut cs,
-                    record,
-                    tel,
-                );
-            }
+            run_wave_inline(
+                &mut result,
+                &wave,
+                &mut next_wave,
+                bounds,
+                &mut cs,
+                &expand_state,
+                &mut explore_sampler,
+                record,
+                tel,
+                &mut terminals,
+            );
             if let Some(started) = wave_started {
                 // Ingress batches time a whole wave's coordination
                 // (dispatch through final commit): the wave wall-time
@@ -588,9 +747,10 @@ fn explore_from_impl(
     } else {
         // Pinned-role pipeline: this thread is ingress + subsume + commit;
         // `workers` explore threads each own one in-ring and one out-ring.
-        // Slot `s` always goes to worker `s % workers`, and each SPSC ring
-        // is FIFO, so popping out-ring `s % workers` when committing slot
-        // `s` yields exactly slot `s` — serial wave order, no reordering.
+        // The wave is cut into [`EXPAND_BATCH`]-slot batches; batch `b`
+        // always goes to worker `b % workers`, and each SPSC ring is FIFO,
+        // so popping out-ring `b % workers` when committing batch `b`
+        // yields exactly batch `b` — serial wave order, no reordering.
         std::thread::scope(|scope| {
             let expand = &expand_state;
             let mut in_txs = Vec::with_capacity(workers);
@@ -598,7 +758,7 @@ fn explore_from_impl(
             let mut handles = Vec::with_capacity(workers);
             for _ in 0..workers {
                 let (in_tx, mut in_rx) = ring::<Job>(RING_CAPACITY);
-                let (mut out_tx, out_rx) = ring::<(usize, Expansion)>(RING_CAPACITY);
+                let (mut out_tx, out_rx) = ring::<(usize, Vec<Expansion>)>(RING_CAPACITY);
                 in_txs.push(in_tx);
                 out_rxs.push(out_rx);
                 handles.push(scope.spawn(move || {
@@ -607,17 +767,25 @@ fn explore_from_impl(
                     loop {
                         match in_rx.pop() {
                             Job::Shutdown => break,
-                            Job::Expand(slot, state) => {
-                                let started = sample_slot(record, &mut sampler);
-                                let expansion = expand(&state);
-                                if let Some(started) = started {
-                                    let n = match &expansion {
-                                        Expansion::Edges(edges) => edges.len(),
-                                        _ => 0,
-                                    };
-                                    worker_tel.record_batch(Stage::Explore, started.elapsed(), n);
+                            Job::Expand(batch_ix, states) => {
+                                let mut expansions = Vec::with_capacity(states.len());
+                                for state in &states {
+                                    let started = sample_slot(record, &mut sampler);
+                                    let expansion = expand(state);
+                                    if let Some(started) = started {
+                                        let n = match &expansion {
+                                            Expansion::Edges(edges) => edges.len(),
+                                            _ => 0,
+                                        };
+                                        worker_tel.record_batch(
+                                            Stage::Explore,
+                                            started.elapsed(),
+                                            n,
+                                        );
+                                    }
+                                    expansions.push(expansion);
                                 }
-                                out_tx.push((slot, expansion));
+                                out_tx.push((batch_ix, expansions));
                             }
                         }
                     }
@@ -626,62 +794,122 @@ fn explore_from_impl(
             }
 
             while !wave.is_empty() && !result.truncated {
+                if let Some(ck) = checkpoint.as_mut() {
+                    ck.save(
+                        &mut result.arena,
+                        &wave,
+                        result.transitions,
+                        result.micro_steps,
+                        &terminals,
+                    );
+                }
                 if bounds.deadline_expired() {
                     result.truncated = true;
                     break;
                 }
                 let mut next_wave: Vec<StateId> = Vec::new();
                 let mut cs = CommitState::default();
-                let mut next_ingress = 0usize;
-                let mut next_commit = 0usize;
-                let mut backoff = Backoff::new();
                 let ingress_started = record.then(Instant::now);
-                while next_commit < wave.len() {
-                    if cs.deadline_cut {
-                        // Drain in-flight expansions uncommitted and
-                        // uncounted: the run is over, only ring hygiene
-                        // remains (workers must not block on full rings).
-                        while next_commit < next_ingress {
-                            if out_rxs[next_commit % workers].try_pop().is_some() {
+                if wave.len() < bounds.small_wave_serial {
+                    // Narrow frontier: ring handoff costs more than the
+                    // parallelism buys. The inline path is the reference
+                    // semantics, so falling back cannot change results.
+                    run_wave_inline(
+                        &mut result,
+                        &wave,
+                        &mut next_wave,
+                        bounds,
+                        &mut cs,
+                        expand,
+                        &mut explore_sampler,
+                        record,
+                        tel,
+                        &mut terminals,
+                    );
+                } else {
+                    let nbatches = wave.len().div_ceil(EXPAND_BATCH);
+                    let mut next_ingress = 0usize;
+                    let mut next_commit = 0usize;
+                    // A built batch the target ring refused: faulting its
+                    // states may have cost page reads, so keep it until
+                    // the ring accepts rather than rebuilding.
+                    let mut pending: Option<(usize, Vec<Arc<ProgState>>)> = None;
+                    let mut backoff = Backoff::new();
+                    while next_commit < nbatches {
+                        if cs.deadline_cut {
+                            // Drain in-flight batches uncommitted and
+                            // uncounted: the run is over, only ring
+                            // hygiene remains (workers must not block on
+                            // full rings).
+                            while next_commit < next_ingress {
+                                if out_rxs[next_commit % workers].try_pop().is_some() {
+                                    next_commit += 1;
+                                } else {
+                                    backoff.snooze();
+                                }
+                            }
+                            break;
+                        }
+                        // Ingress: feed workers round-robin while rings
+                        // accept, one batch of consecutive slots at a time.
+                        loop {
+                            let (batch_ix, states) = match pending.take() {
+                                Some(batch) => batch,
+                                None if next_ingress < nbatches => {
+                                    let start = next_ingress * EXPAND_BATCH;
+                                    let end = (start + EXPAND_BATCH).min(wave.len());
+                                    let states = wave[start..end]
+                                        .iter()
+                                        .map(|&id| result.arena.get_arc_mut(id))
+                                        .collect();
+                                    (next_ingress, states)
+                                }
+                                None => break,
+                            };
+                            match in_txs[batch_ix % workers].try_push(Job::Expand(batch_ix, states))
+                            {
+                                Ok(()) => {
+                                    next_ingress += 1;
+                                    backoff.reset();
+                                }
+                                Err(Job::Expand(batch_ix, states)) => {
+                                    pending = Some((batch_ix, states));
+                                    break;
+                                }
+                                Err(Job::Shutdown) => unreachable!("only Expand is pushed here"),
+                            }
+                        }
+                        // Commit: strictly the next batch in wave order,
+                        // slot by slot.
+                        if next_commit < next_ingress {
+                            if let Some((batch_ix, expansions)) =
+                                out_rxs[next_commit % workers].try_pop()
+                            {
+                                debug_assert_eq!(batch_ix, next_commit, "out-ring order broken");
+                                let start = batch_ix * EXPAND_BATCH;
+                                for (offset, expansion) in expansions.into_iter().enumerate() {
+                                    if cs.deadline_cut {
+                                        break;
+                                    }
+                                    commit_slot(
+                                        &mut result,
+                                        &mut next_wave,
+                                        bounds,
+                                        wave[start + offset],
+                                        expansion,
+                                        &mut cs,
+                                        record,
+                                        tel,
+                                        &mut terminals,
+                                    );
+                                }
                                 next_commit += 1;
-                            } else {
-                                backoff.snooze();
-                            }
-                        }
-                        break;
-                    }
-                    // Ingress: feed workers round-robin while rings accept.
-                    while next_ingress < wave.len() {
-                        let worker = next_ingress % workers;
-                        let state = result.arena.get_arc(wave[next_ingress]);
-                        match in_txs[worker].try_push(Job::Expand(next_ingress, state)) {
-                            Ok(()) => {
-                                next_ingress += 1;
                                 backoff.reset();
+                                continue;
                             }
-                            Err(_) => break,
                         }
+                        backoff.snooze();
                     }
-                    // Commit: strictly the next slot in wave order.
-                    if next_commit < next_ingress {
-                        if let Some((slot, expansion)) = out_rxs[next_commit % workers].try_pop() {
-                            debug_assert_eq!(slot, next_commit, "out-ring order broken");
-                            commit_slot(
-                                &mut result,
-                                &mut next_wave,
-                                bounds,
-                                wave[next_commit],
-                                expansion,
-                                &mut cs,
-                                record,
-                                tel,
-                            );
-                            next_commit += 1;
-                            backoff.reset();
-                            continue;
-                        }
-                    }
-                    backoff.snooze();
                 }
                 if let Some(started) = ingress_started {
                     tel.record_batch(Stage::Ingress, started.elapsed(), wave.len());
@@ -699,6 +927,23 @@ fn explore_from_impl(
                 }
             }
         });
+    }
+
+    // A clean, complete run needs no resume point; leaving one behind
+    // would make a later `--resume` of the same directory skip work it
+    // should redo under different budgets.
+    if !result.truncated {
+        if let Some(ck) = checkpoint.as_mut() {
+            ck.clear();
+        }
+    }
+    // Spill counters surface through telemetry only: they depend on fault
+    // order (and thus the worker count), so they are diagnostics, never
+    // part of the byte-identity surface.
+    if let Some(counters) = result.arena.spill_counters() {
+        for (name, value) in counters {
+            tel.counters_mut().add(name, value);
+        }
     }
 
     // Canonical order: terminal classes are sets, not traces. Sorting makes
@@ -915,7 +1160,11 @@ mod tests {
         for reduction in [true, false] {
             let bounds = Bounds::small().with_reduction(reduction);
             let serial = explore(&p, &bounds);
-            let parallel = explore(&p, &bounds.clone().with_jobs(4));
+            // Threshold 0 forces the ring pipeline even on RACY's narrow
+            // waves, which is the path under test.
+            let mut par_bounds = bounds.clone().with_jobs(4);
+            par_bounds.small_wave_serial = 0;
+            let parallel = explore(&p, &par_bounds);
             assert_eq!(serial.arena, parallel.arena);
             assert_eq!(serial.exited, parallel.exited);
             assert_eq!(serial.assert_failures, parallel.assert_failures);
@@ -937,6 +1186,7 @@ mod tests {
         for max_states in [1, 2, 3, 5, 8, 13] {
             let mut bounds = Bounds::small();
             bounds.max_states = max_states;
+            bounds.small_wave_serial = 0;
             let serial = explore(&p, &bounds);
             let parallel = explore(&p, &bounds.clone().with_jobs(4));
             assert!(serial.truncated, "max_states={max_states} must truncate");
@@ -960,7 +1210,9 @@ mod tests {
         let p = program(RACY);
         let serial = explore(&p, &Bounds::small());
         for jobs in [2, 3, 8] {
-            let parallel = explore(&p, &Bounds::small().with_jobs(jobs));
+            let mut bounds = Bounds::small().with_jobs(jobs);
+            bounds.small_wave_serial = 0;
+            let parallel = explore(&p, &bounds);
             assert_eq!(serial.arena, parallel.arena, "jobs={jobs}");
             assert_eq!(serial.exited, parallel.exited, "jobs={jobs}");
             assert_eq!(serial.transitions, parallel.transitions, "jobs={jobs}");
@@ -972,7 +1224,8 @@ mod tests {
     fn telemetry_does_not_change_the_exploration() {
         let p = program(RACY);
         for jobs in [1, 4] {
-            let bounds = Bounds::small().with_jobs(jobs);
+            let mut bounds = Bounds::small().with_jobs(jobs);
+            bounds.small_wave_serial = 0;
             let plain = explore(&p, &bounds);
             let (instrumented, telemetry) = explore_with_telemetry(&p, &bounds);
             assert_eq!(plain.arena, instrumented.arena, "jobs={jobs}");
@@ -1007,6 +1260,170 @@ mod tests {
             assert_eq!(e.arena.len(), 1, "jobs={jobs}");
             assert_eq!(e.transitions, 0, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn small_wave_fallback_is_identical_to_the_ring_path() {
+        // RACY's waves are all narrower than the default threshold, so a
+        // jobs=4 run with defaults takes the inline fallback throughout;
+        // with threshold 0 every wave takes the ring pipeline. Both must
+        // match the serial reference exactly.
+        let p = program(RACY);
+        let serial = explore(&p, &Bounds::small());
+        let fallback = explore(&p, &Bounds::small().with_jobs(4));
+        let mut ring_bounds = Bounds::small().with_jobs(4);
+        ring_bounds.small_wave_serial = 0;
+        let ring = explore(&p, &ring_bounds);
+        for (tag, e) in [("fallback", &fallback), ("ring", &ring)] {
+            assert_eq!(serial.arena, e.arena, "{tag}");
+            assert_eq!(serial.exited, e.exited, "{tag}");
+            assert_eq!(serial.assert_failures, e.assert_failures, "{tag}");
+            assert_eq!(serial.stuck, e.stuck, "{tag}");
+            assert_eq!(serial.transitions, e.transitions, "{tag}");
+            assert_eq!(serial.micro_steps, e.micro_steps, "{tag}");
+        }
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("armada-explore-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn spilled_exploration_is_identical_to_resident() {
+        // A 1-byte cap forces every sealed page out; tiny pages force
+        // sealing early. The explored space, counters, and terminal
+        // classes must not change, and the spill counters must show the
+        // pager actually worked.
+        let p = program(RACY);
+        let plain = explore(&p, &Bounds::small());
+        let dir = tmp("spill");
+        for jobs in [1, 4] {
+            let mut spec = crate::pager::SpillSpec::new(1, dir.clone());
+            spec.page_states = 4;
+            let mut bounds = Bounds::small().with_jobs(jobs).with_spill(spec);
+            bounds.small_wave_serial = 0;
+            let (spilled, telemetry) = explore_with_telemetry(&p, &bounds);
+            assert_eq!(plain.arena, spilled.arena, "jobs={jobs}");
+            assert_eq!(plain.exited, spilled.exited, "jobs={jobs}");
+            assert_eq!(
+                plain.assert_failures, spilled.assert_failures,
+                "jobs={jobs}"
+            );
+            assert_eq!(plain.ub_states, spilled.ub_states, "jobs={jobs}");
+            assert_eq!(plain.stuck, spilled.stuck, "jobs={jobs}");
+            assert_eq!(plain.transitions, spilled.transitions, "jobs={jobs}");
+            assert_eq!(plain.micro_steps, spilled.micro_steps, "jobs={jobs}");
+            assert_eq!(plain.truncated, spilled.truncated, "jobs={jobs}");
+            assert!(
+                telemetry.counters().get("spill.evictions") > 0,
+                "jobs={jobs}: a 1-byte cap must evict"
+            );
+            assert!(
+                telemetry.counters().get("spill.misses") > 0,
+                "jobs={jobs}: evicted pages must fault back"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_exploration_is_identical_to_uninterrupted() {
+        let p = program(RACY);
+        let plain = explore(&p, &Bounds::small());
+        for jobs in [1, 4] {
+            let dir = tmp(&format!("resume-{jobs}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let spec = crate::checkpoint::CheckpointSpec::new(dir.clone());
+
+            // Interrupted run: a zero deadline kills it at the first wave
+            // boundary — after the boundary checkpoint was saved.
+            let cut = explore(
+                &p,
+                &Bounds::small()
+                    .with_jobs(jobs)
+                    .with_checkpoint(spec.clone())
+                    .with_deadline(std::time::Duration::ZERO),
+            );
+            assert!(cut.truncated, "jobs={jobs}");
+
+            // Resume without the deadline: must finish and match the
+            // uninterrupted run field for field.
+            let resumed = explore(
+                &p,
+                &Bounds::small()
+                    .with_jobs(jobs)
+                    .with_checkpoint(spec.clone().with_resume(true)),
+            );
+            assert_eq!(plain.arena, resumed.arena, "jobs={jobs}");
+            assert_eq!(plain.exited, resumed.exited, "jobs={jobs}");
+            assert_eq!(
+                plain.assert_failures, resumed.assert_failures,
+                "jobs={jobs}"
+            );
+            assert_eq!(plain.ub_states, resumed.ub_states, "jobs={jobs}");
+            assert_eq!(plain.stuck, resumed.stuck, "jobs={jobs}");
+            assert_eq!(plain.transitions, resumed.transitions, "jobs={jobs}");
+            assert_eq!(plain.micro_steps, resumed.micro_steps, "jobs={jobs}");
+            assert!(!resumed.truncated, "jobs={jobs}");
+            assert!(
+                !dir.join("manifest.bin").exists(),
+                "jobs={jobs}: clean completion clears the checkpoint"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn resume_after_a_budget_cut_continues_under_a_raised_budget() {
+        // A max_states cut mid-run leaves a checkpoint from the last wave
+        // boundary; resuming with the full budget continues from there and
+        // lands on the uninterrupted result.
+        let p = program(RACY);
+        let plain = explore(&p, &Bounds::small());
+        let dir = tmp("resume-budget");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = crate::checkpoint::CheckpointSpec::new(dir.clone());
+        let mut small_budget = Bounds::small().with_checkpoint(spec.clone());
+        small_budget.max_states = 3;
+        let cut = explore(&p, &small_budget);
+        assert!(cut.truncated);
+        let resumed = explore(&p, &Bounds::small().with_checkpoint(spec.with_resume(true)));
+        assert_eq!(plain.arena, resumed.arena);
+        assert_eq!(plain.exited, resumed.exited);
+        assert_eq!(plain.transitions, resumed.transitions);
+        assert_eq!(plain.micro_steps, resumed.micro_steps);
+        assert!(!resumed.truncated);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_a_mismatched_guard_starts_cold_and_still_finishes() {
+        // Changing a semantic knob (nondet pool) invalidates the guard:
+        // resume refuses the stale checkpoint, clears it, and the run
+        // completes cold with the new semantics.
+        let p = program(RACY);
+        let dir = tmp("resume-guard");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = crate::checkpoint::CheckpointSpec::new(dir.clone());
+        let cut = explore(
+            &p,
+            &Bounds::small()
+                .with_checkpoint(spec.clone())
+                .with_deadline(std::time::Duration::ZERO),
+        );
+        assert!(cut.truncated);
+        let mut changed = Bounds::small().with_checkpoint(spec.with_resume(true));
+        changed.nondet_ints = vec![0, 1];
+        let resumed = explore(&p, &changed);
+        assert!(!resumed.truncated, "cold start must still finish");
+        let reference = {
+            let mut b = Bounds::small();
+            b.nondet_ints = vec![0, 1];
+            explore(&p, &b)
+        };
+        assert_eq!(reference.arena, resumed.arena);
+        assert_eq!(reference.exited, resumed.exited);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

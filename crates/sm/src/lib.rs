@@ -35,11 +35,14 @@
 
 pub mod arena;
 pub mod canon;
+pub mod checkpoint;
+pub mod codec;
 pub mod effects;
 pub mod eval;
 pub mod explore;
 pub mod heap;
 pub mod lower;
+pub mod pager;
 pub mod program;
 pub mod reduce;
 pub mod state;
@@ -48,9 +51,11 @@ pub mod value;
 
 pub use arena::{StateArena, StateId};
 pub use canon::Canonicalizer;
+pub use checkpoint::CheckpointSpec;
 pub use explore::{explore, explore_with_telemetry, run_to_completion, Bounds, Exploration};
 pub use heap::{Heap, Location, MemNode, ObjectId, PtrVal};
 pub use lower::{lower, LowerError};
+pub use pager::SpillSpec;
 pub use program::{Instr, Pc, Program, Routine};
 pub use reduce::{macro_steps, MacroStep, Reducer};
 pub use state::{initial_state, ProgState, Termination, ThreadState, Tid};

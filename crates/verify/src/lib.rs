@@ -63,6 +63,7 @@
 //! micro-length), and the lexicographically-least trace wins regardless of
 //! which worker found it first.
 
+mod checkpoint;
 pub mod store;
 pub mod tier;
 
@@ -337,6 +338,14 @@ impl<'a> HighGraph<'a> {
         }
     }
 
+    /// Spills the high-state arena under `spec`'s byte budget
+    /// (`--mem-cap`): cold pages of interned high states evict to disk and
+    /// fault back on demand. Successor/closure memos stay resident — they
+    /// hold the ids; only the state trees page.
+    fn enable_spill(&mut self, spec: armada_sm::SpillSpec) -> std::io::Result<()> {
+        self.arena.enable_spill(spec)
+    }
+
     fn intern_state(&mut self, state: ProgState) -> u32 {
         let (id, fresh) = self.arena.intern(state);
         if fresh {
@@ -353,7 +362,7 @@ impl<'a> HighGraph<'a> {
         // The high side is never fused: `closure_of` counts *individual*
         // high steps against the `max_match` stutter budget, and a macro
         // edge would smuggle several steps past it.
-        let state = self.arena.get_arc(StateId(id));
+        let state = self.arena.get_arc_mut(StateId(id));
         let ids: Vec<u32> =
             armada_sm::enabled_steps(self.program, &state, &self.pool, self.max_buffer)
                 .into_iter()
@@ -385,7 +394,7 @@ impl<'a> HighGraph<'a> {
         }
         let result = Arc::new(
             seen.into_iter()
-                .map(|h| (h, self.arena.get_arc(StateId(h))))
+                .map(|h| (h, self.arena.get_arc_mut(StateId(h))))
                 .collect::<Vec<_>>(),
         );
         self.closures[id as usize] = Some(Arc::clone(&result));
@@ -644,6 +653,22 @@ impl LowSeen {
             .expect("seen shard poisoned");
         shard.entry(fp).or_default().push((state, vec![matches]));
     }
+
+    /// Re-admits one node's match set during checkpoint resume, merging
+    /// into an existing entry for the same state (a state can appear on
+    /// several antichain-incomparable nodes). Replaying admitted nodes in
+    /// id order reproduces the seen-set exactly, because every entry was
+    /// pushed when its node was admitted.
+    fn rehydrate(&self, fp: u64, state: &Arc<ProgState>, matches: &MatchSet) {
+        let mut shard = self.shards[self.shard_of(fp)]
+            .lock()
+            .expect("seen shard poisoned");
+        let bucket = shard.entry(fp).or_default();
+        match bucket.iter_mut().find(|(s, _)| **s == **state) {
+            Some((_, sets)) => sets.push(Arc::clone(matches)),
+            None => bucket.push((Arc::clone(state), vec![Arc::clone(matches)])),
+        }
+    }
 }
 
 /// Phase-A output for one wave: `true` at a successor's flat index means an
@@ -804,23 +829,40 @@ fn check_refinement_impl(
         config.bounds.max_buffer,
         config.max_match,
     );
-    let high_root = high_graph.intern_state(high_init);
-    let init_matches: BTreeSet<u32> = high_graph
-        .closure_of(high_root)
-        .iter()
-        .filter(|(_, s)| relation.relates(&low_init, s))
-        .map(|(h, _)| *h)
-        .collect();
-    if init_matches.is_empty() {
-        return Err(Box::new(Counterexample {
-            kind: CexKind::Refinement,
-            description: "initial states are not related by R".to_string(),
-            trace: vec![],
-            steps: vec![],
-            state: low_init,
-        }));
+    if let Some(spec) = &config.bounds.spill {
+        high_graph
+            .enable_spill(spec.clone())
+            .unwrap_or_else(|err| panic!("spill: creating {}: {err}", spec.dir.display()));
     }
-    let high_graph = Mutex::new(high_graph);
+
+    // Wave-boundary checkpointing. The guard covers everything that
+    // determines the product graph — programs, relation, semantic bounds,
+    // the stutter budget — and excludes jobs, deadlines, node budgets, and
+    // faults, so a resumed run may raise its budget or change its worker
+    // count and still continue.
+    let mut ck = config.bounds.checkpoint.as_ref().map(|spec| {
+        let guard = armada_sm::codec::fnv1a_64(
+            format!(
+                "{}|{}|{}|{:?}|{}|{}|{}|{}",
+                low.name,
+                high.name,
+                relation.describe(),
+                config.bounds.nondet_ints,
+                config.bounds.max_buffer,
+                config.bounds.reduction,
+                config.bounds.symmetry,
+                config.max_match
+            )
+            .as_bytes(),
+        );
+        checkpoint::VerifyCheckpoint::new(spec.dir.clone(), guard)
+            .unwrap_or_else(|err| panic!("checkpoint: creating {}: {err}", spec.dir.display()))
+    });
+    let resumed = if config.bounds.checkpoint.as_ref().is_some_and(|s| s.resume) {
+        ck.as_mut().and_then(|ck| ck.try_resume())
+    } else {
+        None
+    };
 
     // Product search, one micro-depth bucket at a time. Parent pointers
     // give counterexample traces; antichain subsumption prunes nodes whose
@@ -835,30 +877,68 @@ fn check_refinement_impl(
     let mut set_intern: HashMap<Arc<BTreeSet<u32>>, u32> = HashMap::new();
     let mut nodes: Vec<Node> = Vec::new();
     let seen_low = LowSeen::new(jobs * 4);
-
-    let low_init = Arc::new(low_init);
-    let init_matches = Arc::new(init_matches);
-    set_intern.insert(Arc::clone(&init_matches), 0);
-    seen_low.admit(
-        StateArena::fingerprint(&low_init),
-        Arc::clone(&low_init),
-        Arc::clone(&init_matches),
-    );
-    nodes.push(Node {
-        low: low_init,
-        set_id: 0,
-        matches: init_matches,
-        depth: 0,
-        parent: None,
-        edge_steps: vec![],
-        orig: root_orig,
-    });
-
-    // Pending node ids, bucketed by micro-depth; the next wave is always
-    // the shallowest bucket, so failures surface at minimal trace length
-    // whether or not edges are fused.
     let mut pending: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    pending.insert(0, vec![0]);
+    let mut low_transitions = 0usize;
+    let mut wave_index = 0usize;
+
+    if let Some(rs) = resumed {
+        // Rebuild the memoized high arena in its original interning order
+        // (match-set ids index into it); successor and closure memos
+        // recompute on demand and re-intern onto the same ids. The
+        // seen-set and set-intern table replay from the node table.
+        for state in rs.high_states {
+            high_graph.intern_state(state);
+        }
+        for (id, set) in rs.sets.iter().enumerate() {
+            set_intern.insert(Arc::clone(set), id as u32);
+        }
+        for node in &rs.nodes {
+            seen_low.rehydrate(StateArena::fingerprint(&node.low), &node.low, &node.matches);
+        }
+        nodes = rs.nodes;
+        pending = rs.pending;
+        low_transitions = rs.low_transitions;
+        wave_index = rs.wave_index;
+    } else {
+        let high_root = high_graph.intern_state(high_init);
+        let init_matches: BTreeSet<u32> = high_graph
+            .closure_of(high_root)
+            .iter()
+            .filter(|(_, s)| relation.relates(&low_init, s))
+            .map(|(h, _)| *h)
+            .collect();
+        if init_matches.is_empty() {
+            return Err(Box::new(Counterexample {
+                kind: CexKind::Refinement,
+                description: "initial states are not related by R".to_string(),
+                trace: vec![],
+                steps: vec![],
+                state: low_init,
+            }));
+        }
+        let low_init = Arc::new(low_init);
+        let init_matches = Arc::new(init_matches);
+        set_intern.insert(Arc::clone(&init_matches), 0);
+        seen_low.admit(
+            StateArena::fingerprint(&low_init),
+            Arc::clone(&low_init),
+            Arc::clone(&init_matches),
+        );
+        nodes.push(Node {
+            low: low_init,
+            set_id: 0,
+            matches: init_matches,
+            depth: 0,
+            parent: None,
+            edge_steps: vec![],
+            orig: root_orig,
+        });
+        // Pending node ids, bucketed by micro-depth; the next wave is
+        // always the shallowest bucket, so failures surface at minimal
+        // trace length whether or not edges are fused.
+        pending.insert(0, vec![0]);
+    }
+    let high_graph = Mutex::new(high_graph);
 
     let ctx = ExpandCtx {
         low,
@@ -906,6 +986,10 @@ fn check_refinement_impl(
             &mut expander,
             record,
             tel,
+            &high_graph,
+            &mut ck,
+            low_transitions,
+            wave_index,
         );
         drop(expander);
         if record {
@@ -1013,6 +1097,10 @@ fn check_refinement_impl(
                 &mut expander,
                 record,
                 tel,
+                &high_graph,
+                &mut ck,
+                low_transitions,
+                wave_index,
             );
             for in_tx in &mut in_txs {
                 in_tx.push(VerifyMsg::Shutdown);
@@ -1026,6 +1114,32 @@ fn check_refinement_impl(
             outcome
         })
     };
+
+    // A definitive verdict — verified, or refuted with a counterexample —
+    // needs no resume point; budget and deadline exhaustion keep theirs so
+    // a rerun with raised budgets continues instead of restarting.
+    let definitive = match &outcome {
+        SearchOutcome::Done(Ok(_)) => true,
+        SearchOutcome::Done(Err(cex)) => !cex.kind.is_budget(),
+        SearchOutcome::Panicked(_) => false,
+    };
+    if definitive {
+        if let Some(ck) = ck.as_mut() {
+            ck.clear();
+        }
+    }
+    // Spill counters are diagnostics (fault order depends on jobs), so
+    // they ride telemetry, never the verdict.
+    if let Some(counters) = high_graph
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .arena
+        .spill_counters()
+    {
+        for (name, value) in counters {
+            tel.counters_mut().add(name, value);
+        }
+    }
 
     match outcome {
         SearchOutcome::Done(result) => result,
@@ -1067,9 +1181,11 @@ fn run_search(
     ) -> Result<Vec<Vec<SuccOut>>, PanicPayload>,
     record: bool,
     tel: &mut StageTelemetry,
+    high_graph: &Mutex<HighGraph<'_>>,
+    ck: &mut Option<checkpoint::VerifyCheckpoint>,
+    mut low_transitions: usize,
+    mut wave_index: usize,
 ) -> SearchOutcome {
-    let mut low_transitions = 0usize;
-
     let trace_of = |nodes: &[Node], mut node: usize| {
         let mut rev: Vec<String> = Vec::new();
         while let Some((parent, descs)) = &nodes[node].parent {
@@ -1089,8 +1205,25 @@ fn run_search(
         rev
     };
 
-    let mut wave_index = 0usize;
-    while let Some((_depth, wave)) = pending.pop_first() {
+    while !pending.is_empty() {
+        // Persist the boundary before touching the wave: the pending map
+        // still contains it, so a crash anywhere past this point resumes
+        // by redoing the wave — which commits identically, because commit
+        // order is deterministic.
+        if let Some(ck) = ck.as_mut() {
+            let mut hg = high_graph
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            ck.save(
+                nodes,
+                set_intern,
+                &mut hg.arena,
+                pending,
+                low_transitions,
+                wave_index,
+            );
+        }
+        let (_depth, wave) = pending.pop_first().expect("nonempty");
         let wave_started = record.then(Instant::now);
         // Injected slow-relation stall (fuzzing): burns wall-clock time at
         // the boundary, exactly where a slow relation or a descheduled
@@ -1485,6 +1618,141 @@ mod tests {
         let parallel = check_refinement(&low, &high, &relation, &SimConfig::default().with_jobs(4))
             .unwrap_err();
         assert_eq!(serial.to_string(), parallel.to_string());
+    }
+
+    const CONCURRENT_PAIR: &str = r#"
+            level Impl {
+                void worker(v: uint32) { print(v); }
+                void main() {
+                    var a: uint64 := create_thread worker(1);
+                    var b: uint64 := create_thread worker(2);
+                    join a;
+                    join b;
+                }
+            }
+            level Spec {
+                void main() {
+                    if (*) { print(1); print(2); } else { print(2); print(1); }
+                }
+            }
+            "#;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("armada-verify-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn spilled_check_matches_resident() {
+        // A tiny mem-cap forces the high-state arena through the pager;
+        // certificates and counterexample renderings must not change.
+        let (low, high) = programs(CONCURRENT_PAIR, "Impl", "Spec");
+        let relation = StandardRelation::log_prefix();
+        let plain = check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap();
+        let dir = tmp("spill");
+        for jobs in [1, 4] {
+            let mut spec = armada_sm::SpillSpec::new(1, dir.clone());
+            spec.page_states = 2;
+            let mut config = SimConfig::default().with_jobs(jobs);
+            config.bounds.spill = Some(spec);
+            let (result, tel) = check_refinement_with_telemetry(&low, &high, &relation, &config);
+            assert_eq!(plain, result.unwrap(), "jobs={jobs}");
+            assert!(
+                tel.counters().get("spill.evictions") > 0,
+                "jobs={jobs}: a 1-byte cap must evict high pages"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_check_matches_uninterrupted() {
+        let (low, high) = programs(CONCURRENT_PAIR, "Impl", "Spec");
+        let relation = StandardRelation::log_prefix();
+        let plain = check_refinement(&low, &high, &relation, &SimConfig::default()).unwrap();
+        for jobs in [1, 4] {
+            let dir = tmp(&format!("resume-{jobs}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let spec = armada_sm::CheckpointSpec::new(dir.clone());
+
+            // Interrupted: a zero deadline fires at the first boundary,
+            // after the boundary checkpoint landed.
+            let mut cut_config = SimConfig::default().with_jobs(jobs);
+            cut_config.bounds = cut_config
+                .bounds
+                .with_checkpoint(spec.clone())
+                .with_deadline(std::time::Duration::ZERO);
+            let cut = check_refinement(&low, &high, &relation, &cut_config).unwrap_err();
+            assert_eq!(cut.kind, CexKind::Deadline, "jobs={jobs}");
+
+            // Resumed without the deadline: identical certificate, and a
+            // definitive verdict clears the checkpoint.
+            let mut resume_config = SimConfig::default().with_jobs(jobs);
+            resume_config.bounds = resume_config
+                .bounds
+                .with_checkpoint(spec.clone().with_resume(true));
+            let resumed = check_refinement(&low, &high, &relation, &resume_config).unwrap();
+            assert_eq!(plain, resumed, "jobs={jobs}");
+            assert!(
+                !dir.join("manifest.bin").exists(),
+                "jobs={jobs}: a verified check clears its checkpoint"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn resume_after_a_node_budget_cut_continues_and_refutes_identically() {
+        // Interrupt a *failing* check with a tiny node budget; the resumed
+        // run must find the identical counterexample, then clear the
+        // checkpoint (refutation is definitive).
+        let (low, high) = programs(
+            r#"
+            level A {
+                void main() {
+                    var i: uint32 := 0;
+                    while (i < 3) { i := i + 1; }
+                    print(i);
+                }
+            }
+            level B { void main() { print(2); } }
+            "#,
+            "A",
+            "B",
+        );
+        let relation = StandardRelation::log_prefix();
+        // Reduction off: the loop's local steps become separate waves, so
+        // a small node budget cuts several waves before the refuting
+        // `print` edge (with fusion both land in one wave, and refutation
+        // would win).
+        let plain = check_refinement(
+            &low,
+            &high,
+            &relation,
+            &SimConfig::default().with_reduction(false),
+        )
+        .unwrap_err();
+        assert_eq!(plain.kind, CexKind::Refinement);
+        let dir = tmp("resume-budget");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = armada_sm::CheckpointSpec::new(dir.clone());
+        let mut cut_config = SimConfig::default().with_reduction(false);
+        cut_config.max_nodes = 2;
+        cut_config.bounds = cut_config.bounds.with_checkpoint(spec.clone());
+        let cut = check_refinement(&low, &high, &relation, &cut_config).unwrap_err();
+        assert_eq!(cut.kind, CexKind::Budget);
+        assert!(
+            dir.join("manifest.bin").exists(),
+            "a budget cut keeps its checkpoint"
+        );
+        let mut resume_config = SimConfig::default().with_reduction(false);
+        resume_config.bounds = resume_config.bounds.with_checkpoint(spec.with_resume(true));
+        let resumed = check_refinement(&low, &high, &relation, &resume_config).unwrap_err();
+        assert_eq!(plain.to_string(), resumed.to_string());
+        assert!(
+            !dir.join("manifest.bin").exists(),
+            "a refutation clears its checkpoint"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

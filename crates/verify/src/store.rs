@@ -133,7 +133,9 @@ impl CertKey {
         }
         // Reduction and symmetry change the cert's node/transition counts
         // (never the verdict), so a cached cert is only exact for the same
-        // settings.
+        // settings. Spill, checkpoint, and the small-wave threshold are
+        // deliberately excluded, like jobs and deadlines: they change how
+        // a check runs, never what a successful check certifies.
         h.write_u64(config.bounds.reduction as u64);
         h.write_u64(config.bounds.symmetry as u64);
         CertKey(h.finish())

@@ -210,14 +210,42 @@ if [[ "${1:-}" == "--full" ]]; then
             || { echo "$spec: --telemetry printed no histograms"; exit 1; }
     done
 
+    echo "==> spill + checkpoint/resume smoke (byte-identity under a mem cap)"
+    # The pager must be invisible on stdout and visibly working on stderr:
+    # a 1K cap on counter.arm forces evictions (nonzero spill counters in
+    # --telemetry output) while the report stays byte-identical to the
+    # plain run. Then kill a checkpointed run with a 1ms deadline (exit 3,
+    # budget exhausted at the first wave boundary) and resume it: the
+    # resumed report must match the uninterrupted one byte-for-byte.
+    "$ARMADA_BIN" verify specs/counter.arm >"$SMOKE_DIR/spill_plain.out"
+    "$ARMADA_BIN" verify specs/counter.arm --mem-cap 1K \
+        --spill-dir "$SMOKE_DIR/spill-pages" --telemetry \
+        >"$SMOKE_DIR/spill_capped.out" 2>"$SMOKE_DIR/spill_capped.err"
+    diff "$SMOKE_DIR/spill_plain.out" "$SMOKE_DIR/spill_capped.out" \
+        || { echo "--mem-cap changed the report"; exit 1; }
+    grep -Eq "spill\.evictions +[1-9]" "$SMOKE_DIR/spill_capped.err" \
+        || { echo "1K mem cap produced no evictions:"; \
+             cat "$SMOKE_DIR/spill_capped.err"; exit 1; }
+    CK_DIR="$SMOKE_DIR/checkpoints"
+    "$ARMADA_BIN" verify specs/counter.arm --deadline 0.001 \
+        --checkpoint="$CK_DIR" >/dev/null && rc=0 || rc=$?
+    [[ "$rc" -eq 3 ]] \
+        || { echo "1ms deadline should exhaust the budget (exit 3), got $rc"; exit 1; }
+    "$ARMADA_BIN" verify specs/counter.arm --checkpoint="$CK_DIR" --resume \
+        >"$SMOKE_DIR/spill_resumed.out" \
+        || { echo "resumed verify failed"; exit 1; }
+    diff "$SMOKE_DIR/spill_plain.out" "$SMOKE_DIR/spill_resumed.out" \
+        || { echo "resumed report differs from the uninterrupted run"; exit 1; }
+
     echo "==> telemetry overhead gate (<2% of states/sec)"
     cargo run --release --offline --example telemetry_gate
 
-    echo "==> state_engine + symmetry + fuzz_campaign + pipeline bench smoke"
+    echo "==> state_engine + symmetry + fuzz_campaign + pipeline + spill bench smoke"
     cargo run --release --offline -p armada-bench --bin state_engine -- --quick
     cargo run --release --offline -p armada-bench --bin symmetry -- --quick
     cargo run --release --offline -p armada-bench --bin fuzz_campaign -- --quick
     cargo run --release --offline -p armada-bench --bin pipeline_scaling -- --quick
+    cargo run --release --offline -p armada-bench --bin spill -- --smoke
 fi
 
 echo "verify.sh: all checks passed"
