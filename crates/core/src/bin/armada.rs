@@ -6,9 +6,13 @@
 //! armada verify <file.arm> [--jobs N] [--deadline SECS] [--cert-cache[=DIR]]
 //!                          [--no-reduction] [--no-symmetry] [--telemetry]
 //!                          [--mem-cap SIZE] [--spill-dir DIR]
-//!                          [--checkpoint[=DIR]] [--resume]
+//!                          [--checkpoint[=DIR]] [--resume] [--recheck]
 //!                               run the full pipeline (strategies + bounded
 //!                               refinement model checking, on N threads)
+//! armada recheck <cert|dir>... [--source FILE]
+//!                               independently validate stored refinement
+//!                               certificates (structural witness check;
+//!                               with --source, full semantic replay)
 //! armada check <file.arm>       front end + core-subset check only
 //! armada effort <file.arm>      strategy-only run with effort accounting
 //! armada emit-c <file.arm>      emit ClightTSO-flavored C for the
@@ -104,7 +108,9 @@ fn usage() -> ExitCode {
         "usage: armada <verify|check|effort|emit-c|emit-rust> <file.arm> \
          [--jobs N] [--deadline SECS] [--cert-cache[=DIR]] [--no-reduction] \
          [--no-symmetry] [--telemetry] [--fault-seed N] [--conservative] \
-         [--mem-cap SIZE] [--spill-dir DIR] [--checkpoint[=DIR]] [--resume]\n       \
+         [--mem-cap SIZE] [--spill-dir DIR] [--checkpoint[=DIR]] [--resume] \
+         [--recheck]\n       \
+         armada recheck <cert|dir>... [--source FILE]\n       \
          armada fuzz [--serve] <file.arm>... [--seeds N] [--jobs M] \
          [--events LIST] [--server-events LIST] [--mutate-bounds] [--out FILE]\n       \
          armada serve [--addr HOST:PORT] [--addr-file FILE] [--workers N] \
@@ -237,6 +243,9 @@ fn main() -> ExitCode {
     match args.first().map(|s| s.as_str()) {
         Some("serve") => return serve_command(&args[1..]),
         Some("client") => return client_command(&args[1..]),
+        // Same checker as the standalone `armada-recheck` binary; bundled
+        // here so one installed tool covers the whole workflow.
+        Some("recheck") => return ExitCode::from(armada::recheck::run_cli(&args[1..])),
         _ => {}
     }
     let (command, path) = match (args.first(), args.get(1)) {
@@ -312,6 +321,7 @@ fn main() -> ExitCode {
         Some(store) => pipeline.with_cert_store(store),
         None => pipeline,
     };
+    let pipeline = pipeline.with_recheck(args.iter().any(|a| a == "--recheck"));
     let pipeline = match fault_seed {
         Some(seed) => {
             let plan = FaultPlan::seeded(

@@ -20,7 +20,10 @@
 //!   (see [`FaultFate::is_recoverable`]), the report is byte-identical to
 //!   the fault-free baseline after erasing cache-disposition annotations;
 //! * **determinism** — for one `(subject, seed)` cell, renders are
-//!   byte-identical across job counts (cold vs cold, warm vs warm).
+//!   byte-identical across job counts (cold vs cold, warm vs warm);
+//! * **recheck** — every certificate an exit-0 run emits carries a witness
+//!   that passes the independent `armada recheck` checker: structural
+//!   validation plus semantic replay against the subject's own source.
 //!
 //! When an invariant trips, the campaign greedily shrinks the plan — retry
 //! the cell with each event removed, keep removals that preserve the
@@ -163,6 +166,10 @@ pub enum Invariant {
     /// — or the herd cost more than one underlying verification (`armada
     /// fuzz --serve` only).
     CoalesceDivergence,
+    /// An exit-0 run emitted a certificate whose witness failed the
+    /// independent `armada recheck` validation (structural + semantic
+    /// replay against the subject's own source).
+    RecheckFailed,
 }
 
 impl Invariant {
@@ -176,6 +183,7 @@ impl Invariant {
             Invariant::Determinism => "determinism",
             Invariant::DeadlineOverrun => "deadline_overrun",
             Invariant::CoalesceDivergence => "coalesce_divergence",
+            Invariant::RecheckFailed => "recheck_failed",
         }
     }
 }
@@ -412,6 +420,10 @@ struct RunResult {
     served_hits: Vec<(String, String, usize, usize)>,
     /// Same, for every certificate in the report regardless of source.
     certs: Vec<(String, String, usize, usize)>,
+    /// `armada recheck` rejections for an exit-0 run's certificates
+    /// (serialized, then validated and replayed against the subject's own
+    /// source). Always empty for nonzero exits.
+    recheck_failures: Vec<String>,
     /// Wall-clock duration (checked against the hang budget; never
     /// reported).
     elapsed: Duration,
@@ -457,6 +469,7 @@ fn run_once(
                 exit_code: None,
                 served_hits: Vec::new(),
                 certs: Vec::new(),
+                recheck_failures: Vec::new(),
                 elapsed,
             }
         }
@@ -466,6 +479,7 @@ fn run_once(
             exit_code: None,
             served_hits: Vec::new(),
             certs: Vec::new(),
+            recheck_failures: Vec::new(),
             elapsed,
         },
         Ok(Ok(report)) => {
@@ -498,12 +512,25 @@ fn run_once(
             } else {
                 report.worst_status().exit_code()
             };
+            // Invariant #6: every certificate of an exit-0 run must survive
+            // the independent checker — serialize, then structurally
+            // validate and semantically replay against the subject source.
+            let mut recheck_failures = Vec::new();
+            if exit_code == 0 {
+                for cert in report.refinements.iter().filter_map(|r| r.as_ref().ok()) {
+                    let record = crate::verify::store::serialize(cert);
+                    if let Err(e) = crate::recheck::recheck_record(&record, Some(&subject.source)) {
+                        recheck_failures.push(format!("{}⊑{}: {e}", cert.low, cert.high));
+                    }
+                }
+            }
             RunResult {
                 render: report.to_string(),
                 error: None,
                 exit_code: Some(exit_code),
                 served_hits,
                 certs,
+                recheck_failures,
                 elapsed,
             }
         }
@@ -644,6 +671,16 @@ fn run_cell(
                         ),
                     )),
                 }
+            }
+            // Recheck: an exit-0 run's certificates all pass the
+            // independent checker (structural witness validation plus
+            // semantic replay).
+            checks += 1;
+            for failure in &result.recheck_failures {
+                violations.push((
+                    Invariant::RecheckFailed,
+                    format!("{phase} jobs={jobs}: certificate failed recheck: {failure}"),
+                ));
             }
             // Verdict-invariance: recoverable faults leave the normalized
             // render byte-identical to the baseline.
@@ -1170,6 +1207,7 @@ fn run_serve_cell(
                     verified,
                     render,
                     coalesced,
+                    ..
                 }) => rows.push((exit_code, verified, render, coalesced)),
                 Ok(other) => {
                     broken = true;

@@ -94,6 +94,7 @@ use std::sync::OnceLock;
 pub use armada_backend as backend;
 pub use armada_lang as lang;
 pub use armada_proof as proof;
+pub use armada_recheck as recheck;
 pub use armada_regions as regions;
 pub use armada_sm as sm;
 pub use armada_strategies as strategies;
@@ -155,6 +156,12 @@ pub struct Pipeline {
     /// Collect per-stage pipeline histograms during semantic checks (off
     /// by default; diagnostics only — never changes results).
     telemetry: bool,
+    /// Self-recheck warm cert-cache hits (`--recheck`): replay the cached
+    /// witness against the spec semantics via `armada-recheck` before
+    /// trusting it; a hit whose witness fails is demoted to a miss and
+    /// recomputed. Off by default — the store already validates witnesses
+    /// structurally on every load.
+    recheck: bool,
 }
 
 /// Outcome class of one recipe in a [`PipelineReport`]. One run produces
@@ -333,6 +340,21 @@ impl PipelineReport {
         self.chain.as_ref().map(|c| c.claim())
     }
 
+    /// A combined digest over every certificate witness this run produced
+    /// or served, in recipe order — what `armada serve` attaches to
+    /// `result` frames so a client can tie a verdict to the exact
+    /// witnesses behind it (and audit them via `armada recheck`). `None`
+    /// when the run yielded no certificates.
+    pub fn witness_digest(&self) -> Option<String> {
+        let mut h = armada_recheck::Fnv::new();
+        let mut any = false;
+        for cert in self.refinements.iter().filter_map(|r| r.as_ref().ok()) {
+            h.u64(cert.witness.digest);
+            any = true;
+        }
+        any.then(|| format!("{:016x}", h.finish()))
+    }
+
     /// Total generated proof SLOC across all recipes.
     pub fn generated_sloc(&self) -> usize {
         self.strategy_reports
@@ -409,7 +431,17 @@ impl Pipeline {
             cert_store: None,
             fault: FaultPlan::default(),
             telemetry: false,
+            recheck: false,
         })
+    }
+
+    /// Replays every warm cert-cache hit's witness against the spec
+    /// semantics before serving it (the CLI's `--recheck`). A failing
+    /// witness demotes the hit to a miss and the check reruns; verdicts
+    /// are unchanged either way.
+    pub fn with_recheck(mut self, recheck: bool) -> Pipeline {
+        self.recheck = recheck;
+        self
     }
 
     /// Collects per-stage latency/occupancy histograms during each
@@ -600,12 +632,23 @@ impl Pipeline {
                         report.obligations.len()
                     ),
                     // Placeholder cert so the chain still composes in
-                    // strategy-only mode.
+                    // strategy-only mode. Its witness is the sealed empty
+                    // one (attests nothing; consistent with zero product
+                    // nodes), bound to this subject like any real cert.
                     Some(RefinementCert {
                         low: recipe.low.clone(),
                         high: recipe.high.clone(),
                         product_nodes: 0,
                         low_transitions: 0,
+                        witness: {
+                            let mut w = armada_recheck::Witness::empty();
+                            w.bind_subject(armada_recheck::subject_digest(
+                                &self.source,
+                                &recipe.low,
+                                &recipe.high,
+                            ));
+                            w
+                        },
                     }),
                 )
             } else {
@@ -704,23 +747,44 @@ impl Pipeline {
         });
         let cert_store = store_view.as_ref();
         let key = CertKey::compute(&self.source, &recipe.low, &recipe.high, &sim);
+        let subject = armada_recheck::subject_digest(&self.source, &recipe.low, &recipe.high);
         if let Some(store) = cert_store {
             if let Some(cert) = store.load(&key, &recipe.low, &recipe.high) {
-                let detail = format!(
-                    "{} product nodes, {} low transitions (from cert store)",
-                    cert.product_nodes, cert.low_transitions
-                );
-                let status = if strategy_ok {
-                    RecipeStatus::Verified
-                } else {
-                    RecipeStatus::Refuted
-                };
-                return Ok(RecipeRun {
-                    strategy_report: Some(report),
-                    refinement: Some(Ok(cert.clone())),
-                    chain_cert: Some(cert),
-                    outcome: outcome(status, detail, CacheDisposition::Hit),
-                });
+                // Under `--recheck`, a warm hit must survive the full
+                // independent check — subject binding, structural
+                // validation, and semantic replay of the witnessed low
+                // tree — before it is served. A failing witness is not an
+                // error: the hit demotes to a miss and the check reruns
+                // below, exactly as if the record had failed its checksum.
+                let recheck_failed = self.recheck
+                    && cert
+                        .witness
+                        .validate(cert.product_nodes, cert.low_transitions, Some(subject))
+                        .and_then(|()| armada_recheck::replay(&cert.witness, &low))
+                        .is_err();
+                if !recheck_failed {
+                    let detail = format!(
+                        "{} product nodes, {} low transitions (from cert store{})",
+                        cert.product_nodes,
+                        cert.low_transitions,
+                        if self.recheck {
+                            ", witness rechecked"
+                        } else {
+                            ""
+                        }
+                    );
+                    let status = if strategy_ok {
+                        RecipeStatus::Verified
+                    } else {
+                        RecipeStatus::Refuted
+                    };
+                    return Ok(RecipeRun {
+                        strategy_report: Some(report),
+                        refinement: Some(Ok(cert.clone())),
+                        chain_cert: Some(cert),
+                        outcome: outcome(status, detail, CacheDisposition::Hit),
+                    });
+                }
             }
         }
         let checked = catch_unwind(AssertUnwindSafe(|| {
@@ -759,7 +823,11 @@ impl Pipeline {
                     ),
                 });
             }
-            Ok(Ok(cert)) => {
+            Ok(Ok(mut cert)) => {
+                // The checker emits the witness unbound (it never sees the
+                // module source); bind it here so persisted and served
+                // certs are pinned to this exact subject.
+                cert.witness.bind_subject(subject);
                 if let Some(store) = cert_store {
                     // Best-effort persistence: a full disk or unwritable
                     // store must not fail the verification itself.

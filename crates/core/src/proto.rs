@@ -469,6 +469,10 @@ pub enum Response {
         render: String,
         /// True when this response rode another in-flight request's run.
         coalesced: bool,
+        /// Combined witness digest of the run's certificates (16 hex
+        /// digits), or empty when the run produced none. Coalesced
+        /// waiters of one run all see the same digest.
+        witness: String,
     },
     Deadline {
         /// The deadline that elapsed, in milliseconds.
@@ -509,12 +513,14 @@ impl Response {
                 verified,
                 render,
                 coalesced,
+                witness,
             } => Json::Obj(vec![
                 kind("result"),
                 ("exit_code".into(), Json::Int(*exit_code as i64)),
                 ("verified".into(), Json::Bool(*verified)),
                 ("render".into(), Json::Str(render.clone())),
                 ("coalesced".into(), Json::Bool(*coalesced)),
+                ("witness".into(), Json::Str(witness.clone())),
             ])
             .encode(),
             Response::Deadline { deadline_ms } => Json::Obj(vec![
@@ -581,6 +587,11 @@ impl Response {
                     .get("coalesced")
                     .and_then(Json::as_bool)
                     .unwrap_or(false),
+                witness: json
+                    .get("witness")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
             }),
             "deadline" => Ok(Response::Deadline {
                 deadline_ms: int("deadline_ms")?.max(0) as u64,
@@ -688,6 +699,7 @@ mod tests {
                     verified: true,
                     render: "recipe P: verified\nVERIFIED: A ⊑ B\n".into(),
                     coalesced: true,
+                    witness: "00ff00ff00ff00ff".into(),
                 },
                 0,
             ),

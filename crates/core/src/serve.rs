@@ -237,6 +237,11 @@ struct Outcome {
     exit_code: u8,
     verified: bool,
     render: String,
+    /// Combined witness digest of the run's certificates (empty when the
+    /// run produced none). Coalesced waiters share the leader's `Outcome`
+    /// by `Arc`, so every frame of a storm carries the same digest by
+    /// construction.
+    witness: String,
 }
 
 /// One queued verification job (the leader's request).
@@ -571,6 +576,7 @@ fn handle_verify(
                         verified: outcome.verified,
                         render: outcome.render.clone(),
                         coalesced,
+                        witness: outcome.witness.clone(),
                     },
                 ),
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
@@ -658,6 +664,7 @@ fn run_job(shared: &Shared, job: &Job) -> Outcome {
                     exit_code: report.worst_status().exit_code(),
                     verified: report.verified(),
                     render: report.to_string(),
+                    witness: report.witness_digest().unwrap_or_default(),
                 };
             }
             Ok(Err(e)) => {
@@ -667,6 +674,7 @@ fn run_job(shared: &Shared, job: &Job) -> Outcome {
                     exit_code: 2,
                     verified: false,
                     render: format!("error: {e}\n"),
+                    witness: String::new(),
                 };
             }
             Err(payload) => {
@@ -685,6 +693,7 @@ fn run_job(shared: &Shared, job: &Job) -> Outcome {
             "NOT VERIFIED\nserve: worker crashed on all {} attempt(s): {last_panic}\n",
             config.retries + 1
         ),
+        witness: String::new(),
     }
 }
 

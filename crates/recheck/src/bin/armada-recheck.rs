@@ -1,0 +1,7 @@
+//! Standalone certificate checker; `armada recheck` delegates here so a
+//! client can audit cached verdicts without linking the verifier.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(armada_recheck::run_cli(&args) as i32);
+}

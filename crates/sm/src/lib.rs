@@ -59,5 +59,5 @@ pub use pager::SpillSpec;
 pub use program::{Instr, Pc, Program, Routine};
 pub use reduce::{macro_steps, MacroStep, Reducer};
 pub use state::{initial_state, ProgState, Termination, ThreadState, Tid};
-pub use step::{enabled_steps, next_state, Step, StepKind};
+pub use step::{enabled_steps, next_state, try_step, Step, StepKind};
 pub use value::{UbReason, Value};

@@ -75,6 +75,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use armada_proof::RefinementRelation;
+use armada_recheck::{Witness, WitnessBuilder};
 use armada_runtime::ring::{ring, Backoff};
 use armada_runtime::telemetry::{Stage, StageTelemetry};
 use armada_sm::arena::FpIdentityHasher;
@@ -181,6 +182,13 @@ pub struct RefinementCert {
     /// Low-level micro-transitions checked (fused macro edges count their
     /// full micro length).
     pub low_transitions: usize,
+    /// The machine-checkable witness: the simulation relation as
+    /// fingerprinted canonical state pairs plus one chained obligation per
+    /// product edge. `armada recheck` replays it against the spec
+    /// semantics without re-exploring; see `armada-recheck` for the format
+    /// and the trusted-core boundary. Emitted unbound (subject 0) — the
+    /// pipeline binds it to the module source before persisting.
+    pub witness: Witness,
 }
 
 /// Why a refinement check failed: a genuine counterexample, or a search
@@ -988,6 +996,7 @@ fn check_refinement_impl(
             tel,
             &high_graph,
             &mut ck,
+            canon.is_some(),
             low_transitions,
             wave_index,
         );
@@ -1099,6 +1108,7 @@ fn check_refinement_impl(
                 tel,
                 &high_graph,
                 &mut ck,
+                canon.is_some(),
                 low_transitions,
                 wave_index,
             );
@@ -1183,6 +1193,7 @@ fn run_search(
     tel: &mut StageTelemetry,
     high_graph: &Mutex<HighGraph<'_>>,
     ck: &mut Option<checkpoint::VerifyCheckpoint>,
+    symmetry_on: bool,
     mut low_transitions: usize,
     mut wave_index: usize,
 ) -> SearchOutcome {
@@ -1372,12 +1383,108 @@ fn run_search(
         }
     }
 
+    let witness = emit_witness(
+        nodes,
+        high_graph,
+        symmetry_on,
+        config.bounds.max_buffer,
+        wave_index,
+    );
     SearchOutcome::Done(Ok(RefinementCert {
         low: low.name.clone(),
         high: high.name.clone(),
         product_nodes: nodes.len(),
         low_transitions,
+        witness,
     }))
+}
+
+/// Emits the machine-checkable witness from the finished product graph.
+/// Everything recorded is deterministic across job counts: node ids and
+/// edge order come from the serial commit phase, and states enter as
+/// content *fingerprints* — interned numeric ids (which do depend on
+/// exploration interleaving) never reach the witness. Match-set digests
+/// hash member fingerprints in sorted order for the same reason.
+fn emit_witness(
+    nodes: &[Node],
+    high_graph: &Mutex<HighGraph<'_>>,
+    symmetry_on: bool,
+    max_buffer: usize,
+    waves: usize,
+) -> Witness {
+    let mut hg = high_graph
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut high_fp: HashMap<u32, u64> = HashMap::new();
+    let mut set_digests: HashMap<u32, u64> = HashMap::new();
+    let mut set_digest_of = |node: &Node, hg: &mut HighGraph<'_>| -> u64 {
+        if let Some(&digest) = set_digests.get(&node.set_id) {
+            return digest;
+        }
+        let mut fps: Vec<u64> = node
+            .matches
+            .iter()
+            .map(|&h| {
+                *high_fp
+                    .entry(h)
+                    .or_insert_with(|| StateArena::fingerprint(&hg.arena.get_arc_mut(StateId(h))))
+            })
+            .collect();
+        fps.sort_unstable();
+        let digest = armada_recheck::set_digest(&fps);
+        set_digests.insert(node.set_id, digest);
+        digest
+    };
+    let renaming_of = |node: &Node| -> Vec<Tid> {
+        node.orig
+            .as_ref()
+            .map(|m| (**m).clone())
+            .unwrap_or_default()
+    };
+    let root = &nodes[0];
+    let mut builder = WitnessBuilder::new(
+        symmetry_on,
+        max_buffer as u64,
+        renaming_of(root),
+        StateArena::fingerprint(&root.low),
+        set_digest_of(root, &mut hg),
+    );
+    let mut max_depth = 0u64;
+    for node in &nodes[1..] {
+        max_depth = max_depth.max(node.depth as u64);
+        let (parent_id, _) = node.parent.as_ref().expect("non-root node has a parent");
+        // `edge_steps` was translated to original tids for counterexample
+        // replay; the witness wants the steps in the *parent's canonical
+        // coordinates* (what `try_step` executes during recheck), so undo
+        // the parent's canonical→original map. Every step of a macro edge
+        // runs a thread that already exists in the parent, so the map is
+        // total over the edge and position search inverts it exactly.
+        let parent_map = nodes[*parent_id].orig.as_deref();
+        let raw_steps: Vec<Step> = node
+            .edge_steps
+            .iter()
+            .map(|step| Step {
+                tid: match parent_map {
+                    None => step.tid,
+                    Some(map) => map
+                        .iter()
+                        .position(|&t| t == step.tid)
+                        .map(|pos| pos as Tid + 1)
+                        .unwrap_or(step.tid),
+                },
+                kind: step.kind.clone(),
+            })
+            .collect();
+        builder.push_node(
+            *parent_id as u32,
+            StateArena::fingerprint(&node.low),
+            set_digest_of(node, &mut hg),
+            armada_recheck::encode_steps(&raw_steps),
+            node.edge_steps.len() as u32,
+            renaming_of(node),
+        );
+    }
+    builder.seal(true, waves as u64, max_depth)
 }
 
 /// A transitively composed refinement result across a series of levels
@@ -2015,18 +2122,60 @@ mod tests {
     }
 
     #[test]
+    fn emitted_witnesses_recheck_against_the_semantics() {
+        // End-to-end trusted-core round trip: a real check's certificate,
+        // serialized as a record, must pass the independent checker's full
+        // semantic replay — with symmetry + reduction renamings in play
+        // (two interchangeable workers) and without.
+        let src = r#"
+            level Impl {
+                void worker(v: uint32) { print(v); }
+                void main() {
+                    var a: uint64 := create_thread worker(1);
+                    var b: uint64 := create_thread worker(2);
+                    join a;
+                    join b;
+                }
+            }
+            level Spec {
+                void main() {
+                    if (*) { print(1); print(2); } else { print(2); print(1); }
+                }
+            }
+        "#;
+        let (low, high) = programs(src, "Impl", "Spec");
+        let relation = StandardRelation::log_prefix();
+        for (reduction, symmetry) in [(true, true), (false, true), (true, false)] {
+            let config = SimConfig::default()
+                .with_reduction(reduction)
+                .with_symmetry(symmetry);
+            let mut cert = check_refinement(&low, &high, &relation, &config).unwrap();
+            assert_eq!(cert.witness.pairs.len(), cert.product_nodes);
+            cert.witness
+                .bind_subject(armada_recheck::subject_digest(src, "Impl", "Spec"));
+            let record = crate::store::serialize(&cert);
+            let report = armada_recheck::recheck_record(&record, Some(src))
+                .unwrap_or_else(|e| panic!("reduction={reduction} symmetry={symmetry}: {e}"));
+            assert!(report.replayed);
+            assert_eq!(report.pairs, cert.product_nodes);
+        }
+    }
+
+    #[test]
     fn chain_composition() {
         let cert_ab = RefinementCert {
             low: "A".into(),
             high: "B".into(),
-            product_nodes: 1,
-            low_transitions: 1,
+            product_nodes: 0,
+            low_transitions: 0,
+            witness: Witness::empty(),
         };
         let cert_bc = RefinementCert {
             low: "B".into(),
             high: "C".into(),
-            product_nodes: 1,
-            low_transitions: 1,
+            product_nodes: 0,
+            low_transitions: 0,
+            witness: Witness::empty(),
         };
         let chain = RefinementChain::compose(vec![cert_ab.clone(), cert_bc]).unwrap();
         assert_eq!(chain.claim(), "A ⊑ C");

@@ -27,6 +27,16 @@
 //!   and cross-checks the level names against the requested pair. Any
 //!   mismatch — torn write, flipped byte, truncation, hand-editing — makes
 //!   the load return `None`.
+//! * **Witness-bearing records (format v2).** Every record carries the
+//!   certificate's machine-checkable [`armada_recheck::Witness`] versioned
+//!   alongside the counters, and a validating load additionally runs the
+//!   witness's structural checks (subject-agnostic: counts, step
+//!   encodings, the obligation hash chain, the sealed digest). A cached
+//!   verdict therefore re-proves its own shape on every load; `armada
+//!   recheck` can go further and replay it against the semantics. The v1→
+//!   v2 bump changes [`CertKey`] derivation too, so every witnessless v1
+//!   entry became unaddressable the moment this shipped — a one-time full
+//!   cache invalidation, not a parse hazard.
 
 use std::fs;
 use std::io;
@@ -34,7 +44,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use armada_recheck::Witness;
 use armada_runtime::hash::Fnv64;
+use armada_sm::Tid;
 
 use crate::{RefinementCert, SimConfig};
 
@@ -79,34 +91,54 @@ pub struct StoreShim {
     pub unchecked_loads: bool,
 }
 
-/// Flips the first digit of the `product_nodes` payload line (xor 0x01
-/// keeps a digit a digit), producing a record that parses but cannot
-/// re-validate. Falls back to flipping the middle byte if the line is
-/// absent (pre-damaged input).
-fn flip_payload_digit(bytes: &mut [u8]) {
-    const NEEDLE: &[u8] = b"product_nodes ";
-    let at = bytes
-        .windows(NEEDLE.len())
-        .position(|w| w == NEEDLE)
-        .map(|p| p + NEEDLE.len());
-    match at {
-        Some(at) if at < bytes.len() && bytes[at].is_ascii_digit() => bytes[at] ^= 0x01,
-        _ => {
-            if !bytes.is_empty() {
-                let mid = bytes.len() / 2;
-                bytes[mid] ^= 0x01;
-            }
+/// Flips one decimal digit right after `needle` (xor 0x01 keeps `0`–`9` a
+/// digit, and skipping `a`–`f` keeps hex fields hex), so the damaged
+/// record still parses. Returns false if no digit follows the needle.
+fn flip_digit_after(bytes: &mut [u8], needle: &[u8]) -> bool {
+    let Some(at) = bytes
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + needle.len())
+    else {
+        return false;
+    };
+    for b in bytes[at..].iter_mut() {
+        if b.is_ascii_digit() {
+            *b ^= 0x01;
+            return true;
         }
+        if !b.is_ascii_hexdigit() {
+            return false;
+        }
+    }
+    false
+}
+
+/// Flips a digit in the counters region (`product_nodes`) *and* one in the
+/// witness section (the sealed digest line), producing a record that
+/// parses but cannot re-validate. Damaging both regions keeps the
+/// twelve-fate fuzz campaign honest: a loader that checksummed only the
+/// counters but trusted the witness bytes — or vice versa — would serve
+/// one of the two corruptions. Falls back to flipping the middle byte if
+/// neither needle lands (pre-damaged input).
+fn flip_payload_digit(bytes: &mut [u8]) {
+    let counters = flip_digit_after(bytes, b"product_nodes ");
+    let witness = flip_digit_after(bytes, b"witness digest ");
+    if !counters && !witness && !bytes.is_empty() {
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
     }
 }
 
 /// Version tag embedded in both the key derivation and the file header;
 /// bump it when the record format or the certificate semantics change, and
 /// every old entry becomes unaddressable garbage instead of a parse hazard.
-const FORMAT_VERSION: u32 = 1;
+/// v2: records carry the machine-checkable refinement witness.
+const FORMAT_VERSION: u32 = 2;
 
-/// Magic first line of a certificate record.
-const MAGIC: &str = "armada-cert v1";
+/// Magic first line of a certificate record — the checker's, so the store
+/// cannot drift from what `armada recheck` accepts.
+const MAGIC: &str = armada_recheck::RECORD_MAGIC;
 
 /// Content address of one certificate: a stable hash of everything that
 /// determines the check's outcome.
@@ -320,23 +352,35 @@ fn level_name_fits(name: &str) -> bool {
     !name.is_empty() && !name.chars().any(|c| c.is_control())
 }
 
-/// The payload lines of a record (everything the checksum covers).
+/// The payload lines of a record (everything the checksum covers). The
+/// witness section is rendered by `armada-recheck`'s own formatter, so the
+/// store and the independent checker agree on the bytes by construction.
 fn payload(cert: &RefinementCert) -> String {
     format!(
-        "{MAGIC}\nlow {}\nhigh {}\nproduct_nodes {}\nlow_transitions {}\n",
-        cert.low, cert.high, cert.product_nodes, cert.low_transitions
+        "{MAGIC}\nlow {}\nhigh {}\nproduct_nodes {}\nlow_transitions {}\n{}",
+        cert.low,
+        cert.high,
+        cert.product_nodes,
+        cert.low_transitions,
+        armada_recheck::witness_lines(&cert.witness)
     )
 }
 
-pub(crate) fn serialize(cert: &RefinementCert) -> String {
+/// Renders a certificate as its on-disk record (checksum line included).
+/// Public so the fuzzer and the soundness tests can feed emitted certs to
+/// `armada recheck` without a round trip through the filesystem.
+pub fn serialize(cert: &RefinementCert) -> String {
     let payload = payload(cert);
     let checksum = armada_runtime::hash::fnv1a_64(payload.as_bytes());
     format!("{payload}checksum {checksum:016x}\n")
 }
 
-/// Parses a record. `validate_checksum` is always true in production; only
-/// the [`StoreShim::unchecked_loads`] mutant hook clears it.
-pub(crate) fn deserialize(text: &str, validate_checksum: bool) -> Option<RefinementCert> {
+/// Parses a record. `validate` is always true in production — it enforces
+/// the checksum *and* the witness's structural self-checks (counts, step
+/// encodings, hash chain, sealed digest) — and only the
+/// [`StoreShim::unchecked_loads`] mutant hook clears it. This parser is
+/// the store's own; `armada recheck` carries an independent one.
+pub fn deserialize(text: &str, validate: bool) -> Option<RefinementCert> {
     // The checksum line is last; everything before it is the payload the
     // checksum covers. Re-hash first so *any* payload damage — even damage
     // that would still parse — is rejected.
@@ -345,7 +389,7 @@ pub(crate) fn deserialize(text: &str, validate_checksum: bool) -> Option<Refinem
     let payload_text = format!("{payload_text}\n");
     let stored = checksum_line.strip_prefix("checksum ")?;
     let stored = u64::from_str_radix(stored, 16).ok()?;
-    if validate_checksum && stored != armada_runtime::hash::fnv1a_64(payload_text.as_bytes()) {
+    if validate && stored != armada_runtime::hash::fnv1a_64(payload_text.as_bytes()) {
         return None;
     }
     let mut lines = payload_text.lines();
@@ -360,14 +404,107 @@ pub(crate) fn deserialize(text: &str, validate_checksum: bool) -> Option<Refinem
         .strip_prefix("low_transitions ")?
         .parse()
         .ok()?;
+    let witness = parse_witness(&mut lines)?;
     if lines.next().is_some() {
         return None;
     }
-    Some(RefinementCert {
+    let cert = RefinementCert {
         low,
         high,
         product_nodes,
         low_transitions,
+        witness,
+    };
+    if validate
+        && cert
+            .witness
+            .validate(cert.product_nodes, cert.low_transitions, None)
+            .is_err()
+    {
+        return None;
+    }
+    Some(cert)
+}
+
+/// Parses the witness section (the store-side twin of the record layout in
+/// [`armada_recheck::witness_lines`]).
+fn parse_witness(lines: &mut std::str::Lines<'_>) -> Option<Witness> {
+    let hex = |s: &str| u64::from_str_radix(s, 16).ok();
+    let renaming = |s: &str| -> Option<Vec<Tid>> {
+        if s == "-" {
+            return Some(Vec::new());
+        }
+        s.split(',').map(|t| t.parse().ok()).collect()
+    };
+    let subject = hex(lines.next()?.strip_prefix("witness subject ")?)?;
+    let status = lines.next()?.strip_prefix("witness status ")?;
+    let words: Vec<&str> = status.split(' ').collect();
+    let [state, "waves", waves, "depth", depth, "symmetry", symmetry, "buffer", buffer] =
+        words.as_slice()
+    else {
+        return None;
+    };
+    let complete = match *state {
+        "complete" => true,
+        "truncated" => false,
+        _ => return None,
+    };
+    let root_renaming = renaming(lines.next()?.strip_prefix("witness root ")?)?;
+    let pair_count: usize = lines.next()?.strip_prefix("witness pairs ")?.parse().ok()?;
+    let mut pairs = Vec::with_capacity(pair_count);
+    for _ in 0..pair_count {
+        let (fp, set) = lines.next()?.strip_prefix("pair ")?.split_once(' ')?;
+        pairs.push(armada_recheck::WitnessPair {
+            low_fp: hex(fp)?,
+            set_digest: hex(set)?,
+        });
+    }
+    let obl_count: usize = lines
+        .next()?
+        .strip_prefix("witness obligations ")?
+        .parse()
+        .ok()?;
+    let mut obligations = Vec::with_capacity(obl_count);
+    for _ in 0..obl_count {
+        let fields: Vec<&str> = lines.next()?.strip_prefix("obl ")?.split(' ').collect();
+        let [parent, micro, ren, steps_digest, hash, steps] = fields.as_slice() else {
+            return None;
+        };
+        let steps_enc = if *steps == "-" {
+            Vec::new()
+        } else if steps.len() % 2 == 0 {
+            (0..steps.len())
+                .step_by(2)
+                .map(|i| u8::from_str_radix(&steps[i..i + 2], 16).ok())
+                .collect::<Option<Vec<u8>>>()?
+        } else {
+            return None;
+        };
+        obligations.push(armada_recheck::Obligation {
+            parent: parent.parse().ok()?,
+            micro: micro.parse().ok()?,
+            renaming: renaming(ren)?,
+            steps_enc,
+            steps_digest: hex(steps_digest)?,
+            hash: hex(hash)?,
+        });
+    }
+    let digest = hex(lines.next()?.strip_prefix("witness digest ")?)?;
+    Some(Witness {
+        subject,
+        complete,
+        waves: waves.parse().ok()?,
+        max_depth: depth.parse().ok()?,
+        symmetry: match *symmetry {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        },
+        max_buffer: buffer.parse().ok()?,
+        root_renaming,
+        pairs,
+        obligations,
+        digest,
     })
 }
 
@@ -383,12 +520,34 @@ mod tests {
         store
     }
 
+    /// A structurally valid witness for a linear `nodes`-pair run with one
+    /// micro-step per edge (so `low_transitions` = `nodes - 1`).
+    fn witness_for(nodes: usize) -> Witness {
+        if nodes == 0 {
+            return Witness::empty();
+        }
+        let step = armada_recheck::encode_steps(&[armada_sm::Step::instr(1)]);
+        let mut b = armada_recheck::WitnessBuilder::new(false, 8, Vec::new(), 0xaaaa, 0xbbbb);
+        for i in 1..nodes {
+            b.push_node(
+                (i - 1) as u32,
+                0xaaaa + i as u64,
+                0xbbbb,
+                step.clone(),
+                1,
+                Vec::new(),
+            );
+        }
+        b.seal(true, nodes as u64, (nodes - 1) as u64)
+    }
+
     fn sample_cert() -> RefinementCert {
         RefinementCert {
             low: "Impl".into(),
             high: "Spec".into(),
-            product_nodes: 123,
-            low_transitions: 456,
+            product_nodes: 5,
+            low_transitions: 4,
+            witness: witness_for(5),
         }
     }
 
@@ -434,7 +593,8 @@ mod tests {
             low: "A".into(),
             high: "B".into(),
             product_nodes: 1,
-            low_transitions: 1,
+            low_transitions: 0,
+            witness: witness_for(1),
         };
         store.save(&key, &cert).expect("save");
         let full = std::fs::read_to_string(store.path_for(&key)).expect("read");
@@ -582,6 +742,7 @@ mod tests {
             high: "C".into(),
             product_nodes: 0,
             low_transitions: 0,
+            witness: Witness::empty(),
         };
         assert!(store.save(&key, &cert).is_err());
         assert_eq!(store.load(&key, "A\nB", "C"), None);

@@ -306,11 +306,37 @@ mod tests {
     }
 
     fn cert(n: usize) -> RefinementCert {
+        // A structurally valid linear witness (one micro-step per edge) so
+        // validating loads and promotions accept the record.
+        let witness = if n == 0 {
+            armada_recheck::Witness::empty()
+        } else {
+            let step = armada_recheck::encode_steps(&[armada_sm::Step::instr(1)]);
+            let mut b = armada_recheck::WitnessBuilder::new(
+                false,
+                8,
+                Vec::new(),
+                0x1000 + n as u64,
+                0x2000,
+            );
+            for i in 1..n {
+                b.push_node(
+                    (i - 1) as u32,
+                    0x1000 + (n + i) as u64,
+                    0x2000,
+                    step.clone(),
+                    1,
+                    Vec::new(),
+                );
+            }
+            b.seal(true, n as u64, n.saturating_sub(1) as u64)
+        };
         RefinementCert {
             low: "Impl".into(),
             high: "Spec".into(),
             product_nodes: n,
-            low_transitions: n * 2,
+            low_transitions: n.saturating_sub(1),
+            witness,
         }
     }
 

@@ -6,7 +6,10 @@
 //! campaign checks, per `(subject, seed)` cell: the outcome taxonomy
 //! (exit codes 0–4, no escaped panics), the hang budget, the
 //! no-corrupt-cert-served store invariant, verdict invariance under
-//! recoverable faults, and byte-identical renders across jobs ∈ {1, 4}.
+//! recoverable faults, byte-identical renders across jobs ∈ {1, 4}, and —
+//! invariant #6 — that every certificate of an exit-0 run carries a
+//! witness the independent `armada recheck` checker accepts (structural
+//! validation plus semantic replay against the subject source).
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -192,6 +195,40 @@ fn unchecked_loads_mutant_is_caught_and_shrunk() {
             .map(|v| (v.invariant, &v.detail))
             .collect::<Vec<_>>()
     );
+}
+
+/// Corrupt cert reads damage both regions the dual-flip targets — a
+/// counter digit *and* the witness digest — so a loader that validated
+/// only one of the two would serve the other corruption. This pins the
+/// recovery contract: the read is answered as a miss, the recompute's
+/// render is byte-identical to the fault-free baseline (the
+/// verdict-invariance check, at jobs ∈ {1, 4}), and every recomputed
+/// certificate still passes `armada recheck`.
+#[test]
+fn corrupt_cert_reads_recover_byte_identical() {
+    let subject = spec_subjects().remove(0);
+    let plan: Vec<FaultEvent> = vec![FaultEvent {
+        fate: FaultFate::CorruptCertRead,
+        recipe: "CountIsSequential".to_string(),
+    }];
+    let config = FuzzConfig {
+        seeds: vec![0],
+        jobs: vec![1, 4],
+        scratch_root: scratch("corrupt-read"),
+        plan_override: Some(plan),
+        ..FuzzConfig::default()
+    };
+    let report = run_campaign(&[subject], &config);
+    assert!(
+        report.ok(),
+        "corrupt reads did not recover cleanly: {:#?}",
+        report
+            .violations
+            .iter()
+            .map(|v| (v.invariant, &v.detail))
+            .collect::<Vec<_>>()
+    );
+    assert!(report.total_injected() > 0, "plan injected nothing");
 }
 
 /// Pure plan generation over the acceptance grid: 64 seeds × the corpus

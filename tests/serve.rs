@@ -69,23 +69,30 @@ fn cold_then_warm_requests_match_a_direct_run_and_hit_the_mem_tier() {
     };
 
     let mut renders = Vec::new();
+    let mut digests = Vec::new();
     for _ in 0..2 {
         match client_request(&addr, &verify_request(TINY, 30_000), timeout) {
             Ok(Response::Result {
                 exit_code,
                 verified,
                 render,
+                witness,
                 ..
             }) => {
                 assert_eq!(exit_code, 0);
                 assert!(verified);
                 renders.push(render);
+                digests.push(witness);
             }
             other => panic!("want a verify result, got {other:?}"),
         }
     }
     assert_eq!(normalize(&renders[0]), normalize(&direct));
     assert_eq!(normalize(&renders[0]), normalize(&renders[1]));
+    // The witness digest rides every result frame, and the warm hit serves
+    // the very certificate the cold run persisted.
+    assert_eq!(digests[0].len(), 16, "witness digest missing: {digests:?}");
+    assert_eq!(digests[0], digests[1]);
     assert!(
         renders[1].contains("cache hit"),
         "second request must be served from the cache: {}",
@@ -137,6 +144,7 @@ fn eight_cold_clients_coalesce_onto_one_verification_with_identical_bytes() {
         "eight identical cold requests must cost exactly one verification"
     );
     let mut renders = Vec::new();
+    let mut digests = Vec::new();
     let mut leaders = 0usize;
     for response in &responses {
         match response {
@@ -145,10 +153,12 @@ fn eight_cold_clients_coalesce_onto_one_verification_with_identical_bytes() {
                 verified,
                 render,
                 coalesced,
+                witness,
             } => {
                 assert_eq!(*exit_code, 0);
                 assert!(*verified);
                 renders.push(render.clone());
+                digests.push(witness.clone());
                 if !coalesced {
                     leaders += 1;
                 }
@@ -160,6 +170,13 @@ fn eight_cold_clients_coalesce_onto_one_verification_with_identical_bytes() {
     assert!(
         renders.windows(2).all(|w| w[0] == w[1]),
         "all eight reports must be byte-identical"
+    );
+    // Every member of the storm rides the leader's run, so every frame
+    // carries the same (non-empty) witness digest.
+    assert_eq!(digests[0].len(), 16, "witness digest missing: {digests:?}");
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "storm frames must carry one witness digest: {digests:?}"
     );
     assert_eq!(handle.stats().coalesced(), (CLIENTS - 1) as u64);
     handle.shutdown().expect("clean shutdown");
@@ -323,6 +340,80 @@ fn a_corrupt_tier2_entry_under_a_live_reader_is_rejected_not_served() {
     assert_eq!(normalize(&renders[0]), normalize(&renders[1]));
     handle.shutdown().expect("clean shutdown");
     cleanup("corrupt");
+}
+
+/// A tier-2 record whose *witness* is corrupted — with the checksum
+/// recomputed over the damaged payload, so the store's checksum line is
+/// valid and only the witness's structural validation stands in the way —
+/// must be rejected on load, audited, and recomputed. The daemon never
+/// serves the forged certificate.
+#[test]
+fn a_corrupted_witness_on_disk_is_recomputed_and_audited_never_served() {
+    // Disk-only tier: no mem tier to satisfy the warm request before the
+    // corrupted record is read back from disk.
+    let store = TieredStore::disk(CertStore::open(scratch("witness-rot")));
+    let handle = start(ServeConfig::new(store));
+    let addr = handle.addr().to_string();
+    let timeout = Duration::from_secs(60);
+
+    let ask = || match client_request(&addr, &verify_request(TINY, 30_000), timeout) {
+        Ok(Response::Result {
+            exit_code, witness, ..
+        }) => {
+            assert_eq!(exit_code, 0);
+            witness
+        }
+        other => panic!("want a verify result, got {other:?}"),
+    };
+    let cold_digest = ask();
+    assert_eq!(cold_digest.len(), 16);
+
+    // Rot the persisted record's witness digest, then *re-checksum* the
+    // payload so the only remaining defense is the witness validation.
+    let dir = scratch("witness-rot");
+    let cert_path = std::fs::read_dir(&dir)
+        .expect("store directory exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "cert"))
+        .expect("cold run persisted a record");
+    let record = std::fs::read_to_string(&cert_path).expect("record readable");
+    let mutated: String = record
+        .lines()
+        .map(|line| match line.strip_prefix("witness digest ") {
+            Some(hex) => {
+                let flipped = if hex.starts_with('0') { "1" } else { "0" };
+                format!("witness digest {flipped}{}\n", &hex[1..])
+            }
+            None => format!("{line}\n"),
+        })
+        .collect();
+    assert_ne!(mutated, record, "mutation must land");
+    let (payload, _) = mutated
+        .strip_suffix('\n')
+        .and_then(|r| r.rsplit_once('\n'))
+        .expect("record has a checksum line");
+    let payload = format!("{payload}\n");
+    let checksum = armada_runtime::hash::fnv1a_64(payload.as_bytes());
+    std::fs::write(&cert_path, format!("{payload}checksum {checksum:016x}\n")).expect("rot lands");
+
+    let warm_digest = ask();
+    assert_eq!(
+        warm_digest, cold_digest,
+        "recompute must re-emit the genuine witness"
+    );
+    assert_eq!(
+        handle.stats().verifications(),
+        2,
+        "the corrupted record must force a second verification"
+    );
+    assert!(
+        handle.counters().get("cache.disk_corrupt") >= 1,
+        "the rejected record must be audited: {:?}",
+        handle.counters()
+    );
+    handle.shutdown().expect("clean shutdown");
+    cleanup("witness-rot");
 }
 
 #[test]
